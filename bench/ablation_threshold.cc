@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Ablation (the paper's §6.2 "future work" pointer): the epsilon
+ * threshold of the Lite decision algorithm.
+ *
+ * Sweeps the relative threshold for TLB_Lite and the absolute MPKI
+ * threshold for RMM_Lite, showing the dynamic-energy / miss-cycle
+ * trade-off the threshold controls.
+ */
+
+#include <iostream>
+
+#include "sim/report.hh"
+#include "workloads/suite.hh"
+
+namespace
+{
+
+using namespace eat;
+
+std::pair<double, double>
+sweepPoint(core::MmuOrg org, double relative, double absolute,
+           const sim::BenchOptions &opts)
+{
+    double energy = 0.0, cyc = 0.0;
+    const auto &suite = workloads::tlbIntensiveSuite();
+    for (const auto &w : suite) {
+        sim::SimConfig cfg;
+        cfg.workload = w;
+        cfg.mmu = core::MmuConfig::make(org);
+        cfg.mmu.lite.epsilonRelative = relative;
+        cfg.mmu.lite.epsilonAbsoluteMpki = absolute;
+        cfg.simulateInstructions = opts.simulateInstructions;
+        cfg.fastForwardInstructions = opts.fastForwardInstructions;
+        cfg.seed = opts.seed;
+        const auto r = sim::simulate(cfg);
+        energy += r.energyPerKiloInstr();
+        cyc += r.missCyclesPerKiloInstr();
+    }
+    const auto n = static_cast<double>(suite.size());
+    return {energy / n, cyc / n};
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const auto opts = sim::BenchOptions::parse(argc, argv);
+
+    std::cout << "Ablation: Lite threshold epsilon (suite-average "
+                 "energy pJ/kinstr and\nmiss cycles/kinstr)\n\n";
+
+    stats::TextTable rel({"TLB_Lite eps (relative)", "energy",
+                          "miss cycles"});
+    for (const double eps : {0.03125, 0.0625, 0.125, 0.25, 0.5}) {
+        std::fprintf(stderr, "  TLB_Lite eps=%.5f\n", eps);
+        const auto [e, c] =
+            sweepPoint(core::MmuOrg::TlbLite, eps, 0.1, opts);
+        rel.addRow({stats::TextTable::percent(eps, 2),
+                    stats::TextTable::num(e, 0),
+                    stats::TextTable::num(c, 1)});
+    }
+    rel.print(std::cout);
+
+    std::cout << "\n";
+    stats::TextTable abs({"RMM_Lite eps (absolute MPKI)", "energy",
+                          "miss cycles"});
+    for (const double eps : {0.01, 0.05, 0.1, 0.5, 2.0}) {
+        std::fprintf(stderr, "  RMM_Lite eps=%.2f\n", eps);
+        const auto [e, c] =
+            sweepPoint(core::MmuOrg::RmmLite, 0.125, eps, opts);
+        abs.addRow({stats::TextTable::num(eps, 2),
+                    stats::TextTable::num(e, 0),
+                    stats::TextTable::num(c, 1)});
+    }
+    abs.print(std::cout);
+    return 0;
+}

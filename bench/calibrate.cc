@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Calibration harness (not a paper figure): prints, per workload and
+ * organization, the raw signals the workload models are tuned against —
+ * L1/L2 MPKI, energy per kilo-instruction, way-activity, hit sources,
+ * and range statistics. Used to keep the synthetic workloads inside
+ * the paper's published bands; see suite.cc.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "sim/report.hh"
+#include "workloads/suite.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace eat;
+    const auto opts = sim::BenchOptions::parse(argc, argv);
+
+    const auto &workloads = workloads::tlbIntensiveSuite();
+    const auto &orgs = core::allOrgs();
+
+    stats::TextTable table({"workload", "org", "L1MPKI", "L2MPKI",
+                            "pJ/kinstr", "cyc/kinstr", "4K@4/2/1",
+                            "hit:4K", "hit:2M", "hit:range", "ranges",
+                            "lite:dis/deg/rnd"});
+
+    const auto rows = sim::runMatrix(workloads, orgs, opts);
+    for (const auto &row : rows) {
+        for (const auto &r : row.byOrg) {
+            const auto &s = r.stats;
+            const double l1Hits = static_cast<double>(s.l1Hits);
+            auto hitFrac = [&](core::HitSource src) {
+                return l1Hits > 0 ? s.hits(src) / l1Hits : 0.0;
+            };
+            std::string ways =
+                stats::TextTable::num(s.l1WayLookups4K.fraction(2) * 100, 0) +
+                "/" +
+                stats::TextTable::num(s.l1WayLookups4K.fraction(1) * 100, 0) +
+                "/" +
+                stats::TextTable::num(s.l1WayLookups4K.fraction(0) * 100, 0);
+            table.addRow({row.workload, std::string(core::orgName(r.org)),
+                          stats::TextTable::num(s.l1Mpki(), 2),
+                          stats::TextTable::num(s.l2Mpki(), 2),
+                          stats::TextTable::num(r.energyPerKiloInstr(), 1),
+                          stats::TextTable::num(r.missCyclesPerKiloInstr(), 1),
+                          ways,
+                          stats::TextTable::percent(
+                              hitFrac(core::HitSource::L1Page4K)),
+                          stats::TextTable::percent(
+                              hitFrac(core::HitSource::L1Page2M)),
+                          stats::TextTable::percent(
+                              hitFrac(core::HitSource::L1Range)),
+                          std::to_string(r.numRanges),
+                          r.liteEnabled
+                              ? std::to_string(r.lite.wayDisableEvents) +
+                                    "/" +
+                                    std::to_string(
+                                        r.lite.degradationActivations) +
+                                    "/" +
+                                    std::to_string(r.lite.randomActivations)
+                              : "-"});
+        }
+    }
+    table.print(std::cout);
+    return 0;
+}

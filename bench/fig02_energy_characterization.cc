@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Figure 2 (a/b): the dynamic-energy characterization of address
+ * translation.
+ *
+ * For the 4KB, THP, and RMM configurations, prints (a) the dynamic
+ * energy broken into L1 TLBs / L2 TLBs / MMU cache / page walks /
+ * range walks, normalized to the 4KB total per workload, and (b) the
+ * cycles spent in TLB misses, normalized to 4KB.
+ *
+ * Paper shapes to look for: the L1 TLBs and page walks dominate with
+ * 4 KB pages; THP and RMM crush the walk share and the miss cycles but
+ * keep (or increase) the total dynamic energy because every memory
+ * operation now reads one more L1 TLB; only cactusADM and mcf (the
+ * page-walk-bound workloads) see THP reduce their energy.
+ */
+
+#include <iostream>
+
+#include "sim/report.hh"
+#include "stats/csv.hh"
+#include "workloads/suite.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace eat;
+    const auto opts = sim::BenchOptions::parse(argc, argv);
+    const std::vector<core::MmuOrg> orgs{
+        core::MmuOrg::Base4K, core::MmuOrg::Thp, core::MmuOrg::Rmm};
+
+    const auto rows =
+        sim::runMatrix(workloads::tlbIntensiveSuite(), orgs, opts);
+
+    std::cout << "Figure 2a: dynamic translation energy breakdown "
+                 "(normalized to 4KB total)\n\n";
+    stats::TextTable table({"workload", "org", "L1-TLBs", "L2-TLBs",
+                            "MMU-cache", "page-walks", "range-walks",
+                            "total"});
+    for (const auto &row : rows) {
+        const double base = row.byOrg[0].totalEnergy();
+        for (const auto &r : row.byOrg) {
+            const auto &b = r.energy.breakdown;
+            auto norm = [&](double v) {
+                return stats::TextTable::num(v / base, 3);
+            };
+            table.addRow({row.workload, std::string(core::orgName(r.org)),
+                          norm(b.l1Tlb), norm(b.l2Tlb), norm(b.mmuCache),
+                          norm(b.pageWalkMem), norm(b.rangeWalkMem),
+                          norm(b.total())});
+        }
+    }
+    table.print(std::cout);
+
+    std::cout << "\nFigure 2b: cycles spent in TLB misses "
+                 "(normalized to 4KB)\n\n";
+    auto cycles = sim::normalizedTable(rows, orgs, sim::missCyclesMetric,
+                                       "workload");
+    cycles.print(std::cout);
+
+    if (opts.csv) {
+        std::cout << "\nCSV\nworkload,org,l1,l2,mmu,walk,rangewalk,"
+                     "total,misscycles\n";
+        stats::CsvWriter csv(std::cout);
+        for (const auto &row : rows) {
+            const double base = row.byOrg[0].totalEnergy();
+            for (const auto &r : row.byOrg) {
+                const auto &b = r.energy.breakdown;
+                csv.writeRow(
+                    {row.workload, std::string(core::orgName(r.org)),
+                     std::to_string(b.l1Tlb / base),
+                     std::to_string(b.l2Tlb / base),
+                     std::to_string(b.mmuCache / base),
+                     std::to_string(b.pageWalkMem / base),
+                     std::to_string(b.rangeWalkMem / base),
+                     std::to_string(b.total() / base),
+                     std::to_string(r.missCyclesPerKiloInstr())});
+            }
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Section 6.2 sensitivity analysis: Lite's interval length (1 M - 10 M
+ * instructions) and random full-activation probability (1/8 - 1/128).
+ *
+ * Paper shape: shorter intervals and lower probabilities perform
+ * slightly better in both energy and performance — the short interval
+ * reacts faster, the low probability avoids needless full-power
+ * intervals.
+ */
+
+#include <iostream>
+
+#include "sim/report.hh"
+#include "workloads/suite.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace eat;
+    const auto opts = sim::BenchOptions::parse(argc, argv);
+
+    // A representative subset keeps the sweep affordable.
+    const char *names[] = {"astar", "mcf", "GemsFDTD", "canneal"};
+    const InstrCount intervals[] = {1'000'000, 2'000'000, 5'000'000,
+                                    10'000'000};
+    const double probabilities[] = {1.0 / 8, 1.0 / 32, 1.0 / 128};
+
+    for (const auto org : {core::MmuOrg::TlbLite, core::MmuOrg::RmmLite}) {
+        std::cout << "Lite sensitivity for "
+                  << std::string(core::orgName(org))
+                  << " (energy pJ/kinstr | miss cycles/kinstr, averaged "
+                     "over astar, mcf,\nGemsFDTD, canneal)\n\n";
+        stats::TextTable table({"interval", "p=1/8", "p=1/32",
+                                "p=1/128"});
+        for (const auto interval : intervals) {
+            std::vector<std::string> cells{
+                std::to_string(interval / 1'000'000) + "M"};
+            for (const double p : probabilities) {
+                double energy = 0.0, cyc = 0.0;
+                for (const char *name : names) {
+                    std::fprintf(stderr,
+                                 "  %s interval=%lluM p=%.4f %s\n",
+                                 std::string(core::orgName(org)).c_str(),
+                                 static_cast<unsigned long long>(
+                                     interval / 1'000'000),
+                                 p, name);
+                    sim::SimConfig cfg;
+                    cfg.workload = *workloads::findWorkload(name);
+                    cfg.mmu = core::MmuConfig::make(org);
+                    cfg.mmu.lite.intervalInstructions = interval;
+                    cfg.mmu.lite.fullActivationProbability = p;
+                    cfg.simulateInstructions = opts.simulateInstructions;
+                    cfg.fastForwardInstructions =
+                        opts.fastForwardInstructions;
+                    cfg.seed = opts.seed;
+                    const auto r = sim::simulate(cfg);
+                    energy += r.energyPerKiloInstr();
+                    cyc += r.missCyclesPerKiloInstr();
+                }
+                cells.push_back(
+                    stats::TextTable::num(energy / 4, 0) + " | " +
+                    stats::TextTable::num(cyc / 4, 1));
+            }
+            table.addRow(std::move(cells));
+        }
+        table.print(std::cout);
+        std::cout << "\n";
+    }
+    return 0;
+}

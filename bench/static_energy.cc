@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Extension (paper §6.2): static (leakage) energy when way-disabling is
+ * combined with power gating of the disabled ways.
+ *
+ * For THP, TLB_Lite, and RMM_Lite, prints the leakage energy of the
+ * translation structures over the run with and without power gating,
+ * and the resulting total (dynamic + gated static) energy.
+ */
+
+#include <iostream>
+
+#include "sim/report.hh"
+#include "workloads/suite.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace eat;
+    const auto opts = sim::BenchOptions::parse(argc, argv);
+    const std::vector<core::MmuOrg> orgs{
+        core::MmuOrg::Thp, core::MmuOrg::TlbLite, core::MmuOrg::RmmLite};
+
+    const auto rows =
+        sim::runMatrix(workloads::tlbIntensiveSuite(), orgs, opts);
+
+    stats::TextTable table({"workload", "org", "dynamic (pJ/ki)",
+                            "static full (pJ/ki)", "static gated (pJ/ki)",
+                            "gating saves", "total vs THP"});
+    std::vector<double> totals(orgs.size(), 0.0);
+    for (const auto &row : rows) {
+        double thpTotal = 0.0;
+        for (std::size_t o = 0; o < orgs.size(); ++o) {
+            const auto &r = row.byOrg[o];
+            const double ki =
+                static_cast<double>(r.stats.instructions) / 1000.0;
+            const double dyn = r.energyPerKiloInstr();
+            const double staticFull = r.energy.staticEnergyFull / ki;
+            const double staticGated = r.energy.staticEnergyGated / ki;
+            const double total = dyn + staticGated;
+            if (o == 0)
+                thpTotal = total;
+            totals[o] += total / thpTotal;
+            table.addRow(
+                {row.workload, std::string(core::orgName(r.org)),
+                 stats::TextTable::num(dyn, 0),
+                 stats::TextTable::num(staticFull, 0),
+                 stats::TextTable::num(staticGated, 0),
+                 stats::TextTable::percent(
+                     staticFull > 0.0 ? 1.0 - staticGated / staticFull
+                                      : 0.0),
+                 stats::TextTable::num(total / thpTotal, 3)});
+        }
+    }
+    std::cout << "Extension (paper §6.2): leakage with power-gated "
+                 "disabled ways (2 GHz, CPI 1)\n\n";
+    table.print(std::cout);
+    std::cout << "\naverage total (dynamic + gated static) vs THP: ";
+    for (std::size_t o = 0; o < orgs.size(); ++o) {
+        std::cout << core::orgName(orgs[o]) << "="
+                  << stats::TextTable::num(totals[o] / 8.0, 3)
+                  << (o + 1 < orgs.size() ? ", " : "\n");
+    }
+    return 0;
+}

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Quickstart: simulate one TLB-intensive workload under the THP
+ * baseline and under RMM_Lite, and print the energy and performance
+ * comparison — the paper's headline claim in ~60 lines.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "sim/simulator.hh"
+#include "stats/table.hh"
+#include "workloads/suite.hh"
+
+int
+main()
+{
+    using namespace eat;
+
+    // 1. Pick a workload model (mcf: 1.7 GB, pointer-chasing, the
+    //    paper's most page-walk-bound workload).
+    auto spec = workloads::findWorkload("mcf");
+    if (!spec) {
+        std::fprintf(stderr, "workload not found\n");
+        return 1;
+    }
+
+    // 2. Simulate it under two TLB organizations.
+    auto runUnder = [&](core::MmuOrg org) {
+        sim::SimConfig cfg;
+        cfg.workload = *spec;
+        cfg.mmu = core::MmuConfig::make(org);
+        cfg.simulateInstructions = 10'000'000;
+        return sim::simulate(cfg);
+    };
+    const auto thp = runUnder(core::MmuOrg::Thp);
+    const auto rmmLite = runUnder(core::MmuOrg::RmmLite);
+
+    // 3. Compare.
+    stats::TextTable table(
+        {"metric", "THP", "RMM_Lite", "RMM_Lite vs THP"});
+    auto rel = [](double a, double b) {
+        return b > 0 ? stats::TextTable::percent(a / b - 1.0) : "n/a";
+    };
+    table.addRow({"dynamic energy (pJ/kinstr)",
+                  stats::TextTable::num(thp.energyPerKiloInstr(), 1),
+                  stats::TextTable::num(rmmLite.energyPerKiloInstr(), 1),
+                  rel(rmmLite.energyPerKiloInstr(),
+                      thp.energyPerKiloInstr())});
+    table.addRow({"TLB-miss cycles (/kinstr)",
+                  stats::TextTable::num(thp.missCyclesPerKiloInstr(), 2),
+                  stats::TextTable::num(rmmLite.missCyclesPerKiloInstr(), 2),
+                  rel(rmmLite.missCyclesPerKiloInstr(),
+                      thp.missCyclesPerKiloInstr())});
+    table.addRow({"L1 TLB MPKI",
+                  stats::TextTable::num(thp.stats.l1Mpki(), 2),
+                  stats::TextTable::num(rmmLite.stats.l1Mpki(), 2), ""});
+    table.addRow({"L2 TLB MPKI (page walks)",
+                  stats::TextTable::num(thp.stats.l2Mpki(), 3),
+                  stats::TextTable::num(rmmLite.stats.l2Mpki(), 3), ""});
+    table.addRow({"range translations", "-",
+                  std::to_string(rmmLite.numRanges), ""});
+
+    std::cout << "quickstart: mcf under THP vs RMM_Lite\n\n";
+    table.print(std::cout);
+
+    std::cout << "\nRMM_Lite spends "
+              << stats::TextTable::percent(
+                     1.0 - rmmLite.energyPerKiloInstr() /
+                               thp.energyPerKiloInstr())
+              << " less dynamic energy on address translation.\n";
+    return 0;
+}

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * gem5-style status and error reporting helpers.
+ *
+ * panic() is for internal invariant violations (simulator bugs); fatal()
+ * is for user errors (bad configuration, invalid arguments). warn() and
+ * inform() report conditions without stopping the simulation.
+ */
+
+#ifndef EAT_BASE_LOGGING_HH
+#define EAT_BASE_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace eat
+{
+
+namespace detail
+{
+
+/** Terminate with an internal-error message; never returns. */
+[[noreturn]] void panicImpl(const char *file, int line, const std::string &msg);
+
+/** Terminate with a user-error message; never returns. */
+[[noreturn]] void fatalImpl(const char *file, int line, const std::string &msg);
+
+/** Print a warning to stderr. */
+void warnImpl(const std::string &msg);
+
+/** Print an informational message to stderr. */
+void informImpl(const std::string &msg);
+
+/** Stream-concatenate all arguments into a string. */
+template <typename... Args>
+std::string
+cat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+} // namespace detail
+
+#define eat_panic(...) \
+    ::eat::detail::panicImpl(__FILE__, __LINE__, ::eat::detail::cat(__VA_ARGS__))
+
+#define eat_fatal(...) \
+    ::eat::detail::fatalImpl(__FILE__, __LINE__, ::eat::detail::cat(__VA_ARGS__))
+
+#define eat_warn(...) \
+    ::eat::detail::warnImpl(::eat::detail::cat(__VA_ARGS__))
+
+#define eat_inform(...) \
+    ::eat::detail::informImpl(::eat::detail::cat(__VA_ARGS__))
+
+/** Assert an internal invariant; compiled in all build types. */
+#define eat_assert(cond, ...)                                             \
+    do {                                                                  \
+        if (!(cond)) {                                                    \
+            ::eat::detail::panicImpl(__FILE__, __LINE__,                  \
+                ::eat::detail::cat("assertion '", #cond, "' failed: ",    \
+                                   ##__VA_ARGS__));                       \
+        }                                                                 \
+    } while (0)
+
+} // namespace eat
+
+#endif // EAT_BASE_LOGGING_HH

@@ -1,0 +1,89 @@
+#include "core/config.hh"
+
+#include "base/logging.hh"
+
+namespace eat::core
+{
+
+std::string_view
+orgName(MmuOrg org)
+{
+    switch (org) {
+      case MmuOrg::Base4K: return "4KB";
+      case MmuOrg::Thp: return "THP";
+      case MmuOrg::TlbLite: return "TLB_Lite";
+      case MmuOrg::Rmm: return "RMM";
+      case MmuOrg::TlbPP: return "TLB_PP";
+      case MmuOrg::RmmLite: return "RMM_Lite";
+    }
+    return "?";
+}
+
+const std::vector<MmuOrg> &
+allOrgs()
+{
+    static const std::vector<MmuOrg> orgs = {
+        MmuOrg::Base4K, MmuOrg::Thp,   MmuOrg::TlbLite,
+        MmuOrg::Rmm,    MmuOrg::TlbPP, MmuOrg::RmmLite,
+    };
+    return orgs;
+}
+
+MmuConfig
+MmuConfig::make(MmuOrg org)
+{
+    MmuConfig cfg;
+    cfg.org = org;
+    switch (org) {
+      case MmuOrg::Base4K:
+      case MmuOrg::Thp:
+        break;
+      case MmuOrg::TlbLite:
+        cfg.liteEnabled = true;
+        cfg.lite.mode = lite::ThresholdMode::Relative;
+        cfg.lite.epsilonRelative = 0.125; // 1/8, paper §5
+        break;
+      case MmuOrg::Rmm:
+        cfg.hasL2Range = true;
+        break;
+      case MmuOrg::TlbPP:
+        cfg.mixedTlbs = true;
+        break;
+      case MmuOrg::RmmLite:
+        cfg.hasL1Range = true;
+        cfg.hasL2Range = true;
+        cfg.liteEnabled = true;
+        cfg.lite.mode = lite::ThresholdMode::Absolute;
+        cfg.lite.epsilonAbsoluteMpki = 0.1; // paper §5
+        break;
+    }
+    return cfg;
+}
+
+vm::OsPolicy
+MmuConfig::osPolicy() const
+{
+    vm::OsPolicy policy;
+    switch (org) {
+      case MmuOrg::Base4K:
+        break;
+      case MmuOrg::Thp:
+      case MmuOrg::TlbLite:
+      case MmuOrg::TlbPP:
+        policy.transparentHugePages = true;
+        break;
+      case MmuOrg::Rmm:
+        // RMM: THP plus perfect eager paging for range translations.
+        policy.transparentHugePages = true;
+        policy.eagerPaging = true;
+        break;
+      case MmuOrg::RmmLite:
+        // RMM_Lite supports 4 KB pages and range translations only
+        // (paper §5 configuration (vi)); no huge pages.
+        policy.eagerPaging = true;
+        break;
+    }
+    return policy;
+}
+
+} // namespace eat::core

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * The six simulated MMU organizations (paper §5, Figure 9).
+ *
+ *  - Base4K : 4 KB pages only (normalization baseline).
+ *  - Thp    : 4 KB + 2 MB transparent huge pages (state of practice).
+ *  - TlbLite: THP + the Lite way-disabling mechanism (relative
+ *             epsilon = 12.5%).
+ *  - Rmm    : THP + an L2-range TLB with perfect eager paging.
+ *  - TlbPP  : perfect TLB_Pred — a single set-associative L1 (and L2)
+ *             holding both page sizes with a perfect, zero-energy
+ *             page-size predictor.
+ *  - RmmLite: 4 KB pages + range translations in both TLB levels
+ *             (L1-range TLB) + Lite (absolute epsilon = 0.1 MPKI).
+ *
+ * All organizations share the Sandy Bridge-style backing hardware:
+ * 64-entry 4-way L1-4KB TLB, 32-entry 4-way L1-2MB TLB, 4-entry fully
+ * associative L1-1GB TLB, 512-entry 4-way L2 TLB, and the three-part
+ * MMU paging-structure cache. Structures whose page size a process
+ * never uses stay statically masked and consume no dynamic energy
+ * (paper §3.1).
+ */
+
+#ifndef EAT_CORE_CONFIG_HH
+#define EAT_CORE_CONFIG_HH
+
+#include <string_view>
+#include <vector>
+
+#include "base/types.hh"
+#include "lite/lite_controller.hh"
+#include "tlb/mmu_cache.hh"
+#include "vm/memory_manager.hh"
+
+namespace eat::core
+{
+
+/** The TLB organizations the paper evaluates. */
+enum class MmuOrg
+{
+    Base4K,
+    Thp,
+    TlbLite,
+    Rmm,
+    TlbPP,
+    RmmLite,
+};
+
+/** Display name ("4KB", "THP", "TLB_Lite", ...). */
+std::string_view orgName(MmuOrg org);
+
+/** All six organizations in the paper's presentation order. */
+const std::vector<MmuOrg> &allOrgs();
+
+/** Geometry of one set-associative TLB. */
+struct TlbGeom
+{
+    unsigned entries = 0;
+    unsigned ways = 0;
+};
+
+/** A fully resolved MMU configuration. */
+struct MmuConfig
+{
+    MmuOrg org = MmuOrg::Thp;
+
+    // --- structures ---
+    TlbGeom l1Tlb4K{64, 4};
+    TlbGeom l1Tlb2M{32, 4};
+    unsigned l1Tlb1GEntries = 4;  ///< fully associative
+    TlbGeom l2Tlb{512, 4};
+    unsigned l1RangeEntries = 4;  ///< fully associative
+    unsigned l2RangeEntries = 32; ///< fully associative
+    tlb::MmuCacheConfig mmuCache{};
+
+    bool hasL1Range = false; ///< RMM_Lite
+    bool hasL2Range = false; ///< RMM, RMM_Lite
+    bool mixedTlbs = false;  ///< TLB_PP: one L1/L2 holds both page sizes
+    bool liteEnabled = false;
+    lite::LiteParams lite{};
+
+    /**
+     * Paper §4.4: replace the per-size set-associative L1 page TLBs
+     * with a single fully associative L1 TLB holding every page size
+     * (SPARC/AMD style). Lite — when enabled — clusters the LRU
+     * distances as if the entries were ways and resizes the structure
+     * in powers of two.
+     */
+    bool combinedFullyAssocL1 = false;
+    unsigned combinedL1Entries = 64;
+
+    // --- performance model (paper Table 3) ---
+    Cycles l2HitLatency = 7;    ///< L1 TLB miss, L2 TLB lookup
+    Cycles pageWalkLatency = 50;///< L2 TLB miss, page walk
+
+    // --- energy model knobs ---
+    /**
+     * Fraction of page-walk memory references that hit in the L1 data
+     * cache (the Figure 3 locality knob; 1.0 = the paper's optimistic
+     * default). Misses are charged the L2-cache read energy.
+     */
+    double walkL1CacheHitRatio = 1.0;
+
+    /**
+     * Clock frequency for converting leakage power into static energy
+     * (paper §6.2: way-disabling plus power gating also saves leakage;
+     * E[pJ] = P[mW] * t[ns] at an assumed base CPI of 1).
+     */
+    double clockGhz = 2.0;
+
+    /** The canonical configuration for organization @p org. */
+    static MmuConfig make(MmuOrg org);
+
+    /** The OS allocation policy this organization assumes. */
+    vm::OsPolicy osPolicy() const;
+
+    std::string_view name() const { return orgName(org); }
+};
+
+} // namespace eat::core
+
+#endif // EAT_CORE_CONFIG_HH

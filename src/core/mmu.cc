@@ -1,0 +1,504 @@
+#include "core/mmu.hh"
+
+#include "base/logging.hh"
+#include "energy/coefficients.hh"
+
+namespace eat::core
+{
+
+namespace
+{
+
+using energy::StructClass;
+
+/** Coefficients for every power-of-two downsizing of a page TLB. */
+std::vector<energy::EnergyCoefficients>
+resizableCoeffs(const energy::CactiLite &cacti, StructClass cls,
+                const TlbGeom &geom)
+{
+    const unsigned sets = geom.entries / geom.ways;
+    std::vector<energy::EnergyCoefficients> out(floorLog2(geom.ways) + 1);
+    for (unsigned lw = 0; lw < out.size(); ++lw) {
+        const unsigned ways = 1u << lw;
+        out[lw] = cacti.estimate(cls, sets * ways, ways);
+    }
+    return out;
+}
+
+std::vector<energy::EnergyCoefficients>
+fixedCoeff(const energy::CactiLite &cacti, StructClass cls, unsigned entries,
+           unsigned ways)
+{
+    return {cacti.estimate(cls, entries, ways)};
+}
+
+} // namespace
+
+unsigned
+Mmu::logWaysOf(const tlb::SetAssocTlb &t)
+{
+    return floorLog2(t.activeWays());
+}
+
+Mmu::Mmu(const MmuConfig &config, const vm::PageTable &pageTable,
+         const vm::RangeTable *rangeTable)
+    : cfg_(config),
+      pageTable_(pageTable),
+      rangeTable_(rangeTable),
+      mmuCache_(config.mmuCache),
+      walker_(pageTable, mmuCache_)
+{
+    eat_assert(!(cfg_.mixedTlbs && cfg_.combinedFullyAssocL1),
+               "mixedTlbs (TLB_PP) and combinedFullyAssocL1 are "
+               "mutually exclusive L1 organizations");
+
+    // --- build the structures ---
+    if (cfg_.combinedFullyAssocL1) {
+        // §4.4: one fully associative L1 holds every page size; a
+        // fully associative structure matches mixed sizes natively.
+        l1Page4K_ = std::make_unique<tlb::SetAssocTlb>(
+            "L1-combined TLB", cfg_.combinedL1Entries,
+            cfg_.combinedL1Entries, 12);
+    } else {
+        l1Page4K_ = std::make_unique<tlb::SetAssocTlb>(
+            cfg_.mixedTlbs ? "L1-mixed TLB" : "L1-4KB TLB",
+            cfg_.l1Tlb4K.entries, cfg_.l1Tlb4K.ways, 12);
+    }
+    l2Page_ = std::make_unique<tlb::SetAssocTlb>(
+        cfg_.mixedTlbs ? "L2-mixed TLB" : "L2-4KB TLB", cfg_.l2Tlb.entries,
+        cfg_.l2Tlb.ways, 12);
+
+    if (!cfg_.mixedTlbs && !cfg_.combinedFullyAssocL1) {
+        l1Page2M_ = std::make_unique<tlb::SetAssocTlb>(
+            "L1-2MB TLB", cfg_.l1Tlb2M.entries, cfg_.l1Tlb2M.ways, 21);
+        l1Page1G_ = std::make_unique<tlb::FullyAssocTlb>(
+            "L1-1GB TLB", cfg_.l1Tlb1GEntries, 30);
+    }
+
+    if (cfg_.hasL1Range)
+        l1Range_ = std::make_unique<tlb::RangeTlb>("L1-range TLB",
+                                                   cfg_.l1RangeEntries);
+    if (cfg_.hasL2Range)
+        l2Range_ = std::make_unique<tlb::RangeTlb>("L2-range TLB",
+                                                   cfg_.l2RangeEntries);
+    if (cfg_.hasL1Range || cfg_.hasL2Range) {
+        eat_assert(rangeTable_ != nullptr,
+                   "range TLBs require a range table");
+        rangeWalker_ = std::make_unique<tlb::RangeTableWalker>(*rangeTable_);
+    }
+
+    if (cfg_.liteEnabled) {
+        eat_assert(!cfg_.mixedTlbs,
+                   "Lite on mixed TLBs is not modeled (the paper applies "
+                   "Lite to per-size L1 TLBs)");
+        std::vector<tlb::SetAssocTlb *> monitored{l1Page4K_.get()};
+        if (l1Page2M_)
+            monitored.push_back(l1Page2M_.get());
+        if (l1Page1G_)
+            monitored.push_back(l1Page1G_.get());
+        lite_ = std::make_unique<lite::LiteController>(cfg_.lite,
+                                                       std::move(monitored));
+    }
+
+    // --- energy coefficients ---
+    if (cfg_.combinedFullyAssocL1) {
+        m4K_.coeffByLogWays = resizableCoeffs(
+            cacti_, StructClass::L1TlbMixedFA,
+            TlbGeom{cfg_.combinedL1Entries, cfg_.combinedL1Entries});
+    } else {
+        m4K_.coeffByLogWays =
+            resizableCoeffs(cacti_, StructClass::L1Tlb4K, cfg_.l1Tlb4K);
+    }
+    mL2_.coeffByLogWays =
+        fixedCoeff(cacti_, StructClass::L2Tlb4K, cfg_.l2Tlb.entries,
+                   cfg_.l2Tlb.ways);
+    if (l1Page2M_) {
+        m2M_.coeffByLogWays =
+            resizableCoeffs(cacti_, StructClass::L1Tlb2M, cfg_.l1Tlb2M);
+        m1G_.coeffByLogWays = resizableCoeffs(
+            cacti_, StructClass::L1Tlb1G,
+            TlbGeom{cfg_.l1Tlb1GEntries, cfg_.l1Tlb1GEntries});
+    }
+    if (l1Range_) {
+        mL1Range_.coeffByLogWays = fixedCoeff(
+            cacti_, StructClass::L1RangeTlb, cfg_.l1RangeEntries, 0);
+    }
+    if (l2Range_) {
+        mL2Range_.coeffByLogWays = fixedCoeff(
+            cacti_, StructClass::L2RangeTlb, cfg_.l2RangeEntries, 0);
+    }
+    mPde_.coeffByLogWays =
+        fixedCoeff(cacti_, StructClass::MmuPde, cfg_.mmuCache.pdeEntries,
+                   cfg_.mmuCache.pdeWays);
+    mPdpte_.coeffByLogWays = fixedCoeff(
+        cacti_, StructClass::MmuPdpte, cfg_.mmuCache.pdpteEntries, 0);
+    mPml4_.coeffByLogWays =
+        fixedCoeff(cacti_, StructClass::MmuPml4, cfg_.mmuCache.pml4Entries, 0);
+
+    // Page-walk references: a blend of L1 and L2 data-cache reads
+    // controlled by the Figure-3 locality knob.
+    const auto l1c = cacti_.estimate(StructClass::L1Cache, 512, 8);
+    const double h = cfg_.walkL1CacheHitRatio;
+    eat_assert(h >= 0.0 && h <= 1.0, "walkL1CacheHitRatio out of [0,1]");
+    walkRefEnergy_ = h * l1c.read + (1.0 - h) * cacti_.l2CacheReadEnergy();
+
+    stats_.l1WayLookups4K.ensureBuckets(floorLog2(cfg_.l1Tlb4K.ways) + 1);
+    if (l1Page2M_)
+        stats_.l1WayLookups2M.ensureBuckets(floorLog2(cfg_.l1Tlb2M.ways) + 1);
+}
+
+void
+Mmu::chargeRead(Metered &m, unsigned logWays)
+{
+    eat_assert(logWays < m.coeffByLogWays.size(), "bad coefficient index");
+    m.meter.chargeRead(m.coeffByLogWays[logWays].read);
+}
+
+void
+Mmu::chargeWrite(Metered &m, unsigned logWays)
+{
+    eat_assert(logWays < m.coeffByLogWays.size(), "bad coefficient index");
+    m.meter.chargeWrite(m.coeffByLogWays[logWays].write);
+}
+
+void
+Mmu::chargeWalkMemory(unsigned refs, bool rangeWalk)
+{
+    auto &meter = rangeWalk ? rangeWalkMemMeter_ : walkMemMeter_;
+    for (unsigned i = 0; i < refs; ++i)
+        meter.chargeRead(walkRefEnergy_);
+}
+
+vm::PageSize
+Mmu::predictPageSize(Addr vaddr) const
+{
+    // TLB_PP's predictor is perfect and free (paper §5): consult the
+    // page table directly without charging energy.
+    auto t = pageTable_.translate(vaddr);
+    if (!t)
+        eat_panic("TLB_PP oracle consulted for unmapped address ", vaddr);
+    return t->size;
+}
+
+void
+Mmu::fillL1Page(const tlb::TlbEntry &entry)
+{
+    if (cfg_.mixedTlbs || cfg_.combinedFullyAssocL1) {
+        chargeWrite(m4K_, logWaysOf(*l1Page4K_));
+        l1Page4K_->fill(entry);
+        return;
+    }
+    switch (entry.size) {
+      case vm::PageSize::Size4K:
+        chargeWrite(m4K_, logWaysOf(*l1Page4K_));
+        l1Page4K_->fill(entry);
+        break;
+      case vm::PageSize::Size2M:
+        enabled2M_ = true; // naive static mask lifts on first 2 MB fill
+        chargeWrite(m2M_, logWaysOf(*l1Page2M_));
+        l1Page2M_->fill(entry);
+        break;
+      case vm::PageSize::Size1G:
+        enabled1G_ = true;
+        chargeWrite(m1G_, logWaysOf(*l1Page1G_));
+        l1Page1G_->fill(entry);
+        break;
+    }
+}
+
+void
+Mmu::access(Addr vaddr)
+{
+    ++stats_.memOps;
+
+    // ------------------------------------------------------------------
+    // L1: all enabled structures searched in parallel.
+    // ------------------------------------------------------------------
+    bool rangeHit = false;
+    if (l1Range_ && enabledL1Range_) {
+        chargeRead(mL1Range_);
+        if (l1Range_->lookup(vaddr))
+            rangeHit = true;
+    }
+
+    bool pageHit = false;
+    HitSource pageSource = HitSource::L1Page4K;
+
+    if (cfg_.mixedTlbs) {
+        const vm::PageSize predicted = predictPageSize(vaddr);
+        chargeRead(m4K_, logWaysOf(*l1Page4K_));
+        stats_.l1WayLookups4K.record(logWaysOf(*l1Page4K_));
+        auto res =
+            l1Page4K_->lookupWithShift(vaddr, vm::pageShift(predicted));
+        if (res.hit) {
+            pageHit = true;
+            pageSource = HitSource::L1Page4K;
+        }
+    } else if (cfg_.combinedFullyAssocL1) {
+        // One fully associative lookup serves every page size; Lite
+        // clusters its LRU distances as pseudo-ways (§4.4).
+        chargeRead(m4K_, logWaysOf(*l1Page4K_));
+        stats_.l1WayLookups4K.record(logWaysOf(*l1Page4K_));
+        auto res = l1Page4K_->lookup(vaddr);
+        if (res.hit) {
+            pageHit = true;
+            pageSource = HitSource::L1Page4K;
+            if (lite_)
+                lite_->onTlbHit(0, res.lruDistance, true);
+        }
+    } else if (rangeHit) {
+        // The range translation provides this lookup; the parallel
+        // page-TLB probes still burn lookup energy, but the entries are
+        // not *used*, so their recency state is not refreshed (and Lite
+        // records no utility). Without this, range-covered entries
+        // would pin themselves at the MRU end forever and mask the
+        // utility signal of the traffic only the page TLBs serve.
+        chargeRead(m4K_, logWaysOf(*l1Page4K_));
+        stats_.l1WayLookups4K.record(logWaysOf(*l1Page4K_));
+        if (enabled2M_) {
+            chargeRead(m2M_, logWaysOf(*l1Page2M_));
+            stats_.l1WayLookups2M.record(logWaysOf(*l1Page2M_));
+        }
+        if (enabled1G_)
+            chargeRead(m1G_, logWaysOf(*l1Page1G_));
+    } else {
+        // L1-4KB TLB: always enabled.
+        chargeRead(m4K_, logWaysOf(*l1Page4K_));
+        stats_.l1WayLookups4K.record(logWaysOf(*l1Page4K_));
+        auto res4k = l1Page4K_->lookup(vaddr);
+        if (res4k.hit) {
+            pageHit = true;
+            pageSource = HitSource::L1Page4K;
+            if (lite_)
+                lite_->onTlbHit(0, res4k.lruDistance, true);
+        }
+
+        if (enabled2M_) {
+            chargeRead(m2M_, logWaysOf(*l1Page2M_));
+            stats_.l1WayLookups2M.record(logWaysOf(*l1Page2M_));
+            auto res2m = l1Page2M_->lookup(vaddr);
+            if (res2m.hit) {
+                eat_assert(!pageHit, "address mapped by two page sizes");
+                pageHit = true;
+                pageSource = HitSource::L1Page2M;
+                if (lite_)
+                    lite_->onTlbHit(1, res2m.lruDistance, true);
+            }
+        }
+        if (enabled1G_) {
+            chargeRead(m1G_, logWaysOf(*l1Page1G_));
+            auto res1g = l1Page1G_->lookup(vaddr);
+            if (res1g.hit) {
+                eat_assert(!pageHit, "address mapped by two page sizes");
+                pageHit = true;
+                pageSource = HitSource::L1Page1G;
+                if (lite_)
+                    lite_->onTlbHit(2, res1g.lruDistance, true);
+            }
+        }
+    }
+
+    if (rangeHit || pageHit) {
+        ++stats_.l1Hits;
+        const HitSource src = rangeHit ? HitSource::L1Range : pageSource;
+        ++stats_.hitsBySource[static_cast<unsigned>(src)];
+        return; // L1 hits are free (parallel with the L1 data cache).
+    }
+
+    // ------------------------------------------------------------------
+    // L1 miss: the enabled L2 structures are searched in parallel.
+    // ------------------------------------------------------------------
+    ++stats_.l1Misses;
+    stats_.l1MissCycles += cfg_.l2HitLatency;
+    if (lite_)
+        lite_->onL1Miss();
+
+    std::optional<vm::RangeTranslation> l2r;
+    if (l2Range_ && enabledL2Range_) {
+        chargeRead(mL2Range_);
+        l2r = l2Range_->lookup(vaddr);
+    }
+
+    tlb::TlbLookupResult l2res;
+    chargeRead(mL2_);
+    if (cfg_.mixedTlbs) {
+        l2res = l2Page_->lookupWithShift(
+            vaddr, vm::pageShift(predictPageSize(vaddr)));
+    } else {
+        // The L2 TLB holds 4 KB entries only (Sandy Bridge, Table 1);
+        // 2 MB translations live solely in the L1-2MB TLB.
+        l2res = l2Page_->lookup(vaddr);
+    }
+
+    if (l2r) {
+        // L2-range hit: copy the range into the L1-range TLB, plus the
+        // corresponding page-table entry into the L1-page TLBs (RMM).
+        // The PTE is synthesized from the range translation at the
+        // page size the page table uses for this address — the two
+        // mappings are redundant by construction.
+        ++stats_.l2Hits;
+        ++stats_.hitsBySource[static_cast<unsigned>(HitSource::L2Range)];
+        if (l1Range_) {
+            enabledL1Range_ = true;
+            chargeWrite(mL1Range_);
+            l1Range_->fill(*l2r);
+        }
+        auto t = pageTable_.translate(vaddr);
+        if (!t)
+            eat_panic("range translation without page mapping at ", vaddr);
+        fillL1Page(tlb::makePageEntry(vaddr, t->pbase, t->size));
+        return;
+    }
+    if (l2res.hit) {
+        ++stats_.l2Hits;
+        ++stats_.hitsBySource[static_cast<unsigned>(HitSource::L2Page)];
+        fillL1Page(l2res.entry);
+        return;
+    }
+
+    // ------------------------------------------------------------------
+    // L2 miss: page walk (plus background range-table walk under RMM).
+    // ------------------------------------------------------------------
+    ++stats_.l2Misses;
+    stats_.walkCycles += cfg_.pageWalkLatency;
+    ++stats_.hitsBySource[static_cast<unsigned>(HitSource::PageWalk)];
+
+    const auto walk = walker_.walk(vaddr);
+
+    // All three paging-structure caches are probed in parallel.
+    chargeRead(mPde_);
+    chargeRead(mPdpte_);
+    chargeRead(mPml4_);
+    if (walk.cache.filledPde)
+        chargeWrite(mPde_);
+    if (walk.cache.filledPdpte)
+        chargeWrite(mPdpte_);
+    if (walk.cache.filledPml4)
+        chargeWrite(mPml4_);
+
+    stats_.walkMemRefs += walk.cache.memRefs;
+    chargeWalkMemory(walk.cache.memRefs, false);
+
+    const auto entry = tlb::makePageEntry(
+        vaddr, walk.translation.pbase, walk.translation.size);
+    fillL1Page(entry);
+    // The L2 TLB holds 4 KB entries only (Sandy Bridge), except for
+    // TLB_PP's mixed L2.
+    if (cfg_.mixedTlbs || entry.size == vm::PageSize::Size4K) {
+        chargeWrite(mL2_);
+        l2Page_->fill(entry);
+    }
+
+    if (rangeWalker_) {
+        // The range-table walk happens in the background: dynamic
+        // energy, zero cycles (paper §5).
+        const auto rw = rangeWalker_->walk(vaddr);
+        ++stats_.rangeWalks;
+        stats_.rangeWalkMemRefs += rw.memRefs;
+        chargeWalkMemory(rw.memRefs, true);
+        if (rw.range && l2Range_) {
+            enabledL2Range_ = true;
+            chargeWrite(mL2Range_);
+            l2Range_->fill(*rw.range);
+        }
+    }
+}
+
+MilliWatts
+Mmu::leakagePower(bool gated) const
+{
+    auto leak = [gated](const Metered &m, unsigned logWays) {
+        const auto idx =
+            gated ? logWays
+                  : static_cast<unsigned>(m.coeffByLogWays.size() - 1);
+        return idx < m.coeffByLogWays.size()
+                   ? m.coeffByLogWays[idx].leakage
+                   : 0.0;
+    };
+    MilliWatts total = leak(m4K_, logWaysOf(*l1Page4K_)) + leak(mL2_, 0) +
+                       leak(mPde_, 0) + leak(mPdpte_, 0) +
+                       leak(mPml4_, 0);
+    if (l1Page2M_ && enabled2M_)
+        total += leak(m2M_, logWaysOf(*l1Page2M_));
+    if (l1Page1G_ && enabled1G_)
+        total += leak(m1G_, logWaysOf(*l1Page1G_));
+    if (l1Range_ && enabledL1Range_)
+        total += leak(mL1Range_, 0);
+    if (l2Range_ && enabledL2Range_)
+        total += leak(mL2Range_, 0);
+    return total;
+}
+
+void
+Mmu::tick(InstrCount n)
+{
+    stats_.instructions += n;
+
+    // Static energy (paper §6.2): with a base CPI of 1, n instructions
+    // take n / f nanoseconds, and pJ = mW * ns.
+    const double ns = static_cast<double>(n) / cfg_.clockGhz;
+    staticGatedPj_ += leakagePower(true) * ns;
+    staticFullPj_ += leakagePower(false) * ns;
+
+    if (!lite_)
+        return;
+    instrTowardInterval_ += n;
+    const auto interval = cfg_.lite.intervalInstructions;
+    while (instrTowardInterval_ >= interval) {
+        lite_->onIntervalEnd(interval);
+        instrTowardInterval_ -= interval;
+    }
+}
+
+energy::EnergyReport
+Mmu::energyReport() const
+{
+    energy::EnergyReport report;
+    auto addStruct = [&report](const std::string &name, const Metered &m,
+                               PicoJoules &category) {
+        if (m.meter.reads() == 0 && m.meter.writes() == 0)
+            return;
+        category += m.meter.total();
+        report.structs.push_back({name, m.meter.reads(), m.meter.writes(),
+                                  m.meter.readEnergy(),
+                                  m.meter.writeEnergy()});
+    };
+
+    auto &b = report.breakdown;
+    addStruct(l1Page4K_->name(), m4K_, b.l1Tlb);
+    if (l1Page2M_)
+        addStruct(l1Page2M_->name(), m2M_, b.l1Tlb);
+    if (l1Page1G_)
+        addStruct(l1Page1G_->name(), m1G_, b.l1Tlb);
+    if (l1Range_)
+        addStruct(l1Range_->name(), mL1Range_, b.l1Tlb);
+    addStruct(l2Page_->name(), mL2_, b.l2Tlb);
+    if (l2Range_)
+        addStruct(l2Range_->name(), mL2Range_, b.l2Tlb);
+    addStruct("MMU-cache-PDE", mPde_, b.mmuCache);
+    addStruct("MMU-cache-PDPTE", mPdpte_, b.mmuCache);
+    addStruct("MMU-cache-PML4", mPml4_, b.mmuCache);
+
+    b.pageWalkMem = walkMemMeter_.total();
+    if (walkMemMeter_.reads() > 0) {
+        report.structs.push_back({"page-walk memory", walkMemMeter_.reads(),
+                                  0, walkMemMeter_.readEnergy(), 0.0});
+    }
+    b.rangeWalkMem = rangeWalkMemMeter_.total();
+    if (rangeWalkMemMeter_.reads() > 0) {
+        report.structs.push_back({"range-walk memory",
+                                  rangeWalkMemMeter_.reads(), 0,
+                                  rangeWalkMemMeter_.readEnergy(), 0.0});
+    }
+
+    // Leakage of the currently active configuration and the static
+    // energy integrals (companion metrics; the headline results are
+    // dynamic energy).
+    report.leakagePower = leakagePower(true);
+    report.staticEnergyGated = staticGatedPj_;
+    report.staticEnergyFull = staticFullPj_;
+
+    return report;
+}
+
+} // namespace eat::core

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * The per-core MMU: the complete address-translation datapath.
+ *
+ * One Mmu instance wires up the TLB hierarchy of a configuration
+ * (core/config.hh), charges the Table-3 energy model on every access,
+ * applies the Table-3 cycle model, and drives the Lite controller at
+ * interval boundaries.
+ *
+ * Lookup datapath per memory operation:
+ *
+ *   1. All *enabled* L1 structures are searched in parallel (each one
+ *      charged a read). A structure for a page size (or for ranges) is
+ *      statically masked — zero energy — until the first walk fetches
+ *      an entry of its kind (paper §3.1).
+ *   2. On an L1 miss, the enabled L2 structures are searched in
+ *      parallel (7 cycles). An L2-page hit refills the matching L1
+ *      TLB; an L2-range hit refills the L1-range TLB (if present) and
+ *      a synthesized 4 KB entry into the L1-4KB TLB (RMM semantics).
+ *   3. On an L2 miss, the page walk runs (50 cycles): the MMU caches
+ *      determine the 1-4 memory references, and in RMM configurations
+ *      the range-table walker additionally runs in the background
+ *      (energy, no cycles) and refills the L2-range TLB.
+ */
+
+#ifndef EAT_CORE_MMU_HH
+#define EAT_CORE_MMU_HH
+
+#include <array>
+#include <memory>
+#include <vector>
+
+#include "core/config.hh"
+#include "core/mmu_stats.hh"
+#include "energy/account.hh"
+#include "energy/cacti_lite.hh"
+#include "lite/lite_controller.hh"
+#include "tlb/fully_assoc_tlb.hh"
+#include "tlb/mmu_cache.hh"
+#include "tlb/page_walker.hh"
+#include "tlb/range_tlb.hh"
+#include "tlb/range_walker.hh"
+#include "tlb/set_assoc_tlb.hh"
+#include "vm/page_table.hh"
+#include "vm/range_table.hh"
+
+namespace eat::core
+{
+
+/** The per-core memory management unit. */
+class Mmu
+{
+  public:
+    /**
+     * @param config the organization to simulate.
+     * @param pageTable the process's page table (authoritative; also
+     *        the zero-cost oracle for TLB_PP's perfect predictor).
+     * @param rangeTable the process's range table; required when the
+     *        configuration has range TLBs, ignored otherwise.
+     */
+    Mmu(const MmuConfig &config, const vm::PageTable &pageTable,
+        const vm::RangeTable *rangeTable);
+
+    /** Translate one memory operation at @p vaddr. */
+    void access(Addr vaddr);
+
+    /** Retire @p n instructions (drives Lite's interval clock). */
+    void tick(InstrCount n);
+
+    const MmuConfig &config() const { return cfg_; }
+    const MmuStats &stats() const { return stats_; }
+
+    /** Full energy report (Table-3 model; Figure 2/10 breakdown). */
+    energy::EnergyReport energyReport() const;
+
+    /** The Lite controller, or nullptr when Lite is disabled. */
+    const lite::LiteController *lite() const { return lite_.get(); }
+
+    // --- introspection for tests and reports ---
+    tlb::SetAssocTlb &l1Tlb4K() { return *l1Page4K_; }
+    tlb::SetAssocTlb *l1Tlb2M() { return l1Page2M_.get(); }
+    tlb::SetAssocTlb *l1Tlb1G() { return l1Page1G_.get(); }
+    tlb::SetAssocTlb &l2Tlb() { return *l2Page_; }
+    tlb::RangeTlb *l1RangeTlb() { return l1Range_.get(); }
+    tlb::RangeTlb *l2RangeTlb() { return l2Range_.get(); }
+    tlb::MmuCache &mmuCache() { return mmuCache_; }
+
+    bool l1Tlb2MEnabled() const { return enabled2M_; }
+    bool l1RangeEnabled() const { return enabledL1Range_; }
+    bool l2RangeEnabled() const { return enabledL2Range_; }
+
+  private:
+    /** A structure's energy meter plus its (resizable) coefficients. */
+    struct Metered
+    {
+        energy::EnergyMeter meter;
+        /** Read/write coefficients indexed by log2(active ways); fixed
+         *  structures use index 0 only. */
+        std::vector<energy::EnergyCoefficients> coeffByLogWays;
+        MilliWatts fullLeakage = 0.0;
+    };
+
+    void chargeRead(Metered &m, unsigned logWays = 0);
+    void chargeWrite(Metered &m, unsigned logWays = 0);
+    void chargeWalkMemory(unsigned refs, bool rangeWalk);
+
+    /**
+     * Leakage power of the enabled structures. @p gated uses the
+     * currently active way counts (disabled ways power-gated, §6.2);
+     * otherwise every way of every enabled structure leaks.
+     */
+    MilliWatts leakagePower(bool gated) const;
+
+    /** Fill a page entry into the right L1 structure (+ enable mask). */
+    void fillL1Page(const tlb::TlbEntry &entry);
+
+    /** Perfect page-size oracle for TLB_PP. */
+    vm::PageSize predictPageSize(Addr vaddr) const;
+
+    static unsigned logWaysOf(const tlb::SetAssocTlb &t);
+
+    MmuConfig cfg_;
+    const vm::PageTable &pageTable_;
+    const vm::RangeTable *rangeTable_;
+
+    // Structures. l1Page4K_ doubles as the mixed L1 in TLB_PP mode, and
+    // l2Page_ as the mixed L2.
+    std::unique_ptr<tlb::SetAssocTlb> l1Page4K_;
+    std::unique_ptr<tlb::SetAssocTlb> l1Page2M_;
+    std::unique_ptr<tlb::FullyAssocTlb> l1Page1G_;
+    std::unique_ptr<tlb::SetAssocTlb> l2Page_;
+    std::unique_ptr<tlb::RangeTlb> l1Range_;
+    std::unique_ptr<tlb::RangeTlb> l2Range_;
+    tlb::MmuCache mmuCache_;
+    tlb::PageWalker walker_;
+    std::unique_ptr<tlb::RangeTableWalker> rangeWalker_;
+    std::unique_ptr<lite::LiteController> lite_;
+
+    // Static masks (paper §3.1): a structure consumes energy only after
+    // the first fill of its kind. The 4 KB structures start enabled.
+    bool enabled2M_ = false;
+    bool enabled1G_ = false;
+    bool enabledL1Range_ = false;
+    bool enabledL2Range_ = false;
+
+    // Energy meters.
+    Metered m4K_, m2M_, m1G_, mL2_, mL1Range_, mL2Range_;
+    Metered mPde_, mPdpte_, mPml4_;
+    energy::EnergyMeter walkMemMeter_;
+    energy::EnergyMeter rangeWalkMemMeter_;
+    PicoJoules walkRefEnergy_ = 0.0; ///< blended L1/L2 cache read energy
+
+    MmuStats stats_;
+    InstrCount instrTowardInterval_ = 0;
+
+    // Static (leakage) energy integrals (paper §6.2).
+    PicoJoules staticGatedPj_ = 0.0;
+    PicoJoules staticFullPj_ = 0.0;
+
+    energy::CactiLite cacti_;
+};
+
+} // namespace eat::core
+
+#endif // EAT_CORE_MMU_HH

@@ -1,0 +1,46 @@
+#include "core/mmu_stats.hh"
+
+#include "stats/counter.hh"
+
+namespace eat::core
+{
+
+std::string_view
+hitSourceName(HitSource src)
+{
+    switch (src) {
+      case HitSource::L1Page4K: return "L1-4KB";
+      case HitSource::L1Page2M: return "L1-2MB";
+      case HitSource::L1Page1G: return "L1-1GB";
+      case HitSource::L1Range: return "L1-range";
+      case HitSource::L2Page: return "L2-page";
+      case HitSource::L2Range: return "L2-range";
+      case HitSource::PageWalk: return "page-walk";
+      case HitSource::Count: break;
+    }
+    return "?";
+}
+
+double
+MmuStats::l1Mpki() const
+{
+    return stats::mpki(l1Misses, instructions);
+}
+
+double
+MmuStats::l2Mpki() const
+{
+    return stats::mpki(l2Misses, instructions);
+}
+
+double
+MmuStats::tlbMissCycleFraction() const
+{
+    const double base = static_cast<double>(instructions);
+    const double miss = static_cast<double>(tlbMissCycles());
+    if (base + miss == 0.0)
+        return 0.0;
+    return miss / (base + miss);
+}
+
+} // namespace eat::core

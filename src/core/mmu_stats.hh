@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Aggregate statistics of one MMU simulation.
+ */
+
+#ifndef EAT_CORE_MMU_STATS_HH
+#define EAT_CORE_MMU_STATS_HH
+
+#include <array>
+#include <cstdint>
+
+#include "base/types.hh"
+#include "stats/histogram.hh"
+
+namespace eat::core
+{
+
+/** Which structure ultimately served a memory operation. */
+enum class HitSource : unsigned
+{
+    L1Page4K,
+    L1Page2M,
+    L1Page1G,
+    L1Range,
+    L2Page,
+    L2Range,
+    PageWalk,
+    Count,
+};
+
+/** Display name of a hit source. */
+std::string_view hitSourceName(HitSource src);
+
+/** Raw event counts and the paper's derived performance metrics. */
+struct MmuStats
+{
+    InstrCount instructions = 0;
+    std::uint64_t memOps = 0;
+
+    std::uint64_t l1Hits = 0;
+    std::uint64_t l1Misses = 0; ///< lookups that missed every L1 structure
+    std::uint64_t l2Hits = 0;
+    std::uint64_t l2Misses = 0; ///< page walks
+
+    std::uint64_t walkMemRefs = 0;      ///< page-walk memory references
+    std::uint64_t rangeWalks = 0;       ///< background range-table walks
+    std::uint64_t rangeWalkMemRefs = 0;
+
+    Cycles l1MissCycles = 0; ///< l1Misses * L2 hit latency
+    Cycles walkCycles = 0;   ///< l2Misses * page-walk latency
+
+    std::array<std::uint64_t, static_cast<unsigned>(HitSource::Count)>
+        hitsBySource{};
+
+    /** Lookups of the L1-4KB TLB bucketed by log2(active ways). */
+    stats::Histogram l1WayLookups4K;
+    /** Lookups of the L1-2MB TLB bucketed by log2(active ways). */
+    stats::Histogram l1WayLookups2M;
+
+    std::uint64_t
+    hits(HitSource src) const
+    {
+        return hitsBySource[static_cast<unsigned>(src)];
+    }
+
+    /** Total cycles spent in TLB misses (Table 3 performance model). */
+    Cycles tlbMissCycles() const { return l1MissCycles + walkCycles; }
+
+    /** L1 TLB misses per kilo-instruction. */
+    double l1Mpki() const;
+
+    /** L2 TLB misses (page walks) per kilo-instruction. */
+    double l2Mpki() const;
+
+    /**
+     * Fraction of execution time spent in TLB misses assuming a base
+     * CPI of 1 (how the paper reports "cycles spent in TLB misses").
+     */
+    double tlbMissCycleFraction() const;
+};
+
+} // namespace eat::core
+
+#endif // EAT_CORE_MMU_STATS_HH

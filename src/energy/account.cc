@@ -1,0 +1,9 @@
+#include "energy/account.hh"
+
+// EnergyMeter and the report structs are header-only; this translation
+// unit anchors the module in the library and is the natural home for any
+// future out-of-line accounting logic.
+
+namespace eat::energy
+{
+} // namespace eat::energy

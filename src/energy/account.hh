@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Dynamic-energy accounting (the Table-3 energy model of the paper).
+ *
+ * Each hardware structure owns an EnergyMeter; the MMU charges it on
+ * every lookup (read) and fill (write):
+ *
+ *   E_struct     = A * E_read + M * E_write
+ *   E_page_walks = Mem * E_read(L1 cache)      [scaled by walk locality]
+ *   E_total      = sum(E_struct) + E_page_walks
+ *
+ * The per-operation coefficients can change over time (Lite resizes the
+ * L1 TLBs), so energy is accumulated online rather than derived from
+ * event counts at report time.
+ */
+
+#ifndef EAT_ENERGY_ACCOUNT_HH
+#define EAT_ENERGY_ACCOUNT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/types.hh"
+
+namespace eat::energy
+{
+
+/** Accumulates the dynamic energy and event counts of one structure. */
+class EnergyMeter
+{
+  public:
+    /** Charge one read (lookup) of @p pj picojoules. */
+    void
+    chargeRead(PicoJoules pj)
+    {
+        readEnergy_ += pj;
+        ++reads_;
+    }
+
+    /** Charge one write (fill) of @p pj picojoules. */
+    void
+    chargeWrite(PicoJoules pj)
+    {
+        writeEnergy_ += pj;
+        ++writes_;
+    }
+
+    PicoJoules readEnergy() const { return readEnergy_; }
+    PicoJoules writeEnergy() const { return writeEnergy_; }
+    PicoJoules total() const { return readEnergy_ + writeEnergy_; }
+    std::uint64_t reads() const { return reads_; }
+    std::uint64_t writes() const { return writes_; }
+
+    void
+    reset()
+    {
+        readEnergy_ = writeEnergy_ = 0.0;
+        reads_ = writes_ = 0;
+    }
+
+  private:
+    PicoJoules readEnergy_ = 0.0;
+    PicoJoules writeEnergy_ = 0.0;
+    std::uint64_t reads_ = 0;
+    std::uint64_t writes_ = 0;
+};
+
+/**
+ * The categories the paper's Figure 2/10 stacked bars use, plus the
+ * range-walk category RMM adds.
+ */
+struct EnergyBreakdown
+{
+    PicoJoules l1Tlb = 0.0;      ///< all L1 page/range TLBs
+    PicoJoules l2Tlb = 0.0;      ///< all L2 page/range TLBs
+    PicoJoules mmuCache = 0.0;   ///< paging-structure caches
+    PicoJoules pageWalkMem = 0.0;///< page-walk memory references
+    PicoJoules rangeWalkMem = 0.0;///< range-table-walk memory references
+
+    PicoJoules
+    total() const
+    {
+        return l1Tlb + l2Tlb + mmuCache + pageWalkMem + rangeWalkMem;
+    }
+};
+
+/** One named row of a per-structure energy report. */
+struct StructEnergyRow
+{
+    std::string name;
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    PicoJoules readEnergy = 0.0;
+    PicoJoules writeEnergy = 0.0;
+};
+
+/** A full energy report: breakdown plus per-structure rows. */
+struct EnergyReport
+{
+    EnergyBreakdown breakdown;
+    std::vector<StructEnergyRow> structs;
+    MilliWatts leakagePower = 0.0; ///< leakage of the active configuration
+
+    /**
+     * Static (leakage) energy integrated over the run, assuming
+     * disabled ways are power-gated (paper §6.2).
+     */
+    PicoJoules staticEnergyGated = 0.0;
+
+    /** Static energy had every way leaked for the whole run. */
+    PicoJoules staticEnergyFull = 0.0;
+};
+
+} // namespace eat::energy
+
+#endif // EAT_ENERGY_ACCOUNT_HH

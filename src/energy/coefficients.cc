@@ -1,0 +1,76 @@
+#include "energy/coefficients.hh"
+
+#include <array>
+
+namespace eat::energy
+{
+
+namespace
+{
+
+struct Anchor
+{
+    StructClass cls;
+    unsigned entries;
+    unsigned ways; // 0 = fully associative
+    EnergyCoefficients coeff;
+};
+
+// Table 2 of the paper, verbatim: dynamic energy per read and write
+// operation (pJ) and leakage power (mW), CACTI-P at 32 nm.
+constexpr std::array<Anchor, 13> kTable2 = {{
+    {StructClass::L1Tlb4K, 64, 4, {5.865, 6.858, 0.3632}},
+    {StructClass::L1Tlb4K, 32, 2, {1.881, 2.377, 0.1491}},
+    {StructClass::L1Tlb4K, 16, 1, {0.697, 0.945, 0.0636}},
+    {StructClass::L1Tlb2M, 32, 4, {4.801, 5.562, 0.1715}},
+    {StructClass::L1Tlb2M, 16, 2, {1.536, 1.924, 0.0703}},
+    {StructClass::L1Tlb2M, 8, 1, {0.568, 0.764, 0.0295}},
+    {StructClass::L1RangeTlb, 4, 0, {1.806, 1.172, 0.1395}},
+    {StructClass::L2Tlb4K, 512, 4, {8.078, 12.379, 1.6663}},
+    {StructClass::L2RangeTlb, 32, 0, {3.306, 1.568, 0.2401}},
+    {StructClass::MmuPde, 32, 2, {1.824, 2.281, 0.1402}},
+    {StructClass::MmuPdpte, 4, 0, {0.766, 0.279, 0.0500}},
+    {StructClass::MmuPml4, 2, 0, {0.473, 0.158, 0.0296}},
+    // L1 cache entry count expressed in cache lines (32 KB / 64 B).
+    {StructClass::L1Cache, 512, 8, {174.171, 186.723, 13.3364}},
+}};
+
+} // namespace
+
+std::string_view
+structClassName(StructClass cls)
+{
+    switch (cls) {
+      case StructClass::L1Tlb4K: return "L1-4KB TLB";
+      case StructClass::L1Tlb2M: return "L1-2MB TLB";
+      case StructClass::L1Tlb1G: return "L1-1GB TLB";
+      case StructClass::L1TlbMixedFA: return "L1-combined TLB";
+      case StructClass::L1RangeTlb: return "L1-range TLB";
+      case StructClass::L2Tlb4K: return "L2-4KB TLB";
+      case StructClass::L2RangeTlb: return "L2-range TLB";
+      case StructClass::MmuPde: return "MMU-cache PDE";
+      case StructClass::MmuPdpte: return "MMU-cache PDPTE";
+      case StructClass::MmuPml4: return "MMU-cache PML4";
+      case StructClass::L1Cache: return "L1 cache";
+      case StructClass::L2Cache: return "L2 cache";
+    }
+    return "unknown";
+}
+
+std::optional<EnergyCoefficients>
+table2(StructClass cls, unsigned entries, unsigned ways)
+{
+    for (const auto &a : kTable2) {
+        if (a.cls == cls && a.entries == entries && a.ways == ways)
+            return a.coeff;
+    }
+    return std::nullopt;
+}
+
+unsigned
+table2AnchorCount()
+{
+    return static_cast<unsigned>(kTable2.size());
+}
+
+} // namespace eat::energy

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Published per-access energy coefficients (Table 2 of the paper).
+ *
+ * The paper derives its dynamic-energy numbers from CACTI-P runs at 32 nm
+ * for every memory structure on the address-translation path. This module
+ * embeds those exact coefficients; CactiLite (cacti_lite.hh) extrapolates
+ * to geometries the paper did not publish.
+ */
+
+#ifndef EAT_ENERGY_COEFFICIENTS_HH
+#define EAT_ENERGY_COEFFICIENTS_HH
+
+#include <optional>
+#include <string_view>
+
+#include "base/types.hh"
+
+namespace eat::energy
+{
+
+/** Per-operation dynamic energy and leakage power of one structure. */
+struct EnergyCoefficients
+{
+    PicoJoules read = 0.0;   ///< energy per lookup/read operation
+    PicoJoules write = 0.0;  ///< energy per fill/write operation
+    MilliWatts leakage = 0.0;///< static leakage power
+};
+
+/**
+ * The classes of structures that participate in address translation.
+ * Each class has its own CACTI geometry (tag width, data width,
+ * associativity style), so energy anchors never cross classes.
+ */
+enum class StructClass
+{
+    L1Tlb4K,     ///< set-associative L1 TLB for 4 KB pages
+    L1Tlb2M,     ///< set-associative L1 TLB for 2 MB pages
+    L1Tlb1G,     ///< small fully associative L1 TLB for 1 GB pages
+    L1TlbMixedFA,///< fully associative L1 TLB holding all page sizes
+                 ///< (SPARC/AMD style, paper §4.4)
+    L1RangeTlb,  ///< fully associative L1 range TLB (double tag compare)
+    L2Tlb4K,     ///< set-associative L2 TLB
+    L2RangeTlb,  ///< fully associative L2 range TLB
+    MmuPde,      ///< paging-structure cache, PDE level
+    MmuPdpte,    ///< paging-structure cache, PDPTE level
+    MmuPml4,     ///< paging-structure cache, PML4 level
+    L1Cache,     ///< 32 KB L1 data cache (page-walk references)
+    L2Cache,     ///< L2 cache (page-walk references that miss in L1)
+};
+
+/** Human-readable class name (for reports and error messages). */
+std::string_view structClassName(StructClass cls);
+
+/**
+ * Exact Table-2 coefficients for (@p cls, @p entries, @p ways).
+ *
+ * @param ways 0 denotes fully associative.
+ * @return the published values, or std::nullopt if the paper did not
+ *         publish this geometry (callers then fall back to CactiLite).
+ */
+std::optional<EnergyCoefficients>
+table2(StructClass cls, unsigned entries, unsigned ways);
+
+/** Number of published Table-2 anchor points (for validation). */
+unsigned table2AnchorCount();
+
+} // namespace eat::energy
+
+#endif // EAT_ENERGY_COEFFICIENTS_HH

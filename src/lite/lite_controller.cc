@@ -1,0 +1,114 @@
+#include "lite/lite_controller.hh"
+
+#include "base/logging.hh"
+#include "stats/counter.hh"
+
+namespace eat::lite
+{
+
+LiteController::LiteController(const LiteParams &params,
+                               std::vector<tlb::SetAssocTlb *> tlbs)
+    : params_(params), tlbs_(std::move(tlbs)), rng_(params.seed)
+{
+    eat_assert(params_.intervalInstructions > 0,
+               "Lite interval must be nonzero");
+    eat_assert(params_.minWays >= 1, "minWays must be >= 1");
+    profilers_.reserve(tlbs_.size());
+    for (auto *t : tlbs_) {
+        eat_assert(t != nullptr, "null TLB handed to Lite");
+        eat_assert(isPowerOfTwo(t->ways()),
+                   t->name(), ": Lite requires power-of-two ways");
+        profilers_.emplace_back(t->ways());
+    }
+}
+
+void
+LiteController::onTlbHit(std::size_t tlbIndex, unsigned distance,
+                         bool soleProvider)
+{
+    eat_assert(tlbIndex < tlbs_.size(), "bad TLB index");
+    // Redundant hits (the range TLB also covered the lookup) carry no
+    // utility: losing them to way-disabling creates no additional miss.
+    if (!soleProvider)
+        return;
+    profilers_[tlbIndex].recordHit(distance,
+                                   tlbs_[tlbIndex]->activeWays());
+}
+
+bool
+LiteController::withinThreshold(double potentialMpki,
+                                double referenceMpki) const
+{
+    if (params_.mode == ThresholdMode::Relative)
+        return potentialMpki <= referenceMpki * (1.0 + params_.epsilonRelative);
+    return potentialMpki <= referenceMpki + params_.epsilonAbsoluteMpki;
+}
+
+void
+LiteController::activateAllWays()
+{
+    for (auto *t : tlbs_) {
+        if (t->activeWays() != t->ways())
+            t->setActiveWays(t->ways());
+    }
+}
+
+void
+LiteController::onIntervalEnd(std::uint64_t instructions)
+{
+    if (instructions == 0)
+        return;
+    ++liteStats_.intervals;
+
+    const double actualMpki = stats::mpki(actualMisses_, instructions);
+
+    if (havePrevious_ && !withinThreshold(actualMpki, previousMpki_)) {
+        // Performance degraded past the threshold (phase change, THP
+        // breakup, ...): re-activate everything and re-learn.
+        activateAllWays();
+        ++liteStats_.degradationActivations;
+    } else {
+        // Per-TLB way-disabling decision.
+        for (std::size_t i = 0; i < tlbs_.size(); ++i) {
+            tlb::SetAssocTlb &t = *tlbs_[i];
+            const unsigned active = t.activeWays();
+            unsigned best = active;
+            for (unsigned target = active / 2; target >= params_.minWays;
+                 target /= 2) {
+                const std::uint64_t lost =
+                    profilers_[i].lostHits(active, target);
+                const double potentialMpki =
+                    stats::mpki(actualMisses_ + lost, instructions);
+                if (!withinThreshold(potentialMpki, actualMpki))
+                    break;
+                best = target;
+            }
+            if (best < active) {
+                t.setActiveWays(best);
+                ++liteStats_.wayDisableEvents;
+            }
+        }
+    }
+
+    // Random exploration: occasionally turn everything back on so the
+    // next interval can observe the utility of currently disabled ways.
+    if (rng_.chance(params_.fullActivationProbability)) {
+        activateAllWays();
+        ++liteStats_.randomActivations;
+    }
+
+    previousMpki_ = actualMpki;
+    havePrevious_ = true;
+    actualMisses_ = 0;
+    for (auto &p : profilers_)
+        p.reset();
+}
+
+const LruDistanceProfiler &
+LiteController::profiler(std::size_t i) const
+{
+    eat_assert(i < profilers_.size(), "bad profiler index");
+    return profilers_[i];
+}
+
+} // namespace eat::lite

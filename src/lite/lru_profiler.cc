@@ -1,0 +1,64 @@
+#include "lite/lru_profiler.hh"
+
+#include "base/logging.hh"
+#include "base/types.hh"
+
+namespace eat::lite
+{
+
+LruDistanceProfiler::LruDistanceProfiler(unsigned maxWays)
+    : counters_(floorLog2(maxWays) + 1, 0)
+{
+    eat_assert(isPowerOfTwo(maxWays),
+               "profiled TLB associativity must be a power of two");
+}
+
+unsigned
+LruDistanceProfiler::band(unsigned distance, unsigned activeWays)
+{
+    eat_assert(isPowerOfTwo(activeWays), "active ways must be power of two");
+    eat_assert(distance < activeWays,
+               "distance ", distance, " out of range for ", activeWays,
+               " ways");
+    // gap = how far below the MRU position the hit landed.
+    const unsigned gap = activeWays - 1 - distance;
+    if (gap == 0)
+        return 0;
+    return floorLog2(gap) + 1;
+}
+
+void
+LruDistanceProfiler::recordHit(unsigned distance, unsigned activeWays)
+{
+    const unsigned b = band(distance, activeWays);
+    eat_assert(b < counters_.size(), "band out of range");
+    ++counters_[b];
+    ++totalHits_;
+}
+
+std::uint64_t
+LruDistanceProfiler::lostHits(unsigned activeWays, unsigned targetWays) const
+{
+    eat_assert(isPowerOfTwo(activeWays) && isPowerOfTwo(targetWays),
+               "way counts must be powers of two");
+    eat_assert(targetWays <= activeWays, "cannot lose hits by growing");
+    // Dropping from activeWays to targetWays loses the hits whose
+    // distance was below activeWays - targetWays ... i.e. the bands
+    // strictly above log2(targetWays).
+    std::uint64_t lost = 0;
+    for (unsigned j = floorLog2(targetWays) + 1;
+         j <= floorLog2(activeWays) && j < counters_.size(); ++j) {
+        lost += counters_[j];
+    }
+    return lost;
+}
+
+void
+LruDistanceProfiler::reset()
+{
+    for (auto &c : counters_)
+        c = 0;
+    totalHits_ = 0;
+}
+
+} // namespace eat::lite

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Lite's lru-distance-counters (Figure 6 of the paper).
+ *
+ * For an n-way TLB, Lite keeps log2(n)+1 counters. On every hit, the
+ * counter selected by the hit's distance from the LRU position is
+ * incremented; bands cover the power-of-two way groups that
+ * way-disabling can remove:
+ *
+ *   8-way example: distance 7 -> counter[0] (the MRU way)
+ *                  distance 6 -> counter[1]
+ *                  distance 4-5 -> counter[2]
+ *                  distance 0-3 -> counter[3]
+ *
+ * By the LRU stack property, the sum of the counters whose bands fall
+ * below a target way count is *exactly* the number of additional misses
+ * the same access stream would have suffered with that many ways — the
+ * quantity the decision algorithm needs.
+ */
+
+#ifndef EAT_LITE_LRU_PROFILER_HH
+#define EAT_LITE_LRU_PROFILER_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace eat::lite
+{
+
+/** The per-TLB lru-distance-counters of the Lite mechanism. */
+class LruDistanceProfiler
+{
+  public:
+    /** @param maxWays the TLB's physical associativity (power of two). */
+    explicit LruDistanceProfiler(unsigned maxWays);
+
+    /**
+     * Record a hit at @p distance from the LRU position (0 = LRU,
+     * @p activeWays - 1 = MRU) while @p activeWays ways are active.
+     */
+    void recordHit(unsigned distance, unsigned activeWays);
+
+    /**
+     * Additional misses this interval would have suffered with
+     * @p targetWays instead of @p activeWays active ways (both powers of
+     * two, targetWays <= activeWays).
+     */
+    std::uint64_t lostHits(unsigned activeWays, unsigned targetWays) const;
+
+    /** Total hits recorded this interval. */
+    std::uint64_t totalHits() const { return totalHits_; }
+
+    /** Clear all counters (interval boundary). */
+    void reset();
+
+    /**
+     * The band a hit at @p distance maps to when @p activeWays ways are
+     * active (exposed for tests; see the file comment for the layout).
+     */
+    static unsigned band(unsigned distance, unsigned activeWays);
+
+    const std::vector<std::uint64_t> &counters() const { return counters_; }
+
+  private:
+    std::vector<std::uint64_t> counters_;
+    std::uint64_t totalHits_ = 0;
+};
+
+} // namespace eat::lite
+
+#endif // EAT_LITE_LRU_PROFILER_HH

@@ -1,0 +1,125 @@
+#include "sim/report.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "base/logging.hh"
+
+namespace eat::sim
+{
+
+BenchOptions
+BenchOptions::parse(int argc, char **argv)
+{
+    BenchOptions opts;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto valueOf = [&arg](const char *prefix) -> const char * {
+            const std::size_t n = std::strlen(prefix);
+            return arg.compare(0, n, prefix) == 0 ? arg.c_str() + n
+                                                  : nullptr;
+        };
+        if (const char *v = valueOf("--instructions=")) {
+            opts.simulateInstructions = std::strtoull(v, nullptr, 10);
+        } else if (const char *v2 = valueOf("--fast-forward=")) {
+            opts.fastForwardInstructions = std::strtoull(v2, nullptr, 10);
+        } else if (const char *v3 = valueOf("--seed=")) {
+            opts.seed = std::strtoull(v3, nullptr, 10);
+        } else if (arg == "--csv") {
+            opts.csv = true;
+        } else if (arg == "--quick") {
+            opts.simulateInstructions = 4'000'000;
+            opts.fastForwardInstructions = 500'000;
+        } else {
+            eat_fatal("unknown bench option: ", arg,
+                      " (supported: --instructions=N --fast-forward=N "
+                      "--seed=N --csv --quick)");
+        }
+    }
+    return opts;
+}
+
+std::vector<WorkloadRow>
+runMatrix(const std::vector<workloads::WorkloadSpec> &workloads,
+          const std::vector<core::MmuOrg> &orgs, const BenchOptions &opts)
+{
+    std::vector<WorkloadRow> rows;
+    rows.reserve(workloads.size());
+    for (const auto &w : workloads) {
+        WorkloadRow row;
+        row.workload = w.name;
+        for (const auto org : orgs) {
+            std::fprintf(stderr, "  running %-12s under %-8s ...\n",
+                         w.name.c_str(),
+                         std::string(core::orgName(org)).c_str());
+            SimConfig cfg;
+            cfg.workload = w;
+            cfg.mmu = core::MmuConfig::make(org);
+            cfg.simulateInstructions = opts.simulateInstructions;
+            cfg.fastForwardInstructions = opts.fastForwardInstructions;
+            cfg.seed = opts.seed;
+            row.byOrg.push_back(simulate(cfg));
+        }
+        rows.push_back(std::move(row));
+    }
+    return rows;
+}
+
+double
+meanOf(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    return sum / static_cast<double>(values.size());
+}
+
+stats::TextTable
+normalizedTable(const std::vector<WorkloadRow> &rows,
+                const std::vector<core::MmuOrg> &orgs,
+                double (*metric)(const SimResult &),
+                const std::string &metricName)
+{
+    std::vector<std::string> headers{metricName};
+    for (const auto org : orgs)
+        headers.emplace_back(core::orgName(org));
+    stats::TextTable table(std::move(headers));
+
+    std::vector<std::vector<double>> normByOrg(orgs.size());
+    for (const auto &row : rows) {
+        eat_assert(row.byOrg.size() == orgs.size(),
+                   "row/org arity mismatch");
+        const double base = metric(row.byOrg[0]);
+        std::vector<std::string> cells{row.workload};
+        for (std::size_t o = 0; o < orgs.size(); ++o) {
+            const double v = metric(row.byOrg[o]);
+            const double norm = base > 0.0 ? v / base : 0.0;
+            normByOrg[o].push_back(norm);
+            cells.push_back(stats::TextTable::num(norm, 3));
+        }
+        table.addRow(std::move(cells));
+    }
+
+    std::vector<std::string> avg{"average"};
+    for (std::size_t o = 0; o < orgs.size(); ++o)
+        avg.push_back(stats::TextTable::num(meanOf(normByOrg[o]), 3));
+    table.addRow(std::move(avg));
+    return table;
+}
+
+double
+energyMetric(const SimResult &r)
+{
+    return r.energyPerKiloInstr();
+}
+
+double
+missCyclesMetric(const SimResult &r)
+{
+    return r.missCyclesPerKiloInstr();
+}
+
+} // namespace eat::sim

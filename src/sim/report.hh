@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Shared helpers for the benchmark harness: run config x workload
+ * matrices and format paper-style comparison tables.
+ */
+
+#ifndef EAT_SIM_REPORT_HH
+#define EAT_SIM_REPORT_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hh"
+#include "stats/table.hh"
+
+namespace eat::sim
+{
+
+/** Command-line options every bench binary accepts. */
+struct BenchOptions
+{
+    InstrCount simulateInstructions = 20'000'000;
+    InstrCount fastForwardInstructions = 2'000'000;
+    std::uint64_t seed = 42;
+    bool csv = false; ///< also emit CSV blocks for re-plotting
+
+    /**
+     * Parse --instructions=N, --fast-forward=N, --seed=N, --csv.
+     * Unknown arguments are fatal (they are usually typos).
+     */
+    static BenchOptions parse(int argc, char **argv);
+};
+
+/** The results of one workload across multiple organizations. */
+struct WorkloadRow
+{
+    std::string workload;
+    std::vector<SimResult> byOrg; ///< parallel to the org list used
+};
+
+/**
+ * Run @p workloads under every organization in @p orgs.
+ * Progress is reported on stderr (runs take seconds each).
+ */
+std::vector<WorkloadRow>
+runMatrix(const std::vector<workloads::WorkloadSpec> &workloads,
+          const std::vector<core::MmuOrg> &orgs, const BenchOptions &opts);
+
+/**
+ * Geometric means are inappropriate for normalized mixes of signs;
+ * the paper reports arithmetic means of per-workload normalized
+ * values, which this computes.
+ */
+double meanOf(const std::vector<double> &values);
+
+/**
+ * A table of per-workload values normalized to the first organization
+ * (the paper's "normalized to 4KB" presentation), one column per org,
+ * with a final average row.
+ */
+stats::TextTable
+normalizedTable(const std::vector<WorkloadRow> &rows,
+                const std::vector<core::MmuOrg> &orgs,
+                double (*metric)(const SimResult &),
+                const std::string &metricName);
+
+/** Metric extractors for normalizedTable. */
+double energyMetric(const SimResult &r);
+double missCyclesMetric(const SimResult &r);
+
+} // namespace eat::sim
+
+#endif // EAT_SIM_REPORT_HH

@@ -1,0 +1,177 @@
+#include "sim/simulator.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+#include "core/mmu.hh"
+#include "stats/counter.hh"
+#include "vm/memory_manager.hh"
+#include "workloads/trace.hh"
+
+namespace eat::sim
+{
+
+double
+SimResult::energyPerKiloInstr() const
+{
+    if (stats.instructions == 0)
+        return 0.0;
+    return totalEnergy() * 1000.0 /
+           static_cast<double>(stats.instructions);
+}
+
+double
+SimResult::missCyclesPerKiloInstr() const
+{
+    if (stats.instructions == 0)
+        return 0.0;
+    return static_cast<double>(stats.tlbMissCycles()) * 1000.0 /
+           static_cast<double>(stats.instructions);
+}
+
+namespace
+{
+
+/** Build the OS memory manager for one run's configuration. */
+vm::MemoryManager
+makeMemoryManager(const SimConfig &config)
+{
+    std::uint64_t physBytes = config.physBytes;
+    if (physBytes == 0) {
+        const std::uint64_t footprint = config.workload.footprintBytes();
+        physBytes = alignUp(footprint + footprint / 4 + 256_MiB, 2_MiB);
+    }
+    auto policy = config.mmu.osPolicy();
+    if (config.eagerRangesPerRegion > 0)
+        policy.eagerRangesPerRegion = config.eagerRangesPerRegion;
+    return vm::MemoryManager(policy, physBytes,
+                             config.seed ^ 0x05f5e0ffull);
+}
+
+} // namespace
+
+SimResult
+simulate(const SimConfig &config)
+{
+    eat_assert(config.simulateInstructions > 0, "empty measured window");
+
+    // --- OS setup: map the workload under this configuration's policy.
+    vm::MemoryManager mm = makeMemoryManager(config);
+
+    workloads::WorkloadGenerator gen(config.workload, mm, config.seed);
+
+    // --- hardware setup.
+    const vm::RangeTable *rangeTable =
+        (config.mmu.hasL1Range || config.mmu.hasL2Range)
+            ? &mm.rangeTable()
+            : nullptr;
+    core::Mmu mmu(config.mmu, mm.pageTable(), rangeTable);
+
+    // --- fast-forward: advance the generator without touching the MMU
+    // (the TLBs start cold at the measurement window, as with the
+    // paper's Pin-based skip).
+    if (config.fastForwardInstructions > 0)
+        gen.skip(config.fastForwardInstructions);
+
+    // --- measured window.
+    SimResult result;
+    result.workloadName = config.workload.name;
+    result.org = config.mmu.org;
+    result.mpkiTimeline = stats::Timeline(config.timelineInterval);
+
+    const InstrCount start = gen.instructionsRetired();
+    const InstrCount end = start + config.simulateInstructions;
+
+    InstrCount nextSample =
+        config.timelineInterval ? config.timelineInterval : 0;
+    std::uint64_t missesAtSample = 0;
+    InstrCount instrAtSample = 0;
+
+    while (gen.instructionsRetired() < end) {
+        const auto op = gen.next();
+        mmu.tick(op.instrGap);
+        mmu.access(op.vaddr);
+
+        if (config.timelineInterval) {
+            const InstrCount elapsed = gen.instructionsRetired() - start;
+            while (nextSample && elapsed >= nextSample) {
+                const auto &s = mmu.stats();
+                const std::uint64_t dMiss = s.l1Misses - missesAtSample;
+                const InstrCount dInstr = s.instructions - instrAtSample;
+                result.mpkiTimeline.record(stats::mpki(dMiss, dInstr));
+                missesAtSample = s.l1Misses;
+                instrAtSample = s.instructions;
+                nextSample += config.timelineInterval;
+            }
+        }
+    }
+
+    result.stats = mmu.stats();
+    result.energy = mmu.energyReport();
+    if (mmu.lite()) {
+        result.lite = mmu.lite()->stats();
+        result.liteEnabled = true;
+    }
+
+    result.pages4K = mm.pageTable().pageCount(vm::PageSize::Size4K);
+    result.pages2M = mm.pageTable().pageCount(vm::PageSize::Size2M);
+    result.numRanges = mm.rangeTable().size();
+    result.rangeCoverage = mm.rangeCoverage();
+    return result;
+}
+
+SimResult
+simulateFromTrace(const SimConfig &config, const std::string &tracePath)
+{
+    // Same address-space setup as simulate(): the trace's addresses
+    // are only meaningful against identical regions.
+    vm::MemoryManager mm = makeMemoryManager(config);
+    workloads::WorkloadGenerator gen(config.workload, mm, config.seed);
+    (void)gen; // performs the allocations; the stream comes from disk
+
+    const vm::RangeTable *rangeTable =
+        (config.mmu.hasL1Range || config.mmu.hasL2Range)
+            ? &mm.rangeTable()
+            : nullptr;
+    core::Mmu mmu(config.mmu, mm.pageTable(), rangeTable);
+
+    workloads::TraceReader reader(tracePath);
+    while (auto op = reader.next()) {
+        mmu.tick(op->instrGap);
+        mmu.access(op->vaddr);
+    }
+
+    SimResult result;
+    result.workloadName = config.workload.name + " (trace)";
+    result.org = config.mmu.org;
+    result.stats = mmu.stats();
+    result.energy = mmu.energyReport();
+    if (mmu.lite()) {
+        result.lite = mmu.lite()->stats();
+        result.liteEnabled = true;
+    }
+    result.pages4K = mm.pageTable().pageCount(vm::PageSize::Size4K);
+    result.pages2M = mm.pageTable().pageCount(vm::PageSize::Size2M);
+    result.numRanges = mm.rangeTable().size();
+    result.rangeCoverage = mm.rangeCoverage();
+    return result;
+}
+
+std::uint64_t
+recordTrace(const SimConfig &config, const std::string &tracePath)
+{
+    vm::MemoryManager mm = makeMemoryManager(config);
+    workloads::WorkloadGenerator gen(config.workload, mm, config.seed);
+    if (config.fastForwardInstructions > 0)
+        gen.skip(config.fastForwardInstructions);
+
+    workloads::TraceWriter writer(tracePath);
+    const InstrCount end =
+        gen.instructionsRetired() + config.simulateInstructions;
+    while (gen.instructionsRetired() < end)
+        writer.write(gen.next());
+    writer.close();
+    return writer.recordsWritten();
+}
+
+} // namespace eat::sim

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * The end-to-end simulation driver.
+ *
+ * Binds a workload model, the OS memory manager for the chosen
+ * configuration's policy, and the MMU; runs fast-forward plus a
+ * measured window; and collects every statistic the paper's tables and
+ * figures need.
+ */
+
+#ifndef EAT_SIM_SIMULATOR_HH
+#define EAT_SIM_SIMULATOR_HH
+
+#include <cstdint>
+#include <string>
+
+#include "core/config.hh"
+#include "core/mmu_stats.hh"
+#include "energy/account.hh"
+#include "lite/lite_controller.hh"
+#include "stats/timeline.hh"
+#include "workloads/workload.hh"
+
+namespace eat::sim
+{
+
+/** Everything one simulation run needs. */
+struct SimConfig
+{
+    workloads::WorkloadSpec workload;
+    core::MmuConfig mmu = core::MmuConfig::make(core::MmuOrg::Thp);
+
+    /** Instructions to skip before measuring (the paper skips 50 G on
+     *  real hardware; synthetic phases are compressed accordingly). */
+    InstrCount fastForwardInstructions = 2'000'000;
+
+    /** Instructions in the measured window. */
+    InstrCount simulateInstructions = 20'000'000;
+
+    std::uint64_t seed = 42;
+
+    /** Record an L1-MPKI sample every this many instructions
+     *  (0 disables the Figure-4 timeline). */
+    InstrCount timelineInterval = 0;
+
+    /** Physical pool size; 0 = footprint-derived default. */
+    std::uint64_t physBytes = 0;
+
+    /**
+     * Override for the OS policy's eagerRangesPerRegion (imperfect
+     * eager paging); 0 keeps the organization's default.
+     */
+    unsigned eagerRangesPerRegion = 0;
+};
+
+/** The result of one simulation run. */
+struct SimResult
+{
+    std::string workloadName;
+    core::MmuOrg org{};
+
+    core::MmuStats stats;
+    energy::EnergyReport energy;
+    lite::LiteStats lite;       ///< zeros when Lite is disabled
+    bool liteEnabled = false;
+
+    stats::Timeline mpkiTimeline;
+
+    // OS-level facts of the run.
+    std::uint64_t pages4K = 0;
+    std::uint64_t pages2M = 0;
+    std::uint64_t numRanges = 0;
+    double rangeCoverage = 0.0;
+
+    /** Total dynamic translation energy (pJ). */
+    PicoJoules totalEnergy() const { return energy.breakdown.total(); }
+
+    /** Dynamic energy per kilo-instruction (pJ), the comparable unit. */
+    double energyPerKiloInstr() const;
+
+    /** TLB-miss cycles per kilo-instruction. */
+    double missCyclesPerKiloInstr() const;
+};
+
+/** Run one simulation. */
+SimResult simulate(const SimConfig &config);
+
+/**
+ * Replay a recorded trace through the configured MMU instead of
+ * generating operations. The config's workload spec still defines the
+ * address space (it must be the spec the trace was recorded against,
+ * with the same seed, so the OS lays out identical regions);
+ * fastForward/simulate windows are ignored — the whole trace runs.
+ */
+SimResult simulateFromTrace(const SimConfig &config,
+                            const std::string &tracePath);
+
+/**
+ * Record @p instructions worth of the configured workload's operation
+ * stream (after fast-forward) to @p tracePath.
+ *
+ * @return number of operations recorded.
+ */
+std::uint64_t recordTrace(const SimConfig &config,
+                          const std::string &tracePath);
+
+} // namespace eat::sim
+
+#endif // EAT_SIM_SIMULATOR_HH

@@ -1,0 +1,34 @@
+#include "stats/csv.hh"
+
+namespace eat::stats
+{
+
+std::string
+CsvWriter::escape(const std::string &cell)
+{
+    const bool needsQuoting =
+        cell.find_first_of(",\"\n\r") != std::string::npos;
+    if (!needsQuoting)
+        return cell;
+    std::string out = "\"";
+    for (char ch : cell) {
+        if (ch == '"')
+            out += '"';
+        out += ch;
+    }
+    out += '"';
+    return out;
+}
+
+void
+CsvWriter::writeRow(const std::vector<std::string> &cells)
+{
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (i)
+            os_ << ',';
+        os_ << escape(cells[i]);
+    }
+    os_ << '\n';
+}
+
+} // namespace eat::stats

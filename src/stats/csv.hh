@@ -1,0 +1,38 @@
+/**
+ * @file
+ * CSV emission so bench output can be re-plotted outside the harness.
+ */
+
+#ifndef EAT_STATS_CSV_HH
+#define EAT_STATS_CSV_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace eat::stats
+{
+
+/**
+ * Minimal CSV writer (RFC-4180 quoting for cells containing commas,
+ * quotes, or newlines).
+ */
+class CsvWriter
+{
+  public:
+    /** Write rows to @p os; the writer does not own the stream. */
+    explicit CsvWriter(std::ostream &os) : os_(os) {}
+
+    /** Emit one row. */
+    void writeRow(const std::vector<std::string> &cells);
+
+    /** Quote a single cell per RFC 4180 if necessary. */
+    static std::string escape(const std::string &cell);
+
+  private:
+    std::ostream &os_;
+};
+
+} // namespace eat::stats
+
+#endif // EAT_STATS_CSV_HH

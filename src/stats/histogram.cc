@@ -1,0 +1,60 @@
+#include "stats/histogram.hh"
+
+#include <sstream>
+
+namespace eat::stats
+{
+
+Histogram::Histogram(std::size_t buckets) : counts_(buckets, 0) {}
+
+void
+Histogram::ensureBuckets(std::size_t buckets)
+{
+    if (counts_.size() < buckets)
+        counts_.resize(buckets, 0);
+}
+
+void
+Histogram::record(std::size_t bucket, std::uint64_t weight)
+{
+    ensureBuckets(bucket + 1);
+    counts_[bucket] += weight;
+    total_ += weight;
+}
+
+std::uint64_t
+Histogram::bucketCount(std::size_t bucket) const
+{
+    return bucket < counts_.size() ? counts_[bucket] : 0;
+}
+
+double
+Histogram::fraction(std::size_t bucket) const
+{
+    if (total_ == 0)
+        return 0.0;
+    return static_cast<double>(bucketCount(bucket)) /
+           static_cast<double>(total_);
+}
+
+void
+Histogram::reset()
+{
+    for (auto &c : counts_)
+        c = 0;
+    total_ = 0;
+}
+
+std::string
+Histogram::toString() const
+{
+    std::ostringstream os;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        if (i)
+            os << ' ';
+        os << i << ':' << counts_[i];
+    }
+    return os.str();
+}
+
+} // namespace eat::stats

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Fixed-bucket histogram used for way-activity and distance statistics.
+ */
+
+#ifndef EAT_STATS_HISTOGRAM_HH
+#define EAT_STATS_HISTOGRAM_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace eat::stats
+{
+
+/**
+ * A histogram over a small fixed set of integer buckets.
+ *
+ * Used e.g. to record how many L1 TLB lookups were performed with each
+ * active-way configuration (Table 5 of the paper).
+ */
+class Histogram
+{
+  public:
+    Histogram() = default;
+
+    /** Create a histogram with @p buckets zeroed buckets. */
+    explicit Histogram(std::size_t buckets);
+
+    /** Grow (never shrink) to at least @p buckets buckets. */
+    void ensureBuckets(std::size_t buckets);
+
+    /** Add @p weight samples to @p bucket (growing if needed). */
+    void record(std::size_t bucket, std::uint64_t weight = 1);
+
+    std::uint64_t bucketCount(std::size_t bucket) const;
+    std::size_t numBuckets() const { return counts_.size(); }
+    std::uint64_t total() const { return total_; }
+
+    /** Fraction of samples in @p bucket; 0 when the histogram is empty. */
+    double fraction(std::size_t bucket) const;
+
+    void reset();
+
+    /** Render "b0:n0 b1:n1 ..." for debugging. */
+    std::string toString() const;
+
+  private:
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t total_ = 0;
+};
+
+} // namespace eat::stats
+
+#endif // EAT_STATS_HISTOGRAM_HH

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Plain-text table formatting for the benchmark harness output.
+ *
+ * Every figure/table bench binary prints its rows through TextTable so the
+ * reproduced tables and figures share one readable layout.
+ */
+
+#ifndef EAT_STATS_TABLE_HH
+#define EAT_STATS_TABLE_HH
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace eat::stats
+{
+
+/** A column-aligned text table with a header row. */
+class TextTable
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Append a row; it must have exactly one cell per column. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: format a double with @p precision decimals. */
+    static std::string num(double v, int precision = 3);
+
+    /** Convenience: format a percentage ("12.3%"). */
+    static std::string percent(double fraction, int precision = 1);
+
+    std::size_t numRows() const { return rows_.size(); }
+    std::size_t numCols() const { return headers_.size(); }
+
+    /** Render the table (header, separator, rows) to @p os. */
+    void print(std::ostream &os) const;
+
+    /** Render to a string (used by the tests). */
+    std::string toString() const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace eat::stats
+
+#endif // EAT_STATS_TABLE_HH

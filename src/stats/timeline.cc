@@ -1,0 +1,61 @@
+#include "stats/timeline.hh"
+
+#include <algorithm>
+
+namespace eat::stats
+{
+
+Timeline::Timeline(std::uint64_t interval_instructions)
+    : interval_(interval_instructions)
+{
+}
+
+void
+Timeline::record(double v)
+{
+    samples_.push_back(v);
+}
+
+double
+Timeline::mean() const
+{
+    if (samples_.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double s : samples_)
+        sum += s;
+    return sum / static_cast<double>(samples_.size());
+}
+
+double
+Timeline::max() const
+{
+    if (samples_.empty())
+        return 0.0;
+    return *std::max_element(samples_.begin(), samples_.end());
+}
+
+std::vector<double>
+Timeline::downsample(std::size_t points) const
+{
+    if (points == 0 || samples_.empty())
+        return {};
+    if (samples_.size() <= points)
+        return samples_;
+    std::vector<double> out;
+    out.reserve(points);
+    const double stride =
+        static_cast<double>(samples_.size()) / static_cast<double>(points);
+    for (std::size_t p = 0; p < points; ++p) {
+        const auto begin = static_cast<std::size_t>(p * stride);
+        auto end = static_cast<std::size_t>((p + 1) * stride);
+        end = std::min(std::max(end, begin + 1), samples_.size());
+        double sum = 0.0;
+        for (std::size_t i = begin; i < end; ++i)
+            sum += samples_[i];
+        out.push_back(sum / static_cast<double>(end - begin));
+    }
+    return out;
+}
+
+} // namespace eat::stats

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Interval time-series recorder (used by the Figure 4 MPKI timelines).
+ */
+
+#ifndef EAT_STATS_TIMELINE_HH
+#define EAT_STATS_TIMELINE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace eat::stats
+{
+
+/**
+ * Records one double sample per fixed-size instruction interval, e.g.
+ * the L1 TLB MPKI of each 1 M-instruction window.
+ */
+class Timeline
+{
+  public:
+    Timeline() = default;
+
+    /** @param interval_instructions the width of each sample window. */
+    explicit Timeline(std::uint64_t interval_instructions);
+
+    /** Close the current window with sample value @p v. */
+    void record(double v);
+
+    std::uint64_t intervalInstructions() const { return interval_; }
+    std::size_t numSamples() const { return samples_.size(); }
+    double sample(std::size_t i) const { return samples_.at(i); }
+    const std::vector<double> &samples() const { return samples_; }
+
+    /** Arithmetic mean of all samples; 0 when empty. */
+    double mean() const;
+
+    /** Maximum sample; 0 when empty. */
+    double max() const;
+
+    /**
+     * Downsample to at most @p points samples by averaging adjacent
+     * windows (for compact bench output).
+     */
+    std::vector<double> downsample(std::size_t points) const;
+
+  private:
+    std::uint64_t interval_ = 0;
+    std::vector<double> samples_;
+};
+
+} // namespace eat::stats
+
+#endif // EAT_STATS_TIMELINE_HH

@@ -1,0 +1,12 @@
+#include "tlb/fully_assoc_tlb.hh"
+
+namespace eat::tlb
+{
+
+FullyAssocTlb::FullyAssocTlb(std::string name, unsigned entries,
+                             unsigned shift)
+    : SetAssocTlb(std::move(name), entries, entries, shift)
+{
+}
+
+} // namespace eat::tlb

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Fully associative TLB.
+ *
+ * A fully associative TLB is a SetAssocTlb with a single set (ways ==
+ * entries). Lite treats its entries as pseudo-ways and resizes it in
+ * powers of two exactly like a set-associative TLB (paper §4.4).
+ */
+
+#ifndef EAT_TLB_FULLY_ASSOC_TLB_HH
+#define EAT_TLB_FULLY_ASSOC_TLB_HH
+
+#include "tlb/set_assoc_tlb.hh"
+
+namespace eat::tlb
+{
+
+/** A fully associative TLB (CAM search over all entries). */
+class FullyAssocTlb : public SetAssocTlb
+{
+  public:
+    /**
+     * @param name for reports.
+     * @param entries entry count (also the associativity).
+     * @param shift log2 of the covered region per entry.
+     */
+    FullyAssocTlb(std::string name, unsigned entries, unsigned shift);
+};
+
+} // namespace eat::tlb
+
+#endif // EAT_TLB_FULLY_ASSOC_TLB_HH

@@ -1,0 +1,104 @@
+#include "tlb/mmu_cache.hh"
+
+#include "base/logging.hh"
+#include "tlb/tlb_entry.hh"
+
+namespace eat::tlb
+{
+
+namespace
+{
+
+/**
+ * The page-table level of the leaf for @p size: 1 = PT, 2 = PD,
+ * 3 = PDPT.
+ */
+constexpr unsigned
+leafLevel(vm::PageSize size)
+{
+    switch (size) {
+      case vm::PageSize::Size4K: return 1;
+      case vm::PageSize::Size2M: return 2;
+      case vm::PageSize::Size1G: return 3;
+    }
+    return 1;
+}
+
+TlbEntry
+regionEntry(Addr vaddr, unsigned shift)
+{
+    return TlbEntry{alignDown(vaddr, Addr{1} << shift), 0,
+                    vm::PageSize::Size4K, shift};
+}
+
+} // namespace
+
+MmuCache::MmuCache(const MmuCacheConfig &config)
+    : pde_("MMU-cache-PDE", config.pdeEntries, config.pdeWays, kPdeShift),
+      pdpte_("MMU-cache-PDPTE", config.pdpteEntries, config.pdpteEntries,
+             kPdpteShift),
+      pml4_("MMU-cache-PML4", config.pml4Entries, config.pml4Entries,
+            kPml4Shift)
+{
+}
+
+MmuCacheOutcome
+MmuCache::walkAccess(Addr vaddr, vm::PageSize leafSize)
+{
+    // All three structures are probed in parallel (LRU updated on every
+    // hit; the caller charges three reads of lookup energy).
+    const bool pdeHit = pde_.lookup(vaddr).hit;
+    const bool pdpteHit = pdpte_.lookup(vaddr).hit;
+    const bool pml4Hit = pml4_.lookup(vaddr).hit;
+
+    const unsigned leaf = leafLevel(leafSize);
+
+    // A hit in the cache of level L (PDE = 2, PDPTE = 3, PML4 = 4)
+    // supplies the pointer fetched at level L, so the walk reads levels
+    // L-1 .. leaf from memory: L - leaf references. The caches never
+    // hold leaf entries, so only hits strictly above the leaf count.
+    unsigned startLevel = 5; // 5 - leaf refs == full walk
+    if (pdeHit && 2 > leaf)
+        startLevel = 2;
+    else if (pdpteHit && 3 > leaf)
+        startLevel = 3;
+    else if (pml4Hit && 4 > leaf)
+        startLevel = 4;
+
+    MmuCacheOutcome out;
+    out.memRefs = startLevel - leaf;
+    eat_assert(out.memRefs >= 1 && out.memRefs <= 4,
+               "impossible walk length ", out.memRefs);
+
+    // Install every non-leaf entry the walk fetched from memory:
+    // levels startLevel-1 down to leaf+1.
+    for (unsigned level = startLevel - 1; level > leaf; --level) {
+        switch (level) {
+          case 2:
+            pde_.fill(regionEntry(vaddr, kPdeShift));
+            out.filledPde = true;
+            break;
+          case 3:
+            pdpte_.fill(regionEntry(vaddr, kPdpteShift));
+            out.filledPdpte = true;
+            break;
+          case 4:
+            pml4_.fill(regionEntry(vaddr, kPml4Shift));
+            out.filledPml4 = true;
+            break;
+          default:
+            eat_panic("unexpected page-table level ", level);
+        }
+    }
+    return out;
+}
+
+void
+MmuCache::flush()
+{
+    pde_.invalidateAll();
+    pdpte_.invalidateAll();
+    pml4_.invalidateAll();
+}
+
+} // namespace eat::tlb

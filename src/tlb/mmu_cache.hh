@@ -1,0 +1,85 @@
+/**
+ * @file
+ * MMU paging-structure caches (Intel-style, after [Bhattacharjee'13]).
+ *
+ * Three small caches hold intermediate page-table entries at the PDE,
+ * PDPTE, and PML4 levels. All three are probed in parallel after an L2
+ * TLB miss; a hit at level L lets the page walk skip every level at or
+ * above L, so a walk costs between 1 and 4 memory references for 4 KB
+ * pages (1-3 for 2 MB, 1-2 for 1 GB; leaf entries are never cached here
+ * — that is the TLB's job).
+ */
+
+#ifndef EAT_TLB_MMU_CACHE_HH
+#define EAT_TLB_MMU_CACHE_HH
+
+#include "tlb/set_assoc_tlb.hh"
+#include "vm/page_size.hh"
+
+namespace eat::tlb
+{
+
+/** Geometry of the three paging-structure caches. */
+struct MmuCacheConfig
+{
+    unsigned pdeEntries = 32;
+    unsigned pdeWays = 2;
+    unsigned pdpteEntries = 4; ///< fully associative
+    unsigned pml4Entries = 2;  ///< fully associative
+};
+
+/** What one walk's interaction with the paging-structure caches did. */
+struct MmuCacheOutcome
+{
+    /** Page-walk memory references required (leaf fetch included). */
+    unsigned memRefs = 0;
+    bool filledPde = false;
+    bool filledPdpte = false;
+    bool filledPml4 = false;
+
+    unsigned
+    fills() const
+    {
+        return (filledPde ? 1u : 0u) + (filledPdpte ? 1u : 0u) +
+               (filledPml4 ? 1u : 0u);
+    }
+};
+
+/** The per-core MMU cache backing the TLB hierarchy. */
+class MmuCache
+{
+  public:
+    explicit MmuCache(const MmuCacheConfig &config = {});
+
+    /**
+     * Model the walk for @p vaddr whose leaf is a @p leafSize mapping:
+     * probe all three structures, compute the memory references the
+     * walk needs, and install the entries the walk fetched.
+     */
+    MmuCacheOutcome walkAccess(Addr vaddr, vm::PageSize leafSize);
+
+    void flush();
+
+    /** Structure accessors (the MMU charges their lookup energy). */
+    SetAssocTlb &pde() { return pde_; }
+    SetAssocTlb &pdpte() { return pdpte_; }
+    SetAssocTlb &pml4() { return pml4_; }
+    const SetAssocTlb &pde() const { return pde_; }
+    const SetAssocTlb &pdpte() const { return pdpte_; }
+    const SetAssocTlb &pml4() const { return pml4_; }
+
+  private:
+    /** Covered-region shifts: PDE entries span 2 MB, PDPTE 1 GB,
+     *  PML4 512 GB. */
+    static constexpr unsigned kPdeShift = 21;
+    static constexpr unsigned kPdpteShift = 30;
+    static constexpr unsigned kPml4Shift = 39;
+
+    SetAssocTlb pde_;
+    SetAssocTlb pdpte_;
+    SetAssocTlb pml4_;
+};
+
+} // namespace eat::tlb
+
+#endif // EAT_TLB_MMU_CACHE_HH

@@ -1,0 +1,20 @@
+#include "tlb/page_walker.hh"
+
+#include "base/logging.hh"
+
+namespace eat::tlb
+{
+
+WalkResult
+PageWalker::walk(Addr vaddr)
+{
+    auto t = pageTable_.translate(vaddr);
+    if (!t)
+        eat_panic("page walk of unmapped address ", vaddr);
+    WalkResult result;
+    result.translation = *t;
+    result.cache = mmuCache_.walkAccess(vaddr, t->size);
+    return result;
+}
+
+} // namespace eat::tlb

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Hardware page-table walker.
+ *
+ * On an L2 TLB miss, the walker resolves the translation from the
+ * authoritative page table and models the cost: the MMU caches are
+ * probed in parallel and determine how many page-table levels must be
+ * fetched from the memory hierarchy (1-4 references).
+ */
+
+#ifndef EAT_TLB_PAGE_WALKER_HH
+#define EAT_TLB_PAGE_WALKER_HH
+
+#include "tlb/mmu_cache.hh"
+#include "vm/page_table.hh"
+
+namespace eat::tlb
+{
+
+/** The outcome of one hardware page walk. */
+struct WalkResult
+{
+    vm::Translation translation{};
+    MmuCacheOutcome cache{};
+};
+
+/** The per-core hardware page-table walker. */
+class PageWalker
+{
+  public:
+    /**
+     * @param pageTable the process's page table (authoritative).
+     * @param mmuCache the per-core paging-structure caches.
+     */
+    PageWalker(const vm::PageTable &pageTable, MmuCache &mmuCache)
+        : pageTable_(pageTable), mmuCache_(mmuCache)
+    {
+    }
+
+    /**
+     * Walk the page table for @p vaddr. Accessing unmapped memory is a
+     * simulation bug (workloads only touch mmap()ed regions) and panics.
+     */
+    WalkResult walk(Addr vaddr);
+
+  private:
+    const vm::PageTable &pageTable_;
+    MmuCache &mmuCache_;
+};
+
+} // namespace eat::tlb
+
+#endif // EAT_TLB_PAGE_WALKER_HH

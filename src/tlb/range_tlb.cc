@@ -1,0 +1,80 @@
+#include "tlb/range_tlb.hh"
+
+#include "base/logging.hh"
+
+namespace eat::tlb
+{
+
+RangeTlb::RangeTlb(std::string name, unsigned entries)
+    : name_(std::move(name)), slots_(entries)
+{
+    eat_assert(entries >= 1, name_, ": range TLB needs >= 1 entry");
+}
+
+std::optional<vm::RangeTranslation>
+RangeTlb::lookup(Addr vaddr)
+{
+    for (auto &s : slots_) {
+        if (s.valid && s.range.contains(vaddr)) {
+            s.stamp = ++clock_;
+            ++hits_;
+            return s.range;
+        }
+    }
+    ++misses_;
+    return std::nullopt;
+}
+
+bool
+RangeTlb::probe(Addr vaddr) const
+{
+    for (const auto &s : slots_) {
+        if (s.valid && s.range.contains(vaddr))
+            return true;
+    }
+    return false;
+}
+
+void
+RangeTlb::fill(const vm::RangeTranslation &range)
+{
+    Slot *victim = nullptr;
+    for (auto &s : slots_) {
+        if (s.valid && s.range == range) {
+            // Already present (e.g. racing refills); just touch it.
+            s.stamp = ++clock_;
+            return;
+        }
+        if (!s.valid && !victim)
+            victim = &s;
+    }
+    if (!victim) {
+        victim = &slots_[0];
+        for (auto &s : slots_) {
+            if (s.stamp < victim->stamp)
+                victim = &s;
+        }
+    }
+    victim->valid = true;
+    victim->range = range;
+    victim->stamp = ++clock_;
+    ++fills_;
+}
+
+void
+RangeTlb::invalidateAll()
+{
+    for (auto &s : slots_)
+        s.valid = false;
+}
+
+unsigned
+RangeTlb::validCount() const
+{
+    unsigned n = 0;
+    for (const auto &s : slots_)
+        n += s.valid ? 1 : 0;
+    return n;
+}
+
+} // namespace eat::tlb

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Range TLB: a fully associative cache of range translations.
+ *
+ * Each entry maps an *arbitrarily large* range of pages contiguous in
+ * both virtual and physical address space, so a tiny structure (4
+ * entries at L1, 32 at L2) can cover most of a process's address space.
+ * Lookups perform two comparisons per entry (base <= vaddr < limit),
+ * which is why the paper charges the range TLB the energy of a page TLB
+ * with twice the tag bits.
+ */
+
+#ifndef EAT_TLB_RANGE_TLB_HH
+#define EAT_TLB_RANGE_TLB_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "base/types.hh"
+#include "vm/range_table.hh"
+
+namespace eat::tlb
+{
+
+/** A fully associative TLB over range translations (LRU replacement). */
+class RangeTlb
+{
+  public:
+    RangeTlb(std::string name, unsigned entries);
+
+    /** Find the cached range containing @p vaddr (LRU updated on hit). */
+    std::optional<vm::RangeTranslation> lookup(Addr vaddr);
+
+    /** State-preserving hit test. */
+    bool probe(Addr vaddr) const;
+
+    /** Install a range translation (deduplicates; replaces LRU). */
+    void fill(const vm::RangeTranslation &range);
+
+    void invalidateAll();
+
+    const std::string &name() const { return name_; }
+    unsigned entries() const { return static_cast<unsigned>(slots_.size()); }
+    unsigned validCount() const;
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+    std::uint64_t fills() const { return fills_; }
+
+  private:
+    struct Slot
+    {
+        bool valid = false;
+        vm::RangeTranslation range{};
+        std::uint64_t stamp = 0;
+    };
+
+    std::string name_;
+    std::vector<Slot> slots_;
+    std::uint64_t clock_ = 0;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+    std::uint64_t fills_ = 0;
+};
+
+} // namespace eat::tlb
+
+#endif // EAT_TLB_RANGE_TLB_HH

@@ -1,0 +1,8 @@
+#include "tlb/range_walker.hh"
+
+// RangeTableWalker is header-only; this translation unit anchors the
+// module in the library.
+
+namespace eat::tlb
+{
+} // namespace eat::tlb

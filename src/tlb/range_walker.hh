@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Hardware range-table walker (RMM).
+ *
+ * On an L2 TLB miss in RMM configurations, the range-table walker
+ * searches the software range table in the background: it adds dynamic
+ * energy (a few memory references, B-tree depth) but no execution
+ * cycles (paper §5).
+ */
+
+#ifndef EAT_TLB_RANGE_WALKER_HH
+#define EAT_TLB_RANGE_WALKER_HH
+
+#include <optional>
+
+#include "vm/range_table.hh"
+
+namespace eat::tlb
+{
+
+/** The outcome of one background range-table walk. */
+struct RangeWalkResult
+{
+    std::optional<vm::RangeTranslation> range;
+    unsigned memRefs = 0;
+};
+
+/** The per-core hardware range-table walker. */
+class RangeTableWalker
+{
+  public:
+    explicit RangeTableWalker(const vm::RangeTable &table) : table_(table) {}
+
+    /** Search the range table for @p vaddr. */
+    RangeWalkResult
+    walk(Addr vaddr) const
+    {
+        return RangeWalkResult{table_.lookup(vaddr), table_.walkRefs()};
+    }
+
+  private:
+    const vm::RangeTable &table_;
+};
+
+} // namespace eat::tlb
+
+#endif // EAT_TLB_RANGE_WALKER_HH

@@ -1,0 +1,136 @@
+#include "tlb/set_assoc_tlb.hh"
+
+#include "base/logging.hh"
+
+namespace eat::tlb
+{
+
+SetAssocTlb::SetAssocTlb(std::string name, unsigned entries, unsigned ways,
+                         unsigned shift)
+    : name_(std::move(name)),
+      sets_(entries / (ways ? ways : 1)),
+      ways_(ways),
+      activeWays_(ways),
+      shift_(shift),
+      slots_(entries)
+{
+    eat_assert(ways >= 1, name_, ": ways must be >= 1");
+    eat_assert(entries % ways == 0,
+               name_, ": entries (", entries, ") not divisible by ways (",
+               ways, ")");
+    eat_assert(isPowerOfTwo(sets_),
+               name_, ": set count (", sets_, ") must be a power of two");
+}
+
+TlbLookupResult
+SetAssocTlb::lookupWithShift(Addr vaddr, unsigned idxShift)
+{
+    const unsigned set = indexOf(vaddr, idxShift);
+    Slot *slots = slotsOfSet(set);
+
+    for (unsigned way = 0; way < activeWays_; ++way) {
+        Slot &s = slots[way];
+        if (!s.valid || !s.entry.covers(vaddr))
+            continue;
+
+        // LRU distance among the active ways: number of valid active
+        // entries older than the hit (invalid ways count as older, i.e.
+        // they sit at the LRU end of the stack).
+        unsigned moreRecent = 0;
+        for (unsigned w = 0; w < activeWays_; ++w) {
+            if (w != way && slots[w].valid && slots[w].stamp > s.stamp)
+                ++moreRecent;
+        }
+        eat_assert(moreRecent < activeWays_, "corrupt recency stamps");
+        const unsigned distance = activeWays_ - 1 - moreRecent;
+
+        s.stamp = ++clock_;
+        ++hits_;
+        return TlbLookupResult{true, distance, s.entry};
+    }
+
+    ++misses_;
+    return TlbLookupResult{};
+}
+
+bool
+SetAssocTlb::probe(Addr vaddr) const
+{
+    const unsigned set = indexOf(vaddr, shift_);
+    const Slot *slots = slotsOfSet(set);
+    for (unsigned way = 0; way < activeWays_; ++way) {
+        if (slots[way].valid && slots[way].entry.covers(vaddr))
+            return true;
+    }
+    return false;
+}
+
+void
+SetAssocTlb::fill(const TlbEntry &entry)
+{
+    const unsigned set = indexOf(entry.vbase, entry.shift);
+    Slot *slots = slotsOfSet(set);
+
+    // Reuse a slot already covering the region (refill), else an invalid
+    // slot, else evict the LRU among the active ways.
+    Slot *victim = nullptr;
+    for (unsigned way = 0; way < activeWays_; ++way) {
+        Slot &s = slots[way];
+        if (s.valid && s.entry.covers(entry.vbase)) {
+            victim = &s;
+            break;
+        }
+        if (!s.valid && !victim)
+            victim = &s;
+    }
+    if (!victim) {
+        victim = &slots[0];
+        for (unsigned way = 1; way < activeWays_; ++way) {
+            if (slots[way].stamp < victim->stamp)
+                victim = &slots[way];
+        }
+    }
+
+    victim->valid = true;
+    victim->entry = entry;
+    victim->stamp = ++clock_;
+    ++fills_;
+}
+
+void
+SetAssocTlb::invalidateAll()
+{
+    for (auto &s : slots_)
+        s.valid = false;
+}
+
+void
+SetAssocTlb::setActiveWays(unsigned w)
+{
+    eat_assert(isPowerOfTwo(w) && w >= 1 && w <= ways_,
+               name_, ": invalid active-way count ", w);
+    if (w == activeWays_)
+        return;
+    if (w < activeWays_) {
+        // Disabling ways: invalidate their entries so re-activation
+        // never exposes stale translations (consistency, paper §4.2.3).
+        for (unsigned set = 0; set < sets_; ++set) {
+            Slot *slots = slotsOfSet(set);
+            for (unsigned way = w; way < activeWays_; ++way)
+                slots[way].valid = false;
+        }
+    }
+    activeWays_ = w;
+    ++resizes_;
+}
+
+unsigned
+SetAssocTlb::validCount() const
+{
+    unsigned n = 0;
+    for (const auto &s : slots_)
+        n += s.valid ? 1 : 0;
+    return n;
+}
+
+} // namespace eat::tlb

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Set-associative TLB with true LRU replacement and way-disabling.
+ *
+ * This single structure models the per-page-size L1 TLBs, the L2 TLB,
+ * the MMU paging-structure caches (with a non-page shift), the mixed
+ * 4KB/2MB TLBs of TLB_PP (per-lookup index shift), and — with
+ * ways == entries — fully associative TLBs.
+ *
+ * Two features exist specifically for the Lite mechanism:
+ *
+ *  - lookups report the hit's LRU *distance* among the active ways
+ *    (0 = LRU position, activeWays-1 = MRU), feeding the Figure-6
+ *    lru-distance-counters;
+ *  - setActiveWays() disables/enables physical ways in powers of two;
+ *    disabling invalidates the victims (TLBs hold no dirty data), and
+ *    lookups search only active ways, which is what saves energy.
+ */
+
+#ifndef EAT_TLB_SET_ASSOC_TLB_HH
+#define EAT_TLB_SET_ASSOC_TLB_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/types.hh"
+#include "tlb/tlb_entry.hh"
+
+namespace eat::tlb
+{
+
+/** The outcome of one TLB lookup. */
+struct TlbLookupResult
+{
+    bool hit = false;
+    /** LRU distance of the hit among active ways (valid iff hit). */
+    unsigned lruDistance = 0;
+    TlbEntry entry{};
+};
+
+/** A set-associative TLB (see file comment for the roles it plays). */
+class SetAssocTlb
+{
+  public:
+    /**
+     * @param name for reports and error messages.
+     * @param entries total entry count (sets * ways).
+     * @param ways associativity; ways == entries gives full
+     *             associativity (one set).
+     * @param shift log2 of the region one entry covers; also selects
+     *              the index bits (index = (vaddr >> shift) & (sets-1)).
+     */
+    SetAssocTlb(std::string name, unsigned entries, unsigned ways,
+                unsigned shift);
+
+    /** Look up @p vaddr (LRU updated on hit), indexing with @p shift. */
+    TlbLookupResult lookup(Addr vaddr) { return lookupWithShift(vaddr, shift_); }
+
+    /**
+     * Mixed-TLB lookup (TLB_PP): index with @p idxShift (the predicted
+     * page size's shift); the tag match still uses each entry's own
+     * covered region.
+     */
+    TlbLookupResult lookupWithShift(Addr vaddr, unsigned idxShift);
+
+    /** State-preserving hit test (no LRU update, no counters). */
+    bool probe(Addr vaddr) const;
+
+    /** Install @p entry (its own shift selects the set). Replaces LRU. */
+    void fill(const TlbEntry &entry);
+
+    /** Invalidate everything (all ways, active or not). */
+    void invalidateAll();
+
+    /**
+     * Way-disabling / re-enabling. @p w must be a power of two in
+     * [1, ways]. Shrinking invalidates the entries in disabled ways;
+     * growing exposes empty (previously invalidated) ways.
+     */
+    void setActiveWays(unsigned w);
+
+    const std::string &name() const { return name_; }
+    unsigned sets() const { return sets_; }
+    unsigned ways() const { return ways_; }
+    unsigned activeWays() const { return activeWays_; }
+    unsigned entries() const { return sets_ * ways_; }
+    unsigned activeEntries() const { return sets_ * activeWays_; }
+    unsigned shift() const { return shift_; }
+    bool fullyAssociative() const { return sets_ == 1; }
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+    std::uint64_t fills() const { return fills_; }
+    std::uint64_t resizes() const { return resizes_; }
+
+    /** Number of currently valid entries (for tests). */
+    unsigned validCount() const;
+
+  private:
+    struct Slot
+    {
+        bool valid = false;
+        TlbEntry entry{};
+        std::uint64_t stamp = 0;
+    };
+
+    Slot *slotsOfSet(unsigned set) { return &slots_[set * ways_]; }
+    const Slot *slotsOfSet(unsigned set) const { return &slots_[set * ways_]; }
+
+    unsigned
+    indexOf(Addr vaddr, unsigned idxShift) const
+    {
+        return static_cast<unsigned>((vaddr >> idxShift) & (sets_ - 1));
+    }
+
+    std::string name_;
+    unsigned sets_;
+    unsigned ways_;
+    unsigned activeWays_;
+    unsigned shift_;
+    std::vector<Slot> slots_;
+    std::uint64_t clock_ = 0;
+
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+    std::uint64_t fills_ = 0;
+    std::uint64_t resizes_ = 0;
+};
+
+} // namespace eat::tlb
+
+#endif // EAT_TLB_SET_ASSOC_TLB_HH

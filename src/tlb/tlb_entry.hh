@@ -1,0 +1,52 @@
+/**
+ * @file
+ * The entry format shared by page TLBs and MMU paging-structure caches.
+ */
+
+#ifndef EAT_TLB_TLB_ENTRY_HH
+#define EAT_TLB_TLB_ENTRY_HH
+
+#include "base/types.hh"
+#include "vm/page_size.hh"
+
+namespace eat::tlb
+{
+
+/**
+ * One cached translation. @c shift defines the region the entry covers
+ * (page shift for TLBs, paging-structure granularity for MMU caches), so
+ * one structure can hold mixed page sizes (TLB_PP).
+ */
+struct TlbEntry
+{
+    Addr vbase = 0;  ///< covered region base (aligned to 1 << shift)
+    Addr pbase = 0;  ///< physical base (unused by MMU caches)
+    vm::PageSize size = vm::PageSize::Size4K;
+    unsigned shift = 12; ///< log2 of the covered region size
+
+    /** True iff @p vaddr falls in the region this entry covers. */
+    bool
+    covers(Addr vaddr) const
+    {
+        return (vaddr >> shift) == (vbase >> shift);
+    }
+
+    /** Translate an address inside the covered region. */
+    Addr
+    paddr(Addr vaddr) const
+    {
+        return pbase + (vaddr & ((Addr{1} << shift) - 1));
+    }
+};
+
+/** Build a page-TLB entry covering @p vaddr. */
+inline TlbEntry
+makePageEntry(Addr vaddr, Addr pbase, vm::PageSize size)
+{
+    const unsigned shift = vm::pageShift(size);
+    return TlbEntry{alignDown(vaddr, Addr{1} << shift), pbase, size, shift};
+}
+
+} // namespace eat::tlb
+
+#endif // EAT_TLB_TLB_ENTRY_HH

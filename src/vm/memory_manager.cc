@@ -1,0 +1,155 @@
+#include "vm/memory_manager.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace eat::vm
+{
+
+MemoryManager::MemoryManager(const OsPolicy &policy, std::uint64_t physBytes,
+                             std::uint64_t seed)
+    : policy_(policy), phys_(physBytes), rng_(seed)
+{
+    eat_assert(policy.thpCoverage >= 0.0 && policy.thpCoverage <= 1.0,
+               "thpCoverage must be in [0, 1]");
+    eat_assert(policy.eagerRangesPerRegion >= 1,
+               "eagerRangesPerRegion must be >= 1");
+}
+
+Region
+MemoryManager::mmap(std::uint64_t bytes)
+{
+    bytes = alignUp(std::max<std::uint64_t>(bytes, 4096), 4096);
+
+    // Large regions are 2 MB aligned virtually so THP can promote the
+    // whole interior.
+    const Addr valign = bytes >= 2_MiB ? 2_MiB : Addr{4096};
+    const Addr vbase = alignUp(nextVbase_, valign);
+    nextVbase_ = vbase + bytes + kGuardGap;
+
+    if (policy_.eagerPaging) {
+        // Eager paging: allocate the physical backing contiguously at
+        // request time and record the range translation(s).
+        const unsigned pieces = policy_.eagerRangesPerRegion;
+        const std::uint64_t rawPiece = bytes / pieces;
+        Addr v = vbase;
+        std::uint64_t remaining = bytes;
+        for (unsigned i = 0; i < pieces && remaining > 0; ++i) {
+            std::uint64_t pieceBytes =
+                (i + 1 == pieces) ? remaining
+                                  : alignUp(std::max<std::uint64_t>(
+                                                rawPiece, 4096), 4096);
+            pieceBytes = std::min(pieceBytes, remaining);
+            const Addr palign =
+                (policy_.transparentHugePages && pieceBytes >= 2_MiB &&
+                 pageOffset(v, PageSize::Size2M) == 0)
+                    ? 2_MiB
+                    : Addr{4096};
+            auto pbase = phys_.allocContiguous(pieceBytes, palign);
+            if (!pbase)
+                eat_fatal("physical memory exhausted (eager alloc of ",
+                          pieceBytes, " bytes)");
+            rangeTable_.insert({v, v + pieceBytes, *pbase});
+            mapChunk(v, *pbase, pieceBytes);
+            v += pieceBytes;
+            remaining -= pieceBytes;
+            if (pieces > 1 && remaining > 0) {
+                // Imperfect eager paging: burn one frame between the
+                // pieces so first-fit cannot make them physically
+                // adjacent again (the range table would merge them).
+                (void)phys_.allocContiguous(4096);
+            }
+        }
+    } else if (policy_.transparentHugePages) {
+        // THP without eager paging: each aligned 2 MB chunk is promoted
+        // independently (with probability thpCoverage); everything else
+        // is demand-style 4 KB allocation.
+        Addr v = vbase;
+        const Addr vend = vbase + bytes;
+        while (v < vend) {
+            const bool chunkAligned = pageOffset(v, PageSize::Size2M) == 0;
+            const bool chunkFits = vend - v >= 2_MiB;
+            if (chunkAligned && chunkFits &&
+                rng_.chance(policy_.thpCoverage)) {
+                auto pbase = phys_.allocContiguous(2_MiB, 2_MiB);
+                if (!pbase)
+                    eat_fatal("physical memory exhausted (THP chunk)");
+                pageTable_.map(v, *pbase, PageSize::Size2M);
+                v += 2_MiB;
+            } else {
+                const Addr next = chunkAligned && chunkFits
+                                      ? v + 2_MiB
+                                      : std::min(alignUp(v + 1, 2_MiB),
+                                                 vend);
+                mapScattered(v, next - v);
+                v = next;
+            }
+        }
+    } else {
+        // 4 KB-only baseline.
+        mapScattered(vbase, bytes);
+    }
+
+    const Region region{vbase, bytes};
+    regions_.push_back(region);
+    mappedBytes_ += bytes;
+    return region;
+}
+
+void
+MemoryManager::mapChunk(Addr vbase, Addr pbase, std::uint64_t bytes)
+{
+    Addr off = 0;
+    while (off < bytes) {
+        const Addr v = vbase + off;
+        const bool huge = policy_.transparentHugePages &&
+                          pageOffset(v, PageSize::Size2M) == 0 &&
+                          pageOffset(pbase + off, PageSize::Size2M) == 0 &&
+                          bytes - off >= 2_MiB &&
+                          rng_.chance(policy_.thpCoverage);
+        if (huge) {
+            pageTable_.map(v, pbase + off, PageSize::Size2M);
+            off += 2_MiB;
+        } else {
+            pageTable_.map(v, pbase + off, PageSize::Size4K);
+            off += 4096;
+        }
+    }
+}
+
+void
+MemoryManager::mapScattered(Addr vbase, std::uint64_t bytes)
+{
+    // Demand-paged 4 KB allocation. Physical frames come from the
+    // first-fit pool one page at a time; no range translations result.
+    for (Addr off = 0; off < bytes; off += 4096) {
+        auto pbase = phys_.allocContiguous(4096, 4096);
+        if (!pbase)
+            eat_fatal("physical memory exhausted (4 KB page)");
+        pageTable_.map(vbase + off, *pbase, PageSize::Size4K);
+    }
+}
+
+std::uint64_t
+MemoryManager::demoteRegion(const Region &region)
+{
+    std::uint64_t demoted = 0;
+    for (Addr v = alignUp(region.vbase, 2_MiB);
+         v + 2_MiB <= region.vlimit(); v += 2_MiB) {
+        if (pageTable_.demote(v))
+            ++demoted;
+    }
+    return demoted;
+}
+
+double
+MemoryManager::rangeCoverage() const
+{
+    if (mappedBytes_ == 0)
+        return 0.0;
+    return static_cast<double>(rangeTable_.coveredBytes()) /
+           static_cast<double>(mappedBytes_);
+}
+
+} // namespace eat::vm

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * The operating-system memory-management model.
+ *
+ * Owns one process's virtual address space, page table and range table,
+ * and implements the allocation policies the paper's configurations
+ * assume:
+ *
+ *  - 4 KB only (the 4KB baseline),
+ *  - transparent huge pages (THP: 2 MB mappings over aligned chunks),
+ *  - eager paging (RMM: contiguous physical allocation at request time,
+ *    recorded as range translations redundantly with the page table).
+ *
+ * "Perfect" eager paging (the paper's assumption) falls out of a fresh
+ * physical pool; imperfect contiguity can be modeled by fragmenting the
+ * pool or splitting regions into multiple ranges.
+ */
+
+#ifndef EAT_VM_MEMORY_MANAGER_HH
+#define EAT_VM_MEMORY_MANAGER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "base/rng.hh"
+#include "base/types.hh"
+#include "vm/page_size.hh"
+#include "vm/page_table.hh"
+#include "vm/phys_mem.hh"
+#include "vm/range_table.hh"
+
+namespace eat::vm
+{
+
+/** Allocation policy knobs for one simulated process. */
+struct OsPolicy
+{
+    /** Promote aligned 2 MB chunks to huge pages (THP). */
+    bool transparentHugePages = false;
+
+    /** Allocate physically contiguous ranges and fill the range table. */
+    bool eagerPaging = false;
+
+    /**
+     * Fraction of THP-eligible 2 MB chunks actually promoted (models the
+     * OS failing to find aligned physical memory under pressure).
+     */
+    double thpCoverage = 1.0;
+
+    /**
+     * Number of physically contiguous pieces an eager allocation is
+     * split into (1 = perfect eager paging; more models fragmentation).
+     */
+    unsigned eagerRangesPerRegion = 1;
+};
+
+/** A virtually contiguous mapped region returned by mmap(). */
+struct Region
+{
+    Addr vbase = 0;
+    std::uint64_t bytes = 0;
+
+    Addr vlimit() const { return vbase + bytes; }
+};
+
+/** One process's OS-level memory manager. */
+class MemoryManager
+{
+  public:
+    /**
+     * @param policy the allocation policy.
+     * @param physBytes physical pool size (must exceed the workload
+     *                  footprint).
+     * @param seed deterministic seed for probabilistic THP promotion.
+     */
+    MemoryManager(const OsPolicy &policy, std::uint64_t physBytes,
+                  std::uint64_t seed = 7);
+
+    /**
+     * Map @p bytes of fresh memory (rounded up to 4 KB) and return the
+     * region. Throws (fatal) if physical memory is exhausted.
+     */
+    Region mmap(std::uint64_t bytes);
+
+    /**
+     * Break all 2 MB mappings of @p region into 4 KB mappings (models
+     * the OS responding to memory pressure).
+     *
+     * @return number of huge pages demoted.
+     */
+    std::uint64_t demoteRegion(const Region &region);
+
+    const PageTable &pageTable() const { return pageTable_; }
+    const RangeTable &rangeTable() const { return rangeTable_; }
+    PhysicalMemory &physicalMemory() { return phys_; }
+    const std::vector<Region> &regions() const { return regions_; }
+    const OsPolicy &policy() const { return policy_; }
+
+    /** Total bytes mapped via mmap(). */
+    std::uint64_t mappedBytes() const { return mappedBytes_; }
+
+    /** Fraction of mapped bytes covered by range translations. */
+    double rangeCoverage() const;
+
+  private:
+    /** Map [vbase, vbase+bytes) onto [pbase, ...) with THP policy. */
+    void mapChunk(Addr vbase, Addr pbase, std::uint64_t bytes);
+
+    /** Map [vbase, ...) with per-page physical allocation (no ranges). */
+    void mapScattered(Addr vbase, std::uint64_t bytes);
+
+    OsPolicy policy_;
+    PhysicalMemory phys_;
+    PageTable pageTable_;
+    RangeTable rangeTable_;
+    Rng rng_;
+    std::vector<Region> regions_;
+    Addr nextVbase_ = 0x2000'0000;
+    std::uint64_t mappedBytes_ = 0;
+
+    /** Virtual guard gap between regions (keeps ranges distinct). */
+    static constexpr Addr kGuardGap = 2_MiB;
+};
+
+} // namespace eat::vm
+
+#endif // EAT_VM_MEMORY_MANAGER_HH

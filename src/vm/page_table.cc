@@ -1,0 +1,156 @@
+#include "vm/page_table.hh"
+
+#include "base/logging.hh"
+
+namespace eat::vm
+{
+
+namespace
+{
+
+constexpr Addr kNoLeaf = ~Addr{0};
+
+/** Radix index of @p vaddr at page-table level @p level (4 = PML4). */
+constexpr unsigned
+levelIndex(Addr vaddr, unsigned level)
+{
+    const unsigned shift = 12 + 9 * (level - 1);
+    return static_cast<unsigned>((vaddr >> shift) & 0x1ff);
+}
+
+/** The tree level at which a leaf of @p size lives (1 = PT). */
+constexpr unsigned
+leafLevel(PageSize size)
+{
+    switch (size) {
+      case PageSize::Size4K: return 1;
+      case PageSize::Size2M: return 2;
+      case PageSize::Size1G: return 3;
+    }
+    return 1;
+}
+
+constexpr PageSize
+levelPageSize(unsigned level)
+{
+    switch (level) {
+      case 1: return PageSize::Size4K;
+      case 2: return PageSize::Size2M;
+      default: return PageSize::Size1G;
+    }
+}
+
+} // namespace
+
+struct PageTable::Node
+{
+    struct Slot
+    {
+        std::unique_ptr<Node> child;
+        Addr leafPbase = kNoLeaf;
+
+        bool isLeaf() const { return leafPbase != kNoLeaf; }
+        bool isEmpty() const { return !child && !isLeaf(); }
+    };
+
+    std::array<Slot, 512> slots;
+};
+
+PageTable::PageTable() : root_(std::make_unique<Node>()) {}
+PageTable::~PageTable() = default;
+PageTable::PageTable(PageTable &&) noexcept = default;
+PageTable &PageTable::operator=(PageTable &&) noexcept = default;
+
+PageTable::Node *
+PageTable::ensureChild(Node &node, unsigned index)
+{
+    auto &slot = node.slots[index];
+    eat_assert(!slot.isLeaf(),
+               "mapping overlaps an existing larger page");
+    if (!slot.child)
+        slot.child = std::make_unique<Node>();
+    return slot.child.get();
+}
+
+void
+PageTable::map(Addr vbase, Addr pbase, PageSize size)
+{
+    eat_assert(pageOffset(vbase, size) == 0,
+               "vbase not aligned to ", pageSizeName(size));
+    eat_assert(pageOffset(pbase, size) == 0,
+               "pbase not aligned to ", pageSizeName(size));
+
+    Node *node = root_.get();
+    const unsigned leaf = leafLevel(size);
+    for (unsigned level = 4; level > leaf; --level)
+        node = ensureChild(*node, levelIndex(vbase, level));
+
+    auto &slot = node->slots[levelIndex(vbase, leaf)];
+    eat_assert(slot.isEmpty(),
+               "mapping overlaps an existing mapping at ", vbase);
+    slot.leafPbase = pbase;
+    ++counts_[static_cast<unsigned>(size)];
+}
+
+bool
+PageTable::unmap(Addr vbase, PageSize size)
+{
+    Node *node = root_.get();
+    const unsigned leaf = leafLevel(size);
+    for (unsigned level = 4; level > leaf; --level) {
+        auto &slot = node->slots[levelIndex(vbase, level)];
+        if (!slot.child)
+            return false;
+        node = slot.child.get();
+    }
+    auto &slot = node->slots[levelIndex(vbase, leaf)];
+    if (!slot.isLeaf())
+        return false;
+    slot.leafPbase = kNoLeaf;
+    --counts_[static_cast<unsigned>(size)];
+    return true;
+}
+
+std::optional<Translation>
+PageTable::translate(Addr vaddr) const
+{
+    const Node *node = root_.get();
+    for (unsigned level = 4; level >= 1; --level) {
+        const auto &slot = node->slots[levelIndex(vaddr, level)];
+        if (slot.isLeaf()) {
+            eat_assert(level <= 3, "leaf above the PDPT level");
+            const PageSize size = levelPageSize(level);
+            return Translation{pageBase(vaddr, size), slot.leafPbase, size};
+        }
+        if (!slot.child)
+            return std::nullopt;
+        node = slot.child.get();
+    }
+    return std::nullopt;
+}
+
+bool
+PageTable::demote(Addr vbase)
+{
+    if (pageOffset(vbase, PageSize::Size2M) != 0)
+        return false;
+    auto t = translate(vbase);
+    if (!t || t->size != PageSize::Size2M)
+        return false;
+
+    const Addr pbase = t->pbase;
+    if (!unmap(vbase, PageSize::Size2M))
+        return false;
+    const Addr step = pageBytes(PageSize::Size4K);
+    for (Addr off = 0; off < pageBytes(PageSize::Size2M); off += step)
+        map(vbase + off, pbase + off, PageSize::Size4K);
+    return true;
+}
+
+std::uint64_t
+PageTable::pageCount(PageSize size) const
+{
+    return counts_[static_cast<unsigned>(size)];
+}
+
+} // namespace eat::vm

@@ -1,0 +1,120 @@
+#include "vm/phys_mem.hh"
+
+#include <vector>
+
+#include "base/logging.hh"
+
+namespace eat::vm
+{
+
+PhysicalMemory::PhysicalMemory(std::uint64_t bytes, Addr base)
+    : capacity_(bytes), freeBytes_(bytes)
+{
+    eat_assert(bytes > 0 && bytes % 4096 == 0,
+               "capacity must be a nonzero multiple of 4 KB");
+    eat_assert(base % 4096 == 0, "base must be 4 KB aligned");
+    free_.emplace(base, bytes);
+}
+
+std::optional<Addr>
+PhysicalMemory::allocContiguous(std::uint64_t bytes, std::uint64_t align)
+{
+    eat_assert(bytes > 0 && bytes % 4096 == 0,
+               "allocation must be a nonzero multiple of 4 KB");
+    eat_assert(isPowerOfTwo(align) && align >= 4096,
+               "alignment must be a power of two >= 4 KB");
+
+    for (auto it = free_.begin(); it != free_.end(); ++it) {
+        const Addr extBase = it->first;
+        const std::uint64_t extSize = it->second;
+        const Addr start = alignUp(extBase, align);
+        if (start < extBase || start - extBase > extSize)
+            continue;
+        if (extSize - (start - extBase) < bytes)
+            continue;
+
+        // Split the extent: [extBase, start) stays, [start, start+bytes)
+        // is handed out, the tail is re-inserted.
+        const std::uint64_t head = start - extBase;
+        const std::uint64_t tail = extSize - head - bytes;
+        free_.erase(it);
+        if (head)
+            free_.emplace(extBase, head);
+        if (tail)
+            free_.emplace(start + bytes, tail);
+        freeBytes_ -= bytes;
+        return start;
+    }
+    return std::nullopt;
+}
+
+void
+PhysicalMemory::free(Addr base, std::uint64_t bytes)
+{
+    eat_assert(bytes > 0 && bytes % 4096 == 0, "free of unaligned extent");
+
+    auto [it, inserted] = free_.emplace(base, bytes);
+    eat_assert(inserted, "double free at ", base);
+    freeBytes_ += bytes;
+
+    // Coalesce with successor.
+    auto next = std::next(it);
+    if (next != free_.end() && it->first + it->second == next->first) {
+        it->second += next->second;
+        free_.erase(next);
+    }
+    // Coalesce with predecessor.
+    if (it != free_.begin()) {
+        auto prev = std::prev(it);
+        if (prev->first + prev->second == it->first) {
+            prev->second += it->second;
+            free_.erase(it);
+        }
+    }
+}
+
+void
+PhysicalMemory::fragment(double fraction, Rng &rng)
+{
+    if (fraction <= 0.0)
+        return;
+    // Collect current free extents, then re-allocate scattered 4 KB
+    // holes inside them. The holes are simply discarded (treated as
+    // pinned by other processes).
+    std::vector<std::pair<Addr, std::uint64_t>> extents(free_.begin(),
+                                                        free_.end());
+    for (const auto &[base, size] : extents) {
+        const std::uint64_t frames = size / 4096;
+        for (std::uint64_t f = 0; f < frames; ++f) {
+            if (!rng.chance(fraction))
+                continue;
+            const Addr hole = base + f * 4096;
+            // Carve the hole out of whatever free extent now holds it.
+            auto it = free_.upper_bound(hole);
+            if (it == free_.begin())
+                continue;
+            --it;
+            if (hole < it->first || hole + 4096 > it->first + it->second)
+                continue;
+            const Addr extBase = it->first;
+            const std::uint64_t extSize = it->second;
+            free_.erase(it);
+            if (hole > extBase)
+                free_.emplace(extBase, hole - extBase);
+            if (hole + 4096 < extBase + extSize)
+                free_.emplace(hole + 4096, extBase + extSize - hole - 4096);
+            freeBytes_ -= 4096;
+        }
+    }
+}
+
+std::uint64_t
+PhysicalMemory::largestFreeExtent() const
+{
+    std::uint64_t best = 0;
+    for (const auto &[base, size] : free_)
+        best = std::max(best, size);
+    return best;
+}
+
+} // namespace eat::vm

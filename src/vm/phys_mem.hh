@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Physical frame allocator.
+ *
+ * Models the pool of physical memory the OS hands out. Supports aligned
+ * contiguous allocation (needed for huge pages and for RMM's eager
+ * paging) and deliberate fragmentation injection so experiments can
+ * study imperfect contiguity.
+ */
+
+#ifndef EAT_VM_PHYS_MEM_HH
+#define EAT_VM_PHYS_MEM_HH
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "base/rng.hh"
+#include "base/types.hh"
+
+namespace eat::vm
+{
+
+/** A first-fit physical memory extent allocator (4 KB granularity). */
+class PhysicalMemory
+{
+  public:
+    /**
+     * @param bytes pool capacity; must be a multiple of 4 KB.
+     * @param base physical address of the first frame.
+     */
+    explicit PhysicalMemory(std::uint64_t bytes, Addr base = 0x1000);
+
+    /**
+     * Allocate @p bytes of physically contiguous memory aligned to
+     * @p align (a power of two >= 4 KB).
+     *
+     * @return base physical address, or std::nullopt when no extent fits.
+     */
+    std::optional<Addr> allocContiguous(std::uint64_t bytes,
+                                        std::uint64_t align = 4096);
+
+    /** Return an extent to the pool (coalesces with neighbours). */
+    void free(Addr base, std::uint64_t bytes);
+
+    /**
+     * Punch random 4 KB holes covering roughly @p fraction of the
+     * currently free space, destroying large-extent contiguity. Used to
+     * model a long-running system for eager-paging sensitivity studies.
+     */
+    void fragment(double fraction, Rng &rng);
+
+    std::uint64_t capacity() const { return capacity_; }
+    std::uint64_t allocated() const { return capacity_ - freeBytes_; }
+    std::uint64_t freeBytes() const { return freeBytes_; }
+
+    /** Size of the largest free extent (bytes). */
+    std::uint64_t largestFreeExtent() const;
+
+    /** Number of free extents (fragmentation indicator). */
+    std::size_t numFreeExtents() const { return free_.size(); }
+
+  private:
+    std::uint64_t capacity_;
+    std::uint64_t freeBytes_;
+    /** Free extents keyed by base address; value is extent size. */
+    std::map<Addr, std::uint64_t> free_;
+};
+
+} // namespace eat::vm
+
+#endif // EAT_VM_PHYS_MEM_HH

@@ -1,0 +1,91 @@
+#include "vm/range_table.hh"
+
+#include "base/logging.hh"
+
+namespace eat::vm
+{
+
+void
+RangeTable::insert(const RangeTranslation &range)
+{
+    eat_assert(range.vbase < range.vlimit, "empty or inverted range");
+    eat_assert(range.vbase % 4096 == 0 && range.vlimit % 4096 == 0,
+               "range bounds must be page aligned");
+
+    // Overlap check against neighbours.
+    auto next = ranges_.lower_bound(range.vbase);
+    if (next != ranges_.end())
+        eat_assert(range.vlimit <= next->second.vbase,
+                   "range overlaps successor");
+    if (next != ranges_.begin()) {
+        auto prev = std::prev(next);
+        eat_assert(prev->second.vlimit <= range.vbase,
+                   "range overlaps predecessor");
+    }
+
+    RangeTranslation merged = range;
+
+    // Merge with a predecessor that is contiguous in both spaces.
+    if (next != ranges_.begin()) {
+        auto prev = std::prev(next);
+        const auto &p = prev->second;
+        if (p.vlimit == merged.vbase &&
+            p.pbase + p.bytes() == merged.pbase) {
+            merged.vbase = p.vbase;
+            merged.pbase = p.pbase;
+            ranges_.erase(prev);
+        }
+    }
+    // Merge with a successor that is contiguous in both spaces.
+    if (next != ranges_.end()) {
+        const auto &n = next->second;
+        if (merged.vlimit == n.vbase &&
+            merged.pbase + merged.bytes() == n.pbase) {
+            merged.vlimit = n.vlimit;
+            ranges_.erase(next);
+        }
+    }
+
+    ranges_.emplace(merged.vbase, merged);
+}
+
+std::optional<RangeTranslation>
+RangeTable::lookup(Addr vaddr) const
+{
+    auto it = ranges_.upper_bound(vaddr);
+    if (it == ranges_.begin())
+        return std::nullopt;
+    --it;
+    if (it->second.contains(vaddr))
+        return it->second;
+    return std::nullopt;
+}
+
+bool
+RangeTable::erase(Addr vbase)
+{
+    return ranges_.erase(vbase) > 0;
+}
+
+std::uint64_t
+RangeTable::coveredBytes() const
+{
+    std::uint64_t total = 0;
+    for (const auto &[vbase, r] : ranges_)
+        total += r.bytes();
+    return total;
+}
+
+unsigned
+RangeTable::walkRefs() const
+{
+    unsigned depth = 1;
+    std::size_t capacity = kBTreeFanout;
+    while (capacity < ranges_.size()) {
+        capacity *= kBTreeFanout;
+        ++depth;
+    }
+    return depth;
+}
+
+} // namespace eat::vm

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Per-process software range table (Redundant Memory Mappings).
+ *
+ * RMM stores *range translations* — arbitrarily large ranges of pages
+ * contiguous in both virtual and physical address space — in an
+ * OS-managed table, redundantly with the page table. The hardware
+ * range-table walker searches it on L2 TLB misses. The paper models the
+ * table as a B-tree-like structure whose walk costs a few memory
+ * references but happens off the critical path.
+ */
+
+#ifndef EAT_VM_RANGE_TABLE_HH
+#define EAT_VM_RANGE_TABLE_HH
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "base/types.hh"
+
+namespace eat::vm
+{
+
+/** One range translation: [vbase, vlimit) maps contiguously to pbase. */
+struct RangeTranslation
+{
+    Addr vbase = 0;  ///< inclusive virtual start (page aligned)
+    Addr vlimit = 0; ///< exclusive virtual end (page aligned)
+    Addr pbase = 0;  ///< physical address of vbase
+
+    bool
+    contains(Addr vaddr) const
+    {
+        return vaddr >= vbase && vaddr < vlimit;
+    }
+
+    Addr bytes() const { return vlimit - vbase; }
+
+    /** Translate an address inside the range. */
+    Addr
+    paddr(Addr vaddr) const
+    {
+        return pbase + (vaddr - vbase);
+    }
+
+    bool
+    operator==(const RangeTranslation &o) const
+    {
+        return vbase == o.vbase && vlimit == o.vlimit && pbase == o.pbase;
+    }
+};
+
+/** The software range table of one process. */
+class RangeTable
+{
+  public:
+    /** Fan-out of the modeled B-tree (drives the walk cost). */
+    static constexpr unsigned kBTreeFanout = 8;
+
+    /**
+     * Insert a range; it must not overlap an existing one. Ranges that
+     * are virtually AND physically adjacent are merged.
+     */
+    void insert(const RangeTranslation &range);
+
+    /** Find the range containing @p vaddr, if any. */
+    std::optional<RangeTranslation> lookup(Addr vaddr) const;
+
+    /** Remove the range starting exactly at @p vbase. */
+    bool erase(Addr vbase);
+
+    std::size_t size() const { return ranges_.size(); }
+    bool empty() const { return ranges_.empty(); }
+
+    /** Total bytes covered by ranges. */
+    std::uint64_t coveredBytes() const;
+
+    /**
+     * Memory references a hardware walk of this table costs: the depth
+     * of a B-tree with fan-out kBTreeFanout (>= 1 even when empty, the
+     * root is always probed).
+     */
+    unsigned walkRefs() const;
+
+    /** Iteration support (for reports and tests). */
+    auto begin() const { return ranges_.begin(); }
+    auto end() const { return ranges_.end(); }
+
+  private:
+    /** Keyed by vbase. */
+    std::map<Addr, RangeTranslation> ranges_;
+};
+
+} // namespace eat::vm
+
+#endif // EAT_VM_RANGE_TABLE_HH

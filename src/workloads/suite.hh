@@ -1,0 +1,43 @@
+/**
+ * @file
+ * The named workload models.
+ *
+ * Substitution note (see DESIGN.md): the paper traced real SPEC 2006,
+ * BioBench, and PARSEC binaries with Pin. This module models each
+ * workload as a deterministic synthetic generator calibrated to the
+ * published footprint (Table 4) and to the qualitative TLB behaviour
+ * the paper reports (Figures 4, 10, 11; Table 5): the MPKI band with
+ * 4 KB pages, how much huge pages help, the resting way-count Lite
+ * settles at, and the L1-range-TLB hit share under RMM_Lite.
+ */
+
+#ifndef EAT_WORKLOADS_SUITE_HH
+#define EAT_WORKLOADS_SUITE_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "workloads/workload.hh"
+
+namespace eat::workloads
+{
+
+/** The eight TLB-intensive workloads of the main evaluation (Table 4). */
+const std::vector<WorkloadSpec> &tlbIntensiveSuite();
+
+/** The remaining SPEC 2006 workloads (Figure 12, top/middle). */
+const std::vector<WorkloadSpec> &spec2006OtherSuite();
+
+/** The remaining PARSEC workloads (Figure 12, bottom). */
+const std::vector<WorkloadSpec> &parsecOtherSuite();
+
+/** Every workload in every suite. */
+std::vector<WorkloadSpec> allWorkloads();
+
+/** Find a workload by name across all suites. */
+std::optional<WorkloadSpec> findWorkload(const std::string &name);
+
+} // namespace eat::workloads
+
+#endif // EAT_WORKLOADS_SUITE_HH

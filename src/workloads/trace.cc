@@ -1,0 +1,125 @@
+#include "workloads/trace.hh"
+
+#include <array>
+#include <cstring>
+
+#include "base/logging.hh"
+
+namespace eat::workloads
+{
+
+namespace
+{
+
+constexpr char kMagic[8] = {'E', 'A', 'T', 'T', 'R', 'A', 'C', 'E'};
+constexpr std::uint32_t kVersion = 1;
+
+void
+putU32(std::ostream &os, std::uint32_t v)
+{
+    std::array<char, 4> buf;
+    for (int i = 0; i < 4; ++i)
+        buf[static_cast<std::size_t>(i)] = static_cast<char>(v >> (8 * i));
+    os.write(buf.data(), buf.size());
+}
+
+void
+putU64(std::ostream &os, std::uint64_t v)
+{
+    std::array<char, 8> buf;
+    for (int i = 0; i < 8; ++i)
+        buf[static_cast<std::size_t>(i)] = static_cast<char>(v >> (8 * i));
+    os.write(buf.data(), buf.size());
+}
+
+std::uint32_t
+getU32(std::istream &is)
+{
+    std::array<unsigned char, 4> buf{};
+    is.read(reinterpret_cast<char *>(buf.data()), buf.size());
+    std::uint32_t v = 0;
+    for (int i = 3; i >= 0; --i)
+        v = (v << 8) | buf[static_cast<std::size_t>(i)];
+    return v;
+}
+
+std::uint64_t
+getU64(std::istream &is)
+{
+    std::array<unsigned char, 8> buf{};
+    is.read(reinterpret_cast<char *>(buf.data()), buf.size());
+    std::uint64_t v = 0;
+    for (int i = 7; i >= 0; --i)
+        v = (v << 8) | buf[static_cast<std::size_t>(i)];
+    return v;
+}
+
+} // namespace
+
+TraceWriter::TraceWriter(const std::string &path)
+    : out_(path, std::ios::binary | std::ios::trunc), path_(path)
+{
+    if (!out_)
+        eat_fatal("cannot open trace file for writing: ", path);
+    out_.write(kMagic, sizeof(kMagic));
+    putU32(out_, kVersion);
+    putU32(out_, 0); // record count, patched in close()
+}
+
+TraceWriter::~TraceWriter()
+{
+    close();
+}
+
+void
+TraceWriter::write(const MemOp &op)
+{
+    eat_assert(!closed_, "write after close on trace ", path_);
+    eat_assert(op.instrGap <= UINT32_MAX, "instruction gap overflow");
+    putU64(out_, op.vaddr);
+    putU32(out_, static_cast<std::uint32_t>(op.instrGap));
+    ++records_;
+}
+
+void
+TraceWriter::close()
+{
+    if (closed_)
+        return;
+    closed_ = true;
+    out_.seekp(sizeof(kMagic) + 4);
+    eat_assert(records_ <= UINT32_MAX, "trace too long for format v1");
+    putU32(out_, static_cast<std::uint32_t>(records_));
+    out_.close();
+}
+
+TraceReader::TraceReader(const std::string &path)
+    : in_(path, std::ios::binary)
+{
+    if (!in_)
+        eat_fatal("cannot open trace file: ", path);
+    char magic[8];
+    in_.read(magic, sizeof(magic));
+    if (!in_ || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+        eat_fatal("not an EAT trace file: ", path);
+    const std::uint32_t version = getU32(in_);
+    if (version != kVersion)
+        eat_fatal("unsupported trace version ", version, " in ", path);
+    total_ = getU32(in_);
+}
+
+std::optional<MemOp>
+TraceReader::next()
+{
+    if (read_ >= total_)
+        return std::nullopt;
+    MemOp op;
+    op.vaddr = getU64(in_);
+    op.instrGap = getU32(in_);
+    if (!in_)
+        eat_fatal("truncated trace file");
+    ++read_;
+    return op;
+}
+
+} // namespace eat::workloads

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Binary trace recording and replay.
+ *
+ * Generated operation streams can be captured to a compact binary file
+ * and replayed later, decoupling workload generation from simulation
+ * (the role Pin trace files played for the paper's infrastructure).
+ *
+ * Format: 16-byte header ("EATTRACE", version, record count), then one
+ * record per operation: vaddr (8 bytes LE) + instruction gap (4 bytes
+ * LE).
+ */
+
+#ifndef EAT_WORKLOADS_TRACE_HH
+#define EAT_WORKLOADS_TRACE_HH
+
+#include <cstdint>
+#include <fstream>
+#include <optional>
+#include <string>
+
+#include "workloads/workload.hh"
+
+namespace eat::workloads
+{
+
+/** Writes a memory-operation trace file. */
+class TraceWriter
+{
+  public:
+    /** Open @p path for writing; truncates an existing file. */
+    explicit TraceWriter(const std::string &path);
+    ~TraceWriter();
+
+    TraceWriter(const TraceWriter &) = delete;
+    TraceWriter &operator=(const TraceWriter &) = delete;
+
+    /** Append one operation. */
+    void write(const MemOp &op);
+
+    /** Finalize the header; called automatically by the destructor. */
+    void close();
+
+    std::uint64_t recordsWritten() const { return records_; }
+
+  private:
+    std::ofstream out_;
+    std::string path_;
+    std::uint64_t records_ = 0;
+    bool closed_ = false;
+};
+
+/** Reads a memory-operation trace file. */
+class TraceReader
+{
+  public:
+    /** Open @p path; throws (fatal) on a missing or malformed file. */
+    explicit TraceReader(const std::string &path);
+
+    /** The next operation, or std::nullopt at end of trace. */
+    std::optional<MemOp> next();
+
+    std::uint64_t totalRecords() const { return total_; }
+    std::uint64_t recordsRead() const { return read_; }
+
+  private:
+    std::ifstream in_;
+    std::uint64_t total_ = 0;
+    std::uint64_t read_ = 0;
+};
+
+} // namespace eat::workloads
+
+#endif // EAT_WORKLOADS_TRACE_HH

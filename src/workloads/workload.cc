@@ -1,0 +1,65 @@
+#include "workloads/workload.hh"
+
+#include "base/logging.hh"
+
+namespace eat::workloads
+{
+
+std::uint64_t
+WorkloadSpec::footprintBytes() const
+{
+    std::uint64_t total = 0;
+    for (const auto &a : allocs)
+        total += a.bytes * a.count;
+    return total;
+}
+
+WorkloadGenerator::WorkloadGenerator(const WorkloadSpec &spec,
+                                     vm::MemoryManager &mm,
+                                     std::uint64_t seed)
+    : rng_(seed),
+      gapNumerator_(1000),
+      gapDenominator_(spec.memOpsPerKiloInstr)
+{
+    eat_assert(spec.memOpsPerKiloInstr >= 1 &&
+                   spec.memOpsPerKiloInstr <= 1000,
+               spec.name, ": memOpsPerKiloInstr must be in [1, 1000]");
+    eat_assert(!spec.allocs.empty(), spec.name, ": no allocations");
+    eat_assert(spec.buildPattern != nullptr, spec.name, ": no pattern");
+
+    for (const auto &a : spec.allocs) {
+        for (unsigned i = 0; i < a.count; ++i)
+            regions_.push_back(mm.mmap(a.bytes));
+    }
+    pattern_ = spec.buildPattern(regions_);
+    eat_assert(pattern_ != nullptr, spec.name, ": pattern builder failed");
+}
+
+InstrCount
+WorkloadGenerator::nextGap()
+{
+    // gap = ceil-or-floor of 1000/opsPerKilo with an error accumulator,
+    // so the average is exact and the stream is deterministic.
+    gapCarry_ += gapNumerator_;
+    const std::uint64_t gap = gapCarry_ / gapDenominator_;
+    gapCarry_ %= gapDenominator_;
+    return gap > 0 ? gap : 1;
+}
+
+MemOp
+WorkloadGenerator::next()
+{
+    const InstrCount gap = nextGap();
+    now_ += gap;
+    return MemOp{pattern_->next(rng_, now_), gap};
+}
+
+void
+WorkloadGenerator::skip(InstrCount instructions)
+{
+    const InstrCount target = now_ + instructions;
+    while (now_ < target)
+        (void)next();
+}
+
+} // namespace eat::workloads

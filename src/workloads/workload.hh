@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Workload specification and the deterministic memory-operation
+ * generator that feeds the MMU.
+ */
+
+#ifndef EAT_WORKLOADS_WORKLOAD_HH
+#define EAT_WORKLOADS_WORKLOAD_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "base/rng.hh"
+#include "base/types.hh"
+#include "vm/memory_manager.hh"
+#include "workloads/pattern.hh"
+
+namespace eat::workloads
+{
+
+/** One allocation the workload performs at startup. */
+struct AllocSpec
+{
+    std::uint64_t bytes = 0;
+    unsigned count = 1; ///< number of identical regions to mmap
+};
+
+/**
+ * A declarative workload model: its allocations, its access-pattern
+ * recipe (built once the regions are mapped), and its density of memory
+ * operations.
+ */
+struct WorkloadSpec
+{
+    std::string name;
+    std::string suite;        ///< "SPEC 2006", "PARSEC", "BioBench"
+    bool tlbIntensive = false;///< > 5 L1 TLB MPKI with 4 KB pages (paper)
+    unsigned memOpsPerKiloInstr = 300;
+    std::vector<AllocSpec> allocs;
+
+    /**
+     * Build the access pattern over the mapped regions. The regions
+     * arrive in allocation order: allocs[0].count regions first, then
+     * allocs[1].count, and so on.
+     */
+    std::function<PatternPtr(const std::vector<vm::Region> &)> buildPattern;
+
+    /** Total footprint in bytes. */
+    std::uint64_t footprintBytes() const;
+};
+
+/** One generated memory operation. */
+struct MemOp
+{
+    Addr vaddr = 0;
+    /** Instructions retired since the previous memory operation
+     *  (>= 1; includes this operation's instruction). */
+    InstrCount instrGap = 1;
+};
+
+/**
+ * Drives a WorkloadSpec: performs its allocations against a
+ * MemoryManager and then produces the deterministic operation stream.
+ */
+class WorkloadGenerator
+{
+  public:
+    /**
+     * Allocates the workload's regions through @p mm and builds the
+     * pattern. The same (spec, seed) pair always yields bit-identical
+     * streams regardless of the OS policy in @p mm.
+     */
+    WorkloadGenerator(const WorkloadSpec &spec, vm::MemoryManager &mm,
+                      std::uint64_t seed);
+
+    /** The next memory operation. */
+    MemOp next();
+
+    /** Fast-forward roughly @p instructions instructions of execution. */
+    void skip(InstrCount instructions);
+
+    /** Instructions retired so far (including gaps already emitted). */
+    InstrCount instructionsRetired() const { return now_; }
+
+    const std::vector<vm::Region> &regions() const { return regions_; }
+
+  private:
+    InstrCount nextGap();
+
+    PatternPtr pattern_;
+    std::vector<vm::Region> regions_;
+    Rng rng_;
+    InstrCount now_ = 0;
+
+    // Fixed-point gap accumulator: emits gaps whose long-run average is
+    // exactly 1000 / memOpsPerKiloInstr instructions.
+    std::uint64_t gapNumerator_;   ///< 1000
+    std::uint64_t gapDenominator_; ///< memOpsPerKiloInstr
+    std::uint64_t gapCarry_ = 0;
+};
+
+} // namespace eat::workloads
+
+#endif // EAT_WORKLOADS_WORKLOAD_HH

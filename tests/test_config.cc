@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Tests that the six organization presets match the paper's §5
+ * configurations (Figure 9) exactly.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/config.hh"
+
+namespace eat::core
+{
+namespace
+{
+
+TEST(Config, AllOrgsListedInPaperOrder)
+{
+    const auto &orgs = allOrgs();
+    ASSERT_EQ(orgs.size(), 6u);
+    EXPECT_EQ(orgs[0], MmuOrg::Base4K);
+    EXPECT_EQ(orgs[1], MmuOrg::Thp);
+    EXPECT_EQ(orgs[2], MmuOrg::TlbLite);
+    EXPECT_EQ(orgs[3], MmuOrg::Rmm);
+    EXPECT_EQ(orgs[4], MmuOrg::TlbPP);
+    EXPECT_EQ(orgs[5], MmuOrg::RmmLite);
+}
+
+TEST(Config, Names)
+{
+    EXPECT_EQ(orgName(MmuOrg::Base4K), "4KB");
+    EXPECT_EQ(orgName(MmuOrg::Thp), "THP");
+    EXPECT_EQ(orgName(MmuOrg::TlbLite), "TLB_Lite");
+    EXPECT_EQ(orgName(MmuOrg::Rmm), "RMM");
+    EXPECT_EQ(orgName(MmuOrg::TlbPP), "TLB_PP");
+    EXPECT_EQ(orgName(MmuOrg::RmmLite), "RMM_Lite");
+}
+
+TEST(Config, SandyBridgeGeometryIsTheDefault)
+{
+    const auto cfg = MmuConfig::make(MmuOrg::Thp);
+    EXPECT_EQ(cfg.l1Tlb4K.entries, 64u);
+    EXPECT_EQ(cfg.l1Tlb4K.ways, 4u);
+    EXPECT_EQ(cfg.l1Tlb2M.entries, 32u);
+    EXPECT_EQ(cfg.l1Tlb2M.ways, 4u);
+    EXPECT_EQ(cfg.l1Tlb1GEntries, 4u);
+    EXPECT_EQ(cfg.l2Tlb.entries, 512u);
+    EXPECT_EQ(cfg.l2Tlb.ways, 4u);
+    EXPECT_EQ(cfg.l1RangeEntries, 4u);
+    EXPECT_EQ(cfg.l2RangeEntries, 32u);
+    EXPECT_EQ(cfg.mmuCache.pdeEntries, 32u);
+    EXPECT_EQ(cfg.mmuCache.pdeWays, 2u);
+    EXPECT_EQ(cfg.mmuCache.pdpteEntries, 4u);
+    EXPECT_EQ(cfg.mmuCache.pml4Entries, 2u);
+    EXPECT_EQ(cfg.l2HitLatency, 7u);
+    EXPECT_EQ(cfg.pageWalkLatency, 50u);
+    EXPECT_DOUBLE_EQ(cfg.walkL1CacheHitRatio, 1.0);
+}
+
+TEST(Config, StructurePresenceFollowsOrganization)
+{
+    EXPECT_FALSE(MmuConfig::make(MmuOrg::Base4K).hasL2Range);
+    EXPECT_FALSE(MmuConfig::make(MmuOrg::Thp).liteEnabled);
+    EXPECT_TRUE(MmuConfig::make(MmuOrg::TlbLite).liteEnabled);
+    EXPECT_TRUE(MmuConfig::make(MmuOrg::Rmm).hasL2Range);
+    EXPECT_FALSE(MmuConfig::make(MmuOrg::Rmm).hasL1Range);
+    EXPECT_FALSE(MmuConfig::make(MmuOrg::Rmm).liteEnabled);
+    EXPECT_TRUE(MmuConfig::make(MmuOrg::TlbPP).mixedTlbs);
+    const auto rmmLite = MmuConfig::make(MmuOrg::RmmLite);
+    EXPECT_TRUE(rmmLite.hasL1Range);
+    EXPECT_TRUE(rmmLite.hasL2Range);
+    EXPECT_TRUE(rmmLite.liteEnabled);
+}
+
+TEST(Config, LiteThresholdsMatchPaperSection5)
+{
+    // TLB_Lite: 12.5% relative; RMM_Lite: 0.1 MPKI absolute.
+    const auto tlbLite = MmuConfig::make(MmuOrg::TlbLite);
+    EXPECT_EQ(tlbLite.lite.mode, lite::ThresholdMode::Relative);
+    EXPECT_DOUBLE_EQ(tlbLite.lite.epsilonRelative, 0.125);
+    EXPECT_EQ(tlbLite.lite.intervalInstructions, 1'000'000u);
+    EXPECT_EQ(tlbLite.lite.minWays, 1u);
+
+    const auto rmmLite = MmuConfig::make(MmuOrg::RmmLite);
+    EXPECT_EQ(rmmLite.lite.mode, lite::ThresholdMode::Absolute);
+    EXPECT_DOUBLE_EQ(rmmLite.lite.epsilonAbsoluteMpki, 0.1);
+}
+
+TEST(Config, OsPoliciesFollowOrganization)
+{
+    auto pol = [](MmuOrg org) { return MmuConfig::make(org).osPolicy(); };
+    EXPECT_FALSE(pol(MmuOrg::Base4K).transparentHugePages);
+    EXPECT_FALSE(pol(MmuOrg::Base4K).eagerPaging);
+    EXPECT_TRUE(pol(MmuOrg::Thp).transparentHugePages);
+    EXPECT_TRUE(pol(MmuOrg::TlbLite).transparentHugePages);
+    EXPECT_TRUE(pol(MmuOrg::TlbPP).transparentHugePages);
+    // RMM: huge pages + eager paging; RMM_Lite: 4 KB + eager only.
+    EXPECT_TRUE(pol(MmuOrg::Rmm).transparentHugePages);
+    EXPECT_TRUE(pol(MmuOrg::Rmm).eagerPaging);
+    EXPECT_FALSE(pol(MmuOrg::RmmLite).transparentHugePages);
+    EXPECT_TRUE(pol(MmuOrg::RmmLite).eagerPaging);
+}
+
+} // namespace
+} // namespace eat::core

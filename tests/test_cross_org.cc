@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Cross-organization structural properties, parameterized over all six
+ * organizations: wiring, masking, accounting, and determinism
+ * invariants that must hold regardless of workload.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/mmu.hh"
+#include "vm/memory_manager.hh"
+#include "workloads/workload.hh"
+
+namespace eat::core
+{
+namespace
+{
+
+class OrgTest : public ::testing::TestWithParam<MmuOrg>
+{
+  protected:
+    /** A tiny self-contained process touching 4 KB and 2 MB pages. */
+    void
+    SetUp() override
+    {
+        auto policy = MmuConfig::make(GetParam()).osPolicy();
+        mm = std::make_unique<vm::MemoryManager>(policy, 128_MiB);
+        big = mm->mmap(16_MiB); // 2 MB-eligible
+        small = mm->mmap(64_KiB);
+    }
+
+    Mmu
+    makeMmu()
+    {
+        const auto cfg = MmuConfig::make(GetParam());
+        const vm::RangeTable *rt =
+            (cfg.hasL1Range || cfg.hasL2Range) ? &mm->rangeTable()
+                                               : nullptr;
+        return Mmu(cfg, mm->pageTable(), rt);
+    }
+
+    void
+    drive(Mmu &mmu, int ops)
+    {
+        for (int i = 0; i < ops; ++i) {
+            mmu.tick(3);
+            const Addr base = (i % 3 == 0) ? small.vbase : big.vbase;
+            const std::uint64_t span =
+                (i % 3 == 0) ? small.bytes : big.bytes;
+            mmu.access(base + (static_cast<std::uint64_t>(i) * 4096 +
+                               i % 64 * 8) %
+                                  span);
+        }
+    }
+
+    std::unique_ptr<vm::MemoryManager> mm;
+    vm::Region big, small;
+};
+
+TEST_P(OrgTest, EveryOpIsAccountedExactlyOnce)
+{
+    auto mmu = makeMmu();
+    drive(mmu, 5000);
+    const auto &s = mmu.stats();
+    EXPECT_EQ(s.memOps, 5000u);
+    EXPECT_EQ(s.l1Hits + s.l2Hits + s.l2Misses, s.memOps);
+    std::uint64_t bySource = 0;
+    for (unsigned i = 0; i < static_cast<unsigned>(HitSource::Count); ++i)
+        bySource += s.hitsBySource[i];
+    EXPECT_EQ(bySource, s.memOps);
+}
+
+TEST_P(OrgTest, EnergyIsStrictlyPositiveAndConsistent)
+{
+    auto mmu = makeMmu();
+    drive(mmu, 2000);
+    const auto r = mmu.energyReport();
+    EXPECT_GT(r.breakdown.total(), 0.0);
+    double structTotal = 0.0;
+    for (const auto &row : r.structs) {
+        EXPECT_FALSE(row.name.empty());
+        structTotal += row.readEnergy + row.writeEnergy;
+    }
+    EXPECT_NEAR(structTotal, r.breakdown.total(),
+                r.breakdown.total() * 1e-12);
+    EXPECT_GT(r.leakagePower, 0.0);
+    EXPECT_LE(r.staticEnergyGated, r.staticEnergyFull + 1e-9);
+}
+
+TEST_P(OrgTest, CycleModelIsExactlyTheTable3Formula)
+{
+    auto mmu = makeMmu();
+    drive(mmu, 3000);
+    const auto &s = mmu.stats();
+    EXPECT_EQ(s.l1MissCycles, s.l1Misses * 7);
+    EXPECT_EQ(s.walkCycles, s.l2Misses * 50);
+}
+
+TEST_P(OrgTest, RangeStructuresOnlyInRangeOrgs)
+{
+    auto mmu = makeMmu();
+    const auto cfg = MmuConfig::make(GetParam());
+    EXPECT_EQ(mmu.l1RangeTlb() != nullptr, cfg.hasL1Range);
+    EXPECT_EQ(mmu.l2RangeTlb() != nullptr, cfg.hasL2Range);
+    EXPECT_EQ(mmu.lite() != nullptr, cfg.liteEnabled);
+    EXPECT_EQ(mmu.l1Tlb2M() == nullptr, cfg.mixedTlbs);
+}
+
+TEST_P(OrgTest, DeterministicAcrossInstances)
+{
+    auto a = makeMmu();
+    auto b = makeMmu();
+    drive(a, 4000);
+    drive(b, 4000);
+    EXPECT_EQ(a.stats().l1Misses, b.stats().l1Misses);
+    EXPECT_EQ(a.stats().l2Misses, b.stats().l2Misses);
+    EXPECT_DOUBLE_EQ(a.energyReport().breakdown.total(),
+                     b.energyReport().breakdown.total());
+}
+
+TEST_P(OrgTest, RangeWalkEnergyOnlyWithRangeTables)
+{
+    auto mmu = makeMmu();
+    drive(mmu, 3000);
+    const auto r = mmu.energyReport();
+    const auto cfg = MmuConfig::make(GetParam());
+    if (cfg.hasL2Range) {
+        EXPECT_GT(r.breakdown.rangeWalkMem, 0.0);
+    } else {
+        EXPECT_DOUBLE_EQ(r.breakdown.rangeWalkMem, 0.0);
+    }
+}
+
+TEST_P(OrgTest, HugePagesOnlyWhereThePolicyAllows)
+{
+    const auto policy = MmuConfig::make(GetParam()).osPolicy();
+    const auto huge = mm->pageTable().pageCount(vm::PageSize::Size2M);
+    if (policy.transparentHugePages) {
+        EXPECT_GT(huge, 0u);
+    } else {
+        EXPECT_EQ(huge, 0u);
+    }
+    const bool hasRanges = !mm->rangeTable().empty();
+    EXPECT_EQ(hasRanges, policy.eagerPaging);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOrgs, OrgTest,
+    ::testing::Values(MmuOrg::Base4K, MmuOrg::Thp, MmuOrg::TlbLite,
+                      MmuOrg::Rmm, MmuOrg::TlbPP, MmuOrg::RmmLite),
+    [](const ::testing::TestParamInfo<MmuOrg> &info) {
+        std::string name{orgName(info.param)};
+        for (auto &ch : name) {
+            if (ch != '_' && !std::isalnum(static_cast<unsigned char>(ch)))
+                ch = '_';
+        }
+        return name;
+    });
+
+} // namespace
+} // namespace eat::core

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Tests for the energy substrate: the embedded Table-2 coefficients,
+ * the CactiLite extrapolation model, and the accounting meters.
+ */
+
+#include <gtest/gtest.h>
+
+#include "energy/account.hh"
+#include "energy/cacti_lite.hh"
+#include "energy/coefficients.hh"
+
+namespace eat::energy
+{
+namespace
+{
+
+TEST(Table2, PublishesThirteenAnchors)
+{
+    EXPECT_EQ(table2AnchorCount(), 13u);
+}
+
+TEST(Table2, ExactPublishedValues)
+{
+    // Spot-check the values the paper's headline arithmetic uses.
+    auto l14k = table2(StructClass::L1Tlb4K, 64, 4);
+    ASSERT_TRUE(l14k.has_value());
+    EXPECT_DOUBLE_EQ(l14k->read, 5.865);
+    EXPECT_DOUBLE_EQ(l14k->write, 6.858);
+    EXPECT_DOUBLE_EQ(l14k->leakage, 0.3632);
+
+    auto l14kDown = table2(StructClass::L1Tlb4K, 16, 1);
+    ASSERT_TRUE(l14kDown.has_value());
+    EXPECT_DOUBLE_EQ(l14kDown->read, 0.697);
+
+    auto range = table2(StructClass::L1RangeTlb, 4, 0);
+    ASSERT_TRUE(range.has_value());
+    EXPECT_DOUBLE_EQ(range->read, 1.806);
+    EXPECT_DOUBLE_EQ(range->write, 1.172);
+
+    auto l2 = table2(StructClass::L2Tlb4K, 512, 4);
+    ASSERT_TRUE(l2.has_value());
+    EXPECT_DOUBLE_EQ(l2->write, 12.379);
+
+    auto cache = table2(StructClass::L1Cache, 512, 8);
+    ASSERT_TRUE(cache.has_value());
+    EXPECT_DOUBLE_EQ(cache->read, 174.171);
+}
+
+TEST(Table2, UnknownGeometryIsEmpty)
+{
+    EXPECT_FALSE(table2(StructClass::L1Tlb4K, 128, 4).has_value());
+    EXPECT_FALSE(table2(StructClass::L1Tlb4K, 64, 2).has_value());
+    EXPECT_FALSE(table2(StructClass::L1Tlb1G, 4, 0).has_value());
+}
+
+TEST(Table2, EveryClassHasAName)
+{
+    for (auto cls : {StructClass::L1Tlb4K, StructClass::L1Tlb2M,
+                     StructClass::L1Tlb1G, StructClass::L1RangeTlb,
+                     StructClass::L2Tlb4K, StructClass::L2RangeTlb,
+                     StructClass::MmuPde, StructClass::MmuPdpte,
+                     StructClass::MmuPml4, StructClass::L1Cache,
+                     StructClass::L2Cache}) {
+        EXPECT_FALSE(structClassName(cls).empty());
+        EXPECT_NE(structClassName(cls), "unknown");
+    }
+}
+
+TEST(CactiLite, AnchorsAreExact)
+{
+    CactiLite model;
+    // Every downsized L1 TLB configuration the paper published must be
+    // returned verbatim (the downsizing energy model of §5).
+    const struct
+    {
+        StructClass cls;
+        unsigned entries, ways;
+        double read;
+    } anchors[] = {
+        {StructClass::L1Tlb4K, 64, 4, 5.865},
+        {StructClass::L1Tlb4K, 32, 2, 1.881},
+        {StructClass::L1Tlb4K, 16, 1, 0.697},
+        {StructClass::L1Tlb2M, 32, 4, 4.801},
+        {StructClass::L1Tlb2M, 16, 2, 1.536},
+        {StructClass::L1Tlb2M, 8, 1, 0.568},
+        {StructClass::L2RangeTlb, 32, 0, 3.306},
+    };
+    for (const auto &a : anchors) {
+        EXPECT_TRUE(CactiLite::isAnchor(a.cls, a.entries, a.ways));
+        EXPECT_DOUBLE_EQ(model.estimate(a.cls, a.entries, a.ways).read,
+                         a.read);
+    }
+}
+
+TEST(CactiLite, ExtrapolationIsMonotonicInWays)
+{
+    CactiLite model;
+    // Same sets, more ways -> strictly more energy.
+    double prev = 0.0;
+    for (unsigned ways : {1u, 2u, 4u, 8u}) {
+        const auto e =
+            model.estimate(StructClass::L1Tlb4K, 16 * ways, ways);
+        EXPECT_GT(e.read, prev);
+        prev = e.read;
+    }
+}
+
+TEST(CactiLite, ExtrapolationIsMonotonicInEntriesForCam)
+{
+    CactiLite model;
+    double prev = 0.0;
+    for (unsigned entries : {2u, 4u, 8u, 16u, 32u, 64u}) {
+        const auto e =
+            model.estimate(StructClass::L2RangeTlb, entries, 0);
+        EXPECT_GT(e.read, prev);
+        prev = e.read;
+    }
+}
+
+TEST(CactiLite, UnpublishedGeometryInterpolatesNearAnchors)
+{
+    CactiLite model;
+    // A 128-entry 4-way L1-4KB TLB must cost more than the 64-entry
+    // 4-way anchor but stay within an order of magnitude.
+    const auto e = model.estimate(StructClass::L1Tlb4K, 128, 4);
+    EXPECT_GT(e.read, 5.865);
+    EXPECT_LT(e.read, 58.65);
+}
+
+TEST(CactiLite, L1GbTlbBorrowsPdpteAnchor)
+{
+    CactiLite model;
+    const auto e = model.estimate(StructClass::L1Tlb1G, 4, 0);
+    EXPECT_DOUBLE_EQ(e.read, 0.766); // the 4-entry fully assoc. anchor
+}
+
+TEST(CactiLite, L2CacheReadCostsMoreThanL1)
+{
+    CactiLite model;
+    EXPECT_GT(model.l2CacheReadEnergy(), 174.171);
+    // sqrt(8) scaling of the 32 KB -> 256 KB capacity ratio.
+    EXPECT_NEAR(model.l2CacheReadEnergy(), 174.171 * 2.8284, 0.1);
+}
+
+TEST(CactiLite, LeakageScalesLinearly)
+{
+    CactiLite model;
+    const auto half = model.estimate(StructClass::L2RangeTlb, 16, 0);
+    const auto full = model.estimate(StructClass::L2RangeTlb, 32, 0);
+    EXPECT_NEAR(half.leakage * 2.0, full.leakage, 1e-9);
+}
+
+TEST(CactiLite, RejectsBadGeometry)
+{
+    CactiLite model;
+    EXPECT_THROW(model.estimate(StructClass::L1Tlb4K, 0, 4),
+                 std::logic_error);
+    EXPECT_THROW(model.estimate(StructClass::L1Tlb4K, 63, 4),
+                 std::logic_error);
+}
+
+TEST(EnergyMeter, AccumulatesReadsAndWrites)
+{
+    EnergyMeter m;
+    m.chargeRead(2.0);
+    m.chargeRead(2.0);
+    m.chargeWrite(3.0);
+    EXPECT_DOUBLE_EQ(m.readEnergy(), 4.0);
+    EXPECT_DOUBLE_EQ(m.writeEnergy(), 3.0);
+    EXPECT_DOUBLE_EQ(m.total(), 7.0);
+    EXPECT_EQ(m.reads(), 2u);
+    EXPECT_EQ(m.writes(), 1u);
+    m.reset();
+    EXPECT_DOUBLE_EQ(m.total(), 0.0);
+    EXPECT_EQ(m.reads(), 0u);
+}
+
+TEST(EnergyBreakdown, TotalSumsCategories)
+{
+    EnergyBreakdown b;
+    b.l1Tlb = 1.0;
+    b.l2Tlb = 2.0;
+    b.mmuCache = 3.0;
+    b.pageWalkMem = 4.0;
+    b.rangeWalkMem = 5.0;
+    EXPECT_DOUBLE_EQ(b.total(), 15.0);
+}
+
+} // namespace
+} // namespace eat::energy

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Cross-configuration integration properties, parameterized over the
+ * TLB-intensive workloads: the qualitative relationships the paper's
+ * evaluation establishes must hold for every workload model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "sim/simulator.hh"
+#include "workloads/suite.hh"
+
+namespace eat::sim
+{
+namespace
+{
+
+/**
+ * One short simulation per (workload, organization), cached across test
+ * cases so the whole parameterized suite stays fast.
+ */
+const SimResult &
+cachedRun(const std::string &workload, core::MmuOrg org)
+{
+    static std::map<std::string, SimResult> cache;
+    const std::string key =
+        workload + "/" + std::string(core::orgName(org));
+    auto it = cache.find(key);
+    if (it == cache.end()) {
+        SimConfig cfg;
+        cfg.workload = *workloads::findWorkload(workload);
+        cfg.mmu = core::MmuConfig::make(org);
+        cfg.fastForwardInstructions = 200'000;
+        cfg.simulateInstructions = 3'000'000;
+        it = cache.emplace(key, simulate(cfg)).first;
+    }
+    return it->second;
+}
+
+class IntensiveWorkloadTest
+    : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(IntensiveWorkloadTest, IsTlbIntensiveWith4KPages)
+{
+    // The paper's bar: > 5 L1 TLB misses per kilo-instruction.
+    const auto &r = cachedRun(GetParam(), core::MmuOrg::Base4K);
+    EXPECT_GT(r.stats.l1Mpki(), 5.0);
+}
+
+TEST_P(IntensiveWorkloadTest, ThpCutsMissCycles)
+{
+    const auto &base = cachedRun(GetParam(), core::MmuOrg::Base4K);
+    const auto &thp = cachedRun(GetParam(), core::MmuOrg::Thp);
+    EXPECT_LT(thp.missCyclesPerKiloInstr(),
+              base.missCyclesPerKiloInstr());
+}
+
+TEST_P(IntensiveWorkloadTest, TlbLiteNeverCostsMoreThanThp)
+{
+    // On a 3 M-instruction window Lite may still be in its hold-all-
+    // ways phase (equal energy); it must never cost more than THP plus
+    // the odd reconfiguration fill.
+    const auto &thp = cachedRun(GetParam(), core::MmuOrg::Thp);
+    const auto &lite = cachedRun(GetParam(), core::MmuOrg::TlbLite);
+    EXPECT_LE(lite.energyPerKiloInstr(),
+              thp.energyPerKiloInstr() * 1.02);
+}
+
+TEST_P(IntensiveWorkloadTest, TlbLiteBarelyAffectsMissCycles)
+{
+    // Paper: TLB_Lite moves the average miss-cycle share from 16.6% to
+    // 17.2%. Allow a generous 2x per-workload bound on short runs.
+    const auto &thp = cachedRun(GetParam(), core::MmuOrg::Thp);
+    const auto &lite = cachedRun(GetParam(), core::MmuOrg::TlbLite);
+    EXPECT_LE(lite.missCyclesPerKiloInstr(),
+              2.0 * thp.missCyclesPerKiloInstr() + 5.0);
+}
+
+TEST_P(IntensiveWorkloadTest, RmmEliminatesPageWalks)
+{
+    const auto &rmm = cachedRun(GetParam(), core::MmuOrg::Rmm);
+    EXPECT_LT(rmm.stats.l2Mpki(), 0.2);
+    const auto &rmmLite = cachedRun(GetParam(), core::MmuOrg::RmmLite);
+    EXPECT_LT(rmmLite.stats.l2Mpki(), 0.2);
+}
+
+TEST_P(IntensiveWorkloadTest, RmmLiteIsTheMostEnergyEfficientLiteDesign)
+{
+    const auto &thp = cachedRun(GetParam(), core::MmuOrg::Thp);
+    const auto &rmmLite = cachedRun(GetParam(), core::MmuOrg::RmmLite);
+    const auto &tlbLite = cachedRun(GetParam(), core::MmuOrg::TlbLite);
+    EXPECT_LT(rmmLite.energyPerKiloInstr(), thp.energyPerKiloInstr());
+    EXPECT_LT(rmmLite.energyPerKiloInstr(),
+              tlbLite.energyPerKiloInstr());
+}
+
+TEST_P(IntensiveWorkloadTest, RmmLiteCutsMissCyclesVsRmm)
+{
+    const auto &rmm = cachedRun(GetParam(), core::MmuOrg::Rmm);
+    const auto &rmmLite = cachedRun(GetParam(), core::MmuOrg::RmmLite);
+    EXPECT_LE(rmmLite.missCyclesPerKiloInstr(),
+              rmm.missCyclesPerKiloInstr() + 1.0);
+}
+
+TEST_P(IntensiveWorkloadTest, EnergyBreakdownIsConsistent)
+{
+    for (const auto org : core::allOrgs()) {
+        const auto &r = cachedRun(GetParam(), org);
+        const auto &b = r.energy.breakdown;
+        // Category sums must equal the per-structure rows.
+        double structTotal = 0.0;
+        for (const auto &row : r.energy.structs)
+            structTotal += row.readEnergy + row.writeEnergy;
+        EXPECT_NEAR(structTotal, b.total(), b.total() * 1e-9);
+        // Only range configurations spend range-walk energy.
+        const bool hasRanges = r.numRanges > 0;
+        EXPECT_EQ(b.rangeWalkMem > 0.0, hasRanges)
+            << core::orgName(org);
+    }
+}
+
+TEST_P(IntensiveWorkloadTest, CycleModelMatchesMissCounts)
+{
+    for (const auto org : core::allOrgs()) {
+        const auto &s = cachedRun(GetParam(), org).stats;
+        EXPECT_EQ(s.l1MissCycles, s.l1Misses * 7);
+        EXPECT_EQ(s.walkCycles, s.l2Misses * 50);
+        EXPECT_EQ(s.l1Hits + s.l2Hits + s.l2Misses, s.memOps);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllIntensive, IntensiveWorkloadTest,
+                         ::testing::Values("astar", "cactusADM",
+                                           "GemsFDTD", "mcf", "omnetpp",
+                                           "zeusmp", "mummer", "canneal"));
+
+TEST(IntegrationAverages, HeadlineShapesHold)
+{
+    // Suite-wide averages at full window length (Lite needs enough
+    // intervals to converge): TLB_Lite and RMM_Lite must deliver their
+    // headline savings bands vs THP.
+    auto longRun = [](const std::string &workload, core::MmuOrg org) {
+        SimConfig cfg;
+        cfg.workload = *workloads::findWorkload(workload);
+        cfg.mmu = core::MmuConfig::make(org);
+        cfg.fastForwardInstructions = 500'000;
+        cfg.simulateInstructions = 12'000'000;
+        return simulate(cfg);
+    };
+    double liteRatio = 0.0, rmmLiteRatio = 0.0, ppRatio = 0.0;
+    const auto &suite = workloads::tlbIntensiveSuite();
+    for (const auto &w : suite) {
+        const double thp =
+            longRun(w.name, core::MmuOrg::Thp).energyPerKiloInstr();
+        liteRatio +=
+            longRun(w.name, core::MmuOrg::TlbLite).energyPerKiloInstr() /
+            thp;
+        rmmLiteRatio +=
+            longRun(w.name, core::MmuOrg::RmmLite).energyPerKiloInstr() /
+            thp;
+        ppRatio +=
+            longRun(w.name, core::MmuOrg::TlbPP).energyPerKiloInstr() /
+            thp;
+    }
+    const auto n = static_cast<double>(suite.size());
+    // Paper: TLB_Lite -23%, TLB_PP -43%, RMM_Lite -71% vs THP. Allow
+    // wide bands (synthetic workloads).
+    EXPECT_LT(liteRatio / n, 0.90);
+    EXPECT_GT(liteRatio / n, 0.55);
+    EXPECT_LT(ppRatio / n, 0.75);
+    EXPECT_LT(rmmLiteRatio / n, 0.55);
+}
+
+} // namespace
+} // namespace eat::sim

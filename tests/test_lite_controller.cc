@@ -1,0 +1,251 @@
+/**
+ * @file
+ * Tests for the Lite decision algorithm (paper §4.2.2, Figure 7).
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "lite/lite_controller.hh"
+#include "tlb/set_assoc_tlb.hh"
+
+namespace eat::lite
+{
+namespace
+{
+
+using tlb::SetAssocTlb;
+
+LiteParams
+relativeParams()
+{
+    LiteParams p;
+    p.mode = ThresholdMode::Relative;
+    p.epsilonRelative = 0.125;
+    p.fullActivationProbability = 0.0; // deterministic tests
+    return p;
+}
+
+LiteParams
+absoluteParams()
+{
+    LiteParams p;
+    p.mode = ThresholdMode::Absolute;
+    p.epsilonAbsoluteMpki = 0.1;
+    p.fullActivationProbability = 0.0;
+    return p;
+}
+
+TEST(LiteController, DisablesWaysWhenUtilityIsLow)
+{
+    SetAssocTlb t("t", 64, 4, 12);
+    LiteController lite(relativeParams(), {&t});
+
+    // One interval: 1000 misses, all hits at the MRU position (no
+    // utility in the extra ways).
+    for (int i = 0; i < 1000; ++i)
+        lite.onL1Miss();
+    for (int i = 0; i < 50000; ++i)
+        lite.onTlbHit(0, 3, true);
+    lite.onIntervalEnd(1'000'000);
+
+    EXPECT_EQ(t.activeWays(), 1u);
+    EXPECT_EQ(lite.stats().wayDisableEvents, 1u);
+}
+
+TEST(LiteController, KeepsWaysWhenDeepHitsExceedThreshold)
+{
+    SetAssocTlb t("t", 64, 4, 12);
+    LiteController lite(relativeParams(), {&t});
+
+    for (int i = 0; i < 1000; ++i)
+        lite.onL1Miss();
+    // 10000 hits at distance 0-1: dropping to 2 ways would add 10000
+    // misses >> the 125-miss slack.
+    for (int i = 0; i < 10000; ++i)
+        lite.onTlbHit(0, 1, true);
+    lite.onIntervalEnd(1'000'000);
+
+    EXPECT_EQ(t.activeWays(), 4u);
+    EXPECT_EQ(lite.stats().wayDisableEvents, 0u);
+}
+
+TEST(LiteController, StopsAtTheFirstUnaffordableStep)
+{
+    SetAssocTlb t("t", 64, 4, 12);
+    LiteController lite(relativeParams(), {&t});
+
+    for (int i = 0; i < 1000; ++i)
+        lite.onL1Miss();
+    // Distance-2 hits survive 2 ways but are lost at 1 way.
+    for (int i = 0; i < 10000; ++i)
+        lite.onTlbHit(0, 2, true);
+    lite.onIntervalEnd(1'000'000);
+
+    EXPECT_EQ(t.activeWays(), 2u);
+}
+
+TEST(LiteController, RedundantHitsCarryNoUtility)
+{
+    SetAssocTlb t("t", 64, 4, 12);
+    LiteController lite(absoluteParams(), {&t});
+
+    lite.onL1Miss();
+    // Deep hits, but every one is covered by the range TLB too.
+    for (int i = 0; i < 50000; ++i)
+        lite.onTlbHit(0, 0, /*soleProvider=*/false);
+    lite.onIntervalEnd(1'000'000);
+
+    EXPECT_EQ(t.activeWays(), 1u);
+}
+
+TEST(LiteController, AbsoluteThresholdAllowsFixedMpkiIncrease)
+{
+    SetAssocTlb t("t", 64, 4, 12);
+    LiteController lite(absoluteParams(), {&t});
+
+    // 99 deep hits = 0.099 potential MPKI increase <= 0.1: disable.
+    for (int i = 0; i < 99; ++i)
+        lite.onTlbHit(0, 0, true);
+    lite.onIntervalEnd(1'000'000);
+    EXPECT_EQ(t.activeWays(), 1u);
+
+    // Next interval at full... it stays downsized; re-activate manually
+    // and exceed the absolute budget: 101 deep hits > 0.1 MPKI.
+    t.setActiveWays(4);
+    for (int i = 0; i < 101; ++i)
+        lite.onTlbHit(0, 0, true);
+    lite.onIntervalEnd(1'000'000);
+    EXPECT_EQ(t.activeWays(), 4u);
+}
+
+TEST(LiteController, ReactivatesOnPerformanceDegradation)
+{
+    SetAssocTlb t("t", 64, 4, 12);
+    LiteController lite(absoluteParams(), {&t});
+
+    // Interval 1: quiet; Lite downsizes to 1 way.
+    lite.onIntervalEnd(1'000'000);
+    EXPECT_EQ(t.activeWays(), 1u);
+
+    // Interval 2: the MPKI jumps (e.g. the OS broke huge pages): all
+    // ways come back.
+    for (int i = 0; i < 5000; ++i)
+        lite.onL1Miss();
+    lite.onIntervalEnd(1'000'000);
+    EXPECT_EQ(t.activeWays(), 4u);
+    EXPECT_EQ(lite.stats().degradationActivations, 1u);
+}
+
+TEST(LiteController, SmallFluctuationsDoNotReactivate)
+{
+    SetAssocTlb t("t", 64, 4, 12);
+    LiteController lite(absoluteParams(), {&t});
+
+    for (int i = 0; i < 1000; ++i)
+        lite.onL1Miss();
+    lite.onIntervalEnd(1'000'000); // downsizes (no deep hits)
+    EXPECT_EQ(t.activeWays(), 1u);
+
+    // +0.05 MPKI is inside the 0.1 threshold: stay downsized.
+    for (int i = 0; i < 1050; ++i)
+        lite.onL1Miss();
+    lite.onIntervalEnd(1'000'000);
+    EXPECT_EQ(t.activeWays(), 1u);
+    EXPECT_EQ(lite.stats().degradationActivations, 0u);
+}
+
+TEST(LiteController, RandomActivationIsDeterministicPerSeed)
+{
+    auto run = [](std::uint64_t seed) {
+        SetAssocTlb t("t", 64, 4, 12);
+        LiteParams p = absoluteParams();
+        p.fullActivationProbability = 0.25;
+        p.seed = seed;
+        LiteController lite(p, {&t});
+        std::vector<unsigned> ways;
+        for (int i = 0; i < 64; ++i) {
+            lite.onIntervalEnd(1'000'000);
+            ways.push_back(t.activeWays());
+        }
+        return std::make_pair(ways, lite.stats().randomActivations);
+    };
+    const auto a = run(1);
+    const auto b = run(1);
+    const auto c = run(2);
+    EXPECT_EQ(a.first, b.first);
+    EXPECT_EQ(a.second, b.second);
+    EXPECT_GT(a.second, 0u);
+    EXPECT_NE(a.second, 0u);
+    // Different seeds give a different activation schedule (almost
+    // surely over 64 intervals).
+    EXPECT_NE(a.first, c.first);
+}
+
+TEST(LiteController, MonitorsMultipleTlbsIndependently)
+{
+    SetAssocTlb a("a", 64, 4, 12);
+    SetAssocTlb b("b", 32, 4, 21);
+    LiteController lite(relativeParams(), {&a, &b});
+
+    for (int i = 0; i < 1000; ++i)
+        lite.onL1Miss();
+    // TLB a has deep utility; TLB b does not.
+    for (int i = 0; i < 10000; ++i)
+        lite.onTlbHit(0, 0, true);
+    for (int i = 0; i < 10000; ++i)
+        lite.onTlbHit(1, 3, true);
+    lite.onIntervalEnd(1'000'000);
+
+    EXPECT_EQ(a.activeWays(), 4u);
+    EXPECT_EQ(b.activeWays(), 1u);
+}
+
+TEST(LiteController, MinWaysFloorIsRespected)
+{
+    SetAssocTlb t("t", 64, 4, 12);
+    LiteParams p = relativeParams();
+    p.minWays = 2;
+    LiteController lite(p, {&t});
+    lite.onIntervalEnd(1'000'000);
+    EXPECT_EQ(t.activeWays(), 2u);
+}
+
+TEST(LiteController, EmptyIntervalIsIgnored)
+{
+    SetAssocTlb t("t", 64, 4, 12);
+    LiteController lite(relativeParams(), {&t});
+    lite.onIntervalEnd(0);
+    EXPECT_EQ(t.activeWays(), 4u);
+    EXPECT_EQ(lite.stats().intervals, 0u);
+}
+
+TEST(LiteController, CountersResetEachInterval)
+{
+    SetAssocTlb t("t", 64, 4, 12);
+    LiteController lite(relativeParams(), {&t});
+    for (int i = 0; i < 500; ++i)
+        lite.onL1Miss();
+    EXPECT_EQ(lite.actualMisses(), 500u);
+    lite.onIntervalEnd(1'000'000);
+    EXPECT_EQ(lite.actualMisses(), 0u);
+    EXPECT_EQ(lite.profiler(0).totalHits(), 0u);
+}
+
+TEST(LiteController, RejectsInvalidSetup)
+{
+    SetAssocTlb bad("bad", 48, 3, 12); // 3 ways: not a power of two
+    EXPECT_THROW(LiteController(relativeParams(), {&bad}),
+                 std::logic_error);
+    EXPECT_THROW(LiteController(relativeParams(), {nullptr}),
+                 std::logic_error);
+    LiteParams p = relativeParams();
+    p.intervalInstructions = 0;
+    SetAssocTlb ok("ok", 64, 4, 12);
+    EXPECT_THROW(LiteController(p, {&ok}), std::logic_error);
+}
+
+} // namespace
+} // namespace eat::lite

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Tests for the OS memory-management model: allocation policies (4 KB
+ * only, transparent huge pages, eager paging) and their invariants.
+ */
+
+#include <gtest/gtest.h>
+
+#include "vm/memory_manager.hh"
+
+namespace eat::vm
+{
+namespace
+{
+
+TEST(MemoryManager, Only4KPolicyMapsEverything4K)
+{
+    MemoryManager mm(OsPolicy{}, 64_MiB);
+    const auto region = mm.mmap(8_MiB);
+    EXPECT_EQ(region.bytes, 8_MiB);
+    EXPECT_EQ(mm.pageTable().pageCount(PageSize::Size4K), 2048u);
+    EXPECT_EQ(mm.pageTable().pageCount(PageSize::Size2M), 0u);
+    EXPECT_TRUE(mm.rangeTable().empty());
+
+    // Every page translates.
+    for (Addr v = region.vbase; v < region.vlimit(); v += 4096)
+        ASSERT_TRUE(mm.pageTable().translate(v).has_value());
+}
+
+TEST(MemoryManager, ThpPromotesAlignedChunks)
+{
+    OsPolicy policy;
+    policy.transparentHugePages = true;
+    MemoryManager mm(policy, 64_MiB);
+    const auto region = mm.mmap(8_MiB);
+    // The region is 2 MB aligned, so the whole interior promotes.
+    EXPECT_EQ(mm.pageTable().pageCount(PageSize::Size2M), 4u);
+    EXPECT_EQ(mm.pageTable().pageCount(PageSize::Size4K), 0u);
+    auto t = mm.pageTable().translate(region.vbase + 3_MiB);
+    ASSERT_TRUE(t.has_value());
+    EXPECT_EQ(t->size, PageSize::Size2M);
+}
+
+TEST(MemoryManager, ThpLeavesSmallRegions4K)
+{
+    OsPolicy policy;
+    policy.transparentHugePages = true;
+    MemoryManager mm(policy, 64_MiB);
+    (void)mm.mmap(1_MiB);
+    EXPECT_EQ(mm.pageTable().pageCount(PageSize::Size2M), 0u);
+    EXPECT_EQ(mm.pageTable().pageCount(PageSize::Size4K), 256u);
+}
+
+TEST(MemoryManager, ThpCoverageControlsPromotion)
+{
+    OsPolicy policy;
+    policy.transparentHugePages = true;
+    policy.thpCoverage = 0.5;
+    MemoryManager mm(policy, 256_MiB, /*seed=*/9);
+    (void)mm.mmap(64_MiB); // 32 eligible chunks
+    const auto huge = mm.pageTable().pageCount(PageSize::Size2M);
+    EXPECT_GT(huge, 8u);
+    EXPECT_LT(huge, 24u);
+    // Unpromoted chunks are fully backed by 4 KB pages.
+    EXPECT_EQ(mm.pageTable().pageCount(PageSize::Size4K),
+              (32 - huge) * 512);
+}
+
+TEST(MemoryManager, EagerPagingCreatesOneRangePerRegion)
+{
+    OsPolicy policy;
+    policy.eagerPaging = true;
+    MemoryManager mm(policy, 128_MiB);
+    const auto a = mm.mmap(8_MiB);
+    const auto b = mm.mmap(4_MiB);
+    EXPECT_EQ(mm.rangeTable().size(), 2u);
+    EXPECT_DOUBLE_EQ(mm.rangeCoverage(), 1.0);
+
+    // The range translation agrees with the page table everywhere —
+    // the redundancy invariant of RMM.
+    for (const auto &region : {a, b}) {
+        for (Addr v = region.vbase; v < region.vlimit(); v += 4096) {
+            auto pt = mm.pageTable().translate(v);
+            auto rt = mm.rangeTable().lookup(v);
+            ASSERT_TRUE(pt.has_value());
+            ASSERT_TRUE(rt.has_value());
+            ASSERT_EQ(pt->paddr(v), rt->paddr(v));
+        }
+    }
+}
+
+TEST(MemoryManager, EagerPlusThpUsesHugePages)
+{
+    OsPolicy policy;
+    policy.eagerPaging = true;
+    policy.transparentHugePages = true;
+    MemoryManager mm(policy, 64_MiB);
+    (void)mm.mmap(8_MiB);
+    EXPECT_EQ(mm.pageTable().pageCount(PageSize::Size2M), 4u);
+    EXPECT_EQ(mm.rangeTable().size(), 1u);
+}
+
+TEST(MemoryManager, EagerRangesPerRegionSplits)
+{
+    OsPolicy policy;
+    policy.eagerPaging = true;
+    policy.eagerRangesPerRegion = 4;
+    MemoryManager mm(policy, 64_MiB);
+    // Imperfect eager paging: the region becomes 4 physically separate
+    // pieces (a spacer frame keeps first-fit from re-merging them),
+    // but coverage stays complete.
+    const auto region = mm.mmap(8_MiB);
+    EXPECT_EQ(mm.rangeTable().size(), 4u);
+    EXPECT_DOUBLE_EQ(mm.rangeCoverage(), 1.0);
+    for (Addr v = region.vbase; v < region.vlimit(); v += 4096)
+        ASSERT_TRUE(mm.rangeTable().lookup(v).has_value());
+}
+
+TEST(MemoryManager, FragmentedPoolBreaksEagerContiguity)
+{
+    OsPolicy policy;
+    policy.eagerPaging = true;
+    MemoryManager mm(policy, 256_MiB);
+    Rng rng(5);
+    mm.physicalMemory().fragment(0.05, rng);
+    // Eager allocation of a large region must now fail: no contiguous
+    // extent remains (the sensitivity experiment's setup).
+    EXPECT_THROW((void)mm.mmap(64_MiB), std::runtime_error);
+}
+
+TEST(MemoryManager, RegionsAreDisjointWithGuardGaps)
+{
+    MemoryManager mm(OsPolicy{}, 64_MiB);
+    const auto a = mm.mmap(1_MiB);
+    const auto b = mm.mmap(1_MiB);
+    EXPECT_GE(b.vbase, a.vlimit() + 2_MiB);
+    EXPECT_EQ(mm.regions().size(), 2u);
+    EXPECT_EQ(mm.mappedBytes(), 2_MiB);
+}
+
+TEST(MemoryManager, DemoteRegionBreaksHugePages)
+{
+    OsPolicy policy;
+    policy.transparentHugePages = true;
+    MemoryManager mm(policy, 64_MiB);
+    const auto region = mm.mmap(8_MiB);
+    EXPECT_EQ(mm.demoteRegion(region), 4u);
+    EXPECT_EQ(mm.pageTable().pageCount(PageSize::Size2M), 0u);
+    EXPECT_EQ(mm.pageTable().pageCount(PageSize::Size4K), 2048u);
+}
+
+TEST(MemoryManager, ExhaustionIsFatal)
+{
+    MemoryManager mm(OsPolicy{}, 4_MiB);
+    EXPECT_THROW((void)mm.mmap(64_MiB), std::runtime_error);
+}
+
+TEST(MemoryManager, TinyRequestsRoundUpToOnePage)
+{
+    MemoryManager mm(OsPolicy{}, 4_MiB);
+    const auto r = mm.mmap(1);
+    EXPECT_EQ(r.bytes, 4096u);
+}
+
+} // namespace
+} // namespace eat::vm

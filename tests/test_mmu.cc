@@ -1,0 +1,396 @@
+/**
+ * @file
+ * Tests for the MMU datapath: per-organization structure wiring, the
+ * static enable masks, hit attribution, the cycle model, and — most
+ * importantly — hand-computed dynamic-energy traces validating the
+ * Table-3 accounting against the Table-2 coefficients.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/mmu.hh"
+#include "vm/page_table.hh"
+#include "vm/range_table.hh"
+
+namespace eat::core
+{
+namespace
+{
+
+using vm::PageSize;
+
+constexpr double kTol = 1e-9;
+
+class MmuTest : public ::testing::Test
+{
+  protected:
+    vm::PageTable pt;
+    vm::RangeTable rt;
+};
+
+TEST_F(MmuTest, Base4KHandComputedEnergy)
+{
+    pt.map(0x1000, 0x200000, PageSize::Size4K);
+    Mmu mmu(MmuConfig::make(MmuOrg::Base4K), pt, nullptr);
+
+    // Access 1: cold miss everywhere -> full walk.
+    mmu.access(0x1234);
+    // Access 2: L1 hit.
+    mmu.access(0x1678);
+    mmu.tick(1000);
+
+    const auto &s = mmu.stats();
+    EXPECT_EQ(s.memOps, 2u);
+    EXPECT_EQ(s.l1Hits, 1u);
+    EXPECT_EQ(s.l1Misses, 1u);
+    EXPECT_EQ(s.l2Misses, 1u);
+    EXPECT_EQ(s.walkMemRefs, 4u);
+    EXPECT_EQ(s.l1MissCycles, 7u);
+    EXPECT_EQ(s.walkCycles, 50u);
+    EXPECT_EQ(s.tlbMissCycles(), 57u);
+
+    const auto report = mmu.energyReport();
+    const auto &b = report.breakdown;
+    // Two L1-4KB reads plus one fill.
+    EXPECT_NEAR(b.l1Tlb, 2 * 5.865 + 6.858, kTol);
+    // One L2 read plus one fill.
+    EXPECT_NEAR(b.l2Tlb, 8.078 + 12.379, kTol);
+    // Three parallel MMU-cache reads plus three cold fills.
+    EXPECT_NEAR(b.mmuCache,
+                (1.824 + 0.766 + 0.473) + (2.281 + 0.279 + 0.158), kTol);
+    // Four page-walk references hitting the L1 data cache.
+    EXPECT_NEAR(b.pageWalkMem, 4 * 174.171, kTol);
+    EXPECT_NEAR(b.rangeWalkMem, 0.0, kTol);
+}
+
+TEST_F(MmuTest, ThpMaskKeeps2MTlbDarkUntilFirst2MFill)
+{
+    pt.map(0x1000, 0x200000, PageSize::Size4K);
+    pt.map(4_MiB, 16_MiB, PageSize::Size2M);
+    Mmu mmu(MmuConfig::make(MmuOrg::Thp), pt, nullptr);
+
+    // 4 KB accesses never enable the L1-2MB TLB.
+    mmu.access(0x1234);
+    mmu.access(0x1678);
+    EXPECT_FALSE(mmu.l1Tlb2MEnabled());
+
+    // First 2 MB access: walk, fill, mask lifts.
+    mmu.access(4_MiB + 5);
+    EXPECT_TRUE(mmu.l1Tlb2MEnabled());
+    const auto afterWalk = mmu.energyReport();
+
+    // Next 2 MB access hits the L1-2MB TLB; both L1s are read.
+    mmu.access(4_MiB + 0x2000);
+    const auto &s = mmu.stats();
+    EXPECT_EQ(s.hits(HitSource::L1Page2M), 1u);
+    const auto report = mmu.energyReport();
+    EXPECT_NEAR(report.breakdown.l1Tlb - afterWalk.breakdown.l1Tlb,
+                5.865 + 4.801, kTol);
+    EXPECT_EQ(s.l1Hits, 2u);
+}
+
+TEST_F(MmuTest, Walk2MCostsThreeRefsColdAndSkipsL2Fill)
+{
+    pt.map(4_MiB, 16_MiB, PageSize::Size2M);
+    Mmu mmu(MmuConfig::make(MmuOrg::Thp), pt, nullptr);
+    mmu.access(4_MiB);
+    const auto &s = mmu.stats();
+    EXPECT_EQ(s.walkMemRefs, 3u); // PML4E, PDPTE, leaf PDE
+    // The L2 TLB holds only 4 KB entries: a subsequent L1-2MB miss
+    // must walk again rather than hit the L2.
+    mmu.l1Tlb2M()->invalidateAll();
+    mmu.access(4_MiB);
+    EXPECT_EQ(mmu.stats().l2Misses, 2u);
+    EXPECT_EQ(mmu.stats().l2Hits, 0u);
+}
+
+TEST_F(MmuTest, Base4KConfigHasNoRangeHardware)
+{
+    Mmu mmu(MmuConfig::make(MmuOrg::Base4K), pt, nullptr);
+    EXPECT_EQ(mmu.l1RangeTlb(), nullptr);
+    EXPECT_EQ(mmu.l2RangeTlb(), nullptr);
+    EXPECT_EQ(mmu.lite(), nullptr);
+    EXPECT_NE(mmu.l1Tlb2M(), nullptr); // hardware exists, stays masked
+}
+
+TEST_F(MmuTest, RangeConfigsRequireRangeTable)
+{
+    EXPECT_THROW(Mmu(MmuConfig::make(MmuOrg::Rmm), pt, nullptr),
+                 std::logic_error);
+}
+
+TEST_F(MmuTest, RmmBackgroundRangeWalkFillsL2RangeOnly)
+{
+    pt.map(0x1000, 0x200000, PageSize::Size4K);
+    pt.map(0x2000, 0x201000, PageSize::Size4K);
+    rt.insert({0x1000, 0x3000, 0x200000});
+    Mmu mmu(MmuConfig::make(MmuOrg::Rmm), pt, &rt);
+
+    // Cold miss: page walk plus background range walk.
+    mmu.access(0x1234);
+    const auto &s = mmu.stats();
+    EXPECT_EQ(s.rangeWalks, 1u);
+    EXPECT_EQ(s.rangeWalkMemRefs, 1u);
+    EXPECT_EQ(s.walkCycles, 50u); // the range walk adds no cycles
+    EXPECT_TRUE(mmu.l2RangeEnabled());
+    EXPECT_EQ(mmu.l2RangeTlb()->validCount(), 1u);
+    const auto cold = mmu.energyReport();
+    EXPECT_NEAR(cold.breakdown.rangeWalkMem, 174.171, kTol);
+
+    // Second page of the range: L1 miss, L2-range hit -> the page entry
+    // is copied into the L1-4KB TLB; no walk.
+    mmu.access(0x2010);
+    EXPECT_EQ(mmu.stats().l2Misses, 1u);
+    EXPECT_EQ(mmu.stats().hits(HitSource::L2Range), 1u);
+    EXPECT_EQ(mmu.stats().l1MissCycles, 14u);
+
+    // Third access to that page: now an L1-4KB hit.
+    mmu.access(0x2020);
+    EXPECT_EQ(mmu.stats().hits(HitSource::L1Page4K), 1u);
+}
+
+TEST_F(MmuTest, RmmLiteL1RangeHitPath)
+{
+    pt.map(0x1000, 0x200000, PageSize::Size4K);
+    pt.map(0x2000, 0x201000, PageSize::Size4K);
+    rt.insert({0x1000, 0x3000, 0x200000});
+    Mmu mmu(MmuConfig::make(MmuOrg::RmmLite), pt, &rt);
+
+    mmu.access(0x1234); // cold: walk + range walk fills L2-range
+    mmu.access(0x2010); // L2-range hit: fills L1-range + L1-4KB
+    EXPECT_TRUE(mmu.l1RangeEnabled());
+    EXPECT_EQ(mmu.l1RangeTlb()->validCount(), 1u);
+
+    // Any address of the range now hits the L1-range TLB, even pages
+    // never touched before (the arbitrarily-large-reach property).
+    mmu.access(0x1800);
+    EXPECT_EQ(mmu.stats().hits(HitSource::L1Range), 1u);
+    EXPECT_EQ(mmu.stats().l1Hits, 1u);
+
+    // Energy of that hit: L1-range read + L1-4KB read (both searched
+    // in parallel; the L1-2MB TLB is masked, no 2 MB pages exist).
+    const auto r = mmu.energyReport();
+    double l1RangeRead = 0.0, l1RangeWrite = 0.0;
+    for (const auto &row : r.structs) {
+        if (row.name == "L1-range TLB") {
+            l1RangeRead = row.readEnergy;
+            l1RangeWrite = row.writeEnergy;
+        }
+    }
+    EXPECT_NEAR(l1RangeRead, 1.806, kTol);  // one lookup
+    EXPECT_NEAR(l1RangeWrite, 1.172, kTol); // one fill
+}
+
+TEST_F(MmuTest, TlbPpUsesSingleMixedStructures)
+{
+    pt.map(0x1000, 0x200000, PageSize::Size4K);
+    pt.map(4_MiB, 16_MiB, PageSize::Size2M);
+    Mmu mmu(MmuConfig::make(MmuOrg::TlbPP), pt, nullptr);
+    EXPECT_EQ(mmu.l1Tlb2M(), nullptr); // no separate 2 MB TLB
+
+    mmu.access(0x1234);    // 4 KB walk, fills mixed L1+L2
+    mmu.access(4_MiB + 5); // 2 MB walk, fills mixed L1+L2
+    mmu.access(0x1678);    // mixed L1 hit (4 KB entry)
+    mmu.access(4_MiB + 9); // mixed L1 hit (2 MB entry)
+
+    const auto &s = mmu.stats();
+    EXPECT_EQ(s.l1Hits, 2u);
+    EXPECT_EQ(s.hits(HitSource::L1Page4K), 2u); // attributed to mixed L1
+
+    // Exactly one structure read per lookup: 4 reads total at the
+    // 64-entry 4-way coefficient.
+    const auto r = mmu.energyReport();
+    double mixedReads = 0.0;
+    for (const auto &row : r.structs) {
+        if (row.name == "L1-mixed TLB")
+            mixedReads = row.readEnergy;
+    }
+    EXPECT_NEAR(mixedReads, 4 * 5.865, kTol);
+
+    // The mixed L2 holds the 2 MB entry: after flushing L1, the 2 MB
+    // access hits at L2 instead of walking (unlike the baseline).
+    mmu.l1Tlb4K().invalidateAll();
+    mmu.access(4_MiB + 64);
+    EXPECT_EQ(mmu.stats().hits(HitSource::L2Page), 1u);
+    EXPECT_EQ(mmu.stats().l2Misses, 2u);
+}
+
+TEST_F(MmuTest, LiteDownsizingScalesLookupEnergy)
+{
+    pt.map(0x1000, 0x200000, PageSize::Size4K);
+    Mmu mmu(MmuConfig::make(MmuOrg::TlbLite), pt, nullptr);
+
+    mmu.access(0x1234); // cold fill
+    const auto before = mmu.energyReport().breakdown.l1Tlb;
+    mmu.access(0x1240);
+    const auto fullWayRead =
+        mmu.energyReport().breakdown.l1Tlb - before;
+    EXPECT_NEAR(fullWayRead, 5.865, kTol);
+
+    // An interval with no utility: Lite downsizes to 1 way.
+    mmu.tick(1'000'000);
+    EXPECT_EQ(mmu.l1Tlb4K().activeWays(), 1u);
+
+    // The same lookup now costs the 16-entry direct-mapped energy (the
+    // entry sat in way 0 and survived the downsizing).
+    const auto mid = mmu.energyReport().breakdown.l1Tlb;
+    mmu.access(0x1240);
+    EXPECT_EQ(mmu.l1Tlb4K().activeWays(), 1u);
+    const auto downRead = mmu.energyReport().breakdown.l1Tlb - mid;
+    EXPECT_NEAR(downRead, 0.697, kTol);
+    EXPECT_EQ(mmu.stats().l1Hits, 2u); // accesses 2 and 3 hit
+
+
+    // The way-activity histogram recorded both operating points.
+    EXPECT_EQ(mmu.stats().l1WayLookups4K.bucketCount(2), 2u);
+    EXPECT_EQ(mmu.stats().l1WayLookups4K.bucketCount(0), 1u);
+}
+
+TEST_F(MmuTest, TickDrivesLiteIntervals)
+{
+    pt.map(0x1000, 0x200000, PageSize::Size4K);
+    Mmu mmu(MmuConfig::make(MmuOrg::TlbLite), pt, nullptr);
+    mmu.tick(999'999);
+    EXPECT_EQ(mmu.lite()->stats().intervals, 0u);
+    mmu.tick(1);
+    EXPECT_EQ(mmu.lite()->stats().intervals, 1u);
+    mmu.tick(3'000'000);
+    EXPECT_EQ(mmu.lite()->stats().intervals, 4u);
+    EXPECT_EQ(mmu.stats().instructions, 4'000'000u);
+}
+
+TEST_F(MmuTest, WalkLocalityKnobBlendsCacheEnergies)
+{
+    pt.map(0x1000, 0x200000, PageSize::Size4K);
+
+    auto walkEnergy = [&](double hitRatio) {
+        auto cfg = MmuConfig::make(MmuOrg::Base4K);
+        cfg.walkL1CacheHitRatio = hitRatio;
+        Mmu mmu(cfg, pt, nullptr);
+        mmu.access(0x1234);
+        return mmu.energyReport().breakdown.pageWalkMem;
+    };
+
+    const double atL1 = walkEnergy(1.0);
+    const double atL2 = walkEnergy(0.0);
+    const double mid = walkEnergy(0.5);
+    EXPECT_NEAR(atL1, 4 * 174.171, kTol);
+    EXPECT_GT(atL2, 2.5 * atL1); // L2 reads cost ~2.8x
+    EXPECT_NEAR(mid, (atL1 + atL2) / 2.0, 1e-6);
+}
+
+TEST_F(MmuTest, HitAttributionSumsToMemOps)
+{
+    pt.map(0x1000, 0x200000, PageSize::Size4K);
+    pt.map(0x2000, 0x201000, PageSize::Size4K);
+    rt.insert({0x1000, 0x3000, 0x200000});
+    Mmu mmu(MmuConfig::make(MmuOrg::RmmLite), pt, &rt);
+
+    for (int i = 0; i < 100; ++i)
+        mmu.access(0x1000 + (static_cast<Addr>(i) * 64) % 0x2000);
+
+    const auto &s = mmu.stats();
+    std::uint64_t total = 0;
+    for (unsigned i = 0; i < static_cast<unsigned>(HitSource::Count); ++i)
+        total += s.hitsBySource[i];
+    EXPECT_EQ(total, s.memOps);
+    EXPECT_EQ(s.l1Hits + s.l2Hits + s.l2Misses, s.memOps);
+}
+
+TEST_F(MmuTest, LeakageTracksActiveConfiguration)
+{
+    pt.map(0x1000, 0x200000, PageSize::Size4K);
+    Mmu mmu(MmuConfig::make(MmuOrg::TlbLite), pt, nullptr);
+    mmu.access(0x1234);
+    // L1-4KB (0.3632) + L2 (1.6663) + MMU caches (0.1402 + 0.0500 +
+    // 0.0296); the masked structures leak nothing (assumed power-gated
+    // until first use).
+    const double kMmuCaches = 0.1402 + 0.0500 + 0.0296;
+    const auto full = mmu.energyReport().leakagePower;
+    EXPECT_NEAR(full, 0.3632 + 1.6663 + kMmuCaches, kTol);
+    mmu.tick(1'000'000); // Lite downsizes to 1 way
+    const auto down = mmu.energyReport().leakagePower;
+    EXPECT_NEAR(down, 0.0636 + 1.6663 + kMmuCaches, kTol);
+}
+
+TEST_F(MmuTest, StaticEnergyIntegratesOverInstructions)
+{
+    pt.map(0x1000, 0x200000, PageSize::Size4K);
+    Mmu mmu(MmuConfig::make(MmuOrg::TlbLite), pt, nullptr);
+    mmu.access(0x1234);
+
+    // First interval leaks at full configuration: gated == full.
+    mmu.tick(1'000'000);
+    auto r = mmu.energyReport();
+    const double kFullLeak =
+        0.3632 + 1.6663 + 0.1402 + 0.0500 + 0.0296; // mW
+    const double nsPerInterval = 1'000'000 / 2.0;   // 2 GHz, CPI 1
+    EXPECT_NEAR(r.staticEnergyFull, kFullLeak * nsPerInterval, 1.0);
+    EXPECT_NEAR(r.staticEnergyGated, r.staticEnergyFull, 1.0);
+
+    // After Lite downsizes (at the interval boundary above), power
+    // gating saves the disabled ways' leakage.
+    EXPECT_EQ(mmu.l1Tlb4K().activeWays(), 1u);
+    mmu.tick(1'000'000);
+    r = mmu.energyReport();
+    EXPECT_LT(r.staticEnergyGated, r.staticEnergyFull);
+    const double gatedSecond =
+        (0.0636 + 1.6663 + 0.1402 + 0.0500 + 0.0296) * nsPerInterval;
+    EXPECT_NEAR(r.staticEnergyGated,
+                kFullLeak * nsPerInterval + gatedSecond, 2.0);
+}
+
+TEST_F(MmuTest, CombinedFullyAssocL1ServesAllPageSizes)
+{
+    pt.map(0x1000, 0x200000, PageSize::Size4K);
+    pt.map(4_MiB, 16_MiB, PageSize::Size2M);
+
+    auto cfg = MmuConfig::make(MmuOrg::Thp);
+    cfg.combinedFullyAssocL1 = true;
+    Mmu mmu(cfg, pt, nullptr);
+    EXPECT_EQ(mmu.l1Tlb2M(), nullptr);
+    EXPECT_TRUE(mmu.l1Tlb4K().fullyAssociative());
+    EXPECT_EQ(mmu.l1Tlb4K().ways(), 64u);
+
+    mmu.access(0x1234);    // 4 KB walk + fill
+    mmu.access(4_MiB + 5); // 2 MB walk + fill
+    mmu.access(0x1678);    // combined hit (4 KB entry)
+    mmu.access(4_MiB + 9); // combined hit (2 MB entry)
+    EXPECT_EQ(mmu.stats().l1Hits, 2u);
+    EXPECT_EQ(mmu.stats().hits(HitSource::L1Page4K), 2u);
+
+    // A fully associative combined L1 costs more per lookup than the
+    // published 64-entry 4-way set-associative design — the reason the
+    // paper baselines on separate set-associative TLBs (§2.2).
+    const auto r = mmu.energyReport();
+    double combinedRead = 0.0;
+    for (const auto &row : r.structs) {
+        if (row.name == "L1-combined TLB")
+            combinedRead = row.readEnergy;
+    }
+    EXPECT_GT(combinedRead / 4.0, 5.865);
+}
+
+TEST_F(MmuTest, LiteClustersCombinedFullyAssocL1)
+{
+    pt.map(0x1000, 0x200000, PageSize::Size4K);
+    auto cfg = MmuConfig::make(MmuOrg::TlbLite);
+    cfg.combinedFullyAssocL1 = true;
+    cfg.lite.fullActivationProbability = 0.0;
+    Mmu mmu(cfg, pt, nullptr);
+
+    // One hot page and no deeper utility: Lite shrinks the fully
+    // associative structure in powers of two, treating entries as
+    // pseudo-ways (§4.4).
+    for (int i = 0; i < 1000; ++i)
+        mmu.access(0x1000 + (i % 8) * 8);
+    mmu.tick(1'000'000);
+    EXPECT_EQ(mmu.l1Tlb4K().activeWays(), 1u);
+    EXPECT_EQ(mmu.l1Tlb4K().activeEntries(), 1u);
+    // It still translates (refills into the single active entry).
+    mmu.access(0x1234);
+    EXPECT_GT(mmu.stats().memOps, 0u);
+}
+
+} // namespace
+} // namespace eat::core

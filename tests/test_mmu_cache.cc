@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Tests for the MMU paging-structure caches and the walkers: the walk
+ * length must follow the deepest applicable cache hit, and fills must
+ * install exactly the levels the walk fetched.
+ */
+
+#include <gtest/gtest.h>
+
+#include "tlb/mmu_cache.hh"
+#include "tlb/page_walker.hh"
+#include "tlb/range_walker.hh"
+#include "vm/page_table.hh"
+#include "vm/range_table.hh"
+
+namespace eat::tlb
+{
+namespace
+{
+
+using vm::PageSize;
+
+TEST(MmuCache, ColdWalkCostsFourRefsAndFillsAllLevels)
+{
+    MmuCache cache;
+    auto out = cache.walkAccess(0x12345678, PageSize::Size4K);
+    EXPECT_EQ(out.memRefs, 4u);
+    EXPECT_TRUE(out.filledPde);
+    EXPECT_TRUE(out.filledPdpte);
+    EXPECT_TRUE(out.filledPml4);
+    EXPECT_EQ(out.fills(), 3u);
+}
+
+TEST(MmuCache, PdeHitShortensWalkToOneRef)
+{
+    MmuCache cache;
+    (void)cache.walkAccess(0x12345678, PageSize::Size4K);
+    // Same 2 MB region, different page: the PDE entry covers it.
+    auto out = cache.walkAccess(0x12345678 + 0x1000, PageSize::Size4K);
+    EXPECT_EQ(out.memRefs, 1u);
+    EXPECT_EQ(out.fills(), 0u);
+}
+
+TEST(MmuCache, PdpteHitCostsTwoRefs)
+{
+    MmuCache cache;
+    (void)cache.walkAccess(0x12345678, PageSize::Size4K);
+    // Same 1 GB region, different 2 MB region: PDPTE hit, PDE miss.
+    auto out = cache.walkAccess(0x12345678 + 4_MiB, PageSize::Size4K);
+    EXPECT_EQ(out.memRefs, 2u);
+    EXPECT_TRUE(out.filledPde);
+    EXPECT_FALSE(out.filledPdpte);
+}
+
+TEST(MmuCache, Pml4HitCostsThreeRefs)
+{
+    MmuCache cache;
+    (void)cache.walkAccess(0x12345678, PageSize::Size4K);
+    // Same 512 GB region, different 1 GB region.
+    auto out = cache.walkAccess(0x12345678 + 2_GiB, PageSize::Size4K);
+    EXPECT_EQ(out.memRefs, 3u);
+    EXPECT_TRUE(out.filledPde);
+    EXPECT_TRUE(out.filledPdpte);
+    EXPECT_FALSE(out.filledPml4);
+}
+
+TEST(MmuCache, HugePageWalksAreShorter)
+{
+    MmuCache cold2m;
+    EXPECT_EQ(cold2m.walkAccess(4_MiB, PageSize::Size2M).memRefs, 3u);
+    MmuCache cold1g;
+    EXPECT_EQ(cold1g.walkAccess(2_GiB, PageSize::Size1G).memRefs, 2u);
+
+    // Warm: the PDPTE cache (filled by a 4 KB walk nearby) shortens a
+    // 2 MB walk to one reference (the leaf PDE fetch).
+    MmuCache warm;
+    (void)warm.walkAccess(0x1000, PageSize::Size4K);
+    EXPECT_EQ(warm.walkAccess(4_MiB, PageSize::Size2M).memRefs, 1u);
+}
+
+TEST(MmuCache, PdeCacheDoesNotServeHugePages)
+{
+    // PDE-cache entries are pointers to PTs; a 2 MB walk in the same
+    // 2 MB region cannot use them (leaf entries live in the TLB).
+    MmuCache cache;
+    (void)cache.walkAccess(6_MiB + 0x1000, PageSize::Size4K);
+    // New 1 GB region for the 2 MB walk -> only PML4 hit applies.
+    auto out = cache.walkAccess(3_GiB, PageSize::Size2M);
+    EXPECT_EQ(out.memRefs, 2u);
+}
+
+TEST(MmuCache, FlushForgetsEverything)
+{
+    MmuCache cache;
+    (void)cache.walkAccess(0x12345678, PageSize::Size4K);
+    cache.flush();
+    EXPECT_EQ(cache.walkAccess(0x12345678, PageSize::Size4K).memRefs, 4u);
+}
+
+TEST(MmuCache, GeometryMatchesConfig)
+{
+    MmuCacheConfig cfg;
+    MmuCache cache(cfg);
+    EXPECT_EQ(cache.pde().entries(), 32u);
+    EXPECT_EQ(cache.pde().ways(), 2u);
+    EXPECT_EQ(cache.pdpte().entries(), 4u);
+    EXPECT_TRUE(cache.pdpte().fullyAssociative());
+    EXPECT_EQ(cache.pml4().entries(), 2u);
+}
+
+TEST(PageWalker, ResolvesThroughPageTable)
+{
+    vm::PageTable pt;
+    pt.map(0x1000, 0x200000, PageSize::Size4K);
+    pt.map(4_MiB, 16_MiB, PageSize::Size2M);
+    MmuCache cache;
+    PageWalker walker(pt, cache);
+
+    auto a = walker.walk(0x1234);
+    EXPECT_EQ(a.translation.paddr(0x1234), 0x200234u);
+    EXPECT_EQ(a.cache.memRefs, 4u);
+
+    auto b = walker.walk(4_MiB + 5);
+    EXPECT_EQ(b.translation.size, PageSize::Size2M);
+    // PML4 and PDPTE were filled by the first walk (same 1 GB region).
+    EXPECT_EQ(b.cache.memRefs, 1u);
+}
+
+TEST(PageWalker, UnmappedAddressPanics)
+{
+    vm::PageTable pt;
+    MmuCache cache;
+    PageWalker walker(pt, cache);
+    EXPECT_THROW((void)walker.walk(0xdead000), std::logic_error);
+}
+
+TEST(RangeWalker, FindsRangesAndChargesBTreeDepth)
+{
+    vm::RangeTable rt;
+    rt.insert({0x100000, 0x200000, 0x40000000});
+    RangeTableWalker walker(rt);
+
+    auto hit = walker.walk(0x150000);
+    ASSERT_TRUE(hit.range.has_value());
+    EXPECT_EQ(hit.range->paddr(0x150000), 0x40050000u);
+    EXPECT_EQ(hit.memRefs, 1u);
+
+    auto miss = walker.walk(0x999999000);
+    EXPECT_FALSE(miss.range.has_value());
+    EXPECT_EQ(miss.memRefs, 1u); // the root is still probed
+}
+
+} // namespace
+} // namespace eat::tlb

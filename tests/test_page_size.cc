@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Tests for the page-size geometry helpers and TLB entry arithmetic.
+ */
+
+#include <gtest/gtest.h>
+
+#include "tlb/tlb_entry.hh"
+#include "vm/page_size.hh"
+
+namespace eat::vm
+{
+namespace
+{
+
+TEST(PageSize, ShiftsAndBytes)
+{
+    EXPECT_EQ(pageShift(PageSize::Size4K), 12u);
+    EXPECT_EQ(pageShift(PageSize::Size2M), 21u);
+    EXPECT_EQ(pageShift(PageSize::Size1G), 30u);
+    EXPECT_EQ(pageBytes(PageSize::Size4K), 4096u);
+    EXPECT_EQ(pageBytes(PageSize::Size2M), 2_MiB);
+    EXPECT_EQ(pageBytes(PageSize::Size1G), 1_GiB);
+}
+
+TEST(PageSize, BaseAndOffset)
+{
+    const Addr a = 0x1234'5678;
+    for (auto size : {PageSize::Size4K, PageSize::Size2M,
+                      PageSize::Size1G}) {
+        EXPECT_EQ(pageBase(a, size) + pageOffset(a, size), a);
+        EXPECT_EQ(pageBase(a, size) % pageBytes(size), 0u);
+        EXPECT_LT(pageOffset(a, size), pageBytes(size));
+    }
+}
+
+TEST(PageSize, Names)
+{
+    EXPECT_EQ(pageSizeName(PageSize::Size4K), "4KB");
+    EXPECT_EQ(pageSizeName(PageSize::Size2M), "2MB");
+    EXPECT_EQ(pageSizeName(PageSize::Size1G), "1GB");
+}
+
+TEST(TlbEntry, CoversAndTranslates)
+{
+    const auto e = tlb::makePageEntry(0x12345678, 0xA0000000,
+                                      PageSize::Size2M);
+    EXPECT_EQ(e.vbase, alignDown(0x12345678, 2_MiB));
+    EXPECT_EQ(e.shift, 21u);
+    EXPECT_TRUE(e.covers(0x12345678));
+    EXPECT_TRUE(e.covers(e.vbase));
+    EXPECT_TRUE(e.covers(e.vbase + 2_MiB - 1));
+    EXPECT_FALSE(e.covers(e.vbase + 2_MiB));
+    EXPECT_FALSE(e.covers(e.vbase - 1));
+    EXPECT_EQ(e.paddr(e.vbase + 12345), 0xA0000000u + 12345);
+}
+
+TEST(TlbEntry, MakePageEntryPerSize)
+{
+    for (auto size : {PageSize::Size4K, PageSize::Size2M,
+                      PageSize::Size1G}) {
+        const auto e = tlb::makePageEntry(3_GiB + 12345, 8_GiB, size);
+        EXPECT_EQ(e.size, size);
+        EXPECT_EQ(e.shift, pageShift(size));
+        EXPECT_EQ(e.vbase, pageBase(3_GiB + 12345, size));
+    }
+}
+
+} // namespace
+} // namespace eat::vm

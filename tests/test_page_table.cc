@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Tests for the x86-64 four-level page table.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/rng.hh"
+#include "vm/page_table.hh"
+
+namespace eat::vm
+{
+namespace
+{
+
+TEST(PageTable, MapAndTranslate4K)
+{
+    PageTable pt;
+    pt.map(0x1000, 0x20000, PageSize::Size4K);
+    auto t = pt.translate(0x1234);
+    ASSERT_TRUE(t.has_value());
+    EXPECT_EQ(t->vbase, 0x1000u);
+    EXPECT_EQ(t->pbase, 0x20000u);
+    EXPECT_EQ(t->size, PageSize::Size4K);
+    EXPECT_EQ(t->paddr(0x1234), 0x20234u);
+}
+
+TEST(PageTable, MapAndTranslate2M)
+{
+    PageTable pt;
+    pt.map(4_MiB, 16_MiB, PageSize::Size2M);
+    auto t = pt.translate(4_MiB + 12345);
+    ASSERT_TRUE(t.has_value());
+    EXPECT_EQ(t->size, PageSize::Size2M);
+    EXPECT_EQ(t->paddr(4_MiB + 12345), 16_MiB + 12345);
+}
+
+TEST(PageTable, MapAndTranslate1G)
+{
+    PageTable pt;
+    pt.map(2_GiB, 4_GiB, PageSize::Size1G);
+    auto t = pt.translate(2_GiB + 123456789);
+    ASSERT_TRUE(t.has_value());
+    EXPECT_EQ(t->size, PageSize::Size1G);
+    EXPECT_EQ(t->paddr(2_GiB + 123456789), 4_GiB + 123456789);
+}
+
+TEST(PageTable, UnmappedIsEmpty)
+{
+    PageTable pt;
+    EXPECT_FALSE(pt.translate(0x5000).has_value());
+    pt.map(0x1000, 0x2000, PageSize::Size4K);
+    EXPECT_FALSE(pt.translate(0x2000).has_value());
+    EXPECT_FALSE(pt.translate(0x0).has_value());
+}
+
+TEST(PageTable, RejectsMisalignedMappings)
+{
+    PageTable pt;
+    EXPECT_THROW(pt.map(0x1001, 0x2000, PageSize::Size4K),
+                 std::logic_error);
+    EXPECT_THROW(pt.map(0x1000, 0x2001, PageSize::Size4K),
+                 std::logic_error);
+    EXPECT_THROW(pt.map(4096, 0, PageSize::Size2M), std::logic_error);
+}
+
+TEST(PageTable, RejectsOverlaps)
+{
+    PageTable pt;
+    pt.map(0x1000, 0x2000, PageSize::Size4K);
+    EXPECT_THROW(pt.map(0x1000, 0x9000, PageSize::Size4K),
+                 std::logic_error);
+    // A 2 MB mapping over an existing 4 KB leaf's region.
+    EXPECT_THROW(pt.map(0, 2_MiB, PageSize::Size2M), std::logic_error);
+    // A 4 KB mapping under an existing 2 MB leaf.
+    pt.map(4_MiB, 8_MiB, PageSize::Size2M);
+    EXPECT_THROW(pt.map(4_MiB + 4096, 0x9000, PageSize::Size4K),
+                 std::logic_error);
+}
+
+TEST(PageTable, UnmapRemovesMapping)
+{
+    PageTable pt;
+    pt.map(0x1000, 0x2000, PageSize::Size4K);
+    EXPECT_TRUE(pt.unmap(0x1000, PageSize::Size4K));
+    EXPECT_FALSE(pt.translate(0x1000).has_value());
+    EXPECT_FALSE(pt.unmap(0x1000, PageSize::Size4K));
+    // Remapping after unmap works.
+    pt.map(0x1000, 0x3000, PageSize::Size4K);
+    EXPECT_EQ(pt.translate(0x1000)->pbase, 0x3000u);
+}
+
+TEST(PageTable, CountsPerSize)
+{
+    PageTable pt;
+    pt.map(0x1000, 0x2000, PageSize::Size4K);
+    pt.map(0x2000, 0x3000, PageSize::Size4K);
+    pt.map(4_MiB, 8_MiB, PageSize::Size2M);
+    EXPECT_EQ(pt.pageCount(PageSize::Size4K), 2u);
+    EXPECT_EQ(pt.pageCount(PageSize::Size2M), 1u);
+    EXPECT_EQ(pt.pageCount(PageSize::Size1G), 0u);
+    pt.unmap(0x1000, PageSize::Size4K);
+    EXPECT_EQ(pt.pageCount(PageSize::Size4K), 1u);
+}
+
+TEST(PageTable, DemoteSplits2MInto4K)
+{
+    PageTable pt;
+    pt.map(4_MiB, 32_MiB, PageSize::Size2M);
+    ASSERT_TRUE(pt.demote(4_MiB));
+    EXPECT_EQ(pt.pageCount(PageSize::Size2M), 0u);
+    EXPECT_EQ(pt.pageCount(PageSize::Size4K), 512u);
+    // Translation results are unchanged.
+    auto t = pt.translate(4_MiB + 1234567);
+    ASSERT_TRUE(t.has_value());
+    EXPECT_EQ(t->size, PageSize::Size4K);
+    EXPECT_EQ(t->paddr(4_MiB + 1234567), 32_MiB + 1234567);
+}
+
+TEST(PageTable, DemoteRejectsNon2MTargets)
+{
+    PageTable pt;
+    pt.map(0x1000, 0x2000, PageSize::Size4K);
+    EXPECT_FALSE(pt.demote(0x1000));
+    EXPECT_FALSE(pt.demote(4_MiB)); // unmapped
+    EXPECT_FALSE(pt.demote(4_MiB + 4096)); // misaligned
+}
+
+TEST(PageTable, WalkLevelsPerSize)
+{
+    EXPECT_EQ(PageTable::walkLevels(PageSize::Size4K), 4u);
+    EXPECT_EQ(PageTable::walkLevels(PageSize::Size2M), 3u);
+    EXPECT_EQ(PageTable::walkLevels(PageSize::Size1G), 2u);
+}
+
+TEST(PageTable, MoveTransfersOwnership)
+{
+    PageTable pt;
+    pt.map(0x1000, 0x2000, PageSize::Size4K);
+    PageTable other = std::move(pt);
+    ASSERT_TRUE(other.translate(0x1000).has_value());
+    EXPECT_EQ(other.pageCount(PageSize::Size4K), 1u);
+}
+
+/** Property: random non-overlapping mappings translate consistently. */
+TEST(PageTableProperty, RandomMappingsRoundTrip)
+{
+    PageTable pt;
+    Rng rng(3);
+    std::vector<std::pair<Addr, Addr>> pages; // (vbase, pbase)
+    for (int i = 0; i < 2000; ++i) {
+        const Addr vbase = rng.below(1u << 20) << 12;
+        const Addr pbase = (rng.below(1u << 20) + (1u << 20)) << 12;
+        bool dup = false;
+        for (const auto &[v, p] : pages)
+            dup |= v == vbase;
+        if (dup)
+            continue;
+        pt.map(vbase, pbase, PageSize::Size4K);
+        pages.emplace_back(vbase, pbase);
+    }
+    for (const auto &[v, p] : pages) {
+        const Addr off = rng.below(4096);
+        auto t = pt.translate(v + off);
+        ASSERT_TRUE(t.has_value());
+        ASSERT_EQ(t->paddr(v + off), p + off);
+    }
+}
+
+} // namespace
+} // namespace eat::vm

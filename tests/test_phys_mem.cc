@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Tests for the physical frame allocator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "base/rng.hh"
+#include "vm/phys_mem.hh"
+
+namespace eat::vm
+{
+namespace
+{
+
+TEST(PhysMem, AllocatesAlignedExtents)
+{
+    PhysicalMemory pm(16_MiB);
+    auto a = pm.allocContiguous(4096);
+    ASSERT_TRUE(a.has_value());
+    EXPECT_EQ(*a % 4096, 0u);
+
+    auto b = pm.allocContiguous(2_MiB, 2_MiB);
+    ASSERT_TRUE(b.has_value());
+    EXPECT_EQ(*b % 2_MiB, 0u);
+}
+
+TEST(PhysMem, TracksAccounting)
+{
+    PhysicalMemory pm(1_MiB);
+    EXPECT_EQ(pm.capacity(), 1_MiB);
+    EXPECT_EQ(pm.allocated(), 0u);
+    (void)pm.allocContiguous(256_KiB);
+    EXPECT_EQ(pm.allocated(), 256_KiB);
+    EXPECT_EQ(pm.freeBytes(), 768_KiB);
+}
+
+TEST(PhysMem, ExhaustionReturnsNullopt)
+{
+    PhysicalMemory pm(64_KiB);
+    EXPECT_TRUE(pm.allocContiguous(64_KiB).has_value());
+    EXPECT_FALSE(pm.allocContiguous(4096).has_value());
+}
+
+TEST(PhysMem, AlignmentCanPreventFit)
+{
+    PhysicalMemory pm(2_MiB, 0x1000);
+    // The pool starts at 4 KB; a 2 MB-aligned 2 MB request cannot fit
+    // in [4K, 2M+4K).
+    EXPECT_FALSE(pm.allocContiguous(2_MiB, 2_MiB).has_value());
+    EXPECT_TRUE(pm.allocContiguous(2_MiB).has_value());
+}
+
+TEST(PhysMem, FreeCoalescesNeighbours)
+{
+    PhysicalMemory pm(64_KiB);
+    auto a = pm.allocContiguous(16_KiB);
+    auto b = pm.allocContiguous(16_KiB);
+    auto c = pm.allocContiguous(32_KiB);
+    ASSERT_TRUE(a && b && c);
+    EXPECT_EQ(pm.freeBytes(), 0u);
+
+    pm.free(*a, 16_KiB);
+    pm.free(*c, 32_KiB);
+    EXPECT_EQ(pm.numFreeExtents(), 2u);
+    pm.free(*b, 16_KiB); // bridges both neighbours
+    EXPECT_EQ(pm.numFreeExtents(), 1u);
+    EXPECT_EQ(pm.largestFreeExtent(), 64_KiB);
+}
+
+TEST(PhysMem, DoubleFreePanics)
+{
+    PhysicalMemory pm(64_KiB);
+    auto a = pm.allocContiguous(16_KiB);
+    ASSERT_TRUE(a);
+    pm.free(*a, 16_KiB);
+    EXPECT_THROW(pm.free(*a, 16_KiB), std::logic_error);
+}
+
+TEST(PhysMem, RejectsBadArguments)
+{
+    PhysicalMemory pm(64_KiB);
+    EXPECT_THROW((void)pm.allocContiguous(0), std::logic_error);
+    EXPECT_THROW((void)pm.allocContiguous(100), std::logic_error);
+    EXPECT_THROW((void)pm.allocContiguous(4096, 3), std::logic_error);
+    EXPECT_THROW(PhysicalMemory(100), std::logic_error);
+}
+
+TEST(PhysMem, FragmentationReducesLargestExtent)
+{
+    PhysicalMemory pm(8_MiB);
+    Rng rng(42);
+    const auto before = pm.largestFreeExtent();
+    pm.fragment(0.2, rng);
+    EXPECT_LT(pm.largestFreeExtent(), before);
+    EXPECT_GT(pm.numFreeExtents(), 1u);
+    EXPECT_LT(pm.freeBytes(), 8_MiB);
+    // A large contiguous request should now be much harder to satisfy.
+    EXPECT_FALSE(pm.allocContiguous(4_MiB).has_value());
+}
+
+TEST(PhysMem, FragmentZeroIsNoop)
+{
+    PhysicalMemory pm(1_MiB);
+    Rng rng(1);
+    pm.fragment(0.0, rng);
+    EXPECT_EQ(pm.freeBytes(), 1_MiB);
+    EXPECT_EQ(pm.numFreeExtents(), 1u);
+}
+
+/** Property: no two live allocations ever overlap. */
+TEST(PhysMemProperty, AllocationsNeverOverlap)
+{
+    PhysicalMemory pm(4_MiB);
+    Rng rng(7);
+    std::vector<std::pair<Addr, std::uint64_t>> live;
+    for (int iter = 0; iter < 500; ++iter) {
+        if (rng.chance(0.6) || live.empty()) {
+            const std::uint64_t bytes = (1 + rng.below(8)) * 4096;
+            auto a = pm.allocContiguous(bytes);
+            if (!a)
+                continue;
+            for (const auto &[base, size] : live) {
+                const bool disjoint =
+                    *a + bytes <= base || base + size <= *a;
+                ASSERT_TRUE(disjoint)
+                    << "overlap at iteration " << iter;
+            }
+            live.emplace_back(*a, bytes);
+        } else {
+            const auto idx = rng.below(live.size());
+            pm.free(live[idx].first, live[idx].second);
+            live.erase(live.begin() + static_cast<std::ptrdiff_t>(idx));
+        }
+    }
+}
+
+/** Property: free bytes are conserved across alloc/free cycles. */
+TEST(PhysMemProperty, ConservationOfBytes)
+{
+    PhysicalMemory pm(2_MiB);
+    Rng rng(11);
+    std::vector<std::pair<Addr, std::uint64_t>> live;
+    std::uint64_t liveBytes = 0;
+    for (int iter = 0; iter < 300; ++iter) {
+        if (rng.chance(0.5) || live.empty()) {
+            const std::uint64_t bytes = (1 + rng.below(4)) * 4096;
+            if (auto a = pm.allocContiguous(bytes)) {
+                live.emplace_back(*a, bytes);
+                liveBytes += bytes;
+            }
+        } else {
+            const auto idx = rng.below(live.size());
+            liveBytes -= live[idx].second;
+            pm.free(live[idx].first, live[idx].second);
+            live.erase(live.begin() + static_cast<std::ptrdiff_t>(idx));
+        }
+        ASSERT_EQ(pm.allocated(), liveBytes);
+        ASSERT_EQ(pm.freeBytes() + liveBytes, 2_MiB);
+    }
+}
+
+} // namespace
+} // namespace eat::vm

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Tests for the software range table (RMM).
+ */
+
+#include <gtest/gtest.h>
+
+#include "vm/range_table.hh"
+
+namespace eat::vm
+{
+namespace
+{
+
+TEST(RangeTranslation, ContainsAndTranslates)
+{
+    RangeTranslation r{0x10000, 0x20000, 0x500000};
+    EXPECT_TRUE(r.contains(0x10000));
+    EXPECT_TRUE(r.contains(0x1ffff));
+    EXPECT_FALSE(r.contains(0x20000));
+    EXPECT_FALSE(r.contains(0xffff));
+    EXPECT_EQ(r.bytes(), 0x10000u);
+    EXPECT_EQ(r.paddr(0x12345), 0x502345u);
+}
+
+TEST(RangeTable, InsertAndLookup)
+{
+    RangeTable rt;
+    rt.insert({0x10000, 0x20000, 0x500000});
+    rt.insert({0x40000, 0x50000, 0x700000});
+    EXPECT_EQ(rt.size(), 2u);
+
+    auto a = rt.lookup(0x15000);
+    ASSERT_TRUE(a.has_value());
+    EXPECT_EQ(a->pbase, 0x500000u);
+
+    EXPECT_FALSE(rt.lookup(0x30000).has_value());
+    EXPECT_FALSE(rt.lookup(0x0).has_value());
+    EXPECT_FALSE(rt.lookup(0x20000).has_value()); // exclusive limit
+    EXPECT_TRUE(rt.lookup(0x4ffff).has_value());
+}
+
+TEST(RangeTable, RejectsOverlapsAndBadRanges)
+{
+    RangeTable rt;
+    rt.insert({0x10000, 0x20000, 0x500000});
+    EXPECT_THROW(rt.insert({0x18000, 0x28000, 0x900000}),
+                 std::logic_error);
+    EXPECT_THROW(rt.insert({0x8000, 0x11000, 0x900000}),
+                 std::logic_error);
+    EXPECT_THROW(rt.insert({0x30000, 0x30000, 0x900000}),
+                 std::logic_error); // empty
+    EXPECT_THROW(rt.insert({0x30001, 0x40000, 0x900000}),
+                 std::logic_error); // unaligned
+}
+
+TEST(RangeTable, MergesDoublyContiguousNeighbours)
+{
+    RangeTable rt;
+    rt.insert({0x10000, 0x20000, 0x500000});
+    // Virtually and physically adjacent: merges.
+    rt.insert({0x20000, 0x30000, 0x510000});
+    EXPECT_EQ(rt.size(), 1u);
+    auto r = rt.lookup(0x2ffff);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(r->vbase, 0x10000u);
+    EXPECT_EQ(r->vlimit, 0x30000u);
+
+    // Virtually adjacent but physically discontiguous: stays separate.
+    rt.insert({0x30000, 0x40000, 0x900000});
+    EXPECT_EQ(rt.size(), 2u);
+}
+
+TEST(RangeTable, MergesWithSuccessor)
+{
+    RangeTable rt;
+    rt.insert({0x20000, 0x30000, 0x510000});
+    rt.insert({0x10000, 0x20000, 0x500000});
+    EXPECT_EQ(rt.size(), 1u);
+    EXPECT_EQ(rt.lookup(0x10000)->vlimit, 0x30000u);
+}
+
+TEST(RangeTable, EraseRemovesRange)
+{
+    RangeTable rt;
+    rt.insert({0x10000, 0x20000, 0x500000});
+    EXPECT_TRUE(rt.erase(0x10000));
+    EXPECT_FALSE(rt.erase(0x10000));
+    EXPECT_FALSE(rt.lookup(0x15000).has_value());
+    EXPECT_TRUE(rt.empty());
+}
+
+TEST(RangeTable, CoveredBytes)
+{
+    RangeTable rt;
+    EXPECT_EQ(rt.coveredBytes(), 0u);
+    rt.insert({0x10000, 0x20000, 0x500000});
+    rt.insert({0x40000, 0x44000, 0x700000});
+    EXPECT_EQ(rt.coveredBytes(), 0x14000u);
+}
+
+TEST(RangeTable, WalkRefsGrowWithBTreeDepth)
+{
+    RangeTable rt;
+    EXPECT_EQ(rt.walkRefs(), 1u); // empty: root probe only
+    // Insert up to fan-out ranges: still depth 1.
+    for (unsigned i = 0; i < RangeTable::kBTreeFanout; ++i) {
+        const Addr base = (i + 1) * 0x100000;
+        rt.insert({base, base + 0x1000, 0x10000000 + i * 0x100000});
+    }
+    EXPECT_EQ(rt.walkRefs(), 1u);
+    // One more range: depth 2.
+    rt.insert({0x50000000, 0x50001000, 0x90000000});
+    EXPECT_EQ(rt.walkRefs(), 2u);
+}
+
+TEST(RangeTable, ArbitrarilyLargeRange)
+{
+    RangeTable rt;
+    // A single range covering 1.6 GB — the RMM headline feature.
+    rt.insert({4_GiB, 4_GiB + 1600_MiB, 8_GiB});
+    auto r = rt.lookup(4_GiB + 1234567890);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(r->paddr(4_GiB + 1234567890), 8_GiB + 1234567890);
+}
+
+} // namespace
+} // namespace eat::vm

@@ -1,0 +1,219 @@
+/**
+ * @file
+ * End-to-end simulator tests: every organization runs every mechanism
+ * path, results are reproducible, and the headline invariants of the
+ * paper hold on short runs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/report.hh"
+#include "sim/simulator.hh"
+#include "workloads/suite.hh"
+
+namespace eat::sim
+{
+namespace
+{
+
+SimConfig
+quickConfig(const std::string &workload, core::MmuOrg org,
+            InstrCount instructions = 2'000'000)
+{
+    SimConfig cfg;
+    cfg.workload = *workloads::findWorkload(workload);
+    cfg.mmu = core::MmuConfig::make(org);
+    cfg.fastForwardInstructions = 100'000;
+    cfg.simulateInstructions = instructions;
+    return cfg;
+}
+
+TEST(Simulator, SmokeAllOrgs)
+{
+    for (const auto org : core::allOrgs()) {
+        const auto r = simulate(quickConfig("omnetpp", org, 500'000));
+        EXPECT_EQ(r.org, org);
+        EXPECT_EQ(r.workloadName, "omnetpp");
+        EXPECT_GE(r.stats.instructions, 500'000u);
+        EXPECT_GT(r.stats.memOps, 0u);
+        EXPECT_GT(r.totalEnergy(), 0.0);
+        EXPECT_GT(r.energyPerKiloInstr(), 0.0);
+    }
+}
+
+TEST(Simulator, BitIdenticalReruns)
+{
+    const auto a = simulate(quickConfig("astar", core::MmuOrg::RmmLite));
+    const auto b = simulate(quickConfig("astar", core::MmuOrg::RmmLite));
+    EXPECT_EQ(a.stats.memOps, b.stats.memOps);
+    EXPECT_EQ(a.stats.l1Misses, b.stats.l1Misses);
+    EXPECT_EQ(a.stats.l2Misses, b.stats.l2Misses);
+    EXPECT_DOUBLE_EQ(a.totalEnergy(), b.totalEnergy());
+    EXPECT_EQ(a.lite.wayDisableEvents, b.lite.wayDisableEvents);
+}
+
+TEST(Simulator, SeedChangesTheRun)
+{
+    auto cfg = quickConfig("astar", core::MmuOrg::Thp);
+    const auto a = simulate(cfg);
+    cfg.seed = 1234;
+    const auto b = simulate(cfg);
+    EXPECT_NE(a.stats.l1Misses, b.stats.l1Misses);
+}
+
+TEST(Simulator, TimelineRecordsIntervals)
+{
+    auto cfg = quickConfig("mcf", core::MmuOrg::Base4K, 1'000'000);
+    cfg.timelineInterval = 100'000;
+    const auto r = simulate(cfg);
+    EXPECT_GE(r.mpkiTimeline.numSamples(), 9u);
+    EXPECT_LE(r.mpkiTimeline.numSamples(), 11u);
+    EXPECT_GT(r.mpkiTimeline.mean(), 0.0);
+}
+
+TEST(Simulator, OsFactsFollowPolicy)
+{
+    const auto thp = simulate(quickConfig("mcf", core::MmuOrg::Thp,
+                                          200'000));
+    EXPECT_GT(thp.pages2M, 0u);
+    EXPECT_EQ(thp.numRanges, 0u);
+
+    const auto rmmLite =
+        simulate(quickConfig("mcf", core::MmuOrg::RmmLite, 200'000));
+    EXPECT_EQ(rmmLite.pages2M, 0u); // RMM_Lite maps 4 KB pages only
+    EXPECT_GT(rmmLite.numRanges, 0u);
+    EXPECT_DOUBLE_EQ(rmmLite.rangeCoverage, 1.0); // perfect eager paging
+
+    const auto base = simulate(quickConfig("mcf", core::MmuOrg::Base4K,
+                                           200'000));
+    EXPECT_EQ(base.pages2M, 0u);
+    EXPECT_EQ(base.numRanges, 0u);
+}
+
+TEST(Simulator, PaperInvariantsOnShortRuns)
+{
+    // mcf, 2M instructions: enough for the shape invariants.
+    const auto base = simulate(quickConfig("mcf", core::MmuOrg::Base4K));
+    const auto thp = simulate(quickConfig("mcf", core::MmuOrg::Thp));
+    const auto rmm = simulate(quickConfig("mcf", core::MmuOrg::Rmm));
+    const auto rmmLite =
+        simulate(quickConfig("mcf", core::MmuOrg::RmmLite));
+
+    // THP slashes miss cycles vs 4 KB pages.
+    EXPECT_LT(thp.missCyclesPerKiloInstr(),
+              0.5 * base.missCyclesPerKiloInstr());
+    // RMM nearly eliminates page walks.
+    EXPECT_LT(rmm.stats.l2Mpki(), 0.05 * base.stats.l2Mpki());
+    // RMM_Lite nearly eliminates L1 TLB misses too.
+    EXPECT_LT(rmmLite.stats.l1Mpki(), 0.05 * thp.stats.l1Mpki());
+    // And it spends much less translation energy than THP.
+    EXPECT_LT(rmmLite.energyPerKiloInstr(),
+              0.5 * thp.energyPerKiloInstr());
+}
+
+TEST(Simulator, TraceReplayMatchesDirectSimulation)
+{
+    const std::string path =
+        ::testing::TempDir() + "eat_sim_trace_test.bin";
+    auto cfg = quickConfig("omnetpp", core::MmuOrg::Thp, 400'000);
+
+    const auto direct = simulate(cfg);
+    const auto recorded = recordTrace(cfg, path);
+    EXPECT_GT(recorded, 0u);
+    const auto replayed = simulateFromTrace(cfg, path);
+    std::remove(path.c_str());
+
+    // Identical address space + identical operation stream => identical
+    // hardware behaviour.
+    EXPECT_EQ(replayed.stats.memOps, direct.stats.memOps);
+    EXPECT_EQ(replayed.stats.l1Misses, direct.stats.l1Misses);
+    EXPECT_EQ(replayed.stats.l2Misses, direct.stats.l2Misses);
+    EXPECT_DOUBLE_EQ(replayed.totalEnergy(), direct.totalEnergy());
+}
+
+TEST(Simulator, StaticEnergyFieldsPopulated)
+{
+    const auto r = simulate(quickConfig("astar", core::MmuOrg::TlbLite,
+                                        3'000'000));
+    EXPECT_GT(r.energy.staticEnergyFull, 0.0);
+    EXPECT_GT(r.energy.staticEnergyGated, 0.0);
+    EXPECT_LE(r.energy.staticEnergyGated, r.energy.staticEnergyFull);
+}
+
+TEST(Simulator, CombinedFullyAssocL1EndToEnd)
+{
+    auto cfg = quickConfig("astar", core::MmuOrg::TlbLite, 2'500'000);
+    cfg.mmu.combinedFullyAssocL1 = true;
+    const auto combined = simulate(cfg);
+    EXPECT_GT(combined.stats.memOps, 0u);
+    EXPECT_TRUE(combined.liteEnabled);
+    // The combined fully associative L1 without Lite costs more than
+    // the separate set-associative baseline (paper §2.2).
+    auto thpCfg = quickConfig("astar", core::MmuOrg::Thp, 2'500'000);
+    thpCfg.mmu.combinedFullyAssocL1 = true;
+    const auto combinedThp = simulate(thpCfg);
+    const auto separateThp =
+        simulate(quickConfig("astar", core::MmuOrg::Thp, 2'500'000));
+    EXPECT_GT(combinedThp.energyPerKiloInstr(),
+              separateThp.energyPerKiloInstr());
+}
+
+TEST(Simulator, RejectsEmptyWindow)
+{
+    auto cfg = quickConfig("astar", core::MmuOrg::Thp);
+    cfg.simulateInstructions = 0;
+    EXPECT_THROW((void)simulate(cfg), std::logic_error);
+}
+
+TEST(BenchOptions, ParsesArguments)
+{
+    const char *argv[] = {"bench", "--instructions=5000",
+                          "--fast-forward=100", "--seed=7", "--csv"};
+    const auto opts =
+        BenchOptions::parse(5, const_cast<char **>(argv));
+    EXPECT_EQ(opts.simulateInstructions, 5000u);
+    EXPECT_EQ(opts.fastForwardInstructions, 100u);
+    EXPECT_EQ(opts.seed, 7u);
+    EXPECT_TRUE(opts.csv);
+}
+
+TEST(BenchOptions, QuickPreset)
+{
+    const char *argv[] = {"bench", "--quick"};
+    const auto opts =
+        BenchOptions::parse(2, const_cast<char **>(argv));
+    EXPECT_EQ(opts.simulateInstructions, 4'000'000u);
+}
+
+TEST(BenchOptions, RejectsUnknownFlag)
+{
+    const char *argv[] = {"bench", "--frobnicate"};
+    EXPECT_THROW(BenchOptions::parse(2, const_cast<char **>(argv)),
+                 std::runtime_error);
+}
+
+TEST(Report, MeanOf)
+{
+    EXPECT_DOUBLE_EQ(meanOf({}), 0.0);
+    EXPECT_DOUBLE_EQ(meanOf({2.0, 4.0}), 3.0);
+}
+
+TEST(Report, NormalizedTableShape)
+{
+    std::vector<core::MmuOrg> orgs{core::MmuOrg::Base4K,
+                                   core::MmuOrg::Thp};
+    BenchOptions opts;
+    opts.simulateInstructions = 300'000;
+    opts.fastForwardInstructions = 50'000;
+    const auto rows = runMatrix(
+        {*workloads::findWorkload("povray")}, orgs, opts);
+    ASSERT_EQ(rows.size(), 1u);
+    ASSERT_EQ(rows[0].byOrg.size(), 2u);
+    auto table = normalizedTable(rows, orgs, energyMetric, "energy");
+    EXPECT_EQ(table.numRows(), 2u); // one workload + the average row
+    // The baseline column is 1.0 by construction.
+    EXPECT_NE(table.toString().find("1.000"), std::string::npos);
+}
+
+} // namespace
+} // namespace eat::sim

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Tests for binary trace recording and replay.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "workloads/trace.hh"
+
+namespace eat::workloads
+{
+namespace
+{
+
+class TraceTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        path_ = ::testing::TempDir() + "eat_trace_test.bin";
+    }
+
+    void
+    TearDown() override
+    {
+        std::remove(path_.c_str());
+    }
+
+    std::string path_;
+};
+
+TEST_F(TraceTest, RoundTripsOperations)
+{
+    {
+        TraceWriter w(path_);
+        w.write({0x1000, 3});
+        w.write({0xfeedbeefcafe, 1});
+        w.write({0x7fffffffffff, 100000});
+        EXPECT_EQ(w.recordsWritten(), 3u);
+    }
+    TraceReader r(path_);
+    EXPECT_EQ(r.totalRecords(), 3u);
+    auto a = r.next();
+    ASSERT_TRUE(a.has_value());
+    EXPECT_EQ(a->vaddr, 0x1000u);
+    EXPECT_EQ(a->instrGap, 3u);
+    auto b = r.next();
+    ASSERT_TRUE(b.has_value());
+    EXPECT_EQ(b->vaddr, 0xfeedbeefcafeull);
+    auto c = r.next();
+    ASSERT_TRUE(c.has_value());
+    EXPECT_EQ(c->instrGap, 100000u);
+    EXPECT_FALSE(r.next().has_value());
+    EXPECT_EQ(r.recordsRead(), 3u);
+}
+
+TEST_F(TraceTest, EmptyTraceIsValid)
+{
+    {
+        TraceWriter w(path_);
+    }
+    TraceReader r(path_);
+    EXPECT_EQ(r.totalRecords(), 0u);
+    EXPECT_FALSE(r.next().has_value());
+}
+
+TEST_F(TraceTest, ExplicitCloseIsIdempotent)
+{
+    TraceWriter w(path_);
+    w.write({1, 1});
+    w.close();
+    w.close();
+    EXPECT_THROW(w.write({2, 1}), std::logic_error);
+    TraceReader r(path_);
+    EXPECT_EQ(r.totalRecords(), 1u);
+}
+
+TEST_F(TraceTest, RejectsMissingFile)
+{
+    EXPECT_THROW(TraceReader("/nonexistent/trace.bin"),
+                 std::runtime_error);
+}
+
+TEST_F(TraceTest, RejectsWrongMagic)
+{
+    {
+        std::ofstream os(path_, std::ios::binary);
+        os << "NOTATRACE-AT-ALL";
+    }
+    EXPECT_THROW(TraceReader r(path_), std::runtime_error);
+}
+
+TEST_F(TraceTest, LargeTraceRoundTrip)
+{
+    constexpr std::uint64_t kN = 50000;
+    {
+        TraceWriter w(path_);
+        for (std::uint64_t i = 0; i < kN; ++i)
+            w.write({i << 12, (i % 7) + 1});
+    }
+    TraceReader r(path_);
+    EXPECT_EQ(r.totalRecords(), kN);
+    for (std::uint64_t i = 0; i < kN; ++i) {
+        auto op = r.next();
+        ASSERT_TRUE(op.has_value());
+        ASSERT_EQ(op->vaddr, i << 12);
+        ASSERT_EQ(op->instrGap, (i % 7) + 1);
+    }
+    EXPECT_FALSE(r.next().has_value());
+}
+
+} // namespace
+} // namespace eat::workloads

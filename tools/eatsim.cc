@@ -1,0 +1,229 @@
+/**
+ * @file
+ * eatsim: the command-line simulator driver.
+ *
+ *   eatsim --list
+ *   eatsim --workload=mcf --org=RMM_Lite [--instructions=N]
+ *          [--fast-forward=N] [--seed=N] [--timeline=N]
+ *          [--record=trace.eat | --replay=trace.eat]
+ *
+ * Runs one simulation and prints the full report: performance, the
+ * dynamic-energy breakdown per structure, Lite activity, and the OS
+ * facts of the run.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "sim/simulator.hh"
+#include "stats/table.hh"
+#include "workloads/suite.hh"
+
+namespace
+{
+
+using namespace eat;
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s --workload=NAME --org=ORG [options]\n"
+        "       %s --list\n"
+        "\n"
+        "options:\n"
+        "  --org=ORG            4KB | THP | TLB_Lite | RMM | TLB_PP |"
+        " RMM_Lite\n"
+        "  --instructions=N     measured window (default 20000000)\n"
+        "  --fast-forward=N     skipped prefix (default 2000000)\n"
+        "  --seed=N             deterministic seed (default 42)\n"
+        "  --timeline=N         record L1 MPKI every N instructions\n"
+        "  --record=PATH        record the operation stream to PATH\n"
+        "  --replay=PATH        replay a recorded trace through the MMU\n"
+        "  --combined-l1        single fully associative L1 (paper 4.4)\n"
+        "  --list               list the available workloads\n",
+        argv0, argv0);
+    std::exit(2);
+}
+
+core::MmuOrg
+parseOrg(const std::string &name)
+{
+    for (const auto org : core::allOrgs()) {
+        if (name == core::orgName(org))
+            return org;
+    }
+    std::fprintf(stderr, "unknown organization '%s'\n", name.c_str());
+    std::exit(2);
+}
+
+void
+listWorkloads()
+{
+    stats::TextTable table({"workload", "suite", "footprint (MiB)",
+                            "TLB intensive"});
+    for (const auto &w : workloads::allWorkloads()) {
+        table.addRow({w.name, w.suite,
+                      std::to_string(w.footprintBytes() / 1_MiB),
+                      w.tlbIntensive ? "yes" : "no"});
+    }
+    table.print(std::cout);
+}
+
+void
+printReport(const sim::SimResult &r)
+{
+    const auto &s = r.stats;
+    std::cout << "run: " << r.workloadName << " under "
+              << core::orgName(r.org) << "\n\n";
+
+    stats::TextTable perf({"metric", "value"});
+    perf.addRow({"instructions", std::to_string(s.instructions)});
+    perf.addRow({"memory operations", std::to_string(s.memOps)});
+    perf.addRow({"L1 TLB MPKI", stats::TextTable::num(s.l1Mpki(), 3)});
+    perf.addRow({"L2 TLB MPKI (walks)",
+                 stats::TextTable::num(s.l2Mpki(), 3)});
+    perf.addRow({"TLB-miss cycles / kinstr",
+                 stats::TextTable::num(r.missCyclesPerKiloInstr(), 2)});
+    perf.addRow({"miss-cycle fraction (CPI 1)",
+                 stats::TextTable::percent(s.tlbMissCycleFraction())});
+    perf.addRow({"dynamic energy pJ / kinstr",
+                 stats::TextTable::num(r.energyPerKiloInstr(), 1)});
+    perf.addRow({"leakage power (active config, mW)",
+                 stats::TextTable::num(r.energy.leakagePower, 4)});
+    perf.print(std::cout);
+
+    std::cout << "\nhit sources:\n";
+    stats::TextTable hits({"source", "count", "share of ops"});
+    for (unsigned i = 0; i < static_cast<unsigned>(core::HitSource::Count);
+         ++i) {
+        const auto src = static_cast<core::HitSource>(i);
+        if (s.hits(src) == 0)
+            continue;
+        hits.addRow({std::string(core::hitSourceName(src)),
+                     std::to_string(s.hits(src)),
+                     stats::TextTable::percent(
+                         static_cast<double>(s.hits(src)) /
+                         static_cast<double>(std::max<std::uint64_t>(
+                             s.memOps, 1)))});
+    }
+    hits.print(std::cout);
+
+    std::cout << "\nenergy by structure:\n";
+    stats::TextTable energy({"structure", "reads", "writes",
+                             "read pJ", "write pJ"});
+    for (const auto &row : r.energy.structs) {
+        energy.addRow({row.name, std::to_string(row.reads),
+                       std::to_string(row.writes),
+                       stats::TextTable::num(row.readEnergy, 0),
+                       stats::TextTable::num(row.writeEnergy, 0)});
+    }
+    energy.print(std::cout);
+
+    if (r.liteEnabled) {
+        std::cout << "\nLite: " << r.lite.intervals << " intervals, "
+                  << r.lite.wayDisableEvents << " way disables, "
+                  << r.lite.degradationActivations
+                  << " degradation re-activations, "
+                  << r.lite.randomActivations
+                  << " random re-activations\n";
+        std::cout << "L1-4KB lookups at 4/2/1 ways: "
+                  << stats::TextTable::percent(
+                         s.l1WayLookups4K.fraction(2))
+                  << " / "
+                  << stats::TextTable::percent(
+                         s.l1WayLookups4K.fraction(1))
+                  << " / "
+                  << stats::TextTable::percent(
+                         s.l1WayLookups4K.fraction(0))
+                  << "\n";
+    }
+
+    std::cout << "\nOS: " << r.pages4K << " x 4KB pages, " << r.pages2M
+              << " x 2MB pages, " << r.numRanges << " ranges (coverage "
+              << stats::TextTable::percent(r.rangeCoverage) << ")\n";
+
+    if (r.mpkiTimeline.numSamples() > 0) {
+        std::cout << "\nL1 MPKI timeline (interval "
+                  << r.mpkiTimeline.intervalInstructions() << "):\n  ";
+        for (const double v : r.mpkiTimeline.downsample(20))
+            std::cout << stats::TextTable::num(v, 1) << " ";
+        std::cout << "\n";
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string workloadName;
+    std::string orgName = "THP";
+    std::string recordPath, replayPath;
+    sim::SimConfig cfg;
+    cfg.simulateInstructions = 20'000'000;
+
+    bool combined = false;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&arg](const char *prefix) -> const char * {
+            const std::size_t n = std::strlen(prefix);
+            return arg.compare(0, n, prefix) == 0 ? arg.c_str() + n
+                                                  : nullptr;
+        };
+        if (arg == "--list") {
+            listWorkloads();
+            return 0;
+        } else if (const char *v = value("--workload=")) {
+            workloadName = v;
+        } else if (const char *v2 = value("--org=")) {
+            orgName = v2;
+        } else if (const char *v3 = value("--instructions=")) {
+            cfg.simulateInstructions = std::strtoull(v3, nullptr, 10);
+        } else if (const char *v4 = value("--fast-forward=")) {
+            cfg.fastForwardInstructions = std::strtoull(v4, nullptr, 10);
+        } else if (const char *v5 = value("--seed=")) {
+            cfg.seed = std::strtoull(v5, nullptr, 10);
+        } else if (const char *v6 = value("--timeline=")) {
+            cfg.timelineInterval = std::strtoull(v6, nullptr, 10);
+        } else if (const char *v7 = value("--record=")) {
+            recordPath = v7;
+        } else if (const char *v8 = value("--replay=")) {
+            replayPath = v8;
+        } else if (arg == "--combined-l1") {
+            combined = true;
+        } else {
+            usage(argv[0]);
+        }
+    }
+    if (workloadName.empty())
+        usage(argv[0]);
+
+    const auto spec = workloads::findWorkload(workloadName);
+    if (!spec) {
+        std::fprintf(stderr,
+                     "unknown workload '%s' (try --list)\n",
+                     workloadName.c_str());
+        return 2;
+    }
+    cfg.workload = *spec;
+    cfg.mmu = core::MmuConfig::make(parseOrg(orgName));
+    cfg.mmu.combinedFullyAssocL1 = combined;
+
+    if (!recordPath.empty()) {
+        const auto n = sim::recordTrace(cfg, recordPath);
+        std::cout << "recorded " << n << " operations to " << recordPath
+                  << "\n";
+        return 0;
+    }
+
+    const auto result = replayPath.empty()
+                            ? sim::simulate(cfg)
+                            : sim::simulateFromTrace(cfg, replayPath);
+    printReport(result);
+    return 0;
+}
