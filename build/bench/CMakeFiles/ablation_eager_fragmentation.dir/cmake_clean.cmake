@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_eager_fragmentation.dir/ablation_eager_fragmentation.cc.o"
+  "CMakeFiles/ablation_eager_fragmentation.dir/ablation_eager_fragmentation.cc.o.d"
+  "ablation_eager_fragmentation"
+  "ablation_eager_fragmentation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_eager_fragmentation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_fully_assoc.dir/ablation_fully_assoc.cc.o"
+  "CMakeFiles/ablation_fully_assoc.dir/ablation_fully_assoc.cc.o.d"
+  "ablation_fully_assoc"
+  "ablation_fully_assoc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fully_assoc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_energy_characterization.dir/fig02_energy_characterization.cc.o"
+  "CMakeFiles/fig02_energy_characterization.dir/fig02_energy_characterization.cc.o.d"
+  "fig02_energy_characterization"
+  "fig02_energy_characterization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_energy_characterization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_pagewalk_locality.dir/fig03_pagewalk_locality.cc.o"
+  "CMakeFiles/fig03_pagewalk_locality.dir/fig03_pagewalk_locality.cc.o.d"
+  "fig03_pagewalk_locality"
+  "fig03_pagewalk_locality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_pagewalk_locality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

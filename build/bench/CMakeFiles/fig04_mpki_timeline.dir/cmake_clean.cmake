@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_mpki_timeline.dir/fig04_mpki_timeline.cc.o"
+  "CMakeFiles/fig04_mpki_timeline.dir/fig04_mpki_timeline.cc.o.d"
+  "fig04_mpki_timeline"
+  "fig04_mpki_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_mpki_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

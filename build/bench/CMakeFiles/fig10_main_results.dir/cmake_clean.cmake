@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_main_results.dir/fig10_main_results.cc.o"
+  "CMakeFiles/fig10_main_results.dir/fig10_main_results.cc.o.d"
+  "fig10_main_results"
+  "fig10_main_results.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_main_results.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

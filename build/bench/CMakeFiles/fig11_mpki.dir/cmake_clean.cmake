@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_mpki.dir/fig11_mpki.cc.o"
+  "CMakeFiles/fig11_mpki.dir/fig11_mpki.cc.o.d"
+  "fig11_mpki"
+  "fig11_mpki.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_mpki.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_other_workloads.dir/fig12_other_workloads.cc.o"
+  "CMakeFiles/fig12_other_workloads.dir/fig12_other_workloads.cc.o.d"
+  "fig12_other_workloads"
+  "fig12_other_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_other_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

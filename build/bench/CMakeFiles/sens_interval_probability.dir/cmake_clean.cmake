@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sens_interval_probability.dir/sens_interval_probability.cc.o"
+  "CMakeFiles/sens_interval_probability.dir/sens_interval_probability.cc.o.d"
+  "sens_interval_probability"
+  "sens_interval_probability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sens_interval_probability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/static_energy.dir/static_energy.cc.o"
+  "CMakeFiles/static_energy.dir/static_energy.cc.o.d"
+  "static_energy"
+  "static_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/static_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table02_energy_model.dir/table02_energy_model.cc.o"
+  "CMakeFiles/table02_energy_model.dir/table02_energy_model.cc.o.d"
+  "table02_energy_model"
+  "table02_energy_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table02_energy_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

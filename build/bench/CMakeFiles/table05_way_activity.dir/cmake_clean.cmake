@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table05_way_activity.dir/table05_way_activity.cc.o"
+  "CMakeFiles/table05_way_activity.dir/table05_way_activity.cc.o.d"
+  "table05_way_activity"
+  "table05_way_activity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table05_way_activity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bigmemory_scan.dir/bigmemory_scan.cpp.o"
+  "CMakeFiles/bigmemory_scan.dir/bigmemory_scan.cpp.o.d"
+  "bigmemory_scan"
+  "bigmemory_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bigmemory_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/range_translation_tour.dir/range_translation_tour.cpp.o"
+  "CMakeFiles/range_translation_tour.dir/range_translation_tour.cpp.o.d"
+  "range_translation_tour"
+  "range_translation_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/range_translation_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

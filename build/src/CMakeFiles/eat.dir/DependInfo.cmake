@@ -1,0 +1,47 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/base/logging.cc" "src/CMakeFiles/eat.dir/base/logging.cc.o" "gcc" "src/CMakeFiles/eat.dir/base/logging.cc.o.d"
+  "/root/repo/src/core/config.cc" "src/CMakeFiles/eat.dir/core/config.cc.o" "gcc" "src/CMakeFiles/eat.dir/core/config.cc.o.d"
+  "/root/repo/src/core/mmu.cc" "src/CMakeFiles/eat.dir/core/mmu.cc.o" "gcc" "src/CMakeFiles/eat.dir/core/mmu.cc.o.d"
+  "/root/repo/src/core/mmu_stats.cc" "src/CMakeFiles/eat.dir/core/mmu_stats.cc.o" "gcc" "src/CMakeFiles/eat.dir/core/mmu_stats.cc.o.d"
+  "/root/repo/src/energy/account.cc" "src/CMakeFiles/eat.dir/energy/account.cc.o" "gcc" "src/CMakeFiles/eat.dir/energy/account.cc.o.d"
+  "/root/repo/src/energy/cacti_lite.cc" "src/CMakeFiles/eat.dir/energy/cacti_lite.cc.o" "gcc" "src/CMakeFiles/eat.dir/energy/cacti_lite.cc.o.d"
+  "/root/repo/src/energy/coefficients.cc" "src/CMakeFiles/eat.dir/energy/coefficients.cc.o" "gcc" "src/CMakeFiles/eat.dir/energy/coefficients.cc.o.d"
+  "/root/repo/src/lite/lite_controller.cc" "src/CMakeFiles/eat.dir/lite/lite_controller.cc.o" "gcc" "src/CMakeFiles/eat.dir/lite/lite_controller.cc.o.d"
+  "/root/repo/src/lite/lru_profiler.cc" "src/CMakeFiles/eat.dir/lite/lru_profiler.cc.o" "gcc" "src/CMakeFiles/eat.dir/lite/lru_profiler.cc.o.d"
+  "/root/repo/src/sim/report.cc" "src/CMakeFiles/eat.dir/sim/report.cc.o" "gcc" "src/CMakeFiles/eat.dir/sim/report.cc.o.d"
+  "/root/repo/src/sim/simulator.cc" "src/CMakeFiles/eat.dir/sim/simulator.cc.o" "gcc" "src/CMakeFiles/eat.dir/sim/simulator.cc.o.d"
+  "/root/repo/src/stats/csv.cc" "src/CMakeFiles/eat.dir/stats/csv.cc.o" "gcc" "src/CMakeFiles/eat.dir/stats/csv.cc.o.d"
+  "/root/repo/src/stats/histogram.cc" "src/CMakeFiles/eat.dir/stats/histogram.cc.o" "gcc" "src/CMakeFiles/eat.dir/stats/histogram.cc.o.d"
+  "/root/repo/src/stats/table.cc" "src/CMakeFiles/eat.dir/stats/table.cc.o" "gcc" "src/CMakeFiles/eat.dir/stats/table.cc.o.d"
+  "/root/repo/src/stats/timeline.cc" "src/CMakeFiles/eat.dir/stats/timeline.cc.o" "gcc" "src/CMakeFiles/eat.dir/stats/timeline.cc.o.d"
+  "/root/repo/src/tlb/fully_assoc_tlb.cc" "src/CMakeFiles/eat.dir/tlb/fully_assoc_tlb.cc.o" "gcc" "src/CMakeFiles/eat.dir/tlb/fully_assoc_tlb.cc.o.d"
+  "/root/repo/src/tlb/mmu_cache.cc" "src/CMakeFiles/eat.dir/tlb/mmu_cache.cc.o" "gcc" "src/CMakeFiles/eat.dir/tlb/mmu_cache.cc.o.d"
+  "/root/repo/src/tlb/page_walker.cc" "src/CMakeFiles/eat.dir/tlb/page_walker.cc.o" "gcc" "src/CMakeFiles/eat.dir/tlb/page_walker.cc.o.d"
+  "/root/repo/src/tlb/range_tlb.cc" "src/CMakeFiles/eat.dir/tlb/range_tlb.cc.o" "gcc" "src/CMakeFiles/eat.dir/tlb/range_tlb.cc.o.d"
+  "/root/repo/src/tlb/range_walker.cc" "src/CMakeFiles/eat.dir/tlb/range_walker.cc.o" "gcc" "src/CMakeFiles/eat.dir/tlb/range_walker.cc.o.d"
+  "/root/repo/src/tlb/set_assoc_tlb.cc" "src/CMakeFiles/eat.dir/tlb/set_assoc_tlb.cc.o" "gcc" "src/CMakeFiles/eat.dir/tlb/set_assoc_tlb.cc.o.d"
+  "/root/repo/src/vm/memory_manager.cc" "src/CMakeFiles/eat.dir/vm/memory_manager.cc.o" "gcc" "src/CMakeFiles/eat.dir/vm/memory_manager.cc.o.d"
+  "/root/repo/src/vm/page_table.cc" "src/CMakeFiles/eat.dir/vm/page_table.cc.o" "gcc" "src/CMakeFiles/eat.dir/vm/page_table.cc.o.d"
+  "/root/repo/src/vm/phys_mem.cc" "src/CMakeFiles/eat.dir/vm/phys_mem.cc.o" "gcc" "src/CMakeFiles/eat.dir/vm/phys_mem.cc.o.d"
+  "/root/repo/src/vm/range_table.cc" "src/CMakeFiles/eat.dir/vm/range_table.cc.o" "gcc" "src/CMakeFiles/eat.dir/vm/range_table.cc.o.d"
+  "/root/repo/src/workloads/pattern.cc" "src/CMakeFiles/eat.dir/workloads/pattern.cc.o" "gcc" "src/CMakeFiles/eat.dir/workloads/pattern.cc.o.d"
+  "/root/repo/src/workloads/suite.cc" "src/CMakeFiles/eat.dir/workloads/suite.cc.o" "gcc" "src/CMakeFiles/eat.dir/workloads/suite.cc.o.d"
+  "/root/repo/src/workloads/trace.cc" "src/CMakeFiles/eat.dir/workloads/trace.cc.o" "gcc" "src/CMakeFiles/eat.dir/workloads/trace.cc.o.d"
+  "/root/repo/src/workloads/workload.cc" "src/CMakeFiles/eat.dir/workloads/workload.cc.o" "gcc" "src/CMakeFiles/eat.dir/workloads/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

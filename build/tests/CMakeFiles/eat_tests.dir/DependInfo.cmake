@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_base.cc" "tests/CMakeFiles/eat_tests.dir/test_base.cc.o" "gcc" "tests/CMakeFiles/eat_tests.dir/test_base.cc.o.d"
+  "/root/repo/tests/test_config.cc" "tests/CMakeFiles/eat_tests.dir/test_config.cc.o" "gcc" "tests/CMakeFiles/eat_tests.dir/test_config.cc.o.d"
+  "/root/repo/tests/test_cross_org.cc" "tests/CMakeFiles/eat_tests.dir/test_cross_org.cc.o" "gcc" "tests/CMakeFiles/eat_tests.dir/test_cross_org.cc.o.d"
+  "/root/repo/tests/test_energy.cc" "tests/CMakeFiles/eat_tests.dir/test_energy.cc.o" "gcc" "tests/CMakeFiles/eat_tests.dir/test_energy.cc.o.d"
+  "/root/repo/tests/test_integration.cc" "tests/CMakeFiles/eat_tests.dir/test_integration.cc.o" "gcc" "tests/CMakeFiles/eat_tests.dir/test_integration.cc.o.d"
+  "/root/repo/tests/test_lite_controller.cc" "tests/CMakeFiles/eat_tests.dir/test_lite_controller.cc.o" "gcc" "tests/CMakeFiles/eat_tests.dir/test_lite_controller.cc.o.d"
+  "/root/repo/tests/test_lru_profiler.cc" "tests/CMakeFiles/eat_tests.dir/test_lru_profiler.cc.o" "gcc" "tests/CMakeFiles/eat_tests.dir/test_lru_profiler.cc.o.d"
+  "/root/repo/tests/test_memory_manager.cc" "tests/CMakeFiles/eat_tests.dir/test_memory_manager.cc.o" "gcc" "tests/CMakeFiles/eat_tests.dir/test_memory_manager.cc.o.d"
+  "/root/repo/tests/test_mmu.cc" "tests/CMakeFiles/eat_tests.dir/test_mmu.cc.o" "gcc" "tests/CMakeFiles/eat_tests.dir/test_mmu.cc.o.d"
+  "/root/repo/tests/test_mmu_cache.cc" "tests/CMakeFiles/eat_tests.dir/test_mmu_cache.cc.o" "gcc" "tests/CMakeFiles/eat_tests.dir/test_mmu_cache.cc.o.d"
+  "/root/repo/tests/test_page_size.cc" "tests/CMakeFiles/eat_tests.dir/test_page_size.cc.o" "gcc" "tests/CMakeFiles/eat_tests.dir/test_page_size.cc.o.d"
+  "/root/repo/tests/test_page_table.cc" "tests/CMakeFiles/eat_tests.dir/test_page_table.cc.o" "gcc" "tests/CMakeFiles/eat_tests.dir/test_page_table.cc.o.d"
+  "/root/repo/tests/test_phys_mem.cc" "tests/CMakeFiles/eat_tests.dir/test_phys_mem.cc.o" "gcc" "tests/CMakeFiles/eat_tests.dir/test_phys_mem.cc.o.d"
+  "/root/repo/tests/test_range_table.cc" "tests/CMakeFiles/eat_tests.dir/test_range_table.cc.o" "gcc" "tests/CMakeFiles/eat_tests.dir/test_range_table.cc.o.d"
+  "/root/repo/tests/test_range_tlb.cc" "tests/CMakeFiles/eat_tests.dir/test_range_tlb.cc.o" "gcc" "tests/CMakeFiles/eat_tests.dir/test_range_tlb.cc.o.d"
+  "/root/repo/tests/test_set_assoc_tlb.cc" "tests/CMakeFiles/eat_tests.dir/test_set_assoc_tlb.cc.o" "gcc" "tests/CMakeFiles/eat_tests.dir/test_set_assoc_tlb.cc.o.d"
+  "/root/repo/tests/test_simulator.cc" "tests/CMakeFiles/eat_tests.dir/test_simulator.cc.o" "gcc" "tests/CMakeFiles/eat_tests.dir/test_simulator.cc.o.d"
+  "/root/repo/tests/test_stats.cc" "tests/CMakeFiles/eat_tests.dir/test_stats.cc.o" "gcc" "tests/CMakeFiles/eat_tests.dir/test_stats.cc.o.d"
+  "/root/repo/tests/test_trace.cc" "tests/CMakeFiles/eat_tests.dir/test_trace.cc.o" "gcc" "tests/CMakeFiles/eat_tests.dir/test_trace.cc.o.d"
+  "/root/repo/tests/test_workloads.cc" "tests/CMakeFiles/eat_tests.dir/test_workloads.cc.o" "gcc" "tests/CMakeFiles/eat_tests.dir/test_workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/eat.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eatsim.dir/eatsim.cc.o"
+  "CMakeFiles/eatsim.dir/eatsim.cc.o.d"
+  "eatsim"
+  "eatsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eatsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
