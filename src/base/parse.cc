@@ -1,0 +1,46 @@
+#include "base/parse.hh"
+
+#include <cerrno>
+#include <cstdlib>
+#include <string>
+
+namespace eat
+{
+
+Result<std::uint64_t>
+parseU64(std::string_view text)
+{
+    if (text.empty())
+        return Status::error("expected a number, got an empty string");
+    for (const char c : text) {
+        if (c < '0' || c > '9') {
+            return Status::error("invalid number '", std::string(text),
+                                 "': unexpected character '", c, "'");
+        }
+    }
+    errno = 0;
+    const std::string buf(text);
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(buf.c_str(), &end, 10);
+    if (errno == ERANGE || end != buf.c_str() + buf.size())
+        return Status::error("number '", buf, "' out of range for uint64");
+    return static_cast<std::uint64_t>(v);
+}
+
+Result<double>
+parseF64(std::string_view text)
+{
+    if (text.empty())
+        return Status::error("expected a number, got an empty string");
+    errno = 0;
+    const std::string buf(text);
+    char *end = nullptr;
+    const double v = std::strtod(buf.c_str(), &end);
+    if (end != buf.c_str() + buf.size())
+        return Status::error("invalid number '", buf, "'");
+    if (errno == ERANGE || v != v)
+        return Status::error("number '", buf, "' out of range");
+    return v;
+}
+
+} // namespace eat

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Strict numeric parsing for command-line and spec-string values.
+ *
+ * std::strtoull silently turns garbage into 0 and wraps on overflow;
+ * these helpers reject anything that is not exactly one well-formed
+ * number, so "--instructions=abc" is an error instead of an empty run.
+ */
+
+#ifndef EAT_BASE_PARSE_HH
+#define EAT_BASE_PARSE_HH
+
+#include <cstdint>
+#include <string_view>
+
+#include "base/status.hh"
+
+namespace eat
+{
+
+/** Parse a full decimal uint64; rejects empty/trailing text/overflow. */
+Result<std::uint64_t> parseU64(std::string_view text);
+
+/** Parse a finite double; rejects empty strings and trailing text. */
+Result<double> parseF64(std::string_view text);
+
+} // namespace eat
+
+#endif // EAT_BASE_PARSE_HH

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Recoverable error reporting for library code.
+ *
+ * Status is the return type of operations that can fail for reasons the
+ * caller may want to handle (bad configuration, I/O failure, malformed
+ * input), as opposed to eat_panic/eat_fatal which unwind immediately.
+ * Library code returns Status (or Result<T> when there is a value);
+ * boundaries that cannot recover convert with eat_check_fatal.
+ */
+
+#ifndef EAT_BASE_STATUS_HH
+#define EAT_BASE_STATUS_HH
+
+#include <string>
+#include <utility>
+
+#include "base/logging.hh"
+
+namespace eat
+{
+
+/** The outcome of a fallible operation; success or an error message. */
+class [[nodiscard]] Status
+{
+  public:
+    /** Default-constructed Status is success. */
+    Status() = default;
+
+    /** Build a failure from stream-concatenated message parts. */
+    template <typename... Args>
+    static Status
+    error(Args &&...args)
+    {
+        Status s;
+        s.failed_ = true;
+        s.message_ = detail::cat(std::forward<Args>(args)...);
+        return s;
+    }
+
+    bool ok() const { return !failed_; }
+    const std::string &message() const { return message_; }
+
+  private:
+    bool failed_ = false;
+    std::string message_;
+};
+
+/** A value of type T, or the Status explaining why there is none. */
+template <typename T>
+class [[nodiscard]] Result
+{
+  public:
+    Result(T value) : value_(std::move(value)) {}
+
+    Result(Status status) : status_(std::move(status))
+    {
+        eat_assert(!status_.ok(), "Result built from a success Status");
+    }
+
+    bool ok() const { return status_.ok(); }
+    const Status &status() const { return status_; }
+
+    const T &
+    value() const
+    {
+        eat_assert(ok(), "Result::value() on error: ", status_.message());
+        return value_;
+    }
+
+    T &
+    value()
+    {
+        eat_assert(ok(), "Result::value() on error: ", status_.message());
+        return value_;
+    }
+
+  private:
+    Status status_;
+    T value_{};
+};
+
+} // namespace eat
+
+/** Convert a recoverable error into a fatal one at a boundary that
+ *  cannot handle it (evaluates @p expr exactly once). */
+#define eat_check_fatal(expr)                                             \
+    do {                                                                  \
+        const ::eat::Status eat_check_status_ = (expr);                   \
+        if (!eat_check_status_.ok())                                      \
+            eat_fatal(eat_check_status_.message());                       \
+    } while (0)
+
+#endif // EAT_BASE_STATUS_HH

@@ -1,0 +1,151 @@
+#include "check/shadow_checker.hh"
+
+#include "base/logging.hh"
+
+namespace eat::check
+{
+
+namespace
+{
+
+/** Cap on eat_warn noise; counters keep counting past it. */
+constexpr unsigned kMaxWarnings = 8;
+
+} // namespace
+
+std::string_view
+checkLevelName(CheckLevel level)
+{
+    switch (level) {
+      case CheckLevel::Off: return "off";
+      case CheckLevel::Paddr: return "paddr";
+      case CheckLevel::Full: return "full";
+    }
+    return "?";
+}
+
+Result<CheckLevel>
+parseCheckLevel(std::string_view text)
+{
+    if (text == "off")
+        return CheckLevel::Off;
+    if (text == "paddr")
+        return CheckLevel::Paddr;
+    if (text == "full")
+        return CheckLevel::Full;
+    return Status::error("unknown check level '", std::string(text),
+                         "' (expected off, paddr, or full)");
+}
+
+ShadowChecker::ShadowChecker(CheckLevel level,
+                             const vm::PageTable &pageTable,
+                             const vm::RangeTable *rangeTable)
+    : level_(level), golden_(pageTable, rangeTable)
+{
+}
+
+void
+ShadowChecker::recordMismatch(std::uint64_t &counter, std::string message)
+{
+    ++counter;
+    if (firstMismatch_.empty())
+        firstMismatch_ = message;
+    if (warningsEmitted_ < kMaxWarnings) {
+        ++warningsEmitted_;
+        eat_warn("shadow-checker: ", message);
+    }
+}
+
+void
+ShadowChecker::onPageTranslation(Addr vaddr, Addr paddr, vm::PageSize size,
+                                 std::string_view sourceName)
+{
+    if (level_ == CheckLevel::Off)
+        return;
+    ++stats_.translationChecks;
+
+    const auto golden = golden_.translatePage(vaddr);
+    if (!golden) {
+        recordMismatch(
+            stats_.sourceViolations,
+            detail::cat(sourceName, " translated unmapped vaddr 0x",
+                        std::hex, vaddr));
+        return;
+    }
+    if (golden->size != size) {
+        recordMismatch(
+            stats_.sizeMismatches,
+            detail::cat(sourceName, " served vaddr 0x", std::hex, vaddr,
+                        " as a ", vm::pageSizeName(size), " page; the page"
+                        " table maps it as ", vm::pageSizeName(golden->size)));
+        return;
+    }
+    if (golden->paddr(vaddr) != paddr) {
+        recordMismatch(
+            stats_.paddrMismatches,
+            detail::cat(sourceName, " translated vaddr 0x", std::hex, vaddr,
+                        " to paddr 0x", paddr, "; golden model says 0x",
+                        golden->paddr(vaddr)));
+    }
+}
+
+void
+ShadowChecker::onRangeTranslation(Addr vaddr, Addr paddr,
+                                  std::string_view sourceName)
+{
+    if (level_ == CheckLevel::Off)
+        return;
+    ++stats_.translationChecks;
+
+    const auto golden = golden_.translateRange(vaddr);
+    if (!golden) {
+        recordMismatch(
+            stats_.sourceViolations,
+            detail::cat(sourceName, " hit for vaddr 0x", std::hex, vaddr,
+                        " but no range translation covers it"));
+        return;
+    }
+    if (golden->paddr(vaddr) != paddr) {
+        recordMismatch(
+            stats_.paddrMismatches,
+            detail::cat(sourceName, " translated vaddr 0x", std::hex, vaddr,
+                        " to paddr 0x", paddr, "; golden range [0x",
+                        golden->vbase, ", 0x", golden->vlimit,
+                        ") says 0x", golden->paddr(vaddr)));
+    }
+}
+
+void
+ShadowChecker::auditWayMask(const tlb::SetAssocTlb &tlb)
+{
+    if (level_ != CheckLevel::Full)
+        return;
+    ++stats_.wayMaskAudits;
+
+    if (!isPowerOfTwo(tlb.activeWays()) || tlb.activeWays() > tlb.ways()) {
+        recordMismatch(
+            stats_.wayMaskViolations,
+            detail::cat(tlb.name(), ": illegal active-way count ",
+                        tlb.activeWays(), " (physical ways ", tlb.ways(),
+                        ")"));
+        return;
+    }
+    const unsigned stale = tlb.validInDisabledWays();
+    if (stale > 0) {
+        recordMismatch(
+            stats_.wayMaskViolations,
+            detail::cat(tlb.name(), ": ", stale, " valid entries in "
+                        "disabled ways (missed invalidation)"));
+    }
+}
+
+Status
+ShadowChecker::verdict() const
+{
+    if (stats_.mismatches() == 0)
+        return Status();
+    return Status::error("shadow checker observed ", stats_.mismatches(),
+                         " mismatches; first: ", firstMismatch_);
+}
+
+} // namespace eat::check

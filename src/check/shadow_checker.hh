@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Online differential checker for the MMU datapath.
+ *
+ * The MMU reports the outcome of every translation (which structure
+ * served it, the physical address and page size it produced); the
+ * checker replays the lookup against the golden ShadowTranslator and
+ * counts disagreements instead of trusting the TLB hierarchy. At the
+ * Full level it additionally audits Lite's way masks: active-way counts
+ * must stay powers of two within the physical associativity, and
+ * disabled ways must hold no valid entries (a dropped invalidation is
+ * exactly the stale-translation hazard way-disabling must never create,
+ * paper §4.2.3).
+ *
+ * The checker is passive — it charges no energy and mutates no modeled
+ * state — so enabling it cannot change simulation results, only vet
+ * them.
+ */
+
+#ifndef EAT_CHECK_SHADOW_CHECKER_HH
+#define EAT_CHECK_SHADOW_CHECKER_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "base/status.hh"
+#include "check/shadow_translator.hh"
+#include "tlb/set_assoc_tlb.hh"
+
+namespace eat::check
+{
+
+/** How much cross-checking the simulation performs. */
+enum class CheckLevel
+{
+    Off,   ///< no checking (fastest)
+    Paddr, ///< verify physical address + page size of every translation
+    Full,  ///< Paddr plus hit-source legality and way-mask audits
+};
+
+std::string_view checkLevelName(CheckLevel level);
+
+/** Parse "off" | "paddr" | "full". */
+Result<CheckLevel> parseCheckLevel(std::string_view text);
+
+/** Mismatch counters, by the invariant that failed. */
+struct CheckStats
+{
+    std::uint64_t translationChecks = 0; ///< translations cross-checked
+    std::uint64_t wayMaskAudits = 0;     ///< structures audited
+
+    std::uint64_t paddrMismatches = 0;  ///< wrong physical address
+    std::uint64_t sizeMismatches = 0;   ///< wrong page size
+    std::uint64_t sourceViolations = 0; ///< illegal hit source
+    std::uint64_t wayMaskViolations = 0;
+
+    std::uint64_t
+    mismatches() const
+    {
+        return paddrMismatches + sizeMismatches + sourceViolations +
+               wayMaskViolations;
+    }
+};
+
+/** The per-run differential checker. */
+class ShadowChecker
+{
+  public:
+    /**
+     * @param level checking depth (constructing with Off is allowed
+     *        but pointless; callers normally skip construction).
+     * @param pageTable / @p rangeTable the authoritative OS tables the
+     *        golden snapshot is derived from.
+     */
+    ShadowChecker(CheckLevel level, const vm::PageTable &pageTable,
+                  const vm::RangeTable *rangeTable);
+
+    /**
+     * The MMU produced @p paddr for @p vaddr from a page entry of
+     * @p size. @p sourceName labels the serving structure in messages.
+     */
+    void onPageTranslation(Addr vaddr, Addr paddr, vm::PageSize size,
+                           std::string_view sourceName);
+
+    /** The MMU produced @p paddr for @p vaddr from a range entry. */
+    void onRangeTranslation(Addr vaddr, Addr paddr,
+                            std::string_view sourceName);
+
+    /** Audit one structure's way mask (Full level). */
+    void auditWayMask(const tlb::SetAssocTlb &tlb);
+
+    CheckLevel level() const { return level_; }
+    const CheckStats &stats() const { return stats_; }
+
+    /** Human-readable description of the first mismatch (or empty). */
+    const std::string &firstMismatch() const { return firstMismatch_; }
+
+    /** Ok iff no mismatch has been observed. */
+    Status verdict() const;
+
+  private:
+    void recordMismatch(std::uint64_t &counter, std::string message);
+
+    CheckLevel level_;
+    ShadowTranslator golden_;
+    CheckStats stats_;
+    std::string firstMismatch_;
+    unsigned warningsEmitted_ = 0;
+};
+
+} // namespace eat::check
+
+#endif // EAT_CHECK_SHADOW_CHECKER_HH

@@ -1,0 +1,90 @@
+#include "check/shadow_translator.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace eat::check
+{
+
+ShadowTranslator::ShadowTranslator(const vm::PageTable &pageTable,
+                                   const vm::RangeTable *rangeTable)
+    : pageTable_(pageTable), rangeTable_(rangeTable)
+{
+    rebuild();
+}
+
+void
+ShadowTranslator::rebuild()
+{
+    pages4K_.clear();
+    pages2M_.clear();
+    pages1G_.clear();
+    ranges_.clear();
+
+    pages4K_.reserve(
+        static_cast<std::size_t>(pageTable_.pageCount(vm::PageSize::Size4K)));
+    pages2M_.reserve(
+        static_cast<std::size_t>(pageTable_.pageCount(vm::PageSize::Size2M)));
+
+    pageTable_.forEachLeaf([this](const vm::Translation &t) {
+        switch (t.size) {
+          case vm::PageSize::Size4K: pages4K_[t.vbase] = t.pbase; break;
+          case vm::PageSize::Size2M: pages2M_[t.vbase] = t.pbase; break;
+          case vm::PageSize::Size1G: pages1G_[t.vbase] = t.pbase; break;
+        }
+    });
+
+    if (rangeTable_) {
+        ranges_.reserve(rangeTable_->size());
+        for (const auto &[vbase, range] : *rangeTable_)
+            ranges_.push_back(range);
+        eat_assert(std::is_sorted(ranges_.begin(), ranges_.end(),
+                                  [](const auto &a, const auto &b) {
+                                      return a.vbase < b.vbase;
+                                  }),
+                   "range table iteration out of order");
+    }
+}
+
+std::optional<vm::Translation>
+ShadowTranslator::translatePage(Addr vaddr) const
+{
+    if (const auto it = pages4K_.find(vm::pageBase(vaddr, vm::PageSize::Size4K));
+        it != pages4K_.end()) {
+        return vm::Translation{it->first, it->second, vm::PageSize::Size4K};
+    }
+    if (const auto it = pages2M_.find(vm::pageBase(vaddr, vm::PageSize::Size2M));
+        it != pages2M_.end()) {
+        return vm::Translation{it->first, it->second, vm::PageSize::Size2M};
+    }
+    if (const auto it = pages1G_.find(vm::pageBase(vaddr, vm::PageSize::Size1G));
+        it != pages1G_.end()) {
+        return vm::Translation{it->first, it->second, vm::PageSize::Size1G};
+    }
+    return std::nullopt;
+}
+
+std::optional<vm::RangeTranslation>
+ShadowTranslator::translateRange(Addr vaddr) const
+{
+    // First range with vbase > vaddr; the candidate is its predecessor.
+    auto it = std::upper_bound(ranges_.begin(), ranges_.end(), vaddr,
+                               [](Addr v, const vm::RangeTranslation &r) {
+                                   return v < r.vbase;
+                               });
+    if (it == ranges_.begin())
+        return std::nullopt;
+    --it;
+    if (it->contains(vaddr))
+        return *it;
+    return std::nullopt;
+}
+
+std::size_t
+ShadowTranslator::pageCount() const
+{
+    return pages4K_.size() + pages2M_.size() + pages1G_.size();
+}
+
+} // namespace eat::check

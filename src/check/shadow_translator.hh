@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Golden-model address translator for differential checking.
+ *
+ * An independent, deliberately simple implementation of translation:
+ * flat hash maps (one per page size) plus a sorted range list, built by
+ * snapshotting the OS page and range tables. It shares no code with the
+ * radix page-table walk, the TLB hierarchy, or the range-TLB datapath,
+ * so agreement between the two is meaningful evidence of correctness —
+ * and disagreement localizes a bug (or an injected fault) to the MMU
+ * side.
+ */
+
+#ifndef EAT_CHECK_SHADOW_TRANSLATOR_HH
+#define EAT_CHECK_SHADOW_TRANSLATOR_HH
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "base/types.hh"
+#include "vm/page_table.hh"
+#include "vm/range_table.hh"
+
+namespace eat::check
+{
+
+/** A flat snapshot of one process's translations. */
+class ShadowTranslator
+{
+  public:
+    /**
+     * Snapshot @p pageTable (and @p rangeTable when non-null) at
+     * construction; call rebuild() after any later mapping change.
+     */
+    ShadowTranslator(const vm::PageTable &pageTable,
+                     const vm::RangeTable *rangeTable);
+
+    /** Re-snapshot the tables (after demotion/remapping). */
+    void rebuild();
+
+    /** Golden page translation of @p vaddr, or nullopt if unmapped. */
+    std::optional<vm::Translation> translatePage(Addr vaddr) const;
+
+    /** Golden range translation covering @p vaddr, if any. */
+    std::optional<vm::RangeTranslation> translateRange(Addr vaddr) const;
+
+    std::size_t pageCount() const;
+    std::size_t rangeCount() const { return ranges_.size(); }
+
+  private:
+    const vm::PageTable &pageTable_;
+    const vm::RangeTable *rangeTable_;
+
+    /** vbase -> pbase, one map per page size. */
+    std::unordered_map<Addr, Addr> pages4K_, pages2M_, pages1G_;
+    /** Sorted by vbase (ranges never overlap). */
+    std::vector<vm::RangeTranslation> ranges_;
+};
+
+} // namespace eat::check
+
+#endif // EAT_CHECK_SHADOW_TRANSLATOR_HH

@@ -60,6 +60,103 @@ MmuConfig::make(MmuOrg org)
     return cfg;
 }
 
+namespace
+{
+
+/** Check one set-associative geometry; @p name labels the message. */
+Status
+validateGeom(std::string_view name, unsigned entries, unsigned ways)
+{
+    if (entries == 0)
+        return Status::error(name, ": entry count must be non-zero");
+    if (ways == 0)
+        return Status::error(name, ": way count must be non-zero");
+    if (entries % ways != 0) {
+        return Status::error(name, ": entries (", entries,
+                             ") not divisible by ways (", ways, ")");
+    }
+    if (!isPowerOfTwo(entries / ways)) {
+        return Status::error(name, ": set count (", entries / ways,
+                             ") must be a power of two");
+    }
+    if (!isPowerOfTwo(ways)) {
+        return Status::error(name, ": way count (", ways,
+                             ") must be a power of two");
+    }
+    return Status();
+}
+
+} // namespace
+
+Status
+MmuConfig::validate() const
+{
+    if (auto s = validateGeom("L1-4KB TLB", l1Tlb4K.entries, l1Tlb4K.ways);
+        !s.ok())
+        return s;
+    if (auto s = validateGeom("L1-2MB TLB", l1Tlb2M.entries, l1Tlb2M.ways);
+        !s.ok())
+        return s;
+    if (auto s = validateGeom("L2 TLB", l2Tlb.entries, l2Tlb.ways); !s.ok())
+        return s;
+    if (auto s = validateGeom("MMU-cache-PDE", mmuCache.pdeEntries,
+                              mmuCache.pdeWays);
+        !s.ok())
+        return s;
+
+    if (!isPowerOfTwo(l1Tlb1GEntries))
+        return Status::error("L1-1GB TLB: entry count must be a power of two");
+    if (mmuCache.pdpteEntries == 0 || mmuCache.pml4Entries == 0)
+        return Status::error("MMU cache: entry counts must be non-zero");
+
+    if (combinedFullyAssocL1 && !isPowerOfTwo(combinedL1Entries)) {
+        return Status::error("combined L1 TLB: entry count (",
+                             combinedL1Entries,
+                             ") must be a power of two");
+    }
+    if (mixedTlbs && combinedFullyAssocL1) {
+        return Status::error("mixedTlbs (TLB_PP) and combinedFullyAssocL1 "
+                             "are mutually exclusive L1 organizations");
+    }
+    if (liteEnabled && mixedTlbs) {
+        return Status::error("Lite on mixed TLBs is not modeled (the paper "
+                             "applies Lite to per-size L1 TLBs)");
+    }
+
+    if ((hasL1Range && l1RangeEntries == 0) ||
+        (hasL2Range && l2RangeEntries == 0))
+        return Status::error("range TLB: entry count must be non-zero");
+    if (hasL1Range && !hasL2Range) {
+        return Status::error("an L1-range TLB requires an L2-range TLB "
+                             "(RMM refill path)");
+    }
+
+    if (walkL1CacheHitRatio < 0.0 || walkL1CacheHitRatio > 1.0) {
+        return Status::error("walkL1CacheHitRatio (", walkL1CacheHitRatio,
+                             ") out of [0,1]");
+    }
+    if (!(clockGhz > 0.0))
+        return Status::error("clockGhz (", clockGhz, ") must be positive");
+
+    if (liteEnabled) {
+        if (lite.intervalInstructions == 0)
+            return Status::error("Lite: interval must be non-zero");
+        if (lite.minWays == 0)
+            return Status::error("Lite: minWays must be >= 1");
+        if (lite.fullActivationProbability < 0.0 ||
+            lite.fullActivationProbability > 1.0) {
+            return Status::error("Lite: fullActivationProbability out of "
+                                 "[0,1]");
+        }
+        const double eps = lite.mode == lite::ThresholdMode::Relative
+                               ? lite.epsilonRelative
+                               : lite.epsilonAbsoluteMpki;
+        if (eps < 0.0)
+            return Status::error("Lite: epsilon must be non-negative");
+    }
+    return Status();
+}
+
 vm::OsPolicy
 MmuConfig::osPolicy() const
 {

@@ -27,6 +27,7 @@
 #include <string_view>
 #include <vector>
 
+#include "base/status.hh"
 #include "base/types.hh"
 #include "lite/lite_controller.hh"
 #include "tlb/mmu_cache.hh"
@@ -110,6 +111,14 @@ struct MmuConfig
 
     /** The canonical configuration for organization @p org. */
     static MmuConfig make(MmuOrg org);
+
+    /**
+     * Check the configuration for geometric and semantic consistency
+     * (non-zero power-of-two geometry, knobs in range, compatible
+     * feature flags). Returns the first problem found; the Mmu
+     * constructor refuses invalid configurations.
+     */
+    Status validate() const;
 
     /** The OS allocation policy this organization assumes. */
     vm::OsPolicy osPolicy() const;

@@ -48,9 +48,7 @@ Mmu::Mmu(const MmuConfig &config, const vm::PageTable &pageTable,
       mmuCache_(config.mmuCache),
       walker_(pageTable, mmuCache_)
 {
-    eat_assert(!(cfg_.mixedTlbs && cfg_.combinedFullyAssocL1),
-               "mixedTlbs (TLB_PP) and combinedFullyAssocL1 are "
-               "mutually exclusive L1 organizations");
+    eat_check_fatal(cfg_.validate());
 
     // --- build the structures ---
     if (cfg_.combinedFullyAssocL1) {
@@ -88,9 +86,6 @@ Mmu::Mmu(const MmuConfig &config, const vm::PageTable &pageTable,
     }
 
     if (cfg_.liteEnabled) {
-        eat_assert(!cfg_.mixedTlbs,
-                   "Lite on mixed TLBs is not modeled (the paper applies "
-                   "Lite to per-size L1 TLBs)");
         std::vector<tlb::SetAssocTlb *> monitored{l1Page4K_.get()};
         if (l1Page2M_)
             monitored.push_back(l1Page2M_.get());
@@ -215,14 +210,17 @@ Mmu::access(Addr vaddr)
     // L1: all enabled structures searched in parallel.
     // ------------------------------------------------------------------
     bool rangeHit = false;
+    std::optional<vm::RangeTranslation> l1r;
     if (l1Range_ && enabledL1Range_) {
         chargeRead(mL1Range_);
-        if (l1Range_->lookup(vaddr))
+        l1r = l1Range_->lookup(vaddr);
+        if (l1r)
             rangeHit = true;
     }
 
     bool pageHit = false;
     HitSource pageSource = HitSource::L1Page4K;
+    tlb::TlbEntry hitEntry{};
 
     if (cfg_.mixedTlbs) {
         const vm::PageSize predicted = predictPageSize(vaddr);
@@ -233,6 +231,7 @@ Mmu::access(Addr vaddr)
         if (res.hit) {
             pageHit = true;
             pageSource = HitSource::L1Page4K;
+            hitEntry = res.entry;
         }
     } else if (cfg_.combinedFullyAssocL1) {
         // One fully associative lookup serves every page size; Lite
@@ -243,6 +242,7 @@ Mmu::access(Addr vaddr)
         if (res.hit) {
             pageHit = true;
             pageSource = HitSource::L1Page4K;
+            hitEntry = res.entry;
             if (lite_)
                 lite_->onTlbHit(0, res.lruDistance, true);
         }
@@ -269,6 +269,7 @@ Mmu::access(Addr vaddr)
         if (res4k.hit) {
             pageHit = true;
             pageSource = HitSource::L1Page4K;
+            hitEntry = res4k.entry;
             if (lite_)
                 lite_->onTlbHit(0, res4k.lruDistance, true);
         }
@@ -281,6 +282,7 @@ Mmu::access(Addr vaddr)
                 eat_assert(!pageHit, "address mapped by two page sizes");
                 pageHit = true;
                 pageSource = HitSource::L1Page2M;
+                hitEntry = res2m.entry;
                 if (lite_)
                     lite_->onTlbHit(1, res2m.lruDistance, true);
             }
@@ -292,6 +294,7 @@ Mmu::access(Addr vaddr)
                 eat_assert(!pageHit, "address mapped by two page sizes");
                 pageHit = true;
                 pageSource = HitSource::L1Page1G;
+                hitEntry = res1g.entry;
                 if (lite_)
                     lite_->onTlbHit(2, res1g.lruDistance, true);
             }
@@ -302,6 +305,16 @@ Mmu::access(Addr vaddr)
         ++stats_.l1Hits;
         const HitSource src = rangeHit ? HitSource::L1Range : pageSource;
         ++stats_.hitsBySource[static_cast<unsigned>(src)];
+        if (checker_) {
+            if (rangeHit) {
+                checker_->onRangeTranslation(vaddr, l1r->paddr(vaddr),
+                                             hitSourceName(src));
+            } else {
+                checkPageHit(vaddr, hitEntry, src);
+            }
+            if ((stats_.memOps & 63) == 0)
+                auditWayMasks();
+        }
         return; // L1 hits are free (parallel with the L1 data cache).
     }
 
@@ -338,6 +351,11 @@ Mmu::access(Addr vaddr)
         // mappings are redundant by construction.
         ++stats_.l2Hits;
         ++stats_.hitsBySource[static_cast<unsigned>(HitSource::L2Range)];
+        if (checker_) {
+            checker_->onRangeTranslation(
+                vaddr, l2r->paddr(vaddr),
+                hitSourceName(HitSource::L2Range));
+        }
         if (l1Range_) {
             enabledL1Range_ = true;
             chargeWrite(mL1Range_);
@@ -352,6 +370,8 @@ Mmu::access(Addr vaddr)
     if (l2res.hit) {
         ++stats_.l2Hits;
         ++stats_.hitsBySource[static_cast<unsigned>(HitSource::L2Page)];
+        if (checker_)
+            checkPageHit(vaddr, l2res.entry, HitSource::L2Page);
         fillL1Page(l2res.entry);
         return;
     }
@@ -381,6 +401,8 @@ Mmu::access(Addr vaddr)
 
     const auto entry = tlb::makePageEntry(
         vaddr, walk.translation.pbase, walk.translation.size);
+    if (checker_)
+        checkPageHit(vaddr, entry, HitSource::PageWalk);
     fillL1Page(entry);
     // The L2 TLB holds 4 KB entries only (Sandy Bridge), except for
     // TLB_PP's mixed L2.
@@ -402,6 +424,24 @@ Mmu::access(Addr vaddr)
             l2Range_->fill(*rw.range);
         }
     }
+}
+
+void
+Mmu::checkPageHit(Addr vaddr, const tlb::TlbEntry &entry, HitSource src)
+{
+    checker_->onPageTranslation(vaddr, entry.paddr(vaddr), entry.size,
+                                hitSourceName(src));
+}
+
+void
+Mmu::auditWayMasks()
+{
+    checker_->auditWayMask(*l1Page4K_);
+    if (l1Page2M_)
+        checker_->auditWayMask(*l1Page2M_);
+    if (l1Page1G_)
+        checker_->auditWayMask(*l1Page1G_);
+    checker_->auditWayMask(*l2Page_);
 }
 
 MilliWatts

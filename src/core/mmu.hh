@@ -30,6 +30,7 @@
 #include <memory>
 #include <vector>
 
+#include "check/shadow_checker.hh"
 #include "core/config.hh"
 #include "core/mmu_stats.hh"
 #include "energy/account.hh"
@@ -76,6 +77,13 @@ class Mmu
     /** The Lite controller, or nullptr when Lite is disabled. */
     const lite::LiteController *lite() const { return lite_.get(); }
 
+    /**
+     * Attach a differential checker (not owned; may be null to detach).
+     * Every subsequent translation outcome is cross-checked against the
+     * golden model, and way masks are audited periodically.
+     */
+    void setChecker(check::ShadowChecker *checker) { checker_ = checker; }
+
     // --- introspection for tests and reports ---
     tlb::SetAssocTlb &l1Tlb4K() { return *l1Page4K_; }
     tlb::SetAssocTlb *l1Tlb2M() { return l1Page2M_.get(); }
@@ -117,6 +125,13 @@ class Mmu
     /** Perfect page-size oracle for TLB_PP. */
     vm::PageSize predictPageSize(Addr vaddr) const;
 
+    /** Report a served page translation to the attached checker. */
+    void checkPageHit(Addr vaddr, const tlb::TlbEntry &entry,
+                      HitSource src);
+
+    /** Audit the way masks of all page TLBs (periodic, Full level). */
+    void auditWayMasks();
+
     static unsigned logWaysOf(const tlb::SetAssocTlb &t);
 
     MmuConfig cfg_;
@@ -135,6 +150,7 @@ class Mmu
     tlb::PageWalker walker_;
     std::unique_ptr<tlb::RangeTableWalker> rangeWalker_;
     std::unique_ptr<lite::LiteController> lite_;
+    check::ShadowChecker *checker_ = nullptr;
 
     // Static masks (paper §3.1): a structure consumes energy only after
     // the first fill of its kind. The 4 KB structures start enabled.

@@ -1,0 +1,440 @@
+#include "sim/batch.hh"
+
+#include <sys/types.h>
+#include <sys/wait.h>
+
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <unistd.h>
+
+#include "base/logging.hh"
+#include "stats/csv.hh"
+#include "workloads/suite.hh"
+
+namespace eat::sim
+{
+
+namespace
+{
+
+/** Metric columns between "status" and "error". */
+constexpr std::size_t kMetricCount = 7;
+
+std::string
+fmt(double v)
+{
+    std::ostringstream os;
+    os.precision(6);
+    os << v;
+    return os.str();
+}
+
+std::vector<std::string>
+metricCells(const SimResult &r)
+{
+    return {
+        std::to_string(r.stats.instructions),
+        fmt(r.stats.l1Mpki()),
+        fmt(r.stats.l2Mpki()),
+        fmt(r.missCyclesPerKiloInstr()),
+        fmt(r.energyPerKiloInstr()),
+        std::to_string(r.check.mismatches()),
+        std::to_string(r.inject.injected()),
+    };
+}
+
+/** What the child reports back over the pipe. */
+struct RunOutcome
+{
+    bool ok = false;
+    std::vector<std::string> metrics;
+    std::string error;
+};
+
+/**
+ * The actual per-cell work, running inside the forked child. Never
+ * throws: any exception becomes a failed outcome — and a crash or hang
+ * beyond that only takes the child down, which is the point.
+ */
+RunOutcome
+executeRun(const SimConfig &cfg, bool deliberateFail, bool deliberateHang)
+{
+    RunOutcome out;
+    try {
+        if (deliberateHang) {
+            // Testing aid for the watchdog: block until it fires.
+            std::this_thread::sleep_for(std::chrono::hours(24));
+        }
+        if (deliberateFail)
+            eat_fatal("deliberate failure requested (fail-cell)");
+        const SimResult r = simulate(cfg);
+        // A mismatch under injection is a successful detection; a
+        // mismatch without injection means the simulator is wrong.
+        if (cfg.faultSpec.empty() && r.check.mismatches() > 0) {
+            out.error = "self-check failed: " +
+                        std::to_string(r.check.mismatches()) +
+                        " mismatches (first: " + r.firstMismatch + ")";
+            return out;
+        }
+        out.ok = true;
+        out.metrics = metricCells(r);
+    } catch (const std::exception &e) {
+        out.error = e.what();
+    }
+    return out;
+}
+
+void
+writeAll(int fd, const std::string &s)
+{
+    std::size_t done = 0;
+    while (done < s.size()) {
+        const ssize_t n = ::write(fd, s.data() + done, s.size() - done);
+        if (n <= 0)
+            return; // parent gone; nothing useful left to do
+        done += static_cast<std::size_t>(n);
+    }
+}
+
+/** Pipe protocol: "OK\n" + one metric per line, or "ERR <message>\n". */
+std::string
+serialize(const RunOutcome &out)
+{
+    if (!out.ok)
+        return "ERR " + out.error + "\n";
+    std::string s = "OK\n";
+    for (const auto &m : out.metrics)
+        s += m + "\n";
+    return s;
+}
+
+RunOutcome
+deserialize(const std::string &payload)
+{
+    RunOutcome out;
+    std::istringstream is(payload);
+    std::string line;
+    if (!std::getline(is, line)) {
+        out.error = "child produced no result";
+        return out;
+    }
+    if (line.rfind("ERR ", 0) == 0) {
+        out.error = line.substr(4);
+        return out;
+    }
+    if (line != "OK") {
+        out.error = "garbled child result: " + line;
+        return out;
+    }
+    while (std::getline(is, line))
+        out.metrics.push_back(line);
+    if (out.metrics.size() != kMetricCount) {
+        out.error = "garbled child result: expected " +
+                    std::to_string(kMetricCount) + " metrics, got " +
+                    std::to_string(out.metrics.size());
+        out.metrics.clear();
+        return out;
+    }
+    out.ok = true;
+    return out;
+}
+
+/**
+ * Run one grid cell in a forked child under a wall-clock watchdog.
+ * The parent never trusts the child further than its pipe output and
+ * exit status, so a crash or hang in the simulator costs one row.
+ */
+BatchRow
+runCell(const BatchOptions &options, const workloads::WorkloadSpec &spec,
+        core::MmuOrg org)
+{
+    BatchRow row;
+    row.workload = spec.name;
+    row.org = std::string(core::orgName(org));
+
+    SimConfig cfg = options.base;
+    cfg.workload = spec;
+    cfg.mmu = core::MmuConfig::make(org);
+
+    const std::string cell = row.workload + ":" + row.org;
+    const bool wantFail = options.failCell == cell;
+    const bool wantHang = options.failCell == cell + ":hang" ||
+                          options.failCell == "hang:" + cell;
+
+    int fds[2];
+    if (::pipe(fds) != 0) {
+        row.status = "failed";
+        row.error = "pipe() failed";
+        return row;
+    }
+
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+        ::close(fds[0]);
+        ::close(fds[1]);
+        row.status = "failed";
+        row.error = "fork() failed";
+        return row;
+    }
+
+    if (pid == 0) {
+        // Child: run, report over the pipe, and _exit without touching
+        // the parent's stdio buffers or destructors.
+        ::close(fds[0]);
+        const RunOutcome out = executeRun(cfg, wantFail, wantHang);
+        writeAll(fds[1], serialize(out));
+        ::close(fds[1]);
+        ::_exit(out.ok ? 0 : 1);
+    }
+
+    // Parent: watchdog loop.
+    ::close(fds[1]);
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::seconds(options.timeoutSeconds);
+    int status = 0;
+    bool timedOut = false;
+    for (;;) {
+        const pid_t r = ::waitpid(pid, &status, WNOHANG);
+        if (r == pid)
+            break;
+        if (r < 0) {
+            status = 0;
+            break;
+        }
+        if (options.timeoutSeconds > 0 &&
+            std::chrono::steady_clock::now() >= deadline) {
+            ::kill(pid, SIGKILL);
+            ::waitpid(pid, &status, 0);
+            timedOut = true;
+            break;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+
+    std::string payload;
+    char buf[4096];
+    ssize_t n;
+    while ((n = ::read(fds[0], buf, sizeof(buf))) > 0)
+        payload.append(buf, static_cast<std::size_t>(n));
+    ::close(fds[0]);
+
+    if (timedOut) {
+        row.status = "timeout";
+        row.error = "killed after " +
+                    std::to_string(options.timeoutSeconds) + "s watchdog";
+        return row;
+    }
+    if (WIFSIGNALED(status)) {
+        row.status = "failed";
+        row.error = "child killed by signal " +
+                    std::to_string(WTERMSIG(status));
+        return row;
+    }
+
+    const RunOutcome out = deserialize(payload);
+    if (out.ok) {
+        row.status = "ok";
+        row.metrics = out.metrics;
+    } else {
+        row.status = "failed";
+        row.error = out.error;
+    }
+    return row;
+}
+
+/** Split one RFC-4180 CSV line into cells. */
+std::vector<std::string>
+parseCsvLine(const std::string &line)
+{
+    std::vector<std::string> cells;
+    std::string cell;
+    bool quoted = false;
+    for (std::size_t i = 0; i < line.size(); ++i) {
+        const char c = line[i];
+        if (quoted) {
+            if (c == '"') {
+                if (i + 1 < line.size() && line[i + 1] == '"') {
+                    cell += '"';
+                    ++i;
+                } else {
+                    quoted = false;
+                }
+            } else {
+                cell += c;
+            }
+        } else if (c == '"') {
+            quoted = true;
+        } else if (c == ',') {
+            cells.push_back(std::move(cell));
+            cell.clear();
+        } else {
+            cell += c;
+        }
+    }
+    cells.push_back(std::move(cell));
+    return cells;
+}
+
+/** Load the "ok" rows of a previous sweep's CSV for --resume. */
+std::vector<BatchRow>
+loadCompletedRows(const std::string &path)
+{
+    std::vector<BatchRow> rows;
+    std::ifstream in(path);
+    if (!in)
+        return rows;
+    const std::size_t width = batchCsvHeader().size();
+    std::string line;
+    bool first = true;
+    while (std::getline(in, line)) {
+        if (first) {
+            first = false; // header
+            continue;
+        }
+        if (line.empty())
+            continue;
+        const auto cells = parseCsvLine(line);
+        if (cells.size() != width || cells[2] != "ok")
+            continue;
+        BatchRow row;
+        row.workload = cells[0];
+        row.org = cells[1];
+        row.status = cells[2];
+        row.metrics.assign(cells.begin() + 3,
+                           cells.begin() + 3 +
+                               static_cast<long>(kMetricCount));
+        rows.push_back(std::move(row));
+    }
+    return rows;
+}
+
+/**
+ * Rewrite the whole results file through a temp file and rename it
+ * into place, so readers only ever see a complete CSV.
+ */
+Status
+writeCsvAtomic(const std::string &path, const std::vector<BatchRow> &rows)
+{
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::trunc);
+        if (!out)
+            return Status::error("cannot write ", tmp);
+        stats::CsvWriter csv(out);
+        csv.writeRow(batchCsvHeader());
+        for (const auto &row : rows) {
+            std::vector<std::string> cells{row.workload, row.org,
+                                           row.status};
+            cells.insert(cells.end(), row.metrics.begin(),
+                         row.metrics.end());
+            cells.resize(3 + kMetricCount); // pad failed rows
+            cells.push_back(row.error);
+            csv.writeRow(cells);
+        }
+        out.flush();
+        if (!out)
+            return Status::error("write failure on ", tmp,
+                                 " (disk full?)");
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        return Status::error("cannot rename ", tmp, " to ", path);
+    }
+    return Status();
+}
+
+} // namespace
+
+const std::vector<std::string> &
+batchCsvHeader()
+{
+    static const std::vector<std::string> header{
+        "workload",        "org",
+        "status",          "instructions",
+        "l1_mpki",         "l2_mpki",
+        "miss_cycles_pki", "energy_pj_pki",
+        "check_mismatches", "faults_injected",
+        "error",
+    };
+    return header;
+}
+
+Result<BatchSummary>
+runBatch(const BatchOptions &options, std::ostream &log)
+{
+    // Resolve the grid up front: an unusable sweep is an error, a bad
+    // run later is data.
+    std::vector<workloads::WorkloadSpec> specs;
+    for (const auto &name : options.workloadNames) {
+        const auto spec = workloads::findWorkload(name);
+        if (!spec)
+            return Status::error("unknown workload '", name, "'");
+        specs.push_back(*spec);
+    }
+    if (specs.empty())
+        return Status::error("no workloads selected");
+    const std::vector<core::MmuOrg> &orgs =
+        options.orgs.empty() ? core::allOrgs() : options.orgs;
+    if (options.outPath.empty())
+        return Status::error("no output path");
+
+    std::vector<BatchRow> done;
+    if (options.resume)
+        done = loadCompletedRows(options.outPath);
+    auto findDone = [&done](const std::string &wl,
+                            const std::string &org) -> const BatchRow * {
+        for (const auto &row : done) {
+            if (row.workload == wl && row.org == org)
+                return &row;
+        }
+        return nullptr;
+    };
+
+    BatchSummary summary;
+    std::vector<BatchRow> rows;
+    const std::size_t gridSize = specs.size() * orgs.size();
+    std::size_t cellIndex = 0;
+
+    for (const auto &spec : specs) {
+        for (const auto org : orgs) {
+            ++cellIndex;
+            const std::string orgStr(core::orgName(org));
+            if (const BatchRow *prev = findDone(spec.name, orgStr)) {
+                rows.push_back(*prev);
+                ++summary.resumed;
+                log << "[" << cellIndex << "/" << gridSize << "] "
+                    << spec.name << " x " << orgStr << ": resumed\n";
+            } else {
+                const BatchRow row = runCell(options, spec, org);
+                rows.push_back(row);
+                if (row.status == "ok")
+                    ++summary.ok;
+                else if (row.status == "timeout")
+                    ++summary.timedOut;
+                else
+                    ++summary.failed;
+
+                log << "[" << cellIndex << "/" << gridSize << "] "
+                    << spec.name << " x " << orgStr << ": "
+                    << row.status;
+                if (!row.error.empty())
+                    log << " (" << row.error << ")";
+                log << "\n";
+            }
+
+            // Persist after every cell (resumed rows included): an
+            // interrupted sweep always leaves a complete CSV of
+            // everything finished so far.
+            const Status s = writeCsvAtomic(options.outPath, rows);
+            if (!s.ok())
+                return s;
+        }
+    }
+
+    return summary;
+}
+
+} // namespace eat::sim

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Fault-tolerant (workload x organization) sweep runner.
+ *
+ * A design-space sweep is only trustworthy if one bad cell cannot take
+ * down — or silently truncate — the whole grid. The batch runner
+ * therefore executes every run in a forked child process with a
+ * wall-clock watchdog: a crash, a panic, or a hang costs exactly that
+ * cell, is recorded as such, and the sweep continues. Results are
+ * rewritten atomically (tmp file + rename) after every run, so an
+ * interrupted sweep always leaves a complete, parseable CSV behind and
+ * can resume from the rows already done.
+ */
+
+#ifndef EAT_SIM_BATCH_HH
+#define EAT_SIM_BATCH_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "base/status.hh"
+#include "sim/simulator.hh"
+
+namespace eat::sim
+{
+
+/** What one grid cell produced. */
+struct BatchRow
+{
+    std::string workload;
+    std::string org;
+    /** "ok", "failed", or "timeout". */
+    std::string status;
+    /** Metric cells (empty unless status == "ok"). */
+    std::vector<std::string> metrics;
+    /** Error description (empty unless the run failed). */
+    std::string error;
+};
+
+/** Aggregate outcome of one sweep. */
+struct BatchSummary
+{
+    unsigned ok = 0;
+    unsigned failed = 0;
+    unsigned timedOut = 0;
+    unsigned resumed = 0; ///< rows reused from a previous sweep
+
+    unsigned total() const { return ok + failed + timedOut + resumed; }
+};
+
+/** Everything one sweep needs. */
+struct BatchOptions
+{
+    /** Workload names (must resolve via workloads::findWorkload). */
+    std::vector<std::string> workloadNames;
+
+    /** Organizations to sweep (defaults to all six when empty). */
+    std::vector<core::MmuOrg> orgs;
+
+    /** Per-run template: window sizes, seed, check level, fault spec. */
+    SimConfig base;
+
+    /** Output CSV path (written atomically after every run). */
+    std::string outPath;
+
+    /** Per-run wall-clock limit in seconds; 0 disables the watchdog. */
+    unsigned timeoutSeconds = 0;
+
+    /** Reuse "ok" rows from an existing outPath instead of re-running. */
+    bool resume = false;
+
+    /**
+     * Testing aid: a "workload:org" cell that deliberately fails, so
+     * the fault-tolerance path itself is exercisable end to end.
+     */
+    std::string failCell;
+};
+
+/** The CSV header the runner writes. */
+const std::vector<std::string> &batchCsvHeader();
+
+/**
+ * Run the sweep. @p log receives one progress line per run. Returns
+ * the summary, or an error for unusable options (unknown workload or
+ * an unwritable output path); per-run failures are data, not errors.
+ */
+Result<BatchSummary> runBatch(const BatchOptions &options,
+                              std::ostream &log);
+
+} // namespace eat::sim
+
+#endif // EAT_SIM_BATCH_HH

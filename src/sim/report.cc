@@ -5,9 +5,25 @@
 #include <cstring>
 
 #include "base/logging.hh"
+#include "base/parse.hh"
 
 namespace eat::sim
 {
+
+namespace
+{
+
+/** Strict numeric parse for a bench flag; garbage is fatal. */
+std::uint64_t
+benchCount(const char *flag, const char *text)
+{
+    const auto r = parseU64(text);
+    if (!r.ok())
+        eat_fatal(flag, ": ", r.status().message());
+    return r.value();
+}
+
+} // namespace
 
 BenchOptions
 BenchOptions::parse(int argc, char **argv)
@@ -21,11 +37,12 @@ BenchOptions::parse(int argc, char **argv)
                                                   : nullptr;
         };
         if (const char *v = valueOf("--instructions=")) {
-            opts.simulateInstructions = std::strtoull(v, nullptr, 10);
+            opts.simulateInstructions = benchCount("--instructions", v);
         } else if (const char *v2 = valueOf("--fast-forward=")) {
-            opts.fastForwardInstructions = std::strtoull(v2, nullptr, 10);
+            opts.fastForwardInstructions =
+                benchCount("--fast-forward", v2);
         } else if (const char *v3 = valueOf("--seed=")) {
-            opts.seed = std::strtoull(v3, nullptr, 10);
+            opts.seed = benchCount("--seed", v3);
         } else if (arg == "--csv") {
             opts.csv = true;
         } else if (arg == "--quick") {

@@ -1,6 +1,7 @@
 #include "sim/simulator.hh"
 
 #include <algorithm>
+#include <memory>
 
 #include "base/logging.hh"
 #include "core/mmu.hh"
@@ -48,6 +49,60 @@ makeMemoryManager(const SimConfig &config)
                              config.seed ^ 0x05f5e0ffull);
 }
 
+/** Holds the optional self-checking companions of one run. */
+struct CheckHarness
+{
+    std::unique_ptr<check::ShadowChecker> checker;
+    std::unique_ptr<check::FaultInjector> injector;
+
+    /**
+     * Build the checker/injector the config asks for and attach them to
+     * @p mmu. Must run after the workload's allocations so the golden
+     * snapshot sees the full address space.
+     */
+    CheckHarness(const SimConfig &config, const vm::MemoryManager &mm,
+                 const vm::RangeTable *rangeTable, core::Mmu &mmu)
+    {
+        if (config.checkLevel != check::CheckLevel::Off) {
+            checker = std::make_unique<check::ShadowChecker>(
+                config.checkLevel, mm.pageTable(), rangeTable);
+            mmu.setChecker(checker.get());
+        }
+        if (!config.faultSpec.empty()) {
+            auto specs = check::parseFaultSpecs(config.faultSpec);
+            if (!specs.ok())
+                eat_fatal(specs.status().message());
+            injector = std::make_unique<check::FaultInjector>(
+                std::move(specs.value()), config.seed);
+            injector->registerPageTlb(&mmu.l1Tlb4K(),
+                                      check::FaultTarget::L1Tlb4K);
+            injector->registerPageTlb(mmu.l1Tlb2M(),
+                                      check::FaultTarget::L1Tlb2M);
+            injector->registerPageTlb(mmu.l1Tlb1G(),
+                                      check::FaultTarget::L1Tlb1G);
+            injector->registerPageTlb(&mmu.l2Tlb(),
+                                      check::FaultTarget::L2Tlb);
+            injector->registerRangeTlb(mmu.l1RangeTlb(),
+                                       check::FaultTarget::L1Range);
+            injector->registerRangeTlb(mmu.l2RangeTlb(),
+                                       check::FaultTarget::L2Range);
+        }
+    }
+
+    /** Copy the harness outcome into @p result. */
+    void
+    finish(const SimConfig &config, SimResult &result) const
+    {
+        result.checkLevel = config.checkLevel;
+        if (checker) {
+            result.check = checker->stats();
+            result.firstMismatch = checker->firstMismatch();
+        }
+        if (injector)
+            result.inject = injector->stats();
+    }
+};
+
 } // namespace
 
 SimResult
@@ -66,6 +121,7 @@ simulate(const SimConfig &config)
             ? &mm.rangeTable()
             : nullptr;
     core::Mmu mmu(config.mmu, mm.pageTable(), rangeTable);
+    CheckHarness harness(config, mm, rangeTable, mmu);
 
     // --- fast-forward: advance the generator without touching the MMU
     // (the TLBs start cold at the measurement window, as with the
@@ -89,6 +145,8 @@ simulate(const SimConfig &config)
 
     while (gen.instructionsRetired() < end) {
         const auto op = gen.next();
+        if (harness.injector)
+            harness.injector->tick();
         mmu.tick(op.instrGap);
         mmu.access(op.vaddr);
 
@@ -112,6 +170,7 @@ simulate(const SimConfig &config)
         result.lite = mmu.lite()->stats();
         result.liteEnabled = true;
     }
+    harness.finish(config, result);
 
     result.pages4K = mm.pageTable().pageCount(vm::PageSize::Size4K);
     result.pages2M = mm.pageTable().pageCount(vm::PageSize::Size2M);
@@ -134,9 +193,12 @@ simulateFromTrace(const SimConfig &config, const std::string &tracePath)
             ? &mm.rangeTable()
             : nullptr;
     core::Mmu mmu(config.mmu, mm.pageTable(), rangeTable);
+    CheckHarness harness(config, mm, rangeTable, mmu);
 
     workloads::TraceReader reader(tracePath);
     while (auto op = reader.next()) {
+        if (harness.injector)
+            harness.injector->tick();
         mmu.tick(op->instrGap);
         mmu.access(op->vaddr);
     }
@@ -150,6 +212,7 @@ simulateFromTrace(const SimConfig &config, const std::string &tracePath)
         result.lite = mmu.lite()->stats();
         result.liteEnabled = true;
     }
+    harness.finish(config, result);
     result.pages4K = mm.pageTable().pageCount(vm::PageSize::Size4K);
     result.pages2M = mm.pageTable().pageCount(vm::PageSize::Size2M);
     result.numRanges = mm.rangeTable().size();
@@ -170,7 +233,7 @@ recordTrace(const SimConfig &config, const std::string &tracePath)
         gen.instructionsRetired() + config.simulateInstructions;
     while (gen.instructionsRetired() < end)
         writer.write(gen.next());
-    writer.close();
+    eat_check_fatal(writer.close());
     return writer.recordsWritten();
 }
 

@@ -14,6 +14,8 @@
 #include <cstdint>
 #include <string>
 
+#include "check/fault_injector.hh"
+#include "check/shadow_checker.hh"
 #include "core/config.hh"
 #include "core/mmu_stats.hh"
 #include "energy/account.hh"
@@ -51,6 +53,21 @@ struct SimConfig
      * eager paging); 0 keeps the organization's default.
      */
     unsigned eagerRangesPerRegion = 0;
+
+    /**
+     * Differential-checking depth: every translation the MMU produces
+     * is cross-checked against a golden flat-map translator. On by
+     * default — a sweep whose checker never ran proves nothing — and
+     * set to Off for raw-speed measurement runs.
+     */
+    check::CheckLevel checkLevel = check::CheckLevel::Full;
+
+    /**
+     * Fault-injection spec (see check/fault_injector.hh grammar);
+     * empty disables injection. Uses @c seed, so runs stay
+     * deterministic.
+     */
+    std::string faultSpec;
 };
 
 /** The result of one simulation run. */
@@ -63,6 +80,14 @@ struct SimResult
     energy::EnergyReport energy;
     lite::LiteStats lite;       ///< zeros when Lite is disabled
     bool liteEnabled = false;
+
+    /** Differential-checker outcome (zeros when checking was off). */
+    check::CheckStats check;
+    check::CheckLevel checkLevel = check::CheckLevel::Off;
+    std::string firstMismatch;
+
+    /** Fault-injection activity (zeros when injection was off). */
+    check::InjectStats inject;
 
     stats::Timeline mpkiTimeline;
 

@@ -68,6 +68,28 @@ RangeTlb::invalidateAll()
         s.valid = false;
 }
 
+bool
+RangeTlb::corruptRandomEntry(std::uint64_t rnd, bool flipTag)
+{
+    const std::size_t total = slots_.size();
+    const std::size_t start = static_cast<std::size_t>(rnd % total);
+    for (std::size_t i = 0; i < total; ++i) {
+        Slot &s = slots_[(start + i) % total];
+        if (!s.valid)
+            continue;
+        const unsigned bit = 12 + (rnd >> 32) % 4;
+        if (flipTag) {
+            // Grow the claimed range: the entry now covers pages the
+            // real range translation does not.
+            s.range.vlimit += Addr{1} << bit;
+        } else {
+            s.range.pbase ^= Addr{1} << bit;
+        }
+        return true;
+    }
+    return false;
+}
+
 unsigned
 RangeTlb::validCount() const
 {

@@ -45,6 +45,14 @@ class RangeTlb
     unsigned entries() const { return static_cast<unsigned>(slots_.size()); }
     unsigned validCount() const;
 
+    /**
+     * Fault-injection hook (check::FaultInjector and tests only):
+     * corrupt one pseudo-random valid entry by flipping a bit of its
+     * virtual bounds (@p flipTag) or of its physical base (!@p flipTag).
+     * @return false if no entry is valid.
+     */
+    bool corruptRandomEntry(std::uint64_t rnd, bool flipTag);
+
     std::uint64_t hits() const { return hits_; }
     std::uint64_t misses() const { return misses_; }
     std::uint64_t fills() const { return fills_; }

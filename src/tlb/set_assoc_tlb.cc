@@ -114,10 +114,15 @@ SetAssocTlb::setActiveWays(unsigned w)
     if (w < activeWays_) {
         // Disabling ways: invalidate their entries so re-activation
         // never exposes stale translations (consistency, paper §4.2.3).
-        for (unsigned set = 0; set < sets_; ++set) {
-            Slot *slots = slotsOfSet(set);
-            for (unsigned way = w; way < activeWays_; ++way)
-                slots[way].valid = false;
+        // An armed drop-invalidation fault skips exactly this step.
+        if (dropNextInvalidation_) {
+            dropNextInvalidation_ = false;
+        } else {
+            for (unsigned set = 0; set < sets_; ++set) {
+                Slot *slots = slotsOfSet(set);
+                for (unsigned way = w; way < activeWays_; ++way)
+                    slots[way].valid = false;
+            }
         }
     }
     activeWays_ = w;
@@ -131,6 +136,51 @@ SetAssocTlb::validCount() const
     for (const auto &s : slots_)
         n += s.valid ? 1 : 0;
     return n;
+}
+
+unsigned
+SetAssocTlb::validInDisabledWays() const
+{
+    unsigned n = 0;
+    for (unsigned set = 0; set < sets_; ++set) {
+        const Slot *slots = slotsOfSet(set);
+        for (unsigned way = activeWays_; way < ways_; ++way)
+            n += slots[way].valid ? 1 : 0;
+    }
+    return n;
+}
+
+bool
+SetAssocTlb::corruptRandomEntry(std::uint64_t rnd, bool flipTag)
+{
+    const unsigned total = sets_ * ways_;
+    const unsigned start = static_cast<unsigned>(rnd % total);
+    for (unsigned i = 0; i < total; ++i) {
+        Slot &s = slots_[(start + i) % total];
+        if (!s.valid)
+            continue;
+        if (flipTag) {
+            // Flip a tag bit above the index field so the entry stays
+            // in its set but claims a different (aliased) region.
+            const unsigned bit =
+                s.entry.shift + floorLog2(sets_) + (rnd >> 32) % 4;
+            s.entry.vbase ^= Addr{1} << bit;
+        } else {
+            // Flip a PPN bit: the next hit returns a wrong paddr.
+            const unsigned bit = s.entry.shift + (rnd >> 32) % 4;
+            s.entry.pbase ^= Addr{1} << bit;
+        }
+        return true;
+    }
+    return false;
+}
+
+void
+SetAssocTlb::forceActiveWays(unsigned w)
+{
+    eat_assert(w >= 1 && w <= ways_,
+               name_, ": forced active-way count ", w, " out of range");
+    activeWays_ = w;
 }
 
 } // namespace eat::tlb

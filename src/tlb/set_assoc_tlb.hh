@@ -97,6 +97,33 @@ class SetAssocTlb
     /** Number of currently valid entries (for tests). */
     unsigned validCount() const;
 
+    /** Valid entries sitting in disabled ways (must be 0; a nonzero
+     *  count means an invalidation was lost — see auditWayMask). */
+    unsigned validInDisabledWays() const;
+
+    // --- fault-injection hooks (check::FaultInjector and tests only;
+    // --- never called by the modeled datapath) ---
+
+    /**
+     * Corrupt one pseudo-random valid entry: flip a tag bit above the
+     * index field (@p flipTag) or a PPN bit (!@p flipTag). @p rnd picks
+     * the slot and the bit. @return false if no entry is valid.
+     */
+    bool corruptRandomEntry(std::uint64_t rnd, bool flipTag);
+
+    /**
+     * Make the next way-disabling setActiveWays() skip invalidating the
+     * victims — the "dropped invalidation" fault the shadow checker's
+     * way-mask audit must catch.
+     */
+    void armDropInvalidation() { dropNextInvalidation_ = true; }
+
+    /**
+     * Raw way-mask override: no power-of-two requirement, no
+     * invalidation. Models a spurious way re-enable glitch.
+     */
+    void forceActiveWays(unsigned w);
+
   private:
     struct Slot
     {
@@ -121,6 +148,7 @@ class SetAssocTlb
     unsigned shift_;
     std::vector<Slot> slots_;
     std::uint64_t clock_ = 0;
+    bool dropNextInvalidation_ = false;
 
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;

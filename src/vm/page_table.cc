@@ -153,4 +153,23 @@ PageTable::pageCount(PageSize size) const
     return counts_[static_cast<unsigned>(size)];
 }
 
+void
+PageTable::forEachLeaf(
+    const std::function<void(const Translation &)> &fn) const
+{
+    const auto visit = [&fn](const Node &node, unsigned level, Addr prefix,
+                             const auto &self) -> void {
+        const unsigned shift = 12 + 9 * (level - 1);
+        for (unsigned i = 0; i < node.slots.size(); ++i) {
+            const auto &slot = node.slots[i];
+            const Addr vbase = prefix | (Addr{i} << shift);
+            if (slot.isLeaf())
+                fn(Translation{vbase, slot.leafPbase, levelPageSize(level)});
+            else if (slot.child)
+                self(*slot.child, level - 1, vbase, self);
+        }
+    };
+    visit(*root_, 4, 0, visit);
+}
+
 } // namespace eat::vm

@@ -14,6 +14,7 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 
@@ -73,6 +74,13 @@ class PageTable
 
     /** Number of installed leaf mappings of @p size. */
     std::uint64_t pageCount(PageSize size) const;
+
+    /**
+     * Visit every installed leaf mapping in ascending vbase order.
+     * Lets independent models (the golden shadow translator) snapshot
+     * the full mapping without walking the radix tree per lookup.
+     */
+    void forEachLeaf(const std::function<void(const Translation &)> &fn) const;
 
     /**
      * Number of page-table levels a hardware walk must traverse to reach

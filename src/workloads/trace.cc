@@ -68,7 +68,8 @@ TraceWriter::TraceWriter(const std::string &path)
 
 TraceWriter::~TraceWriter()
 {
-    close();
+    if (const auto s = close(); !s.ok())
+        eat_warn(s.message());
 }
 
 void
@@ -81,16 +82,26 @@ TraceWriter::write(const MemOp &op)
     ++records_;
 }
 
-void
+Status
 TraceWriter::close()
 {
     if (closed_)
-        return;
+        return Status();
     closed_ = true;
-    out_.seekp(sizeof(kMagic) + 4);
     eat_assert(records_ <= UINT32_MAX, "trace too long for format v1");
+    // seekp/write on an already-failed stream are no-ops, so a record
+    // write that failed earlier (disk full) is still visible here.
+    out_.seekp(sizeof(kMagic) + 4);
     putU32(out_, static_cast<std::uint32_t>(records_));
+    out_.flush();
+    const bool failed = !out_;
     out_.close();
+    if (failed || !out_) {
+        return Status::error("write failure on trace file ", path_,
+                             " after ", records_,
+                             " records (disk full?); the file is invalid");
+    }
+    return Status();
 }
 
 TraceReader::TraceReader(const std::string &path)
@@ -100,12 +111,39 @@ TraceReader::TraceReader(const std::string &path)
         eat_fatal("cannot open trace file: ", path);
     char magic[8];
     in_.read(magic, sizeof(magic));
-    if (!in_ || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
-        eat_fatal("not an EAT trace file: ", path);
+    if (!in_ || in_.gcount() != sizeof(magic))
+        eat_fatal("trace file ", path, " too short for the 16-byte header");
+    if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+        eat_fatal("not an EAT trace file (bad magic): ", path);
     const std::uint32_t version = getU32(in_);
-    if (version != kVersion)
-        eat_fatal("unsupported trace version ", version, " in ", path);
+    if (!in_ || version != kVersion) {
+        eat_fatal("unsupported trace version ", version, " in ", path,
+                  " (this build reads version ", kVersion, ")");
+    }
     total_ = getU32(in_);
+    if (!in_)
+        eat_fatal("trace file ", path, " too short for the 16-byte header");
+
+    // Cross-check the header's record count against the actual file
+    // size, so truncation (or trailing garbage) is a loud, precise
+    // error up front instead of a silently shorter replay.
+    const auto headerEnd = in_.tellg();
+    in_.seekg(0, std::ios::end);
+    const auto fileSize = static_cast<std::uint64_t>(in_.tellg());
+    in_.seekg(headerEnd);
+    const std::uint64_t kHeaderBytes = sizeof(kMagic) + 8;
+    const std::uint64_t kRecordBytes = 12;
+    const std::uint64_t expected = kHeaderBytes + kRecordBytes * total_;
+    if (fileSize < expected) {
+        eat_fatal("truncated trace file ", path, ": header promises ",
+                  total_, " records (", expected, " bytes) but the file "
+                  "has only ", fileSize, " bytes");
+    }
+    if (fileSize > expected) {
+        eat_fatal("corrupt trace file ", path, ": ", fileSize - expected,
+                  " trailing bytes after the ", total_,
+                  " records the header promises");
+    }
 }
 
 std::optional<MemOp>
@@ -116,8 +154,10 @@ TraceReader::next()
     MemOp op;
     op.vaddr = getU64(in_);
     op.instrGap = getU32(in_);
-    if (!in_)
-        eat_fatal("truncated trace file");
+    if (!in_) {
+        eat_fatal("truncated trace file: read failed at record ", read_,
+                  " of ", total_);
+    }
     ++read_;
     return op;
 }

@@ -19,6 +19,7 @@
 #include <optional>
 #include <string>
 
+#include "base/status.hh"
 #include "workloads/workload.hh"
 
 namespace eat::workloads
@@ -38,8 +39,13 @@ class TraceWriter
     /** Append one operation. */
     void write(const MemOp &op);
 
-    /** Finalize the header; called automatically by the destructor. */
-    void close();
+    /**
+     * Finalize the header and flush. Returns an error if any write
+     * failed (disk full, I/O error) — without this check a truncated
+     * trace would replay silently as a shorter run. The destructor
+     * closes too but can only warn; call close() to observe failures.
+     */
+    Status close();
 
     std::uint64_t recordsWritten() const { return records_; }
 

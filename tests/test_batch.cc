@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Tests for the fault-tolerant batch runner: grids complete, a failing
+ * or hanging cell costs one row (not the sweep), the CSV on disk is
+ * always complete, and --resume reuses finished work.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/batch.hh"
+
+namespace eat::sim
+{
+namespace
+{
+
+class BatchTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        csvPath_ = ::testing::TempDir() + "eat_batch_test.csv";
+        std::remove(csvPath_.c_str());
+    }
+
+    void
+    TearDown() override
+    {
+        std::remove(csvPath_.c_str());
+        std::remove((csvPath_ + ".tmp").c_str());
+    }
+
+    /** Small, fast sweep options. */
+    BatchOptions
+    quickOptions()
+    {
+        BatchOptions options;
+        options.workloadNames = {"mcf", "astar"};
+        options.orgs = {core::MmuOrg::Thp, core::MmuOrg::Rmm};
+        options.base.fastForwardInstructions = 10'000;
+        options.base.simulateInstructions = 100'000;
+        options.outPath = csvPath_;
+        return options;
+    }
+
+    /** Read the CSV back as raw lines. */
+    std::vector<std::string>
+    csvLines()
+    {
+        std::ifstream in(csvPath_);
+        std::vector<std::string> lines;
+        std::string line;
+        while (std::getline(in, line))
+            lines.push_back(line);
+        return lines;
+    }
+
+    std::string csvPath_;
+};
+
+TEST_F(BatchTest, CompletesAFullGrid)
+{
+    std::ostringstream log;
+    const auto r = runBatch(quickOptions(), log);
+    ASSERT_TRUE(r.ok()) << r.status().message();
+    EXPECT_EQ(r.value().ok, 4u);
+    EXPECT_EQ(r.value().failed, 0u);
+    EXPECT_EQ(r.value().timedOut, 0u);
+    EXPECT_EQ(r.value().total(), 4u);
+
+    const auto lines = csvLines();
+    ASSERT_EQ(lines.size(), 5u); // header + 4 rows
+    EXPECT_EQ(lines[0].substr(0, 19), "workload,org,status");
+    for (std::size_t i = 1; i < lines.size(); ++i)
+        EXPECT_NE(lines[i].find(",ok,"), std::string::npos) << lines[i];
+}
+
+TEST_F(BatchTest, FailingRunDoesNotAbortTheSweep)
+{
+    auto options = quickOptions();
+    options.failCell = "mcf:RMM";
+    std::ostringstream log;
+    const auto r = runBatch(options, log);
+    ASSERT_TRUE(r.ok()) << r.status().message();
+    EXPECT_EQ(r.value().ok, 3u);
+    EXPECT_EQ(r.value().failed, 1u);
+    EXPECT_EQ(r.value().total(), 4u);
+
+    // The CSV is complete and intact: all four rows, the failed one
+    // labeled with its error, and no leftover temp file.
+    const auto lines = csvLines();
+    ASSERT_EQ(lines.size(), 5u);
+    unsigned failedRows = 0;
+    for (const auto &line : lines) {
+        if (line.find("mcf,RMM,failed") == 0) {
+            ++failedRows;
+            EXPECT_NE(line.find("deliberate failure"),
+                      std::string::npos);
+        }
+    }
+    EXPECT_EQ(failedRows, 1u);
+    std::ifstream tmp(csvPath_ + ".tmp");
+    EXPECT_FALSE(tmp.good());
+}
+
+TEST_F(BatchTest, WatchdogKillsAHangingRun)
+{
+    auto options = quickOptions();
+    options.workloadNames = {"mcf"};
+    options.orgs = {core::MmuOrg::Thp, core::MmuOrg::Rmm};
+    options.failCell = "mcf:THP:hang";
+    options.timeoutSeconds = 1;
+    std::ostringstream log;
+    const auto r = runBatch(options, log);
+    ASSERT_TRUE(r.ok()) << r.status().message();
+    EXPECT_EQ(r.value().timedOut, 1u);
+    EXPECT_EQ(r.value().ok, 1u);
+
+    const auto lines = csvLines();
+    ASSERT_EQ(lines.size(), 3u);
+    bool sawTimeout = false;
+    for (const auto &line : lines)
+        sawTimeout = sawTimeout ||
+                     line.find("mcf,THP,timeout") == 0;
+    EXPECT_TRUE(sawTimeout);
+}
+
+TEST_F(BatchTest, ResumeReusesCompletedRows)
+{
+    auto options = quickOptions();
+    options.failCell = "astar:THP";
+    std::ostringstream log1;
+    const auto first = runBatch(options, log1);
+    ASSERT_TRUE(first.ok());
+    EXPECT_EQ(first.value().ok, 3u);
+    EXPECT_EQ(first.value().failed, 1u);
+
+    // Second sweep with --resume: only the failed cell re-runs.
+    options.failCell.clear();
+    options.resume = true;
+    std::ostringstream log2;
+    const auto second = runBatch(options, log2);
+    ASSERT_TRUE(second.ok());
+    EXPECT_EQ(second.value().resumed, 3u);
+    EXPECT_EQ(second.value().ok, 1u);
+    EXPECT_EQ(second.value().failed, 0u);
+
+    const auto lines = csvLines();
+    ASSERT_EQ(lines.size(), 5u);
+    for (std::size_t i = 1; i < lines.size(); ++i)
+        EXPECT_NE(lines[i].find(",ok,"), std::string::npos) << lines[i];
+}
+
+TEST_F(BatchTest, RejectsUnknownWorkloadUpFront)
+{
+    auto options = quickOptions();
+    options.workloadNames = {"mcf", "no-such-workload"};
+    std::ostringstream log;
+    const auto r = runBatch(options, log);
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.status().message().find("no-such-workload"),
+              std::string::npos);
+    // Nothing ran, nothing was written.
+    std::ifstream out(csvPath_);
+    EXPECT_FALSE(out.good());
+}
+
+TEST_F(BatchTest, RejectsMissingOutputPath)
+{
+    auto options = quickOptions();
+    options.outPath.clear();
+    std::ostringstream log;
+    EXPECT_FALSE(runBatch(options, log).ok());
+}
+
+TEST_F(BatchTest, HeaderMatchesRowWidth)
+{
+    std::ostringstream log;
+    auto options = quickOptions();
+    options.workloadNames = {"mcf"};
+    options.orgs = {core::MmuOrg::Thp};
+    ASSERT_TRUE(runBatch(options, log).ok());
+
+    const auto lines = csvLines();
+    ASSERT_EQ(lines.size(), 2u);
+    const auto count = [](const std::string &s) {
+        return std::count(s.begin(), s.end(), ',');
+    };
+    EXPECT_EQ(count(lines[0]), count(lines[1]));
+}
+
+} // namespace
+} // namespace eat::sim

@@ -7,6 +7,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <iterator>
 #include <string>
 
 #include "workloads/trace.hh"
@@ -73,11 +74,20 @@ TEST_F(TraceTest, ExplicitCloseIsIdempotent)
 {
     TraceWriter w(path_);
     w.write({1, 1});
-    w.close();
-    w.close();
+    EXPECT_TRUE(w.close().ok());
+    EXPECT_TRUE(w.close().ok());
     EXPECT_THROW(w.write({2, 1}), std::logic_error);
     TraceReader r(path_);
     EXPECT_EQ(r.totalRecords(), 1u);
+}
+
+TEST_F(TraceTest, CloseReportsWriteFailure)
+{
+    TraceWriter w("/dev/full");
+    w.write({1, 1});
+    const auto s = w.close();
+    EXPECT_FALSE(s.ok());
+    EXPECT_NE(s.message().find("write failure"), std::string::npos);
 }
 
 TEST_F(TraceTest, RejectsMissingFile)
@@ -91,6 +101,76 @@ TEST_F(TraceTest, RejectsWrongMagic)
     {
         std::ofstream os(path_, std::ios::binary);
         os << "NOTATRACE-AT-ALL";
+    }
+    EXPECT_THROW(TraceReader r(path_), std::runtime_error);
+}
+
+TEST_F(TraceTest, RejectsShortHeader)
+{
+    {
+        std::ofstream os(path_, std::ios::binary);
+        os << "EATT"; // 4 of the 16 header bytes
+    }
+    EXPECT_THROW(TraceReader r(path_), std::runtime_error);
+}
+
+TEST_F(TraceTest, RejectsUnsupportedVersion)
+{
+    {
+        TraceWriter w(path_);
+        w.write({0x1000, 1});
+    }
+    // Bump the on-disk version field (bytes 8..11, little endian).
+    {
+        std::fstream f(path_, std::ios::binary | std::ios::in |
+                                  std::ios::out);
+        f.seekp(8);
+        const char v2[4] = {2, 0, 0, 0};
+        f.write(v2, sizeof(v2));
+    }
+    try {
+        TraceReader r(path_);
+        FAIL() << "expected a version error";
+    } catch (const std::runtime_error &e) {
+        EXPECT_NE(std::string(e.what()).find("version"),
+                  std::string::npos);
+    }
+}
+
+TEST_F(TraceTest, DetectsTruncatedFile)
+{
+    {
+        TraceWriter w(path_);
+        for (std::uint64_t i = 0; i < 100; ++i)
+            w.write({i << 12, 1});
+    }
+    // Chop the last record in half: the header still promises 100.
+    {
+        std::ifstream in(path_, std::ios::binary);
+        std::string bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+        bytes.resize(bytes.size() - 6);
+        std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+        out << bytes;
+    }
+    try {
+        TraceReader r(path_);
+        FAIL() << "expected a truncation error";
+    } catch (const std::runtime_error &e) {
+        EXPECT_NE(std::string(e.what()).find("truncated"),
+                  std::string::npos);
+    }
+}
+
+TEST_F(TraceTest, DetectsTrailingGarbage)
+{
+    {
+        TraceWriter w(path_);
+        w.write({0x1000, 1});
+    }
+    {
+        std::ofstream os(path_, std::ios::binary | std::ios::app);
+        os << "extra";
     }
     EXPECT_THROW(TraceReader r(path_), std::runtime_error);
 }

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * eatbatch: fault-tolerant (workload x organization) sweep driver.
+ *
+ *   eatbatch --out=results.csv [--workloads=a,b,c] [--orgs=THP,RMM]
+ *            [--instructions=N] [--fast-forward=N] [--seed=N]
+ *            [--timeout=SECONDS] [--check=off|paddr|full]
+ *            [--inject=SPEC] [--resume]
+ *
+ * Every run executes in its own process under a wall-clock watchdog,
+ * so one crashing or hanging cell costs one row, not the sweep. The
+ * CSV is rewritten atomically after every run and --resume reuses the
+ * rows a previous (possibly interrupted) sweep already completed.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "base/parse.hh"
+#include "sim/batch.hh"
+#include "workloads/suite.hh"
+
+namespace
+{
+
+using namespace eat;
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s --out=PATH [options]\n"
+        "\n"
+        "options:\n"
+        "  --workloads=A,B,...  workload names (default: the 8\n"
+        "                       TLB-intensive workloads)\n"
+        "  --orgs=A,B,...       organizations (default: all six)\n"
+        "  --instructions=N     measured window per run\n"
+        "  --fast-forward=N     skipped prefix per run\n"
+        "  --seed=N             deterministic seed\n"
+        "  --timeout=SECONDS    per-run watchdog (0 = none, default 0)\n"
+        "  --check=LEVEL        off | paddr | full (default full)\n"
+        "  --inject=SPEC        fault-injection spec per run\n"
+        "  --resume             reuse ok rows already in --out\n",
+        argv0);
+    std::exit(2);
+}
+
+std::vector<std::string>
+splitCommas(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::istringstream is(s);
+    std::string item;
+    while (std::getline(is, item, ',')) {
+        if (!item.empty())
+            out.push_back(item);
+    }
+    return out;
+}
+
+std::uint64_t
+parseCount(const char *flag, const std::string &text)
+{
+    const auto r = parseU64(text);
+    if (!r.ok()) {
+        std::fprintf(stderr, "%s: %s\n", flag,
+                     std::string(r.status().message()).c_str());
+        std::exit(2);
+    }
+    return r.value();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    sim::BatchOptions options;
+    std::string workloadsArg, orgsArg;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&arg](const char *prefix) -> const char * {
+            const std::size_t n = std::strlen(prefix);
+            return arg.compare(0, n, prefix) == 0 ? arg.c_str() + n
+                                                  : nullptr;
+        };
+        if (const char *v = value("--out=")) {
+            options.outPath = v;
+        } else if (const char *v2 = value("--workloads=")) {
+            workloadsArg = v2;
+        } else if (const char *v3 = value("--orgs=")) {
+            orgsArg = v3;
+        } else if (const char *v4 = value("--instructions=")) {
+            options.base.simulateInstructions =
+                parseCount("--instructions", v4);
+        } else if (const char *v5 = value("--fast-forward=")) {
+            options.base.fastForwardInstructions =
+                parseCount("--fast-forward", v5);
+        } else if (const char *v6 = value("--seed=")) {
+            options.base.seed = parseCount("--seed", v6);
+        } else if (const char *v7 = value("--timeout=")) {
+            options.timeoutSeconds = static_cast<unsigned>(
+                parseCount("--timeout", v7));
+        } else if (const char *v8 = value("--check=")) {
+            const auto level = check::parseCheckLevel(v8);
+            if (!level.ok()) {
+                std::fprintf(stderr, "--check: %s\n",
+                             std::string(level.status().message())
+                                 .c_str());
+                return 2;
+            }
+            options.base.checkLevel = level.value();
+        } else if (const char *v9 = value("--inject=")) {
+            options.base.faultSpec = v9;
+            // Reject a malformed spec here, not in every child.
+            const auto specs = check::parseFaultSpecs(v9);
+            if (!specs.ok()) {
+                std::fprintf(stderr, "--inject: %s\n",
+                             std::string(specs.status().message())
+                                 .c_str());
+                return 2;
+            }
+        } else if (const char *v10 = value("--fail-cell=")) {
+            options.failCell = v10; // undocumented testing aid
+        } else if (arg == "--resume") {
+            options.resume = true;
+        } else {
+            usage(argv[0]);
+        }
+    }
+    if (options.outPath.empty())
+        usage(argv[0]);
+
+    if (workloadsArg.empty()) {
+        for (const auto &w : workloads::tlbIntensiveSuite())
+            options.workloadNames.push_back(w.name);
+    } else {
+        options.workloadNames = splitCommas(workloadsArg);
+    }
+    for (const auto &name : splitCommas(orgsArg)) {
+        bool found = false;
+        for (const auto org : core::allOrgs()) {
+            if (name == core::orgName(org)) {
+                options.orgs.push_back(org);
+                found = true;
+                break;
+            }
+        }
+        if (!found) {
+            std::fprintf(stderr, "unknown organization '%s'\n",
+                         name.c_str());
+            return 2;
+        }
+    }
+
+    const auto result = sim::runBatch(options, std::cout);
+    if (!result.ok()) {
+        std::fprintf(stderr, "eatbatch: %s\n",
+                     std::string(result.status().message()).c_str());
+        return 1;
+    }
+
+    const auto &s = result.value();
+    std::cout << "\nsweep: " << s.ok << " ok, " << s.failed
+              << " failed, " << s.timedOut << " timed out, " << s.resumed
+              << " resumed (" << s.total() << " total) -> "
+              << options.outPath << "\n";
+    return (s.failed + s.timedOut) > 0 ? 1 : 0;
+}

@@ -6,10 +6,15 @@
  *   eatsim --workload=mcf --org=RMM_Lite [--instructions=N]
  *          [--fast-forward=N] [--seed=N] [--timeline=N]
  *          [--record=trace.eat | --replay=trace.eat]
+ *          [--check=off|paddr|full] [--inject=SPEC]
  *
  * Runs one simulation and prints the full report: performance, the
- * dynamic-energy breakdown per structure, Lite activity, and the OS
- * facts of the run.
+ * dynamic-energy breakdown per structure, Lite activity, the
+ * self-check verdict, and the OS facts of the run.
+ *
+ * Exit status: 0 on success, 1 on a runtime error, 2 on bad usage,
+ * 3 when the differential checker found mismatches that no fault
+ * injection explains.
  */
 
 #include <cstdio>
@@ -18,6 +23,7 @@
 #include <iostream>
 #include <string>
 
+#include "base/parse.hh"
 #include "sim/simulator.hh"
 #include "stats/table.hh"
 #include "workloads/suite.hh"
@@ -45,9 +51,25 @@ usage(const char *argv0)
         "  --record=PATH        record the operation stream to PATH\n"
         "  --replay=PATH        replay a recorded trace through the MMU\n"
         "  --combined-l1        single fully associative L1 (paper 4.4)\n"
+        "  --check=LEVEL        off | paddr | full (default full)\n"
+        "  --inject=SPEC        inject TLB faults, e.g.\n"
+        "                       'tag-flip@l1-4k:1e-4,drop-inv:1e-5'\n"
         "  --list               list the available workloads\n",
         argv0, argv0);
     std::exit(2);
+}
+
+/** Parse a numeric flag value strictly; bad input is a usage error. */
+std::uint64_t
+parseCount(const char *flag, const std::string &text)
+{
+    const auto r = parseU64(text);
+    if (!r.ok()) {
+        std::fprintf(stderr, "%s: %s\n", flag,
+                     r.status().message().c_str());
+        std::exit(2);
+    }
+    return r.value();
 }
 
 core::MmuOrg
@@ -143,6 +165,23 @@ printReport(const sim::SimResult &r)
                   << "\n";
     }
 
+    if (r.checkLevel != check::CheckLevel::Off) {
+        std::cout << "\nself-check (" << check::checkLevelName(r.checkLevel)
+                  << "): " << r.check.translationChecks
+                  << " translations checked, " << r.check.wayMaskAudits
+                  << " way-mask audits, " << r.check.mismatches()
+                  << " mismatches\n";
+        if (!r.firstMismatch.empty())
+            std::cout << "first mismatch: " << r.firstMismatch << "\n";
+    }
+    if (r.inject.injected() > 0) {
+        std::cout << "fault injection: " << r.inject.injected()
+                  << " faults (" << r.inject.tagFlips << " tag flips, "
+                  << r.inject.ppnFlips << " PPN flips, "
+                  << r.inject.droppedInvalidations << " dropped invs, "
+                  << r.inject.spuriousEnables << " spurious enables)\n";
+    }
+
     std::cout << "\nOS: " << r.pages4K << " x 4KB pages, " << r.pages2M
               << " x 2MB pages, " << r.numRanges << " ranges (coverage "
               << stats::TextTable::percent(r.rangeCoverage) << ")\n";
@@ -183,17 +222,33 @@ main(int argc, char **argv)
         } else if (const char *v2 = value("--org=")) {
             orgName = v2;
         } else if (const char *v3 = value("--instructions=")) {
-            cfg.simulateInstructions = std::strtoull(v3, nullptr, 10);
+            cfg.simulateInstructions = parseCount("--instructions", v3);
         } else if (const char *v4 = value("--fast-forward=")) {
-            cfg.fastForwardInstructions = std::strtoull(v4, nullptr, 10);
+            cfg.fastForwardInstructions = parseCount("--fast-forward", v4);
         } else if (const char *v5 = value("--seed=")) {
-            cfg.seed = std::strtoull(v5, nullptr, 10);
+            cfg.seed = parseCount("--seed", v5);
         } else if (const char *v6 = value("--timeline=")) {
-            cfg.timelineInterval = std::strtoull(v6, nullptr, 10);
+            cfg.timelineInterval = parseCount("--timeline", v6);
         } else if (const char *v7 = value("--record=")) {
             recordPath = v7;
         } else if (const char *v8 = value("--replay=")) {
             replayPath = v8;
+        } else if (const char *v9 = value("--check=")) {
+            const auto level = check::parseCheckLevel(v9);
+            if (!level.ok()) {
+                std::fprintf(stderr, "--check: %s\n",
+                             level.status().message().c_str());
+                return 2;
+            }
+            cfg.checkLevel = level.value();
+        } else if (const char *v10 = value("--inject=")) {
+            cfg.faultSpec = v10;
+            const auto specs = check::parseFaultSpecs(v10);
+            if (!specs.ok()) {
+                std::fprintf(stderr, "--inject: %s\n",
+                             specs.status().message().c_str());
+                return 2;
+            }
         } else if (arg == "--combined-l1") {
             combined = true;
         } else {
@@ -214,16 +269,33 @@ main(int argc, char **argv)
     cfg.mmu = core::MmuConfig::make(parseOrg(orgName));
     cfg.mmu.combinedFullyAssocL1 = combined;
 
-    if (!recordPath.empty()) {
-        const auto n = sim::recordTrace(cfg, recordPath);
-        std::cout << "recorded " << n << " operations to " << recordPath
-                  << "\n";
-        return 0;
-    }
+    // Error boundary: library code reports problems by throwing (fatal)
+    // or returning Status; here they become an exit code and a message.
+    try {
+        if (!recordPath.empty()) {
+            const auto n = sim::recordTrace(cfg, recordPath);
+            std::cout << "recorded " << n << " operations to "
+                      << recordPath << "\n";
+            return 0;
+        }
 
-    const auto result = replayPath.empty()
-                            ? sim::simulate(cfg)
-                            : sim::simulateFromTrace(cfg, replayPath);
-    printReport(result);
-    return 0;
+        const auto result = replayPath.empty()
+                                ? sim::simulate(cfg)
+                                : sim::simulateFromTrace(cfg, replayPath);
+        printReport(result);
+
+        // Mismatches with no injection running mean the simulator (or
+        // the checker) is broken: make the run loudly non-zero.
+        if (cfg.faultSpec.empty() && result.check.mismatches() > 0) {
+            std::fprintf(stderr,
+                         "eatsim: self-check FAILED with %llu mismatches\n",
+                         static_cast<unsigned long long>(
+                             result.check.mismatches()));
+            return 3;
+        }
+        return 0;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "eatsim: %s\n", e.what());
+        return 1;
+    }
 }

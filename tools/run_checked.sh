@@ -1,0 +1,20 @@
+#!/bin/sh
+# Build and run the full test suite under ASan + UBSan, the slow-but-
+# thorough lane that complements the differential checker: the shadow
+# model catches wrong translations, the sanitizers catch wrong memory.
+#
+# usage: tools/run_checked.sh [build-dir]      (default: build-asan)
+
+set -eu
+
+BUILD_DIR="${1:-build-asan}"
+SRC_DIR="$(cd "$(dirname "$0")/.." && pwd)"
+
+cmake -B "$BUILD_DIR" -S "$SRC_DIR" -DEAT_SANITIZE=ON
+cmake --build "$BUILD_DIR" -j"$(nproc)"
+
+# abort_on_error makes a sanitizer report fail the ctest run loudly;
+# detect_leaks stays on by default where LeakSanitizer is available.
+ASAN_OPTIONS="abort_on_error=1" \
+UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+    ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)"
