@@ -2,10 +2,57 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <optional>
 #include <stdexcept>
 
 namespace eat
 {
+
+namespace
+{
+
+/** setLogLevel() override; empty means "defer to the environment". */
+std::optional<LogLevel> gLogLevelOverride;
+
+LogLevel
+levelFromEnvironment()
+{
+    const char *value = std::getenv("EAT_LOG_LEVEL");
+    if (value == nullptr)
+        return LogLevel::Info;
+    const std::string_view text(value);
+    if (text == "silent")
+        return LogLevel::Silent;
+    if (text == "warn")
+        return LogLevel::Warn;
+    if (text == "info" || text.empty())
+        return LogLevel::Info;
+    std::fprintf(stderr,
+                 "warn: unrecognized EAT_LOG_LEVEL '%s' (expected silent, "
+                 "warn, or info); using info\n",
+                 value);
+    return LogLevel::Info;
+}
+
+} // namespace
+
+LogLevel
+logLevel()
+{
+    if (gLogLevelOverride)
+        return *gLogLevelOverride;
+    // Read once: repeated getenv on hot warn paths would be waste, and
+    // a mid-run environment change should not alter behaviour.
+    static const LogLevel fromEnv = levelFromEnvironment();
+    return fromEnv;
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    gLogLevelOverride = level;
+}
+
 namespace detail
 {
 
@@ -30,13 +77,15 @@ fatalImpl(const char *file, int line, const std::string &msg)
 void
 warnImpl(const std::string &msg)
 {
-    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+    if (logLevel() >= LogLevel::Warn)
+        std::fprintf(stderr, "warn: %s\n", msg.c_str());
 }
 
 void
 informImpl(const std::string &msg)
 {
-    std::fprintf(stderr, "info: %s\n", msg.c_str());
+    if (logLevel() >= LogLevel::Info)
+        std::fprintf(stderr, "info: %s\n", msg.c_str());
 }
 
 } // namespace detail

@@ -12,9 +12,32 @@
 
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace eat
 {
+
+/**
+ * Verbosity of the non-fatal channels. panic/fatal always print;
+ * Silent suppresses warn() and inform(), Warn suppresses inform()
+ * only, Info (the default) prints everything.
+ */
+enum class LogLevel
+{
+    Silent,
+    Warn,
+    Info,
+};
+
+/**
+ * The effective log level. Defaults to the EAT_LOG_LEVEL environment
+ * variable ("silent" | "warn" | "info", read once, case-sensitive;
+ * unset or unrecognized means Info) until setLogLevel() overrides it.
+ */
+LogLevel logLevel();
+
+/** Programmatic override of the log level (wins over EAT_LOG_LEVEL). */
+void setLogLevel(LogLevel level);
 
 namespace detail
 {

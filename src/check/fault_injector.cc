@@ -3,6 +3,9 @@
 #include <algorithm>
 
 #include "base/parse.hh"
+#include "obs/json.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 
 namespace eat::check
 {
@@ -172,6 +175,37 @@ FaultInjector::pickRangeTlb(FaultTarget target)
 }
 
 void
+FaultInjector::registerMetrics(obs::MetricRegistry &registry) const
+{
+    registry.addCounter("inject.opportunities", &stats_.opportunities);
+    registry.addCounter("inject.tag_flips", &stats_.tagFlips);
+    registry.addCounter("inject.ppn_flips", &stats_.ppnFlips);
+    registry.addCounter("inject.dropped_invalidations",
+                        &stats_.droppedInvalidations);
+    registry.addCounter("inject.spurious_enables",
+                        &stats_.spuriousEnables);
+}
+
+void
+FaultInjector::setTrace(obs::TraceWriter *trace)
+{
+    trace_ = trace;
+    if (trace_)
+        traceTrack_ = trace_->track("fault injector");
+}
+
+void
+FaultInjector::traceFault(FaultKind kind, const std::string &structName)
+{
+    if (!trace_)
+        return;
+    obs::JsonObject args;
+    args.put("target", structName);
+    trace_->instant(traceTrack_, std::string(faultKindName(kind)),
+                    args.str());
+}
+
+void
 FaultInjector::inject(const FaultSpec &spec)
 {
     switch (spec.kind) {
@@ -180,19 +214,24 @@ FaultInjector::inject(const FaultSpec &spec)
         const bool flipTag = spec.kind == FaultKind::TagFlip;
         if (isRangeTarget(spec.target)) {
             if (auto *tlb = pickRangeTlb(spec.target);
-                tlb && tlb->corruptRandomEntry(rng_.next(), flipTag))
+                tlb && tlb->corruptRandomEntry(rng_.next(), flipTag)) {
                 ++(flipTag ? stats_.tagFlips : stats_.ppnFlips);
+                traceFault(spec.kind, tlb->name());
+            }
             return;
         }
         if (auto *tlb = pickPageTlb(spec.target);
-            tlb && tlb->corruptRandomEntry(rng_.next(), flipTag))
+            tlb && tlb->corruptRandomEntry(rng_.next(), flipTag)) {
             ++(flipTag ? stats_.tagFlips : stats_.ppnFlips);
+            traceFault(spec.kind, tlb->name());
+        }
         return;
       }
       case FaultKind::DropInvalidation:
         if (auto *tlb = pickPageTlb(spec.target)) {
             tlb->armDropInvalidation();
             ++stats_.droppedInvalidations;
+            traceFault(spec.kind, tlb->name());
         }
         return;
       case FaultKind::SpuriousEnable:
@@ -205,6 +244,7 @@ FaultInjector::inject(const FaultSpec &spec)
             if (forced != tlb->activeWays() && !isPowerOfTwo(forced)) {
                 tlb->forceActiveWays(forced);
                 ++stats_.spuriousEnables;
+                traceFault(spec.kind, tlb->name());
             }
         }
         return;

@@ -34,6 +34,12 @@
 #include "tlb/range_tlb.hh"
 #include "tlb/set_assoc_tlb.hh"
 
+namespace eat::obs
+{
+class MetricRegistry;
+class TraceWriter;
+} // namespace eat::obs
+
 namespace eat::check
 {
 
@@ -104,6 +110,14 @@ class FaultInjector
 
     const InjectStats &stats() const { return stats_; }
 
+    /** Register the inject.* counters into @p registry (bindings only;
+     *  the registry must not outlive this injector). */
+    void registerMetrics(obs::MetricRegistry &registry) const;
+
+    /** Attach a tracer (not owned; null detaches): every landed fault
+     *  becomes an instant event on the injector track. */
+    void setTrace(obs::TraceWriter *trace);
+
   private:
     struct PageTlbSlot
     {
@@ -119,12 +133,16 @@ class FaultInjector
     void inject(const FaultSpec &spec);
     tlb::SetAssocTlb *pickPageTlb(FaultTarget target);
     tlb::RangeTlb *pickRangeTlb(FaultTarget target);
+    void traceFault(FaultKind kind, const std::string &structName);
 
     std::vector<FaultSpec> specs_;
     std::vector<PageTlbSlot> pageTlbs_;
     std::vector<RangeTlbSlot> rangeTlbs_;
     Rng rng_;
     InjectStats stats_;
+
+    obs::TraceWriter *trace_ = nullptr;
+    unsigned traceTrack_ = 0;
 };
 
 } // namespace eat::check

@@ -1,6 +1,9 @@
 #include "check/shadow_checker.hh"
 
 #include "base/logging.hh"
+#include "obs/json.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 
 namespace eat::check
 {
@@ -45,11 +48,38 @@ ShadowChecker::ShadowChecker(CheckLevel level,
 }
 
 void
+ShadowChecker::registerMetrics(obs::MetricRegistry &registry) const
+{
+    registry.addCounter("check.translation_checks",
+                        &stats_.translationChecks);
+    registry.addCounter("check.way_mask_audits", &stats_.wayMaskAudits);
+    registry.addCounter("check.paddr_mismatches", &stats_.paddrMismatches);
+    registry.addCounter("check.size_mismatches", &stats_.sizeMismatches);
+    registry.addCounter("check.source_violations",
+                        &stats_.sourceViolations);
+    registry.addCounter("check.way_mask_violations",
+                        &stats_.wayMaskViolations);
+}
+
+void
+ShadowChecker::setTrace(obs::TraceWriter *trace)
+{
+    trace_ = trace;
+    if (trace_)
+        traceTrack_ = trace_->track("shadow checker");
+}
+
+void
 ShadowChecker::recordMismatch(std::uint64_t &counter, std::string message)
 {
     ++counter;
     if (firstMismatch_.empty())
         firstMismatch_ = message;
+    if (trace_) {
+        obs::JsonObject args;
+        args.put("detail", message);
+        trace_->instant(traceTrack_, "mismatch", args.str());
+    }
     if (warningsEmitted_ < kMaxWarnings) {
         ++warningsEmitted_;
         eat_warn("shadow-checker: ", message);

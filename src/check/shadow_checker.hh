@@ -28,6 +28,12 @@
 #include "check/shadow_translator.hh"
 #include "tlb/set_assoc_tlb.hh"
 
+namespace eat::obs
+{
+class MetricRegistry;
+class TraceWriter;
+} // namespace eat::obs
+
 namespace eat::check
 {
 
@@ -99,6 +105,14 @@ class ShadowChecker
     /** Ok iff no mismatch has been observed. */
     Status verdict() const;
 
+    /** Register the check.* counters into @p registry (bindings only;
+     *  the registry must not outlive this checker). */
+    void registerMetrics(obs::MetricRegistry &registry) const;
+
+    /** Attach a tracer (not owned; null detaches): every mismatch
+     *  becomes an instant event on the checker track. */
+    void setTrace(obs::TraceWriter *trace);
+
   private:
     void recordMismatch(std::uint64_t &counter, std::string message);
 
@@ -107,6 +121,9 @@ class ShadowChecker
     CheckStats stats_;
     std::string firstMismatch_;
     unsigned warningsEmitted_ = 0;
+
+    obs::TraceWriter *trace_ = nullptr;
+    unsigned traceTrack_ = 0;
 };
 
 } // namespace eat::check

@@ -1,7 +1,11 @@
 #include "core/mmu.hh"
 
 #include "base/logging.hh"
+#include "check/fault_injector.hh"
 #include "energy/coefficients.hh"
+#include "obs/metrics.hh"
+#include "obs/telemetry.hh"
+#include "obs/trace.hh"
 
 namespace eat::core
 {
@@ -480,14 +484,224 @@ Mmu::tick(InstrCount n)
     staticGatedPj_ += leakagePower(true) * ns;
     staticFullPj_ += leakagePower(false) * ns;
 
-    if (!lite_)
+    // The interval clock drives Lite decisions and telemetry records;
+    // it runs only when at least one consumer is attached.
+    if (!lite_ && !telemetry_)
         return;
     instrTowardInterval_ += n;
     const auto interval = cfg_.lite.intervalInstructions;
     while (instrTowardInterval_ >= interval) {
-        lite_->onIntervalEnd(interval);
+        if (lite_)
+            lite_->onIntervalEnd(interval);
         instrTowardInterval_ -= interval;
+        // Emit after Lite's decision so the way-mask reflects it.
+        if (telemetry_)
+            emitIntervalRecord(interval);
     }
+}
+
+void
+Mmu::registerMetrics(obs::MetricRegistry &registry) const
+{
+    // Datapath event counters.
+    registry.addCounter("mmu.instructions", &stats_.instructions);
+    registry.addCounter("mmu.mem_ops", &stats_.memOps);
+    registry.addCounter("mmu.l1_hits", &stats_.l1Hits);
+    registry.addCounter("mmu.l1_misses", &stats_.l1Misses);
+    registry.addCounter("mmu.l2_hits", &stats_.l2Hits);
+    registry.addCounter("mmu.l2_misses", &stats_.l2Misses);
+    registry.addCounter("mmu.walk_mem_refs", &stats_.walkMemRefs);
+    registry.addCounter("mmu.range_walks", &stats_.rangeWalks);
+    registry.addCounter("mmu.range_walk_mem_refs",
+                        &stats_.rangeWalkMemRefs);
+    registry.addCounter("mmu.l1_miss_cycles", &stats_.l1MissCycles);
+    registry.addCounter("mmu.walk_cycles", &stats_.walkCycles);
+
+    static constexpr std::array<std::string_view,
+                                static_cast<unsigned>(HitSource::Count)>
+        kSourceNames{"l1_page4k", "l1_page2m", "l1_page1g", "l1_range",
+                     "l2_page",   "l2_range",  "page_walk"};
+    for (unsigned i = 0; i < kSourceNames.size(); ++i) {
+        registry.addCounter("mmu.hits." + std::string(kSourceNames[i]),
+                            &stats_.hitsBySource[i]);
+    }
+
+    registry.addHistogram("mmu.l1_way_lookups_4k",
+                          &stats_.l1WayLookups4K);
+    if (l1Page2M_) {
+        registry.addHistogram("mmu.l1_way_lookups_2m",
+                              &stats_.l1WayLookups2M);
+    }
+
+    // Per-structure hit/miss/fill counters (accessor-backed closures).
+    auto addPageTlb = [&registry](std::string prefix,
+                                  const tlb::SetAssocTlb *t) {
+        registry.addCounter(prefix + ".hits", [t] { return t->hits(); });
+        registry.addCounter(prefix + ".misses",
+                            [t] { return t->misses(); });
+        registry.addCounter(prefix + ".fills", [t] { return t->fills(); });
+        registry.addCounter(prefix + ".resizes",
+                            [t] { return t->resizes(); });
+        registry.addGauge(prefix + ".active_ways", [t] {
+            return static_cast<double>(t->activeWays());
+        });
+    };
+    auto addRangeTlb = [&registry](std::string prefix,
+                                   const tlb::RangeTlb *t) {
+        registry.addCounter(prefix + ".hits", [t] { return t->hits(); });
+        registry.addCounter(prefix + ".misses",
+                            [t] { return t->misses(); });
+        registry.addCounter(prefix + ".fills", [t] { return t->fills(); });
+    };
+
+    addPageTlb("l1.tlb4k", l1Page4K_.get());
+    if (l1Page2M_)
+        addPageTlb("l1.tlb2m", l1Page2M_.get());
+    if (l1Page1G_)
+        addPageTlb("l1.tlb1g", l1Page1G_.get());
+    addPageTlb("l2.tlb", l2Page_.get());
+    if (l1Range_)
+        addRangeTlb("l1.range", l1Range_.get());
+    if (l2Range_)
+        addRangeTlb("l2.range", l2Range_.get());
+
+    // Energy: totals plus per-structure meters.
+    registry.addGauge("energy.dynamic_pj",
+                      [this] { return dynamicEnergyTotal(); });
+    registry.addGauge("energy.leakage_mw",
+                      [this] { return leakagePower(true); });
+    registry.addGauge("energy.static_gated_pj",
+                      [this] { return staticGatedPj_; });
+    registry.addGauge("energy.static_full_pj",
+                      [this] { return staticFullPj_; });
+
+    auto addMeter = [&registry](std::string prefix,
+                                const energy::EnergyMeter *m) {
+        registry.addCounter(prefix + ".reads", [m] { return m->reads(); });
+        registry.addCounter(prefix + ".writes",
+                            [m] { return m->writes(); });
+        registry.addGauge(prefix + ".read_pj",
+                          [m] { return m->readEnergy(); });
+        registry.addGauge(prefix + ".write_pj",
+                          [m] { return m->writeEnergy(); });
+    };
+    addMeter("energy.l1_tlb4k", &m4K_.meter);
+    if (l1Page2M_) {
+        addMeter("energy.l1_tlb2m", &m2M_.meter);
+        addMeter("energy.l1_tlb1g", &m1G_.meter);
+    }
+    addMeter("energy.l2_tlb", &mL2_.meter);
+    if (l1Range_)
+        addMeter("energy.l1_range", &mL1Range_.meter);
+    if (l2Range_)
+        addMeter("energy.l2_range", &mL2Range_.meter);
+    addMeter("energy.mmu_pde", &mPde_.meter);
+    addMeter("energy.mmu_pdpte", &mPdpte_.meter);
+    addMeter("energy.mmu_pml4", &mPml4_.meter);
+    addMeter("energy.walk_mem", &walkMemMeter_);
+    if (rangeWalker_)
+        addMeter("energy.range_walk_mem", &rangeWalkMemMeter_);
+
+    if (lite_)
+        lite_->registerMetrics(registry);
+}
+
+void
+Mmu::setTelemetry(obs::TelemetrySink *sink)
+{
+    telemetry_ = sink;
+}
+
+void
+Mmu::setTrace(obs::TraceWriter *trace)
+{
+    trace_ = trace;
+    if (trace_)
+        trace_->setClock(&stats_.instructions);
+    if (lite_)
+        lite_->setTrace(trace);
+}
+
+void
+Mmu::setInjectStats(const check::InjectStats *stats)
+{
+    injectStats_ = stats;
+}
+
+PicoJoules
+Mmu::dynamicEnergyTotal() const
+{
+    return m4K_.meter.total() + m2M_.meter.total() + m1G_.meter.total() +
+           mL2_.meter.total() + mL1Range_.meter.total() +
+           mL2Range_.meter.total() + mPde_.meter.total() +
+           mPdpte_.meter.total() + mPml4_.meter.total() +
+           walkMemMeter_.total() + rangeWalkMemMeter_.total();
+}
+
+void
+Mmu::emitIntervalRecord(InstrCount intervalInstructions)
+{
+    obs::IntervalRecord rec;
+    rec.interval = intervalIndex_++;
+    rec.startInstr = lastInterval_.instructions;
+    rec.instructions = intervalInstructions;
+
+    // Interval deltas. A tick retiring several intervals at once books
+    // all its events into the first one it closes; the rest read zero.
+    rec.memOps = stats_.memOps - lastInterval_.memOps;
+    rec.l1Hits = stats_.l1Hits - lastInterval_.l1Hits;
+    rec.l1Misses = stats_.l1Misses - lastInterval_.l1Misses;
+    rec.l2Hits = stats_.l2Hits - lastInterval_.l2Hits;
+    rec.l2Misses = stats_.l2Misses - lastInterval_.l2Misses;
+    const Cycles missCycles = stats_.tlbMissCycles();
+    rec.missCycles = missCycles - lastInterval_.missCycles;
+    const PicoJoules dynamicPj = dynamicEnergyTotal();
+    rec.dynamicPj = dynamicPj - lastInterval_.dynamicPj;
+
+    const double kilo = static_cast<double>(intervalInstructions) / 1000.0;
+    rec.l1Mpki = kilo > 0.0 ? static_cast<double>(rec.l1Misses) / kilo : 0.0;
+    rec.l2Mpki = kilo > 0.0 ? static_cast<double>(rec.l2Misses) / kilo : 0.0;
+    rec.l1HitRatio =
+        rec.memOps > 0 ? static_cast<double>(rec.l1Hits) /
+                             static_cast<double>(rec.memOps)
+                       : 0.0;
+    const std::uint64_t l2Lookups = rec.l2Hits + rec.l2Misses;
+    rec.l2HitRatio =
+        l2Lookups > 0 ? static_cast<double>(rec.l2Hits) /
+                            static_cast<double>(l2Lookups)
+                      : 0.0;
+
+    rec.wayMask.emplace_back(l1Page4K_->name(), l1Page4K_->activeWays());
+    if (l1Page2M_)
+        rec.wayMask.emplace_back(l1Page2M_->name(),
+                                 l1Page2M_->activeWays());
+    if (l1Page1G_)
+        rec.wayMask.emplace_back(l1Page1G_->name(),
+                                 l1Page1G_->activeWays());
+
+    std::uint64_t mismatches = 0;
+    if (checker_) {
+        mismatches = checker_->stats().mismatches();
+        rec.checkMismatches = mismatches - lastInterval_.checkMismatches;
+    }
+    std::uint64_t injected = 0;
+    if (injectStats_) {
+        injected = injectStats_->injected();
+        rec.faultsInjected = injected - lastInterval_.faultsInjected;
+    }
+
+    lastInterval_.instructions += intervalInstructions;
+    lastInterval_.memOps = stats_.memOps;
+    lastInterval_.l1Hits = stats_.l1Hits;
+    lastInterval_.l1Misses = stats_.l1Misses;
+    lastInterval_.l2Hits = stats_.l2Hits;
+    lastInterval_.l2Misses = stats_.l2Misses;
+    lastInterval_.missCycles = missCycles;
+    lastInterval_.dynamicPj = dynamicPj;
+    lastInterval_.checkMismatches = mismatches;
+    lastInterval_.faultsInjected = injected;
+
+    telemetry_->emit(rec);
 }
 
 energy::EnergyReport

@@ -45,6 +45,18 @@
 #include "vm/page_table.hh"
 #include "vm/range_table.hh"
 
+namespace eat::obs
+{
+class MetricRegistry;
+class TelemetrySink;
+class TraceWriter;
+} // namespace eat::obs
+
+namespace eat::check
+{
+struct InjectStats;
+} // namespace eat::check
+
 namespace eat::core
 {
 
@@ -83,6 +95,35 @@ class Mmu
      * golden model, and way masks are audited periodically.
      */
     void setChecker(check::ShadowChecker *checker) { checker_ = checker; }
+
+    /**
+     * Register every MMU metric — structure hit/miss/fill counters,
+     * datapath event counters, per-structure energy, way-activity
+     * histograms, and (when Lite runs) the lite.* counters — into
+     * @p registry. Bindings are non-owning: the registry must not be
+     * read after this Mmu is destroyed.
+     */
+    void registerMetrics(obs::MetricRegistry &registry) const;
+
+    /**
+     * Attach a per-interval telemetry sink (not owned; null detaches).
+     * One IntervalRecord is emitted per Lite interval (or per
+     * config().lite.intervalInstructions when Lite is disabled).
+     */
+    void setTelemetry(obs::TelemetrySink *sink);
+
+    /**
+     * Attach a decision tracer (not owned; null detaches). The trace
+     * clock is bound to this MMU's retired-instruction counter, and
+     * the Lite controller's decisions are traced per TLB track.
+     */
+    void setTrace(obs::TraceWriter *trace);
+
+    /** Bind the fault injector's counters for telemetry reporting. */
+    void setInjectStats(const check::InjectStats *stats);
+
+    /** Total dynamic energy charged so far (all meters). */
+    PicoJoules dynamicEnergyTotal() const;
 
     // --- introspection for tests and reports ---
     tlb::SetAssocTlb &l1Tlb4K() { return *l1Page4K_; }
@@ -132,6 +173,9 @@ class Mmu
     /** Audit the way masks of all page TLBs (periodic, Full level). */
     void auditWayMasks();
 
+    /** Close the current telemetry interval and emit its record. */
+    void emitIntervalRecord(InstrCount intervalInstructions);
+
     static unsigned logWaysOf(const tlb::SetAssocTlb &t);
 
     MmuConfig cfg_;
@@ -168,6 +212,28 @@ class Mmu
 
     MmuStats stats_;
     InstrCount instrTowardInterval_ = 0;
+
+    // Observability attachments (all non-owning, all optional).
+    obs::TelemetrySink *telemetry_ = nullptr;
+    obs::TraceWriter *trace_ = nullptr;
+    const check::InjectStats *injectStats_ = nullptr;
+
+    /** Cumulative values at the last closed telemetry interval. */
+    struct IntervalSnapshot
+    {
+        InstrCount instructions = 0;
+        std::uint64_t memOps = 0;
+        std::uint64_t l1Hits = 0;
+        std::uint64_t l1Misses = 0;
+        std::uint64_t l2Hits = 0;
+        std::uint64_t l2Misses = 0;
+        Cycles missCycles = 0;
+        PicoJoules dynamicPj = 0.0;
+        std::uint64_t checkMismatches = 0;
+        std::uint64_t faultsInjected = 0;
+    };
+    IntervalSnapshot lastInterval_;
+    std::uint64_t intervalIndex_ = 0;
 
     // Static (leakage) energy integrals (paper §6.2).
     PicoJoules staticGatedPj_ = 0.0;

@@ -1,6 +1,9 @@
 #include "lite/lite_controller.hh"
 
 #include "base/logging.hh"
+#include "obs/json.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "stats/counter.hh"
 
 namespace eat::lite
@@ -45,11 +48,49 @@ LiteController::withinThreshold(double potentialMpki,
 }
 
 void
+LiteController::registerMetrics(obs::MetricRegistry &registry) const
+{
+    registry.addCounter("lite.intervals", &liteStats_.intervals);
+    registry.addCounter("lite.way_disable_events",
+                        &liteStats_.wayDisableEvents);
+    registry.addCounter("lite.degradation_activations",
+                        &liteStats_.degradationActivations);
+    registry.addCounter("lite.random_activations",
+                        &liteStats_.randomActivations);
+}
+
+void
+LiteController::setTrace(obs::TraceWriter *trace)
+{
+    trace_ = trace;
+    tlbTracks_.clear();
+    if (!trace_)
+        return;
+    liteTrack_ = trace_->track("Lite controller");
+    for (std::size_t i = 0; i < tlbs_.size(); ++i) {
+        tlbTracks_.push_back(trace_->track(tlbs_[i]->name()));
+        traceWayCounter(i); // initial mask, so the step graph starts full
+    }
+}
+
+void
+LiteController::traceWayCounter(std::size_t i)
+{
+    if (trace_) {
+        trace_->counter(tlbTracks_[i], "active_ways",
+                        tlbs_[i]->activeWays());
+    }
+}
+
+void
 LiteController::activateAllWays()
 {
-    for (auto *t : tlbs_) {
-        if (t->activeWays() != t->ways())
+    for (std::size_t i = 0; i < tlbs_.size(); ++i) {
+        tlb::SetAssocTlb *t = tlbs_[i];
+        if (t->activeWays() != t->ways()) {
             t->setActiveWays(t->ways());
+            traceWayCounter(i);
+        }
     }
 }
 
@@ -65,6 +106,12 @@ LiteController::onIntervalEnd(std::uint64_t instructions)
     if (havePrevious_ && !withinThreshold(actualMpki, previousMpki_)) {
         // Performance degraded past the threshold (phase change, THP
         // breakup, ...): re-activate everything and re-learn.
+        if (trace_) {
+            obs::JsonObject args;
+            args.put("actual_mpki", actualMpki);
+            args.put("previous_mpki", previousMpki_);
+            trace_->instant(liteTrack_, "phase-change reset", args.str());
+        }
         activateAllWays();
         ++liteStats_.degradationActivations;
     } else {
@@ -86,6 +133,14 @@ LiteController::onIntervalEnd(std::uint64_t instructions)
             if (best < active) {
                 t.setActiveWays(best);
                 ++liteStats_.wayDisableEvents;
+                if (trace_) {
+                    obs::JsonObject args;
+                    args.put("from_ways", active);
+                    args.put("to_ways", best);
+                    trace_->instant(tlbTracks_[i], "way-disable",
+                                    args.str());
+                    traceWayCounter(i);
+                }
             }
         }
     }
@@ -93,6 +148,8 @@ LiteController::onIntervalEnd(std::uint64_t instructions)
     // Random exploration: occasionally turn everything back on so the
     // next interval can observe the utility of currently disabled ways.
     if (rng_.chance(params_.fullActivationProbability)) {
+        if (trace_)
+            trace_->instant(liteTrack_, "random re-activation");
         activateAllWays();
         ++liteStats_.randomActivations;
     }

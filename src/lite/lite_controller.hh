@@ -31,6 +31,12 @@
 #include "lite/lru_profiler.hh"
 #include "tlb/set_assoc_tlb.hh"
 
+namespace eat::obs
+{
+class MetricRegistry;
+class TraceWriter;
+} // namespace eat::obs
+
 namespace eat::lite
 {
 
@@ -117,6 +123,17 @@ class LiteController
     const LiteStats &stats() const { return liteStats_; }
     std::uint64_t actualMisses() const { return actualMisses_; }
 
+    /** Register the lite.* counters into @p registry (bindings only;
+     *  the registry must not outlive this controller). */
+    void registerMetrics(obs::MetricRegistry &registry) const;
+
+    /**
+     * Attach a decision tracer (not owned; null detaches). Every way
+     * disable, phase-change reset, and random re-activation becomes a
+     * Chrome-trace event on the owning TLB's track.
+     */
+    void setTrace(obs::TraceWriter *trace);
+
     /** The profiler of TLB @p i (exposed for tests). */
     const LruDistanceProfiler &profiler(std::size_t i) const;
 
@@ -126,10 +143,17 @@ class LiteController
 
     void activateAllWays();
 
+    /** Emit an active_ways counter sample for TLB @p i (if tracing). */
+    void traceWayCounter(std::size_t i);
+
     LiteParams params_;
     std::vector<tlb::SetAssocTlb *> tlbs_;
     std::vector<LruDistanceProfiler> profilers_;
     Rng rng_;
+
+    obs::TraceWriter *trace_ = nullptr;
+    std::vector<unsigned> tlbTracks_;
+    unsigned liteTrack_ = 0;
 
     std::uint64_t actualMisses_ = 0;   ///< the actual-misses-counter
     double previousMpki_ = 0.0;        ///< the previous-misses-counter

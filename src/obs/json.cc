@@ -1,0 +1,390 @@
+#include "obs/json.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace eat::obs
+{
+
+std::string
+jsonQuote(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    out += '"';
+    for (const char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+    return out;
+}
+
+std::string
+jsonNumber(double v)
+{
+    if (!std::isfinite(v))
+        v = 0.0; // JSON has no Inf/NaN literal
+    char buf[64];
+    // %.17g round-trips any double but is noisy; %.12g keeps every
+    // digit our picojoule/MPKI magnitudes can meaningfully carry.
+    std::snprintf(buf, sizeof(buf), "%.12g", v);
+    return buf;
+}
+
+void
+JsonObject::key(std::string_view k)
+{
+    if (!body_.empty())
+        body_ += ',';
+    body_ += jsonQuote(k);
+    body_ += ':';
+}
+
+void
+JsonObject::put(std::string_view k, std::string_view value)
+{
+    key(k);
+    body_ += jsonQuote(value);
+}
+
+void
+JsonObject::put(std::string_view k, const char *value)
+{
+    put(k, std::string_view(value));
+}
+
+void
+JsonObject::put(std::string_view k, bool value)
+{
+    key(k);
+    body_ += value ? "true" : "false";
+}
+
+void
+JsonObject::put(std::string_view k, double value)
+{
+    key(k);
+    body_ += jsonNumber(value);
+}
+
+void
+JsonObject::put(std::string_view k, std::uint64_t value)
+{
+    key(k);
+    body_ += std::to_string(value);
+}
+
+void
+JsonObject::put(std::string_view k, std::int64_t value)
+{
+    key(k);
+    body_ += std::to_string(value);
+}
+
+void
+JsonObject::put(std::string_view k, int value)
+{
+    put(k, static_cast<std::int64_t>(value));
+}
+
+void
+JsonObject::put(std::string_view k, unsigned value)
+{
+    put(k, static_cast<std::uint64_t>(value));
+}
+
+void
+JsonObject::putRaw(std::string_view k, std::string_view json)
+{
+    key(k);
+    body_ += json;
+}
+
+std::string
+JsonObject::str() const
+{
+    return "{" + body_ + "}";
+}
+
+const JsonValue *
+JsonValue::find(std::string_view k) const
+{
+    if (kind != Kind::Object)
+        return nullptr;
+    for (const auto &[name, value] : object) {
+        if (name == k)
+            return &value;
+    }
+    return nullptr;
+}
+
+namespace
+{
+
+/** Recursive-descent JSON reader over a string_view cursor. */
+class Parser
+{
+  public:
+    explicit Parser(std::string_view text) : text_(text) {}
+
+    Result<JsonValue>
+    parse()
+    {
+        auto v = value();
+        if (!v.ok())
+            return v;
+        skipWs();
+        if (pos_ != text_.size())
+            return fail("trailing characters after JSON document");
+        return v;
+    }
+
+  private:
+    Status
+    fail(std::string_view what) const
+    {
+        return Status::error("JSON parse error at offset ", pos_, ": ",
+                             std::string(what));
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    bool
+    consume(char c)
+    {
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    consumeWord(std::string_view w)
+    {
+        if (text_.substr(pos_, w.size()) == w) {
+            pos_ += w.size();
+            return true;
+        }
+        return false;
+    }
+
+    Result<JsonValue>
+    value()
+    {
+        skipWs();
+        if (pos_ >= text_.size())
+            return fail("unexpected end of input");
+        const char c = text_[pos_];
+        if (c == '{')
+            return objectValue();
+        if (c == '[')
+            return arrayValue();
+        if (c == '"')
+            return stringValue();
+        if (consumeWord("true")) {
+            JsonValue v;
+            v.kind = JsonValue::Kind::Bool;
+            v.boolean = true;
+            return v;
+        }
+        if (consumeWord("false")) {
+            JsonValue v;
+            v.kind = JsonValue::Kind::Bool;
+            return v;
+        }
+        if (consumeWord("null"))
+            return JsonValue{};
+        return numberValue();
+    }
+
+    Result<JsonValue>
+    stringValue()
+    {
+        auto s = rawString();
+        if (!s.ok())
+            return s.status();
+        JsonValue v;
+        v.kind = JsonValue::Kind::String;
+        v.string = std::move(s.value());
+        return v;
+    }
+
+    Result<std::string>
+    rawString()
+    {
+        if (!consume('"'))
+            return fail("expected '\"'");
+        std::string out;
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_++];
+            if (c == '"')
+                return out;
+            if (c == '\\') {
+                if (pos_ >= text_.size())
+                    return fail("dangling escape");
+                const char e = text_[pos_++];
+                switch (e) {
+                  case '"': out += '"'; break;
+                  case '\\': out += '\\'; break;
+                  case '/': out += '/'; break;
+                  case 'b': out += '\b'; break;
+                  case 'f': out += '\f'; break;
+                  case 'n': out += '\n'; break;
+                  case 'r': out += '\r'; break;
+                  case 't': out += '\t'; break;
+                  case 'u': {
+                    if (pos_ + 4 > text_.size())
+                        return fail("truncated \\u escape");
+                    unsigned code = 0;
+                    for (int i = 0; i < 4; ++i) {
+                        const char h = text_[pos_++];
+                        code <<= 4;
+                        if (h >= '0' && h <= '9')
+                            code |= static_cast<unsigned>(h - '0');
+                        else if (h >= 'a' && h <= 'f')
+                            code |= static_cast<unsigned>(h - 'a' + 10);
+                        else if (h >= 'A' && h <= 'F')
+                            code |= static_cast<unsigned>(h - 'A' + 10);
+                        else
+                            return fail("bad \\u escape digit");
+                    }
+                    // Our own writers only escape control characters;
+                    // encode the code point as UTF-8 for completeness.
+                    if (code < 0x80) {
+                        out += static_cast<char>(code);
+                    } else if (code < 0x800) {
+                        out += static_cast<char>(0xc0 | (code >> 6));
+                        out += static_cast<char>(0x80 | (code & 0x3f));
+                    } else {
+                        out += static_cast<char>(0xe0 | (code >> 12));
+                        out += static_cast<char>(0x80 |
+                                                 ((code >> 6) & 0x3f));
+                        out += static_cast<char>(0x80 | (code & 0x3f));
+                    }
+                    break;
+                  }
+                  default:
+                    return fail("unknown escape character");
+                }
+            } else {
+                out += c;
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    Result<JsonValue>
+    numberValue()
+    {
+        const std::size_t start = pos_;
+        if (consume('-')) {
+        }
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-'))
+            ++pos_;
+        if (pos_ == start)
+            return fail("expected a value");
+        const std::string token(text_.substr(start, pos_ - start));
+        char *end = nullptr;
+        const double d = std::strtod(token.c_str(), &end);
+        if (end != token.c_str() + token.size())
+            return fail("malformed number");
+        JsonValue v;
+        v.kind = JsonValue::Kind::Number;
+        v.number = d;
+        return v;
+    }
+
+    Result<JsonValue>
+    arrayValue()
+    {
+        consume('[');
+        JsonValue v;
+        v.kind = JsonValue::Kind::Array;
+        skipWs();
+        if (consume(']'))
+            return v;
+        for (;;) {
+            auto item = value();
+            if (!item.ok())
+                return item;
+            v.array.push_back(std::move(item.value()));
+            skipWs();
+            if (consume(']'))
+                return v;
+            if (!consume(','))
+                return fail("expected ',' or ']'");
+        }
+    }
+
+    Result<JsonValue>
+    objectValue()
+    {
+        consume('{');
+        JsonValue v;
+        v.kind = JsonValue::Kind::Object;
+        skipWs();
+        if (consume('}'))
+            return v;
+        for (;;) {
+            skipWs();
+            auto name = rawString();
+            if (!name.ok())
+                return name.status();
+            skipWs();
+            if (!consume(':'))
+                return fail("expected ':'");
+            auto member = value();
+            if (!member.ok())
+                return member;
+            v.object.emplace_back(std::move(name.value()),
+                                  std::move(member.value()));
+            skipWs();
+            if (consume('}'))
+                return v;
+            if (!consume(','))
+                return fail("expected ',' or '}'");
+        }
+    }
+
+    std::string_view text_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+Result<JsonValue>
+parseJson(std::string_view text)
+{
+    return Parser(text).parse();
+}
+
+} // namespace eat::obs

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Minimal JSON substrate for the observability subsystem.
+ *
+ * Two halves:
+ *
+ *  - composing: JsonObject builds one flat-or-nested JSON object as a
+ *    string, with correct escaping and locale-independent number
+ *    formatting. This is all the telemetry/trace writers need — no
+ *    dependency, no DOM.
+ *  - parsing: parseJson() is a strict recursive-descent reader used by
+ *    the tests (every emitted line must round-trip) and by any tooling
+ *    that wants to consume our own output without a third-party
+ *    library.
+ */
+
+#ifndef EAT_OBS_JSON_HH
+#define EAT_OBS_JSON_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/status.hh"
+
+namespace eat::obs
+{
+
+/** @return @p s quoted and escaped as a JSON string literal. */
+std::string jsonQuote(std::string_view s);
+
+/** @return @p v formatted the way JSON requires (locale-independent;
+ *  non-finite values become 0, which JSON cannot express). */
+std::string jsonNumber(double v);
+
+/** Incrementally builds one JSON object ("{...}"). */
+class JsonObject
+{
+  public:
+    void put(std::string_view key, std::string_view value);
+    void put(std::string_view key, const char *value);
+    void put(std::string_view key, bool value);
+    void put(std::string_view key, double value);
+    void put(std::string_view key, std::uint64_t value);
+    void put(std::string_view key, std::int64_t value);
+    void put(std::string_view key, int value);
+    void put(std::string_view key, unsigned value);
+
+    /** Insert pre-rendered JSON (a nested object/array) verbatim. */
+    void putRaw(std::string_view key, std::string_view json);
+
+    bool empty() const { return body_.empty(); }
+
+    /** Render "{...}". */
+    std::string str() const;
+
+  private:
+    void key(std::string_view k);
+    std::string body_;
+};
+
+/** A parsed JSON value (strict; no comments, no trailing commas). */
+struct JsonValue
+{
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string string;
+    std::vector<JsonValue> array;
+    /** Insertion-ordered members. */
+    std::vector<std::pair<std::string, JsonValue>> object;
+
+    bool isNull() const { return kind == Kind::Null; }
+    bool isBool() const { return kind == Kind::Bool; }
+    bool isNumber() const { return kind == Kind::Number; }
+    bool isString() const { return kind == Kind::String; }
+    bool isArray() const { return kind == Kind::Array; }
+    bool isObject() const { return kind == Kind::Object; }
+
+    /** Object member lookup; nullptr when absent or not an object. */
+    const JsonValue *find(std::string_view key) const;
+};
+
+/** Parse one complete JSON document (trailing junk is an error). */
+Result<JsonValue> parseJson(std::string_view text);
+
+} // namespace eat::obs
+
+#endif // EAT_OBS_JSON_HH

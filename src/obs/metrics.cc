@@ -1,0 +1,145 @@
+#include "obs/metrics.hh"
+
+#include "base/logging.hh"
+#include "obs/json.hh"
+
+namespace eat::obs
+{
+
+bool
+isValidMetricName(std::string_view name)
+{
+    if (name.empty() || name.front() == '.' || name.back() == '.')
+        return false;
+    bool prevDot = false;
+    for (const char c : name) {
+        if (c == '.') {
+            if (prevDot)
+                return false;
+            prevDot = true;
+            continue;
+        }
+        prevDot = false;
+        const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                        c == '_';
+        if (!ok)
+            return false;
+    }
+    return true;
+}
+
+MetricRegistry::Metric &
+MetricRegistry::insert(std::string name, Kind kind)
+{
+    eat_assert(isValidMetricName(name),
+               "malformed metric name '", name, "'");
+    const auto [it, inserted] = metrics_.try_emplace(std::move(name));
+    eat_assert(inserted, "duplicate metric '", it->first, "'");
+    it->second.kind = kind;
+    return it->second;
+}
+
+void
+MetricRegistry::addCounter(std::string name, const std::uint64_t *src)
+{
+    eat_assert(src != nullptr, "null counter source for '", name, "'");
+    addCounter(std::move(name), [src] { return *src; });
+}
+
+void
+MetricRegistry::addCounter(std::string name, CounterFn fn)
+{
+    eat_assert(fn != nullptr, "null counter fn for '", name, "'");
+    insert(std::move(name), Kind::Counter).counter = std::move(fn);
+}
+
+void
+MetricRegistry::addGauge(std::string name, GaugeFn fn)
+{
+    eat_assert(fn != nullptr, "null gauge fn for '", name, "'");
+    insert(std::move(name), Kind::Gauge).gauge = std::move(fn);
+}
+
+void
+MetricRegistry::addHistogram(std::string name, const stats::Histogram *src)
+{
+    eat_assert(src != nullptr, "null histogram source for '", name, "'");
+    insert(std::move(name), Kind::Histogram).histogram = src;
+}
+
+bool
+MetricRegistry::contains(std::string_view name) const
+{
+    return metrics_.find(name) != metrics_.end();
+}
+
+std::vector<std::string>
+MetricRegistry::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(metrics_.size());
+    for (const auto &[name, metric] : metrics_)
+        out.push_back(name);
+    return out; // std::map iterates sorted
+}
+
+const MetricRegistry::Metric &
+MetricRegistry::lookup(std::string_view name, Kind kind) const
+{
+    const auto it = metrics_.find(name);
+    eat_assert(it != metrics_.end(), "unknown metric '", name, "'");
+    eat_assert(it->second.kind == kind,
+               "metric '", name, "' read with the wrong kind");
+    return it->second;
+}
+
+std::uint64_t
+MetricRegistry::counterValue(std::string_view name) const
+{
+    return lookup(name, Kind::Counter).counter();
+}
+
+double
+MetricRegistry::gaugeValue(std::string_view name) const
+{
+    return lookup(name, Kind::Gauge).gauge();
+}
+
+void
+MetricRegistry::writeJson(std::ostream &out) const
+{
+    JsonObject values;
+    for (const auto &[name, metric] : metrics_) {
+        switch (metric.kind) {
+          case Kind::Counter:
+            values.put(name, metric.counter());
+            break;
+          case Kind::Gauge:
+            values.put(name, metric.gauge());
+            break;
+          case Kind::Histogram: {
+            std::string buckets = "[";
+            for (std::size_t b = 0; b < metric.histogram->numBuckets();
+                 ++b) {
+                if (b > 0)
+                    buckets += ',';
+                buckets += std::to_string(metric.histogram->bucketCount(b));
+            }
+            buckets += ']';
+            JsonObject h;
+            h.putRaw("buckets", buckets);
+            h.put("total", metric.histogram->total());
+            values.putRaw(name, h.str());
+            break;
+          }
+        }
+    }
+
+    JsonObject doc;
+    doc.put("schema", kMetricsSchema);
+    doc.put("version", kMetricsVersion);
+    doc.putRaw("metrics", values.str());
+    out << doc.str() << "\n";
+}
+
+} // namespace eat::obs

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Hierarchically named metric registry (gem5/Prometheus style).
+ *
+ * Every simulated component registers its statistics under a dotted
+ * name ("l1.tlb4k.hits", "lite.way_disable_events", ...). The registry
+ * does not own or accumulate anything on the hot path: a metric is a
+ * *binding* — a pointer to the component's own counter, or a closure —
+ * so registration costs nothing per simulated event and the registry is
+ * simply one coherent view over state the components already keep (the
+ * paper-style text tables are another view over the same state).
+ *
+ * Lifetime contract: bindings are non-owning. The registry must not be
+ * read after the components it observes are destroyed; in practice the
+ * registry lives inside one simulation run, is snapshotted to JSON at
+ * the end, and dies with the run.
+ */
+
+#ifndef EAT_OBS_METRICS_HH
+#define EAT_OBS_METRICS_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "stats/histogram.hh"
+
+namespace eat::obs
+{
+
+/** Schema identifier stamped into every metrics dump. */
+inline constexpr std::string_view kMetricsSchema = "eat.metrics";
+inline constexpr int kMetricsVersion = 1;
+
+/**
+ * @return true iff @p name is a legal metric name: one or more
+ * non-empty segments of [a-z0-9_] separated by single dots.
+ */
+bool isValidMetricName(std::string_view name);
+
+/** The registry of one simulation run's metrics. */
+class MetricRegistry
+{
+  public:
+    using CounterFn = std::function<std::uint64_t()>;
+    using GaugeFn = std::function<double()>;
+
+    MetricRegistry() = default;
+    MetricRegistry(const MetricRegistry &) = delete;
+    MetricRegistry &operator=(const MetricRegistry &) = delete;
+
+    /**
+     * Register a counter bound to @p src (not owned). Panics on a
+     * duplicate or malformed @p name — metric names are API.
+     */
+    void addCounter(std::string name, const std::uint64_t *src);
+
+    /** Register a counter computed by @p fn at read time. */
+    void addCounter(std::string name, CounterFn fn);
+
+    /** Register a floating-point gauge computed by @p fn. */
+    void addGauge(std::string name, GaugeFn fn);
+
+    /** Register a histogram bound to @p src (not owned). */
+    void addHistogram(std::string name, const stats::Histogram *src);
+
+    bool contains(std::string_view name) const;
+    std::size_t size() const { return metrics_.size(); }
+
+    /** All registered names, sorted. */
+    std::vector<std::string> names() const;
+
+    /** Read one counter; panics when absent or not a counter. */
+    std::uint64_t counterValue(std::string_view name) const;
+
+    /** Read one gauge; panics when absent or not a gauge. */
+    double gaugeValue(std::string_view name) const;
+
+    /**
+     * Snapshot every metric as one JSON document:
+     *   {"schema":"eat.metrics","version":1,"metrics":{name:value,...}}
+     * Counters render as integers, gauges as numbers, histograms as
+     * {"buckets":[...],"total":N}. Names are emitted sorted.
+     */
+    void writeJson(std::ostream &out) const;
+
+  private:
+    enum class Kind
+    {
+        Counter,
+        Gauge,
+        Histogram,
+    };
+
+    struct Metric
+    {
+        Kind kind;
+        CounterFn counter;
+        GaugeFn gauge;
+        const stats::Histogram *histogram = nullptr;
+    };
+
+    Metric &insert(std::string name, Kind kind);
+    const Metric &lookup(std::string_view name, Kind kind) const;
+
+    std::map<std::string, Metric, std::less<>> metrics_;
+};
+
+} // namespace eat::obs
+
+#endif // EAT_OBS_METRICS_HH

@@ -1,0 +1,59 @@
+#include "obs/profiler.hh"
+
+namespace eat::obs
+{
+
+double
+StageTimings::seconds(std::string_view name) const
+{
+    for (const auto &s : stages) {
+        if (s.name == name)
+            return s.seconds;
+    }
+    return 0.0;
+}
+
+double
+StageTimings::total() const
+{
+    double sum = 0.0;
+    for (const auto &s : stages)
+        sum += s.seconds;
+    return sum;
+}
+
+double
+simKips(std::uint64_t instructions, double seconds)
+{
+    if (seconds <= 0.0)
+        return 0.0;
+    return static_cast<double>(instructions) / 1000.0 / seconds;
+}
+
+void
+StageProfiler::start(std::string name)
+{
+    stop();
+    current_ = std::move(name);
+    began_ = Clock::now();
+    running_ = true;
+}
+
+void
+StageProfiler::stop()
+{
+    if (!running_)
+        return;
+    const std::chrono::duration<double> elapsed = Clock::now() - began_;
+    done_.stages.push_back({std::move(current_), elapsed.count()});
+    running_ = false;
+}
+
+StageTimings
+StageProfiler::timings()
+{
+    stop();
+    return done_;
+}
+
+} // namespace eat::obs

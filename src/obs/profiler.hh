@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Wall-clock self-profiling of the simulator's stages.
+ *
+ * A batch sweep over millions of runs is only schedulable if every run
+ * reports where its wall time went and how fast it simulated. The
+ * StageProfiler times named, strictly sequential stages (setup,
+ * fast-forward, simulate, report) and the resulting StageTimings ride
+ * along in SimResult; simKips() turns the measured window into a
+ * simulated-KIPS throughput figure (kilo simulated instructions per
+ * wall second).
+ *
+ * Timings are observational only: they never feed back into modeled
+ * behaviour, so determinism of simulation results is untouched.
+ */
+
+#ifndef EAT_OBS_PROFILER_HH
+#define EAT_OBS_PROFILER_HH
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace eat::obs
+{
+
+/** One completed stage's wall-clock cost. */
+struct StageTiming
+{
+    std::string name;
+    double seconds = 0.0;
+};
+
+/** The per-run stage breakdown (plain data; copyable into results). */
+struct StageTimings
+{
+    std::vector<StageTiming> stages;
+
+    /** Seconds of the stage named @p name; 0 when absent. */
+    double seconds(std::string_view name) const;
+
+    /** Total wall seconds across all stages. */
+    double total() const;
+};
+
+/** @return kilo simulated instructions per wall second (0 if unknown). */
+double simKips(std::uint64_t instructions, double seconds);
+
+/** Times a sequence of named stages. */
+class StageProfiler
+{
+  public:
+    /** Close the running stage (if any) and open @p name. */
+    void start(std::string name);
+
+    /** Close the running stage (if any). */
+    void stop();
+
+    /** Stop and return everything measured so far. */
+    StageTimings timings();
+
+  private:
+    using Clock = std::chrono::steady_clock;
+
+    StageTimings done_;
+    std::string current_;
+    Clock::time_point began_{};
+    bool running_ = false;
+};
+
+} // namespace eat::obs
+
+#endif // EAT_OBS_PROFILER_HH

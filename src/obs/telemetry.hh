@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Per-interval telemetry stream (JSON Lines).
+ *
+ * The paper's interval-level claims (Figure 4 MPKI phases, Figure 7
+ * way-mask dynamics, Figure 10 energy deltas) are invisible in
+ * end-of-run aggregates. The TelemetrySink therefore emits one
+ * self-describing JSON record per Lite interval — MPKI, per-level hit
+ * ratios, the active way-mask of every monitored TLB, the interval's
+ * dynamic energy, walk cycles, and checker/injector activity — so a
+ * wrong Figure-10 bar can be localized to the interval where behaviour
+ * diverged instead of reconstructed from printf archaeology.
+ *
+ * Format: one JSON object per line ("JSONL"); every record carries
+ * {"schema":"eat.telemetry","v":1} so consumers can reject streams
+ * they do not understand. Fields are deltas over the closed interval
+ * unless suffixed _total.
+ */
+
+#ifndef EAT_OBS_TELEMETRY_HH
+#define EAT_OBS_TELEMETRY_HH
+
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "base/status.hh"
+#include "base/types.hh"
+
+namespace eat::obs
+{
+
+/** Schema identifier stamped into every telemetry record. */
+inline constexpr std::string_view kTelemetrySchema = "eat.telemetry";
+inline constexpr int kTelemetryVersion = 1;
+
+/** One closed interval's worth of simulation telemetry. */
+struct IntervalRecord
+{
+    std::uint64_t interval = 0;    ///< 0-based interval index
+    InstrCount startInstr = 0;     ///< instructions retired at open
+    InstrCount instructions = 0;   ///< instructions in the interval
+
+    // Interval deltas of the core event counters.
+    std::uint64_t memOps = 0;
+    std::uint64_t l1Hits = 0;
+    std::uint64_t l1Misses = 0;
+    std::uint64_t l2Hits = 0;
+    std::uint64_t l2Misses = 0; ///< page walks
+    Cycles missCycles = 0;      ///< L1-miss + walk cycles
+    PicoJoules dynamicPj = 0.0;
+
+    // Derived per-interval rates.
+    double l1Mpki = 0.0;
+    double l2Mpki = 0.0;
+    double l1HitRatio = 0.0; ///< l1Hits / memOps
+    double l2HitRatio = 0.0; ///< l2Hits / (l2Hits + l2Misses)
+
+    /** Active way-mask after this interval's Lite decision:
+     *  (TLB name, active ways). Empty when no resizable TLBs exist. */
+    std::vector<std::pair<std::string, unsigned>> wayMask;
+
+    // Self-check activity in the interval.
+    std::uint64_t checkMismatches = 0;
+    std::uint64_t faultsInjected = 0;
+};
+
+/** Streams IntervalRecords as JSONL to a file or caller-owned stream. */
+class TelemetrySink
+{
+  public:
+    /** Stream to @p out (not owned; must outlive the sink). */
+    explicit TelemetrySink(std::ostream &out) : out_(&out) {}
+
+    /** Open @p path for writing (truncating). */
+    static Result<std::unique_ptr<TelemetrySink>>
+    open(const std::string &path);
+
+    /** Append one record as a single JSON line. */
+    void emit(const IntervalRecord &record);
+
+    std::uint64_t recordsEmitted() const { return records_; }
+
+    /** Flush and report stream health. */
+    Status close();
+
+  private:
+    TelemetrySink() = default;
+
+    std::unique_ptr<std::ofstream> file_; ///< set when open() created us
+    std::ostream *out_ = nullptr;
+    std::uint64_t records_ = 0;
+};
+
+} // namespace eat::obs
+
+#endif // EAT_OBS_TELEMETRY_HH

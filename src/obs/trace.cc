@@ -1,0 +1,123 @@
+#include "obs/trace.hh"
+
+#include <algorithm>
+#include <fstream>
+
+#include "base/logging.hh"
+#include "obs/json.hh"
+
+namespace eat::obs
+{
+
+TraceWriter::TraceWriter(std::size_t maxEvents) : maxEvents_(maxEvents)
+{
+}
+
+unsigned
+TraceWriter::track(const std::string &name)
+{
+    for (unsigned i = 0; i < tracks_.size(); ++i) {
+        if (tracks_[i] == name)
+            return i;
+    }
+    tracks_.push_back(name);
+    return static_cast<unsigned>(tracks_.size() - 1);
+}
+
+void
+TraceWriter::push(Event event)
+{
+    ++recorded_;
+    if (events_.size() >= maxEvents_) {
+        ++dropped_;
+        return;
+    }
+    events_.push_back(std::move(event));
+}
+
+void
+TraceWriter::instant(unsigned track, std::string name, std::string argsJson)
+{
+    eat_assert(track < tracks_.size(), "unknown trace track ", track);
+    push({now(), track, 'i', std::move(name),
+          argsJson.empty() ? "{}" : std::move(argsJson)});
+}
+
+void
+TraceWriter::counter(unsigned track, std::string name, double value)
+{
+    eat_assert(track < tracks_.size(), "unknown trace track ", track);
+    JsonObject args;
+    args.put("value", value);
+    push({now(), track, 'C', std::move(name), args.str()});
+}
+
+void
+TraceWriter::writeTo(std::ostream &out) const
+{
+    // Stable sort: events at the same instruction keep program order.
+    std::vector<const Event *> ordered;
+    ordered.reserve(events_.size());
+    for (const auto &e : events_)
+        ordered.push_back(&e);
+    std::stable_sort(ordered.begin(), ordered.end(),
+                     [](const Event *a, const Event *b) {
+                         return a->ts < b->ts;
+                     });
+
+    out << "{\"displayTimeUnit\":\"ms\",";
+    if (dropped_ > 0)
+        out << "\"eatDroppedEvents\":" << dropped_ << ",";
+    out << "\"traceEvents\":[";
+
+    bool first = true;
+    auto emit = [&out, &first](const std::string &json) {
+        if (!first)
+            out << ",";
+        first = false;
+        out << "\n" << json;
+    };
+
+    // Track metadata first: names the rows in the viewer.
+    for (unsigned i = 0; i < tracks_.size(); ++i) {
+        JsonObject args;
+        args.put("name", tracks_[i]);
+        JsonObject meta;
+        meta.put("name", "thread_name");
+        meta.put("ph", "M");
+        meta.put("pid", 1);
+        meta.put("tid", i);
+        meta.putRaw("args", args.str());
+        emit(meta.str());
+    }
+
+    for (const Event *e : ordered) {
+        JsonObject o;
+        o.put("name", e->name);
+        o.put("ph", std::string_view(&e->phase, 1));
+        o.put("ts", e->ts);
+        o.put("pid", 1);
+        o.put("tid", e->track);
+        if (e->phase == 'i')
+            o.put("s", "t"); // instant scope: thread
+        o.putRaw("args", e->args);
+        emit(o.str());
+    }
+
+    out << "\n]}\n";
+}
+
+Status
+TraceWriter::write(const std::string &path) const
+{
+    std::ofstream out(path, std::ios::trunc);
+    if (!out)
+        return Status::error("cannot open trace file ", path);
+    writeTo(out);
+    out.flush();
+    if (!out)
+        return Status::error("write failure on trace file ", path);
+    return Status();
+}
+
+} // namespace eat::obs

@@ -22,7 +22,7 @@ namespace
 {
 
 /** Metric columns between "status" and "error". */
-constexpr std::size_t kMetricCount = 7;
+constexpr std::size_t kMetricCount = 9;
 
 std::string
 fmt(double v)
@@ -44,6 +44,8 @@ metricCells(const SimResult &r)
         fmt(r.energyPerKiloInstr()),
         std::to_string(r.check.mismatches()),
         std::to_string(r.inject.injected()),
+        fmt(r.profile.total()),
+        fmt(r.simKips()),
     };
 }
 
@@ -159,6 +161,10 @@ runCell(const BatchOptions &options, const workloads::WorkloadSpec &spec,
     SimConfig cfg = options.base;
     cfg.workload = spec;
     cfg.mmu = core::MmuConfig::make(org);
+    if (!options.telemetryDir.empty()) {
+        cfg.telemetryPath = options.telemetryDir + "/" + row.workload +
+                            "_" + row.org + ".jsonl";
+    }
 
     const std::string cell = row.workload + ":" + row.org;
     const bool wantFail = options.failCell == cell;
@@ -357,6 +363,7 @@ batchCsvHeader()
         "l1_mpki",         "l2_mpki",
         "miss_cycles_pki", "energy_pj_pki",
         "check_mismatches", "faults_injected",
+        "wall_seconds",    "sim_kips",
         "error",
     };
     return header;
@@ -397,6 +404,8 @@ runBatch(const BatchOptions &options, std::ostream &log)
     std::vector<BatchRow> rows;
     const std::size_t gridSize = specs.size() * orgs.size();
     std::size_t cellIndex = 0;
+    std::size_t cellsRun = 0; // actually executed (not resumed)
+    const auto sweepStart = std::chrono::steady_clock::now();
 
     for (const auto &spec : specs) {
         for (const auto org : orgs) {
@@ -410,6 +419,7 @@ runBatch(const BatchOptions &options, std::ostream &log)
             } else {
                 const BatchRow row = runCell(options, spec, org);
                 rows.push_back(row);
+                ++cellsRun;
                 if (row.status == "ok")
                     ++summary.ok;
                 else if (row.status == "timeout")
@@ -422,6 +432,22 @@ runBatch(const BatchOptions &options, std::ostream &log)
                     << row.status;
                 if (!row.error.empty())
                     log << " (" << row.error << ")";
+                log << "\n";
+
+                // Heartbeat: the sweep's progress and a crude ETA from
+                // the average cost of the cells run so far.
+                const double elapsed =
+                    std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - sweepStart)
+                        .count();
+                log << "heartbeat: " << cellIndex << "/" << gridSize
+                    << " cells, " << fmt(elapsed) << "s elapsed";
+                if (cellIndex < gridSize && cellsRun > 0) {
+                    const double eta =
+                        elapsed / static_cast<double>(cellsRun) *
+                        static_cast<double>(gridSize - cellIndex);
+                    log << ", ~" << fmt(eta) << "s remaining";
+                }
                 log << "\n";
             }
 

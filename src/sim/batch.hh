@@ -76,6 +76,13 @@ struct BatchOptions
      * the fault-tolerance path itself is exercisable end to end.
      */
     std::string failCell;
+
+    /**
+     * When non-empty, every cell streams its per-interval telemetry to
+     * "<telemetryDir>/<workload>_<org>.jsonl" (the directory must
+     * already exist).
+     */
+    std::string telemetryDir;
 };
 
 /** The CSV header the runner writes. */

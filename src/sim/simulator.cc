@@ -1,10 +1,14 @@
 #include "sim/simulator.hh"
 
 #include <algorithm>
+#include <fstream>
 #include <memory>
 
 #include "base/logging.hh"
 #include "core/mmu.hh"
+#include "obs/metrics.hh"
+#include "obs/telemetry.hh"
+#include "obs/trace.hh"
 #include "stats/counter.hh"
 #include "vm/memory_manager.hh"
 #include "workloads/trace.hh"
@@ -28,6 +32,12 @@ SimResult::missCyclesPerKiloInstr() const
         return 0.0;
     return static_cast<double>(stats.tlbMissCycles()) * 1000.0 /
            static_cast<double>(stats.instructions);
+}
+
+double
+SimResult::simKips() const
+{
+    return obs::simKips(stats.instructions, profile.total());
 }
 
 namespace
@@ -103,12 +113,82 @@ struct CheckHarness
     }
 };
 
+/** Holds the optional observability outputs of one run. */
+struct ObsHarness
+{
+    std::unique_ptr<obs::TelemetrySink> telemetry;
+    std::unique_ptr<obs::TraceWriter> trace;
+
+    /** Open the outputs the config asks for and attach them. */
+    ObsHarness(const SimConfig &config, core::Mmu &mmu,
+               const CheckHarness &harness)
+    {
+        if (!config.telemetryPath.empty()) {
+            auto sink = obs::TelemetrySink::open(config.telemetryPath);
+            if (!sink.ok())
+                eat_fatal(sink.status().message());
+            telemetry = std::move(sink.value());
+            mmu.setTelemetry(telemetry.get());
+            if (harness.injector)
+                mmu.setInjectStats(&harness.injector->stats());
+        }
+        if (!config.traceOutPath.empty()) {
+            trace = std::make_unique<obs::TraceWriter>();
+            mmu.setTrace(trace.get());
+            if (harness.checker)
+                harness.checker->setTrace(trace.get());
+            if (harness.injector)
+                harness.injector->setTrace(trace.get());
+        }
+    }
+
+    /** Flush the outputs, snapshot the registry, fill @p result. */
+    void
+    finish(const SimConfig &config, const core::Mmu &mmu,
+           const CheckHarness &harness, SimResult &result)
+    {
+        if (telemetry) {
+            result.telemetryRecords = telemetry->recordsEmitted();
+            eat_check_fatal(telemetry->close());
+        }
+        if (trace) {
+            result.traceEvents = trace->eventsRecorded();
+            result.traceEventsDropped = trace->eventsDropped();
+            eat_check_fatal(trace->write(config.traceOutPath));
+        }
+        if (!config.metricsPath.empty()) {
+            obs::MetricRegistry registry;
+            mmu.registerMetrics(registry);
+            if (harness.checker)
+                harness.checker->registerMetrics(registry);
+            if (harness.injector)
+                harness.injector->registerMetrics(registry);
+            std::ofstream out(config.metricsPath,
+                              std::ios::out | std::ios::trunc);
+            if (!out) {
+                eat_fatal("cannot open metrics file '", config.metricsPath,
+                          "'");
+            }
+            registry.writeJson(out);
+            out << '\n';
+            out.flush();
+            if (!out.good()) {
+                eat_fatal("error writing metrics file '",
+                          config.metricsPath, "'");
+            }
+        }
+    }
+};
+
 } // namespace
 
 SimResult
 simulate(const SimConfig &config)
 {
     eat_assert(config.simulateInstructions > 0, "empty measured window");
+
+    obs::StageProfiler profiler;
+    profiler.start("setup");
 
     // --- OS setup: map the workload under this configuration's policy.
     vm::MemoryManager mm = makeMemoryManager(config);
@@ -122,14 +202,18 @@ simulate(const SimConfig &config)
             : nullptr;
     core::Mmu mmu(config.mmu, mm.pageTable(), rangeTable);
     CheckHarness harness(config, mm, rangeTable, mmu);
+    ObsHarness outputs(config, mmu, harness);
 
     // --- fast-forward: advance the generator without touching the MMU
     // (the TLBs start cold at the measurement window, as with the
     // paper's Pin-based skip).
-    if (config.fastForwardInstructions > 0)
+    if (config.fastForwardInstructions > 0) {
+        profiler.start("fast-forward");
         gen.skip(config.fastForwardInstructions);
+    }
 
     // --- measured window.
+    profiler.start("simulate");
     SimResult result;
     result.workloadName = config.workload.name;
     result.org = config.mmu.org;
@@ -164,6 +248,17 @@ simulate(const SimConfig &config)
         }
     }
 
+    // Flush the final partial window so the timeline covers the whole
+    // measured run (the tail used to be silently dropped).
+    if (config.timelineInterval) {
+        const auto &s = mmu.stats();
+        const std::uint64_t dMiss = s.l1Misses - missesAtSample;
+        const InstrCount dInstr = s.instructions - instrAtSample;
+        if (dInstr > 0)
+            result.mpkiTimeline.record(stats::mpki(dMiss, dInstr));
+    }
+
+    profiler.start("report");
     result.stats = mmu.stats();
     result.energy = mmu.energyReport();
     if (mmu.lite()) {
@@ -171,17 +266,22 @@ simulate(const SimConfig &config)
         result.liteEnabled = true;
     }
     harness.finish(config, result);
+    outputs.finish(config, mmu, harness, result);
 
     result.pages4K = mm.pageTable().pageCount(vm::PageSize::Size4K);
     result.pages2M = mm.pageTable().pageCount(vm::PageSize::Size2M);
     result.numRanges = mm.rangeTable().size();
     result.rangeCoverage = mm.rangeCoverage();
+    result.profile = profiler.timings();
     return result;
 }
 
 SimResult
 simulateFromTrace(const SimConfig &config, const std::string &tracePath)
 {
+    obs::StageProfiler profiler;
+    profiler.start("setup");
+
     // Same address-space setup as simulate(): the trace's addresses
     // are only meaningful against identical regions.
     vm::MemoryManager mm = makeMemoryManager(config);
@@ -194,7 +294,9 @@ simulateFromTrace(const SimConfig &config, const std::string &tracePath)
             : nullptr;
     core::Mmu mmu(config.mmu, mm.pageTable(), rangeTable);
     CheckHarness harness(config, mm, rangeTable, mmu);
+    ObsHarness outputs(config, mmu, harness);
 
+    profiler.start("simulate");
     workloads::TraceReader reader(tracePath);
     while (auto op = reader.next()) {
         if (harness.injector)
@@ -203,6 +305,7 @@ simulateFromTrace(const SimConfig &config, const std::string &tracePath)
         mmu.access(op->vaddr);
     }
 
+    profiler.start("report");
     SimResult result;
     result.workloadName = config.workload.name + " (trace)";
     result.org = config.mmu.org;
@@ -213,10 +316,12 @@ simulateFromTrace(const SimConfig &config, const std::string &tracePath)
         result.liteEnabled = true;
     }
     harness.finish(config, result);
+    outputs.finish(config, mmu, harness, result);
     result.pages4K = mm.pageTable().pageCount(vm::PageSize::Size4K);
     result.pages2M = mm.pageTable().pageCount(vm::PageSize::Size2M);
     result.numRanges = mm.rangeTable().size();
     result.rangeCoverage = mm.rangeCoverage();
+    result.profile = profiler.timings();
     return result;
 }
 

@@ -20,6 +20,7 @@
 #include "core/mmu_stats.hh"
 #include "energy/account.hh"
 #include "lite/lite_controller.hh"
+#include "obs/profiler.hh"
 #include "stats/timeline.hh"
 #include "workloads/workload.hh"
 
@@ -68,6 +69,17 @@ struct SimConfig
      * deterministic.
      */
     std::string faultSpec;
+
+    // --- observability outputs (all optional; empty path = off) ---
+
+    /** Write the end-of-run metric registry as JSON to this path. */
+    std::string metricsPath;
+
+    /** Stream per-interval telemetry records (JSONL) to this path. */
+    std::string telemetryPath;
+
+    /** Write a Chrome trace-event JSON of Lite/TLB decisions here. */
+    std::string traceOutPath;
 };
 
 /** The result of one simulation run. */
@@ -91,6 +103,14 @@ struct SimResult
 
     stats::Timeline mpkiTimeline;
 
+    /** Wall-clock seconds per driver stage (always populated). */
+    obs::StageTimings profile;
+
+    /** Telemetry/trace volume (zeros when the outputs were off). */
+    std::uint64_t telemetryRecords = 0;
+    std::uint64_t traceEvents = 0;
+    std::uint64_t traceEventsDropped = 0;
+
     // OS-level facts of the run.
     std::uint64_t pages4K = 0;
     std::uint64_t pages2M = 0;
@@ -105,6 +125,9 @@ struct SimResult
 
     /** TLB-miss cycles per kilo-instruction. */
     double missCyclesPerKiloInstr() const;
+
+    /** Simulated kilo-instructions per wall-clock second (all stages). */
+    double simKips() const;
 };
 
 /** Run one simulation. */

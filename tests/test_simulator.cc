@@ -7,6 +7,12 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
+#include <sstream>
+
+#include "obs/json.hh"
+#include "obs/metrics.hh"
+#include "obs/telemetry.hh"
 #include "sim/report.hh"
 #include "sim/simulator.hh"
 #include "workloads/suite.hh"
@@ -69,6 +75,162 @@ TEST(Simulator, TimelineRecordsIntervals)
     EXPECT_GE(r.mpkiTimeline.numSamples(), 9u);
     EXPECT_LE(r.mpkiTimeline.numSamples(), 11u);
     EXPECT_GT(r.mpkiTimeline.mean(), 0.0);
+}
+
+TEST(Simulator, TimelineFlushesFinalPartialWindow)
+{
+    // 250k instructions at a 100k interval: two full windows plus a
+    // ~50k tail that must not be dropped.
+    auto cfg = quickConfig("mcf", core::MmuOrg::Base4K, 250'000);
+    cfg.timelineInterval = 100'000;
+    const auto r = simulate(cfg);
+    EXPECT_EQ(r.mpkiTimeline.numSamples(), 3u);
+}
+
+/** Read one whole file (test helper; missing file fails the caller). */
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path);
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+TEST(Simulator, MetricsRegistryMatchesLegacyStats)
+{
+    const std::string path = ::testing::TempDir() + "eat_sim_metrics.json";
+    auto cfg = quickConfig("mcf", core::MmuOrg::TlbLite, 1'000'000);
+    cfg.metricsPath = path;
+    const auto r = simulate(cfg);
+
+    const auto parsed = obs::parseJson(slurp(path));
+    std::remove(path.c_str());
+    ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+    const obs::JsonValue &doc = parsed.value();
+    EXPECT_EQ(doc.find("schema")->string, obs::kMetricsSchema);
+
+    const obs::JsonValue *m = doc.find("metrics");
+    ASSERT_NE(m, nullptr);
+    auto counter = [m](std::string_view name) -> std::uint64_t {
+        const obs::JsonValue *v = m->find(name);
+        EXPECT_NE(v, nullptr) << "missing metric " << name;
+        return v ? static_cast<std::uint64_t>(v->number) : 0;
+    };
+
+    // The registry is a view over the same state MmuStats aggregates.
+    EXPECT_EQ(counter("mmu.instructions"), r.stats.instructions);
+    EXPECT_EQ(counter("mmu.mem_ops"), r.stats.memOps);
+    EXPECT_EQ(counter("mmu.l1_hits"), r.stats.l1Hits);
+    EXPECT_EQ(counter("mmu.l1_misses"), r.stats.l1Misses);
+    EXPECT_EQ(counter("mmu.l2_misses"), r.stats.l2Misses);
+    EXPECT_EQ(counter("mmu.walk_cycles"), r.stats.walkCycles);
+    EXPECT_EQ(counter("mmu.hits.page_walk"),
+              r.stats.hits(core::HitSource::PageWalk));
+    EXPECT_EQ(counter("lite.intervals"), r.lite.intervals);
+    EXPECT_EQ(counter("lite.way_disable_events"),
+              r.lite.wayDisableEvents);
+    EXPECT_EQ(counter("check.translation_checks"),
+              r.check.translationChecks);
+    EXPECT_NEAR(m->find("energy.dynamic_pj")->number, r.totalEnergy(),
+                1e-6 * r.totalEnergy());
+}
+
+TEST(Simulator, TelemetryStreamsOneParseableRecordPerInterval)
+{
+    const std::string path = ::testing::TempDir() + "eat_sim_tel.jsonl";
+    auto cfg = quickConfig("mcf", core::MmuOrg::TlbLite, 3'000'000);
+    cfg.telemetryPath = path;
+    const auto r = simulate(cfg);
+
+    // The sink closed one record per Lite interval.
+    EXPECT_EQ(r.telemetryRecords, r.lite.intervals);
+    EXPECT_GE(r.telemetryRecords, 3u);
+
+    std::istringstream lines(slurp(path));
+    std::remove(path.c_str());
+    std::string line;
+    std::uint64_t parsedCount = 0;
+    std::uint64_t instrTotal = 0;
+    while (std::getline(lines, line)) {
+        const auto parsed = obs::parseJson(line);
+        ASSERT_TRUE(parsed.ok())
+            << parsed.status().message() << " in: " << line;
+        const obs::JsonValue &v = parsed.value();
+        EXPECT_EQ(v.find("schema")->string, obs::kTelemetrySchema);
+        EXPECT_DOUBLE_EQ(v.find("v")->number, obs::kTelemetryVersion);
+        EXPECT_DOUBLE_EQ(v.find("interval")->number,
+                         static_cast<double>(parsedCount));
+        EXPECT_DOUBLE_EQ(v.find("start_instr")->number,
+                         static_cast<double>(instrTotal));
+        instrTotal +=
+            static_cast<std::uint64_t>(v.find("instructions")->number);
+        ASSERT_NE(v.find("way_mask"), nullptr);
+        EXPECT_NE(v.find("way_mask")->find("L1-4KB TLB"), nullptr);
+        ++parsedCount;
+    }
+    EXPECT_EQ(parsedCount, r.telemetryRecords);
+    EXPECT_LE(instrTotal, r.stats.instructions);
+}
+
+TEST(Simulator, TraceOutIsStructurallyValidChromeTrace)
+{
+    const std::string path = ::testing::TempDir() + "eat_sim_trace.json";
+    auto cfg = quickConfig("astar", core::MmuOrg::TlbLite, 3'000'000);
+    cfg.traceOutPath = path;
+    const auto r = simulate(cfg);
+    EXPECT_GT(r.traceEvents, 0u);
+    EXPECT_EQ(r.traceEventsDropped, 0u);
+
+    const auto parsed = obs::parseJson(slurp(path));
+    std::remove(path.c_str());
+    ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+    const obs::JsonValue *events = parsed.value().find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    ASSERT_TRUE(events->isArray());
+    double lastTs = -1.0;
+    for (const obs::JsonValue &e : events->array) {
+        ASSERT_TRUE(e.isObject());
+        ASSERT_NE(e.find("ph"), nullptr);
+        if (e.find("ph")->string == "M")
+            continue;
+        const double ts = e.find("ts")->number;
+        EXPECT_GE(ts, lastTs);
+        lastTs = ts;
+    }
+}
+
+TEST(Simulator, ObservabilityOutputsDoNotPerturbResults)
+{
+    auto plain = quickConfig("astar", core::MmuOrg::TlbLite, 1'000'000);
+    const auto a = simulate(plain);
+
+    auto instrumented = plain;
+    instrumented.metricsPath = ::testing::TempDir() + "eat_sim_m2.json";
+    instrumented.telemetryPath =
+        ::testing::TempDir() + "eat_sim_t2.jsonl";
+    instrumented.traceOutPath = ::testing::TempDir() + "eat_sim_c2.json";
+    const auto b = simulate(instrumented);
+    std::remove(instrumented.metricsPath.c_str());
+    std::remove(instrumented.telemetryPath.c_str());
+    std::remove(instrumented.traceOutPath.c_str());
+
+    // Observation must be passive: bit-identical simulated behaviour.
+    EXPECT_EQ(a.stats.memOps, b.stats.memOps);
+    EXPECT_EQ(a.stats.l1Misses, b.stats.l1Misses);
+    EXPECT_EQ(a.stats.l2Misses, b.stats.l2Misses);
+    EXPECT_DOUBLE_EQ(a.totalEnergy(), b.totalEnergy());
+    EXPECT_EQ(a.lite.wayDisableEvents, b.lite.wayDisableEvents);
+}
+
+TEST(Simulator, ProfilePopulated)
+{
+    const auto r = simulate(quickConfig("astar", core::MmuOrg::Thp,
+                                        300'000));
+    EXPECT_GE(r.profile.stages.size(), 3u);
+    EXPECT_GT(r.profile.seconds("simulate"), 0.0);
+    EXPECT_GT(r.profile.total(), 0.0);
+    EXPECT_GT(r.simKips(), 0.0);
 }
 
 TEST(Simulator, OsFactsFollowPolicy)

@@ -47,6 +47,8 @@ usage(const char *argv0)
         "  --timeout=SECONDS    per-run watchdog (0 = none, default 0)\n"
         "  --check=LEVEL        off | paddr | full (default full)\n"
         "  --inject=SPEC        fault-injection spec per run\n"
+        "  --telemetry-dir=DIR  per-cell interval telemetry (JSONL) as\n"
+        "                       DIR/<workload>_<org>.jsonl\n"
         "  --resume             reuse ok rows already in --out\n",
         argv0);
     std::exit(2);
@@ -130,6 +132,8 @@ main(int argc, char **argv)
             }
         } else if (const char *v10 = value("--fail-cell=")) {
             options.failCell = v10; // undocumented testing aid
+        } else if (const char *v11 = value("--telemetry-dir=")) {
+            options.telemetryDir = v11;
         } else if (arg == "--resume") {
             options.resume = true;
         } else {

@@ -54,6 +54,10 @@ usage(const char *argv0)
         "  --check=LEVEL        off | paddr | full (default full)\n"
         "  --inject=SPEC        inject TLB faults, e.g.\n"
         "                       'tag-flip@l1-4k:1e-4,drop-inv:1e-5'\n"
+        "  --metrics=PATH       dump the metric registry as JSON\n"
+        "  --telemetry=PATH     stream per-interval telemetry (JSONL)\n"
+        "  --trace-out=PATH     write a Chrome trace of Lite/TLB\n"
+        "                       decisions (load in chrome://tracing)\n"
         "  --list               list the available workloads\n",
         argv0, argv0);
     std::exit(2);
@@ -193,6 +197,25 @@ printReport(const sim::SimResult &r)
             std::cout << stats::TextTable::num(v, 1) << " ";
         std::cout << "\n";
     }
+
+    std::cout << "\nwall clock:";
+    for (const auto &stage : r.profile.stages) {
+        std::cout << " " << stage.name << " "
+                  << stats::TextTable::num(stage.seconds, 2) << "s";
+    }
+    std::cout << " | total "
+              << stats::TextTable::num(r.profile.total(), 2) << "s, "
+              << stats::TextTable::num(r.simKips(), 0) << " sim-KIPS\n";
+    if (r.telemetryRecords > 0) {
+        std::cout << "telemetry: " << r.telemetryRecords
+                  << " interval records\n";
+    }
+    if (r.traceEvents > 0) {
+        std::cout << "trace: " << r.traceEvents << " events";
+        if (r.traceEventsDropped > 0)
+            std::cout << " (" << r.traceEventsDropped << " dropped)";
+        std::cout << "\n";
+    }
 }
 
 } // namespace
@@ -249,6 +272,12 @@ main(int argc, char **argv)
                              specs.status().message().c_str());
                 return 2;
             }
+        } else if (const char *v11 = value("--metrics=")) {
+            cfg.metricsPath = v11;
+        } else if (const char *v12 = value("--telemetry=")) {
+            cfg.telemetryPath = v12;
+        } else if (const char *v13 = value("--trace-out=")) {
+            cfg.traceOutPath = v13;
         } else if (arg == "--combined-l1") {
             combined = true;
         } else {
