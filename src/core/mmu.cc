@@ -41,7 +41,9 @@ fixedCoeff(const energy::CactiLite &cacti, StructClass cls, unsigned entries,
 unsigned
 Mmu::logWaysOf(const tlb::SetAssocTlb &t)
 {
-    return floorLog2(t.activeWays());
+    // The TLB maintains this value across resizes; recomputing the
+    // log on every energy charge was measurable on the access path.
+    return t.logActiveWays();
 }
 
 Mmu::Mmu(const MmuConfig &config, const vm::PageTable &pageTable,
@@ -228,8 +230,9 @@ Mmu::access(Addr vaddr)
 
     if (cfg_.mixedTlbs) {
         const vm::PageSize predicted = predictPageSize(vaddr);
-        chargeRead(m4K_, logWaysOf(*l1Page4K_));
-        stats_.l1WayLookups4K.record(logWaysOf(*l1Page4K_));
+        const unsigned lw4K = logWaysOf(*l1Page4K_);
+        chargeRead(m4K_, lw4K);
+        stats_.l1WayLookups4K.record(lw4K);
         auto res =
             l1Page4K_->lookupWithShift(vaddr, vm::pageShift(predicted));
         if (res.hit) {
@@ -240,8 +243,9 @@ Mmu::access(Addr vaddr)
     } else if (cfg_.combinedFullyAssocL1) {
         // One fully associative lookup serves every page size; Lite
         // clusters its LRU distances as pseudo-ways (§4.4).
-        chargeRead(m4K_, logWaysOf(*l1Page4K_));
-        stats_.l1WayLookups4K.record(logWaysOf(*l1Page4K_));
+        const unsigned lw4K = logWaysOf(*l1Page4K_);
+        chargeRead(m4K_, lw4K);
+        stats_.l1WayLookups4K.record(lw4K);
         auto res = l1Page4K_->lookup(vaddr);
         if (res.hit) {
             pageHit = true;
@@ -257,18 +261,21 @@ Mmu::access(Addr vaddr)
         // records no utility). Without this, range-covered entries
         // would pin themselves at the MRU end forever and mask the
         // utility signal of the traffic only the page TLBs serve.
-        chargeRead(m4K_, logWaysOf(*l1Page4K_));
-        stats_.l1WayLookups4K.record(logWaysOf(*l1Page4K_));
+        const unsigned lw4K = logWaysOf(*l1Page4K_);
+        chargeRead(m4K_, lw4K);
+        stats_.l1WayLookups4K.record(lw4K);
         if (enabled2M_) {
-            chargeRead(m2M_, logWaysOf(*l1Page2M_));
-            stats_.l1WayLookups2M.record(logWaysOf(*l1Page2M_));
+            const unsigned lw2M = logWaysOf(*l1Page2M_);
+            chargeRead(m2M_, lw2M);
+            stats_.l1WayLookups2M.record(lw2M);
         }
         if (enabled1G_)
             chargeRead(m1G_, logWaysOf(*l1Page1G_));
     } else {
         // L1-4KB TLB: always enabled.
-        chargeRead(m4K_, logWaysOf(*l1Page4K_));
-        stats_.l1WayLookups4K.record(logWaysOf(*l1Page4K_));
+        const unsigned lw4K = logWaysOf(*l1Page4K_);
+        chargeRead(m4K_, lw4K);
+        stats_.l1WayLookups4K.record(lw4K);
         auto res4k = l1Page4K_->lookup(vaddr);
         if (res4k.hit) {
             pageHit = true;
@@ -279,8 +286,9 @@ Mmu::access(Addr vaddr)
         }
 
         if (enabled2M_) {
-            chargeRead(m2M_, logWaysOf(*l1Page2M_));
-            stats_.l1WayLookups2M.record(logWaysOf(*l1Page2M_));
+            const unsigned lw2M = logWaysOf(*l1Page2M_);
+            chargeRead(m2M_, lw2M);
+            stats_.l1WayLookups2M.record(lw2M);
             auto res2m = l1Page2M_->lookup(vaddr);
             if (res2m.hit) {
                 eat_assert(!pageHit, "address mapped by two page sizes");

@@ -3,15 +3,20 @@
 #include <sys/types.h>
 #include <sys/wait.h>
 
+#include <algorithm>
+#include <cerrno>
 #include <chrono>
 #include <csignal>
 #include <cstdio>
+#include <ctime>
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <thread>
 #include <unistd.h>
 
 #include "base/logging.hh"
+#include "base/parse.hh"
 #include "stats/csv.hh"
 #include "workloads/suite.hh"
 
@@ -145,19 +150,27 @@ deserialize(const std::string &payload)
     return out;
 }
 
-/**
- * Run one grid cell in a forked child under a wall-clock watchdog.
- * The parent never trusts the child further than its pipe output and
- * exit status, so a crash or hang in the simulator costs one row.
- */
-BatchRow
-runCell(const BatchOptions &options, const workloads::WorkloadSpec &spec,
-        core::MmuOrg org)
+/** A forked grid cell the pool has not reaped yet. */
+struct InFlightCell
 {
-    BatchRow row;
-    row.workload = spec.name;
-    row.org = std::string(core::orgName(org));
+    std::size_t index = 0; ///< cell index in the (row-ordered) grid
+    pid_t pid = -1;
+    int fd = -1; ///< read end of the result pipe
+    std::chrono::steady_clock::time_point deadline{};
+    bool killed = false; ///< watchdog already sent SIGKILL
+};
 
+/**
+ * Fork one grid cell. The parent never trusts the child further than
+ * its pipe output and exit status, so a crash or hang in the simulator
+ * costs one row. Returns std::nullopt — with @p row filled in as a
+ * failure — when the process could not even be created.
+ */
+std::optional<InFlightCell>
+spawnCell(const BatchOptions &options, const workloads::WorkloadSpec &spec,
+          core::MmuOrg org, std::size_t index, const sigset_t &childMask,
+          BatchRow &row)
+{
     SimConfig cfg = options.base;
     cfg.workload = spec;
     cfg.mmu = core::MmuConfig::make(org);
@@ -175,7 +188,7 @@ runCell(const BatchOptions &options, const workloads::WorkloadSpec &spec,
     if (::pipe(fds) != 0) {
         row.status = "failed";
         row.error = "pipe() failed";
-        return row;
+        return std::nullopt;
     }
 
     const pid_t pid = ::fork();
@@ -184,12 +197,15 @@ runCell(const BatchOptions &options, const workloads::WorkloadSpec &spec,
         ::close(fds[1]);
         row.status = "failed";
         row.error = "fork() failed";
-        return row;
+        return std::nullopt;
     }
 
     if (pid == 0) {
-        // Child: run, report over the pipe, and _exit without touching
-        // the parent's stdio buffers or destructors.
+        // Child: restore the pre-pool signal mask (the parent blocks
+        // SIGCHLD for its reaper), run, report over the pipe, and
+        // _exit without touching the parent's stdio buffers or
+        // destructors.
+        ::sigprocmask(SIG_SETMASK, &childMask, nullptr);
         ::close(fds[0]);
         const RunOutcome out = executeRun(cfg, wantFail, wantHang);
         writeAll(fds[1], serialize(out));
@@ -197,48 +213,41 @@ runCell(const BatchOptions &options, const workloads::WorkloadSpec &spec,
         ::_exit(out.ok ? 0 : 1);
     }
 
-    // Parent: watchdog loop.
     ::close(fds[1]);
-    const auto deadline = std::chrono::steady_clock::now() +
-                          std::chrono::seconds(options.timeoutSeconds);
-    int status = 0;
-    bool timedOut = false;
-    for (;;) {
-        const pid_t r = ::waitpid(pid, &status, WNOHANG);
-        if (r == pid)
-            break;
-        if (r < 0) {
-            status = 0;
-            break;
-        }
-        if (options.timeoutSeconds > 0 &&
-            std::chrono::steady_clock::now() >= deadline) {
-            ::kill(pid, SIGKILL);
-            ::waitpid(pid, &status, 0);
-            timedOut = true;
-            break;
-        }
-        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    InFlightCell inFlight;
+    inFlight.index = index;
+    inFlight.pid = pid;
+    inFlight.fd = fds[0];
+    if (options.timeoutSeconds > 0) {
+        inFlight.deadline = std::chrono::steady_clock::now() +
+                            std::chrono::seconds(options.timeoutSeconds);
     }
+    return inFlight;
+}
 
+/** Drain a reaped child's pipe and turn its exit into a row. */
+void
+finishCell(const InFlightCell &cell, int status, unsigned timeoutSeconds,
+           BatchRow &row)
+{
     std::string payload;
     char buf[4096];
     ssize_t n;
-    while ((n = ::read(fds[0], buf, sizeof(buf))) > 0)
+    while ((n = ::read(cell.fd, buf, sizeof(buf))) > 0)
         payload.append(buf, static_cast<std::size_t>(n));
-    ::close(fds[0]);
+    ::close(cell.fd);
 
-    if (timedOut) {
+    if (cell.killed) {
         row.status = "timeout";
-        row.error = "killed after " +
-                    std::to_string(options.timeoutSeconds) + "s watchdog";
-        return row;
+        row.error = "killed after " + std::to_string(timeoutSeconds) +
+                    "s watchdog";
+        return;
     }
     if (WIFSIGNALED(status)) {
         row.status = "failed";
         row.error = "child killed by signal " +
                     std::to_string(WTERMSIG(status));
-        return row;
+        return;
     }
 
     const RunOutcome out = deserialize(payload);
@@ -249,7 +258,16 @@ runCell(const BatchOptions &options, const workloads::WorkloadSpec &spec,
         row.status = "failed";
         row.error = out.error;
     }
-    return row;
+}
+
+/** options.jobs with 0 resolved to the hardware concurrency. */
+unsigned
+effectiveJobs(unsigned requested)
+{
+    if (requested != 0)
+        return requested;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
 }
 
 /** Split one RFC-4180 CSV line into cells. */
@@ -369,6 +387,44 @@ batchCsvHeader()
     return header;
 }
 
+const std::vector<std::size_t> &
+batchTimingColumns()
+{
+    // wall_seconds and sim_kips measure the host, not the simulated
+    // machine; they are the only columns allowed to differ between
+    // reruns or job counts.
+    static const std::vector<std::size_t> cols = [] {
+        std::vector<std::size_t> out;
+        const auto &header = batchCsvHeader();
+        for (std::size_t i = 0; i < header.size(); ++i) {
+            if (header[i] == "wall_seconds" || header[i] == "sim_kips")
+                out.push_back(i);
+        }
+        return out;
+    }();
+    return cols;
+}
+
+Result<unsigned>
+parseJobs(std::string_view text)
+{
+    const auto parsed = parseU64(text);
+    if (!parsed.ok())
+        return Status::error("jobs: ", parsed.status().message());
+    const std::uint64_t v = parsed.value();
+    if (v == 0)
+        return Status::error("jobs: must be at least 1");
+    const unsigned hw =
+        std::max(1u, std::thread::hardware_concurrency());
+    const std::uint64_t cap = 4ull * hw;
+    if (v > cap) {
+        return Status::error("jobs: ", v, " exceeds 4 x hardware "
+                             "concurrency (cap ", cap, "); more children "
+                             "than that only add scheduler churn");
+    }
+    return static_cast<unsigned>(v);
+}
+
 Result<BatchSummary>
 runBatch(const BatchOptions &options, std::ostream &log)
 {
@@ -401,64 +457,199 @@ runBatch(const BatchOptions &options, std::ostream &log)
     };
 
     BatchSummary summary;
-    std::vector<BatchRow> rows;
     const std::size_t gridSize = specs.size() * orgs.size();
-    std::size_t cellIndex = 0;
-    std::size_t cellsRun = 0; // actually executed (not resumed)
+    const unsigned jobs = effectiveJobs(options.jobs);
     const auto sweepStart = std::chrono::steady_clock::now();
 
-    for (const auto &spec : specs) {
-        for (const auto org : orgs) {
-            ++cellIndex;
-            const std::string orgStr(core::orgName(org));
-            if (const BatchRow *prev = findDone(spec.name, orgStr)) {
-                rows.push_back(*prev);
-                ++summary.resumed;
-                log << "[" << cellIndex << "/" << gridSize << "] "
-                    << spec.name << " x " << orgStr << ": resumed\n";
-            } else {
-                const BatchRow row = runCell(options, spec, org);
-                rows.push_back(row);
-                ++cellsRun;
-                if (row.status == "ok")
-                    ++summary.ok;
-                else if (row.status == "timeout")
-                    ++summary.timedOut;
-                else
-                    ++summary.failed;
-
-                log << "[" << cellIndex << "/" << gridSize << "] "
-                    << spec.name << " x " << orgStr << ": "
-                    << row.status;
-                if (!row.error.empty())
-                    log << " (" << row.error << ")";
-                log << "\n";
-
-                // Heartbeat: the sweep's progress and a crude ETA from
-                // the average cost of the cells run so far.
-                const double elapsed =
-                    std::chrono::duration<double>(
-                        std::chrono::steady_clock::now() - sweepStart)
-                        .count();
-                log << "heartbeat: " << cellIndex << "/" << gridSize
-                    << " cells, " << fmt(elapsed) << "s elapsed";
-                if (cellIndex < gridSize && cellsRun > 0) {
-                    const double eta =
-                        elapsed / static_cast<double>(cellsRun) *
-                        static_cast<double>(gridSize - cellIndex);
-                    log << ", ~" << fmt(eta) << "s remaining";
+    // Rows live at their grid index from the start, so whatever order
+    // the pool finishes cells in, the CSV is ordered by cell index —
+    // identical to a serial sweep. An empty status marks a cell whose
+    // result is not in yet.
+    struct GridCell
+    {
+        const workloads::WorkloadSpec *spec;
+        core::MmuOrg org;
+    };
+    std::vector<GridCell> cells;
+    std::vector<BatchRow> rows(gridSize);
+    std::vector<std::size_t> pendingCells;
+    {
+        std::size_t index = 0;
+        for (const auto &spec : specs) {
+            for (const auto org : orgs) {
+                cells.push_back(GridCell{&spec, org});
+                BatchRow &row = rows[index];
+                row.workload = spec.name;
+                row.org = std::string(core::orgName(org));
+                if (const BatchRow *prev =
+                        findDone(row.workload, row.org)) {
+                    row = *prev;
+                    ++summary.resumed;
+                    log << "[" << index + 1 << "/" << gridSize << "] "
+                        << row.workload << " x " << row.org
+                        << ": resumed\n";
+                } else {
+                    pendingCells.push_back(index);
                 }
-                log << "\n";
+                ++index;
             }
-
-            // Persist after every cell (resumed rows included): an
-            // interrupted sweep always leaves a complete CSV of
-            // everything finished so far.
-            const Status s = writeCsvAtomic(options.outPath, rows);
-            if (!s.ok())
-                return s;
         }
     }
+
+    /** Persist every finished row (in grid order) atomically. */
+    auto persist = [&options, &rows]() -> Status {
+        std::vector<BatchRow> finished;
+        for (const auto &row : rows) {
+            if (!row.status.empty())
+                finished.push_back(row);
+        }
+        return writeCsvAtomic(options.outPath, finished);
+    };
+    if (Status s = persist(); !s.ok())
+        return s;
+
+    const std::size_t toRun = pendingCells.size();
+    std::size_t spawnedCells = 0;   // next entry of pendingCells to fork
+    std::size_t completedRuns = 0;  // executed (not resumed) and reaped
+
+    /** One progress line + pool-aware heartbeat after a finished run. */
+    auto logCompletion = [&](const BatchRow &row, std::size_t inFlight) {
+        const std::size_t done = summary.resumed + completedRuns;
+        log << "[" << done << "/" << gridSize << "] " << row.workload
+            << " x " << row.org << ": " << row.status;
+        if (!row.error.empty())
+            log << " (" << row.error << ")";
+        log << "\n";
+
+        // Heartbeat: progress, pool occupancy, and an ETA from the
+        // pool's observed completion rate (which already reflects the
+        // parallelism actually achieved).
+        const double elapsed =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - sweepStart)
+                .count();
+        log << "heartbeat: " << done << "/" << gridSize << " cells, "
+            << inFlight << " in flight (-j" << jobs << "), "
+            << fmt(elapsed) << "s elapsed";
+        if (completedRuns < toRun && completedRuns > 0) {
+            const double eta =
+                elapsed / static_cast<double>(completedRuns) *
+                static_cast<double>(toRun - completedRuns);
+            log << ", ~" << fmt(eta) << "s remaining";
+        }
+        log << "\n";
+    };
+
+    // The reaper blocks SIGCHLD and sleeps in sigtimedwait until a
+    // child exits (the signal stays pending if one beat us to it, so
+    // there is no wake-up race) or the nearest watchdog deadline
+    // passes. No polling, whatever the job count.
+    sigset_t chldSet;
+    sigemptyset(&chldSet);
+    sigaddset(&chldSet, SIGCHLD);
+    sigset_t previousMask;
+    ::sigprocmask(SIG_BLOCK, &chldSet, &previousMask);
+
+    std::vector<InFlightCell> inFlight;
+    while (completedRuns < toRun) {
+        // Keep the pool full.
+        bool spawnFailed = false;
+        while (inFlight.size() < jobs && spawnedCells < toRun) {
+            const std::size_t index = pendingCells[spawnedCells];
+            ++spawnedCells;
+            auto cell = spawnCell(options, *cells[index].spec,
+                                  cells[index].org, index, previousMask,
+                                  rows[index]);
+            if (cell) {
+                inFlight.push_back(*cell);
+            } else {
+                ++summary.failed;
+                ++completedRuns;
+                spawnFailed = true;
+                logCompletion(rows[index], inFlight.size());
+            }
+        }
+
+        if (inFlight.empty()) {
+            if (Status s = persist(); !s.ok()) {
+                ::sigprocmask(SIG_SETMASK, &previousMask, nullptr);
+                return s;
+            }
+            continue; // every remaining cell failed to even fork
+        }
+
+        // Sleep until a child exits or the nearest deadline. A cell
+        // already killed but not yet reaped keeps the nap short so its
+        // exit is collected promptly.
+        auto wait = std::chrono::nanoseconds(std::chrono::hours(1));
+        const auto now = std::chrono::steady_clock::now();
+        for (const auto &cell : inFlight) {
+            if (options.timeoutSeconds == 0)
+                break;
+            const auto remaining =
+                cell.killed
+                    ? std::chrono::nanoseconds(
+                          std::chrono::milliseconds(10))
+                    : std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          cell.deadline - now);
+            wait = std::max(std::chrono::nanoseconds(0),
+                            std::min(wait, remaining));
+        }
+        struct timespec ts;
+        ts.tv_sec = static_cast<time_t>(wait.count() / 1'000'000'000);
+        ts.tv_nsec = static_cast<long>(wait.count() % 1'000'000'000);
+        ::sigtimedwait(&chldSet, nullptr, &ts); // EAGAIN = deadline
+
+        // Enforce watchdog deadlines.
+        if (options.timeoutSeconds > 0) {
+            const auto t = std::chrono::steady_clock::now();
+            for (auto &cell : inFlight) {
+                if (!cell.killed && t >= cell.deadline) {
+                    ::kill(cell.pid, SIGKILL);
+                    cell.killed = true;
+                }
+            }
+        }
+
+        // Reap every child that has exited.
+        bool reaped = false;
+        for (auto it = inFlight.begin(); it != inFlight.end();) {
+            int status = 0;
+            const pid_t r = ::waitpid(it->pid, &status, WNOHANG);
+            if (r == 0) {
+                ++it;
+                continue;
+            }
+            BatchRow &row = rows[it->index];
+            finishCell(*it, status, options.timeoutSeconds, row);
+            if (row.status == "ok")
+                ++summary.ok;
+            else if (row.status == "timeout")
+                ++summary.timedOut;
+            else
+                ++summary.failed;
+            ++completedRuns;
+            reaped = true;
+            it = inFlight.erase(it);
+            logCompletion(row, inFlight.size());
+        }
+
+        // Persist after every completed cell (and failed spawn): an
+        // interrupted sweep always leaves a complete CSV of everything
+        // finished so far.
+        if (reaped || spawnFailed) {
+            if (Status s = persist(); !s.ok()) {
+                for (const auto &cell : inFlight) {
+                    ::kill(cell.pid, SIGKILL);
+                    ::waitpid(cell.pid, nullptr, 0);
+                    ::close(cell.fd);
+                }
+                ::sigprocmask(SIG_SETMASK, &previousMask, nullptr);
+                return s;
+            }
+        }
+    }
+    ::sigprocmask(SIG_SETMASK, &previousMask, nullptr);
 
     return summary;
 }

@@ -1,6 +1,6 @@
 /**
  * @file
- * Fault-tolerant (workload x organization) sweep runner.
+ * Fault-tolerant, parallel (workload x organization) sweep runner.
  *
  * A design-space sweep is only trustworthy if one bad cell cannot take
  * down — or silently truncate — the whole grid. The batch runner
@@ -10,14 +10,25 @@
  * rewritten atomically (tmp file + rename) after every run, so an
  * interrupted sweep always leaves a complete, parseable CSV behind and
  * can resume from the rows already done.
+ *
+ * The grid cells are independent by construction (every child owns its
+ * seed and its whole address space), so the runner keeps up to `jobs`
+ * children in flight at once and reaps them signal-driven
+ * (sigtimedwait on SIGCHLD — no wake-up polling, even at one job).
+ * Parallelism never changes results: rows are ordered by cell index,
+ * not completion order, and every metric cell except the two
+ * wall-clock-derived columns (wall_seconds, sim_kips) is bit-identical
+ * whatever the job count.
  */
 
 #ifndef EAT_SIM_BATCH_HH
 #define EAT_SIM_BATCH_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <ostream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "base/status.hh"
@@ -68,6 +79,13 @@ struct BatchOptions
     /** Per-run wall-clock limit in seconds; 0 disables the watchdog. */
     unsigned timeoutSeconds = 0;
 
+    /**
+     * Forked children kept in flight at once; 0 selects the hardware
+     * concurrency. Results are independent of this value (see file
+     * comment).
+     */
+    unsigned jobs = 1;
+
     /** Reuse "ok" rows from an existing outPath instead of re-running. */
     bool resume = false;
 
@@ -87,6 +105,20 @@ struct BatchOptions
 
 /** The CSV header the runner writes. */
 const std::vector<std::string> &batchCsvHeader();
+
+/**
+ * Indices (into batchCsvHeader()) of the columns derived from wall
+ * clock rather than from simulation: wall_seconds and sim_kips. Every
+ * other column is deterministic across job counts and reruns.
+ */
+const std::vector<std::size_t> &batchTimingColumns();
+
+/**
+ * Parse and validate a --jobs/-j value: a decimal count in
+ * [1, 4 x hardware concurrency]. Rejects 0, non-numeric text, and
+ * values beyond that cap (they only add scheduler churn).
+ */
+Result<unsigned> parseJobs(std::string_view text);
 
 /**
  * Run the sweep. @p log receives one progress line per run. Returns

@@ -11,8 +11,10 @@ SetAssocTlb::SetAssocTlb(std::string name, unsigned entries, unsigned ways,
       sets_(entries / (ways ? ways : 1)),
       ways_(ways),
       activeWays_(ways),
+      logActiveWays_(static_cast<unsigned>(floorLog2(ways ? ways : 1))),
       shift_(shift),
-      slots_(entries)
+      slots_(entries),
+      stampScratch_(ways)
 {
     eat_assert(ways >= 1, name_, ": ways must be >= 1");
     eat_assert(entries % ways == 0,
@@ -28,29 +30,49 @@ SetAssocTlb::lookupWithShift(Addr vaddr, unsigned idxShift)
     const unsigned set = indexOf(vaddr, idxShift);
     Slot *slots = slotsOfSet(set);
 
+    // Single pass over the set: find the hit and its LRU distance
+    // among the active ways — the number of ways older than the hit,
+    // where invalid ways count as older (they sit at the LRU end of
+    // the stack). Ways scanned before the hit is known buffer their
+    // stamps (stamps are unique: every touch draws from one clock) and
+    // are classified right after the walk; ways after it compare
+    // directly. One traversal of the slot array total, however large
+    // the associativity.
+    Slot *hit = nullptr;
+    std::uint64_t hitStamp = 0;
+    unsigned older = 0;        // ways already known older than the hit
+    unsigned buffered = 0;     // pre-hit valid stamps in stampScratch_
     for (unsigned way = 0; way < activeWays_; ++way) {
         Slot &s = slots[way];
-        if (!s.valid || !s.entry.covers(vaddr))
-            continue;
-
-        // LRU distance among the active ways: number of valid active
-        // entries older than the hit (invalid ways count as older, i.e.
-        // they sit at the LRU end of the stack).
-        unsigned moreRecent = 0;
-        for (unsigned w = 0; w < activeWays_; ++w) {
-            if (w != way && slots[w].valid && slots[w].stamp > s.stamp)
-                ++moreRecent;
+        if (hit == nullptr) {
+            if (s.valid && s.entry.covers(vaddr)) {
+                hit = &s;
+                hitStamp = s.stamp;
+            } else if (s.valid) {
+                stampScratch_[buffered++] = s.stamp;
+            } else {
+                ++older;
+            }
+        } else if (!s.valid || s.stamp < hitStamp) {
+            ++older;
         }
-        eat_assert(moreRecent < activeWays_, "corrupt recency stamps");
-        const unsigned distance = activeWays_ - 1 - moreRecent;
-
-        s.stamp = ++clock_;
-        ++hits_;
-        return TlbLookupResult{true, distance, s.entry};
     }
 
-    ++misses_;
-    return TlbLookupResult{};
+    if (hit == nullptr) {
+        ++misses_;
+        return TlbLookupResult{};
+    }
+
+    for (unsigned i = 0; i < buffered; ++i) {
+        if (stampScratch_[i] < hitStamp)
+            ++older;
+    }
+    eat_assert(older < activeWays_, "corrupt recency stamps");
+    const unsigned distance = older;
+
+    hit->stamp = ++clock_;
+    ++hits_;
+    return TlbLookupResult{true, distance, hit->entry};
 }
 
 bool
@@ -71,25 +93,27 @@ SetAssocTlb::fill(const TlbEntry &entry)
     const unsigned set = indexOf(entry.vbase, entry.shift);
     Slot *slots = slotsOfSet(set);
 
-    // Reuse a slot already covering the region (refill), else an invalid
-    // slot, else evict the LRU among the active ways.
+    // Reuse a slot already covering the region (refill), else an
+    // invalid slot, else evict the LRU. One pass tracks all three
+    // candidates, so finding no invalid slot costs no second walk.
+    Slot *invalid = nullptr;
+    Slot *lru = nullptr;
     Slot *victim = nullptr;
     for (unsigned way = 0; way < activeWays_; ++way) {
         Slot &s = slots[way];
         if (s.valid && s.entry.covers(entry.vbase)) {
-            victim = &s;
+            victim = &s; // refill in place
             break;
         }
-        if (!s.valid && !victim)
-            victim = &s;
-    }
-    if (!victim) {
-        victim = &slots[0];
-        for (unsigned way = 1; way < activeWays_; ++way) {
-            if (slots[way].stamp < victim->stamp)
-                victim = &slots[way];
+        if (!s.valid) {
+            if (!invalid)
+                invalid = &s;
+        } else if (!lru || s.stamp < lru->stamp) {
+            lru = &s;
         }
     }
+    if (!victim)
+        victim = invalid ? invalid : lru;
 
     victim->valid = true;
     victim->entry = entry;
@@ -126,6 +150,7 @@ SetAssocTlb::setActiveWays(unsigned w)
         }
     }
     activeWays_ = w;
+    logActiveWays_ = static_cast<unsigned>(floorLog2(w));
     ++resizes_;
 }
 
@@ -181,6 +206,7 @@ SetAssocTlb::forceActiveWays(unsigned w)
     eat_assert(w >= 1 && w <= ways_,
                name_, ": forced active-way count ", w, " out of range");
     activeWays_ = w;
+    logActiveWays_ = static_cast<unsigned>(floorLog2(w));
 }
 
 } // namespace eat::tlb

@@ -84,6 +84,10 @@ class SetAssocTlb
     unsigned sets() const { return sets_; }
     unsigned ways() const { return ways_; }
     unsigned activeWays() const { return activeWays_; }
+    /** floorLog2(activeWays()), cached: it indexes the energy
+     *  coefficient tables on every charge, so it must not be
+     *  recomputed per access. */
+    unsigned logActiveWays() const { return logActiveWays_; }
     unsigned entries() const { return sets_ * ways_; }
     unsigned activeEntries() const { return sets_ * activeWays_; }
     unsigned shift() const { return shift_; }
@@ -145,8 +149,12 @@ class SetAssocTlb
     unsigned sets_;
     unsigned ways_;
     unsigned activeWays_;
+    unsigned logActiveWays_;
     unsigned shift_;
     std::vector<Slot> slots_;
+    /** Lookup scratch (pre-hit stamps); sized ways_, reused to keep
+     *  the hot path allocation-free. */
+    std::vector<std::uint64_t> stampScratch_;
     std::uint64_t clock_ = 0;
     bool dropNextInvalidation_ = false;
 

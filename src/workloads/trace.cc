@@ -1,5 +1,6 @@
 #include "workloads/trace.hh"
 
+#include <algorithm>
 #include <array>
 #include <cstring>
 
@@ -14,20 +15,49 @@ namespace
 constexpr char kMagic[8] = {'E', 'A', 'T', 'T', 'R', 'A', 'C', 'E'};
 constexpr std::uint32_t kVersion = 1;
 
+constexpr std::size_t kRecordBytes = 12; // vaddr u64 + gap u32, LE
+/** Records per buffered I/O block (just under 64 KiB). */
+constexpr std::size_t kBlockRecords = (64 * 1024) / kRecordBytes;
+constexpr std::size_t kBlockBytes = kBlockRecords * kRecordBytes;
+
+/** Append @p v little-endian to @p buf. */
+void
+appendU32(std::vector<char> &buf, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        buf.push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void
+appendU64(std::vector<char> &buf, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        buf.push_back(static_cast<char>(v >> (8 * i)));
+}
+
+std::uint32_t
+decodeU32(const char *p)
+{
+    std::uint32_t v = 0;
+    for (int i = 3; i >= 0; --i)
+        v = (v << 8) | static_cast<unsigned char>(p[i]);
+    return v;
+}
+
+std::uint64_t
+decodeU64(const char *p)
+{
+    std::uint64_t v = 0;
+    for (int i = 7; i >= 0; --i)
+        v = (v << 8) | static_cast<unsigned char>(p[i]);
+    return v;
+}
+
 void
 putU32(std::ostream &os, std::uint32_t v)
 {
     std::array<char, 4> buf;
     for (int i = 0; i < 4; ++i)
-        buf[static_cast<std::size_t>(i)] = static_cast<char>(v >> (8 * i));
-    os.write(buf.data(), buf.size());
-}
-
-void
-putU64(std::ostream &os, std::uint64_t v)
-{
-    std::array<char, 8> buf;
-    for (int i = 0; i < 8; ++i)
         buf[static_cast<std::size_t>(i)] = static_cast<char>(v >> (8 * i));
     os.write(buf.data(), buf.size());
 }
@@ -43,17 +73,6 @@ getU32(std::istream &is)
     return v;
 }
 
-std::uint64_t
-getU64(std::istream &is)
-{
-    std::array<unsigned char, 8> buf{};
-    is.read(reinterpret_cast<char *>(buf.data()), buf.size());
-    std::uint64_t v = 0;
-    for (int i = 7; i >= 0; --i)
-        v = (v << 8) | buf[static_cast<std::size_t>(i)];
-    return v;
-}
-
 } // namespace
 
 TraceWriter::TraceWriter(const std::string &path)
@@ -61,6 +80,7 @@ TraceWriter::TraceWriter(const std::string &path)
 {
     if (!out_)
         eat_fatal("cannot open trace file for writing: ", path);
+    buffer_.reserve(kBlockBytes + kRecordBytes);
     out_.write(kMagic, sizeof(kMagic));
     putU32(out_, kVersion);
     putU32(out_, 0); // record count, patched in close()
@@ -77,9 +97,23 @@ TraceWriter::write(const MemOp &op)
 {
     eat_assert(!closed_, "write after close on trace ", path_);
     eat_assert(op.instrGap <= UINT32_MAX, "instruction gap overflow");
-    putU64(out_, op.vaddr);
-    putU32(out_, static_cast<std::uint32_t>(op.instrGap));
+    appendU64(buffer_, op.vaddr);
+    appendU32(buffer_, static_cast<std::uint32_t>(op.instrGap));
     ++records_;
+    if (buffer_.size() >= kBlockBytes)
+        flushBuffer();
+}
+
+void
+TraceWriter::flushBuffer()
+{
+    if (buffer_.empty())
+        return;
+    // A failed write poisons the stream state, which close() reports;
+    // buffering changes when bytes hit the stream, not the guarantee.
+    out_.write(buffer_.data(),
+               static_cast<std::streamsize>(buffer_.size()));
+    buffer_.clear();
 }
 
 Status
@@ -87,6 +121,7 @@ TraceWriter::close()
 {
     if (closed_)
         return Status();
+    flushBuffer();
     closed_ = true;
     eat_assert(records_ <= UINT32_MAX, "trace too long for format v1");
     // seekp/write on an already-failed stream are no-ops, so a record
@@ -146,18 +181,35 @@ TraceReader::TraceReader(const std::string &path)
     }
 }
 
+void
+TraceReader::refill()
+{
+    const std::uint64_t remaining = total_ - read_;
+    const std::size_t records = static_cast<std::size_t>(
+        std::min<std::uint64_t>(remaining, kBlockRecords));
+    buffer_.resize(records * kRecordBytes);
+    bufferPos_ = 0;
+    in_.read(buffer_.data(),
+             static_cast<std::streamsize>(buffer_.size()));
+    if (!in_ || static_cast<std::size_t>(in_.gcount()) !=
+                    buffer_.size()) {
+        eat_fatal("truncated trace file: read failed at record ", read_,
+                  " of ", total_);
+    }
+}
+
 std::optional<MemOp>
 TraceReader::next()
 {
     if (read_ >= total_)
         return std::nullopt;
+    if (bufferPos_ >= buffer_.size())
+        refill();
+    const char *p = buffer_.data() + bufferPos_;
     MemOp op;
-    op.vaddr = getU64(in_);
-    op.instrGap = getU32(in_);
-    if (!in_) {
-        eat_fatal("truncated trace file: read failed at record ", read_,
-                  " of ", total_);
-    }
+    op.vaddr = decodeU64(p);
+    op.instrGap = decodeU32(p + 8);
+    bufferPos_ += kRecordBytes;
     ++read_;
     return op;
 }

@@ -18,6 +18,7 @@
 #include <fstream>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "base/status.hh"
 #include "workloads/workload.hh"
@@ -50,8 +51,14 @@ class TraceWriter
     std::uint64_t recordsWritten() const { return records_; }
 
   private:
+    void flushBuffer();
+
     std::ofstream out_;
     std::string path_;
+    /** Records are encoded here and written in ~64 KiB blocks; one
+     *  ofstream call per record was a visible fraction of record
+     *  time. */
+    std::vector<char> buffer_;
     std::uint64_t records_ = 0;
     bool closed_ = false;
 };
@@ -70,7 +77,12 @@ class TraceReader
     std::uint64_t recordsRead() const { return read_; }
 
   private:
+    /** Pull the next ~64 KiB block of records into the buffer. */
+    void refill();
+
     std::ifstream in_;
+    std::vector<char> buffer_;
+    std::size_t bufferPos_ = 0; ///< decode cursor into buffer_
     std::uint64_t total_ = 0;
     std::uint64_t read_ = 0;
 };

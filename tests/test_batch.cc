@@ -2,7 +2,9 @@
  * @file
  * Tests for the fault-tolerant batch runner: grids complete, a failing
  * or hanging cell costs one row (not the sweep), the CSV on disk is
- * always complete, and --resume reuses finished work.
+ * always complete, --resume reuses finished work, and the -jN process
+ * pool changes wall clock only — row order and every non-timing column
+ * are byte-identical to a serial sweep.
  */
 
 #include <gtest/gtest.h>
@@ -12,6 +14,7 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "sim/batch.hh"
@@ -179,6 +182,141 @@ TEST_F(BatchTest, RejectsMissingOutputPath)
     options.outPath.clear();
     std::ostringstream log;
     EXPECT_FALSE(runBatch(options, log).ok());
+}
+
+/** Split a CSV line of unquoted cells (all these tests produce). */
+std::vector<std::string>
+splitCells(const std::string &line)
+{
+    std::vector<std::string> cells;
+    std::string cell;
+    std::istringstream is(line);
+    while (std::getline(is, cell, ','))
+        cells.push_back(cell);
+    if (!line.empty() && line.back() == ',')
+        cells.push_back("");
+    return cells;
+}
+
+TEST_F(BatchTest, ParallelSweepIsByteIdenticalToSerial)
+{
+    // Same grid at -j1 and -j4: identical row order, and every column
+    // byte-for-byte equal except the wall-clock-derived ones
+    // (wall_seconds, sim_kips).
+    auto serialOptions = quickOptions();
+    serialOptions.jobs = 1;
+    std::ostringstream log1;
+    ASSERT_TRUE(runBatch(serialOptions, log1).ok());
+    const auto serial = csvLines();
+
+    const std::string parallelPath =
+        ::testing::TempDir() + "eat_batch_test_j4.csv";
+    auto parallelOptions = quickOptions();
+    parallelOptions.jobs = 4;
+    parallelOptions.outPath = parallelPath;
+    std::ostringstream log4;
+    const auto r = runBatch(parallelOptions, log4);
+    ASSERT_TRUE(r.ok()) << r.status().message();
+    EXPECT_EQ(r.value().ok, 4u);
+
+    std::vector<std::string> parallel;
+    {
+        std::ifstream in(parallelPath);
+        std::string line;
+        while (std::getline(in, line))
+            parallel.push_back(line);
+    }
+    std::remove(parallelPath.c_str());
+    std::remove((parallelPath + ".tmp").c_str());
+
+    ASSERT_EQ(serial.size(), parallel.size());
+    ASSERT_EQ(serial.size(), 5u); // header + 4 rows
+    EXPECT_EQ(serial[0], parallel[0]);
+    const auto &timing = batchTimingColumns();
+    for (std::size_t i = 1; i < serial.size(); ++i) {
+        const auto a = splitCells(serial[i]);
+        const auto b = splitCells(parallel[i]);
+        ASSERT_EQ(a.size(), b.size()) << serial[i];
+        for (std::size_t col = 0; col < a.size(); ++col) {
+            if (std::find(timing.begin(), timing.end(), col) !=
+                timing.end())
+                continue;
+            EXPECT_EQ(a[col], b[col])
+                << "row " << i << " col " << col << " ("
+                << batchCsvHeader()[col] << ")";
+        }
+    }
+}
+
+TEST_F(BatchTest, HangingCellInAFullPoolCostsOnlyThatCell)
+{
+    // All four cells in flight at once; one hangs. The watchdog kills
+    // exactly that child and the other three land normally.
+    auto options = quickOptions();
+    options.jobs = 4;
+    options.failCell = "mcf:THP:hang";
+    options.timeoutSeconds = 2;
+    std::ostringstream log;
+    const auto r = runBatch(options, log);
+    ASSERT_TRUE(r.ok()) << r.status().message();
+    EXPECT_EQ(r.value().ok, 3u);
+    EXPECT_EQ(r.value().timedOut, 1u);
+    EXPECT_EQ(r.value().total(), 4u);
+
+    const auto lines = csvLines();
+    ASSERT_EQ(lines.size(), 5u);
+    unsigned okRows = 0, timeoutRows = 0;
+    for (std::size_t i = 1; i < lines.size(); ++i) {
+        if (lines[i].find(",ok,") != std::string::npos)
+            ++okRows;
+        if (lines[i].find("mcf,THP,timeout") == 0)
+            ++timeoutRows;
+    }
+    EXPECT_EQ(okRows, 3u);
+    EXPECT_EQ(timeoutRows, 1u);
+}
+
+TEST_F(BatchTest, AutoJobsSweepCompletes)
+{
+    auto options = quickOptions();
+    options.jobs = 0; // auto: hardware concurrency
+    std::ostringstream log;
+    const auto r = runBatch(options, log);
+    ASSERT_TRUE(r.ok()) << r.status().message();
+    EXPECT_EQ(r.value().ok, 4u);
+}
+
+TEST(ParseJobs, AcceptsCountsUpToFourTimesHardwareConcurrency)
+{
+    const unsigned hw =
+        std::max(1u, std::thread::hardware_concurrency());
+    const auto one = parseJobs("1");
+    ASSERT_TRUE(one.ok());
+    EXPECT_EQ(one.value(), 1u);
+    const auto cap = parseJobs(std::to_string(4 * hw));
+    ASSERT_TRUE(cap.ok());
+    EXPECT_EQ(cap.value(), 4 * hw);
+}
+
+TEST(ParseJobs, RejectsZeroGarbageAndOversizedCounts)
+{
+    EXPECT_FALSE(parseJobs("0").ok());
+    EXPECT_FALSE(parseJobs("").ok());
+    EXPECT_FALSE(parseJobs("abc").ok());
+    EXPECT_FALSE(parseJobs("4x").ok());
+    EXPECT_FALSE(parseJobs("-2").ok());
+    const unsigned hw =
+        std::max(1u, std::thread::hardware_concurrency());
+    EXPECT_FALSE(parseJobs(std::to_string(4 * hw + 1)).ok());
+}
+
+TEST(BatchHeader, TimingColumnsAreExactlyWallSecondsAndSimKips)
+{
+    const auto &header = batchCsvHeader();
+    const auto &timing = batchTimingColumns();
+    ASSERT_EQ(timing.size(), 2u);
+    EXPECT_EQ(header[timing[0]], "wall_seconds");
+    EXPECT_EQ(header[timing[1]], "sim_kips");
 }
 
 TEST_F(BatchTest, HeaderMatchesRowWidth)

@@ -84,6 +84,38 @@ TEST(SetAssocTlb, RefillUpdatesExistingEntry)
     EXPECT_EQ(t.lookup(0x1000).entry.pbase, 0x200000u);
 }
 
+TEST(SetAssocTlb, FillPrefersInvalidSlotOverEviction)
+{
+    SetAssocTlb t("t", 64, 4, 12);
+    // Two valid entries in set 0, two invalid ways. Touch both so
+    // neither is obviously "oldest", then fill: nothing may be
+    // evicted — the single-pass victim scan must land on an invalid
+    // slot, not the LRU entry.
+    t.fill(entry4K(0));
+    t.fill(entry4K(16));
+    (void)t.lookup(16ull << 12);
+    (void)t.lookup(0);
+    t.fill(entry4K(32));
+    EXPECT_EQ(t.validCount(), 3u);
+    EXPECT_TRUE(t.probe(0));
+    EXPECT_TRUE(t.probe(16ull << 12));
+    EXPECT_TRUE(t.probe(32ull << 12));
+}
+
+TEST(SetAssocTlb, LogActiveWaysTracksResizes)
+{
+    SetAssocTlb t("t", 64, 4, 12);
+    EXPECT_EQ(t.logActiveWays(), 2u);
+    t.setActiveWays(1);
+    EXPECT_EQ(t.logActiveWays(), 0u);
+    t.setActiveWays(4);
+    EXPECT_EQ(t.logActiveWays(), 2u);
+    // forceActiveWays (the glitch-injection hook) can set a non-power-
+    // of-two; the cache must follow floorLog2 exactly.
+    t.forceActiveWays(3);
+    EXPECT_EQ(t.logActiveWays(), 1u);
+}
+
 TEST(SetAssocTlb, LruDistanceReporting)
 {
     SetAssocTlb t("t", 64, 4, 12);

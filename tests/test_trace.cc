@@ -175,6 +175,30 @@ TEST_F(TraceTest, DetectsTrailingGarbage)
     EXPECT_THROW(TraceReader r(path_), std::runtime_error);
 }
 
+TEST_F(TraceTest, RoundTripsAtExactBlockBoundaries)
+{
+    // The buffered reader/writer move records in ~64 KiB blocks of
+    // 5461 records; exercise one record below, at, and above the
+    // boundary so refill/flush edges cannot regress silently.
+    constexpr std::uint64_t kBlock = (64 * 1024) / 12;
+    for (const std::uint64_t n : {kBlock - 1, kBlock, kBlock + 1}) {
+        {
+            TraceWriter w(path_);
+            for (std::uint64_t i = 0; i < n; ++i)
+                w.write({i << 12, 1});
+            ASSERT_TRUE(w.close().ok());
+        }
+        TraceReader r(path_);
+        ASSERT_EQ(r.totalRecords(), n);
+        for (std::uint64_t i = 0; i < n; ++i) {
+            auto op = r.next();
+            ASSERT_TRUE(op.has_value());
+            ASSERT_EQ(op->vaddr, i << 12);
+        }
+        EXPECT_FALSE(r.next().has_value());
+    }
+}
+
 TEST_F(TraceTest, LargeTraceRoundTrip)
 {
     constexpr std::uint64_t kN = 50000;

@@ -2,13 +2,16 @@
  * @file
  * eatbatch: fault-tolerant (workload x organization) sweep driver.
  *
- *   eatbatch --out=results.csv [--workloads=a,b,c] [--orgs=THP,RMM]
- *            [--instructions=N] [--fast-forward=N] [--seed=N]
- *            [--timeout=SECONDS] [--check=off|paddr|full]
+ *   eatbatch --out=results.csv [-jN | --jobs=N] [--workloads=a,b,c]
+ *            [--orgs=THP,RMM] [--instructions=N] [--fast-forward=N]
+ *            [--seed=N] [--timeout=SECONDS] [--check=off|paddr|full]
  *            [--inject=SPEC] [--resume]
  *
  * Every run executes in its own process under a wall-clock watchdog,
- * so one crashing or hanging cell costs one row, not the sweep. The
+ * so one crashing or hanging cell costs one row, not the sweep. Up to
+ * N cells run concurrently (default: all hardware threads) with no
+ * effect on results: rows are ordered by cell index and every column
+ * except wall_seconds/sim_kips is bit-identical to a -j1 sweep. The
  * CSV is rewritten atomically after every run and --resume reuses the
  * rows a previous (possibly interrupted) sweep already completed.
  */
@@ -38,6 +41,9 @@ usage(const char *argv0)
         "usage: %s --out=PATH [options]\n"
         "\n"
         "options:\n"
+        "  -jN, --jobs=N        cells run concurrently (default: all\n"
+        "                       hardware threads; max 4x that); results\n"
+        "                       are identical at any job count\n"
         "  --workloads=A,B,...  workload names (default: the 8\n"
         "                       TLB-intensive workloads)\n"
         "  --orgs=A,B,...       organizations (default: all six)\n"
@@ -85,6 +91,7 @@ int
 main(int argc, char **argv)
 {
     sim::BatchOptions options;
+    options.jobs = 0; // auto: one child per hardware thread
     std::string workloadsArg, orgsArg;
 
     for (int i = 1; i < argc; ++i) {
@@ -93,6 +100,15 @@ main(int argc, char **argv)
             const std::size_t n = std::strlen(prefix);
             return arg.compare(0, n, prefix) == 0 ? arg.c_str() + n
                                                   : nullptr;
+        };
+        auto setJobs = [&options](const char *text) {
+            const auto jobs = sim::parseJobs(text);
+            if (!jobs.ok()) {
+                std::fprintf(stderr, "--jobs: %s\n",
+                             std::string(jobs.status().message()).c_str());
+                std::exit(2);
+            }
+            options.jobs = jobs.value();
         };
         if (const char *v = value("--out=")) {
             options.outPath = v;
@@ -134,6 +150,10 @@ main(int argc, char **argv)
             options.failCell = v10; // undocumented testing aid
         } else if (const char *v11 = value("--telemetry-dir=")) {
             options.telemetryDir = v11;
+        } else if (const char *v12 = value("--jobs=")) {
+            setJobs(v12);
+        } else if (const char *v13 = value("-j")) {
+            setJobs(v13);
         } else if (arg == "--resume") {
             options.resume = true;
         } else {

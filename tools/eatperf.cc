@@ -1,0 +1,245 @@
+/**
+ * @file
+ * eatperf: the tracked performance baseline of the simulator itself.
+ *
+ *   eatperf --out=BENCH_perf.json [--jobs=N] [--instructions=N]
+ *           [--fast-forward=N] [--quick]
+ *
+ * Runs a fixed, pinned-seed mini-grid twice over — once in-process to
+ * measure sim-KIPS per organization, once through the batch runner at
+ * -j1 and -jN to measure sweep wall clock — and writes one JSON
+ * document future PRs can regress against. Simulated results are
+ * deterministic; only the wall-clock numbers move between machines,
+ * which is exactly what the file exists to track.
+ *
+ * BENCH_perf.json schema (v1):
+ *
+ *   {
+ *     "schema": "eat.perf_baseline", "v": 1,
+ *     "seed": ..., "instructions": ..., "fast_forward": ...,
+ *     "kips": [ {"org": "THP", "workload": "mcf",
+ *                "sim_kips": ..., "wall_seconds": ...}, ... ],
+ *     "sweep": { "workloads": "mcf,astar", "orgs": 6, "cells": 12,
+ *                "jobs": N, "j1_wall_seconds": ...,
+ *                "jn_wall_seconds": ..., "speedup": ... }
+ *   }
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "base/parse.hh"
+#include "obs/json.hh"
+#include "sim/batch.hh"
+#include "sim/simulator.hh"
+#include "workloads/suite.hh"
+
+namespace
+{
+
+using namespace eat;
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s --out=PATH [options]\n"
+        "\n"
+        "options:\n"
+        "  --jobs=N           pool width for the -jN sweep leg\n"
+        "                     (default: all hardware threads)\n"
+        "  --instructions=N   measured window per run (default 1e6)\n"
+        "  --fast-forward=N   skipped prefix per run (default 1e5)\n"
+        "  --quick            CI-sized windows (2e5 measured)\n",
+        argv0);
+    std::exit(2);
+}
+
+double
+seconds(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+/** One batch-runner leg of the mini-grid; returns wall seconds. */
+double
+timedSweep(sim::BatchOptions options, unsigned jobs,
+           const std::string &csvPath)
+{
+    options.jobs = jobs;
+    options.outPath = csvPath;
+    std::ostringstream sink; // progress is not the measurement
+    const auto start = std::chrono::steady_clock::now();
+    const auto result = sim::runBatch(options, sink);
+    const double wall = seconds(start);
+    if (!result.ok()) {
+        std::fprintf(stderr, "eatperf: sweep failed: %s\n",
+                     std::string(result.status().message()).c_str());
+        std::exit(1);
+    }
+    if (result.value().ok != result.value().total()) {
+        std::fprintf(stderr,
+                     "eatperf: %u of %u sweep cells did not finish ok\n",
+                     result.value().total() - result.value().ok,
+                     result.value().total());
+        std::exit(1);
+    }
+    std::remove(csvPath.c_str());
+    return wall;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string outPath;
+    unsigned jobs = 0; // auto
+    InstrCount instructions = 1'000'000;
+    InstrCount fastForward = 100'000;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&arg](const char *prefix) -> const char * {
+            const std::size_t n = std::strlen(prefix);
+            return arg.compare(0, n, prefix) == 0 ? arg.c_str() + n
+                                                  : nullptr;
+        };
+        auto count = [&arg](const char *flag,
+                            const char *text) -> std::uint64_t {
+            const auto r = parseU64(text);
+            if (!r.ok()) {
+                std::fprintf(stderr, "%s: %s\n", flag,
+                             std::string(r.status().message()).c_str());
+                std::exit(2);
+            }
+            return r.value();
+        };
+        if (const char *v = value("--out=")) {
+            outPath = v;
+        } else if (const char *v2 = value("--jobs=")) {
+            const auto parsed = sim::parseJobs(v2);
+            if (!parsed.ok()) {
+                std::fprintf(
+                    stderr, "--jobs: %s\n",
+                    std::string(parsed.status().message()).c_str());
+                return 2;
+            }
+            jobs = parsed.value();
+        } else if (const char *v3 = value("--instructions=")) {
+            instructions = count("--instructions", v3);
+        } else if (const char *v4 = value("--fast-forward=")) {
+            fastForward = count("--fast-forward", v4);
+        } else if (arg == "--quick") {
+            instructions = 200'000;
+            fastForward = 20'000;
+        } else {
+            usage(argv[0]);
+        }
+    }
+    if (outPath.empty())
+        usage(argv[0]);
+    if (jobs == 0) {
+        const unsigned hw = std::thread::hardware_concurrency();
+        jobs = hw > 0 ? hw : 1;
+    }
+
+    // The pinned mini-grid: two workloads with different locality
+    // profiles x all six organizations, fixed seed 42 — small enough
+    // for a CI lane, wide enough to exercise every datapath.
+    const std::vector<std::string> sweepWorkloads{"mcf", "astar"};
+    sim::BatchOptions batchTemplate;
+    batchTemplate.workloadNames = sweepWorkloads;
+    batchTemplate.base.simulateInstructions = instructions;
+    batchTemplate.base.fastForwardInstructions = fastForward;
+    batchTemplate.base.seed = 42;
+
+    // --- leg 1: per-organization sim-KIPS, in-process ---
+    const auto kipsSpec = workloads::findWorkload("mcf");
+    if (!kipsSpec) {
+        std::fprintf(stderr, "eatperf: workload 'mcf' missing\n");
+        return 1;
+    }
+    std::string kipsArray = "[";
+    for (const auto org : core::allOrgs()) {
+        sim::SimConfig cfg = batchTemplate.base;
+        cfg.workload = *kipsSpec;
+        cfg.mmu = core::MmuConfig::make(org);
+        const auto start = std::chrono::steady_clock::now();
+        const sim::SimResult r = sim::simulate(cfg);
+        const double wall = seconds(start);
+        obs::JsonObject entry;
+        entry.put("org", std::string(core::orgName(org)));
+        entry.put("workload", kipsSpec->name);
+        entry.put("sim_kips", r.simKips());
+        entry.put("wall_seconds", wall);
+        if (kipsArray.size() > 1)
+            kipsArray += ",";
+        kipsArray += entry.str();
+        std::cout << "kips: " << core::orgName(org) << " "
+                  << r.simKips() << " (" << wall << "s)\n";
+    }
+    kipsArray += "]";
+
+    // --- leg 2: sweep wall clock, serial vs pool ---
+    const std::string csvPath = outPath + ".sweep.csv";
+    std::cout << "sweep: " << sweepWorkloads.size() * core::allOrgs().size()
+              << " cells at -j1...\n";
+    const double j1Wall = timedSweep(batchTemplate, 1, csvPath);
+    std::cout << "sweep: -j1 " << j1Wall << "s; now -j" << jobs
+              << "...\n";
+    const double jnWall = timedSweep(batchTemplate, jobs, csvPath);
+    std::cout << "sweep: -j" << jobs << " " << jnWall << "s\n";
+
+    obs::JsonObject sweep;
+    {
+        std::string joined;
+        for (const auto &w : sweepWorkloads)
+            joined += (joined.empty() ? "" : ",") + w;
+        sweep.put("workloads", joined);
+    }
+    sweep.put("orgs", static_cast<unsigned>(core::allOrgs().size()));
+    sweep.put("cells", static_cast<unsigned>(
+                           sweepWorkloads.size() * core::allOrgs().size()));
+    sweep.put("jobs", jobs);
+    sweep.put("j1_wall_seconds", j1Wall);
+    sweep.put("jn_wall_seconds", jnWall);
+    sweep.put("speedup", jnWall > 0.0 ? j1Wall / jnWall : 0.0);
+
+    obs::JsonObject doc;
+    doc.put("schema", "eat.perf_baseline");
+    doc.put("v", 1);
+    doc.put("seed", std::uint64_t{42});
+    doc.put("instructions", std::uint64_t{instructions});
+    doc.put("fast_forward", std::uint64_t{fastForward});
+    doc.putRaw("kips", kipsArray);
+    doc.putRaw("sweep", sweep.str());
+
+    std::ofstream out(outPath, std::ios::trunc);
+    if (!out) {
+        std::fprintf(stderr, "eatperf: cannot write %s\n",
+                     outPath.c_str());
+        return 1;
+    }
+    out << doc.str() << "\n";
+    out.flush();
+    if (!out) {
+        std::fprintf(stderr, "eatperf: write failure on %s\n",
+                     outPath.c_str());
+        return 1;
+    }
+    std::cout << "wrote " << outPath << " (speedup -j" << jobs << " vs -j1: "
+              << (jnWall > 0.0 ? j1Wall / jnWall : 0.0) << "x)\n";
+    return 0;
+}
