@@ -1,0 +1,401 @@
+#include "qa/campaign.hh"
+
+#include <algorithm>
+#include <exception>
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "obs/json.hh"
+#include "qa/generator.hh"
+#include "qa/oracles.hh"
+#include "qa/shrinker.hh"
+#include "sim/proc_pool.hh"
+
+namespace eat::qa
+{
+
+namespace
+{
+
+namespace fs = std::filesystem;
+
+std::string
+join(const std::vector<std::string> &parts, const char *sep)
+{
+    std::string out;
+    for (const auto &part : parts) {
+        if (!out.empty())
+            out += sep;
+        out += part;
+    }
+    return out;
+}
+
+/**
+ * The per-scenario child work: run the oracle suite and report the
+ * verdict as one JSON object over the pipe. Exceptions become failing
+ * verdicts; crashes and hangs are the pool's department.
+ */
+std::string
+judgeScenario(const Scenario &scenario)
+{
+    obs::JsonObject json;
+    try {
+        const auto verdict = runOracles(scenario);
+        json.put("passed", verdict.passed());
+        json.put("checked", join(verdict.checked, ","));
+        json.put("violations", join(verdict.violations, "; "));
+        json.put("digest", verdict.digest);
+    } catch (const std::exception &e) {
+        json = obs::JsonObject();
+        json.put("passed", false);
+        json.put("checked", "");
+        json.put("violations",
+                 std::string("oracle-harness: exception: ") + e.what());
+        json.put("digest", "");
+    }
+    return json.str();
+}
+
+/** Everything one verdict JSONL record carries. */
+struct VerdictRecord
+{
+    std::uint64_t id = 0;
+    std::string scenario;
+    std::string status; ///< "pass", "fail", "crash", "timeout"
+    std::string checked;
+    std::string violations;
+    std::string digest;
+    std::string seedFile;
+};
+
+void
+writeVerdict(std::ofstream &out, const VerdictRecord &rec)
+{
+    if (!out.is_open())
+        return;
+    obs::JsonObject json;
+    json.put("schema", kVerdictSchema);
+    json.put("v", kVerdictVersion);
+    json.put("id", rec.id);
+    json.put("scenario", rec.scenario);
+    json.put("status", rec.status);
+    json.put("checked", rec.checked);
+    json.put("violations", rec.violations);
+    json.put("digest", rec.digest);
+    json.put("seed_file", rec.seedFile);
+    out << json.str() << '\n';
+    out.flush();
+}
+
+/** Archive @p scenario (shrunk if requested) under the corpus dir. */
+std::string
+archiveFailure(const Scenario &scenario, const CampaignOptions &options,
+               bool shrinkFirst, std::ostream &log,
+               CampaignSummary &summary)
+{
+    if (options.corpusDir.empty())
+        return "";
+
+    Scenario seed = scenario;
+    if (shrinkFirst && options.shrink) {
+        const auto shrunk = shrinkScenario(
+            seed, [](const Scenario &c) { return !runOracles(c).passed(); });
+        log << "  shrink: " << shrunk.accepted << " simplifications in "
+            << shrunk.attempts << " attempts -> "
+            << shrunk.scenario.describe() << "\n";
+        seed = shrunk.scenario;
+    }
+
+    std::ostringstream name;
+    name << "seed-" << seed.id << ".json";
+    const std::string path =
+        (fs::path(options.corpusDir) / name.str()).string();
+    if (const Status s = saveScenario(seed, path); !s.ok()) {
+        log << "  warning: " << s.message() << "\n";
+        return "";
+    }
+    summary.savedSeeds.push_back(path);
+    log << "  saved " << path << "\n";
+    return path;
+}
+
+/** Judge one task result in the parent; fills @p rec and @p summary. */
+void
+settleVerdict(const sim::ProcessPool::TaskResult &result,
+              const Scenario &scenario, const CampaignOptions &options,
+              std::ostream &log, CampaignSummary &summary,
+              VerdictRecord &rec, bool archiveFailures)
+{
+    using TaskState = sim::ProcessPool::TaskState;
+    rec.id = scenario.id;
+    rec.scenario = scenario.describe();
+
+    if (result.state == TaskState::TimedOut) {
+        rec.status = "timeout";
+        rec.violations = "scenario exceeded the " +
+                         std::to_string(options.timeoutSeconds) +
+                         "s watchdog";
+    } else if (result.state == TaskState::Crashed) {
+        rec.status = "crash";
+        rec.violations = "child killed by signal " +
+                         std::to_string(result.termSignal);
+    } else if (result.state == TaskState::SpawnFailed) {
+        rec.status = "crash";
+        rec.violations = "pipe() or fork() failed";
+    } else {
+        const auto parsed = obs::parseJson(result.payload);
+        const obs::JsonValue *passed =
+            parsed.ok() ? parsed.value().find("passed") : nullptr;
+        if (!passed || !passed->isBool()) {
+            rec.status = "crash";
+            rec.violations = "garbled child verdict";
+        } else {
+            if (const auto *v = parsed.value().find("checked");
+                v && v->isString())
+                rec.checked = v->string;
+            if (const auto *v = parsed.value().find("violations");
+                v && v->isString())
+                rec.violations = v->string;
+            if (const auto *v = parsed.value().find("digest");
+                v && v->isString())
+                rec.digest = v->string;
+            rec.status = passed->boolean ? "pass" : "fail";
+        }
+    }
+
+    if (rec.status == "pass") {
+        ++summary.passed;
+        return;
+    }
+    log << "scenario " << scenario.id << " " << rec.status << ": "
+        << rec.violations << "\n  " << rec.scenario << "\n";
+    if (rec.status == "fail") {
+        ++summary.failed;
+        if (archiveFailures) {
+            // Only oracle failures shrink: the scenario demonstrably
+            // runs to completion, so in-parent re-runs are safe.
+            rec.seedFile =
+                archiveFailure(scenario, options, true, log, summary);
+        }
+    } else {
+        ++summary.crashed;
+        if (archiveFailures) {
+            rec.seedFile =
+                archiveFailure(scenario, options, false, log, summary);
+        }
+    }
+}
+
+Result<std::ofstream>
+openVerdicts(const std::string &path)
+{
+    std::ofstream out;
+    if (path.empty())
+        return out;
+    out.open(path, std::ios::trunc);
+    if (!out)
+        return Status::error("cannot write verdicts to '", path, "'");
+    return out;
+}
+
+} // namespace
+
+Result<CampaignSummary>
+runCampaign(const CampaignOptions &options, std::ostream &log)
+{
+    if (options.runs == 0)
+        return Status::error("no scenarios requested");
+    if (!options.corpusDir.empty()) {
+        std::error_code ec;
+        fs::create_directories(options.corpusDir, ec);
+        if (ec) {
+            return Status::error("cannot create corpus dir '",
+                                 options.corpusDir, "': ", ec.message());
+        }
+    }
+    auto verdicts = openVerdicts(options.verdictsPath);
+    if (!verdicts.ok())
+        return verdicts.status();
+
+    std::vector<Scenario> scenarios;
+    scenarios.reserve(options.runs);
+    for (std::uint64_t i = 0; i < options.runs; ++i)
+        scenarios.push_back(generateScenario(options.seed, i));
+
+    std::vector<sim::ProcessPool::TaskFn> tasks;
+    tasks.reserve(scenarios.size());
+    for (const auto &scenario : scenarios)
+        tasks.push_back([scenario] { return judgeScenario(scenario); });
+
+    CampaignSummary summary;
+    summary.scenarios = options.runs;
+    std::uint64_t completed = 0;
+
+    sim::ProcessPool::Config poolConfig;
+    poolConfig.jobs = options.jobs;
+    poolConfig.timeoutSeconds = options.timeoutSeconds;
+    sim::ProcessPool::run(
+        poolConfig, tasks,
+        [&](std::size_t index, const sim::ProcessPool::TaskResult &result,
+            std::size_t inFlight) {
+            VerdictRecord rec;
+            settleVerdict(result, scenarios[index], options, log, summary,
+                          rec, /*archiveFailures=*/true);
+            writeVerdict(verdicts.value(), rec);
+            ++completed;
+            if (completed % 25 == 0 || completed == options.runs) {
+                log << "[" << completed << "/" << options.runs << "] "
+                    << summary.passed << " pass, " << summary.failed
+                    << " fail, " << summary.crashed << " crash, "
+                    << inFlight << " in flight\n";
+            }
+            return true;
+        });
+
+    return summary;
+}
+
+Result<CampaignSummary>
+replayCorpus(const std::string &path, const CampaignOptions &options,
+             std::ostream &log)
+{
+    std::vector<std::string> files;
+    std::error_code ec;
+    if (fs::is_directory(path, ec)) {
+        for (const auto &entry : fs::directory_iterator(path, ec)) {
+            if (entry.path().extension() == ".json")
+                files.push_back(entry.path().string());
+        }
+        if (ec) {
+            return Status::error("cannot list corpus dir '", path,
+                                 "': ", ec.message());
+        }
+        std::sort(files.begin(), files.end());
+        if (files.empty())
+            return Status::error("no *.json seed files in '", path, "'");
+    } else {
+        files.push_back(path);
+    }
+
+    auto verdicts = openVerdicts(options.verdictsPath);
+    if (!verdicts.ok())
+        return verdicts.status();
+
+    CampaignSummary summary;
+    summary.scenarios = files.size();
+    for (const auto &file : files) {
+        const auto loaded = loadScenario(file);
+        if (!loaded.ok())
+            return loaded.status();
+        const auto &scenario = loaded.value();
+        log << "replay " << file << ": " << scenario.describe() << "\n";
+
+        // In-process: corpus seeds are known-small shrunk repro
+        // recipes, and a crash here should fail the replay loudly.
+        const auto verdict = runOracles(scenario);
+        VerdictRecord rec;
+        rec.id = scenario.id;
+        rec.scenario = scenario.describe();
+        rec.status = verdict.passed() ? "pass" : "fail";
+        rec.checked = join(verdict.checked, ",");
+        rec.violations = join(verdict.violations, "; ");
+        rec.digest = verdict.digest;
+        rec.seedFile = file;
+        writeVerdict(verdicts.value(), rec);
+
+        if (verdict.passed()) {
+            ++summary.passed;
+        } else {
+            ++summary.failed;
+            log << "  FAIL: " << rec.violations << "\n";
+        }
+    }
+    return summary;
+}
+
+Status
+runSelfTest(std::ostream &log)
+{
+    // A deliberately noisy scenario: every shrinkable feature enabled,
+    // so the shrinker has weight to shed.
+    Scenario s;
+    s.id = 0;
+    s.workload = "mcf";
+    s.org = core::MmuOrg::Thp;
+    s.simInstructions = 120'000;
+    s.fastForward = 20'000;
+    s.timelineInterval = 10'000;
+    s.seed = 7;
+
+    log << "self-test: healthy run must pass every oracle\n";
+    const auto healthy = runOracles(s);
+    if (!healthy.passed()) {
+        return Status::error("healthy scenario failed: ",
+                             join(healthy.violations, "; "));
+    }
+    if (healthy.checked.size() < 4) {
+        return Status::error("healthy scenario only exercised ",
+                             healthy.checked.size(), " oracles");
+    }
+
+    log << "self-test: a skipped energy charge must be caught\n";
+    const auto skip = runOracles(s, Mutation::SkipEnergyCharge);
+    if (skip.passed())
+        return Status::error("skipped energy charge went unnoticed");
+    if (join(skip.violations, "; ").find("energy-conservation") ==
+        std::string::npos) {
+        return Status::error("wrong oracle caught the skipped charge: ",
+                             join(skip.violations, "; "));
+    }
+
+    log << "self-test: corrupted TLB fills must be caught\n";
+    const auto corrupt = runOracles(s, Mutation::CorruptTlbFill);
+    if (corrupt.passed())
+        return Status::error("corrupted TLB fills went unnoticed");
+    if (join(corrupt.violations, "; ").find("checker-silence") ==
+        std::string::npos) {
+        return Status::error("wrong oracle caught the corruption: ",
+                             join(corrupt.violations, "; "));
+    }
+
+    log << "self-test: the failure must shrink to a minimal seed\n";
+    const auto stillFails = [](const Scenario &c) {
+        return !runOracles(c, Mutation::CorruptTlbFill).passed();
+    };
+    const auto shrunk = shrinkScenario(s, stillFails);
+    log << "  " << shrunk.accepted << " simplifications in "
+        << shrunk.attempts << " attempts -> "
+        << shrunk.scenario.describe() << "\n";
+    if (shrunk.scenario.simInstructions >= s.simInstructions)
+        return Status::error("shrinker failed to reduce the window");
+    if (shrunk.scenario.fastForward != 0 ||
+        shrunk.scenario.timelineInterval != 0) {
+        return Status::error("shrinker kept irrelevant features: ",
+                             shrunk.scenario.describe());
+    }
+    if (!stillFails(shrunk.scenario))
+        return Status::error("shrunk scenario no longer fails");
+
+    log << "self-test: the shrunk seed must replay after a round-trip\n";
+    const std::string path =
+        (fs::temp_directory_path() / "eat-qa-selftest-seed.json").string();
+    if (const Status st = saveScenario(shrunk.scenario, path); !st.ok())
+        return st;
+    const auto loaded = loadScenario(path);
+    std::error_code ec;
+    fs::remove(path, ec);
+    if (!loaded.ok())
+        return loaded.status();
+    if (loaded.value().toJson() != shrunk.scenario.toJson())
+        return Status::error("seed changed across a save/load round-trip");
+    if (!stillFails(loaded.value()))
+        return Status::error("reloaded seed no longer fails");
+
+    log << "self-test: all properties hold\n";
+    return Status();
+}
+
+} // namespace eat::qa

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Fuzzing campaigns: generate, run, judge, shrink, and archive
+ * scenarios at scale.
+ *
+ * A campaign derives its scenarios deterministically from one seed
+ * (scenario i is a pure function of (seed, i)), fans them out over the
+ * fork-per-scenario ProcessPool — a crashing or hanging scenario costs
+ * one child, never the campaign — and judges each with the oracle
+ * suite. Failing scenarios are greedily shrunk in the parent and saved
+ * as replayable seed files; every scenario, pass or fail, gets one
+ * JSONL verdict record.
+ *
+ * Verdict-record format (schema "eat.qa.verdict", v1), one per line:
+ *
+ *   {"schema": "eat.qa.verdict", "v": 1, "id": ..., "scenario": ...,
+ *    "status": "pass"|"fail"|"crash"|"timeout", "checked": ...,
+ *    "violations": ..., "digest": ..., "seed_file": ...}
+ *
+ * replayCorpus() re-judges previously saved seed files, which is how
+ * CI keeps old failures fixed; runSelfTest() proves the oracles have
+ * teeth by requiring that deliberately seeded defects are caught and
+ * shrink to a minimal replayable seed.
+ */
+
+#ifndef EAT_QA_CAMPAIGN_HH
+#define EAT_QA_CAMPAIGN_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "qa/scenario.hh"
+
+namespace eat::qa
+{
+
+/** Schema identifier stamped into every verdict record. */
+inline constexpr std::string_view kVerdictSchema = "eat.qa.verdict";
+inline constexpr int kVerdictVersion = 1;
+
+struct CampaignOptions
+{
+    /** Campaign seed: scenario i is derived from (seed, i). */
+    std::uint64_t seed = 1;
+
+    /** Number of scenarios to generate and judge. */
+    std::uint64_t runs = 100;
+
+    /** Concurrent scenario children; 0 = hardware concurrency. */
+    unsigned jobs = 1;
+
+    /** Per-scenario watchdog; 0 disables it. */
+    unsigned timeoutSeconds = 120;
+
+    /** Where failing seeds are archived; empty = do not archive. */
+    std::string corpusDir;
+
+    /** JSONL verdict stream; empty = no verdict file. */
+    std::string verdictsPath;
+
+    /** Minimize failing scenarios before archiving them. */
+    bool shrink = true;
+};
+
+struct CampaignSummary
+{
+    std::uint64_t scenarios = 0;
+    std::uint64_t passed = 0;
+    std::uint64_t failed = 0;   ///< oracle violations
+    std::uint64_t crashed = 0;  ///< child crash, hang, or spawn failure
+
+    /** Seed files written for failing scenarios. */
+    std::vector<std::string> savedSeeds;
+
+    bool clean() const { return failed == 0 && crashed == 0; }
+};
+
+/** Run a fuzzing campaign; progress goes to @p log. */
+Result<CampaignSummary> runCampaign(const CampaignOptions &options,
+                                    std::ostream &log);
+
+/**
+ * Re-judge saved seed files: @p path is one seed file or a directory
+ * whose *.json files are all replayed (in name order). Campaign
+ * options other than seed/runs apply.
+ */
+Result<CampaignSummary> replayCorpus(const std::string &path,
+                                     const CampaignOptions &options,
+                                     std::ostream &log);
+
+/**
+ * Prove the oracles catch defects: a healthy scenario must pass, each
+ * deliberate Mutation must be caught, and the mutated failure must
+ * shrink to a smaller scenario that still fails after a save/load
+ * round-trip. @return the first broken property, or OK.
+ */
+Status runSelfTest(std::ostream &log);
+
+} // namespace eat::qa
+
+#endif // EAT_QA_CAMPAIGN_HH

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Deterministic scenario generation for fuzzing campaigns.
+ *
+ * Scenario i of a campaign is a pure function of (campaignSeed, i): the
+ * generator seeds a private Rng from the pair, so any scenario can be
+ * re-derived — and re-run bit-identically — from those two numbers
+ * alone. The generated space covers all six MMU organizations, the
+ * TLB-intensive workload suite, small/large measured windows, optional
+ * fast-forward, combined-L1 and eager-range variants, randomized Lite
+ * schedules, and (on a quarter of page-TLB scenarios) fault-injection
+ * plans tuned so that corruption is actually observable by the shadow
+ * checker rather than masked as extra misses.
+ *
+ * Every scenario the generator emits passes MmuConfig::validate(); the
+ * constraints (no Lite on mixed TLBs, no combined L1 on TLB_PP, ...)
+ * are encoded here rather than discovered by rejection sampling.
+ */
+
+#ifndef EAT_QA_GENERATOR_HH
+#define EAT_QA_GENERATOR_HH
+
+#include <cstdint>
+
+#include "qa/scenario.hh"
+
+namespace eat::qa
+{
+
+/** Derive scenario @p index of the campaign seeded with @p campaignSeed. */
+Scenario generateScenario(std::uint64_t campaignSeed, std::uint64_t index);
+
+} // namespace eat::qa
+
+#endif // EAT_QA_GENERATOR_HH

@@ -1,0 +1,288 @@
+#include "qa/oracles.hh"
+
+#include <cmath>
+#include <sstream>
+
+#include "core/mmu_stats.hh"
+
+namespace eat::qa
+{
+
+namespace
+{
+
+/** Relative tolerance for comparing accumulated energy sums. */
+constexpr double kEnergyRelTol = 1e-9;
+
+/**
+ * Minimum landed ppn-flips before the fault-detection oracle demands a
+ * checker mismatch. Below this the corrupted entries may all be
+ * evicted before re-hitting, which is legitimate silence.
+ */
+constexpr std::uint64_t kDetectablePpnFlips = 8;
+
+const energy::StructEnergyRow *
+findRow(const std::vector<energy::StructEnergyRow> &rows,
+        std::string_view name)
+{
+    for (const auto &row : rows) {
+        if (row.name == name)
+            return &row;
+    }
+    return nullptr;
+}
+
+bool
+nearlyEqual(double a, double b)
+{
+    const double scale = std::max({1.0, std::abs(a), std::abs(b)});
+    return std::abs(a - b) <= kEnergyRelTol * scale;
+}
+
+/** One oracle's book-keeping: note it ran, record a violation if any. */
+class Oracle
+{
+  public:
+    Oracle(OracleVerdict &verdict, std::string name)
+        : verdict_(verdict), name_(std::move(name))
+    {
+        verdict_.checked.push_back(name_);
+    }
+
+    template <typename... Args>
+    void
+    expect(bool ok, Args &&...args)
+    {
+        if (ok)
+            return;
+        std::ostringstream os;
+        os << name_ << ": ";
+        (os << ... << std::forward<Args>(args));
+        verdict_.violations.push_back(os.str());
+    }
+
+  private:
+    OracleVerdict &verdict_;
+    std::string name_;
+};
+
+void
+checkEnergyConservation(const sim::SimResult &r, OracleVerdict &verdict)
+{
+    Oracle oracle(verdict, "energy-conservation");
+
+    double rowSum = 0.0;
+    for (const auto &row : r.energy.structs)
+        rowSum += row.readEnergy + row.writeEnergy;
+    const double total = r.energy.breakdown.total();
+    oracle.expect(nearlyEqual(rowSum, total),
+                  "sum of per-structure rows ", rowSum,
+                  " pJ != breakdown total ", total, " pJ");
+
+    const auto &s = r.stats;
+    std::uint64_t bySource = 0;
+    for (const auto hits : s.hitsBySource)
+        bySource += hits;
+    oracle.expect(bySource == s.memOps, "hits by source sum to ", bySource,
+                  " but ", s.memOps, " memory operations ran");
+    oracle.expect(s.l1Hits + s.l1Misses == s.memOps, "L1 hits ", s.l1Hits,
+                  " + misses ", s.l1Misses, " != mem ops ", s.memOps);
+    oracle.expect(s.l2Hits + s.l2Misses == s.l1Misses, "L2 hits ",
+                  s.l2Hits, " + misses ", s.l2Misses, " != L1 misses ",
+                  s.l1Misses);
+    const auto walkHits =
+        s.hitsBySource[static_cast<unsigned>(core::HitSource::PageWalk)];
+    oracle.expect(walkHits == s.l2Misses, "page-walk resolutions ",
+                  walkHits, " != L2 misses ", s.l2Misses);
+
+    const auto *walkRow = findRow(r.energy.structs, "page-walk memory");
+    const auto walkRowReads = walkRow ? walkRow->reads : 0;
+    oracle.expect(walkRowReads == s.walkMemRefs,
+                  "page-walk memory row charged ", walkRowReads,
+                  " reads but the walker made ", s.walkMemRefs,
+                  " references");
+    const auto *rangeRow = findRow(r.energy.structs, "range-walk memory");
+    const auto rangeRowReads = rangeRow ? rangeRow->reads : 0;
+    oracle.expect(rangeRowReads == s.rangeWalkMemRefs,
+                  "range-walk memory row charged ", rangeRowReads,
+                  " reads but the walker made ", s.rangeWalkMemRefs,
+                  " references");
+}
+
+/**
+ * The LRU inclusion (stack) property, phrased over way masks: shrinking
+ * the L1 4 KB TLB while keeping its set count — 64x4 to 32x2 to 16x1,
+ * all 16 sets — keeps every set's reference stream identical, so the
+ * smaller TLB's hits are a subset of the larger's. More ways may never
+ * lose hits, fewer ways may never gain them, and no geometry may change
+ * any translation result (the shadow checker must stay silent).
+ *
+ * Only meaningful where the 4 KB TLB's fill stream is self-contained
+ * and static: Base4K/THP organizations, Lite off, split L1.
+ */
+void
+checkWayMonotonicity(const Scenario &scenario, const sim::SimResult &full,
+                     OracleVerdict &verdict)
+{
+    Oracle oracle(verdict, "way-monotonicity");
+
+    auto hits4K = [](const sim::SimResult &r) {
+        return r.stats
+            .hitsBySource[static_cast<unsigned>(core::HitSource::L1Page4K)];
+    };
+
+    std::uint64_t priorHits = hits4K(full);
+    std::uint64_t priorMisses = full.stats.l1Misses;
+    for (const unsigned ways : {2u, 1u}) {
+        auto cfg = scenario.toSimConfig();
+        // Same set count (16), fewer ways: a strict capacity shrink
+        // with identical indexing.
+        cfg.mmu.l1Tlb4K.entries = 16 * ways;
+        cfg.mmu.l1Tlb4K.ways = ways;
+        const auto shrunk = sim::simulate(cfg);
+
+        oracle.expect(hits4K(shrunk) <= priorHits, ways,
+                      "-way L1 4K TLB hit ", hits4K(shrunk),
+                      " times, more than the ", priorHits,
+                      "-hit larger geometry (inclusion violated)");
+        oracle.expect(shrunk.stats.l1Misses >= priorMisses,
+                      "L1 misses dropped from ", priorMisses, " to ",
+                      shrunk.stats.l1Misses, " when shrinking to ", ways,
+                      " ways");
+        oracle.expect(shrunk.check.mismatches() == 0,
+                      "translation results changed at ", ways, " ways: ",
+                      shrunk.firstMismatch);
+        oracle.expect(shrunk.stats.memOps == full.stats.memOps,
+                      "operation stream changed size: ",
+                      shrunk.stats.memOps, " vs ", full.stats.memOps);
+
+        priorHits = hits4K(shrunk);
+        priorMisses = shrunk.stats.l1Misses;
+    }
+}
+
+} // namespace
+
+std::string
+resultDigest(const sim::SimResult &r)
+{
+    std::ostringstream os;
+    os.precision(17);
+    os << std::hexfloat;
+
+    const auto &s = r.stats;
+    os << "i" << s.instructions << " m" << s.memOps << " h" << s.l1Hits
+       << '/' << s.l1Misses << " l2" << s.l2Hits << '/' << s.l2Misses
+       << " w" << s.walkMemRefs << " rw" << s.rangeWalks << '/'
+       << s.rangeWalkMemRefs << " c" << s.l1MissCycles << '/'
+       << s.walkCycles << " wl" << s.l1WayLookups4K.toString() << '/'
+       << s.l1WayLookups2M.toString();
+    os << " src";
+    for (const auto hits : s.hitsBySource)
+        os << ':' << hits;
+
+    os << " e" << r.energy.breakdown.l1Tlb << '/'
+       << r.energy.breakdown.l2Tlb << '/' << r.energy.breakdown.mmuCache
+       << '/' << r.energy.breakdown.pageWalkMem << '/'
+       << r.energy.breakdown.rangeWalkMem;
+    os << " st" << r.energy.leakagePower << '/'
+       << r.energy.staticEnergyGated << '/' << r.energy.staticEnergyFull;
+    for (const auto &row : r.energy.structs) {
+        os << " [" << row.name << ' ' << row.reads << ' ' << row.writes
+           << ' ' << row.readEnergy << ' ' << row.writeEnergy << ']';
+    }
+
+    os << " lite" << r.lite.intervals << '/' << r.lite.wayDisableEvents
+       << '/' << r.lite.degradationActivations << '/'
+       << r.lite.randomActivations;
+    os << " chk" << r.check.translationChecks << '/'
+       << r.check.wayMaskAudits << '/' << r.check.paddrMismatches << '/'
+       << r.check.sizeMismatches << '/' << r.check.sourceViolations << '/'
+       << r.check.wayMaskViolations;
+    os << " inj" << r.inject.opportunities << '/' << r.inject.tagFlips
+       << '/' << r.inject.ppnFlips << '/'
+       << r.inject.droppedInvalidations << '/'
+       << r.inject.spuriousEnables;
+    os << " os" << r.pages4K << '/' << r.pages2M << '/' << r.numRanges
+       << '/' << r.rangeCoverage;
+    if (!r.firstMismatch.empty())
+        os << " mm{" << r.firstMismatch << '}';
+    return os.str();
+}
+
+OracleVerdict
+runOracles(const Scenario &scenario, Mutation mutation)
+{
+    OracleVerdict verdict;
+
+    auto cfg = scenario.toSimConfig();
+    if (mutation == Mutation::CorruptTlbFill) {
+        // The defect under test: fills get corrupted but the scenario
+        // declares no fault plan, so the silence oracle must fire.
+        cfg.faultSpec = "ppn-flip@l2:0.01,ppn-flip@l1-4k:0.01";
+    }
+
+    auto result = sim::simulate(cfg);
+    {
+        Oracle oracle(verdict, "replay-determinism");
+        const auto replay = sim::simulate(cfg);
+        const auto first = resultDigest(result);
+        const auto second = resultDigest(replay);
+        oracle.expect(first == second,
+                      "two runs of one scenario diverged; first run: ",
+                      first.substr(0, 160), "...");
+    }
+    verdict.digest = resultDigest(result);
+
+    if (mutation == Mutation::SkipEnergyCharge) {
+        // The defect under test: one structure's activity goes
+        // unaccounted. Conservation must catch the imbalance.
+        for (auto &row : result.energy.structs) {
+            if (row.readEnergy > 0.0) {
+                row.readEnergy *= 0.5;
+                break;
+            }
+        }
+    }
+
+    {
+        Oracle oracle(verdict, "checker-activity");
+        oracle.expect(result.checkLevel == check::CheckLevel::Full,
+                      "scenario ran without the full shadow checker");
+        oracle.expect(result.check.translationChecks > 0,
+                      "the shadow checker never checked a translation");
+    }
+
+    if (scenario.faultSpec.empty()) {
+        Oracle oracle(verdict, "checker-silence");
+        oracle.expect(result.check.mismatches() == 0,
+                      "fault-free run reported ",
+                      result.check.mismatches(),
+                      " mismatches; first: ", result.firstMismatch);
+        oracle.expect(result.inject.injected() == 0,
+                      "fault-free run injected ",
+                      result.inject.injected(), " faults");
+    } else {
+        Oracle oracle(verdict, "fault-detection");
+        if (result.inject.ppnFlips >= kDetectablePpnFlips) {
+            oracle.expect(result.check.mismatches() > 0,
+                          result.inject.ppnFlips,
+                          " ppn-flips landed but the checker stayed "
+                          "silent");
+        }
+    }
+
+    checkEnergyConservation(result, verdict);
+
+    const bool wayOracleEligible =
+        (scenario.org == core::MmuOrg::Base4K ||
+         scenario.org == core::MmuOrg::Thp) &&
+        scenario.faultSpec.empty() && !scenario.combinedL1 &&
+        mutation == Mutation::None;
+    if (wayOracleEligible)
+        checkWayMonotonicity(scenario, result, verdict);
+
+    return verdict;
+}
+
+} // namespace eat::qa

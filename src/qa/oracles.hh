@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Metamorphic and invariant oracles over full simulations.
+ *
+ * Each oracle states a property that must hold for *every* scenario the
+ * generator can emit — no golden outputs, no per-workload expectations:
+ *
+ *  - replay determinism: two runs of the same scenario produce
+ *    bit-identical results (compared via resultDigest());
+ *  - checker activity: a Full-level shadow checker always performs
+ *    translation checks;
+ *  - checker silence: with no fault plan, the differential checker
+ *    reports zero mismatches;
+ *  - fault detection: a fault plan that lands enough ppn-flips must
+ *    make the checker fire (silent corruption is itself a bug);
+ *  - energy conservation: the accounted category totals equal the sum
+ *    over per-structure rows, and the event-count identities
+ *    (mem ops == hits by source, L2 lookups == L1 misses, walk memory
+ *    references == the walk-memory row, ...) all balance;
+ *  - way-mask monotonicity (LRU inclusion): shrinking the L1 4 KB TLB
+ *    from 64x4 to 32x2 to 16x1 — same set count, so identical per-set
+ *    reference streams — never gains hits and never changes any
+ *    translation result.
+ *
+ * runOracles() can apply a deliberate Mutation to prove the oracles
+ * have teeth: each mutation must be caught, and the self-test in
+ * tools/eatfuzz fails if one slips through.
+ */
+
+#ifndef EAT_QA_ORACLES_HH
+#define EAT_QA_ORACLES_HH
+
+#include <string>
+#include <vector>
+
+#include "qa/scenario.hh"
+#include "sim/simulator.hh"
+
+namespace eat::qa
+{
+
+/** Deliberate defects used to self-test the oracle suite. */
+enum class Mutation
+{
+    None,
+    /** Drop part of one structure's accounted read energy. */
+    SkipEnergyCharge,
+    /** Corrupt TLB fills without declaring a fault plan. */
+    CorruptTlbFill,
+};
+
+/** The outcome of running every applicable oracle on one scenario. */
+struct OracleVerdict
+{
+    /** Oracles evaluated (a scenario never exercises all of them). */
+    std::vector<std::string> checked;
+
+    /** Violations, each "oracle-name: detail". Empty = pass. */
+    std::vector<std::string> violations;
+
+    /** Digest of the primary run, for cross-run comparisons. */
+    std::string digest;
+
+    bool passed() const { return violations.empty(); }
+};
+
+/**
+ * Deterministic digest of everything a simulation computed, excluding
+ * wall-clock fields, so two runs of one scenario can be compared for
+ * bit-identity.
+ */
+std::string resultDigest(const sim::SimResult &result);
+
+/** Run every applicable oracle on @p scenario. */
+OracleVerdict runOracles(const Scenario &scenario,
+                         Mutation mutation = Mutation::None);
+
+} // namespace eat::qa
+
+#endif // EAT_QA_ORACLES_HH

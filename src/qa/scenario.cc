@@ -1,0 +1,252 @@
+#include "qa/scenario.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "obs/json.hh"
+#include "workloads/suite.hh"
+
+namespace eat::qa
+{
+
+sim::SimConfig
+Scenario::toSimConfig() const
+{
+    sim::SimConfig cfg;
+    const auto spec = workloads::findWorkload(workload);
+    if (spec)
+        cfg.workload = *spec;
+    cfg.mmu = core::MmuConfig::make(org);
+    cfg.mmu.combinedFullyAssocL1 = combinedL1;
+    if (liteInterval > 0)
+        cfg.mmu.lite.intervalInstructions = liteInterval;
+    if (liteEpsilon >= 0.0) {
+        if (cfg.mmu.lite.mode == lite::ThresholdMode::Relative)
+            cfg.mmu.lite.epsilonRelative = liteEpsilon;
+        else
+            cfg.mmu.lite.epsilonAbsoluteMpki = liteEpsilon;
+    }
+    if (liteFullActProb >= 0.0)
+        cfg.mmu.lite.fullActivationProbability = liteFullActProb;
+    cfg.simulateInstructions = simInstructions;
+    cfg.fastForwardInstructions = fastForward;
+    cfg.seed = seed;
+    cfg.timelineInterval = timelineInterval;
+    cfg.eagerRangesPerRegion = eagerRanges;
+    cfg.checkLevel = check::CheckLevel::Full;
+    cfg.faultSpec = faultSpec;
+    return cfg;
+}
+
+std::string
+Scenario::toJson() const
+{
+    obs::JsonObject json;
+    json.put("schema", kScenarioSchema);
+    json.put("v", kScenarioVersion);
+    json.put("id", id);
+    json.put("workload", workload);
+    json.put("org", core::orgName(org));
+    json.put("instructions", simInstructions);
+    json.put("fast_forward", fastForward);
+    json.put("seed", seed);
+    json.put("timeline_interval", timelineInterval);
+    json.put("eager_ranges", eagerRanges);
+    json.put("combined_l1", combinedL1);
+    json.put("lite_interval", liteInterval);
+    json.put("lite_epsilon", liteEpsilon);
+    json.put("lite_full_act_prob", liteFullActProb);
+    json.put("fault_spec", faultSpec);
+    return json.str();
+}
+
+std::string
+Scenario::describe() const
+{
+    std::ostringstream os;
+    os << "scenario " << id << ": " << workload << " x "
+       << core::orgName(org) << ", " << simInstructions << " instr";
+    if (fastForward > 0)
+        os << " (+" << fastForward << " ff)";
+    os << ", seed " << seed;
+    if (combinedL1)
+        os << ", combined-l1";
+    if (liteInterval > 0)
+        os << ", lite-interval " << liteInterval;
+    if (eagerRanges > 0)
+        os << ", eager-ranges " << eagerRanges;
+    if (!faultSpec.empty())
+        os << ", faults '" << faultSpec << "'";
+    return os.str();
+}
+
+Result<core::MmuOrg>
+parseOrgName(std::string_view name)
+{
+    for (const auto org : core::allOrgs()) {
+        if (name == core::orgName(org))
+            return org;
+    }
+    return Status::error("unknown organization '", std::string(name), "'");
+}
+
+namespace
+{
+
+/** Fetch a required numeric member of @p json. */
+Result<double>
+number(const obs::JsonValue &json, std::string_view key)
+{
+    const auto *v = json.find(key);
+    if (!v || !v->isNumber())
+        return Status::error("scenario: missing numeric field '",
+                             std::string(key), "'");
+    return v->number;
+}
+
+/** Fetch a required string member of @p json. */
+Result<std::string>
+string(const obs::JsonValue &json, std::string_view key)
+{
+    const auto *v = json.find(key);
+    if (!v || !v->isString())
+        return Status::error("scenario: missing string field '",
+                             std::string(key), "'");
+    return v->string;
+}
+
+} // namespace
+
+Result<Scenario>
+scenarioFromJson(std::string_view text)
+{
+    const auto parsed = obs::parseJson(text);
+    if (!parsed.ok())
+        return parsed.status();
+    const auto &json = parsed.value();
+    if (!json.isObject())
+        return Status::error("scenario: not a JSON object");
+
+    const auto schema = string(json, "schema");
+    if (!schema.ok())
+        return schema.status();
+    if (schema.value() != kScenarioSchema)
+        return Status::error("scenario: schema '", schema.value(),
+                             "' is not '", kScenarioSchema, "'");
+    const auto version = number(json, "v");
+    if (!version.ok())
+        return version.status();
+    if (static_cast<int>(version.value()) != kScenarioVersion) {
+        return Status::error("scenario: version ",
+                             static_cast<int>(version.value()),
+                             " is not ", kScenarioVersion);
+    }
+
+    Scenario s;
+    const auto workload = string(json, "workload");
+    if (!workload.ok())
+        return workload.status();
+    s.workload = workload.value();
+    if (!workloads::findWorkload(s.workload))
+        return Status::error("scenario: unknown workload '", s.workload,
+                             "'");
+
+    const auto orgText = string(json, "org");
+    if (!orgText.ok())
+        return orgText.status();
+    const auto org = parseOrgName(orgText.value());
+    if (!org.ok())
+        return org.status();
+    s.org = org.value();
+
+    auto u64 = [&json](std::string_view key,
+                       std::uint64_t &out) -> Status {
+        const auto v = number(json, key);
+        if (!v.ok())
+            return v.status();
+        if (v.value() < 0)
+            return Status::error("scenario: negative '", std::string(key),
+                                 "'");
+        out = static_cast<std::uint64_t>(v.value());
+        return Status();
+    };
+    if (auto st = u64("id", s.id); !st.ok())
+        return st;
+    if (auto st = u64("instructions", s.simInstructions); !st.ok())
+        return st;
+    if (s.simInstructions == 0)
+        return Status::error("scenario: empty measured window");
+    if (auto st = u64("fast_forward", s.fastForward); !st.ok())
+        return st;
+    if (auto st = u64("seed", s.seed); !st.ok())
+        return st;
+    if (auto st = u64("timeline_interval", s.timelineInterval); !st.ok())
+        return st;
+    std::uint64_t eager = 0;
+    if (auto st = u64("eager_ranges", eager); !st.ok())
+        return st;
+    s.eagerRanges = static_cast<unsigned>(eager);
+    if (auto st = u64("lite_interval", s.liteInterval); !st.ok())
+        return st;
+
+    const auto *combined = json.find("combined_l1");
+    if (!combined || !combined->isBool())
+        return Status::error("scenario: missing bool field 'combined_l1'");
+    s.combinedL1 = combined->boolean;
+
+    const auto epsilon = number(json, "lite_epsilon");
+    if (!epsilon.ok())
+        return epsilon.status();
+    s.liteEpsilon = epsilon.value();
+    const auto prob = number(json, "lite_full_act_prob");
+    if (!prob.ok())
+        return prob.status();
+    s.liteFullActProb = prob.value();
+
+    const auto faultSpec = string(json, "fault_spec");
+    if (!faultSpec.ok())
+        return faultSpec.status();
+    s.faultSpec = faultSpec.value();
+    if (!s.faultSpec.empty()) {
+        const auto specs = check::parseFaultSpecs(s.faultSpec);
+        if (!specs.ok())
+            return Status::error("scenario: bad fault_spec: ",
+                                 specs.status().message());
+    }
+
+    // The scenario must describe a constructible machine.
+    const auto cfg = s.toSimConfig();
+    if (auto st = cfg.mmu.validate(); !st.ok())
+        return Status::error("scenario: invalid MMU config: ",
+                             st.message());
+    return s;
+}
+
+Result<Scenario>
+loadScenario(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        return Status::error("cannot open seed file '", path, "'");
+    std::ostringstream text;
+    text << in.rdbuf();
+    auto parsed = scenarioFromJson(text.str());
+    if (!parsed.ok())
+        return Status::error(path, ": ", parsed.status().message());
+    return parsed;
+}
+
+Status
+saveScenario(const Scenario &scenario, const std::string &path)
+{
+    std::ofstream out(path, std::ios::trunc);
+    if (!out)
+        return Status::error("cannot write seed file '", path, "'");
+    out << scenario.toJson() << '\n';
+    out.flush();
+    if (!out.good())
+        return Status::error("error writing seed file '", path, "'");
+    return Status();
+}
+
+} // namespace eat::qa

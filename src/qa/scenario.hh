@@ -1,0 +1,96 @@
+/**
+ * @file
+ * The fuzzing scenario model: one fully described, replayable
+ * simulation setup.
+ *
+ * A Scenario is the unit the QA subsystem generates, runs, shrinks,
+ * and stores. It is deliberately a plain value: everything a run needs
+ * (workload, organization, window sizes, seed, Lite schedule, fault
+ * plan) is in the struct, so a scenario serialized to a seed file
+ * replays bit-identically on any machine — the simulator itself is
+ * deterministic, so the scenario *is* the reproduction recipe.
+ *
+ * Seed-file format: one JSON object per file,
+ *
+ *   {"schema": "eat.qa.scenario", "v": 1, "id": ..., "workload": ...,
+ *    "org": ..., "instructions": ..., "fast_forward": ..., "seed": ...,
+ *    "timeline_interval": ..., "eager_ranges": ..., "combined_l1": ...,
+ *    "lite_interval": ..., "lite_epsilon": ..., "lite_full_act_prob":
+ *    ..., "fault_spec": ...}
+ *
+ * written and parsed with the obs JSON substrate, so corpus files need
+ * no third-party tooling to read or edit.
+ */
+
+#ifndef EAT_QA_SCENARIO_HH
+#define EAT_QA_SCENARIO_HH
+
+#include <cstdint>
+#include <string>
+
+#include "base/status.hh"
+#include "core/config.hh"
+#include "sim/simulator.hh"
+
+namespace eat::qa
+{
+
+/** Schema identifier stamped into every seed file. */
+inline constexpr std::string_view kScenarioSchema = "eat.qa.scenario";
+inline constexpr int kScenarioVersion = 1;
+
+/** One fully described, replayable simulation setup. */
+struct Scenario
+{
+    /** Generator identity: the campaign-derived scenario number. */
+    std::uint64_t id = 0;
+
+    std::string workload = "mcf";
+    core::MmuOrg org = core::MmuOrg::Thp;
+
+    std::uint64_t simInstructions = 100'000;
+    std::uint64_t fastForward = 0;
+    std::uint64_t seed = 42;
+
+    /** MPKI timeline sampling interval; 0 = off. */
+    std::uint64_t timelineInterval = 0;
+
+    /** eagerRangesPerRegion override; 0 keeps the org default. */
+    unsigned eagerRanges = 0;
+
+    /** Paper §4.4 fully associative combined L1. */
+    bool combinedL1 = false;
+
+    // Lite schedule overrides (0 / negative = keep the org default).
+    std::uint64_t liteInterval = 0;
+    double liteEpsilon = -1.0;      ///< in the org's threshold mode
+    double liteFullActProb = -1.0;
+
+    /** Fault-injection plan (fault_injector.hh grammar); empty = none. */
+    std::string faultSpec;
+
+    /** The SimConfig this scenario describes (checker always Full). */
+    sim::SimConfig toSimConfig() const;
+
+    /** Render as a seed-file JSON line. */
+    std::string toJson() const;
+
+    /** Human-readable one-line summary for logs. */
+    std::string describe() const;
+};
+
+/** Parse a seed-file JSON document (strict: schema/version checked). */
+Result<Scenario> scenarioFromJson(std::string_view text);
+
+/** Load a seed file from disk. */
+Result<Scenario> loadScenario(const std::string &path);
+
+/** Write @p scenario to @p path as one JSON document plus newline. */
+Status saveScenario(const Scenario &scenario, const std::string &path);
+
+/** Parse an organization display name ("THP", "RMM_Lite", ...). */
+Result<core::MmuOrg> parseOrgName(std::string_view name);
+
+} // namespace eat::qa
+
+#endif // EAT_QA_SCENARIO_HH

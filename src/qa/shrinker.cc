@@ -1,0 +1,130 @@
+#include "qa/shrinker.hh"
+
+#include <string>
+#include <vector>
+
+namespace eat::qa
+{
+
+namespace
+{
+
+/** Split a fault plan on commas into its clauses. */
+std::vector<std::string>
+splitClauses(const std::string &spec)
+{
+    std::vector<std::string> clauses;
+    std::size_t start = 0;
+    while (start <= spec.size()) {
+        const auto comma = spec.find(',', start);
+        if (comma == std::string::npos) {
+            clauses.push_back(spec.substr(start));
+            break;
+        }
+        clauses.push_back(spec.substr(start, comma - start));
+        start = comma + 1;
+    }
+    return clauses;
+}
+
+std::string
+joinClauses(const std::vector<std::string> &clauses, std::size_t skip)
+{
+    std::string spec;
+    for (std::size_t i = 0; i < clauses.size(); ++i) {
+        if (i == skip)
+            continue;
+        if (!spec.empty())
+            spec += ',';
+        spec += clauses[i];
+    }
+    return spec;
+}
+
+/**
+ * Candidate simplifications of @p s, most aggressive first so accepted
+ * candidates shed the most weight early in the attempt budget.
+ */
+std::vector<Scenario>
+candidates(const Scenario &s, std::uint64_t minInstructions)
+{
+    std::vector<Scenario> out;
+    auto with = [&out, &s](auto &&tweak) {
+        Scenario c = s;
+        tweak(c);
+        out.push_back(std::move(c));
+    };
+
+    if (s.simInstructions / 2 >= minInstructions) {
+        with([](Scenario &c) { c.simInstructions /= 2; });
+    } else if (s.simInstructions > minInstructions) {
+        with([minInstructions](Scenario &c) {
+            c.simInstructions = minInstructions;
+        });
+    }
+    if (s.fastForward > 0) {
+        with([](Scenario &c) { c.fastForward = 0; });
+        if (s.fastForward >= 2'000)
+            with([](Scenario &c) { c.fastForward /= 2; });
+    }
+    if (s.timelineInterval > 0)
+        with([](Scenario &c) { c.timelineInterval = 0; });
+    if (s.eagerRanges > 0)
+        with([](Scenario &c) { c.eagerRanges = 0; });
+    if (s.combinedL1)
+        with([](Scenario &c) { c.combinedL1 = false; });
+    if (s.liteInterval > 0)
+        with([](Scenario &c) { c.liteInterval = 0; });
+    if (s.liteEpsilon >= 0.0)
+        with([](Scenario &c) { c.liteEpsilon = -1.0; });
+    if (s.liteFullActProb >= 0.0)
+        with([](Scenario &c) { c.liteFullActProb = -1.0; });
+
+    if (!s.faultSpec.empty()) {
+        const auto clauses = splitClauses(s.faultSpec);
+        if (clauses.size() > 1) {
+            for (std::size_t i = 0; i < clauses.size(); ++i) {
+                with([&clauses, i](Scenario &c) {
+                    c.faultSpec = joinClauses(clauses, i);
+                });
+            }
+        } else {
+            // A failure that survives with no faults at all is a much
+            // stronger reproducer (the fault plan was incidental).
+            with([](Scenario &c) { c.faultSpec.clear(); });
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+ShrinkResult
+shrinkScenario(const Scenario &failing, const FailsFn &stillFails,
+               const ShrinkOptions &options)
+{
+    ShrinkResult result;
+    result.scenario = failing;
+
+    bool progressed = true;
+    while (progressed && result.attempts < options.maxAttempts) {
+        progressed = false;
+        for (const auto &candidate :
+             candidates(result.scenario, options.minInstructions)) {
+            if (result.attempts >= options.maxAttempts)
+                break;
+            ++result.attempts;
+            if (stillFails(candidate)) {
+                result.scenario = candidate;
+                ++result.accepted;
+                progressed = true;
+                // Restart from the simplified scenario: its candidate
+                // list has changed.
+                break;
+            }
+        }
+    }
+    return result;
+}
+
+} // namespace eat::qa

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Greedy scenario minimization.
+ *
+ * When a scenario violates an oracle, the raw reproducer is noisy: a
+ * large measured window, fast-forward, telemetry sampling, a
+ * multi-clause fault plan. The shrinker walks a fixed candidate list —
+ * halve the window, zero the fast-forward, strip optional features,
+ * drop fault clauses one at a time — and keeps each simplification only
+ * if the caller-supplied predicate confirms the scenario *still fails*.
+ * It iterates to a fixpoint, so the seed file checked into the corpus
+ * is a local minimum: removing any single remaining feature makes the
+ * failure disappear.
+ *
+ * The predicate re-runs the full oracle suite per attempt, so shrinking
+ * costs a bounded number of extra simulations (ShrinkOptions::
+ * maxAttempts caps it).
+ */
+
+#ifndef EAT_QA_SHRINKER_HH
+#define EAT_QA_SHRINKER_HH
+
+#include <functional>
+
+#include "qa/scenario.hh"
+
+namespace eat::qa
+{
+
+struct ShrinkOptions
+{
+    /** Cap on predicate evaluations (each one is a simulation). */
+    unsigned maxAttempts = 64;
+
+    /** Smallest measured window the shrinker will try. */
+    std::uint64_t minInstructions = 10'000;
+};
+
+struct ShrinkResult
+{
+    /** The minimized scenario (== input if nothing could be removed). */
+    Scenario scenario;
+
+    /** Predicate evaluations spent. */
+    unsigned attempts = 0;
+
+    /** Simplifications that kept the scenario failing. */
+    unsigned accepted = 0;
+};
+
+/** Does this (simplified) scenario still violate an oracle? */
+using FailsFn = std::function<bool(const Scenario &)>;
+
+/**
+ * Minimize @p failing, keeping only simplifications for which
+ * @p stillFails holds. @p failing itself is assumed to fail.
+ */
+ShrinkResult shrinkScenario(const Scenario &failing,
+                            const FailsFn &stillFails,
+                            const ShrinkOptions &options = {});
+
+} // namespace eat::qa
+
+#endif // EAT_QA_SHRINKER_HH

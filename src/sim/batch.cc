@@ -1,22 +1,15 @@
 #include "sim/batch.hh"
 
-#include <sys/types.h>
-#include <sys/wait.h>
-
 #include <algorithm>
-#include <cerrno>
 #include <chrono>
-#include <csignal>
 #include <cstdio>
-#include <ctime>
 #include <fstream>
-#include <optional>
 #include <sstream>
 #include <thread>
-#include <unistd.h>
 
 #include "base/logging.hh"
 #include "base/parse.hh"
+#include "sim/proc_pool.hh"
 #include "stats/csv.hh"
 #include "workloads/suite.hh"
 
@@ -95,18 +88,6 @@ executeRun(const SimConfig &cfg, bool deliberateFail, bool deliberateHang)
     return out;
 }
 
-void
-writeAll(int fd, const std::string &s)
-{
-    std::size_t done = 0;
-    while (done < s.size()) {
-        const ssize_t n = ::write(fd, s.data() + done, s.size() - done);
-        if (n <= 0)
-            return; // parent gone; nothing useful left to do
-        done += static_cast<std::size_t>(n);
-    }
-}
-
 /** Pipe protocol: "OK\n" + one metric per line, or "ERR <message>\n". */
 std::string
 serialize(const RunOutcome &out)
@@ -150,107 +131,30 @@ deserialize(const std::string &payload)
     return out;
 }
 
-/** A forked grid cell the pool has not reaped yet. */
-struct InFlightCell
-{
-    std::size_t index = 0; ///< cell index in the (row-ordered) grid
-    pid_t pid = -1;
-    int fd = -1; ///< read end of the result pipe
-    std::chrono::steady_clock::time_point deadline{};
-    bool killed = false; ///< watchdog already sent SIGKILL
-};
-
-/**
- * Fork one grid cell. The parent never trusts the child further than
- * its pipe output and exit status, so a crash or hang in the simulator
- * costs one row. Returns std::nullopt — with @p row filled in as a
- * failure — when the process could not even be created.
- */
-std::optional<InFlightCell>
-spawnCell(const BatchOptions &options, const workloads::WorkloadSpec &spec,
-          core::MmuOrg org, std::size_t index, const sigset_t &childMask,
-          BatchRow &row)
-{
-    SimConfig cfg = options.base;
-    cfg.workload = spec;
-    cfg.mmu = core::MmuConfig::make(org);
-    if (!options.telemetryDir.empty()) {
-        cfg.telemetryPath = options.telemetryDir + "/" + row.workload +
-                            "_" + row.org + ".jsonl";
-    }
-
-    const std::string cell = row.workload + ":" + row.org;
-    const bool wantFail = options.failCell == cell;
-    const bool wantHang = options.failCell == cell + ":hang" ||
-                          options.failCell == "hang:" + cell;
-
-    int fds[2];
-    if (::pipe(fds) != 0) {
-        row.status = "failed";
-        row.error = "pipe() failed";
-        return std::nullopt;
-    }
-
-    const pid_t pid = ::fork();
-    if (pid < 0) {
-        ::close(fds[0]);
-        ::close(fds[1]);
-        row.status = "failed";
-        row.error = "fork() failed";
-        return std::nullopt;
-    }
-
-    if (pid == 0) {
-        // Child: restore the pre-pool signal mask (the parent blocks
-        // SIGCHLD for its reaper), run, report over the pipe, and
-        // _exit without touching the parent's stdio buffers or
-        // destructors.
-        ::sigprocmask(SIG_SETMASK, &childMask, nullptr);
-        ::close(fds[0]);
-        const RunOutcome out = executeRun(cfg, wantFail, wantHang);
-        writeAll(fds[1], serialize(out));
-        ::close(fds[1]);
-        ::_exit(out.ok ? 0 : 1);
-    }
-
-    ::close(fds[1]);
-    InFlightCell inFlight;
-    inFlight.index = index;
-    inFlight.pid = pid;
-    inFlight.fd = fds[0];
-    if (options.timeoutSeconds > 0) {
-        inFlight.deadline = std::chrono::steady_clock::now() +
-                            std::chrono::seconds(options.timeoutSeconds);
-    }
-    return inFlight;
-}
-
-/** Drain a reaped child's pipe and turn its exit into a row. */
+/** Turn one pool task result into a CSV row. */
 void
-finishCell(const InFlightCell &cell, int status, unsigned timeoutSeconds,
+finishCell(const ProcessPool::TaskResult &result, unsigned timeoutSeconds,
            BatchRow &row)
 {
-    std::string payload;
-    char buf[4096];
-    ssize_t n;
-    while ((n = ::read(cell.fd, buf, sizeof(buf))) > 0)
-        payload.append(buf, static_cast<std::size_t>(n));
-    ::close(cell.fd);
-
-    if (cell.killed) {
+    switch (result.state) {
+      case ProcessPool::TaskState::SpawnFailed:
+        row.status = "failed";
+        row.error = "pipe() or fork() failed";
+        return;
+      case ProcessPool::TaskState::TimedOut:
         row.status = "timeout";
         row.error = "killed after " + std::to_string(timeoutSeconds) +
                     "s watchdog";
         return;
-    }
-    if (WIFSIGNALED(status)) {
+      case ProcessPool::TaskState::Crashed:
         row.status = "failed";
         row.error = "child killed by signal " +
-                    std::to_string(WTERMSIG(status));
+                    std::to_string(result.termSignal);
         return;
+      case ProcessPool::TaskState::Done:
+        break;
     }
-
-    const RunOutcome out = deserialize(payload);
+    const RunOutcome out = deserialize(result.payload);
     if (out.ok) {
         row.status = "ok";
         row.metrics = out.metrics;
@@ -509,7 +413,6 @@ runBatch(const BatchOptions &options, std::ostream &log)
         return s;
 
     const std::size_t toRun = pendingCells.size();
-    std::size_t spawnedCells = 0;   // next entry of pendingCells to fork
     std::size_t completedRuns = 0;  // executed (not resumed) and reaped
 
     /** One progress line + pool-aware heartbeat after a finished run. */
@@ -540,88 +443,42 @@ runBatch(const BatchOptions &options, std::ostream &log)
         log << "\n";
     };
 
-    // The reaper blocks SIGCHLD and sleeps in sigtimedwait until a
-    // child exits (the signal stays pending if one beat us to it, so
-    // there is no wake-up race) or the nearest watchdog deadline
-    // passes. No polling, whatever the job count.
-    sigset_t chldSet;
-    sigemptyset(&chldSet);
-    sigaddset(&chldSet, SIGCHLD);
-    sigset_t previousMask;
-    ::sigprocmask(SIG_BLOCK, &chldSet, &previousMask);
-
-    std::vector<InFlightCell> inFlight;
-    while (completedRuns < toRun) {
-        // Keep the pool full.
-        bool spawnFailed = false;
-        while (inFlight.size() < jobs && spawnedCells < toRun) {
-            const std::size_t index = pendingCells[spawnedCells];
-            ++spawnedCells;
-            auto cell = spawnCell(options, *cells[index].spec,
-                                  cells[index].org, index, previousMask,
-                                  rows[index]);
-            if (cell) {
-                inFlight.push_back(*cell);
-            } else {
-                ++summary.failed;
-                ++completedRuns;
-                spawnFailed = true;
-                logCompletion(rows[index], inFlight.size());
-            }
+    // One pool task per pending cell: the child runs the simulation
+    // and reports metrics over its pipe; a crash, panic, or hang costs
+    // exactly that cell.
+    std::vector<ProcessPool::TaskFn> tasks;
+    tasks.reserve(toRun);
+    for (const std::size_t index : pendingCells) {
+        SimConfig cfg = options.base;
+        cfg.workload = *cells[index].spec;
+        cfg.mmu = core::MmuConfig::make(cells[index].org);
+        const BatchRow &row = rows[index];
+        if (!options.telemetryDir.empty()) {
+            cfg.telemetryPath = options.telemetryDir + "/" +
+                                row.workload + "_" + row.org + ".jsonl";
         }
+        const std::string cell = row.workload + ":" + row.org;
+        const bool wantFail = options.failCell == cell;
+        const bool wantHang = options.failCell == cell + ":hang" ||
+                              options.failCell == "hang:" + cell;
+        tasks.push_back([cfg, wantFail, wantHang] {
+            return serialize(executeRun(cfg, wantFail, wantHang));
+        });
+    }
 
-        if (inFlight.empty()) {
-            if (Status s = persist(); !s.ok()) {
-                ::sigprocmask(SIG_SETMASK, &previousMask, nullptr);
-                return s;
-            }
-            continue; // every remaining cell failed to even fork
-        }
-
-        // Sleep until a child exits or the nearest deadline. A cell
-        // already killed but not yet reaped keeps the nap short so its
-        // exit is collected promptly.
-        auto wait = std::chrono::nanoseconds(std::chrono::hours(1));
-        const auto now = std::chrono::steady_clock::now();
-        for (const auto &cell : inFlight) {
-            if (options.timeoutSeconds == 0)
-                break;
-            const auto remaining =
-                cell.killed
-                    ? std::chrono::nanoseconds(
-                          std::chrono::milliseconds(10))
-                    : std::chrono::duration_cast<std::chrono::nanoseconds>(
-                          cell.deadline - now);
-            wait = std::max(std::chrono::nanoseconds(0),
-                            std::min(wait, remaining));
-        }
-        struct timespec ts;
-        ts.tv_sec = static_cast<time_t>(wait.count() / 1'000'000'000);
-        ts.tv_nsec = static_cast<long>(wait.count() % 1'000'000'000);
-        ::sigtimedwait(&chldSet, nullptr, &ts); // EAGAIN = deadline
-
-        // Enforce watchdog deadlines.
-        if (options.timeoutSeconds > 0) {
-            const auto t = std::chrono::steady_clock::now();
-            for (auto &cell : inFlight) {
-                if (!cell.killed && t >= cell.deadline) {
-                    ::kill(cell.pid, SIGKILL);
-                    cell.killed = true;
-                }
-            }
-        }
-
-        // Reap every child that has exited.
-        bool reaped = false;
-        for (auto it = inFlight.begin(); it != inFlight.end();) {
-            int status = 0;
-            const pid_t r = ::waitpid(it->pid, &status, WNOHANG);
-            if (r == 0) {
-                ++it;
-                continue;
-            }
-            BatchRow &row = rows[it->index];
-            finishCell(*it, status, options.timeoutSeconds, row);
+    // Persist after every completed cell (and failed spawn): an
+    // interrupted sweep always leaves a complete CSV of everything
+    // finished so far. A persist failure aborts the pool.
+    Status persistError;
+    ProcessPool::Config poolConfig;
+    poolConfig.jobs = jobs;
+    poolConfig.timeoutSeconds = options.timeoutSeconds;
+    ProcessPool::run(
+        poolConfig, tasks,
+        [&](std::size_t taskIndex, const ProcessPool::TaskResult &result,
+            std::size_t inFlight) {
+            BatchRow &row = rows[pendingCells[taskIndex]];
+            finishCell(result, options.timeoutSeconds, row);
             if (row.status == "ok")
                 ++summary.ok;
             else if (row.status == "timeout")
@@ -629,27 +486,15 @@ runBatch(const BatchOptions &options, std::ostream &log)
             else
                 ++summary.failed;
             ++completedRuns;
-            reaped = true;
-            it = inFlight.erase(it);
-            logCompletion(row, inFlight.size());
-        }
-
-        // Persist after every completed cell (and failed spawn): an
-        // interrupted sweep always leaves a complete CSV of everything
-        // finished so far.
-        if (reaped || spawnFailed) {
+            logCompletion(row, inFlight);
             if (Status s = persist(); !s.ok()) {
-                for (const auto &cell : inFlight) {
-                    ::kill(cell.pid, SIGKILL);
-                    ::waitpid(cell.pid, nullptr, 0);
-                    ::close(cell.fd);
-                }
-                ::sigprocmask(SIG_SETMASK, &previousMask, nullptr);
-                return s;
+                persistError = s;
+                return false;
             }
-        }
-    }
-    ::sigprocmask(SIG_SETMASK, &previousMask, nullptr);
+            return true;
+        });
+    if (!persistError.ok())
+        return persistError;
 
     return summary;
 }

@@ -1,0 +1,221 @@
+#include "sim/proc_pool.hh"
+
+#include <sys/types.h>
+#include <sys/wait.h>
+
+#include <algorithm>
+#include <chrono>
+#include <csignal>
+#include <ctime>
+#include <optional>
+#include <unistd.h>
+
+namespace eat::sim
+{
+
+namespace
+{
+
+/** A forked task the pool has not reaped yet. */
+struct InFlightTask
+{
+    std::size_t index = 0;
+    pid_t pid = -1;
+    int fd = -1; ///< read end of the result pipe
+    std::chrono::steady_clock::time_point deadline{};
+    bool killed = false; ///< watchdog already sent SIGKILL
+};
+
+void
+writeAll(int fd, const std::string &s)
+{
+    std::size_t done = 0;
+    while (done < s.size()) {
+        const ssize_t n = ::write(fd, s.data() + done, s.size() - done);
+        if (n <= 0)
+            return; // parent gone; nothing useful left to do
+        done += static_cast<std::size_t>(n);
+    }
+}
+
+/**
+ * Fork one task. The child restores @p childMask (the pre-pool signal
+ * mask), runs the task, writes the payload, and _exits without touching
+ * the parent's stdio buffers or destructors. Returns std::nullopt when
+ * the process could not even be created.
+ */
+std::optional<InFlightTask>
+spawnTask(const ProcessPool::TaskFn &task, std::size_t index,
+          unsigned timeoutSeconds, const sigset_t &childMask)
+{
+    int fds[2];
+    if (::pipe(fds) != 0)
+        return std::nullopt;
+
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+        ::close(fds[0]);
+        ::close(fds[1]);
+        return std::nullopt;
+    }
+
+    if (pid == 0) {
+        ::sigprocmask(SIG_SETMASK, &childMask, nullptr);
+        ::close(fds[0]);
+        int code = 0;
+        try {
+            writeAll(fds[1], task());
+        } catch (...) {
+            code = 125; // payload protocol broken; caller sees the code
+        }
+        ::close(fds[1]);
+        ::_exit(code);
+    }
+
+    ::close(fds[1]);
+    InFlightTask inFlight;
+    inFlight.index = index;
+    inFlight.pid = pid;
+    inFlight.fd = fds[0];
+    if (timeoutSeconds > 0) {
+        inFlight.deadline = std::chrono::steady_clock::now() +
+                            std::chrono::seconds(timeoutSeconds);
+    }
+    return inFlight;
+}
+
+/** Drain a reaped child's pipe and classify its exit. */
+ProcessPool::TaskResult
+finishTask(const InFlightTask &task, int status)
+{
+    ProcessPool::TaskResult result;
+    char buf[4096];
+    ssize_t n;
+    while ((n = ::read(task.fd, buf, sizeof(buf))) > 0)
+        result.payload.append(buf, static_cast<std::size_t>(n));
+    ::close(task.fd);
+
+    if (task.killed) {
+        result.state = ProcessPool::TaskState::TimedOut;
+        return result;
+    }
+    if (WIFSIGNALED(status)) {
+        result.state = ProcessPool::TaskState::Crashed;
+        result.termSignal = WTERMSIG(status);
+        return result;
+    }
+    result.state = ProcessPool::TaskState::Done;
+    result.exitCode = WIFEXITED(status) ? WEXITSTATUS(status) : 0;
+    return result;
+}
+
+void
+killRemaining(std::vector<InFlightTask> &inFlight)
+{
+    for (const auto &task : inFlight) {
+        ::kill(task.pid, SIGKILL);
+        ::waitpid(task.pid, nullptr, 0);
+        ::close(task.fd);
+    }
+    inFlight.clear();
+}
+
+} // namespace
+
+void
+ProcessPool::run(const Config &config, const std::vector<TaskFn> &tasks,
+                 const DoneFn &onDone)
+{
+    const unsigned jobs = std::max(1u, config.jobs);
+
+    // The reaper blocks SIGCHLD and sleeps in sigtimedwait until a
+    // child exits (the signal stays pending if one beat us to it, so
+    // there is no wake-up race) or the nearest watchdog deadline
+    // passes. No polling, whatever the job count.
+    sigset_t chldSet;
+    sigemptyset(&chldSet);
+    sigaddset(&chldSet, SIGCHLD);
+    sigset_t previousMask;
+    ::sigprocmask(SIG_BLOCK, &chldSet, &previousMask);
+
+    std::vector<InFlightTask> inFlight;
+    std::size_t spawned = 0;
+    std::size_t completed = 0;
+
+    while (completed < tasks.size()) {
+        // Keep the pool full.
+        while (inFlight.size() < jobs && spawned < tasks.size()) {
+            const std::size_t index = spawned++;
+            auto task = spawnTask(tasks[index], index,
+                                  config.timeoutSeconds, previousMask);
+            if (task) {
+                inFlight.push_back(*task);
+            } else {
+                ++completed;
+                if (!onDone(index, TaskResult{}, inFlight.size())) {
+                    killRemaining(inFlight);
+                    ::sigprocmask(SIG_SETMASK, &previousMask, nullptr);
+                    return;
+                }
+            }
+        }
+
+        if (inFlight.empty())
+            continue; // every remaining task failed to even fork
+
+        // Sleep until a child exits or the nearest deadline. A task
+        // already killed but not yet reaped keeps the nap short so its
+        // exit is collected promptly.
+        auto wait = std::chrono::nanoseconds(std::chrono::hours(1));
+        const auto now = std::chrono::steady_clock::now();
+        for (const auto &task : inFlight) {
+            if (config.timeoutSeconds == 0)
+                break;
+            const auto remaining =
+                task.killed
+                    ? std::chrono::nanoseconds(
+                          std::chrono::milliseconds(10))
+                    : std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          task.deadline - now);
+            wait = std::max(std::chrono::nanoseconds(0),
+                            std::min(wait, remaining));
+        }
+        struct timespec ts;
+        ts.tv_sec = static_cast<time_t>(wait.count() / 1'000'000'000);
+        ts.tv_nsec = static_cast<long>(wait.count() % 1'000'000'000);
+        ::sigtimedwait(&chldSet, nullptr, &ts); // EAGAIN = deadline
+
+        // Enforce watchdog deadlines.
+        if (config.timeoutSeconds > 0) {
+            const auto t = std::chrono::steady_clock::now();
+            for (auto &task : inFlight) {
+                if (!task.killed && t >= task.deadline) {
+                    ::kill(task.pid, SIGKILL);
+                    task.killed = true;
+                }
+            }
+        }
+
+        // Reap every child that has exited.
+        for (auto it = inFlight.begin(); it != inFlight.end();) {
+            int status = 0;
+            const pid_t r = ::waitpid(it->pid, &status, WNOHANG);
+            if (r == 0) {
+                ++it;
+                continue;
+            }
+            const TaskResult result = finishTask(*it, status);
+            const std::size_t index = it->index;
+            it = inFlight.erase(it);
+            ++completed;
+            if (!onDone(index, result, inFlight.size())) {
+                killRemaining(inFlight);
+                ::sigprocmask(SIG_SETMASK, &previousMask, nullptr);
+                return;
+            }
+        }
+    }
+    ::sigprocmask(SIG_SETMASK, &previousMask, nullptr);
+}
+
+} // namespace eat::sim

@@ -248,6 +248,67 @@ TEST_F(BatchTest, ParallelSweepIsByteIdenticalToSerial)
     }
 }
 
+TEST_F(BatchTest, ResumeAtADifferentJobCountIsByteIdentical)
+{
+    // The uninterrupted reference: the whole grid serially (-j1).
+    const std::string referencePath =
+        ::testing::TempDir() + "eat_batch_test_ref.csv";
+    auto referenceOptions = quickOptions();
+    referenceOptions.jobs = 1;
+    referenceOptions.outPath = referencePath;
+    std::ostringstream log0;
+    ASSERT_TRUE(runBatch(referenceOptions, log0).ok());
+    std::vector<std::string> reference;
+    {
+        std::ifstream in(referencePath);
+        std::string line;
+        while (std::getline(in, line))
+            reference.push_back(line);
+    }
+    std::remove(referencePath.c_str());
+
+    // A partial sweep at -j2: one cell fails, three complete.
+    auto options = quickOptions();
+    options.jobs = 2;
+    options.failCell = "astar:RMM";
+    std::ostringstream log1;
+    const auto first = runBatch(options, log1);
+    ASSERT_TRUE(first.ok());
+    EXPECT_EQ(first.value().ok, 3u);
+    EXPECT_EQ(first.value().failed, 1u);
+
+    // Resume at -j3: only the failed cell re-runs.
+    options.failCell.clear();
+    options.resume = true;
+    options.jobs = 3;
+    std::ostringstream log2;
+    const auto second = runBatch(options, log2);
+    ASSERT_TRUE(second.ok());
+    EXPECT_EQ(second.value().resumed, 3u);
+    EXPECT_EQ(second.value().ok, 1u);
+
+    // The stitched-together CSV must be byte-identical to the
+    // uninterrupted serial sweep outside the timing columns: same row
+    // order, same metrics, no trace of the interruption.
+    const auto resumed = csvLines();
+    ASSERT_EQ(resumed.size(), reference.size());
+    EXPECT_EQ(resumed[0], reference[0]);
+    const auto &timing = batchTimingColumns();
+    for (std::size_t i = 1; i < resumed.size(); ++i) {
+        const auto a = splitCells(reference[i]);
+        const auto b = splitCells(resumed[i]);
+        ASSERT_EQ(a.size(), b.size()) << resumed[i];
+        for (std::size_t col = 0; col < a.size(); ++col) {
+            if (std::find(timing.begin(), timing.end(), col) !=
+                timing.end())
+                continue;
+            EXPECT_EQ(a[col], b[col])
+                << "row " << i << " col " << col << " ("
+                << batchCsvHeader()[col] << ")";
+        }
+    }
+}
+
 TEST_F(BatchTest, HangingCellInAFullPoolCostsOnlyThatCell)
 {
     // All four cells in flight at once; one hangs. The watchdog kills

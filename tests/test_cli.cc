@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Negative-path tests for the command-line drivers.
+ *
+ * The positive paths are covered by the library tests and CI's smoke
+ * lanes; what those never exercise is how the tools fail. A malformed
+ * flag that exits 0, or a crash where a diagnostic belongs, silently
+ * corrupts sweep scripts — so every case here asserts BOTH the nonzero
+ * exit code and a recognizable fragment of the diagnostic text.
+ *
+ * Binary locations come from CMake compile definitions
+ * (EAT_EATSIM_PATH etc.), so the tests run against exactly the
+ * binaries this build produced.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include <sys/wait.h>
+
+#include <gtest/gtest.h>
+
+namespace
+{
+
+struct CmdResult
+{
+    int exitCode = -1;
+    std::string output; ///< stdout + stderr interleaved
+};
+
+/** Run @p cmd under the shell, capturing output and exit status. */
+CmdResult
+run(const std::string &cmd)
+{
+    CmdResult result;
+    FILE *pipe = popen((cmd + " 2>&1").c_str(), "r");
+    if (!pipe) {
+        ADD_FAILURE() << "popen failed for: " << cmd;
+        return result;
+    }
+    char buffer[4096];
+    std::size_t n = 0;
+    while ((n = std::fread(buffer, 1, sizeof buffer, pipe)) > 0)
+        result.output.append(buffer, n);
+    const int status = pclose(pipe);
+    if (WIFEXITED(status))
+        result.exitCode = WEXITSTATUS(status);
+    else if (WIFSIGNALED(status))
+        result.exitCode = 128 + WTERMSIG(status);
+    return result;
+}
+
+void
+expectFailure(const std::string &cmd, int exitCode,
+              const std::string &fragment)
+{
+    const CmdResult result = run(cmd);
+    EXPECT_EQ(result.exitCode, exitCode)
+        << cmd << "\noutput:\n" << result.output;
+    EXPECT_NE(result.output.find(fragment), std::string::npos)
+        << cmd << ": diagnostic must mention '" << fragment
+        << "'\noutput:\n" << result.output;
+}
+
+const std::string kEatsim = EAT_EATSIM_PATH;
+const std::string kEatbatch = EAT_EATBATCH_PATH;
+const std::string kEatperf = EAT_EATPERF_PATH;
+const std::string kEatfuzz = EAT_EATFUZZ_PATH;
+
+TEST(CliEatsim, RejectsMalformedInjectGrammar)
+{
+    // Unknown fault kind, garbage probability, empty clause, and an
+    // out-of-range probability: all usage errors before any simulation
+    // starts.
+    expectFailure(kEatsim + " --workload=mcf --inject=frobnicate:0.1", 2,
+                  "--inject");
+    expectFailure(kEatsim + " --workload=mcf --inject=tag-flip@l1-4k:zap",
+                  2, "--inject");
+    expectFailure(kEatsim + " --workload=mcf --inject=", 2, "--inject");
+    expectFailure(kEatsim + " --workload=mcf --inject=ppn-flip:1.5", 2,
+                  "--inject");
+}
+
+TEST(CliEatsim, RejectsUnknownWorkloadAndOrg)
+{
+    expectFailure(kEatsim + " --workload=quake3", 2, "unknown workload");
+    expectFailure(kEatsim + " --workload=mcf --org=HUGE", 2,
+                  "unknown organization");
+}
+
+TEST(CliEatsim, RejectsGarbageNumericFlags)
+{
+    expectFailure(kEatsim + " --workload=mcf --instructions=many", 2,
+                  "--instructions");
+    expectFailure(kEatsim + " --workload=mcf --seed=0x", 2, "--seed");
+}
+
+TEST(CliEatsim, FailsOnMissingTraceFile)
+{
+    expectFailure(kEatsim + " --workload=mcf --replay=" +
+                      ::testing::TempDir() + "/no_such_trace.eat",
+                  1, "cannot open trace file");
+}
+
+TEST(CliEatsim, FailsOnTruncatedTraceFile)
+{
+    // A file that passes the magic check but whose body is shorter
+    // than the record count the header promises.
+    const std::string path =
+        ::testing::TempDir() + "/truncated_trace.eat";
+    {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out.write("EATTRACE", 8);
+        const std::uint32_t version = 1;
+        const std::uint32_t records = 1000;
+        out.write(reinterpret_cast<const char *>(&version), 4);
+        out.write(reinterpret_cast<const char *>(&records), 4);
+        out.write("\x01\x02\x03", 3); // a fraction of one record
+    }
+    const CmdResult result =
+        run(kEatsim + " --workload=mcf --replay=" + path);
+    EXPECT_EQ(result.exitCode, 1) << result.output;
+    EXPECT_NE(result.output.find("trace file"), std::string::npos)
+        << result.output;
+}
+
+TEST(CliEatsim, FailsOnGarbageTraceFile)
+{
+    const std::string path = ::testing::TempDir() + "/garbage_trace.eat";
+    {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out << "this is not a trace file at all, but it is long enough";
+    }
+    expectFailure(kEatsim + " --workload=mcf --replay=" + path, 1,
+                  "bad magic");
+}
+
+TEST(CliEatbatch, RejectsBadJobCounts)
+{
+    const std::string base =
+        kEatbatch + " --out=" + ::testing::TempDir() + "/cli_jobs.csv";
+    expectFailure(base + " --jobs=0", 2, "jobs");
+    expectFailure(base + " --jobs=grue", 2, "jobs");
+    expectFailure(base + " -j100000", 2, "jobs");
+}
+
+TEST(CliEatbatch, RejectsMalformedInjectAndUsage)
+{
+    expectFailure(kEatbatch + " --out=" + ::testing::TempDir() +
+                      "/cli_inject.csv --inject=ppn-flip@moon:0.1",
+                  2, "--inject");
+    expectFailure(kEatbatch, 2, "usage");
+    expectFailure(kEatbatch + " --workloads=nonexistent --out=" +
+                      ::testing::TempDir() + "/cli_wl.csv",
+                  1, "unknown workload");
+}
+
+TEST(CliEatperf, RequiresAnOutputPath)
+{
+    expectFailure(kEatperf, 2, "usage");
+    expectFailure(kEatperf + " --jobs=nope", 2, "jobs");
+}
+
+TEST(CliEatfuzz, RejectsBadUsage)
+{
+    expectFailure(kEatfuzz + " --frobnicate", 2, "usage");
+    expectFailure(kEatfuzz + " --runs=few", 2, "--runs");
+    expectFailure(kEatfuzz + " --jobs=0", 2, "jobs");
+    expectFailure(kEatfuzz + " --replay=x --self-test", 2,
+                  "mutually exclusive");
+}
+
+TEST(CliEatfuzz, FailsOnMissingOrEmptyCorpus)
+{
+    expectFailure(kEatfuzz + " --shrink=" + ::testing::TempDir() +
+                      "/no_such_seed.json",
+                  1, "cannot open seed file");
+    const std::string empty = ::testing::TempDir() + "/empty_corpus";
+    ASSERT_EQ(run("mkdir -p " + empty).exitCode, 0);
+    expectFailure(kEatfuzz + " --replay=" + empty, 1, "seed files");
+}
+
+TEST(CliEatfuzz, RejectsMalformedSeedFile)
+{
+    const std::string path = ::testing::TempDir() + "/bad_seed.json";
+    {
+        std::ofstream out(path, std::ios::trunc);
+        out << "{\"schema\": \"eat.qa.scenario\", \"v\": 1}";
+    }
+    expectFailure(kEatfuzz + " --replay=" + path, 1, "missing");
+}
+
+} // namespace

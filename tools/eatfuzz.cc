@@ -1,0 +1,209 @@
+/**
+ * @file
+ * eatfuzz: property-based fuzzing driver for the whole simulator.
+ *
+ *   eatfuzz [--runs=N] [--seed=N] [-jN | --jobs=N] [--timeout=SECONDS]
+ *           [--corpus-dir=DIR] [--verdicts=PATH] [--no-shrink]
+ *   eatfuzz --replay=PATH_OR_DIR [--verdicts=PATH]
+ *   eatfuzz --shrink=SEEDFILE [--corpus-dir=DIR]
+ *   eatfuzz --self-test
+ *
+ * The default mode generates N scenarios deterministically from the
+ * campaign seed, runs each in its own process (a crash or hang costs
+ * one scenario, never the campaign), and judges it with the metamorphic
+ * oracle suite. Failing scenarios are shrunk to minimal replayable seed
+ * files under --corpus-dir, and every scenario emits one JSONL verdict.
+ *
+ * --replay re-judges saved seed files (regression mode); --shrink
+ * minimizes one known-failing seed; --self-test proves the oracles
+ * catch deliberately seeded defects.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "base/parse.hh"
+#include "qa/campaign.hh"
+#include "qa/oracles.hh"
+#include "qa/shrinker.hh"
+#include "sim/batch.hh"
+
+namespace
+{
+
+using namespace eat;
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [options]\n"
+        "       %s --replay=PATH_OR_DIR [--verdicts=PATH]\n"
+        "       %s --shrink=SEEDFILE [--corpus-dir=DIR]\n"
+        "       %s --self-test\n"
+        "\n"
+        "campaign options:\n"
+        "  --runs=N          scenarios to generate (default 100)\n"
+        "  --seed=N          campaign seed; scenario i is a pure\n"
+        "                    function of (seed, i) (default 1)\n"
+        "  -jN, --jobs=N     scenarios run concurrently (default 1)\n"
+        "  --timeout=SECONDS per-scenario watchdog (default 120)\n"
+        "  --corpus-dir=DIR  archive failing seeds here\n"
+        "  --verdicts=PATH   JSONL verdict record per scenario\n"
+        "  --no-shrink       archive failures without minimizing\n"
+        "\n"
+        "exit status: 0 all scenarios pass, 1 violations or crashes,\n"
+        "2 usage error\n",
+        argv0, argv0, argv0, argv0);
+    std::exit(2);
+}
+
+std::uint64_t
+parseCount(const char *flag, const std::string &text)
+{
+    const auto r = parseU64(text);
+    if (!r.ok()) {
+        std::fprintf(stderr, "%s: %s\n", flag,
+                     std::string(r.status().message()).c_str());
+        std::exit(2);
+    }
+    return r.value();
+}
+
+int
+report(const Result<qa::CampaignSummary> &result, const char *mode)
+{
+    if (!result.ok()) {
+        std::fprintf(stderr, "eatfuzz: %s\n",
+                     std::string(result.status().message()).c_str());
+        return 1;
+    }
+    const auto &s = result.value();
+    std::cout << "\n" << mode << ": " << s.scenarios << " scenarios, "
+              << s.passed << " pass, " << s.failed << " fail, "
+              << s.crashed << " crash";
+    if (!s.savedSeeds.empty())
+        std::cout << "; " << s.savedSeeds.size() << " seeds saved";
+    std::cout << "\n";
+    return s.clean() ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    qa::CampaignOptions options;
+    std::string replayPath, shrinkPath;
+    bool selfTest = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&arg](const char *prefix) -> const char * {
+            const std::size_t n = std::strlen(prefix);
+            return arg.compare(0, n, prefix) == 0 ? arg.c_str() + n
+                                                  : nullptr;
+        };
+        auto setJobs = [&options](const char *text) {
+            const auto jobs = sim::parseJobs(text);
+            if (!jobs.ok()) {
+                std::fprintf(stderr, "--jobs: %s\n",
+                             std::string(jobs.status().message()).c_str());
+                std::exit(2);
+            }
+            options.jobs = jobs.value();
+        };
+        if (const char *v = value("--runs=")) {
+            options.runs = parseCount("--runs", v);
+        } else if (const char *v2 = value("--seed=")) {
+            options.seed = parseCount("--seed", v2);
+        } else if (const char *v3 = value("--timeout=")) {
+            options.timeoutSeconds =
+                static_cast<unsigned>(parseCount("--timeout", v3));
+        } else if (const char *v4 = value("--corpus-dir=")) {
+            options.corpusDir = v4;
+        } else if (const char *v5 = value("--verdicts=")) {
+            options.verdictsPath = v5;
+        } else if (const char *v6 = value("--replay=")) {
+            replayPath = v6;
+        } else if (const char *v7 = value("--shrink=")) {
+            shrinkPath = v7;
+        } else if (const char *v8 = value("--jobs=")) {
+            setJobs(v8);
+        } else if (const char *v9 = value("-j")) {
+            setJobs(v9);
+        } else if (arg == "--no-shrink") {
+            options.shrink = false;
+        } else if (arg == "--self-test") {
+            selfTest = true;
+        } else {
+            usage(argv[0]);
+        }
+    }
+    if (static_cast<int>(!replayPath.empty()) +
+            static_cast<int>(!shrinkPath.empty()) +
+            static_cast<int>(selfTest) > 1) {
+        std::fprintf(stderr, "--replay, --shrink, and --self-test are "
+                             "mutually exclusive\n");
+        return 2;
+    }
+
+    if (selfTest) {
+        const Status s = qa::runSelfTest(std::cout);
+        if (!s.ok()) {
+            std::fprintf(stderr, "eatfuzz: self-test FAILED: %s\n",
+                         std::string(s.message()).c_str());
+            return 1;
+        }
+        std::cout << "self-test: ok\n";
+        return 0;
+    }
+
+    if (!shrinkPath.empty()) {
+        const auto loaded = qa::loadScenario(shrinkPath);
+        if (!loaded.ok()) {
+            std::fprintf(stderr, "eatfuzz: %s\n",
+                         std::string(loaded.status().message()).c_str());
+            return 1;
+        }
+        const auto &scenario = loaded.value();
+        std::cout << "shrinking " << scenario.describe() << "\n";
+        if (qa::runOracles(scenario).passed()) {
+            std::fprintf(stderr, "eatfuzz: %s does not fail any oracle; "
+                                 "nothing to shrink\n",
+                         shrinkPath.c_str());
+            return 1;
+        }
+        const auto shrunk = qa::shrinkScenario(
+            scenario,
+            [](const qa::Scenario &c) {
+                return !qa::runOracles(c).passed();
+            });
+        std::cout << "shrunk in " << shrunk.attempts << " attempts ("
+                  << shrunk.accepted << " accepted) -> "
+                  << shrunk.scenario.describe() << "\n";
+        const std::string out = options.corpusDir.empty()
+                                    ? shrinkPath
+                                    : options.corpusDir + "/shrunk-" +
+                                          std::to_string(
+                                              shrunk.scenario.id) +
+                                          ".json";
+        if (const Status s = qa::saveScenario(shrunk.scenario, out);
+            !s.ok()) {
+            std::fprintf(stderr, "eatfuzz: %s\n",
+                         std::string(s.message()).c_str());
+            return 1;
+        }
+        std::cout << "saved " << out << "\n";
+        return 0;
+    }
+
+    if (!replayPath.empty())
+        return report(qa::replayCorpus(replayPath, options, std::cout),
+                      "replay");
+    return report(qa::runCampaign(options, std::cout), "campaign");
+}
