@@ -175,14 +175,17 @@ FaultInjector::pickRangeTlb(FaultTarget target)
 }
 
 void
-FaultInjector::registerMetrics(obs::MetricRegistry &registry) const
+FaultInjector::registerMetrics(obs::MetricRegistry &registry,
+                               const std::string &prefix) const
 {
-    registry.addCounter("inject.opportunities", &stats_.opportunities);
-    registry.addCounter("inject.tag_flips", &stats_.tagFlips);
-    registry.addCounter("inject.ppn_flips", &stats_.ppnFlips);
-    registry.addCounter("inject.dropped_invalidations",
+    auto name = [&prefix](const char *n) { return prefix + n; };
+    registry.addCounter(name("inject.opportunities"),
+                        &stats_.opportunities);
+    registry.addCounter(name("inject.tag_flips"), &stats_.tagFlips);
+    registry.addCounter(name("inject.ppn_flips"), &stats_.ppnFlips);
+    registry.addCounter(name("inject.dropped_invalidations"),
                         &stats_.droppedInvalidations);
-    registry.addCounter("inject.spurious_enables",
+    registry.addCounter(name("inject.spurious_enables"),
                         &stats_.spuriousEnables);
 }
 

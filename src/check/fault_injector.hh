@@ -111,8 +111,10 @@ class FaultInjector
     const InjectStats &stats() const { return stats_; }
 
     /** Register the inject.* counters into @p registry (bindings only;
-     *  the registry must not outlive this injector). */
-    void registerMetrics(obs::MetricRegistry &registry) const;
+     *  the registry must not outlive this injector). Multicore runs
+     *  pass a @p prefix (e.g. "core2.") to keep names distinct. */
+    void registerMetrics(obs::MetricRegistry &registry,
+                         const std::string &prefix = "") const;
 
     /** Attach a tracer (not owned; null detaches): every landed fault
      *  becomes an instant event on the injector track. */

@@ -43,21 +43,68 @@ parseCheckLevel(std::string_view text)
 ShadowChecker::ShadowChecker(CheckLevel level,
                              const vm::PageTable &pageTable,
                              const vm::RangeTable *rangeTable)
-    : level_(level), golden_(pageTable, rangeTable)
+    : level_(level), golden_(pageTable, rangeTable), active_(&golden_)
 {
 }
 
 void
-ShadowChecker::registerMetrics(obs::MetricRegistry &registry) const
+ShadowChecker::addContext(tlb::Asid asid, const vm::PageTable &pageTable,
+                          const vm::RangeTable *rangeTable)
 {
-    registry.addCounter("check.translation_checks",
+    eat_assert(asid != 0,
+               "context 0 is the constructor's tables; register only "
+               "additional address spaces");
+    const auto [it, inserted] =
+        contexts_.try_emplace(asid, pageTable, rangeTable);
+    eat_assert(inserted, "asid ", asid, " registered twice");
+    (void)it;
+}
+
+void
+ShadowChecker::setActiveAsid(tlb::Asid asid)
+{
+    if (asid == activeAsid_)
+        return;
+    if (asid == 0) {
+        active_ = &golden_;
+    } else {
+        const auto it = contexts_.find(asid);
+        eat_assert(it != contexts_.end(),
+                   "context switch to unregistered asid ", asid);
+        active_ = &it->second;
+    }
+    activeAsid_ = asid;
+}
+
+void
+ShadowChecker::rebuildContext(tlb::Asid asid)
+{
+    if (asid == 0) {
+        golden_.rebuild();
+        return;
+    }
+    const auto it = contexts_.find(asid);
+    eat_assert(it != contexts_.end(),
+               "rebuild of unregistered asid ", asid);
+    it->second.rebuild();
+}
+
+void
+ShadowChecker::registerMetrics(obs::MetricRegistry &registry,
+                               const std::string &prefix) const
+{
+    auto name = [&prefix](const char *n) { return prefix + n; };
+    registry.addCounter(name("check.translation_checks"),
                         &stats_.translationChecks);
-    registry.addCounter("check.way_mask_audits", &stats_.wayMaskAudits);
-    registry.addCounter("check.paddr_mismatches", &stats_.paddrMismatches);
-    registry.addCounter("check.size_mismatches", &stats_.sizeMismatches);
-    registry.addCounter("check.source_violations",
+    registry.addCounter(name("check.way_mask_audits"),
+                        &stats_.wayMaskAudits);
+    registry.addCounter(name("check.paddr_mismatches"),
+                        &stats_.paddrMismatches);
+    registry.addCounter(name("check.size_mismatches"),
+                        &stats_.sizeMismatches);
+    registry.addCounter(name("check.source_violations"),
                         &stats_.sourceViolations);
-    registry.addCounter("check.way_mask_violations",
+    registry.addCounter(name("check.way_mask_violations"),
                         &stats_.wayMaskViolations);
 }
 
@@ -73,6 +120,8 @@ void
 ShadowChecker::recordMismatch(std::uint64_t &counter, std::string message)
 {
     ++counter;
+    if (!coreLabel_.empty())
+        message = coreLabel_ + message;
     if (firstMismatch_.empty())
         firstMismatch_ = message;
     if (trace_) {
@@ -94,7 +143,7 @@ ShadowChecker::onPageTranslation(Addr vaddr, Addr paddr, vm::PageSize size,
         return;
     ++stats_.translationChecks;
 
-    const auto golden = golden_.translatePage(vaddr);
+    const auto golden = active_->translatePage(vaddr);
     if (!golden) {
         recordMismatch(
             stats_.sourceViolations,
@@ -127,7 +176,7 @@ ShadowChecker::onRangeTranslation(Addr vaddr, Addr paddr,
         return;
     ++stats_.translationChecks;
 
-    const auto golden = golden_.translateRange(vaddr);
+    const auto golden = active_->translateRange(vaddr);
     if (!golden) {
         recordMismatch(
             stats_.sourceViolations,

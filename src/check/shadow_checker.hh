@@ -21,6 +21,7 @@
 #define EAT_CHECK_SHADOW_CHECKER_HH
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <string_view>
 
@@ -83,6 +84,31 @@ class ShadowChecker
                   const vm::RangeTable *rangeTable);
 
     /**
+     * Register the golden tables of another address space (multicore
+     * private mode: one context per task). The constructor's tables are
+     * context 0; translations are always checked against the currently
+     * active context (setActiveAsid).
+     */
+    void addContext(tlb::Asid asid, const vm::PageTable &pageTable,
+                    const vm::RangeTable *rangeTable);
+
+    /** Follow the MMU's context switch; @p asid must be registered. */
+    void setActiveAsid(tlb::Asid asid);
+
+    /** Re-snapshot one context's tables (after a remap). */
+    void rebuildContext(tlb::Asid asid);
+
+    tlb::Asid activeAsid() const { return activeAsid_; }
+
+    /**
+     * Prefix mismatch messages with @p label (e.g. "core2: ") so
+     * multicore logs attribute each disagreement to the core that
+     * observed it. Single-core runs leave this empty, keeping their
+     * messages (and result digests) unchanged.
+     */
+    void setCoreLabel(std::string label) { coreLabel_ = std::move(label); }
+
+    /**
      * The MMU produced @p paddr for @p vaddr from a page entry of
      * @p size. @p sourceName labels the serving structure in messages.
      */
@@ -106,8 +132,10 @@ class ShadowChecker
     Status verdict() const;
 
     /** Register the check.* counters into @p registry (bindings only;
-     *  the registry must not outlive this checker). */
-    void registerMetrics(obs::MetricRegistry &registry) const;
+     *  the registry must not outlive this checker). Multicore runs
+     *  pass a @p prefix (e.g. "core2.") to keep names distinct. */
+    void registerMetrics(obs::MetricRegistry &registry,
+                         const std::string &prefix = "") const;
 
     /** Attach a tracer (not owned; null detaches): every mismatch
      *  becomes an instant event on the checker track. */
@@ -117,7 +145,11 @@ class ShadowChecker
     void recordMismatch(std::uint64_t &counter, std::string message);
 
     CheckLevel level_;
-    ShadowTranslator golden_;
+    ShadowTranslator golden_; ///< context 0 (the only one single-core)
+    std::map<tlb::Asid, ShadowTranslator> contexts_; ///< asids > 0
+    ShadowTranslator *active_ = nullptr;
+    tlb::Asid activeAsid_ = 0;
+    std::string coreLabel_;
     CheckStats stats_;
     std::string firstMismatch_;
     unsigned warningsEmitted_ = 0;

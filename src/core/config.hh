@@ -94,6 +94,19 @@ struct MmuConfig
     Cycles l2HitLatency = 7;    ///< L1 TLB miss, L2 TLB lookup
     Cycles pageWalkLatency = 50;///< L2 TLB miss, page walk
 
+    // --- TLB-shootdown cost model (multicore only; never charged in
+    // --- single-core runs, which issue no remaps) ---
+    /** Initiator-side fixed cost per broadcast: IPI setup plus waiting
+     *  for remote acknowledgements (cf. Yan et al.'s measured
+     *  shootdown latencies, scaled to a tight microcode path). */
+    Cycles shootdownBaseCycles = 500;
+    /** Additional initiator cycles per remote core interrupted. */
+    Cycles shootdownPerCoreCycles = 100;
+    /** Energy per remote core signalled (interconnect + interrupt). */
+    double shootdownPerCorePj = 8.0;
+    /** Energy per TLB entry invalidated by the broadcast (CAM write). */
+    double shootdownPerEntryPj = 0.4;
+
     // --- energy model knobs ---
     /**
      * Fraction of page-walk memory references that hit in the L1 data

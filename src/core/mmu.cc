@@ -49,7 +49,7 @@ Mmu::logWaysOf(const tlb::SetAssocTlb &t)
 Mmu::Mmu(const MmuConfig &config, const vm::PageTable &pageTable,
          const vm::RangeTable *rangeTable)
     : cfg_(config),
-      pageTable_(pageTable),
+      pageTable_(&pageTable),
       rangeTable_(rangeTable),
       mmuCache_(config.mmuCache),
       walker_(pageTable, mmuCache_)
@@ -175,7 +175,7 @@ Mmu::predictPageSize(Addr vaddr) const
 {
     // TLB_PP's predictor is perfect and free (paper §5): consult the
     // page table directly without charging energy.
-    auto t = pageTable_.translate(vaddr);
+    auto t = pageTable_->translate(vaddr);
     if (!t)
         eat_panic("TLB_PP oracle consulted for unmapped address ", vaddr);
     return t->size;
@@ -219,7 +219,7 @@ Mmu::access(Addr vaddr)
     std::optional<vm::RangeTranslation> l1r;
     if (l1Range_ && enabledL1Range_) {
         chargeRead(mL1Range_);
-        l1r = l1Range_->lookup(vaddr);
+        l1r = l1Range_->lookup(vaddr, asid_);
         if (l1r)
             rangeHit = true;
     }
@@ -233,8 +233,8 @@ Mmu::access(Addr vaddr)
         const unsigned lw4K = logWaysOf(*l1Page4K_);
         chargeRead(m4K_, lw4K);
         stats_.l1WayLookups4K.record(lw4K);
-        auto res =
-            l1Page4K_->lookupWithShift(vaddr, vm::pageShift(predicted));
+        auto res = l1Page4K_->lookupWithShift(
+            vaddr, vm::pageShift(predicted), asid_);
         if (res.hit) {
             pageHit = true;
             pageSource = HitSource::L1Page4K;
@@ -246,7 +246,7 @@ Mmu::access(Addr vaddr)
         const unsigned lw4K = logWaysOf(*l1Page4K_);
         chargeRead(m4K_, lw4K);
         stats_.l1WayLookups4K.record(lw4K);
-        auto res = l1Page4K_->lookup(vaddr);
+        auto res = l1Page4K_->lookup(vaddr, asid_);
         if (res.hit) {
             pageHit = true;
             pageSource = HitSource::L1Page4K;
@@ -276,7 +276,7 @@ Mmu::access(Addr vaddr)
         const unsigned lw4K = logWaysOf(*l1Page4K_);
         chargeRead(m4K_, lw4K);
         stats_.l1WayLookups4K.record(lw4K);
-        auto res4k = l1Page4K_->lookup(vaddr);
+        auto res4k = l1Page4K_->lookup(vaddr, asid_);
         if (res4k.hit) {
             pageHit = true;
             pageSource = HitSource::L1Page4K;
@@ -289,7 +289,7 @@ Mmu::access(Addr vaddr)
             const unsigned lw2M = logWaysOf(*l1Page2M_);
             chargeRead(m2M_, lw2M);
             stats_.l1WayLookups2M.record(lw2M);
-            auto res2m = l1Page2M_->lookup(vaddr);
+            auto res2m = l1Page2M_->lookup(vaddr, asid_);
             if (res2m.hit) {
                 eat_assert(!pageHit, "address mapped by two page sizes");
                 pageHit = true;
@@ -301,7 +301,7 @@ Mmu::access(Addr vaddr)
         }
         if (enabled1G_) {
             chargeRead(m1G_, logWaysOf(*l1Page1G_));
-            auto res1g = l1Page1G_->lookup(vaddr);
+            auto res1g = l1Page1G_->lookup(vaddr, asid_);
             if (res1g.hit) {
                 eat_assert(!pageHit, "address mapped by two page sizes");
                 pageHit = true;
@@ -341,18 +341,18 @@ Mmu::access(Addr vaddr)
     std::optional<vm::RangeTranslation> l2r;
     if (l2Range_ && enabledL2Range_) {
         chargeRead(mL2Range_);
-        l2r = l2Range_->lookup(vaddr);
+        l2r = l2Range_->lookup(vaddr, asid_);
     }
 
     tlb::TlbLookupResult l2res;
     chargeRead(mL2_);
     if (cfg_.mixedTlbs) {
         l2res = l2Page_->lookupWithShift(
-            vaddr, vm::pageShift(predictPageSize(vaddr)));
+            vaddr, vm::pageShift(predictPageSize(vaddr)), asid_);
     } else {
         // The L2 TLB holds 4 KB entries only (Sandy Bridge, Table 1);
         // 2 MB translations live solely in the L1-2MB TLB.
-        l2res = l2Page_->lookup(vaddr);
+        l2res = l2Page_->lookup(vaddr, asid_);
     }
 
     if (l2r) {
@@ -371,12 +371,12 @@ Mmu::access(Addr vaddr)
         if (l1Range_) {
             enabledL1Range_ = true;
             chargeWrite(mL1Range_);
-            l1Range_->fill(*l2r);
+            l1Range_->fill(*l2r, asid_);
         }
-        auto t = pageTable_.translate(vaddr);
+        auto t = pageTable_->translate(vaddr);
         if (!t)
             eat_panic("range translation without page mapping at ", vaddr);
-        fillL1Page(tlb::makePageEntry(vaddr, t->pbase, t->size));
+        fillL1Page(tlb::makePageEntry(vaddr, t->pbase, t->size, asid_));
         return;
     }
     if (l2res.hit) {
@@ -412,7 +412,7 @@ Mmu::access(Addr vaddr)
     chargeWalkMemory(walk.cache.memRefs, false);
 
     const auto entry = tlb::makePageEntry(
-        vaddr, walk.translation.pbase, walk.translation.size);
+        vaddr, walk.translation.pbase, walk.translation.size, asid_);
     if (checker_)
         checkPageHit(vaddr, entry, HitSource::PageWalk);
     fillL1Page(entry);
@@ -433,9 +433,80 @@ Mmu::access(Addr vaddr)
         if (rw.range && l2Range_) {
             enabledL2Range_ = true;
             chargeWrite(mL2Range_);
-            l2Range_->fill(*rw.range);
+            l2Range_->fill(*rw.range, asid_);
         }
     }
+}
+
+void
+Mmu::switchContext(tlb::Asid asid, const vm::PageTable &pageTable,
+                   const vm::RangeTable *rangeTable, bool flushTlbs)
+{
+    if (asid == asid_ && &pageTable == pageTable_)
+        return; // same address space: nothing reloads
+    ++stats_.contextSwitches;
+    asid_ = asid;
+    pageTable_ = &pageTable;
+    rangeTable_ = rangeTable;
+    walker_.setPageTable(pageTable);
+    if (rangeWalker_) {
+        eat_assert(rangeTable != nullptr,
+                   "context switch dropped the range table of a "
+                   "range-TLB configuration");
+        rangeWalker_->setRangeTable(*rangeTable);
+    }
+    // The paging-structure caches are untagged (as on x86 parts):
+    // a CR3 reload flushes them in both modes.
+    mmuCache_.flush();
+    if (flushTlbs) {
+        l1Page4K_->invalidateAll();
+        if (l1Page2M_)
+            l1Page2M_->invalidateAll();
+        if (l1Page1G_)
+            l1Page1G_->invalidateAll();
+        l2Page_->invalidateAll();
+        if (l1Range_)
+            l1Range_->invalidateAll();
+        if (l2Range_)
+            l2Range_->invalidateAll();
+    }
+    if (checker_)
+        checker_->setActiveAsid(asid);
+}
+
+unsigned
+Mmu::shootdownInvalidate(Addr vbase, Addr vlimit, tlb::Asid asid,
+                         bool initiator)
+{
+    unsigned n = l1Page4K_->invalidateRange(vbase, vlimit, asid);
+    if (l1Page2M_)
+        n += l1Page2M_->invalidateRange(vbase, vlimit, asid);
+    if (l1Page1G_)
+        n += l1Page1G_->invalidateRange(vbase, vlimit, asid);
+    n += l2Page_->invalidateRange(vbase, vlimit, asid);
+    if (l1Range_)
+        n += l1Range_->invalidateRange(vbase, vlimit, asid);
+    if (l2Range_)
+        n += l2Range_->invalidateRange(vbase, vlimit, asid);
+    // The paging-structure caches hold upper-level PTEs of the remapped
+    // region; they are untagged, so the whole cache goes.
+    mmuCache_.flush();
+    if (!initiator)
+        ++stats_.shootdownsReceived;
+    stats_.shootdownInvalidations += n;
+    return n;
+}
+
+void
+Mmu::chargeShootdown(unsigned remoteCores, unsigned entriesInvalidated)
+{
+    ++stats_.shootdownsInitiated;
+    stats_.shootdownCycles +=
+        cfg_.shootdownBaseCycles +
+        cfg_.shootdownPerCoreCycles * remoteCores;
+    stats_.shootdownEnergyPj +=
+        cfg_.shootdownPerCorePj * static_cast<double>(remoteCores) +
+        cfg_.shootdownPerEntryPj * static_cast<double>(entriesInvalidated);
 }
 
 void
@@ -509,35 +580,52 @@ Mmu::tick(InstrCount n)
 }
 
 void
-Mmu::registerMetrics(obs::MetricRegistry &registry) const
+Mmu::registerMetrics(obs::MetricRegistry &registry,
+                     const std::string &prefix) const
 {
+    // Every name below goes through @p name so one registry can hold
+    // several cores ("core0.mmu.mem_ops", ...); the single-core prefix
+    // is empty and the names are unchanged.
+    auto name = [&prefix](const char *n) { return prefix + n; };
+
     // Datapath event counters.
-    registry.addCounter("mmu.instructions", &stats_.instructions);
-    registry.addCounter("mmu.mem_ops", &stats_.memOps);
-    registry.addCounter("mmu.l1_hits", &stats_.l1Hits);
-    registry.addCounter("mmu.l1_misses", &stats_.l1Misses);
-    registry.addCounter("mmu.l2_hits", &stats_.l2Hits);
-    registry.addCounter("mmu.l2_misses", &stats_.l2Misses);
-    registry.addCounter("mmu.walk_mem_refs", &stats_.walkMemRefs);
-    registry.addCounter("mmu.range_walks", &stats_.rangeWalks);
-    registry.addCounter("mmu.range_walk_mem_refs",
+    registry.addCounter(name("mmu.instructions"), &stats_.instructions);
+    registry.addCounter(name("mmu.mem_ops"), &stats_.memOps);
+    registry.addCounter(name("mmu.l1_hits"), &stats_.l1Hits);
+    registry.addCounter(name("mmu.l1_misses"), &stats_.l1Misses);
+    registry.addCounter(name("mmu.l2_hits"), &stats_.l2Hits);
+    registry.addCounter(name("mmu.l2_misses"), &stats_.l2Misses);
+    registry.addCounter(name("mmu.walk_mem_refs"), &stats_.walkMemRefs);
+    registry.addCounter(name("mmu.range_walks"), &stats_.rangeWalks);
+    registry.addCounter(name("mmu.range_walk_mem_refs"),
                         &stats_.rangeWalkMemRefs);
-    registry.addCounter("mmu.l1_miss_cycles", &stats_.l1MissCycles);
-    registry.addCounter("mmu.walk_cycles", &stats_.walkCycles);
+    registry.addCounter(name("mmu.l1_miss_cycles"), &stats_.l1MissCycles);
+    registry.addCounter(name("mmu.walk_cycles"), &stats_.walkCycles);
+    registry.addCounter(name("mmu.context_switches"),
+                        &stats_.contextSwitches);
+    registry.addCounter(name("mmu.shootdowns_initiated"),
+                        &stats_.shootdownsInitiated);
+    registry.addCounter(name("mmu.shootdowns_received"),
+                        &stats_.shootdownsReceived);
+    registry.addCounter(name("mmu.shootdown_invalidations"),
+                        &stats_.shootdownInvalidations);
+    registry.addCounter(name("mmu.shootdown_cycles"),
+                        &stats_.shootdownCycles);
 
     static constexpr std::array<std::string_view,
                                 static_cast<unsigned>(HitSource::Count)>
         kSourceNames{"l1_page4k", "l1_page2m", "l1_page1g", "l1_range",
                      "l2_page",   "l2_range",  "page_walk"};
     for (unsigned i = 0; i < kSourceNames.size(); ++i) {
-        registry.addCounter("mmu.hits." + std::string(kSourceNames[i]),
-                            &stats_.hitsBySource[i]);
+        registry.addCounter(
+            name("mmu.hits.") + std::string(kSourceNames[i]),
+            &stats_.hitsBySource[i]);
     }
 
-    registry.addHistogram("mmu.l1_way_lookups_4k",
+    registry.addHistogram(name("mmu.l1_way_lookups_4k"),
                           &stats_.l1WayLookups4K);
     if (l1Page2M_) {
-        registry.addHistogram("mmu.l1_way_lookups_2m",
+        registry.addHistogram(name("mmu.l1_way_lookups_2m"),
                               &stats_.l1WayLookups2M);
     }
 
@@ -562,26 +650,28 @@ Mmu::registerMetrics(obs::MetricRegistry &registry) const
         registry.addCounter(prefix + ".fills", [t] { return t->fills(); });
     };
 
-    addPageTlb("l1.tlb4k", l1Page4K_.get());
+    addPageTlb(name("l1.tlb4k"), l1Page4K_.get());
     if (l1Page2M_)
-        addPageTlb("l1.tlb2m", l1Page2M_.get());
+        addPageTlb(name("l1.tlb2m"), l1Page2M_.get());
     if (l1Page1G_)
-        addPageTlb("l1.tlb1g", l1Page1G_.get());
-    addPageTlb("l2.tlb", l2Page_.get());
+        addPageTlb(name("l1.tlb1g"), l1Page1G_.get());
+    addPageTlb(name("l2.tlb"), l2Page_.get());
     if (l1Range_)
-        addRangeTlb("l1.range", l1Range_.get());
+        addRangeTlb(name("l1.range"), l1Range_.get());
     if (l2Range_)
-        addRangeTlb("l2.range", l2Range_.get());
+        addRangeTlb(name("l2.range"), l2Range_.get());
 
     // Energy: totals plus per-structure meters.
-    registry.addGauge("energy.dynamic_pj",
+    registry.addGauge(name("energy.dynamic_pj"),
                       [this] { return dynamicEnergyTotal(); });
-    registry.addGauge("energy.leakage_mw",
+    registry.addGauge(name("energy.leakage_mw"),
                       [this] { return leakagePower(true); });
-    registry.addGauge("energy.static_gated_pj",
+    registry.addGauge(name("energy.static_gated_pj"),
                       [this] { return staticGatedPj_; });
-    registry.addGauge("energy.static_full_pj",
+    registry.addGauge(name("energy.static_full_pj"),
                       [this] { return staticFullPj_; });
+    registry.addGauge(name("energy.shootdown_pj"),
+                      [this] { return stats_.shootdownEnergyPj; });
 
     auto addMeter = [&registry](std::string prefix,
                                 const energy::EnergyMeter *m) {
@@ -593,25 +683,25 @@ Mmu::registerMetrics(obs::MetricRegistry &registry) const
         registry.addGauge(prefix + ".write_pj",
                           [m] { return m->writeEnergy(); });
     };
-    addMeter("energy.l1_tlb4k", &m4K_.meter);
+    addMeter(name("energy.l1_tlb4k"), &m4K_.meter);
     if (l1Page2M_) {
-        addMeter("energy.l1_tlb2m", &m2M_.meter);
-        addMeter("energy.l1_tlb1g", &m1G_.meter);
+        addMeter(name("energy.l1_tlb2m"), &m2M_.meter);
+        addMeter(name("energy.l1_tlb1g"), &m1G_.meter);
     }
-    addMeter("energy.l2_tlb", &mL2_.meter);
+    addMeter(name("energy.l2_tlb"), &mL2_.meter);
     if (l1Range_)
-        addMeter("energy.l1_range", &mL1Range_.meter);
+        addMeter(name("energy.l1_range"), &mL1Range_.meter);
     if (l2Range_)
-        addMeter("energy.l2_range", &mL2Range_.meter);
-    addMeter("energy.mmu_pde", &mPde_.meter);
-    addMeter("energy.mmu_pdpte", &mPdpte_.meter);
-    addMeter("energy.mmu_pml4", &mPml4_.meter);
-    addMeter("energy.walk_mem", &walkMemMeter_);
+        addMeter(name("energy.l2_range"), &mL2Range_.meter);
+    addMeter(name("energy.mmu_pde"), &mPde_.meter);
+    addMeter(name("energy.mmu_pdpte"), &mPdpte_.meter);
+    addMeter(name("energy.mmu_pml4"), &mPml4_.meter);
+    addMeter(name("energy.walk_mem"), &walkMemMeter_);
     if (rangeWalker_)
-        addMeter("energy.range_walk_mem", &rangeWalkMemMeter_);
+        addMeter(name("energy.range_walk_mem"), &rangeWalkMemMeter_);
 
     if (lite_)
-        lite_->registerMetrics(registry);
+        lite_->registerMetrics(registry, prefix);
 }
 
 void
@@ -650,6 +740,7 @@ void
 Mmu::emitIntervalRecord(InstrCount intervalInstructions)
 {
     obs::IntervalRecord rec;
+    rec.core = coreId_;
     rec.interval = intervalIndex_++;
     rec.startInstr = lastInterval_.instructions;
     rec.instructions = intervalInstructions;

@@ -28,6 +28,7 @@
 
 #include <array>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "check/shadow_checker.hh"
@@ -80,6 +81,42 @@ class Mmu
     /** Retire @p n instructions (drives Lite's interval clock). */
     void tick(InstrCount n);
 
+    /**
+     * Context switch: retarget the datapath at another address space.
+     * Reloading CR3 always flushes the (untagged) paging-structure
+     * caches; @p flushTlbs additionally invalidates every TLB, modeling
+     * cores without ASID tags (`--ctx-flush`). Switching to the
+     * currently active space (same @p asid and @p pageTable) is free —
+     * shared-address-space scheduling costs nothing at the MMU.
+     * A @p rangeTable of nullptr is only legal when the configuration
+     * has no range TLBs.
+     */
+    void switchContext(tlb::Asid asid, const vm::PageTable &pageTable,
+                       const vm::RangeTable *rangeTable, bool flushTlbs);
+
+    /**
+     * TLB-shootdown receiver: drop every cached translation tagged
+     * @p asid overlapping [@p vbase, @p vlimit) — page TLBs, range
+     * TLBs, and the paging-structure caches. @p initiator marks the
+     * core that issued the remap (its local invalidation is part of the
+     * remap, not a "received" shootdown).
+     * @return number of TLB entries invalidated.
+     */
+    unsigned shootdownInvalidate(Addr vbase, Addr vlimit, tlb::Asid asid,
+                                 bool initiator);
+
+    /**
+     * Initiator-side shootdown cost: charge this core the broadcast's
+     * cycle and energy cost (config shootdown* knobs) for interrupting
+     * @p remoteCores cores that invalidated @p entriesInvalidated
+     * entries in total.
+     */
+    void chargeShootdown(unsigned remoteCores,
+                         unsigned entriesInvalidated);
+
+    /** The ASID tagging this core's fills and lookups. */
+    tlb::Asid asid() const { return asid_; }
+
     const MmuConfig &config() const { return cfg_; }
     const MmuStats &stats() const { return stats_; }
 
@@ -100,10 +137,15 @@ class Mmu
      * Register every MMU metric — structure hit/miss/fill counters,
      * datapath event counters, per-structure energy, way-activity
      * histograms, and (when Lite runs) the lite.* counters — into
-     * @p registry. Bindings are non-owning: the registry must not be
-     * read after this Mmu is destroyed.
+     * @p registry. Multicore runs pass a @p prefix (e.g. "core2.") so
+     * each core's metrics stay distinct. Bindings are non-owning: the
+     * registry must not be read after this Mmu is destroyed.
      */
-    void registerMetrics(obs::MetricRegistry &registry) const;
+    void registerMetrics(obs::MetricRegistry &registry,
+                         const std::string &prefix = "") const;
+
+    /** Label telemetry records with this core's id (default 0). */
+    void setCoreId(unsigned core) { coreId_ = core; }
 
     /**
      * Attach a per-interval telemetry sink (not owned; null detaches).
@@ -179,8 +221,10 @@ class Mmu
     static unsigned logWaysOf(const tlb::SetAssocTlb &t);
 
     MmuConfig cfg_;
-    const vm::PageTable &pageTable_;
+    const vm::PageTable *pageTable_;
     const vm::RangeTable *rangeTable_;
+    tlb::Asid asid_ = 0;
+    unsigned coreId_ = 0;
 
     // Structures. l1Page4K_ doubles as the mixed L1 in TLB_PP mode, and
     // l2Page_ as the mixed L2.

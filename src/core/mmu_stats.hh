@@ -49,6 +49,15 @@ struct MmuStats
     Cycles l1MissCycles = 0; ///< l1Misses * L2 hit latency
     Cycles walkCycles = 0;   ///< l2Misses * page-walk latency
 
+    // Multicore bookkeeping (all zero in single-core runs; kept out of
+    // the derived single-core metrics so `--cores 1` stays identical).
+    std::uint64_t contextSwitches = 0;      ///< real CR3 reloads
+    std::uint64_t shootdownsInitiated = 0;  ///< remap broadcasts sent
+    std::uint64_t shootdownsReceived = 0;   ///< remote invalidations taken
+    std::uint64_t shootdownInvalidations = 0; ///< TLB entries dropped
+    Cycles shootdownCycles = 0;   ///< initiator-side IPI + wait cost
+    double shootdownEnergyPj = 0.0; ///< initiator-side broadcast energy
+
     std::array<std::uint64_t, static_cast<unsigned>(HitSource::Count)>
         hitsBySource{};
 

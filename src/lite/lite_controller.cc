@@ -48,14 +48,15 @@ LiteController::withinThreshold(double potentialMpki,
 }
 
 void
-LiteController::registerMetrics(obs::MetricRegistry &registry) const
+LiteController::registerMetrics(obs::MetricRegistry &registry,
+                                const std::string &prefix) const
 {
-    registry.addCounter("lite.intervals", &liteStats_.intervals);
-    registry.addCounter("lite.way_disable_events",
+    registry.addCounter(prefix + "lite.intervals", &liteStats_.intervals);
+    registry.addCounter(prefix + "lite.way_disable_events",
                         &liteStats_.wayDisableEvents);
-    registry.addCounter("lite.degradation_activations",
+    registry.addCounter(prefix + "lite.degradation_activations",
                         &liteStats_.degradationActivations);
-    registry.addCounter("lite.random_activations",
+    registry.addCounter(prefix + "lite.random_activations",
                         &liteStats_.randomActivations);
 }
 

@@ -25,6 +25,7 @@
 #define EAT_LITE_LITE_CONTROLLER_HH
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "base/rng.hh"
@@ -124,8 +125,10 @@ class LiteController
     std::uint64_t actualMisses() const { return actualMisses_; }
 
     /** Register the lite.* counters into @p registry (bindings only;
-     *  the registry must not outlive this controller). */
-    void registerMetrics(obs::MetricRegistry &registry) const;
+     *  the registry must not outlive this controller). Multicore runs
+     *  pass a per-core @p prefix ("core2."). */
+    void registerMetrics(obs::MetricRegistry &registry,
+                         const std::string &prefix = "") const;
 
     /**
      * Attach a decision tracer (not owned; null detaches). Every way

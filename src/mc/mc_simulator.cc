@@ -1,0 +1,617 @@
+#include "mc/mc_simulator.hh"
+
+#include <algorithm>
+#include <fstream>
+#include <memory>
+
+#include "base/logging.hh"
+#include "core/mmu.hh"
+#include "mc/mix.hh"
+#include "obs/metrics.hh"
+#include "obs/telemetry.hh"
+#include "obs/trace.hh"
+#include "stats/counter.hh"
+#include "vm/memory_manager.hh"
+
+namespace eat::mc
+{
+
+namespace
+{
+
+/** One scheduled task: a workload stream bound to an address space. */
+struct Task
+{
+    workloads::WorkloadSpec spec;
+    tlb::Asid asid = 0;
+    vm::MemoryManager *mm = nullptr; ///< not owned (shared mode aliases)
+    const vm::RangeTable *rangeTable = nullptr;
+    std::unique_ptr<workloads::WorkloadGenerator> gen;
+    InstrCount retired = 0;    ///< measured instructions, all cores
+    InstrCount sinceChurn = 0; ///< instructions since the last OS pass
+    bool demoteNext = true;    ///< THP churn alternates demote/promote
+    std::uint64_t remapEvents = 0;
+};
+
+/** The seed of task @p t's generator; task 0 keeps the config seed so
+ *  a one-task run replays the single-core driver bit for bit. */
+std::uint64_t
+taskSeed(const McConfig &config, unsigned t)
+{
+    return config.base.seed + t * 0x9e3779b97f4a7c15ull;
+}
+
+/** The OS policy of the configured organization (same override hook as
+ *  the single-core driver). */
+vm::OsPolicy
+policyOf(const McConfig &config)
+{
+    auto policy = config.base.mmu.osPolicy();
+    if (config.base.eagerRangesPerRegion > 0)
+        policy.eagerRangesPerRegion = config.base.eagerRangesPerRegion;
+    return policy;
+}
+
+/** Footprint-derived physical pool size (single-core formula). */
+std::uint64_t
+defaultPhysBytes(std::uint64_t footprint)
+{
+    return alignUp(footprint + footprint / 4 + 256_MiB, 2_MiB);
+}
+
+/**
+ * One OS churn pass over @p task's largest region: THP policies
+ * alternate demotion and promotion; everything else attempts a
+ * compaction (which fails gracefully when no contiguous block fits).
+ * Any page-table rewrite fires the remap listener, i.e. the shootdown.
+ */
+void
+churnTask(Task &task)
+{
+    const auto &regions = task.gen->regions();
+    if (regions.empty())
+        return;
+    const vm::Region *target = &regions[0];
+    for (const auto &r : regions) {
+        if (r.bytes > target->bytes)
+            target = &r;
+    }
+    bool changed = false;
+    if (task.mm->policy().transparentHugePages) {
+        changed = task.demoteNext ? task.mm->demoteRegion(*target) > 0
+                                  : task.mm->promoteRegion(*target) > 0;
+        task.demoteNext = !task.demoteNext;
+    } else {
+        changed = task.mm->compactRegion(*target);
+    }
+    if (changed)
+        ++task.remapEvents;
+}
+
+} // namespace
+
+McResult
+mcSimulate(const McConfig &config)
+{
+    eat_assert(config.cores >= 1 && config.cores <= kMaxCores,
+               "core count ", config.cores, " out of range");
+    eat_assert(!config.mix.empty(), "empty workload mix");
+    eat_assert(config.base.simulateInstructions > 0,
+               "empty measured window");
+    eat_assert(config.quantumInstructions > 0, "empty scheduler quantum");
+    eat_assert(config.faultCore < config.cores,
+               "fault core ", config.faultCore, " beyond core count");
+
+    obs::StageProfiler profiler;
+    profiler.start("setup");
+
+    const unsigned cores = config.cores;
+    const unsigned numTasks = static_cast<unsigned>(
+        std::max<std::size_t>(cores, config.mix.size()));
+    const bool wantRange =
+        config.base.mmu.hasL1Range || config.base.mmu.hasL2Range;
+
+    // --- address spaces. Private mode: one per task, every one
+    // starting at the same virtual base, so the spaces overlap and the
+    // ASID tags are load-bearing. Shared mode: one space, every task
+    // in its own region of it.
+    std::vector<std::unique_ptr<vm::MemoryManager>> spaces;
+    if (config.sharedAddressSpace) {
+        std::uint64_t physBytes = config.base.physBytes;
+        if (physBytes == 0) {
+            std::uint64_t need = 0;
+            for (unsigned t = 0; t < numTasks; ++t) {
+                const std::uint64_t fp =
+                    config.mix[t % config.mix.size()].footprintBytes();
+                need += fp + fp / 4;
+            }
+            physBytes = alignUp(need + 256_MiB, 2_MiB);
+        }
+        spaces.push_back(std::make_unique<vm::MemoryManager>(
+            policyOf(config), physBytes,
+            config.base.seed ^ 0x05f5e0ffull));
+    } else {
+        for (unsigned t = 0; t < numTasks; ++t) {
+            std::uint64_t physBytes = config.base.physBytes;
+            if (physBytes == 0) {
+                physBytes = defaultPhysBytes(
+                    config.mix[t % config.mix.size()].footprintBytes());
+            }
+            spaces.push_back(std::make_unique<vm::MemoryManager>(
+                policyOf(config), physBytes,
+                taskSeed(config, t) ^ 0x05f5e0ffull));
+        }
+    }
+
+    std::vector<Task> tasks(numTasks);
+    for (unsigned t = 0; t < numTasks; ++t) {
+        Task &task = tasks[t];
+        task.spec = config.mix[t % config.mix.size()];
+        task.asid =
+            config.sharedAddressSpace ? 0 : static_cast<tlb::Asid>(t);
+        task.mm = config.sharedAddressSpace ? spaces[0].get()
+                                            : spaces[t].get();
+        task.gen = std::make_unique<workloads::WorkloadGenerator>(
+            task.spec, *task.mm, taskSeed(config, t));
+        task.rangeTable = wantRange ? &task.mm->rangeTable() : nullptr;
+    }
+
+    // --- cores. Every core starts pointed at task 0's tables; the
+    // first quantum's switchContext retargets it (free for core 0).
+    std::vector<std::unique_ptr<core::Mmu>> mmus;
+    for (unsigned c = 0; c < cores; ++c) {
+        auto mmu = std::make_unique<core::Mmu>(
+            config.base.mmu, tasks[0].mm->pageTable(),
+            tasks[0].rangeTable);
+        mmu->setCoreId(c);
+        mmus.push_back(std::move(mmu));
+    }
+
+    // --- per-core checkers: fault attribution falls out of having one
+    // checker per core (the core whose checker fires is the core that
+    // observed the corruption).
+    std::vector<std::unique_ptr<check::ShadowChecker>> checkers(cores);
+    for (unsigned c = 0; c < cores; ++c) {
+        if (config.base.checkLevel == check::CheckLevel::Off)
+            continue;
+        auto checker = std::make_unique<check::ShadowChecker>(
+            config.base.checkLevel, tasks[0].mm->pageTable(),
+            tasks[0].rangeTable);
+        if (!config.sharedAddressSpace) {
+            for (unsigned t = 1; t < numTasks; ++t) {
+                checker->addContext(tasks[t].asid,
+                                    tasks[t].mm->pageTable(),
+                                    tasks[t].rangeTable);
+            }
+        }
+        if (cores > 1)
+            checker->setCoreLabel("core" + std::to_string(c) + ": ");
+        mmus[c]->setChecker(checker.get());
+        checkers[c] = std::move(checker);
+    }
+
+    // --- fault injector, wired to exactly one core's structures.
+    std::unique_ptr<check::FaultInjector> injector;
+    if (!config.base.faultSpec.empty()) {
+        auto specs = check::parseFaultSpecs(config.base.faultSpec);
+        if (!specs.ok())
+            eat_fatal(specs.status().message());
+        injector = std::make_unique<check::FaultInjector>(
+            std::move(specs.value()), config.base.seed);
+        core::Mmu &target = *mmus[config.faultCore];
+        injector->registerPageTlb(&target.l1Tlb4K(),
+                                  check::FaultTarget::L1Tlb4K);
+        injector->registerPageTlb(target.l1Tlb2M(),
+                                  check::FaultTarget::L1Tlb2M);
+        injector->registerPageTlb(target.l1Tlb1G(),
+                                  check::FaultTarget::L1Tlb1G);
+        injector->registerPageTlb(&target.l2Tlb(),
+                                  check::FaultTarget::L2Tlb);
+        injector->registerRangeTlb(target.l1RangeTlb(),
+                                   check::FaultTarget::L1Range);
+        injector->registerRangeTlb(target.l2RangeTlb(),
+                                   check::FaultTarget::L2Range);
+    }
+
+    // --- shared observability outputs. One telemetry stream (records
+    // carry the emitting core's id) and one trace for all cores.
+    std::unique_ptr<obs::TelemetrySink> telemetry;
+    std::unique_ptr<obs::TraceWriter> trace;
+    if (!config.base.telemetryPath.empty()) {
+        auto sink = obs::TelemetrySink::open(config.base.telemetryPath);
+        if (!sink.ok())
+            eat_fatal(sink.status().message());
+        telemetry = std::move(sink.value());
+        for (auto &mmu : mmus)
+            mmu->setTelemetry(telemetry.get());
+        if (injector)
+            mmus[config.faultCore]->setInjectStats(&injector->stats());
+    }
+    if (!config.base.traceOutPath.empty()) {
+        trace = std::make_unique<obs::TraceWriter>();
+        for (unsigned c = 0; c < cores; ++c) {
+            mmus[c]->setTrace(trace.get());
+            if (checkers[c])
+                checkers[c]->setTrace(trace.get());
+        }
+        if (injector)
+            injector->setTrace(trace.get());
+    }
+
+    // --- shootdown broadcast. Every page-table rewrite invalidates the
+    // affected span on every core (the initiator's invalidation is part
+    // of the remap); the initiating core pays the broadcast cost, and
+    // every checker re-snapshots the rewritten space.
+    unsigned activeCore = 0;
+    std::uint64_t shootdownEvents = 0;
+    std::uint64_t shootdownInvalidations = 0;
+    auto broadcast = [&](tlb::Asid asid, const vm::RemapEvent &event) {
+        unsigned invalidated = 0;
+        for (unsigned c = 0; c < cores; ++c) {
+            invalidated += mmus[c]->shootdownInvalidate(
+                event.vbase, event.vlimit, asid, c == activeCore);
+        }
+        if (cores > 1)
+            mmus[activeCore]->chargeShootdown(cores - 1, invalidated);
+        for (unsigned c = 0; c < cores; ++c) {
+            if (checkers[c])
+                checkers[c]->rebuildContext(asid);
+        }
+        ++shootdownEvents;
+        shootdownInvalidations += invalidated;
+    };
+    for (auto &space : spaces) {
+        // One listener per distinct space; all tasks of a shared space
+        // run as ASID 0, so the space's ASID is its first task's.
+        tlb::Asid spaceAsid = 0;
+        for (const auto &task : tasks) {
+            if (task.mm == space.get()) {
+                spaceAsid = task.asid;
+                break;
+            }
+        }
+        space->setRemapListener(
+            [&broadcast, spaceAsid](const vm::RemapEvent &event) {
+                broadcast(spaceAsid, event);
+            });
+    }
+
+    // --- fast-forward every task (cold TLBs at the measured window,
+    // exactly as single-core).
+    if (config.base.fastForwardInstructions > 0) {
+        profiler.start("fast-forward");
+        for (auto &task : tasks)
+            task.gen->skip(config.base.fastForwardInstructions);
+    }
+
+    // --- measured window: round-robin quanta until every core has
+    // retired its budget.
+    profiler.start("simulate");
+    const InstrCount budget = config.base.simulateInstructions;
+    std::vector<InstrCount> coreRetired(cores, 0);
+
+    std::vector<stats::Timeline> timelines;
+    for (unsigned c = 0; c < cores; ++c)
+        timelines.emplace_back(config.base.timelineInterval);
+    std::vector<InstrCount> nextSample(
+        cores, config.base.timelineInterval ? config.base.timelineInterval
+                                            : 0);
+    std::vector<std::uint64_t> missesAtSample(cores, 0);
+    std::vector<InstrCount> instrAtSample(cores, 0);
+
+    std::uint64_t round = 0;
+    while (true) {
+        bool anyActive = false;
+        for (unsigned c = 0; c < cores; ++c) {
+            if (coreRetired[c] >= budget)
+                continue;
+            anyActive = true;
+            Task &task = tasks[(round + c) % numTasks];
+            activeCore = c;
+            mmus[c]->switchContext(task.asid, task.mm->pageTable(),
+                                   task.rangeTable, config.ctxFlush);
+            if (config.remapInterval > 0 &&
+                task.sinceChurn >= config.remapInterval) {
+                task.sinceChurn = 0;
+                churnTask(task);
+            }
+
+            const InstrCount quantumEnd =
+                std::min(coreRetired[c] + config.quantumInstructions,
+                         budget);
+            while (coreRetired[c] < quantumEnd) {
+                const auto op = task.gen->next();
+                if (injector && c == config.faultCore)
+                    injector->tick();
+                mmus[c]->tick(op.instrGap);
+                mmus[c]->access(op.vaddr);
+                coreRetired[c] += op.instrGap;
+                task.retired += op.instrGap;
+                task.sinceChurn += op.instrGap;
+
+                if (config.base.timelineInterval) {
+                    const InstrCount elapsed = coreRetired[c];
+                    while (nextSample[c] && elapsed >= nextSample[c]) {
+                        const auto &s = mmus[c]->stats();
+                        const std::uint64_t dMiss =
+                            s.l1Misses - missesAtSample[c];
+                        const InstrCount dInstr =
+                            s.instructions - instrAtSample[c];
+                        timelines[c].record(stats::mpki(dMiss, dInstr));
+                        missesAtSample[c] = s.l1Misses;
+                        instrAtSample[c] = s.instructions;
+                        nextSample[c] += config.base.timelineInterval;
+                    }
+                }
+            }
+        }
+        if (!anyActive)
+            break;
+        ++round;
+    }
+
+    // Flush the final partial timeline windows.
+    if (config.base.timelineInterval) {
+        for (unsigned c = 0; c < cores; ++c) {
+            const auto &s = mmus[c]->stats();
+            const std::uint64_t dMiss = s.l1Misses - missesAtSample[c];
+            const InstrCount dInstr = s.instructions - instrAtSample[c];
+            if (dInstr > 0)
+                timelines[c].record(stats::mpki(dMiss, dInstr));
+        }
+    }
+
+    profiler.start("report");
+    McResult result;
+    result.cores = cores;
+    result.mixName = mixName(config.mix);
+    result.sharedAddressSpace = config.sharedAddressSpace;
+    result.ctxFlush = config.ctxFlush;
+    result.quantumInstructions = config.quantumInstructions;
+    result.shootdownEvents = shootdownEvents;
+    result.shootdownInvalidations = shootdownInvalidations;
+
+    // OS facts summed over the distinct address spaces (one space:
+    // exactly the single-core numbers).
+    std::uint64_t pages4K = 0;
+    std::uint64_t pages2M = 0;
+    std::uint64_t numRanges = 0;
+    std::uint64_t coveredBytes = 0;
+    std::uint64_t mappedBytes = 0;
+    for (const auto &space : spaces) {
+        pages4K += space->pageTable().pageCount(vm::PageSize::Size4K);
+        pages2M += space->pageTable().pageCount(vm::PageSize::Size2M);
+        numRanges += space->rangeTable().size();
+        coveredBytes += space->rangeTable().coveredBytes();
+        mappedBytes += space->mappedBytes();
+    }
+    const double rangeCoverage =
+        mappedBytes > 0 ? static_cast<double>(coveredBytes) /
+                              static_cast<double>(mappedBytes)
+                        : 0.0;
+
+    std::uint64_t telemetryRecords = 0;
+    std::uint64_t traceEvents = 0;
+    std::uint64_t traceEventsDropped = 0;
+    if (telemetry) {
+        telemetryRecords = telemetry->recordsEmitted();
+        eat_check_fatal(telemetry->close());
+    }
+    if (trace) {
+        traceEvents = trace->eventsRecorded();
+        traceEventsDropped = trace->eventsDropped();
+        eat_check_fatal(trace->write(config.base.traceOutPath));
+    }
+
+    for (unsigned c = 0; c < cores; ++c) {
+        sim::SimResult r;
+        r.workloadName = result.mixName;
+        r.org = config.base.mmu.org;
+        r.stats = mmus[c]->stats();
+        r.energy = mmus[c]->energyReport();
+        if (mmus[c]->lite()) {
+            r.lite = mmus[c]->lite()->stats();
+            r.liteEnabled = true;
+        }
+        r.checkLevel = config.base.checkLevel;
+        if (checkers[c]) {
+            r.check = checkers[c]->stats();
+            r.firstMismatch = checkers[c]->firstMismatch();
+        }
+        if (injector && c == config.faultCore)
+            r.inject = injector->stats();
+        r.mpkiTimeline = std::move(timelines[c]);
+        r.telemetryRecords = telemetryRecords;
+        r.traceEvents = traceEvents;
+        r.traceEventsDropped = traceEventsDropped;
+        r.pages4K = pages4K;
+        r.pages2M = pages2M;
+        r.numRanges = numRanges;
+        r.rangeCoverage = rangeCoverage;
+        result.perCore.push_back(std::move(r));
+    }
+
+    for (unsigned t = 0; t < numTasks; ++t) {
+        TaskResult tr;
+        tr.workload = tasks[t].spec.name;
+        tr.asid = tasks[t].asid;
+        tr.instructions = tasks[t].retired;
+        tr.remapEvents = tasks[t].remapEvents;
+        const vm::MemoryManager &mm = *tasks[t].mm;
+        tr.pages4K = mm.pageTable().pageCount(vm::PageSize::Size4K);
+        tr.pages2M = mm.pageTable().pageCount(vm::PageSize::Size2M);
+        tr.numRanges = mm.rangeTable().size();
+        tr.rangeCoverage = mm.rangeCoverage();
+        result.tasks.push_back(std::move(tr));
+    }
+
+    if (!config.base.metricsPath.empty()) {
+        obs::MetricRegistry registry;
+        for (unsigned c = 0; c < cores; ++c) {
+            const std::string prefix =
+                cores > 1 ? "core" + std::to_string(c) + "." : "";
+            mmus[c]->registerMetrics(registry, prefix);
+            if (checkers[c])
+                checkers[c]->registerMetrics(registry, prefix);
+            if (injector && c == config.faultCore)
+                injector->registerMetrics(registry, prefix);
+        }
+        std::ofstream out(config.base.metricsPath,
+                          std::ios::out | std::ios::trunc);
+        if (!out) {
+            eat_fatal("cannot open metrics file '",
+                      config.base.metricsPath, "'");
+        }
+        registry.writeJson(out);
+        out << '\n';
+        out.flush();
+        if (!out.good()) {
+            eat_fatal("error writing metrics file '",
+                      config.base.metricsPath, "'");
+        }
+    }
+
+    result.profile = profiler.timings();
+    for (auto &r : result.perCore)
+        r.profile = result.profile;
+    return result;
+}
+
+InstrCount
+McResult::totalInstructions() const
+{
+    InstrCount total = 0;
+    for (const auto &r : perCore)
+        total += r.stats.instructions;
+    return total;
+}
+
+PicoJoules
+McResult::totalEnergyPj() const
+{
+    PicoJoules total = 0.0;
+    for (const auto &r : perCore)
+        total += r.totalEnergy() + r.stats.shootdownEnergyPj;
+    return total;
+}
+
+double
+McResult::energyPerKiloInstr() const
+{
+    const InstrCount instr = totalInstructions();
+    if (instr == 0)
+        return 0.0;
+    return totalEnergyPj() * 1000.0 / static_cast<double>(instr);
+}
+
+double
+McResult::aggregateMpki() const
+{
+    const InstrCount instr = totalInstructions();
+    std::uint64_t misses = 0;
+    for (const auto &r : perCore)
+        misses += r.stats.l1Misses;
+    return instr == 0 ? 0.0
+                      : static_cast<double>(misses) * 1000.0 /
+                            static_cast<double>(instr);
+}
+
+double
+McResult::missCyclesPerKiloInstr() const
+{
+    const InstrCount instr = totalInstructions();
+    Cycles cycles = 0;
+    for (const auto &r : perCore)
+        cycles += r.stats.tlbMissCycles() + r.stats.shootdownCycles;
+    return instr == 0 ? 0.0
+                      : static_cast<double>(cycles) * 1000.0 /
+                            static_cast<double>(instr);
+}
+
+double
+McResult::simKips() const
+{
+    return obs::simKips(totalInstructions(), profile.total());
+}
+
+stats::TextTable
+mcPerCoreTable(const McResult &result)
+{
+    stats::TextTable table({"core", "instructions", "pJ/KI", "L1 MPKI",
+                            "miss-cyc/KI", "ctx-switch", "sd-init",
+                            "sd-recv", "sd-inval"});
+    for (unsigned c = 0; c < result.perCore.size(); ++c) {
+        const auto &r = result.perCore[c];
+        const auto &s = r.stats;
+        const double instr = static_cast<double>(s.instructions);
+        const double epki =
+            instr > 0.0
+                ? (r.totalEnergy() + s.shootdownEnergyPj) * 1000.0 / instr
+                : 0.0;
+        const double missCyc =
+            instr > 0.0 ? static_cast<double>(s.tlbMissCycles() +
+                                              s.shootdownCycles) *
+                              1000.0 / instr
+                        : 0.0;
+        table.addRow({"core" + std::to_string(c),
+                      std::to_string(s.instructions),
+                      stats::TextTable::num(epki, 1),
+                      stats::TextTable::num(s.l1Mpki(), 3),
+                      stats::TextTable::num(missCyc, 2),
+                      std::to_string(s.contextSwitches),
+                      std::to_string(s.shootdownsInitiated),
+                      std::to_string(s.shootdownsReceived),
+                      std::to_string(s.shootdownInvalidations)});
+    }
+    std::uint64_t ctx = 0;
+    std::uint64_t sdInit = 0;
+    std::uint64_t sdRecv = 0;
+    std::uint64_t sdInval = 0;
+    for (const auto &r : result.perCore) {
+        ctx += r.stats.contextSwitches;
+        sdInit += r.stats.shootdownsInitiated;
+        sdRecv += r.stats.shootdownsReceived;
+        sdInval += r.stats.shootdownInvalidations;
+    }
+    table.addRow({"all", std::to_string(result.totalInstructions()),
+                  stats::TextTable::num(result.energyPerKiloInstr(), 1),
+                  stats::TextTable::num(result.aggregateMpki(), 3),
+                  stats::TextTable::num(result.missCyclesPerKiloInstr(),
+                                        2),
+                  std::to_string(ctx), std::to_string(sdInit),
+                  std::to_string(sdRecv), std::to_string(sdInval)});
+    return table;
+}
+
+stats::TextTable
+mcOrgTable(const std::vector<McResult> &runs)
+{
+    eat_assert(!runs.empty(), "no runs to tabulate");
+    stats::TextTable table({"mix: " + runs[0].mixName, "pJ/KI",
+                            "norm-energy", "miss-cyc/KI", "norm-cycles",
+                            "L1 MPKI", "ctx-switch", "shootdowns"});
+    const double baseEnergy = runs[0].energyPerKiloInstr();
+    const double baseCycles = runs[0].missCyclesPerKiloInstr();
+    for (const auto &run : runs) {
+        eat_assert(!run.perCore.empty(), "run without cores");
+        std::uint64_t ctx = 0;
+        for (const auto &r : run.perCore)
+            ctx += r.stats.contextSwitches;
+        const double energy = run.energyPerKiloInstr();
+        const double cycles = run.missCyclesPerKiloInstr();
+        table.addRow(
+            {std::string(core::orgName(run.perCore[0].org)),
+             stats::TextTable::num(energy, 1),
+             stats::TextTable::num(
+                 baseEnergy > 0.0 ? energy / baseEnergy : 0.0, 3),
+             stats::TextTable::num(cycles, 2),
+             stats::TextTable::num(
+                 baseCycles > 0.0 ? cycles / baseCycles : 0.0, 3),
+             stats::TextTable::num(run.aggregateMpki(), 3),
+             std::to_string(ctx),
+             std::to_string(run.shootdownEvents)});
+    }
+    return table;
+}
+
+} // namespace eat::mc

@@ -1,0 +1,69 @@
+#include "mc/mix.hh"
+
+#include "base/parse.hh"
+#include "workloads/suite.hh"
+
+namespace eat::mc
+{
+
+Result<std::vector<workloads::WorkloadSpec>>
+parseMixSpec(std::string_view text)
+{
+    if (text.empty())
+        return Status::error("empty mix (expected workload[,workload...])");
+
+    std::vector<workloads::WorkloadSpec> mix;
+    std::size_t pos = 0;
+    while (pos <= text.size()) {
+        const std::size_t comma = text.find(',', pos);
+        const std::string_view name =
+            text.substr(pos, comma == std::string_view::npos
+                                 ? std::string_view::npos
+                                 : comma - pos);
+        if (name.empty()) {
+            return Status::error("empty workload name in mix '",
+                                 std::string(text), "'");
+        }
+        const auto spec = workloads::findWorkload(std::string(name));
+        if (!spec) {
+            return Status::error("unknown workload '", std::string(name),
+                                 "' in mix (see --list for the suite)");
+        }
+        mix.push_back(*spec);
+        if (comma == std::string_view::npos)
+            break;
+        pos = comma + 1;
+        if (pos == text.size()) {
+            return Status::error("empty workload name in mix '",
+                                 std::string(text), "'");
+        }
+    }
+    return mix;
+}
+
+Result<unsigned>
+parseCoreCount(std::string_view text)
+{
+    const auto n = parseU64(text);
+    if (!n.ok())
+        return n.status();
+    if (n.value() < 1 || n.value() > kMaxCores) {
+        return Status::error("core count ", n.value(),
+                             " out of range (1..", kMaxCores, ")");
+    }
+    return static_cast<unsigned>(n.value());
+}
+
+std::string
+mixName(const std::vector<workloads::WorkloadSpec> &mix)
+{
+    std::string name;
+    for (const auto &w : mix) {
+        if (!name.empty())
+            name += ',';
+        name += w.name;
+    }
+    return name;
+}
+
+} // namespace eat::mc

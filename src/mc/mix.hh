@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Multiprogrammed workload mixes.
+ *
+ * A mix spec is the command-line form of a multiprogrammed run: a
+ * comma-separated list of workload names ("mcf,canneal,omnetpp,astar"),
+ * each resolved against the built-in suite. The same parser backs
+ * eatsim, eatbatch, and eatfuzz so a spec accepted by one tool means
+ * the same thing everywhere.
+ */
+
+#ifndef EAT_MC_MIX_HH
+#define EAT_MC_MIX_HH
+
+#include <string_view>
+#include <vector>
+
+#include "base/status.hh"
+#include "workloads/workload.hh"
+
+namespace eat::mc
+{
+
+/** Largest core count the multicore model accepts. */
+constexpr unsigned kMaxCores = 16;
+
+/**
+ * Parse a comma-separated list of workload names into specs.
+ *
+ * Strict: an empty spec, an empty element (",," or trailing comma), or
+ * a name not in the suite is an error naming the offending element.
+ */
+Result<std::vector<workloads::WorkloadSpec>>
+parseMixSpec(std::string_view text);
+
+/** Parse and range-check a core count (1 .. kMaxCores). */
+Result<unsigned> parseCoreCount(std::string_view text);
+
+/** "a,b,c" — the canonical printable form of a parsed mix. */
+std::string mixName(const std::vector<workloads::WorkloadSpec> &mix);
+
+} // namespace eat::mc
+
+#endif // EAT_MC_MIX_HH

@@ -23,6 +23,7 @@ TelemetrySink::emit(const IntervalRecord &r)
     JsonObject o;
     o.put("schema", kTelemetrySchema);
     o.put("v", kTelemetryVersion);
+    o.put("core", r.core);
     o.put("interval", r.interval);
     o.put("start_instr", r.startInstr);
     o.put("instructions", r.instructions);

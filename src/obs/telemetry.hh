@@ -12,9 +12,13 @@
  * diverged instead of reconstructed from printf archaeology.
  *
  * Format: one JSON object per line ("JSONL"); every record carries
- * {"schema":"eat.telemetry","v":1} so consumers can reject streams
+ * {"schema":"eat.telemetry","v":2} so consumers can reject streams
  * they do not understand. Fields are deltas over the closed interval
  * unless suffixed _total.
+ *
+ * v2 adds the "core" field (which core emitted the record). Readers of
+ * v1 streams should treat a missing "core" as core 0 — v1 was emitted
+ * by single-core simulations only.
  */
 
 #ifndef EAT_OBS_TELEMETRY_HH
@@ -36,11 +40,12 @@ namespace eat::obs
 
 /** Schema identifier stamped into every telemetry record. */
 inline constexpr std::string_view kTelemetrySchema = "eat.telemetry";
-inline constexpr int kTelemetryVersion = 1;
+inline constexpr int kTelemetryVersion = 2;
 
 /** One closed interval's worth of simulation telemetry. */
 struct IntervalRecord
 {
+    unsigned core = 0;             ///< emitting core (always 0 pre-v2)
     std::uint64_t interval = 0;    ///< 0-based interval index
     InstrCount startInstr = 0;     ///< instructions retired at open
     InstrCount instructions = 0;   ///< instructions in the interval

@@ -111,6 +111,30 @@ generateScenario(std::uint64_t campaignSeed, std::uint64_t index)
     if (isPageTlbOrg(s.org) && rng.chance(0.25))
         s.faultSpec = generateFaultSpec(s.org, rng);
 
+    // A quarter of scenarios exercise the multicore driver: context
+    // switching, ASID tagging (or --ctx-flush), shootdown churn, and —
+    // at one core with an explicit mix — the single-core-equivalence
+    // oracle.
+    if (rng.chance(0.25)) {
+        constexpr unsigned kCoreChoices[] = {1, 2, 4};
+        s.cores = kCoreChoices[rng.below(3)];
+        const auto mixLen = rng.range(1, 4);
+        std::string mix;
+        for (std::uint64_t i = 0; i < mixLen; ++i) {
+            if (!mix.empty())
+                mix += ',';
+            mix += workloads[rng.below(workloads.size())].name;
+        }
+        s.mixSpec = mix;
+        s.sharedSpace = rng.chance(0.5);
+        s.ctxFlush = rng.chance(0.3);
+        s.quantum = rng.range(5'000, 50'000);
+        if (rng.chance(0.5))
+            s.remapInterval = rng.range(20'000, 100'000);
+        if (s.cores > 1 && !s.faultSpec.empty())
+            s.faultCore = static_cast<unsigned>(rng.below(s.cores));
+    }
+
     const auto cfg = s.toSimConfig();
     eat_assert(cfg.mmu.validate().ok(),
                "generator emitted invalid scenario: ", s.describe());

@@ -210,9 +210,175 @@ resultDigest(const sim::SimResult &r)
     return os.str();
 }
 
+std::string
+mcResultDigest(const mc::McResult &r)
+{
+    std::ostringstream os;
+    os.precision(17);
+    os << std::hexfloat;
+    os << "cores" << r.cores << " mix{" << r.mixName << '}'
+       << (r.sharedAddressSpace ? " shared" : " private")
+       << (r.ctxFlush ? " ctxflush" : "") << " q"
+       << r.quantumInstructions << " sd" << r.shootdownEvents << '/'
+       << r.shootdownInvalidations;
+    for (std::size_t c = 0; c < r.perCore.size(); ++c) {
+        const auto &s = r.perCore[c].stats;
+        os << "\ncore" << c << ' ' << resultDigest(r.perCore[c]) << " mc"
+           << s.contextSwitches << '/' << s.shootdownsInitiated << '/'
+           << s.shootdownsReceived << '/' << s.shootdownInvalidations
+           << '/' << s.shootdownCycles << '/' << s.shootdownEnergyPj;
+    }
+    for (std::size_t t = 0; t < r.tasks.size(); ++t) {
+        const auto &task = r.tasks[t];
+        os << "\ntask" << t << ' ' << task.workload << " a" << task.asid
+           << " i" << task.instructions << " r" << task.remapEvents
+           << " os" << task.pages4K << '/' << task.pages2M << '/'
+           << task.numRanges << '/' << task.rangeCoverage;
+    }
+    return os.str();
+}
+
+namespace
+{
+
+/** The oracle set of multicore scenarios. */
+OracleVerdict
+runMcOracles(const Scenario &scenario, Mutation mutation)
+{
+    OracleVerdict verdict;
+
+    auto cfg = scenario.toMcConfig();
+    if (mutation == Mutation::CorruptTlbFill)
+        cfg.base.faultSpec = "ppn-flip@l2:0.01,ppn-flip@l1-4k:0.01";
+
+    auto result = mc::mcSimulate(cfg);
+    {
+        Oracle oracle(verdict, "mc-replay-determinism");
+        const auto replay = mc::mcSimulate(cfg);
+        const auto first = mcResultDigest(result);
+        const auto second = mcResultDigest(replay);
+        oracle.expect(first == second,
+                      "two runs of one multicore scenario diverged; "
+                      "first run: ",
+                      first.substr(0, 160), "...");
+    }
+    verdict.digest = mcResultDigest(result);
+
+    if (mutation == Mutation::SkipEnergyCharge) {
+        // The defect under test, landed in core 0's report.
+        for (auto &row : result.perCore[0].energy.structs) {
+            if (row.readEnergy > 0.0) {
+                row.readEnergy *= 0.5;
+                break;
+            }
+        }
+    }
+
+    {
+        Oracle oracle(verdict, "checker-activity");
+        for (std::size_t c = 0; c < result.perCore.size(); ++c) {
+            const auto &r = result.perCore[c];
+            oracle.expect(r.checkLevel == check::CheckLevel::Full,
+                          "core ", c,
+                          " ran without the full shadow checker");
+            oracle.expect(r.check.translationChecks > 0, "core ", c,
+                          "'s shadow checker never checked a "
+                          "translation");
+        }
+    }
+
+    if (scenario.faultSpec.empty()) {
+        Oracle oracle(verdict, "checker-silence");
+        std::uint64_t mismatches = 0;
+        std::uint64_t injected = 0;
+        std::string first;
+        for (const auto &r : result.perCore) {
+            mismatches += r.check.mismatches();
+            injected += r.inject.injected();
+            if (first.empty())
+                first = r.firstMismatch;
+        }
+        oracle.expect(mismatches == 0, "fault-free run reported ",
+                      mismatches, " mismatches; first: ", first);
+        oracle.expect(injected == 0, "fault-free run injected ",
+                      injected, " faults");
+    } else {
+        Oracle oracle(verdict, "fault-detection");
+        const auto &faulted = result.perCore[cfg.faultCore];
+        if (faulted.inject.ppnFlips >= kDetectablePpnFlips) {
+            oracle.expect(faulted.check.mismatches() > 0,
+                          faulted.inject.ppnFlips,
+                          " ppn-flips landed on core ", cfg.faultCore,
+                          " but its checker stayed silent");
+        }
+        // Attribution: the injector touched exactly one core's TLBs,
+        // so every other core's checker must stay silent.
+        for (std::size_t c = 0; c < result.perCore.size(); ++c) {
+            if (c == cfg.faultCore)
+                continue;
+            oracle.expect(result.perCore[c].check.mismatches() == 0,
+                          "faults targeted core ", cfg.faultCore,
+                          " but core ", c, "'s checker fired: ",
+                          result.perCore[c].firstMismatch);
+        }
+    }
+
+    for (const auto &r : result.perCore)
+        checkEnergyConservation(r, verdict);
+
+    {
+        Oracle oracle(verdict, "shootdown-accounting");
+        std::uint64_t initiated = 0;
+        std::uint64_t received = 0;
+        std::uint64_t invalidations = 0;
+        for (const auto &r : result.perCore) {
+            initiated += r.stats.shootdownsInitiated;
+            received += r.stats.shootdownsReceived;
+            invalidations += r.stats.shootdownInvalidations;
+        }
+        const std::uint64_t cores = result.perCore.size();
+        oracle.expect(received == result.shootdownEvents * (cores - 1),
+                      "every broadcast interrupts every remote core: ",
+                      result.shootdownEvents, " events on ", cores,
+                      " cores but ", received, " receipts");
+        if (cores > 1) {
+            oracle.expect(initiated == result.shootdownEvents,
+                          initiated, " initiations for ",
+                          result.shootdownEvents, " broadcasts");
+        }
+        oracle.expect(invalidations == result.shootdownInvalidations,
+                      "per-core invalidations sum to ", invalidations,
+                      " but the run counted ",
+                      result.shootdownInvalidations);
+    }
+
+    // A one-task multicore run (churn off) must be the single-core
+    // driver, bit for bit — the acceptance bar for `--cores 1`.
+    if (cfg.cores == 1 && cfg.mix.size() == 1 &&
+        cfg.remapInterval == 0 && mutation == Mutation::None) {
+        Oracle oracle(verdict, "single-core-equivalence");
+        auto scfg = scenario.toSimConfig();
+        scfg.workload = cfg.mix[0];
+        const auto single = sim::simulate(scfg);
+        const auto singleDigest = resultDigest(single);
+        const auto coreDigest = resultDigest(result.perCore[0]);
+        oracle.expect(singleDigest == coreDigest,
+                      "one-core multicore run diverged from the "
+                      "single-core driver; single: ",
+                      singleDigest.substr(0, 160), "...");
+    }
+
+    return verdict;
+}
+
+} // namespace
+
 OracleVerdict
 runOracles(const Scenario &scenario, Mutation mutation)
 {
+    if (scenario.multicore())
+        return runMcOracles(scenario, mutation);
+
     OracleVerdict verdict;
 
     auto cfg = scenario.toSimConfig();

@@ -33,6 +33,7 @@
 #include <string>
 #include <vector>
 
+#include "mc/mc_simulator.hh"
 #include "qa/scenario.hh"
 #include "sim/simulator.hh"
 
@@ -70,6 +71,13 @@ struct OracleVerdict
  * bit-identity.
  */
 std::string resultDigest(const sim::SimResult &result);
+
+/**
+ * Deterministic digest of a multicore run: the per-core digests plus
+ * the multicore-only state resultDigest() does not see (context-switch
+ * and shootdown counters, per-task facts).
+ */
+std::string mcResultDigest(const mc::McResult &result);
 
 /** Run every applicable oracle on @p scenario. */
 OracleVerdict runOracles(const Scenario &scenario,

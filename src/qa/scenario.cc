@@ -3,6 +3,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "mc/mix.hh"
 #include "obs/json.hh"
 #include "workloads/suite.hh"
 
@@ -38,6 +39,28 @@ Scenario::toSimConfig() const
     return cfg;
 }
 
+mc::McConfig
+Scenario::toMcConfig() const
+{
+    mc::McConfig cfg;
+    cfg.base = toSimConfig();
+    cfg.cores = cores;
+    if (mixSpec.empty()) {
+        cfg.mix = {cfg.base.workload};
+    } else {
+        auto mix = mc::parseMixSpec(mixSpec);
+        if (!mix.ok())
+            eat_fatal("scenario ", id, ": ", mix.status().message());
+        cfg.mix = std::move(mix.value());
+    }
+    cfg.sharedAddressSpace = sharedSpace;
+    cfg.ctxFlush = ctxFlush;
+    cfg.quantumInstructions = quantum;
+    cfg.remapInterval = remapInterval;
+    cfg.faultCore = faultCore;
+    return cfg;
+}
+
 std::string
 Scenario::toJson() const
 {
@@ -57,6 +80,15 @@ Scenario::toJson() const
     json.put("lite_epsilon", liteEpsilon);
     json.put("lite_full_act_prob", liteFullActProb);
     json.put("fault_spec", faultSpec);
+    if (multicore()) {
+        json.put("cores", cores);
+        json.put("mix", mixSpec);
+        json.put("shared_space", sharedSpace);
+        json.put("ctx_flush", ctxFlush);
+        json.put("quantum", quantum);
+        json.put("remap_interval", remapInterval);
+        json.put("fault_core", faultCore);
+    }
     return json.str();
 }
 
@@ -77,6 +109,16 @@ Scenario::describe() const
         os << ", eager-ranges " << eagerRanges;
     if (!faultSpec.empty())
         os << ", faults '" << faultSpec << "'";
+    if (multicore()) {
+        os << ", " << cores << " cores";
+        if (!mixSpec.empty())
+            os << " [" << mixSpec << "]";
+        os << (sharedSpace ? ", shared" : ", private");
+        if (ctxFlush)
+            os << ", ctx-flush";
+        if (remapInterval > 0)
+            os << ", remap-interval " << remapInterval;
+    }
     return os.str();
 }
 
@@ -213,6 +255,62 @@ scenarioFromJson(std::string_view text)
             return Status::error("scenario: bad fault_spec: ",
                                  specs.status().message());
     }
+
+    // Multicore fields are optional (absent in pre-multicore seeds;
+    // the defaults describe exactly the single-core run they meant).
+    auto optU64 = [&json, &u64](std::string_view key,
+                                std::uint64_t &out) -> Status {
+        if (!json.find(key))
+            return Status();
+        return u64(key, out);
+    };
+    auto optBool = [&json](std::string_view key, bool &out) -> Status {
+        const auto *v = json.find(key);
+        if (!v)
+            return Status();
+        if (!v->isBool())
+            return Status::error("scenario: non-bool field '",
+                                 std::string(key), "'");
+        out = v->boolean;
+        return Status();
+    };
+    std::uint64_t coreCount = s.cores;
+    if (auto st = optU64("cores", coreCount); !st.ok())
+        return st;
+    if (coreCount < 1 || coreCount > mc::kMaxCores) {
+        return Status::error("scenario: core count ", coreCount,
+                             " out of range (1..", mc::kMaxCores, ")");
+    }
+    s.cores = static_cast<unsigned>(coreCount);
+    if (const auto *mix = json.find("mix")) {
+        if (!mix->isString())
+            return Status::error("scenario: non-string field 'mix'");
+        s.mixSpec = mix->string;
+        if (!s.mixSpec.empty()) {
+            const auto parsedMix = mc::parseMixSpec(s.mixSpec);
+            if (!parsedMix.ok())
+                return Status::error("scenario: ",
+                                     parsedMix.status().message());
+        }
+    }
+    if (auto st = optBool("shared_space", s.sharedSpace); !st.ok())
+        return st;
+    if (auto st = optBool("ctx_flush", s.ctxFlush); !st.ok())
+        return st;
+    if (auto st = optU64("quantum", s.quantum); !st.ok())
+        return st;
+    if (s.quantum == 0)
+        return Status::error("scenario: empty scheduler quantum");
+    if (auto st = optU64("remap_interval", s.remapInterval); !st.ok())
+        return st;
+    std::uint64_t faultCore = s.faultCore;
+    if (auto st = optU64("fault_core", faultCore); !st.ok())
+        return st;
+    if (faultCore >= s.cores) {
+        return Status::error("scenario: fault core ", faultCore,
+                             " beyond core count ", s.cores);
+    }
+    s.faultCore = static_cast<unsigned>(faultCore);
 
     // The scenario must describe a constructible machine.
     const auto cfg = s.toSimConfig();

@@ -30,6 +30,7 @@
 
 #include "base/status.hh"
 #include "core/config.hh"
+#include "mc/mc_simulator.hh"
 #include "sim/simulator.hh"
 
 namespace eat::qa
@@ -69,8 +70,24 @@ struct Scenario
     /** Fault-injection plan (fault_injector.hh grammar); empty = none. */
     std::string faultSpec;
 
+    // --- multicore (defaults describe a single-core run; the fields
+    // are optional in seed files, so v1 corpus seeds parse unchanged).
+    unsigned cores = 1;
+    std::string mixSpec; ///< comma list; empty = just `workload`
+    bool sharedSpace = false;
+    bool ctxFlush = false;
+    std::uint64_t quantum = 100'000;
+    std::uint64_t remapInterval = 0;
+    unsigned faultCore = 0;
+
+    /** True when the scenario runs the multicore driver. */
+    bool multicore() const { return cores > 1 || !mixSpec.empty(); }
+
     /** The SimConfig this scenario describes (checker always Full). */
     sim::SimConfig toSimConfig() const;
+
+    /** The McConfig of a multicore() scenario. */
+    mc::McConfig toMcConfig() const;
 
     /** Render as a seed-file JSON line. */
     std::string toJson() const;

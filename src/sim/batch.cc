@@ -9,7 +9,9 @@
 
 #include "base/logging.hh"
 #include "base/parse.hh"
+#include "mc/mix.hh"
 #include "sim/proc_pool.hh"
+#include "stats/counter.hh"
 #include "stats/csv.hh"
 #include "workloads/suite.hh"
 
@@ -20,7 +22,7 @@ namespace
 {
 
 /** Metric columns between "status" and "error". */
-constexpr std::size_t kMetricCount = 9;
+constexpr std::size_t kMetricCount = 10;
 
 std::string
 fmt(double v)
@@ -42,6 +44,32 @@ metricCells(const SimResult &r)
         fmt(r.energyPerKiloInstr()),
         std::to_string(r.check.mismatches()),
         std::to_string(r.inject.injected()),
+        "0", // shootdowns: a single-core run has no remote cores
+        fmt(r.profile.total()),
+        fmt(r.simKips()),
+    };
+}
+
+std::vector<std::string>
+metricCells(const mc::McResult &r)
+{
+    std::uint64_t l1Misses = 0, l2Misses = 0, mismatches = 0,
+                  injected = 0;
+    for (const auto &c : r.perCore) {
+        l1Misses += c.stats.l1Misses;
+        l2Misses += c.stats.l2Misses;
+        mismatches += c.check.mismatches();
+        injected += c.inject.injected();
+    }
+    return {
+        std::to_string(r.totalInstructions()),
+        fmt(stats::mpki(l1Misses, r.totalInstructions())),
+        fmt(stats::mpki(l2Misses, r.totalInstructions())),
+        fmt(r.missCyclesPerKiloInstr()),
+        fmt(r.energyPerKiloInstr()),
+        std::to_string(mismatches),
+        std::to_string(injected),
+        std::to_string(r.shootdownEvents),
         fmt(r.profile.total()),
         fmt(r.simKips()),
     };
@@ -78,6 +106,39 @@ executeRun(const SimConfig &cfg, bool deliberateFail, bool deliberateHang)
             out.error = "self-check failed: " +
                         std::to_string(r.check.mismatches()) +
                         " mismatches (first: " + r.firstMismatch + ")";
+            return out;
+        }
+        out.ok = true;
+        out.metrics = metricCells(r);
+    } catch (const std::exception &e) {
+        out.error = e.what();
+    }
+    return out;
+}
+
+/** The multicore counterpart: one mix under one organization. */
+RunOutcome
+executeMcRun(const mc::McConfig &cfg, bool deliberateFail)
+{
+    RunOutcome out;
+    try {
+        if (deliberateFail)
+            eat_fatal("deliberate failure requested (fail-cell)");
+        const mc::McResult r = mc::mcSimulate(cfg);
+        std::uint64_t mismatches = 0;
+        for (const auto &c : r.perCore)
+            mismatches += c.check.mismatches();
+        if (cfg.base.faultSpec.empty() && mismatches > 0) {
+            std::string first;
+            for (const auto &c : r.perCore) {
+                if (!c.firstMismatch.empty()) {
+                    first = c.firstMismatch;
+                    break;
+                }
+            }
+            out.error = "self-check failed: " +
+                        std::to_string(mismatches) +
+                        " mismatches (first: " + first + ")";
             return out;
         }
         out.ok = true;
@@ -276,6 +337,12 @@ writeCsvAtomic(const std::string &path, const std::vector<BatchRow> &rows)
 
 } // namespace
 
+std::vector<BatchRow>
+loadBatchRows(const std::string &path)
+{
+    return loadCompletedRows(path);
+}
+
 const std::vector<std::string> &
 batchCsvHeader()
 {
@@ -285,6 +352,7 @@ batchCsvHeader()
         "l1_mpki",         "l2_mpki",
         "miss_cycles_pki", "energy_pj_pki",
         "check_mismatches", "faults_injected",
+        "shootdowns",
         "wall_seconds",    "sim_kips",
         "error",
     };
@@ -348,6 +416,23 @@ runBatch(const BatchOptions &options, std::ostream &log)
     if (options.outPath.empty())
         return Status::error("no output path");
 
+    // Multicore sweep: one mix (explicit, or the selected workloads)
+    // per organization; the mix name labels the row.
+    const bool mcMode = options.multicore();
+    std::vector<workloads::WorkloadSpec> mix;
+    std::string mixLabel;
+    if (mcMode) {
+        mix = options.mix.empty() ? specs : options.mix;
+        mixLabel = mc::mixName(mix);
+        if (options.cores < 1 || options.cores > mc::kMaxCores) {
+            return Status::error("core count ", options.cores,
+                                 " out of range (1..", mc::kMaxCores,
+                                 ")");
+        }
+        if (options.mcQuantum == 0)
+            return Status::error("empty scheduler quantum");
+    }
+
     std::vector<BatchRow> done;
     if (options.resume)
         done = loadCompletedRows(options.outPath);
@@ -361,7 +446,8 @@ runBatch(const BatchOptions &options, std::ostream &log)
     };
 
     BatchSummary summary;
-    const std::size_t gridSize = specs.size() * orgs.size();
+    const std::size_t gridSize =
+        (mcMode ? 1 : specs.size()) * orgs.size();
     const unsigned jobs = effectiveJobs(options.jobs);
     const auto sweepStart = std::chrono::steady_clock::now();
 
@@ -379,11 +465,13 @@ runBatch(const BatchOptions &options, std::ostream &log)
     std::vector<std::size_t> pendingCells;
     {
         std::size_t index = 0;
-        for (const auto &spec : specs) {
+        const std::size_t numRows = mcMode ? 1 : specs.size();
+        for (std::size_t w = 0; w < numRows; ++w) {
             for (const auto org : orgs) {
-                cells.push_back(GridCell{&spec, org});
+                cells.push_back(
+                    GridCell{mcMode ? nullptr : &specs[w], org});
                 BatchRow &row = rows[index];
-                row.workload = spec.name;
+                row.workload = mcMode ? mixLabel : specs[w].name;
                 row.org = std::string(core::orgName(org));
                 if (const BatchRow *prev =
                         findDone(row.workload, row.org)) {
@@ -449,18 +537,45 @@ runBatch(const BatchOptions &options, std::ostream &log)
     std::vector<ProcessPool::TaskFn> tasks;
     tasks.reserve(toRun);
     for (const std::size_t index : pendingCells) {
-        SimConfig cfg = options.base;
-        cfg.workload = *cells[index].spec;
-        cfg.mmu = core::MmuConfig::make(cells[index].org);
         const BatchRow &row = rows[index];
-        if (!options.telemetryDir.empty()) {
-            cfg.telemetryPath = options.telemetryDir + "/" +
-                                row.workload + "_" + row.org + ".jsonl";
-        }
         const std::string cell = row.workload + ":" + row.org;
         const bool wantFail = options.failCell == cell;
         const bool wantHang = options.failCell == cell + ":hang" ||
                               options.failCell == "hang:" + cell;
+        // Commas in the mix label would splinter a telemetry filename.
+        std::string fileLabel = row.workload;
+        for (auto &c : fileLabel) {
+            if (c == ',')
+                c = '+';
+        }
+        if (mcMode) {
+            mc::McConfig mcc;
+            mcc.base = options.base;
+            mcc.base.workload = mix.front();
+            mcc.base.mmu = core::MmuConfig::make(cells[index].org);
+            mcc.cores = options.cores;
+            mcc.mix = mix;
+            mcc.sharedAddressSpace = options.mcShared;
+            mcc.ctxFlush = options.mcCtxFlush;
+            mcc.quantumInstructions = options.mcQuantum;
+            mcc.remapInterval = options.mcRemapInterval;
+            if (!options.telemetryDir.empty()) {
+                mcc.base.telemetryPath = options.telemetryDir + "/" +
+                                         fileLabel + "_" + row.org +
+                                         ".jsonl";
+            }
+            tasks.push_back([mcc, wantFail] {
+                return serialize(executeMcRun(mcc, wantFail));
+            });
+            continue;
+        }
+        SimConfig cfg = options.base;
+        cfg.workload = *cells[index].spec;
+        cfg.mmu = core::MmuConfig::make(cells[index].org);
+        if (!options.telemetryDir.empty()) {
+            cfg.telemetryPath = options.telemetryDir + "/" +
+                                fileLabel + "_" + row.org + ".jsonl";
+        }
         tasks.push_back([cfg, wantFail, wantHang] {
             return serialize(executeRun(cfg, wantFail, wantHang));
         });

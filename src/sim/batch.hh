@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "base/status.hh"
+#include "mc/mc_simulator.hh"
 #include "sim/simulator.hh"
 
 namespace eat::sim
@@ -101,10 +102,34 @@ struct BatchOptions
      * already exist).
      */
     std::string telemetryDir;
+
+    /**
+     * Multicore sweep: when cores > 1 or mix is non-empty, the grid
+     * becomes (mix x organization) — one multicore run of the whole
+     * mix per organization, with the mix name in the workload column
+     * and aggregate metrics in the rows. The remaining fields carry
+     * the scheduler and sharing knobs of every mc cell.
+     */
+    unsigned cores = 1;
+    std::vector<workloads::WorkloadSpec> mix;
+    bool mcShared = false;
+    bool mcCtxFlush = false;
+    std::uint64_t mcQuantum = 100'000;
+    std::uint64_t mcRemapInterval = 0;
+
+    bool multicore() const { return cores > 1 || !mix.empty(); }
 };
 
 /** The CSV header the runner writes. */
 const std::vector<std::string> &batchCsvHeader();
+
+/**
+ * Load the "ok" rows of a sweep CSV (as written by runBatch). Used by
+ * --resume and by drivers that post-process a finished sweep, e.g. the
+ * normalized per-mix organization table eatbatch prints after a
+ * multicore sweep.
+ */
+std::vector<BatchRow> loadBatchRows(const std::string &path);
 
 /**
  * Indices (into batchCsvHeader()) of the columns derived from wall

@@ -32,10 +32,15 @@ struct BenchOptions
     static BenchOptions parse(int argc, char **argv);
 };
 
-/** The results of one workload across multiple organizations. */
+/**
+ * The results of one workload across multiple organizations. The label
+ * is free-form: multicore sweeps reuse the same presentation with a
+ * mix name ("mcf,canneal") in place of a workload name, and per-core
+ * breakdowns come from mc::mcPerCoreTable rather than this row type.
+ */
 struct WorkloadRow
 {
-    std::string workload;
+    std::string workload; ///< workload (or mix) label for the row
     std::vector<SimResult> byOrg; ///< parallel to the org list used
 };
 
@@ -55,9 +60,10 @@ runMatrix(const std::vector<workloads::WorkloadSpec> &workloads,
 double meanOf(const std::vector<double> &values);
 
 /**
- * A table of per-workload values normalized to the first organization
- * (the paper's "normalized to 4KB" presentation), one column per org,
- * with a final average row.
+ * A table of per-row values normalized to the first organization (the
+ * paper's "normalized to 4KB" presentation), one column per org, with
+ * a final average row. Rows are workloads in the single-core benches
+ * and mixes in multicore sweeps.
  */
 stats::TextTable
 normalizedTable(const std::vector<WorkloadRow> &rows,

@@ -8,7 +8,7 @@ namespace eat::tlb
 WalkResult
 PageWalker::walk(Addr vaddr)
 {
-    auto t = pageTable_.translate(vaddr);
+    auto t = pageTable_->translate(vaddr);
     if (!t)
         eat_panic("page walk of unmapped address ", vaddr);
     WalkResult result;

@@ -33,7 +33,7 @@ class PageWalker
      * @param mmuCache the per-core paging-structure caches.
      */
     PageWalker(const vm::PageTable &pageTable, MmuCache &mmuCache)
-        : pageTable_(pageTable), mmuCache_(mmuCache)
+        : pageTable_(&pageTable), mmuCache_(mmuCache)
     {
     }
 
@@ -43,8 +43,15 @@ class PageWalker
      */
     WalkResult walk(Addr vaddr);
 
+    /** Point the walker at another address space's page table (a
+     *  context switch reloading CR3). */
+    void setPageTable(const vm::PageTable &pageTable)
+    {
+        pageTable_ = &pageTable;
+    }
+
   private:
-    const vm::PageTable &pageTable_;
+    const vm::PageTable *pageTable_;
     MmuCache &mmuCache_;
 };
 

@@ -12,10 +12,10 @@ RangeTlb::RangeTlb(std::string name, unsigned entries)
 }
 
 std::optional<vm::RangeTranslation>
-RangeTlb::lookup(Addr vaddr)
+RangeTlb::lookup(Addr vaddr, Asid asid)
 {
     for (auto &s : slots_) {
-        if (s.valid && s.range.contains(vaddr)) {
+        if (s.valid && s.asid == asid && s.range.contains(vaddr)) {
             s.stamp = ++clock_;
             ++hits_;
             return s.range;
@@ -26,21 +26,21 @@ RangeTlb::lookup(Addr vaddr)
 }
 
 bool
-RangeTlb::probe(Addr vaddr) const
+RangeTlb::probe(Addr vaddr, Asid asid) const
 {
     for (const auto &s : slots_) {
-        if (s.valid && s.range.contains(vaddr))
+        if (s.valid && s.asid == asid && s.range.contains(vaddr))
             return true;
     }
     return false;
 }
 
 void
-RangeTlb::fill(const vm::RangeTranslation &range)
+RangeTlb::fill(const vm::RangeTranslation &range, Asid asid)
 {
     Slot *victim = nullptr;
     for (auto &s : slots_) {
-        if (s.valid && s.range == range) {
+        if (s.valid && s.asid == asid && s.range == range) {
             // Already present (e.g. racing refills); just touch it.
             s.stamp = ++clock_;
             return;
@@ -58,6 +58,7 @@ RangeTlb::fill(const vm::RangeTranslation &range)
     victim->valid = true;
     victim->range = range;
     victim->stamp = ++clock_;
+    victim->asid = asid;
     ++fills_;
 }
 
@@ -66,6 +67,33 @@ RangeTlb::invalidateAll()
 {
     for (auto &s : slots_)
         s.valid = false;
+}
+
+unsigned
+RangeTlb::invalidateAsid(Asid asid)
+{
+    unsigned n = 0;
+    for (auto &s : slots_) {
+        if (s.valid && s.asid == asid) {
+            s.valid = false;
+            ++n;
+        }
+    }
+    return n;
+}
+
+unsigned
+RangeTlb::invalidateRange(Addr vbase, Addr vlimit, Asid asid)
+{
+    unsigned n = 0;
+    for (auto &s : slots_) {
+        if (s.valid && s.asid == asid && s.range.vbase < vlimit &&
+            s.range.vlimit > vbase) {
+            s.valid = false;
+            ++n;
+        }
+    }
+    return n;
 }
 
 bool

@@ -19,27 +19,41 @@
 #include <vector>
 
 #include "base/types.hh"
+#include "tlb/tlb_entry.hh"
 #include "vm/range_table.hh"
 
 namespace eat::tlb
 {
 
-/** A fully associative TLB over range translations (LRU replacement). */
+/** A fully associative TLB over range translations (LRU replacement).
+ *  Entries are ASID-tagged like page-TLB entries; asid 0 everywhere
+ *  reproduces the untagged single-core behavior. */
 class RangeTlb
 {
   public:
     RangeTlb(std::string name, unsigned entries);
 
     /** Find the cached range containing @p vaddr (LRU updated on hit). */
-    std::optional<vm::RangeTranslation> lookup(Addr vaddr);
+    std::optional<vm::RangeTranslation> lookup(Addr vaddr, Asid asid = 0);
 
     /** State-preserving hit test. */
-    bool probe(Addr vaddr) const;
+    bool probe(Addr vaddr, Asid asid = 0) const;
 
     /** Install a range translation (deduplicates; replaces LRU). */
-    void fill(const vm::RangeTranslation &range);
+    void fill(const vm::RangeTranslation &range, Asid asid = 0);
 
     void invalidateAll();
+
+    /** Invalidate every entry tagged @p asid.
+     *  @return number invalidated. */
+    unsigned invalidateAsid(Asid asid);
+
+    /**
+     * Shootdown receiver: invalidate entries tagged @p asid whose range
+     * overlaps [@p vbase, @p vlimit).
+     * @return number invalidated.
+     */
+    unsigned invalidateRange(Addr vbase, Addr vlimit, Asid asid);
 
     const std::string &name() const { return name_; }
     unsigned entries() const { return static_cast<unsigned>(slots_.size()); }
@@ -63,6 +77,7 @@ class RangeTlb
         bool valid = false;
         vm::RangeTranslation range{};
         std::uint64_t stamp = 0;
+        Asid asid = 0;
     };
 
     std::string name_;

@@ -29,17 +29,21 @@ struct RangeWalkResult
 class RangeTableWalker
 {
   public:
-    explicit RangeTableWalker(const vm::RangeTable &table) : table_(table) {}
+    explicit RangeTableWalker(const vm::RangeTable &table) : table_(&table) {}
 
     /** Search the range table for @p vaddr. */
     RangeWalkResult
     walk(Addr vaddr) const
     {
-        return RangeWalkResult{table_.lookup(vaddr), table_.walkRefs()};
+        return RangeWalkResult{table_->lookup(vaddr), table_->walkRefs()};
     }
 
+    /** Point the walker at another address space's range table (a
+     *  context switch reloading the range-table base register). */
+    void setRangeTable(const vm::RangeTable &table) { table_ = &table; }
+
   private:
-    const vm::RangeTable &table_;
+    const vm::RangeTable *table_;
 };
 
 } // namespace eat::tlb

@@ -25,7 +25,7 @@ SetAssocTlb::SetAssocTlb(std::string name, unsigned entries, unsigned ways,
 }
 
 TlbLookupResult
-SetAssocTlb::lookupWithShift(Addr vaddr, unsigned idxShift)
+SetAssocTlb::lookupWithShift(Addr vaddr, unsigned idxShift, Asid asid)
 {
     const unsigned set = indexOf(vaddr, idxShift);
     Slot *slots = slotsOfSet(set);
@@ -45,7 +45,7 @@ SetAssocTlb::lookupWithShift(Addr vaddr, unsigned idxShift)
     for (unsigned way = 0; way < activeWays_; ++way) {
         Slot &s = slots[way];
         if (hit == nullptr) {
-            if (s.valid && s.entry.covers(vaddr)) {
+            if (s.valid && s.entry.asid == asid && s.entry.covers(vaddr)) {
                 hit = &s;
                 hitStamp = s.stamp;
             } else if (s.valid) {
@@ -76,13 +76,15 @@ SetAssocTlb::lookupWithShift(Addr vaddr, unsigned idxShift)
 }
 
 bool
-SetAssocTlb::probe(Addr vaddr) const
+SetAssocTlb::probe(Addr vaddr, Asid asid) const
 {
     const unsigned set = indexOf(vaddr, shift_);
     const Slot *slots = slotsOfSet(set);
     for (unsigned way = 0; way < activeWays_; ++way) {
-        if (slots[way].valid && slots[way].entry.covers(vaddr))
+        if (slots[way].valid && slots[way].entry.asid == asid &&
+            slots[way].entry.covers(vaddr)) {
             return true;
+        }
     }
     return false;
 }
@@ -101,7 +103,8 @@ SetAssocTlb::fill(const TlbEntry &entry)
     Slot *victim = nullptr;
     for (unsigned way = 0; way < activeWays_; ++way) {
         Slot &s = slots[way];
-        if (s.valid && s.entry.covers(entry.vbase)) {
+        if (s.valid && s.entry.asid == entry.asid &&
+            s.entry.covers(entry.vbase)) {
             victim = &s; // refill in place
             break;
         }
@@ -126,6 +129,36 @@ SetAssocTlb::invalidateAll()
 {
     for (auto &s : slots_)
         s.valid = false;
+}
+
+unsigned
+SetAssocTlb::invalidateAsid(Asid asid)
+{
+    unsigned n = 0;
+    for (auto &s : slots_) {
+        if (s.valid && s.entry.asid == asid) {
+            s.valid = false;
+            ++n;
+        }
+    }
+    return n;
+}
+
+unsigned
+SetAssocTlb::invalidateRange(Addr vbase, Addr vlimit, Asid asid)
+{
+    unsigned n = 0;
+    for (auto &s : slots_) {
+        if (!s.valid || s.entry.asid != asid)
+            continue;
+        const Addr entryBase = alignDown(s.entry.vbase, Addr{1} << s.entry.shift);
+        const Addr entryEnd = entryBase + (Addr{1} << s.entry.shift);
+        if (entryBase < vlimit && entryEnd > vbase) {
+            s.valid = false;
+            ++n;
+        }
+    }
+    return n;
 }
 
 void

@@ -54,24 +54,48 @@ class SetAssocTlb
     SetAssocTlb(std::string name, unsigned entries, unsigned ways,
                 unsigned shift);
 
-    /** Look up @p vaddr (LRU updated on hit), indexing with @p shift. */
-    TlbLookupResult lookup(Addr vaddr) { return lookupWithShift(vaddr, shift_); }
+    /** Look up @p vaddr (LRU updated on hit), indexing with @p shift.
+     *  The tag match requires @p asid equality; asid 0 (the default)
+     *  reproduces the untagged single-core behavior. */
+    TlbLookupResult
+    lookup(Addr vaddr, Asid asid = 0)
+    {
+        return lookupWithShift(vaddr, shift_, asid);
+    }
 
     /**
      * Mixed-TLB lookup (TLB_PP): index with @p idxShift (the predicted
      * page size's shift); the tag match still uses each entry's own
-     * covered region.
+     * covered region (and ASID).
      */
-    TlbLookupResult lookupWithShift(Addr vaddr, unsigned idxShift);
+    TlbLookupResult lookupWithShift(Addr vaddr, unsigned idxShift,
+                                    Asid asid = 0);
 
     /** State-preserving hit test (no LRU update, no counters). */
-    bool probe(Addr vaddr) const;
+    bool probe(Addr vaddr, Asid asid = 0) const;
 
-    /** Install @p entry (its own shift selects the set). Replaces LRU. */
+    /** Install @p entry (its own shift selects the set, its own asid
+     *  tags it). Replaces LRU. */
     void fill(const TlbEntry &entry);
 
     /** Invalidate everything (all ways, active or not). */
     void invalidateAll();
+
+    /**
+     * Invalidate every entry tagged @p asid (all ways, active or not).
+     * Models the ASID reuse / address-space teardown case.
+     * @return number of entries invalidated.
+     */
+    unsigned invalidateAsid(Asid asid);
+
+    /**
+     * Shootdown receiver: invalidate entries tagged @p asid whose
+     * covered region overlaps [@p vbase, @p vlimit). Disabled ways are
+     * scanned too — a remap must never leave a stale translation that a
+     * later way re-enable could expose.
+     * @return number of entries invalidated.
+     */
+    unsigned invalidateRange(Addr vbase, Addr vlimit, Asid asid);
 
     /**
      * Way-disabling / re-enabling. @p w must be a power of two in

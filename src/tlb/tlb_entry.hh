@@ -6,11 +6,22 @@
 #ifndef EAT_TLB_TLB_ENTRY_HH
 #define EAT_TLB_TLB_ENTRY_HH
 
+#include <cstdint>
+
 #include "base/types.hh"
 #include "vm/page_size.hh"
 
 namespace eat::tlb
 {
+
+/**
+ * Address-space identifier tagging TLB entries. Single-core runs leave
+ * every entry (and every lookup) at asid 0, which keeps their behavior
+ * bit-identical to the untagged model; multicore runs with private
+ * address spaces assign one ASID per task so a context switch does not
+ * have to flush.
+ */
+using Asid = std::uint16_t;
 
 /**
  * One cached translation. @c shift defines the region the entry covers
@@ -23,6 +34,7 @@ struct TlbEntry
     Addr pbase = 0;  ///< physical base (unused by MMU caches)
     vm::PageSize size = vm::PageSize::Size4K;
     unsigned shift = 12; ///< log2 of the covered region size
+    Asid asid = 0;   ///< owning address space
 
     /** True iff @p vaddr falls in the region this entry covers. */
     bool
@@ -41,10 +53,11 @@ struct TlbEntry
 
 /** Build a page-TLB entry covering @p vaddr. */
 inline TlbEntry
-makePageEntry(Addr vaddr, Addr pbase, vm::PageSize size)
+makePageEntry(Addr vaddr, Addr pbase, vm::PageSize size, Asid asid = 0)
 {
     const unsigned shift = vm::pageShift(size);
-    return TlbEntry{alignDown(vaddr, Addr{1} << shift), pbase, size, shift};
+    return TlbEntry{alignDown(vaddr, Addr{1} << shift), pbase, size, shift,
+                    asid};
 }
 
 } // namespace eat::tlb

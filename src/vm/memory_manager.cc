@@ -7,6 +7,17 @@
 namespace eat::vm
 {
 
+std::string_view
+remapKindName(RemapKind kind)
+{
+    switch (kind) {
+      case RemapKind::Demotion: return "demotion";
+      case RemapKind::Promotion: return "promotion";
+      case RemapKind::Compaction: return "compaction";
+    }
+    return "?";
+}
+
 MemoryManager::MemoryManager(const OsPolicy &policy, std::uint64_t physBytes,
                              std::uint64_t seed)
     : policy_(policy), phys_(physBytes), rng_(seed)
@@ -140,7 +151,130 @@ MemoryManager::demoteRegion(const Region &region)
         if (pageTable_.demote(v))
             ++demoted;
     }
+    if (demoted > 0) {
+        notifyRemap({RemapKind::Demotion, region.vbase, region.vlimit(),
+                     demoted, false});
+    }
     return demoted;
+}
+
+std::uint64_t
+MemoryManager::promoteRegion(const Region &region)
+{
+    std::uint64_t promoted = 0;
+    for (Addr v = alignUp(region.vbase, 2_MiB);
+         v + 2_MiB <= region.vlimit(); v += 2_MiB) {
+        // Eligible chunks are fully mapped with 4 KB pages.
+        const auto first = pageTable_.translate(v);
+        if (!first || first->size != PageSize::Size4K)
+            continue;
+        bool eligible = true;
+        bool contiguous = true;
+        for (Addr off = 0; off < 2_MiB; off += 4096) {
+            const auto t = pageTable_.translate(v + off);
+            if (!t || t->size != PageSize::Size4K) {
+                eligible = false;
+                break;
+            }
+            if (t->pbase != first->pbase + off)
+                contiguous = false;
+        }
+        if (!eligible)
+            continue;
+
+        const bool inPlace =
+            contiguous && pageOffset(first->pbase, PageSize::Size2M) == 0;
+        Addr target = first->pbase;
+        if (!inPlace) {
+            // Migration target needed. A live range translation pins
+            // the frames (moving them would break it), and a full pool
+            // simply fails the promotion — both are the OS giving up on
+            // this chunk, not errors.
+            if (rangeTable_.lookup(v))
+                continue;
+            const auto fresh = phys_.allocContiguous(2_MiB, 2_MiB);
+            if (!fresh)
+                continue;
+            target = *fresh;
+        }
+        for (Addr off = 0; off < 2_MiB; off += 4096) {
+            const auto t = pageTable_.translate(v + off);
+            pageTable_.unmap(v + off, PageSize::Size4K);
+            if (!inPlace)
+                phys_.free(t->pbase, 4096);
+        }
+        pageTable_.map(v, target, PageSize::Size2M);
+        ++promoted;
+    }
+    if (promoted > 0) {
+        notifyRemap({RemapKind::Promotion, region.vbase, region.vlimit(),
+                     promoted, false});
+    }
+    return promoted;
+}
+
+bool
+MemoryManager::compactRegion(const Region &region)
+{
+    // Snapshot the region's leaf mappings first: compaction preserves
+    // page sizes, so the new block must be carved identically.
+    struct Leaf
+    {
+        Addr vbase;
+        Addr pbase;
+        PageSize size;
+    };
+    std::vector<Leaf> leaves;
+    for (Addr v = region.vbase; v < region.vlimit();) {
+        const auto t = pageTable_.translate(v);
+        eat_assert(t.has_value(), "compacting an unmapped page at ", v);
+        leaves.push_back({t->vbase, t->pbase, t->size});
+        v = t->vbase + pageBytes(t->size);
+    }
+
+    // Allocate the target before freeing the source so first-fit cannot
+    // hand the same frames back; failing here leaves the region
+    // untouched (the OS abandons the compaction run).
+    const auto newBase = phys_.allocContiguous(region.bytes, 2_MiB);
+    if (!newBase)
+        return false;
+
+    for (const auto &leaf : leaves) {
+        pageTable_.unmap(leaf.vbase, leaf.size);
+        phys_.free(leaf.pbase, pageBytes(leaf.size));
+        pageTable_.map(leaf.vbase, *newBase + (leaf.vbase - region.vbase),
+                       leaf.size);
+    }
+
+    bool rangesChanged = false;
+    if (policy_.eagerPaging) {
+        // Rewrite the region's range translations onto the new backing.
+        // Ranges never span regions (the mmap guard gap), so collecting
+        // by start address is exact.
+        std::vector<Addr> stale;
+        for (const auto &[vbase, range] : rangeTable_) {
+            if (vbase >= region.vbase && vbase < region.vlimit())
+                stale.push_back(vbase);
+        }
+        for (const Addr vbase : stale)
+            rangeTable_.erase(vbase);
+        if (!stale.empty()) {
+            rangeTable_.insert(
+                {region.vbase, region.vlimit(), *newBase});
+            rangesChanged = true;
+        }
+    }
+
+    notifyRemap({RemapKind::Compaction, region.vbase, region.vlimit(),
+                 leaves.size(), rangesChanged});
+    return true;
+}
+
+void
+MemoryManager::notifyRemap(const RemapEvent &event)
+{
+    if (remapListener_)
+        remapListener_(event);
 }
 
 double

@@ -20,6 +20,8 @@
 #define EAT_VM_MEMORY_MANAGER_HH
 
 #include <cstdint>
+#include <functional>
+#include <string_view>
 #include <vector>
 
 #include "base/rng.hh"
@@ -63,6 +65,31 @@ struct Region
     Addr vlimit() const { return vbase + bytes; }
 };
 
+/** Why the OS rewrote a region's translations. */
+enum class RemapKind
+{
+    Demotion,   ///< 2 MB mappings broken into 4 KB (memory pressure)
+    Promotion,  ///< 4 KB mappings collapsed into 2 MB (THP daemon)
+    Compaction, ///< region migrated to fresh contiguous frames
+};
+
+std::string_view remapKindName(RemapKind kind);
+
+/**
+ * One page-table rewrite affecting [vbase, vlimit). Cached translations
+ * of the region — on every core — are stale after this; multicore
+ * simulations subscribe via setRemapListener and broadcast the TLB
+ * shootdown.
+ */
+struct RemapEvent
+{
+    RemapKind kind = RemapKind::Demotion;
+    Addr vbase = 0;
+    Addr vlimit = 0;
+    std::uint64_t pagesChanged = 0; ///< leaf mappings rewritten
+    bool rangesChanged = false;     ///< range-table entries rewritten too
+};
+
 /** One process's OS-level memory manager. */
 class MemoryManager
 {
@@ -90,6 +117,40 @@ class MemoryManager
      */
     std::uint64_t demoteRegion(const Region &region);
 
+    /**
+     * Collapse fully 4 KB-mapped, 2 MB-aligned chunks of @p region into
+     * 2 MB mappings (the THP daemon's khugepaged pass). Chunks whose
+     * frames are already contiguous and aligned are promoted in place;
+     * others migrate to a fresh contiguous 2 MB block — unless a range
+     * translation covers them (moving would break it) or the pool has
+     * no aligned block left, in which case the chunk is skipped.
+     *
+     * @return number of chunks promoted.
+     */
+    std::uint64_t promoteRegion(const Region &region);
+
+    /**
+     * Migrate @p region to one fresh physically contiguous block
+     * (memory compaction / page migration). Page sizes are preserved;
+     * under eager paging the region's range translations are rewritten
+     * to the new backing.
+     *
+     * @return false (and no change) when no contiguous block fits.
+     */
+    bool compactRegion(const Region &region);
+
+    /**
+     * Subscribe to page-table rewrites (demotion, promotion,
+     * compaction). One listener only; pass nullptr to detach. The
+     * listener runs after the page table (and range table) are
+     * rewritten, exactly once per mutated region.
+     */
+    void
+    setRemapListener(std::function<void(const RemapEvent &)> listener)
+    {
+        remapListener_ = std::move(listener);
+    }
+
     const PageTable &pageTable() const { return pageTable_; }
     const RangeTable &rangeTable() const { return rangeTable_; }
     PhysicalMemory &physicalMemory() { return phys_; }
@@ -109,6 +170,9 @@ class MemoryManager
     /** Map [vbase, ...) with per-page physical allocation (no ranges). */
     void mapScattered(Addr vbase, std::uint64_t bytes);
 
+    /** Fire the remap listener (if any) for a completed rewrite. */
+    void notifyRemap(const RemapEvent &event);
+
     OsPolicy policy_;
     PhysicalMemory phys_;
     PageTable pageTable_;
@@ -117,6 +181,7 @@ class MemoryManager
     std::vector<Region> regions_;
     Addr nextVbase_ = 0x2000'0000;
     std::uint64_t mappedBytes_ = 0;
+    std::function<void(const RemapEvent &)> remapListener_;
 
     /** Virtual guard gap between regions (keeps ranges distinct). */
     static constexpr Addr kGuardGap = 2_MiB;

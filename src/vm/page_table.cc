@@ -54,6 +54,19 @@ struct PageTable::Node
     };
 
     std::array<Slot, 512> slots;
+
+    /** True when no leaf survives anywhere under this node. */
+    bool
+    subtreeEmpty() const
+    {
+        for (const auto &slot : slots) {
+            if (slot.isLeaf())
+                return false;
+            if (slot.child && !slot.child->subtreeEmpty())
+                return false;
+        }
+        return true;
+    }
 };
 
 PageTable::PageTable() : root_(std::make_unique<Node>()) {}
@@ -86,6 +99,12 @@ PageTable::map(Addr vbase, Addr pbase, PageSize size)
         node = ensureChild(*node, levelIndex(vbase, level));
 
     auto &slot = node->slots[levelIndex(vbase, leaf)];
+    // A huge mapping may land where a lower-level table used to be: if
+    // every entry of that table has been unmapped (the demote ->
+    // promote cycle), the OS frees the empty table and installs the
+    // large leaf in its place.
+    if (slot.child && slot.child->subtreeEmpty())
+        slot.child.reset();
     eat_assert(slot.isEmpty(),
                "mapping overlaps an existing mapping at ", vbase);
     slot.leafPbase = pbase;

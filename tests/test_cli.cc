@@ -137,6 +137,45 @@ TEST(CliEatsim, FailsOnGarbageTraceFile)
                   "bad magic");
 }
 
+TEST(CliEatsim, RejectsBadCoreCounts)
+{
+    expectFailure(kEatsim + " --workload=mcf --cores=0", 2,
+                  "out of range");
+    expectFailure(kEatsim + " --workload=mcf --cores=99", 2,
+                  "out of range");
+    expectFailure(kEatsim + " --workload=mcf --cores=two", 2, "--cores");
+}
+
+TEST(CliEatsim, RejectsBadMixes)
+{
+    expectFailure(kEatsim + " --mix=nosuchworkload", 2,
+                  "unknown workload");
+    expectFailure(kEatsim + " --mix=", 2, "empty mix");
+    expectFailure(kEatsim + " --mix=mcf,,canneal", 2,
+                  "empty workload name");
+}
+
+TEST(CliEatsim, RejectsInconsistentMulticoreFlags)
+{
+    expectFailure(kEatsim + " --workload=mcf --cores=2 --fault-core=2",
+                  2, "--fault-core");
+    expectFailure(kEatsim + " --workload=mcf --cores=2 --quantum=0", 2,
+                  "--quantum");
+    expectFailure(kEatsim + " --workload=mcf --cores=2 --record=" +
+                      ::testing::TempDir() + "/mc.eat",
+                  2, "single-core only");
+}
+
+TEST(CliEatbatch, RejectsBadCoresAndMixes)
+{
+    const std::string base =
+        kEatbatch + " --out=" + ::testing::TempDir() + "/cli_mc.csv";
+    expectFailure(base + " --cores=0", 2, "out of range");
+    expectFailure(base + " --cores=99", 2, "out of range");
+    expectFailure(base + " --mix=nosuchworkload", 2, "unknown workload");
+    expectFailure(base + " --mix=", 2, "empty mix");
+}
+
 TEST(CliEatbatch, RejectsBadJobCounts)
 {
     const std::string base =

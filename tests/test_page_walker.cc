@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Direct tests for the hardware page-table walker: translation
+ * correctness per leaf size, walk cost following the paging-structure
+ * caches, and context-switch retargeting via setPageTable() — the
+ * entry point the multicore scheduler leans on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "tlb/mmu_cache.hh"
+#include "tlb/page_walker.hh"
+#include "vm/page_table.hh"
+
+namespace eat::tlb
+{
+namespace
+{
+
+using vm::PageSize;
+
+TEST(PageWalker, ResolvesA4KLeafWithItsOffset)
+{
+    vm::PageTable pt;
+    pt.map(0x2000'0000, 0x9000'0000, PageSize::Size4K);
+    MmuCache cache;
+    PageWalker walker(pt, cache);
+
+    const auto r = walker.walk(0x2000'0abc);
+    EXPECT_EQ(r.translation.vbase, 0x2000'0000u);
+    EXPECT_EQ(r.translation.pbase, 0x9000'0000u);
+    EXPECT_EQ(r.translation.size, PageSize::Size4K);
+    // Cold caches: all four levels come from memory.
+    EXPECT_EQ(r.cache.memRefs, 4u);
+}
+
+TEST(PageWalker, WalkCostFollowsLeafDepth)
+{
+    vm::PageTable pt;
+    pt.map(0x4000'0000, 0x8000'0000, PageSize::Size2M);
+    // Own PML4 region (512 GB apart) so the first walk's PML4 fill
+    // cannot shorten the second cold walk.
+    pt.map(0x80'0000'0000, 0x2'0000'0000, PageSize::Size1G);
+    MmuCache cache;
+    PageWalker walker(pt, cache);
+
+    // A 2 MB leaf lives at the PDE level: a cold walk needs 3 refs.
+    EXPECT_EQ(walker.walk(0x4000'1234).cache.memRefs, 3u);
+    // A 1 GB leaf lives at the PDPTE level: a cold walk needs 2 refs.
+    EXPECT_EQ(walker.walk(0x80'0050'0000).cache.memRefs, 2u);
+}
+
+TEST(PageWalker, WarmCachesShortenTheWalk)
+{
+    vm::PageTable pt;
+    pt.map(0x2000'0000, 0x9000'0000, PageSize::Size4K);
+    pt.map(0x2000'1000, 0x9000'1000, PageSize::Size4K);
+    MmuCache cache;
+    PageWalker walker(pt, cache);
+
+    ASSERT_EQ(walker.walk(0x2000'0000).cache.memRefs, 4u);
+    // Same 2 MB region: the PDE entry covers it, one leaf fetch left.
+    EXPECT_EQ(walker.walk(0x2000'1000).cache.memRefs, 1u);
+}
+
+TEST(PageWalker, SetPageTableRetargetsAnotherAddressSpace)
+{
+    // Two address spaces map the same vaddr to different frames — the
+    // situation every multicore context switch creates.
+    vm::PageTable a, b;
+    a.map(0x2000'0000, 0x9000'0000, PageSize::Size4K);
+    b.map(0x2000'0000, 0xa000'0000, PageSize::Size4K);
+    MmuCache cache;
+    PageWalker walker(a, cache);
+
+    EXPECT_EQ(walker.walk(0x2000'0000).translation.pbase, 0x9000'0000u);
+    walker.setPageTable(b);
+    EXPECT_EQ(walker.walk(0x2000'0000).translation.pbase, 0xa000'0000u);
+}
+
+TEST(PageWalker, PanicsOnUnmappedMemory)
+{
+    vm::PageTable pt;
+    pt.map(0x2000'0000, 0x9000'0000, PageSize::Size4K);
+    MmuCache cache;
+    PageWalker walker(pt, cache);
+
+    EXPECT_THROW(walker.walk(0x7000'0000), std::logic_error);
+}
+
+} // namespace
+} // namespace eat::tlb

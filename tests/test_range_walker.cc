@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Direct tests for the background range-table walker: hit/miss
+ * outcomes, the B-tree-depth walk cost, and context-switch retargeting
+ * via setRangeTable() — the entry point the multicore scheduler leans
+ * on for RMM organizations.
+ */
+
+#include <gtest/gtest.h>
+
+#include "tlb/range_walker.hh"
+#include "vm/range_table.hh"
+
+namespace eat::tlb
+{
+namespace
+{
+
+TEST(RangeTableWalker, MissOnAnEmptyTableStillProbesTheRoot)
+{
+    vm::RangeTable table;
+    RangeTableWalker walker(table);
+
+    const auto r = walker.walk(0x2000'0000);
+    EXPECT_FALSE(r.range.has_value());
+    EXPECT_EQ(r.memRefs, 1u);
+}
+
+TEST(RangeTableWalker, HitReturnsTheCoveringRange)
+{
+    vm::RangeTable table;
+    table.insert({0x2000'0000, 0x2040'0000, 0x9000'0000});
+    RangeTableWalker walker(table);
+
+    const auto hit = walker.walk(0x2012'3456);
+    ASSERT_TRUE(hit.range.has_value());
+    EXPECT_EQ(hit.range->vbase, 0x2000'0000u);
+    EXPECT_EQ(hit.range->paddr(0x2012'3456), 0x9012'3456u);
+
+    // One byte past the limit: a miss, same table walk cost.
+    const auto miss = walker.walk(0x2040'0000);
+    EXPECT_FALSE(miss.range.has_value());
+    EXPECT_EQ(miss.memRefs, hit.memRefs);
+}
+
+TEST(RangeTableWalker, WalkCostGrowsWithBTreeDepth)
+{
+    vm::RangeTable table;
+    RangeTableWalker walker(table);
+    const unsigned rootOnly = walker.walk(0).memRefs;
+
+    // Enough disjoint, non-mergeable ranges to force a deeper tree
+    // than the root: depth is ceil over fan-out 8.
+    for (Addr i = 0; i < 64; ++i) {
+        table.insert({0x2000'0000 + i * 0x20'0000,
+                      0x2000'0000 + i * 0x20'0000 + 0x10'0000,
+                      0x9000'0000 + i * 0x40'0000});
+    }
+    EXPECT_EQ(table.size(), 64u);
+    EXPECT_GT(walker.walk(0x2000'0000).memRefs, rootOnly);
+}
+
+TEST(RangeTableWalker, SetRangeTableRetargetsAnotherAddressSpace)
+{
+    vm::RangeTable a, b;
+    a.insert({0x2000'0000, 0x2010'0000, 0x9000'0000});
+    b.insert({0x2000'0000, 0x2010'0000, 0xb000'0000});
+    RangeTableWalker walker(a);
+
+    ASSERT_TRUE(walker.walk(0x2000'0000).range.has_value());
+    EXPECT_EQ(walker.walk(0x2000'0000).range->pbase, 0x9000'0000u);
+    walker.setRangeTable(b);
+    EXPECT_EQ(walker.walk(0x2000'0000).range->pbase, 0xb000'0000u);
+}
+
+} // namespace
+} // namespace eat::tlb

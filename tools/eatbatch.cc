@@ -6,6 +6,9 @@
  *            [--orgs=THP,RMM] [--instructions=N] [--fast-forward=N]
  *            [--seed=N] [--timeout=SECONDS] [--check=off|paddr|full]
  *            [--inject=SPEC] [--resume]
+ *   eatbatch --out=mix.csv --cores=4 --mix=mcf,canneal,omnetpp,astar
+ *            [--shared] [--ctx-flush] [--quantum=N]
+ *            [--remap-interval=N]
  *
  * Every run executes in its own process under a wall-clock watchdog,
  * so one crashing or hanging cell costs one row, not the sweep. Up to
@@ -14,6 +17,12 @@
  * except wall_seconds/sim_kips is bit-identical to a -j1 sweep. The
  * CSV is rewritten atomically after every run and --resume reuses the
  * rows a previous (possibly interrupted) sweep already completed.
+ *
+ * With --cores/--mix the grid becomes (mix x organization): every cell
+ * runs the whole multiprogrammed mix through the multicore driver
+ * under one organization, and after the sweep a normalized per-mix
+ * table (energy and miss cycles relative to the first organization,
+ * Figure-10 style) is printed from the finished rows.
  */
 
 #include <cstdio>
@@ -22,10 +31,13 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "base/parse.hh"
+#include "mc/mix.hh"
 #include "sim/batch.hh"
+#include "stats/table.hh"
 #include "workloads/suite.hh"
 
 namespace
@@ -55,7 +67,14 @@ usage(const char *argv0)
         "  --inject=SPEC        fault-injection spec per run\n"
         "  --telemetry-dir=DIR  per-cell interval telemetry (JSONL) as\n"
         "                       DIR/<workload>_<org>.jsonl\n"
-        "  --resume             reuse ok rows already in --out\n",
+        "  --resume             reuse ok rows already in --out\n"
+        "  --cores=N            multicore sweep with N cores (1..16)\n"
+        "  --mix=A,B,...        multiprogrammed mix (default: the\n"
+        "                       selected workloads)\n"
+        "  --shared             one shared address space per mc cell\n"
+        "  --ctx-flush          flush TLBs on context switch (no ASIDs)\n"
+        "  --quantum=N          scheduler quantum (default 100000)\n"
+        "  --remap-interval=N   OS churn every N instructions per task\n",
         argv0);
     std::exit(2);
 }
@@ -152,6 +171,35 @@ main(int argc, char **argv)
             options.telemetryDir = v11;
         } else if (const char *v12 = value("--jobs=")) {
             setJobs(v12);
+        } else if (const char *v14 = value("--cores=")) {
+            const auto n = mc::parseCoreCount(v14);
+            if (!n.ok()) {
+                std::fprintf(stderr, "--cores: %s\n",
+                             std::string(n.status().message()).c_str());
+                return 2;
+            }
+            options.cores = n.value();
+        } else if (const char *v15 = value("--mix=")) {
+            auto mix = mc::parseMixSpec(v15);
+            if (!mix.ok()) {
+                std::fprintf(stderr, "--mix: %s\n",
+                             std::string(mix.status().message()).c_str());
+                return 2;
+            }
+            options.mix = std::move(mix.value());
+        } else if (const char *v16 = value("--quantum=")) {
+            options.mcQuantum = parseCount("--quantum", v16);
+            if (options.mcQuantum == 0) {
+                std::fprintf(stderr, "--quantum: must be positive\n");
+                return 2;
+            }
+        } else if (const char *v17 = value("--remap-interval=")) {
+            options.mcRemapInterval =
+                parseCount("--remap-interval", v17);
+        } else if (arg == "--shared") {
+            options.mcShared = true;
+        } else if (arg == "--ctx-flush") {
+            options.mcCtxFlush = true;
         } else if (const char *v13 = value("-j")) {
             setJobs(v13);
         } else if (arg == "--resume") {
@@ -197,5 +245,37 @@ main(int argc, char **argv)
               << " failed, " << s.timedOut << " timed out, " << s.resumed
               << " resumed (" << s.total() << " total) -> "
               << options.outPath << "\n";
+
+    // After a multicore sweep, print the per-mix organization table
+    // (paper Figure 10 shape): absolute and normalized energy and
+    // miss cycles per organization, from the finished rows.
+    if (options.multicore() && s.ok + s.resumed > 0) {
+        const auto rows = sim::loadBatchRows(options.outPath);
+        if (!rows.empty()) {
+            // Metric columns (see batchCsvHeader): 1 l1_mpki,
+            // 3 miss_cycles_pki, 4 energy_pj_pki, 7 shootdowns.
+            const double baseEnergy = std::stod(rows.front().metrics[4]);
+            const double baseCycles = std::stod(rows.front().metrics[3]);
+            std::cout << "\nmix " << rows.front().workload << " on "
+                      << options.cores << " cores (normalized to "
+                      << rows.front().org << "):\n";
+            stats::TextTable table({"org", "pJ/KI", "norm energy",
+                                    "miss-cyc/KI", "norm cycles",
+                                    "L1 MPKI", "shootdowns"});
+            for (const auto &row : rows) {
+                const double energy = std::stod(row.metrics[4]);
+                const double cycles = std::stod(row.metrics[3]);
+                table.addRow(
+                    {row.org, stats::TextTable::num(energy, 1),
+                     stats::TextTable::num(
+                         baseEnergy > 0 ? energy / baseEnergy : 0.0, 3),
+                     stats::TextTable::num(cycles, 2),
+                     stats::TextTable::num(
+                         baseCycles > 0 ? cycles / baseCycles : 0.0, 3),
+                     row.metrics[1], row.metrics[7]});
+            }
+            table.print(std::cout);
+        }
+    }
     return (s.failed + s.timedOut) > 0 ? 1 : 0;
 }

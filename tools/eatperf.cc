@@ -12,17 +12,24 @@
  * deterministic; only the wall-clock numbers move between machines,
  * which is exactly what the file exists to track.
  *
- * BENCH_perf.json schema (v1):
+ * BENCH_perf.json schema (v2; v1 lacked the "mc" array):
  *
  *   {
- *     "schema": "eat.perf_baseline", "v": 1,
+ *     "schema": "eat.perf_baseline", "v": 2,
  *     "seed": ..., "instructions": ..., "fast_forward": ...,
  *     "kips": [ {"org": "THP", "workload": "mcf",
  *                "sim_kips": ..., "wall_seconds": ...}, ... ],
+ *     "mc": [ {"cores": 1, "mix": "mcf,canneal",
+ *              "sim_kips": ..., "wall_seconds": ...}, ... ],
  *     "sweep": { "workloads": "mcf,astar", "orgs": 6, "cells": 12,
  *                "jobs": N, "j1_wall_seconds": ...,
  *                "jn_wall_seconds": ..., "speedup": ... }
  *   }
+ *
+ * The "mc" leg runs the same pinned mix through the multicore driver
+ * at 1, 2, and 4 cores; sim_kips there is the aggregate rate over all
+ * cores, the scaling number the multicore scheduler is accountable
+ * for.
  */
 
 #include <chrono>
@@ -37,6 +44,8 @@
 #include <vector>
 
 #include "base/parse.hh"
+#include "mc/mc_simulator.hh"
+#include "mc/mix.hh"
 #include "obs/json.hh"
 #include "sim/batch.hh"
 #include "sim/simulator.hh"
@@ -192,6 +201,37 @@ main(int argc, char **argv)
     }
     kipsArray += "]";
 
+    // --- leg 1b: multicore scaling, aggregate sim-KIPS at 1/2/4 cores ---
+    const auto mcMix = mc::parseMixSpec("mcf,canneal");
+    if (!mcMix.ok()) {
+        std::fprintf(stderr, "eatperf: %s\n",
+                     std::string(mcMix.status().message()).c_str());
+        return 1;
+    }
+    std::string mcArray = "[";
+    for (const unsigned cores : {1u, 2u, 4u}) {
+        mc::McConfig mcc;
+        mcc.base = batchTemplate.base;
+        mcc.base.workload = mcMix.value().front();
+        mcc.base.mmu = core::MmuConfig::make(core::MmuOrg::TlbLite);
+        mcc.cores = cores;
+        mcc.mix = mcMix.value();
+        const auto start = std::chrono::steady_clock::now();
+        const mc::McResult r = mc::mcSimulate(mcc);
+        const double wall = seconds(start);
+        obs::JsonObject entry;
+        entry.put("cores", cores);
+        entry.put("mix", r.mixName);
+        entry.put("sim_kips", r.simKips());
+        entry.put("wall_seconds", wall);
+        if (mcArray.size() > 1)
+            mcArray += ",";
+        mcArray += entry.str();
+        std::cout << "mc: " << cores << " cores " << r.simKips()
+                  << " aggregate sim-KIPS (" << wall << "s)\n";
+    }
+    mcArray += "]";
+
     // --- leg 2: sweep wall clock, serial vs pool ---
     const std::string csvPath = outPath + ".sweep.csv";
     std::cout << "sweep: " << sweepWorkloads.size() * core::allOrgs().size()
@@ -219,11 +259,12 @@ main(int argc, char **argv)
 
     obs::JsonObject doc;
     doc.put("schema", "eat.perf_baseline");
-    doc.put("v", 1);
+    doc.put("v", 2);
     doc.put("seed", std::uint64_t{42});
     doc.put("instructions", std::uint64_t{instructions});
     doc.put("fast_forward", std::uint64_t{fastForward});
     doc.putRaw("kips", kipsArray);
+    doc.putRaw("mc", mcArray);
     doc.putRaw("sweep", sweep.str());
 
     std::ofstream out(outPath, std::ios::trunc);

@@ -7,10 +7,15 @@
  *          [--fast-forward=N] [--seed=N] [--timeline=N]
  *          [--record=trace.eat | --replay=trace.eat]
  *          [--check=off|paddr|full] [--inject=SPEC]
+ *   eatsim --cores=4 --mix=mcf,canneal,omnetpp,astar --org=RMM_Lite
+ *          [--shared] [--ctx-flush] [--quantum=N] [--remap-interval=N]
+ *          [--fault-core=N]
  *
  * Runs one simulation and prints the full report: performance, the
  * dynamic-energy breakdown per structure, Lite activity, the
- * self-check verdict, and the OS facts of the run.
+ * self-check verdict, and the OS facts of the run. With --cores/--mix
+ * the multicore driver runs instead and the report shows per-core and
+ * aggregate numbers plus context-switch and shootdown activity.
  *
  * Exit status: 0 on success, 1 on a runtime error, 2 on bad usage,
  * 3 when the differential checker found mismatches that no fault
@@ -22,8 +27,12 @@
 #include <cstring>
 #include <iostream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "base/parse.hh"
+#include "mc/mc_simulator.hh"
+#include "mc/mix.hh"
 #include "sim/simulator.hh"
 #include "stats/table.hh"
 #include "workloads/suite.hh"
@@ -58,6 +67,15 @@ usage(const char *argv0)
         "  --telemetry=PATH     stream per-interval telemetry (JSONL)\n"
         "  --trace-out=PATH     write a Chrome trace of Lite/TLB\n"
         "                       decisions (load in chrome://tracing)\n"
+        "  --cores=N            multicore run with N cores (1..16)\n"
+        "  --mix=A,B,...        multiprogrammed workload mix\n"
+        "  --shared             one shared address space (threads)\n"
+        "  --ctx-flush          no ASID tags: flush TLBs on context"
+        " switch\n"
+        "  --quantum=N          scheduler quantum (default 100000)\n"
+        "  --remap-interval=N   OS churn (and shootdowns) every N\n"
+        "                       instructions per task (default off)\n"
+        "  --fault-core=N       core targeted by --inject (default 0)\n"
         "  --list               list the available workloads\n",
         argv0, argv0);
     std::exit(2);
@@ -218,6 +236,93 @@ printReport(const sim::SimResult &r)
     }
 }
 
+void
+printMcReport(const mc::McResult &r)
+{
+    std::cout << "run: " << r.mixName << " on " << r.cores
+              << (r.cores == 1 ? " core" : " cores") << " under "
+              << core::orgName(r.perCore[0].org) << " ("
+              << (r.sharedAddressSpace ? "shared address space"
+                                       : "private address spaces")
+              << ", " << (r.ctxFlush ? "ctx-flush" : "ASID-tagged")
+              << ", quantum " << r.quantumInstructions << ")\n\n";
+
+    mc::mcPerCoreTable(r).print(std::cout);
+
+    std::cout << "\ntasks:\n";
+    stats::TextTable tasks({"task", "workload", "asid", "instructions",
+                            "remaps", "4KB pages", "2MB pages", "ranges",
+                            "coverage"});
+    for (std::size_t t = 0; t < r.tasks.size(); ++t) {
+        const auto &task = r.tasks[t];
+        tasks.addRow({std::to_string(t), task.workload,
+                      std::to_string(task.asid),
+                      std::to_string(task.instructions),
+                      std::to_string(task.remapEvents),
+                      std::to_string(task.pages4K),
+                      std::to_string(task.pages2M),
+                      std::to_string(task.numRanges),
+                      stats::TextTable::percent(task.rangeCoverage)});
+    }
+    tasks.print(std::cout);
+
+    std::cout << "\nshootdowns: " << r.shootdownEvents
+              << " broadcasts, " << r.shootdownInvalidations
+              << " remote entries invalidated\n";
+
+    std::uint64_t checks = 0, mismatches = 0, injected = 0;
+    for (const auto &c : r.perCore) {
+        checks += c.check.translationChecks;
+        mismatches += c.check.mismatches();
+        injected += c.inject.injected();
+    }
+    if (r.perCore[0].checkLevel != check::CheckLevel::Off) {
+        std::cout << "self-check ("
+                  << check::checkLevelName(r.perCore[0].checkLevel)
+                  << "): " << checks << " translations checked, "
+                  << mismatches << " mismatches\n";
+        for (const auto &c : r.perCore) {
+            if (!c.firstMismatch.empty()) {
+                std::cout << "first mismatch: " << c.firstMismatch
+                          << "\n";
+                break;
+            }
+        }
+    }
+    if (injected > 0)
+        std::cout << "fault injection: " << injected << " faults\n";
+
+    std::cout << "\naggregate: "
+              << stats::TextTable::num(r.energyPerKiloInstr(), 1)
+              << " pJ/kinstr, L1 MPKI "
+              << stats::TextTable::num(r.aggregateMpki(), 3)
+              << ", miss-cycles/kinstr "
+              << stats::TextTable::num(r.missCyclesPerKiloInstr(), 2)
+              << "\n";
+
+    std::cout << "wall clock:";
+    for (const auto &stage : r.profile.stages) {
+        std::cout << " " << stage.name << " "
+                  << stats::TextTable::num(stage.seconds, 2) << "s";
+    }
+    std::cout << " | total "
+              << stats::TextTable::num(r.profile.total(), 2) << "s, "
+              << stats::TextTable::num(r.simKips(), 0)
+              << " aggregate sim-KIPS\n";
+    if (r.perCore[0].telemetryRecords > 0) {
+        std::cout << "telemetry: " << r.perCore[0].telemetryRecords
+                  << " interval records\n";
+    }
+    if (r.perCore[0].traceEvents > 0) {
+        std::cout << "trace: " << r.perCore[0].traceEvents << " events";
+        if (r.perCore[0].traceEventsDropped > 0) {
+            std::cout << " (" << r.perCore[0].traceEventsDropped
+                      << " dropped)";
+        }
+        std::cout << "\n";
+    }
+}
+
 } // namespace
 
 int
@@ -230,6 +335,14 @@ main(int argc, char **argv)
     cfg.simulateInstructions = 20'000'000;
 
     bool combined = false;
+    bool haveCores = false;
+    unsigned coreCount = 1;
+    std::vector<workloads::WorkloadSpec> mixSpecs;
+    bool shared = false;
+    bool ctxFlush = false;
+    std::uint64_t quantum = 100'000;
+    std::uint64_t remapInterval = 0;
+    std::uint64_t faultCore = 0;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         auto value = [&arg](const char *prefix) -> const char * {
@@ -278,29 +391,111 @@ main(int argc, char **argv)
             cfg.telemetryPath = v12;
         } else if (const char *v13 = value("--trace-out=")) {
             cfg.traceOutPath = v13;
+        } else if (const char *v14 = value("--cores=")) {
+            const auto n = mc::parseCoreCount(v14);
+            if (!n.ok()) {
+                std::fprintf(stderr, "--cores: %s\n",
+                             n.status().message().c_str());
+                return 2;
+            }
+            coreCount = n.value();
+            haveCores = true;
+        } else if (const char *v15 = value("--mix=")) {
+            auto mix = mc::parseMixSpec(v15);
+            if (!mix.ok()) {
+                std::fprintf(stderr, "--mix: %s\n",
+                             mix.status().message().c_str());
+                return 2;
+            }
+            mixSpecs = std::move(mix.value());
+        } else if (const char *v16 = value("--quantum=")) {
+            quantum = parseCount("--quantum", v16);
+            if (quantum == 0) {
+                std::fprintf(stderr,
+                             "--quantum: must be positive\n");
+                return 2;
+            }
+        } else if (const char *v17 = value("--remap-interval=")) {
+            remapInterval = parseCount("--remap-interval", v17);
+        } else if (const char *v18 = value("--fault-core=")) {
+            faultCore = parseCount("--fault-core", v18);
+        } else if (arg == "--shared") {
+            shared = true;
+        } else if (arg == "--ctx-flush") {
+            ctxFlush = true;
         } else if (arg == "--combined-l1") {
             combined = true;
         } else {
             usage(argv[0]);
         }
     }
-    if (workloadName.empty())
+    const bool multicore = haveCores || !mixSpecs.empty();
+    if (workloadName.empty() && mixSpecs.empty())
         usage(argv[0]);
 
-    const auto spec = workloads::findWorkload(workloadName);
-    if (!spec) {
-        std::fprintf(stderr,
-                     "unknown workload '%s' (try --list)\n",
-                     workloadName.c_str());
-        return 2;
+    if (workloadName.empty()) {
+        cfg.workload = mixSpecs.front();
+    } else {
+        const auto spec = workloads::findWorkload(workloadName);
+        if (!spec) {
+            std::fprintf(stderr,
+                         "unknown workload '%s' (try --list)\n",
+                         workloadName.c_str());
+            return 2;
+        }
+        cfg.workload = *spec;
     }
-    cfg.workload = *spec;
     cfg.mmu = core::MmuConfig::make(parseOrg(orgName));
     cfg.mmu.combinedFullyAssocL1 = combined;
+
+    if (multicore) {
+        if (!recordPath.empty() || !replayPath.empty()) {
+            std::fprintf(stderr,
+                         "--record/--replay are single-core only\n");
+            return 2;
+        }
+        if (faultCore >= coreCount) {
+            std::fprintf(stderr,
+                         "--fault-core: core %llu beyond core count %u\n",
+                         static_cast<unsigned long long>(faultCore),
+                         coreCount);
+            return 2;
+        }
+    }
 
     // Error boundary: library code reports problems by throwing (fatal)
     // or returning Status; here they become an exit code and a message.
     try {
+        if (multicore) {
+            mc::McConfig mcc;
+            mcc.base = cfg;
+            mcc.cores = coreCount;
+            mcc.mix = mixSpecs.empty()
+                          ? std::vector<workloads::WorkloadSpec>{
+                                cfg.workload}
+                          : std::move(mixSpecs);
+            mcc.sharedAddressSpace = shared;
+            mcc.ctxFlush = ctxFlush;
+            mcc.quantumInstructions = quantum;
+            mcc.remapInterval = remapInterval;
+            mcc.faultCore = static_cast<unsigned>(faultCore);
+
+            const auto result = mc::mcSimulate(mcc);
+            printMcReport(result);
+
+            std::uint64_t mismatches = 0;
+            for (const auto &c : result.perCore)
+                mismatches += c.check.mismatches();
+            if (cfg.faultSpec.empty() && mismatches > 0) {
+                std::fprintf(
+                    stderr,
+                    "eatsim: self-check FAILED with %llu mismatches\n",
+                    static_cast<unsigned long long>(mismatches));
+                return 3;
+            }
+            return 0;
+        }
+
         if (!recordPath.empty()) {
             const auto n = sim::recordTrace(cfg, recordPath);
             std::cout << "recorded " << n << " operations to "
