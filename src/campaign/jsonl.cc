@@ -1,0 +1,91 @@
+#include "campaign/jsonl.hh"
+
+namespace eat::campaign
+{
+
+namespace
+{
+
+/** @return a short preview of @p line safe for a one-line diagnostic. */
+std::string
+preview(const std::string &line)
+{
+    constexpr std::size_t kMax = 48;
+    if (line.size() <= kMax)
+        return line;
+    return line.substr(0, kMax) + "...";
+}
+
+} // namespace
+
+Result<JsonlFile>
+readJsonl(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return Status::error("cannot open ", path);
+
+    JsonlFile file;
+    std::string line;
+    std::size_t lineNo = 0;
+    bool sawFinalNewline = true;
+    while (std::getline(in, line)) {
+        ++lineNo;
+        // getline strips the '\n'; if we hit EOF without one, the last
+        // line was mid-append when the writer died.
+        sawFinalNewline = !in.eof();
+        if (line.empty())
+            continue;
+        auto parsed = obs::parseJson(line);
+        if (parsed.ok()) {
+            file.records.push_back(std::move(parsed.value()));
+            continue;
+        }
+        // Only the final line may be broken — that is the signature of
+        // an interrupted append. Anything earlier is real corruption.
+        if (in.peek() == std::ifstream::traits_type::eof()) {
+            file.truncatedTail =
+                "dropped truncated final record (line " +
+                std::to_string(lineNo) + ": '" + preview(line) + "')";
+            return file;
+        }
+        return Status::error(path, ":", lineNo, ": malformed record: ",
+                             parsed.status().message());
+    }
+    if (!sawFinalNewline && !file.records.empty()) {
+        // The last line parsed but had no newline: the writer died
+        // between the record and its terminator. The record itself is
+        // complete, so keep it and just note the condition.
+        file.truncatedTail = "final record had no newline (line " +
+                             std::to_string(lineNo) + ")";
+    }
+    return file;
+}
+
+Result<JsonlWriter>
+JsonlWriter::open(const std::string &path, Mode mode)
+{
+    JsonlWriter writer;
+    writer.path_ = path;
+    writer.out_.open(path, mode == Mode::Truncate
+                               ? std::ios::trunc
+                               : (std::ios::app | std::ios::ate));
+    if (!writer.out_)
+        return Status::error("cannot open ", path, " for writing");
+    return writer;
+}
+
+Status
+JsonlWriter::append(std::string_view json)
+{
+    out_ << json << '\n';
+    // Per-record flush: the line belongs to the OS before append()
+    // returns, so a kill -9 of this process cannot take it back.
+    out_.flush();
+    if (!out_)
+        return Status::error("write failure on ", path_, " (disk full?)");
+    ++appended_;
+    return Status();
+}
+
+} // namespace eat::campaign

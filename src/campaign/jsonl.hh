@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Crash-hardened JSON-Lines I/O for campaign state.
+ *
+ * Every long-running campaign file in this repo (the checkpoint
+ * journal, the quarantine file, verdict streams, telemetry) is JSONL:
+ * one self-describing JSON object per line, appended as the campaign
+ * progresses. A parent killed mid-append (kill -9, OOM) leaves at most
+ * one partial final line behind, so the rules here are:
+ *
+ *  - writers flush after every record, so the OS owns each line the
+ *    moment append() returns — a dead parent loses only the record it
+ *    was writing, never buffered history;
+ *  - readers tolerate exactly one partial final record, report it, and
+ *    keep everything before it. A malformed line anywhere *else* is a
+ *    hard error: that is corruption, not an interrupted append.
+ */
+
+#ifndef EAT_CAMPAIGN_JSONL_HH
+#define EAT_CAMPAIGN_JSONL_HH
+
+#include <cstddef>
+#include <fstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/status.hh"
+#include "obs/json.hh"
+
+namespace eat::campaign
+{
+
+/** The readable contents of one JSONL file. */
+struct JsonlFile
+{
+    /** Every complete, parseable record, in file order. */
+    std::vector<obs::JsonValue> records;
+
+    /**
+     * Non-empty when the final line was cut short (no newline, or
+     * unparseable): a one-line diagnostic describing what was dropped.
+     * The records above are still complete and trustworthy.
+     */
+    std::string truncatedTail;
+
+    bool truncated() const { return !truncatedTail.empty(); }
+};
+
+/**
+ * Read a whole JSONL file, tolerating a partial final record (the
+ * signature a crashed writer leaves). A missing file or a malformed
+ * non-final line is an error.
+ */
+Result<JsonlFile> readJsonl(const std::string &path);
+
+/** Appends one JSON document per line, flushed per record. */
+class JsonlWriter
+{
+  public:
+    enum class Mode
+    {
+        Truncate, ///< start the file over
+        Append,   ///< keep existing records
+    };
+
+    JsonlWriter() = default;
+
+    /** Open @p path for writing; the file is created if absent. */
+    static Result<JsonlWriter> open(const std::string &path, Mode mode);
+
+    /**
+     * Write @p json as one line and flush it to the OS, so the record
+     * survives any subsequent death of this process.
+     */
+    Status append(std::string_view json);
+
+    bool isOpen() const { return out_.is_open(); }
+    const std::string &path() const { return path_; }
+    std::size_t appended() const { return appended_; }
+
+  private:
+    std::ofstream out_;
+    std::string path_;
+    std::size_t appended_ = 0;
+};
+
+} // namespace eat::campaign
+
+#endif // EAT_CAMPAIGN_JSONL_HH

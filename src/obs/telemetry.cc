@@ -47,7 +47,11 @@ TelemetrySink::emit(const IntervalRecord &r)
     o.put("check_mismatches", r.checkMismatches);
     o.put("faults_injected", r.faultsInjected);
 
+    // Flush per record: a child killed mid-run (watchdog, crash, the
+    // campaign engine's retry SIGKILL) must leave at most one torn
+    // final line behind, never a silently truncated stream.
     *out_ << o.str() << "\n";
+    out_->flush();
     ++records_;
 }
 

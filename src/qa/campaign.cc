@@ -7,11 +7,11 @@
 #include <ostream>
 #include <sstream>
 
+#include "campaign/engine.hh"
 #include "obs/json.hh"
 #include "qa/generator.hh"
 #include "qa/oracles.hh"
 #include "qa/shrinker.hh"
-#include "sim/proc_pool.hh"
 
 namespace eat::qa
 {
@@ -69,6 +69,11 @@ struct VerdictRecord
     std::string violations;
     std::string digest;
     std::string seedFile;
+    /** v2 diagnostics: what actually happened to the child. */
+    std::string failureClass = "none";
+    int exitCode = 0;
+    int termSignal = 0;
+    unsigned attempts = 1;
 };
 
 void
@@ -86,18 +91,39 @@ writeVerdict(std::ofstream &out, const VerdictRecord &rec)
     json.put("violations", rec.violations);
     json.put("digest", rec.digest);
     json.put("seed_file", rec.seedFile);
+    json.put("failure_class", rec.failureClass);
+    json.put("exit_code", rec.exitCode);
+    json.put("term_signal", rec.termSignal);
+    json.put("attempts", rec.attempts);
     out << json.str() << '\n';
-    out.flush();
+    out.flush(); // a partial campaign must still leave whole records
 }
 
 /** Archive @p scenario (shrunk if requested) under the corpus dir. */
 std::string
 archiveFailure(const Scenario &scenario, const CampaignOptions &options,
-               bool shrinkFirst, std::ostream &log,
+               bool shrinkFirst, bool reuseExisting, std::ostream &log,
                CampaignSummary &summary)
 {
     if (options.corpusDir.empty())
         return "";
+
+    // The archive name uses the scenario id (which shrinking keeps),
+    // so the path is known before any work happens.
+    std::ostringstream name;
+    name << "seed-" << scenario.id << ".json";
+    const std::string path =
+        (fs::path(options.corpusDir) / name.str()).string();
+
+    // A verdict replayed from the checkpoint journal archived its seed
+    // during the original run; do not redo the shrink work. (If the
+    // kill landed between the checkpoint and the save, the file is
+    // missing and we archive it now.)
+    std::error_code ec;
+    if (reuseExisting && fs::exists(path, ec)) {
+        summary.savedSeeds.push_back(path);
+        return path;
+    }
 
     Scenario seed = scenario;
     if (shrinkFirst && options.shrink) {
@@ -109,10 +135,6 @@ archiveFailure(const Scenario &scenario, const CampaignOptions &options,
         seed = shrunk.scenario;
     }
 
-    std::ostringstream name;
-    name << "seed-" << seed.id << ".json";
-    const std::string path =
-        (fs::path(options.corpusDir) / name.str()).string();
     if (const Status s = saveScenario(seed, path); !s.ok()) {
         log << "  warning: " << s.message() << "\n";
         return "";
@@ -122,48 +144,70 @@ archiveFailure(const Scenario &scenario, const CampaignOptions &options,
     return path;
 }
 
-/** Judge one task result in the parent; fills @p rec and @p summary. */
+/** Judge one final outcome in the parent; fills @p rec and @p summary. */
 void
-settleVerdict(const sim::ProcessPool::TaskResult &result,
+settleVerdict(const campaign::TaskOutcome &outcome,
               const Scenario &scenario, const CampaignOptions &options,
               std::ostream &log, CampaignSummary &summary,
               VerdictRecord &rec, bool archiveFailures)
 {
-    using TaskState = sim::ProcessPool::TaskState;
+    using campaign::FailureClass;
     rec.id = scenario.id;
     rec.scenario = scenario.describe();
+    rec.failureClass =
+        std::string(campaign::failureClassName(outcome.failure));
+    rec.exitCode = outcome.exitCode;
+    rec.termSignal = outcome.termSignal;
+    rec.attempts = outcome.attempts;
 
-    if (result.state == TaskState::TimedOut) {
-        rec.status = "timeout";
-        rec.violations = "scenario exceeded the " +
-                         std::to_string(options.timeoutSeconds) +
-                         "s watchdog";
-    } else if (result.state == TaskState::Crashed) {
-        rec.status = "crash";
-        rec.violations = "child killed by signal " +
-                         std::to_string(result.termSignal);
-    } else if (result.state == TaskState::SpawnFailed) {
-        rec.status = "crash";
-        rec.violations = "pipe() or fork() failed";
-    } else {
-        const auto parsed = obs::parseJson(result.payload);
+    switch (outcome.failure) {
+      case FailureClass::None: {
+        const auto parsed = obs::parseJson(outcome.payload);
         const obs::JsonValue *passed =
             parsed.ok() ? parsed.value().find("passed") : nullptr;
         if (!passed || !passed->isBool()) {
             rec.status = "crash";
             rec.violations = "garbled child verdict";
-        } else {
-            if (const auto *v = parsed.value().find("checked");
-                v && v->isString())
-                rec.checked = v->string;
-            if (const auto *v = parsed.value().find("violations");
-                v && v->isString())
-                rec.violations = v->string;
-            if (const auto *v = parsed.value().find("digest");
-                v && v->isString())
-                rec.digest = v->string;
-            rec.status = passed->boolean ? "pass" : "fail";
+            break;
         }
+        if (const auto *v = parsed.value().find("checked");
+            v && v->isString())
+            rec.checked = v->string;
+        if (const auto *v = parsed.value().find("violations");
+            v && v->isString())
+            rec.violations = v->string;
+        if (const auto *v = parsed.value().find("digest");
+            v && v->isString())
+            rec.digest = v->string;
+        rec.status = passed->boolean ? "pass" : "fail";
+        break;
+      }
+      case FailureClass::BadPayload:
+        rec.status = "crash";
+        rec.violations = "garbled child verdict";
+        break;
+      case FailureClass::NonzeroExit:
+        rec.status = "crash";
+        rec.violations = "child exited with status " +
+                         std::to_string(outcome.exitCode);
+        break;
+      case FailureClass::Crashed:
+        rec.status = "crash";
+        rec.violations = "child killed by signal " +
+                         std::to_string(outcome.termSignal);
+        break;
+      case FailureClass::TimedOut:
+        rec.status = "timeout";
+        rec.violations = "scenario exceeded the " +
+                         std::to_string(options.timeoutSeconds) +
+                         "s watchdog";
+        break;
+      case FailureClass::SpawnFailed:
+        rec.status = "crash";
+        rec.violations = outcome.spawnError.empty()
+                             ? "process spawn failed"
+                             : outcome.spawnError;
+        break;
     }
 
     if (rec.status == "pass") {
@@ -178,13 +222,15 @@ settleVerdict(const sim::ProcessPool::TaskResult &result,
             // Only oracle failures shrink: the scenario demonstrably
             // runs to completion, so in-parent re-runs are safe.
             rec.seedFile =
-                archiveFailure(scenario, options, true, log, summary);
+                archiveFailure(scenario, options, true,
+                               outcome.fromCheckpoint, log, summary);
         }
     } else {
         ++summary.crashed;
         if (archiveFailures) {
             rec.seedFile =
-                archiveFailure(scenario, options, false, log, summary);
+                archiveFailure(scenario, options, false,
+                               outcome.fromCheckpoint, log, summary);
         }
     }
 }
@@ -208,6 +254,8 @@ runCampaign(const CampaignOptions &options, std::ostream &log)
 {
     if (options.runs == 0)
         return Status::error("no scenarios requested");
+    if (options.resume && options.checkpointPath.empty())
+        return Status::error("resume requires a checkpoint journal");
     if (!options.corpusDir.empty()) {
         std::error_code ec;
         fs::create_directories(options.corpusDir, ec);
@@ -225,26 +273,66 @@ runCampaign(const CampaignOptions &options, std::ostream &log)
     for (std::uint64_t i = 0; i < options.runs; ++i)
         scenarios.push_back(generateScenario(options.seed, i));
 
-    std::vector<sim::ProcessPool::TaskFn> tasks;
+    std::vector<campaign::EngineTask> tasks;
     tasks.reserve(scenarios.size());
-    for (const auto &scenario : scenarios)
-        tasks.push_back([scenario] { return judgeScenario(scenario); });
+    for (const auto &scenario : scenarios) {
+        tasks.push_back({"scenario-" + std::to_string(scenario.id),
+                         [scenario] { return judgeScenario(scenario); }});
+    }
 
     CampaignSummary summary;
     summary.scenarios = options.runs;
     std::uint64_t completed = 0;
 
-    sim::ProcessPool::Config poolConfig;
-    poolConfig.jobs = options.jobs;
-    poolConfig.timeoutSeconds = options.timeoutSeconds;
-    sim::ProcessPool::run(
-        poolConfig, tasks,
-        [&](std::size_t index, const sim::ProcessPool::TaskResult &result,
+    // Verdicts are emitted in scenario-id order whatever the job
+    // count: settled records buffer here until every lower id has
+    // settled too, so the verdict file of a parallel, killed, and
+    // resumed campaign is byte-identical to a serial uninterrupted
+    // one. (A kill loses only buffered-not-yet-written verdicts, and
+    // those replay from the journal on resume.)
+    std::vector<VerdictRecord> buffered(scenarios.size());
+    std::vector<char> settled(scenarios.size(), 0);
+    std::size_t nextToWrite = 0;
+
+    campaign::EngineOptions engine;
+    engine.jobs = options.jobs;
+    engine.timeoutSeconds = options.timeoutSeconds;
+    engine.retry.maxRetries = options.retries;
+    engine.journalPath = options.checkpointPath;
+    engine.fingerprint = "eatfuzz|v1|seed=" +
+                         std::to_string(options.seed) +
+                         "|runs=" + std::to_string(options.runs) +
+                         "|shrink=" + (options.shrink ? "1" : "0");
+    engine.resume = options.resume;
+    engine.quarantinePath = options.checkpointPath.empty()
+                                ? ""
+                                : options.checkpointPath + ".quarantine";
+    engine.payloadOk = [](const std::string &payload) {
+        const auto parsed = obs::parseJson(payload);
+        const obs::JsonValue *passed =
+            parsed.ok() ? parsed.value().find("passed") : nullptr;
+        return passed != nullptr && passed->isBool();
+    };
+    // Any settled verdict satisfies its scenario on resume: a crash or
+    // timeout is a result worth keeping, not work to redo.
+    engine.acceptCheckpoint = [](const campaign::TaskOutcome &) {
+        return true;
+    };
+    engine.killAfterCheckpoints = options.killAfterCells;
+
+    const auto engineRun = campaign::runEngine(
+        engine, tasks,
+        [&](std::size_t index, const campaign::TaskOutcome &outcome,
             std::size_t inFlight) {
-            VerdictRecord rec;
-            settleVerdict(result, scenarios[index], options, log, summary,
-                          rec, /*archiveFailures=*/true);
-            writeVerdict(verdicts.value(), rec);
+            VerdictRecord &rec = buffered[index];
+            settleVerdict(outcome, scenarios[index], options, log,
+                          summary, rec, /*archiveFailures=*/true);
+            settled[index] = 1;
+            while (nextToWrite < settled.size() &&
+                   settled[nextToWrite]) {
+                writeVerdict(verdicts.value(), buffered[nextToWrite]);
+                ++nextToWrite;
+            }
             ++completed;
             if (completed % 25 == 0 || completed == options.runs) {
                 log << "[" << completed << "/" << options.runs << "] "
@@ -253,7 +341,14 @@ runCampaign(const CampaignOptions &options, std::ostream &log)
                     << inFlight << " in flight\n";
             }
             return true;
-        });
+        },
+        log);
+    if (!engineRun.ok())
+        return engineRun.status();
+    summary.replayed = engineRun.value().replayed;
+    summary.quarantined = engineRun.value().quarantined;
+    summary.retries = engineRun.value().retries;
+    summary.interruptSignal = engineRun.value().interruptSignal;
 
     return summary;
 }

@@ -5,17 +5,27 @@
  *
  * A campaign derives its scenarios deterministically from one seed
  * (scenario i is a pure function of (seed, i)), fans them out over the
- * fork-per-scenario ProcessPool — a crashing or hanging scenario costs
- * one child, never the campaign — and judges each with the oracle
- * suite. Failing scenarios are greedily shrunk in the parent and saved
- * as replayable seed files; every scenario, pass or fail, gets one
- * JSONL verdict record.
+ * crash-resilient campaign engine — a crashing or hanging scenario
+ * costs one child, never the campaign; transient failures retry with
+ * backoff; a checkpoint journal makes a killed campaign resumable —
+ * and judges each with the oracle suite. Failing scenarios are
+ * greedily shrunk in the parent and saved as replayable seed files;
+ * every scenario, pass or fail, gets one JSONL verdict record, written
+ * in scenario-id order whatever the job count.
  *
- * Verdict-record format (schema "eat.qa.verdict", v1), one per line:
+ * Verdict-record format (schema "eat.qa.verdict", v2), one per line:
  *
- *   {"schema": "eat.qa.verdict", "v": 1, "id": ..., "scenario": ...,
+ *   {"schema": "eat.qa.verdict", "v": 2, "id": ..., "scenario": ...,
  *    "status": "pass"|"fail"|"crash"|"timeout", "checked": ...,
- *    "violations": ..., "digest": ..., "seed_file": ...}
+ *    "violations": ..., "digest": ..., "seed_file": ...,
+ *    "failure_class": "none"|"spawn-failed"|"signal"|"timeout"|
+ *                     "nonzero-exit"|"bad-payload",
+ *    "exit_code": ..., "term_signal": ..., "attempts": ...}
+ *
+ * v2 adds the last four fields: the actual failure class (a spawn
+ * failure is no longer lumped with a signal death or a garbled
+ * payload), the child's exit status / terminating signal, and how
+ * many attempts the scenario took (> 1 after transient retries).
  *
  * replayCorpus() re-judges previously saved seed files, which is how
  * CI keeps old failures fixed; runSelfTest() proves the oracles have
@@ -38,7 +48,7 @@ namespace eat::qa
 
 /** Schema identifier stamped into every verdict record. */
 inline constexpr std::string_view kVerdictSchema = "eat.qa.verdict";
-inline constexpr int kVerdictVersion = 1;
+inline constexpr int kVerdictVersion = 2;
 
 struct CampaignOptions
 {
@@ -62,6 +72,23 @@ struct CampaignOptions
 
     /** Minimize failing scenarios before archiving them. */
     bool shrink = true;
+
+    /** Checkpoint journal path; empty disables checkpointing. */
+    std::string checkpointPath;
+
+    /** Replay the checkpoint journal before dispatching: scenarios
+     *  already settled (any verdict) are not re-run. Requires
+     *  checkpointPath. */
+    bool resume = false;
+
+    /** Transient-failure retry budget per scenario (spawn failure,
+     *  signal death, watchdog timeout), with bounded exponential
+     *  backoff. What still fails is quarantined, not fatal. */
+    unsigned retries = 0;
+
+    /** Testing aid: SIGKILL this process after N checkpoint appends
+     *  (a deterministic kill -9 for the crash-resume suite); 0 = off. */
+    unsigned killAfterCells = 0;
 };
 
 struct CampaignSummary
@@ -71,8 +98,26 @@ struct CampaignSummary
     std::uint64_t failed = 0;   ///< oracle violations
     std::uint64_t crashed = 0;  ///< child crash, hang, or spawn failure
 
+    /** Scenarios satisfied from the checkpoint journal on resume
+     *  (also counted in passed/failed/crashed). */
+    std::uint64_t replayed = 0;
+
+    /** Scenarios recorded in the poisoned-cell (quarantine) file
+     *  (also counted in crashed). */
+    std::uint64_t quarantined = 0;
+
+    /** Transient-failure retry attempts dispatched. */
+    std::uint64_t retries = 0;
+
+    /** SIGINT/SIGTERM that stopped the campaign; 0 = ran to
+     *  completion. Settled verdicts are checkpointed — rerun with
+     *  resume to finish. */
+    int interruptSignal = 0;
+
     /** Seed files written for failing scenarios. */
     std::vector<std::string> savedSeeds;
+
+    bool interrupted() const { return interruptSignal != 0; }
 
     bool clean() const { return failed == 0 && crashed == 0; }
 };

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -9,8 +10,8 @@
 
 #include "base/logging.hh"
 #include "base/parse.hh"
+#include "campaign/engine.hh"
 #include "mc/mix.hh"
-#include "sim/proc_pool.hh"
 #include "stats/counter.hh"
 #include "stats/csv.hh"
 #include "workloads/suite.hh"
@@ -89,8 +90,16 @@ struct RunOutcome
  * beyond that only takes the child down, which is the point.
  */
 RunOutcome
-executeRun(const SimConfig &cfg, bool deliberateFail, bool deliberateHang)
+executeRun(const SimConfig &cfg, bool deliberateFail, bool deliberateHang,
+           bool deliberateCrash)
 {
+    if (deliberateCrash) {
+        // Testing aid for the retry/quarantine path: die on a signal,
+        // not via an exception. SIGKILL rather than SIGSEGV so the
+        // failure class is "signal" even under sanitizers (ASan
+        // intercepts SIGSEGV and turns it into a nonzero exit).
+        ::raise(SIGKILL);
+    }
     RunOutcome out;
     try {
         if (deliberateHang) {
@@ -192,37 +201,81 @@ deserialize(const std::string &payload)
     return out;
 }
 
-/** Turn one pool task result into a CSV row. */
+/** Turn one campaign outcome (live or replayed) into a CSV row. */
 void
-finishCell(const ProcessPool::TaskResult &result, unsigned timeoutSeconds,
+finishCell(const campaign::TaskOutcome &outcome, unsigned timeoutSeconds,
            BatchRow &row)
 {
-    switch (result.state) {
-      case ProcessPool::TaskState::SpawnFailed:
+    using campaign::FailureClass;
+    row.metrics.clear();
+    row.error.clear();
+    switch (outcome.failure) {
+      case FailureClass::None: {
+        const RunOutcome out = deserialize(outcome.payload);
+        row.status = "ok";
+        row.metrics = out.metrics;
+        break;
+      }
+      case FailureClass::BadPayload:
         row.status = "failed";
-        row.error = "pipe() or fork() failed";
-        return;
-      case ProcessPool::TaskState::TimedOut:
+        row.error = deserialize(outcome.payload).error;
+        break;
+      case FailureClass::NonzeroExit:
+        row.status = "failed";
+        row.error = "child exited with status " +
+                    std::to_string(outcome.exitCode);
+        break;
+      case FailureClass::Crashed:
+        row.status = "failed";
+        row.error = "child killed by signal " +
+                    std::to_string(outcome.termSignal);
+        break;
+      case FailureClass::TimedOut:
         row.status = "timeout";
         row.error = "killed after " + std::to_string(timeoutSeconds) +
                     "s watchdog";
-        return;
-      case ProcessPool::TaskState::Crashed:
+        break;
+      case FailureClass::SpawnFailed:
         row.status = "failed";
-        row.error = "child killed by signal " +
-                    std::to_string(result.termSignal);
-        return;
-      case ProcessPool::TaskState::Done:
+        row.error = outcome.spawnError.empty()
+                        ? "pipe() or fork() failed"
+                        : outcome.spawnError;
         break;
     }
-    const RunOutcome out = deserialize(result.payload);
-    if (out.ok) {
-        row.status = "ok";
-        row.metrics = out.metrics;
-    } else {
-        row.status = "failed";
-        row.error = out.error;
+    if (outcome.attempts > 1 && row.status != "ok") {
+        row.error += " (after " + std::to_string(outcome.attempts) +
+                     " attempts)";
     }
+}
+
+/**
+ * Campaign identity for the checkpoint journal: the grid plus every
+ * knob that changes cell results. Deliberately excludes the testing
+ * aids (failCell, killAfterCells), telemetry paths, and scheduling
+ * knobs (jobs, timeout, retries) — none of those change what a cell
+ * computes, and resume across them must keep working.
+ */
+std::string
+sweepFingerprint(const BatchOptions &options,
+                 const std::vector<BatchRow> &rows)
+{
+    std::ostringstream os;
+    os << "eatbatch|v1";
+    for (const auto &row : rows)
+        os << "|" << row.workload << ":" << row.org;
+    const SimConfig &b = options.base;
+    os << "|ff=" << b.fastForwardInstructions
+       << "|sim=" << b.simulateInstructions << "|seed=" << b.seed
+       << "|phys=" << b.physBytes
+       << "|eager=" << b.eagerRangesPerRegion
+       << "|check=" << static_cast<int>(b.checkLevel)
+       << "|inject=" << b.faultSpec;
+    if (options.multicore()) {
+        os << "|mc=" << options.cores << "," << options.mcShared << ","
+           << options.mcCtxFlush << "," << options.mcQuantum << ","
+           << options.mcRemapInterval;
+    }
+    return os.str();
 }
 
 /** options.jobs with 0 resolved to the hardware concurrency. */
@@ -433,8 +486,19 @@ runBatch(const BatchOptions &options, std::ostream &log)
             return Status::error("empty scheduler quantum");
     }
 
+    // The checkpoint journal is the authoritative resume record (it
+    // holds every settled cell, flushed per record). The CSV fallback
+    // covers sweeps checkpointed before the journal existed — it can
+    // only recover "ok" rows.
+    const std::string journalPath = options.checkpointPath.empty()
+                                        ? options.outPath + ".journal"
+                                        : options.checkpointPath;
+    const std::string quarantinePath = journalPath + ".quarantine";
+    const bool journalResume =
+        options.resume && std::ifstream(journalPath).good();
+
     std::vector<BatchRow> done;
-    if (options.resume)
+    if (options.resume && !journalResume)
         done = loadCompletedRows(options.outPath);
     auto findDone = [&done](const std::string &wl,
                             const std::string &org) -> const BatchRow * {
@@ -502,6 +566,7 @@ runBatch(const BatchOptions &options, std::ostream &log)
 
     const std::size_t toRun = pendingCells.size();
     std::size_t completedRuns = 0;  // executed (not resumed) and reaped
+    std::size_t replayedCells = 0;  // satisfied from the journal
 
     /** One progress line + pool-aware heartbeat after a finished run. */
     auto logCompletion = [&](const BatchRow &row, std::size_t inFlight) {
@@ -522,19 +587,21 @@ runBatch(const BatchOptions &options, std::ostream &log)
         log << "heartbeat: " << done << "/" << gridSize << " cells, "
             << inFlight << " in flight (-j" << jobs << "), "
             << fmt(elapsed) << "s elapsed";
-        if (completedRuns < toRun && completedRuns > 0) {
+        const std::size_t liveTotal = toRun - replayedCells;
+        if (completedRuns < liveTotal && completedRuns > 0) {
             const double eta =
                 elapsed / static_cast<double>(completedRuns) *
-                static_cast<double>(toRun - completedRuns);
+                static_cast<double>(liveTotal - completedRuns);
             log << ", ~" << fmt(eta) << "s remaining";
         }
         log << "\n";
     };
 
-    // One pool task per pending cell: the child runs the simulation
-    // and reports metrics over its pipe; a crash, panic, or hang costs
-    // exactly that cell.
-    std::vector<ProcessPool::TaskFn> tasks;
+    // One campaign task per pending cell: the child runs the
+    // simulation and reports metrics over its pipe; a crash, panic, or
+    // hang costs exactly that cell. The cell label doubles as the
+    // checkpoint key.
+    std::vector<campaign::EngineTask> tasks;
     tasks.reserve(toRun);
     for (const std::size_t index : pendingCells) {
         const BatchRow &row = rows[index];
@@ -542,6 +609,7 @@ runBatch(const BatchOptions &options, std::ostream &log)
         const bool wantFail = options.failCell == cell;
         const bool wantHang = options.failCell == cell + ":hang" ||
                               options.failCell == "hang:" + cell;
+        const bool wantCrash = options.failCell == cell + ":crash";
         // Commas in the mix label would splinter a telemetry filename.
         std::string fileLabel = row.workload;
         for (auto &c : fileLabel) {
@@ -564,9 +632,9 @@ runBatch(const BatchOptions &options, std::ostream &log)
                                          fileLabel + "_" + row.org +
                                          ".jsonl";
             }
-            tasks.push_back([mcc, wantFail] {
+            tasks.push_back({cell, [mcc, wantFail] {
                 return serialize(executeMcRun(mcc, wantFail));
-            });
+            }});
             continue;
         }
         SimConfig cfg = options.base;
@@ -576,40 +644,68 @@ runBatch(const BatchOptions &options, std::ostream &log)
             cfg.telemetryPath = options.telemetryDir + "/" +
                                 fileLabel + "_" + row.org + ".jsonl";
         }
-        tasks.push_back([cfg, wantFail, wantHang] {
-            return serialize(executeRun(cfg, wantFail, wantHang));
-        });
+        tasks.push_back({cell, [cfg, wantFail, wantHang, wantCrash] {
+            return serialize(
+                executeRun(cfg, wantFail, wantHang, wantCrash));
+        }});
     }
 
-    // Persist after every completed cell (and failed spawn): an
+    // Persist after every settled cell (replayed or live): an
     // interrupted sweep always leaves a complete CSV of everything
-    // finished so far. A persist failure aborts the pool.
+    // finished so far. A persist failure aborts the campaign.
     Status persistError;
-    ProcessPool::Config poolConfig;
-    poolConfig.jobs = jobs;
-    poolConfig.timeoutSeconds = options.timeoutSeconds;
-    ProcessPool::run(
-        poolConfig, tasks,
-        [&](std::size_t taskIndex, const ProcessPool::TaskResult &result,
+    campaign::EngineOptions engine;
+    engine.jobs = jobs;
+    engine.timeoutSeconds = options.timeoutSeconds;
+    engine.retry.maxRetries = options.retries;
+    engine.journalPath = journalPath;
+    engine.fingerprint = sweepFingerprint(options, rows);
+    engine.resume = journalResume;
+    engine.quarantinePath = quarantinePath;
+    engine.payloadOk = [](const std::string &payload) {
+        return deserialize(payload).ok;
+    };
+    // Default acceptCheckpoint (successes only) is exactly the CSV
+    // resume contract: failed and timed-out cells re-run on resume.
+    engine.killAfterCheckpoints = options.killAfterCells;
+
+    const auto engineRun = campaign::runEngine(
+        engine, tasks,
+        [&](std::size_t taskIndex, const campaign::TaskOutcome &outcome,
             std::size_t inFlight) {
             BatchRow &row = rows[pendingCells[taskIndex]];
-            finishCell(result, options.timeoutSeconds, row);
-            if (row.status == "ok")
-                ++summary.ok;
-            else if (row.status == "timeout")
-                ++summary.timedOut;
-            else
-                ++summary.failed;
-            ++completedRuns;
-            logCompletion(row, inFlight);
+            finishCell(outcome, options.timeoutSeconds, row);
+            if (outcome.fromCheckpoint) {
+                ++summary.resumed;
+                ++replayedCells;
+                log << "[" << summary.resumed + completedRuns << "/"
+                    << gridSize << "] " << row.workload << " x "
+                    << row.org << ": resumed\n";
+            } else {
+                if (row.status == "ok")
+                    ++summary.ok;
+                else if (row.status == "timeout")
+                    ++summary.timedOut;
+                else
+                    ++summary.failed;
+                ++completedRuns;
+                logCompletion(row, inFlight);
+            }
             if (Status s = persist(); !s.ok()) {
                 persistError = s;
                 return false;
             }
             return true;
-        });
+        },
+        log);
     if (!persistError.ok())
         return persistError;
+    if (!engineRun.ok())
+        return engineRun.status();
+    summary.quarantined =
+        static_cast<unsigned>(engineRun.value().quarantined);
+    summary.retries = static_cast<unsigned>(engineRun.value().retries);
+    summary.interruptSignal = engineRun.value().interruptSignal;
 
     return summary;
 }

@@ -59,6 +59,20 @@ struct BatchSummary
     unsigned timedOut = 0;
     unsigned resumed = 0; ///< rows reused from a previous sweep
 
+    /** Cells recorded in the poisoned-cell (quarantine) file; these
+     *  are also counted under failed/timedOut. */
+    unsigned quarantined = 0;
+
+    /** Transient-failure retry attempts dispatched. */
+    unsigned retries = 0;
+
+    /** SIGINT/SIGTERM that stopped the sweep; 0 = ran to completion.
+     *  An interrupted sweep's CSV and checkpoint are complete for
+     *  every settled cell — rerun with resume to finish. */
+    int interruptSignal = 0;
+
+    bool interrupted() const { return interruptSignal != 0; }
+
     unsigned total() const { return ok + failed + timedOut + resumed; }
 };
 
@@ -91,8 +105,27 @@ struct BatchOptions
     bool resume = false;
 
     /**
+     * Checkpoint journal path; empty derives "<outPath>.journal". The
+     * journal records every settled cell (flushed per record), so a
+     * killed sweep resumes losing at most the cells in flight; resume
+     * replays it in preference to the CSV.
+     */
+    std::string checkpointPath;
+
+    /** Transient-failure retry budget per cell (spawn failure, signal
+     *  death, watchdog timeout), with bounded exponential backoff.
+     *  What still fails is quarantined, not fatal. */
+    unsigned retries = 0;
+
+    /** Testing aid: SIGKILL this process after N checkpoint appends
+     *  (a deterministic kill -9 for the crash-resume suite); 0 = off. */
+    unsigned killAfterCells = 0;
+
+    /**
      * Testing aid: a "workload:org" cell that deliberately fails, so
-     * the fault-tolerance path itself is exercisable end to end.
+     * the fault-tolerance path itself is exercisable end to end. A
+     * ":hang" suffix hangs the cell (watchdog food); a ":crash" suffix
+     * kills the child with SIGKILL (retry/quarantine food).
      */
     std::string failCell;
 

@@ -4,8 +4,10 @@
 #include <sys/wait.h>
 
 #include <algorithm>
+#include <cerrno>
 #include <chrono>
 #include <csignal>
+#include <cstring>
 #include <ctime>
 #include <optional>
 #include <unistd.h>
@@ -42,18 +44,25 @@ writeAll(int fd, const std::string &s)
  * Fork one task. The child restores @p childMask (the pre-pool signal
  * mask), runs the task, writes the payload, and _exits without touching
  * the parent's stdio buffers or destructors. Returns std::nullopt when
- * the process could not even be created.
+ * the process could not even be created, with the failing call and its
+ * errno in @p spawnError.
  */
 std::optional<InFlightTask>
 spawnTask(const ProcessPool::TaskFn &task, std::size_t index,
-          unsigned timeoutSeconds, const sigset_t &childMask)
+          unsigned timeoutSeconds, const sigset_t &childMask,
+          std::string &spawnError)
 {
     int fds[2];
-    if (::pipe(fds) != 0)
+    if (::pipe(fds) != 0) {
+        spawnError = std::string("pipe() failed: ") +
+                     std::strerror(errno);
         return std::nullopt;
+    }
 
     const pid_t pid = ::fork();
     if (pid < 0) {
+        spawnError = std::string("fork() failed: ") +
+                     std::strerror(errno);
         ::close(fds[0]);
         ::close(fds[1]);
         return std::nullopt;
@@ -61,6 +70,11 @@ spawnTask(const ProcessPool::TaskFn &task, std::size_t index,
 
     if (pid == 0) {
         ::sigprocmask(SIG_SETMASK, &childMask, nullptr);
+        // The parent may have flag-setting SIGINT/SIGTERM handlers
+        // installed for graceful shutdown; a child inheriting them
+        // would shrug off Ctrl-C. Children die on these signals.
+        ::signal(SIGINT, SIG_DFL);
+        ::signal(SIGTERM, SIG_DFL);
         ::close(fds[0]);
         int code = 0;
         try {
@@ -122,11 +136,14 @@ killRemaining(std::vector<InFlightTask> &inFlight)
 
 } // namespace
 
-void
+bool
 ProcessPool::run(const Config &config, const std::vector<TaskFn> &tasks,
                  const DoneFn &onDone)
 {
     const unsigned jobs = std::max(1u, config.jobs);
+    const auto stopRequested = [&config] {
+        return config.stopRequested && config.stopRequested();
+    };
 
     // The reaper blocks SIGCHLD and sleeps in sigtimedwait until a
     // child exits (the signal stays pending if one beat us to it, so
@@ -143,19 +160,31 @@ ProcessPool::run(const Config &config, const std::vector<TaskFn> &tasks,
     std::size_t completed = 0;
 
     while (completed < tasks.size()) {
+        // A stop request (SIGINT/SIGTERM flag upstream) ends the run:
+        // no new children, everything in flight killed and reaped.
+        if (stopRequested()) {
+            killRemaining(inFlight);
+            ::sigprocmask(SIG_SETMASK, &previousMask, nullptr);
+            return false;
+        }
+
         // Keep the pool full.
         while (inFlight.size() < jobs && spawned < tasks.size()) {
             const std::size_t index = spawned++;
+            std::string spawnError;
             auto task = spawnTask(tasks[index], index,
-                                  config.timeoutSeconds, previousMask);
+                                  config.timeoutSeconds, previousMask,
+                                  spawnError);
             if (task) {
                 inFlight.push_back(*task);
             } else {
                 ++completed;
-                if (!onDone(index, TaskResult{}, inFlight.size())) {
+                TaskResult result;
+                result.spawnError = std::move(spawnError);
+                if (!onDone(index, result, inFlight.size())) {
                     killRemaining(inFlight);
                     ::sigprocmask(SIG_SETMASK, &previousMask, nullptr);
-                    return;
+                    return false;
                 }
             }
         }
@@ -211,11 +240,12 @@ ProcessPool::run(const Config &config, const std::vector<TaskFn> &tasks,
             if (!onDone(index, result, inFlight.size())) {
                 killRemaining(inFlight);
                 ::sigprocmask(SIG_SETMASK, &previousMask, nullptr);
-                return;
+                return false;
             }
         }
     }
     ::sigprocmask(SIG_SETMASK, &previousMask, nullptr);
+    return true;
 }
 
 } // namespace eat::sim

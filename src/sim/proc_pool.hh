@@ -39,6 +39,15 @@ class ProcessPool
         unsigned jobs = 1;
         /** Per-task wall-clock limit; 0 disables the watchdog. */
         unsigned timeoutSeconds = 0;
+        /**
+         * Polled between dispatches and after every wake-up: when it
+         * returns true, the pool stops spawning, kills and reaps every
+         * in-flight child, and run() returns false. Callers install a
+         * SIGINT/SIGTERM flag here for graceful shutdown (the pool's
+         * own sleep is interrupted by any handled signal, so the hook
+         * is checked promptly).
+         */
+        std::function<bool()> stopRequested;
     };
 
     /** How one task ended. */
@@ -59,6 +68,9 @@ class ProcessPool
         int termSignal = 0;
         /** Child exit code (valid when state == Done). */
         int exitCode = 0;
+        /** Which call failed and why (valid when state == SpawnFailed),
+         *  e.g. "fork() failed: Resource temporarily unavailable". */
+        std::string spawnError;
     };
 
     /**
@@ -82,10 +94,11 @@ class ProcessPool
 
     /**
      * Run every task through the pool. Blocks until all tasks have
-     * completed (or the callback aborted). Tasks are started in order;
-     * completions arrive in any order.
+     * completed, the callback aborted, or Config::stopRequested fired.
+     * Tasks are started in order; completions arrive in any order.
+     * @return true when every task completed and was reported.
      */
-    static void run(const Config &config,
+    static bool run(const Config &config,
                     const std::vector<TaskFn> &tasks, const DoneFn &onDone);
 };
 

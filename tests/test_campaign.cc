@@ -1,0 +1,816 @@
+/**
+ * @file
+ * Tests for the crash-resilient campaign layer: JSONL truncation
+ * tolerance, the retry policy and failure taxonomy, checkpoint-journal
+ * recovery, the engine's retry/quarantine/replay behavior, and — at
+ * the binary level — the headline guarantee: kill -9 a campaign
+ * mid-run, resume it, and the merged output is byte-identical (modulo
+ * wall-clock columns) to an uninterrupted run, for both eatbatch and
+ * eatfuzz, at -j1 and -j4.
+ */
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "campaign/engine.hh"
+#include "campaign/journal.hh"
+#include "campaign/jsonl.hh"
+#include "campaign/retry.hh"
+#include "sim/batch.hh"
+
+namespace eat::campaign
+{
+namespace
+{
+
+std::string
+tmpPath(const std::string &name)
+{
+    return ::testing::TempDir() + name;
+}
+
+void
+writeFile(const std::string &path, const std::string &content)
+{
+    std::ofstream out(path, std::ios::trunc | std::ios::binary);
+    out << content;
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+bool
+fileExists(const std::string &path)
+{
+    return std::ifstream(path).good();
+}
+
+// ---- JSONL truncation tolerance ---------------------------------------
+
+TEST(CampaignJsonl, ReadsCompleteFiles)
+{
+    const std::string path = tmpPath("jsonl_complete.jsonl");
+    writeFile(path, "{\"a\":1}\n{\"b\":2}\n");
+    const auto file = readJsonl(path);
+    ASSERT_TRUE(file.ok()) << file.status().message();
+    EXPECT_EQ(file.value().records.size(), 2u);
+    EXPECT_FALSE(file.value().truncated());
+    std::remove(path.c_str());
+}
+
+TEST(CampaignJsonl, ToleratesATruncatedFinalRecord)
+{
+    // The kill -9 signature: the writer died mid-append. Everything
+    // before the torn line must survive, and the tear must be
+    // reported, not silently eaten.
+    const std::string path = tmpPath("jsonl_torn.jsonl");
+    writeFile(path, "{\"a\":1}\n{\"b\":2}\n{\"c\":");
+    const auto file = readJsonl(path);
+    ASSERT_TRUE(file.ok()) << file.status().message();
+    EXPECT_EQ(file.value().records.size(), 2u);
+    EXPECT_TRUE(file.value().truncated());
+    EXPECT_NE(file.value().truncatedTail.find("truncated"),
+              std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(CampaignJsonl, MalformedMiddleLineIsCorruptionNotTruncation)
+{
+    const std::string path = tmpPath("jsonl_corrupt.jsonl");
+    writeFile(path, "{\"a\":1}\nnot json at all\n{\"b\":2}\n");
+    const auto file = readJsonl(path);
+    ASSERT_FALSE(file.ok());
+    EXPECT_NE(file.status().message().find("malformed"),
+              std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(CampaignJsonl, MissingFileIsAnError)
+{
+    const auto file = readJsonl(tmpPath("jsonl_no_such_file.jsonl"));
+    EXPECT_FALSE(file.ok());
+}
+
+TEST(CampaignJsonl, WriterFlushesPerRecord)
+{
+    // The record must be on disk before append() returns — read the
+    // file back while the writer is still open.
+    const std::string path = tmpPath("jsonl_flush.jsonl");
+    auto writer = JsonlWriter::open(path, JsonlWriter::Mode::Truncate);
+    ASSERT_TRUE(writer.ok()) << writer.status().message();
+    ASSERT_TRUE(writer.value().append("{\"x\":1}").ok());
+    EXPECT_EQ(readFile(path), "{\"x\":1}\n");
+    ASSERT_TRUE(writer.value().append("{\"y\":2}").ok());
+    EXPECT_EQ(readFile(path), "{\"x\":1}\n{\"y\":2}\n");
+    EXPECT_EQ(writer.value().appended(), 2u);
+    std::remove(path.c_str());
+}
+
+// ---- failure classification and retry policy --------------------------
+
+TEST(CampaignRetry, ClassifiesEveryWayAChildCanFail)
+{
+    using TaskState = sim::ProcessPool::TaskState;
+    sim::ProcessPool::TaskResult r;
+
+    r.state = TaskState::SpawnFailed;
+    EXPECT_EQ(classify(r, true), FailureClass::SpawnFailed);
+    r.state = TaskState::TimedOut;
+    EXPECT_EQ(classify(r, true), FailureClass::TimedOut);
+    r.state = TaskState::Crashed;
+    EXPECT_EQ(classify(r, true), FailureClass::Crashed);
+    r.state = TaskState::Done;
+    r.exitCode = 125;
+    EXPECT_EQ(classify(r, true), FailureClass::NonzeroExit);
+    r.exitCode = 0;
+    EXPECT_EQ(classify(r, false), FailureClass::BadPayload);
+    EXPECT_EQ(classify(r, true), FailureClass::None);
+}
+
+TEST(CampaignRetry, TransientVersusPersistentSplit)
+{
+    EXPECT_TRUE(isTransient(FailureClass::SpawnFailed));
+    EXPECT_TRUE(isTransient(FailureClass::Crashed));
+    EXPECT_TRUE(isTransient(FailureClass::TimedOut));
+    EXPECT_FALSE(isTransient(FailureClass::None));
+    EXPECT_FALSE(isTransient(FailureClass::NonzeroExit));
+    EXPECT_FALSE(isTransient(FailureClass::BadPayload));
+}
+
+TEST(CampaignRetry, FailureClassNamesRoundTrip)
+{
+    for (const FailureClass c :
+         {FailureClass::None, FailureClass::SpawnFailed,
+          FailureClass::Crashed, FailureClass::TimedOut,
+          FailureClass::NonzeroExit, FailureClass::BadPayload}) {
+        const auto parsed = parseFailureClass(failureClassName(c));
+        ASSERT_TRUE(parsed.ok());
+        EXPECT_EQ(parsed.value(), c);
+    }
+    EXPECT_FALSE(parseFailureClass("flaky").ok());
+}
+
+TEST(CampaignRetry, BackoffIsBoundedExponential)
+{
+    RetryPolicy policy; // base 200 ms, cap 5000 ms
+    EXPECT_EQ(policy.backoffMsForRetry(0), 0u);
+    EXPECT_EQ(policy.backoffMsForRetry(1), 200u);
+    EXPECT_EQ(policy.backoffMsForRetry(2), 400u);
+    EXPECT_EQ(policy.backoffMsForRetry(5), 3'200u);
+    EXPECT_EQ(policy.backoffMsForRetry(6), 5'000u);  // capped
+    EXPECT_EQ(policy.backoffMsForRetry(40), 5'000u); // shift-safe
+}
+
+TEST(CampaignRetry, ParseRetriesValidates)
+{
+    EXPECT_EQ(parseRetries("0").value(), 0u);
+    EXPECT_EQ(parseRetries("10").value(), 10u);
+    EXPECT_FALSE(parseRetries("nope").ok());
+    EXPECT_FALSE(parseRetries("-1").ok());
+    const auto over = parseRetries("99");
+    ASSERT_FALSE(over.ok());
+    EXPECT_NE(over.status().message().find("cap"), std::string::npos);
+}
+
+// ---- checkpoint journal -----------------------------------------------
+
+TEST(CampaignJournal, CreateAppendLoadRoundTrip)
+{
+    const std::string path = tmpPath("journal_roundtrip.jsonl");
+    {
+        auto journal = CheckpointJournal::create(path, "fp-1");
+        ASSERT_TRUE(journal.ok()) << journal.status().message();
+        JournalEntry a;
+        a.key = "mcf:THP";
+        a.state = "done";
+        a.payload = "OK\nline two\n"; // newlines must survive JSON
+        ASSERT_TRUE(journal.value().append(a).ok());
+        JournalEntry b;
+        b.key = "mcf:RMM";
+        b.state = "signal";
+        b.termSignal = 9;
+        b.attempts = 3;
+        b.quarantined = true;
+        b.error = "fork() failed: Resource temporarily unavailable";
+        ASSERT_TRUE(journal.value().append(b).ok());
+        EXPECT_EQ(journal.value().appended(), 2u);
+    }
+    CheckpointJournal::Recovered recovered;
+    auto loaded = CheckpointJournal::load(path, "fp-1", recovered);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().message();
+    ASSERT_EQ(recovered.entries.size(), 2u);
+    EXPECT_EQ(recovered.entries[0].key, "mcf:THP");
+    EXPECT_EQ(recovered.entries[0].payload, "OK\nline two\n");
+    EXPECT_EQ(recovered.entries[1].state, "signal");
+    EXPECT_EQ(recovered.entries[1].termSignal, 9);
+    EXPECT_EQ(recovered.entries[1].attempts, 3u);
+    EXPECT_TRUE(recovered.entries[1].quarantined);
+    EXPECT_TRUE(recovered.truncatedTail.empty());
+    std::remove(path.c_str());
+}
+
+TEST(CampaignJournal, DuplicateKeysResolveLastWins)
+{
+    const std::string path = tmpPath("journal_dedup.jsonl");
+    {
+        auto journal = CheckpointJournal::create(path, "fp");
+        ASSERT_TRUE(journal.ok());
+        JournalEntry e;
+        e.key = "cell";
+        e.state = "timeout";
+        ASSERT_TRUE(journal.value().append(e).ok());
+        e.state = "done";
+        e.attempts = 2;
+        ASSERT_TRUE(journal.value().append(e).ok());
+    }
+    CheckpointJournal::Recovered recovered;
+    auto loaded = CheckpointJournal::load(path, "fp", recovered);
+    ASSERT_TRUE(loaded.ok());
+    ASSERT_EQ(recovered.entries.size(), 1u);
+    EXPECT_EQ(recovered.entries[0].state, "done");
+    EXPECT_EQ(recovered.entries[0].attempts, 2u);
+    std::remove(path.c_str());
+}
+
+TEST(CampaignJournal, FingerprintMismatchIsAnError)
+{
+    const std::string path = tmpPath("journal_fp.jsonl");
+    {
+        auto journal = CheckpointJournal::create(path, "grid-A");
+        ASSERT_TRUE(journal.ok());
+    }
+    CheckpointJournal::Recovered recovered;
+    const auto loaded =
+        CheckpointJournal::load(path, "grid-B", recovered);
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_NE(loaded.status().message().find("different campaign"),
+              std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(CampaignJournal, TruncatedTailIsDroppedAndCompactedAway)
+{
+    const std::string path = tmpPath("journal_torn.jsonl");
+    {
+        auto journal = CheckpointJournal::create(path, "fp");
+        ASSERT_TRUE(journal.ok());
+        JournalEntry e;
+        e.key = "survivor";
+        e.state = "done";
+        ASSERT_TRUE(journal.value().append(e).ok());
+    }
+    // Simulate the writer dying mid-append.
+    {
+        std::ofstream out(path, std::ios::app | std::ios::binary);
+        out << "{\"schema\":\"eat.campaign.journal\",\"v\":1,\"kind\"";
+    }
+    CheckpointJournal::Recovered recovered;
+    auto loaded = CheckpointJournal::load(path, "fp", recovered);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().message();
+    ASSERT_EQ(recovered.entries.size(), 1u);
+    EXPECT_EQ(recovered.entries[0].key, "survivor");
+    EXPECT_FALSE(recovered.truncatedTail.empty());
+
+    // Compaction healed the file: end-to-end parseable again, meta
+    // record plus the surviving cell.
+    const auto reread = readJsonl(path);
+    ASSERT_TRUE(reread.ok()) << reread.status().message();
+    EXPECT_FALSE(reread.value().truncated());
+    EXPECT_EQ(reread.value().records.size(), 2u);
+    std::remove(path.c_str());
+}
+
+TEST(CampaignJournal, LoadOfAMissingJournalDegradesToCreate)
+{
+    const std::string path = tmpPath("journal_missing.jsonl");
+    std::remove(path.c_str());
+    CheckpointJournal::Recovered recovered;
+    auto loaded = CheckpointJournal::load(path, "fp", recovered);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().message();
+    EXPECT_TRUE(recovered.entries.empty());
+    EXPECT_TRUE(fileExists(path)); // meta record written
+    std::remove(path.c_str());
+}
+
+// ---- the engine: retry, quarantine, replay ----------------------------
+
+TEST(CampaignEngine, TransientFailureRetriesThenSucceeds)
+{
+    // First attempt: leave a marker and die on a signal. Second
+    // attempt sees the marker and succeeds — exactly the shape of a
+    // transient fork-pressure or OOM-kill failure.
+    const std::string marker = tmpPath("engine_retry_marker");
+    std::remove(marker.c_str());
+
+    std::vector<EngineTask> tasks;
+    tasks.push_back({"flaky", [marker]() -> std::string {
+        if (!fileExists(marker)) {
+            std::ofstream touch(marker);
+            touch << "x";
+            touch.flush();
+            ::raise(SIGKILL);
+        }
+        return "recovered";
+    }});
+
+    EngineOptions options;
+    options.jobs = 1;
+    options.retry.maxRetries = 2;
+    options.retry.backoffBaseMs = 1; // keep the test fast
+
+    std::vector<TaskOutcome> outcomes;
+    std::ostringstream log;
+    const auto run = runEngine(
+        options, tasks,
+        [&outcomes](std::size_t, const TaskOutcome &outcome,
+                    std::size_t) {
+            outcomes.push_back(outcome);
+            return true;
+        },
+        log);
+    ASSERT_TRUE(run.ok()) << run.status().message();
+    ASSERT_EQ(outcomes.size(), 1u);
+    EXPECT_EQ(outcomes[0].failure, FailureClass::None);
+    EXPECT_EQ(outcomes[0].payload, "recovered");
+    EXPECT_EQ(outcomes[0].attempts, 2u);
+    EXPECT_EQ(run.value().retries, 1u);
+    EXPECT_EQ(run.value().executed, 1u);
+    EXPECT_NE(log.str().find("transient"), std::string::npos);
+    std::remove(marker.c_str());
+}
+
+TEST(CampaignEngine, ExhaustedRetriesQuarantineWithoutKillingTheSweep)
+{
+    const std::string quarantinePath = tmpPath("engine_quarantine.jsonl");
+    std::remove(quarantinePath.c_str());
+
+    std::vector<EngineTask> tasks;
+    tasks.push_back({"poison", []() -> std::string {
+        ::raise(SIGKILL);
+        return "unreachable";
+    }});
+    tasks.push_back({"healthy", [] { return std::string("fine"); }});
+
+    EngineOptions options;
+    options.jobs = 1;
+    options.retry.maxRetries = 1;
+    options.retry.backoffBaseMs = 1;
+    options.quarantinePath = quarantinePath;
+
+    std::vector<TaskOutcome> outcomes(tasks.size());
+    std::ostringstream log;
+    const auto run = runEngine(
+        options, tasks,
+        [&outcomes](std::size_t index, const TaskOutcome &outcome,
+                    std::size_t) {
+            outcomes[index] = outcome;
+            return true;
+        },
+        log);
+    ASSERT_TRUE(run.ok()) << run.status().message();
+
+    EXPECT_EQ(outcomes[0].failure, FailureClass::Crashed);
+    EXPECT_EQ(outcomes[0].termSignal, SIGKILL);
+    EXPECT_EQ(outcomes[0].attempts, 2u); // budget 1 = two attempts
+    EXPECT_TRUE(outcomes[0].quarantined);
+    EXPECT_EQ(outcomes[1].failure, FailureClass::None);
+    EXPECT_EQ(outcomes[1].payload, "fine");
+    EXPECT_EQ(run.value().quarantined, 1u);
+    EXPECT_EQ(run.value().retries, 1u);
+
+    const auto quarantine = readJsonl(quarantinePath);
+    ASSERT_TRUE(quarantine.ok()) << quarantine.status().message();
+    ASSERT_EQ(quarantine.value().records.size(), 1u);
+    const auto *key = quarantine.value().records[0].find("key");
+    ASSERT_NE(key, nullptr);
+    EXPECT_EQ(key->string, "poison");
+    const auto *cls = quarantine.value().records[0].find("class");
+    ASSERT_NE(cls, nullptr);
+    EXPECT_EQ(cls->string, "signal");
+    std::remove(quarantinePath.c_str());
+}
+
+TEST(CampaignEngine, PersistentFailuresAreNotRetried)
+{
+    const std::string quarantinePath =
+        tmpPath("engine_badpayload.jsonl");
+    std::remove(quarantinePath.c_str());
+
+    std::vector<EngineTask> tasks;
+    tasks.push_back({"garbled", [] { return std::string("junk"); }});
+
+    EngineOptions options;
+    options.jobs = 1;
+    options.retry.maxRetries = 3; // must NOT be spent on a bad payload
+    options.quarantinePath = quarantinePath;
+    options.payloadOk = [](const std::string &) { return false; };
+
+    std::vector<TaskOutcome> outcomes;
+    std::ostringstream log;
+    const auto run = runEngine(
+        options, tasks,
+        [&outcomes](std::size_t, const TaskOutcome &outcome,
+                    std::size_t) {
+            outcomes.push_back(outcome);
+            return true;
+        },
+        log);
+    ASSERT_TRUE(run.ok()) << run.status().message();
+    ASSERT_EQ(outcomes.size(), 1u);
+    EXPECT_EQ(outcomes[0].failure, FailureClass::BadPayload);
+    EXPECT_EQ(outcomes[0].attempts, 1u);
+    EXPECT_TRUE(outcomes[0].quarantined);
+    EXPECT_EQ(run.value().retries, 0u);
+    std::remove(quarantinePath.c_str());
+}
+
+TEST(CampaignEngine, CheckpointReplayDoesNotReExecute)
+{
+    const std::string journalPath = tmpPath("engine_replay.jsonl");
+    std::remove(journalPath.c_str());
+
+    EngineOptions options;
+    options.jobs = 2;
+    options.journalPath = journalPath;
+    options.fingerprint = "replay-test";
+
+    std::vector<EngineTask> tasks;
+    tasks.push_back({"a", [] { return std::string("alpha"); }});
+    tasks.push_back({"b", [] { return std::string("beta"); }});
+    std::ostringstream log;
+    const auto first = runEngine(
+        options, tasks,
+        [](std::size_t, const TaskOutcome &, std::size_t) {
+            return true;
+        },
+        log);
+    ASSERT_TRUE(first.ok()) << first.status().message();
+    EXPECT_EQ(first.value().executed, 2u);
+
+    // Second run: same keys, but the task bodies would leave evidence
+    // if they ran. They must not — the journal satisfies them.
+    const std::string sentinel = tmpPath("engine_replay_sentinel");
+    std::remove(sentinel.c_str());
+    std::vector<EngineTask> rerun;
+    for (const auto &key : {"a", "b"}) {
+        rerun.push_back({key, [sentinel]() -> std::string {
+            std::ofstream touch(sentinel);
+            touch << "ran";
+            touch.flush();
+            return "re-executed";
+        }});
+    }
+    options.resume = true;
+    std::vector<TaskOutcome> outcomes(rerun.size());
+    const auto second = runEngine(
+        options, rerun,
+        [&outcomes](std::size_t index, const TaskOutcome &outcome,
+                    std::size_t) {
+            outcomes[index] = outcome;
+            return true;
+        },
+        log);
+    ASSERT_TRUE(second.ok()) << second.status().message();
+    EXPECT_EQ(second.value().replayed, 2u);
+    EXPECT_EQ(second.value().executed, 0u);
+    EXPECT_TRUE(outcomes[0].fromCheckpoint);
+    EXPECT_EQ(outcomes[0].payload, "alpha");
+    EXPECT_EQ(outcomes[1].payload, "beta");
+    EXPECT_FALSE(fileExists(sentinel));
+    std::remove(journalPath.c_str());
+}
+
+TEST(CampaignEngine, ResumeUnderADifferentFingerprintFails)
+{
+    const std::string journalPath = tmpPath("engine_fp.jsonl");
+    std::remove(journalPath.c_str());
+
+    EngineOptions options;
+    options.journalPath = journalPath;
+    options.fingerprint = "campaign-one";
+    std::vector<EngineTask> tasks;
+    tasks.push_back({"a", [] { return std::string("x"); }});
+    std::ostringstream log;
+    ASSERT_TRUE(runEngine(options, tasks,
+                          [](std::size_t, const TaskOutcome &,
+                             std::size_t) { return true; },
+                          log)
+                    .ok());
+
+    options.fingerprint = "campaign-two";
+    options.resume = true;
+    const auto resumed = runEngine(
+        options, tasks,
+        [](std::size_t, const TaskOutcome &, std::size_t) {
+            return true;
+        },
+        log);
+    ASSERT_FALSE(resumed.ok());
+    EXPECT_NE(resumed.status().message().find("different campaign"),
+              std::string::npos);
+    std::remove(journalPath.c_str());
+}
+
+// ---- batch runner on the engine: retry + quarantine -------------------
+
+TEST(CampaignBatch, CrashingCellIsQuarantinedAfterItsRetryBudget)
+{
+    const std::string csv = tmpPath("campaign_batch_crash.csv");
+    const std::string journal = csv + ".journal";
+    const std::string quarantine = journal + ".quarantine";
+    for (const auto &p : {csv, journal, quarantine})
+        std::remove(p.c_str());
+
+    sim::BatchOptions options;
+    options.workloadNames = {"mcf"};
+    options.orgs = {core::MmuOrg::Thp, core::MmuOrg::Rmm};
+    options.base.fastForwardInstructions = 10'000;
+    options.base.simulateInstructions = 100'000;
+    options.outPath = csv;
+    options.failCell = "mcf:RMM:crash";
+    options.retries = 1;
+
+    std::ostringstream log;
+    const auto r = sim::runBatch(options, log);
+    ASSERT_TRUE(r.ok()) << r.status().message();
+    EXPECT_EQ(r.value().ok, 1u);      // the sibling cell completed
+    EXPECT_EQ(r.value().failed, 1u);  // the poisoned cell is data
+    EXPECT_EQ(r.value().quarantined, 1u);
+    EXPECT_EQ(r.value().retries, 1u);
+
+    // The row carries the real failure class and the attempt count.
+    const std::string content = readFile(csv);
+    EXPECT_NE(content.find("child killed by signal 9"),
+              std::string::npos)
+        << content;
+    EXPECT_NE(content.find("after 2 attempts"), std::string::npos)
+        << content;
+
+    const auto q = readJsonl(quarantine);
+    ASSERT_TRUE(q.ok()) << q.status().message();
+    ASSERT_EQ(q.value().records.size(), 1u);
+    const auto *key = q.value().records[0].find("key");
+    ASSERT_NE(key, nullptr);
+    EXPECT_EQ(key->string, "mcf:RMM");
+    for (const auto &p : {csv, journal, quarantine})
+        std::remove(p.c_str());
+}
+
+// ---- binary-level crash-resume byte-identity --------------------------
+
+struct CmdResult
+{
+    int exitCode = -1;
+    std::string output;
+};
+
+CmdResult
+runCmd(const std::string &cmd)
+{
+    CmdResult result;
+    FILE *pipe = popen((cmd + " 2>&1").c_str(), "r");
+    if (!pipe) {
+        ADD_FAILURE() << "popen failed for: " << cmd;
+        return result;
+    }
+    char buffer[4096];
+    std::size_t n = 0;
+    while ((n = std::fread(buffer, 1, sizeof buffer, pipe)) > 0)
+        result.output.append(buffer, n);
+    const int status = pclose(pipe);
+    if (WIFEXITED(status))
+        result.exitCode = WEXITSTATUS(status);
+    else if (WIFSIGNALED(status))
+        result.exitCode = 128 + WTERMSIG(status);
+    return result;
+}
+
+const std::string kEatbatch = EAT_EATBATCH_PATH;
+const std::string kEatfuzz = EAT_EATFUZZ_PATH;
+
+/** A sweep CSV with the wall-clock columns blanked. */
+std::string
+normalizedCsv(const std::string &path)
+{
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good()) << "missing CSV: " << path;
+    const auto &timing = sim::batchTimingColumns();
+    std::ostringstream out;
+    std::string line;
+    while (std::getline(in, line)) {
+        std::vector<std::string> cells;
+        std::string cell;
+        std::istringstream ls(line);
+        while (std::getline(ls, cell, ','))
+            cells.push_back(cell);
+        for (const std::size_t col : timing) {
+            if (col < cells.size())
+                cells[col] = "-";
+        }
+        for (std::size_t i = 0; i < cells.size(); ++i)
+            out << (i ? "," : "") << cells[i];
+        out << "\n";
+    }
+    return out.str();
+}
+
+class CrashResume : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(CrashResume, EatbatchKillNineThenResumeIsByteIdentical)
+{
+    const int jobs = GetParam();
+    const std::string dir = ::testing::TempDir();
+    const std::string ref = dir + "cr_batch_ref_" +
+                            std::to_string(jobs) + ".csv";
+    const std::string out = dir + "cr_batch_out_" +
+                            std::to_string(jobs) + ".csv";
+    for (const auto &p : {ref, ref + ".journal", out, out + ".journal"})
+        std::remove(p.c_str());
+
+    const std::string grid =
+        " --workloads=mcf,astar --orgs=THP,RMM"
+        " --instructions=100000 --fast-forward=10000 -j" +
+        std::to_string(jobs);
+
+    const auto reference =
+        runCmd(kEatbatch + " --out=" + ref + grid);
+    ASSERT_EQ(reference.exitCode, 0) << reference.output;
+
+    // kill -9 the driver after two checkpointed cells (of four): a
+    // real parent death, no unwinding, mid-campaign.
+    const auto killed = runCmd(kEatbatch + " --out=" + out + grid +
+                               " --kill-after=2");
+    ASSERT_EQ(killed.exitCode, 128 + SIGKILL) << killed.output;
+
+    const auto resumed =
+        runCmd(kEatbatch + " --out=" + out + grid + " --resume");
+    ASSERT_EQ(resumed.exitCode, 0) << resumed.output;
+    EXPECT_NE(resumed.output.find("resumed"), std::string::npos)
+        << resumed.output;
+
+    EXPECT_EQ(normalizedCsv(out), normalizedCsv(ref));
+    for (const auto &p : {ref, ref + ".journal", out, out + ".journal"})
+        std::remove(p.c_str());
+}
+
+TEST_P(CrashResume, EatfuzzKillNineThenResumeIsByteIdentical)
+{
+    const int jobs = GetParam();
+    const std::string dir = ::testing::TempDir();
+    const std::string suffix = std::to_string(jobs) + ".jsonl";
+    const std::string ref = dir + "cr_fuzz_ref_" + suffix;
+    const std::string out = dir + "cr_fuzz_out_" + suffix;
+    const std::string ckpt = dir + "cr_fuzz_ckpt_" + suffix;
+    for (const auto &p : {ref, out, ckpt, ckpt + ".quarantine"})
+        std::remove(p.c_str());
+
+    const std::string campaign =
+        " --runs=10 --seed=42 --no-shrink -j" + std::to_string(jobs);
+
+    const auto reference =
+        runCmd(kEatfuzz + campaign + " --verdicts=" + ref);
+    ASSERT_EQ(reference.exitCode, 0) << reference.output;
+
+    const auto killed =
+        runCmd(kEatfuzz + campaign + " --verdicts=" + out +
+               " --checkpoint=" + ckpt + " --kill-after=4");
+    ASSERT_EQ(killed.exitCode, 128 + SIGKILL) << killed.output;
+
+    const auto resumed =
+        runCmd(kEatfuzz + campaign + " --verdicts=" + out +
+               " --checkpoint=" + ckpt + " --resume");
+    ASSERT_EQ(resumed.exitCode, 0) << resumed.output;
+    EXPECT_NE(resumed.output.find("replayed from checkpoint"),
+              std::string::npos)
+        << resumed.output;
+
+    // Verdicts have no wall-clock columns: exact equality.
+    EXPECT_EQ(readFile(out), readFile(ref));
+    for (const auto &p : {ref, out, ckpt, ckpt + ".quarantine"})
+        std::remove(p.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(Jobs, CrashResume, ::testing::Values(1, 4));
+
+TEST(CrashResumeCli, ResumingADifferentCampaignFails)
+{
+    const std::string dir = ::testing::TempDir();
+    const std::string verdicts = dir + "cr_fp_verdicts.jsonl";
+    const std::string ckpt = dir + "cr_fp_ckpt.jsonl";
+    for (const auto &p : {verdicts, ckpt})
+        std::remove(p.c_str());
+
+    const auto first = runCmd(kEatfuzz + " --runs=2 --seed=42 -j1" +
+                              " --verdicts=" + verdicts +
+                              " --checkpoint=" + ckpt);
+    ASSERT_EQ(first.exitCode, 0) << first.output;
+
+    // Same journal, different campaign seed: the fingerprint guard
+    // must refuse rather than silently merge foreign results.
+    const auto wrong = runCmd(kEatfuzz + " --runs=2 --seed=43 -j1" +
+                              " --verdicts=" + verdicts +
+                              " --checkpoint=" + ckpt + " --resume");
+    EXPECT_EQ(wrong.exitCode, 1) << wrong.output;
+    EXPECT_NE(wrong.output.find("different campaign"),
+              std::string::npos)
+        << wrong.output;
+    for (const auto &p : {verdicts, ckpt})
+        std::remove(p.c_str());
+}
+
+// ---- graceful shutdown ------------------------------------------------
+
+TEST(GracefulShutdown, SigtermStopsDispatchAndLeavesResumableState)
+{
+    const std::string dir = ::testing::TempDir();
+    const std::string ref = dir + "gs_ref.csv";
+    const std::string out = dir + "gs_out.csv";
+    for (const auto &p : {ref, ref + ".journal", out, out + ".journal"})
+        std::remove(p.c_str());
+
+    // Big enough that four cells take a while at -j1, so the SIGTERM
+    // lands mid-sweep.
+    const std::vector<std::string> args = {
+        "--out=" + out,
+        "--workloads=mcf,astar",
+        "--orgs=THP,RMM",
+        "--instructions=3000000",
+        "--fast-forward=10000",
+        "-j1",
+    };
+
+    const pid_t pid = fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+        std::vector<char *> argv;
+        argv.push_back(const_cast<char *>(kEatbatch.c_str()));
+        for (const auto &a : args)
+            argv.push_back(const_cast<char *>(a.c_str()));
+        argv.push_back(nullptr);
+        // Quiet: the parent only cares about the exit status.
+        std::freopen("/dev/null", "w", stdout);
+        execv(kEatbatch.c_str(), argv.data());
+        _exit(127);
+    }
+
+    // Wait for the first checkpointed cell (meta line + 1), then pull
+    // the plug politely.
+    bool sawCell = false;
+    for (int spin = 0; spin < 3000; ++spin) {
+        std::ifstream in(out + ".journal");
+        std::string line;
+        std::size_t lines = 0;
+        while (std::getline(in, line))
+            ++lines;
+        if (lines >= 2) {
+            sawCell = true;
+            break;
+        }
+        ::usleep(10'000);
+    }
+    ASSERT_TRUE(sawCell) << "no cell checkpointed within 30s";
+    ASSERT_EQ(::kill(pid, SIGTERM), 0);
+
+    int status = 0;
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFEXITED(status))
+        << "driver must exit cleanly, not die on the signal";
+    EXPECT_EQ(WEXITSTATUS(status), 128 + SIGTERM);
+
+    // The resumed run completes the grid and matches an uninterrupted
+    // reference byte-for-byte outside the wall-clock columns.
+    const std::string grid =
+        " --workloads=mcf,astar --orgs=THP,RMM"
+        " --instructions=3000000 --fast-forward=10000 -j1";
+    const auto resumed =
+        runCmd(kEatbatch + " --out=" + out + grid + " --resume");
+    ASSERT_EQ(resumed.exitCode, 0) << resumed.output;
+    EXPECT_NE(resumed.output.find("resumed"), std::string::npos);
+
+    const auto reference = runCmd(kEatbatch + " --out=" + ref + grid);
+    ASSERT_EQ(reference.exitCode, 0) << reference.output;
+    EXPECT_EQ(normalizedCsv(out), normalizedCsv(ref));
+    for (const auto &p : {ref, ref + ".journal", out, out + ".journal"})
+        std::remove(p.c_str());
+}
+
+} // namespace
+} // namespace eat::campaign

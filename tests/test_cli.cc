@@ -221,6 +221,29 @@ TEST(CliEatfuzz, FailsOnMissingOrEmptyCorpus)
     expectFailure(kEatfuzz + " --replay=" + empty, 1, "seed files");
 }
 
+TEST(CliEatbatch, RejectsBadCampaignFlags)
+{
+    const std::string base =
+        kEatbatch + " --out=" + ::testing::TempDir() + "/cli_camp.csv";
+    expectFailure(base + " --retries=garbage", 2, "--retries");
+    expectFailure(base + " --retries=99", 2, "cap");
+    expectFailure(base + " --checkpoint=", 2, "--checkpoint");
+}
+
+TEST(CliEatfuzz, RejectsBadCampaignFlags)
+{
+    expectFailure(kEatfuzz + " --retries=nope", 2, "--retries");
+    expectFailure(kEatfuzz + " --retries=99", 2, "cap");
+    expectFailure(kEatfuzz + " --checkpoint=", 2, "--checkpoint");
+    expectFailure(kEatfuzz + " --resume", 2, "requires --checkpoint");
+    expectFailure(kEatfuzz + " --checkpoint=" + ::testing::TempDir() +
+                      "/cli_camp.jsonl --self-test",
+                  2, "campaign mode");
+    expectFailure(kEatfuzz + " --checkpoint=" + ::testing::TempDir() +
+                      "/cli_camp.jsonl --resume --shrink=x",
+                  2, "campaign mode");
+}
+
 TEST(CliEatfuzz, RejectsMalformedSeedFile)
 {
     const std::string path = ::testing::TempDir() + "/bad_seed.json";

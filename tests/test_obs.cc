@@ -302,6 +302,30 @@ TEST(Telemetry, OpenWritesFile)
     std::remove(path.c_str());
 }
 
+TEST(Telemetry, FlushesEveryRecordBeforeClose)
+{
+    // A child killed mid-run never calls close(); every record emitted
+    // so far must already be on disk (at most a torn final line, never
+    // buffered history). Read the file back while the sink is open.
+    const std::string path =
+        ::testing::TempDir() + "eat_obs_tel_flush.jsonl";
+    auto sink = TelemetrySink::open(path);
+    ASSERT_TRUE(sink.ok()) << sink.status().message();
+    for (unsigned i = 0; i < 3; ++i) {
+        sink.value()->emit(sampleRecord(i));
+        std::ifstream in(path);
+        std::string line;
+        unsigned lines = 0;
+        while (std::getline(in, line)) {
+            EXPECT_TRUE(parseJson(line).ok()) << line;
+            ++lines;
+        }
+        EXPECT_EQ(lines, i + 1);
+    }
+    EXPECT_TRUE(sink.value()->close().ok());
+    std::remove(path.c_str());
+}
+
 TEST(Telemetry, OpenReportsUnwritablePath)
 {
     const auto sink =

@@ -5,7 +5,8 @@
  *   eatbatch --out=results.csv [-jN | --jobs=N] [--workloads=a,b,c]
  *            [--orgs=THP,RMM] [--instructions=N] [--fast-forward=N]
  *            [--seed=N] [--timeout=SECONDS] [--check=off|paddr|full]
- *            [--inject=SPEC] [--resume]
+ *            [--inject=SPEC] [--retries=N] [--checkpoint=PATH]
+ *            [--resume]
  *   eatbatch --out=mix.csv --cores=4 --mix=mcf,canneal,omnetpp,astar
  *            [--shared] [--ctx-flush] [--quantum=N]
  *            [--remap-interval=N]
@@ -15,8 +16,15 @@
  * N cells run concurrently (default: all hardware threads) with no
  * effect on results: rows are ordered by cell index and every column
  * except wall_seconds/sim_kips is bit-identical to a -j1 sweep. The
- * CSV is rewritten atomically after every run and --resume reuses the
- * rows a previous (possibly interrupted) sweep already completed.
+ * CSV is rewritten atomically after every run, a checkpoint journal
+ * (default <out>.journal) records every settled cell, and --resume
+ * replays it — even after a kill -9 the rerun loses at most the cells
+ * that were in flight, and the merged CSV is byte-identical (modulo
+ * the wall-clock columns) to an uninterrupted sweep. Transient
+ * failures (fork pressure, signal death, watchdog timeouts) retry up
+ * to --retries times with bounded backoff; what still fails lands in
+ * <journal>.quarantine with full diagnostics, and SIGINT/SIGTERM stop
+ * dispatch cleanly, reap every child, and leave resumable state.
  *
  * With --cores/--mix the grid becomes (mix x organization): every cell
  * runs the whole multiprogrammed mix through the multicore driver
@@ -35,6 +43,7 @@
 #include <vector>
 
 #include "base/parse.hh"
+#include "campaign/retry.hh"
 #include "mc/mix.hh"
 #include "sim/batch.hh"
 #include "stats/table.hh"
@@ -67,7 +76,14 @@ usage(const char *argv0)
         "  --inject=SPEC        fault-injection spec per run\n"
         "  --telemetry-dir=DIR  per-cell interval telemetry (JSONL) as\n"
         "                       DIR/<workload>_<org>.jsonl\n"
-        "  --resume             reuse ok rows already in --out\n"
+        "  --retries=N          retry transient cell failures (spawn\n"
+        "                       failure, signal, timeout) up to N times\n"
+        "                       with backoff (0..10, default 0); what\n"
+        "                       still fails is quarantined\n"
+        "  --checkpoint=PATH    checkpoint journal (default\n"
+        "                       <out>.journal)\n"
+        "  --resume             replay the checkpoint journal (or, if\n"
+        "                       absent, ok rows already in --out)\n"
         "  --cores=N            multicore sweep with N cores (1..16)\n"
         "  --mix=A,B,...        multiprogrammed mix (default: the\n"
         "                       selected workloads)\n"
@@ -169,6 +185,27 @@ main(int argc, char **argv)
             options.failCell = v10; // undocumented testing aid
         } else if (const char *v11 = value("--telemetry-dir=")) {
             options.telemetryDir = v11;
+        } else if (const char *v18 = value("--retries=")) {
+            const auto retries = campaign::parseRetries(v18);
+            if (!retries.ok()) {
+                std::fprintf(stderr, "--%s\n",
+                             std::string(retries.status().message())
+                                 .c_str());
+                return 2;
+            }
+            options.retries = retries.value();
+        } else if (const char *v19 = value("--checkpoint=")) {
+            if (*v19 == '\0') {
+                std::fprintf(stderr,
+                             "--checkpoint: path must not be empty\n");
+                return 2;
+            }
+            options.checkpointPath = v19;
+        } else if (const char *v20 = value("--kill-after=")) {
+            // Undocumented testing aid: SIGKILL this process after N
+            // checkpoint appends (crash-resume suite).
+            options.killAfterCells = static_cast<unsigned>(
+                parseCount("--kill-after", v20));
         } else if (const char *v12 = value("--jobs=")) {
             setJobs(v12);
         } else if (const char *v14 = value("--cores=")) {
@@ -243,8 +280,20 @@ main(int argc, char **argv)
     const auto &s = result.value();
     std::cout << "\nsweep: " << s.ok << " ok, " << s.failed
               << " failed, " << s.timedOut << " timed out, " << s.resumed
-              << " resumed (" << s.total() << " total) -> "
-              << options.outPath << "\n";
+              << " resumed (" << s.total() << " total";
+    if (s.quarantined > 0)
+        std::cout << "; " << s.quarantined << " quarantined";
+    if (s.retries > 0)
+        std::cout << "; " << s.retries << " retries";
+    std::cout << ") -> " << options.outPath << "\n";
+
+    if (s.interrupted()) {
+        std::fprintf(stderr,
+                     "eatbatch: interrupted by signal %d; rerun with "
+                     "--resume to finish the sweep\n",
+                     s.interruptSignal);
+        return 128 + s.interruptSignal;
+    }
 
     // After a multicore sweep, print the per-mix organization table
     // (paper Figure 10 shape): absolute and normalized energy and

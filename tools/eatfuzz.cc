@@ -4,6 +4,7 @@
  *
  *   eatfuzz [--runs=N] [--seed=N] [-jN | --jobs=N] [--timeout=SECONDS]
  *           [--corpus-dir=DIR] [--verdicts=PATH] [--no-shrink]
+ *           [--retries=N] [--checkpoint=PATH] [--resume]
  *   eatfuzz --replay=PATH_OR_DIR [--verdicts=PATH]
  *   eatfuzz --shrink=SEEDFILE [--corpus-dir=DIR]
  *   eatfuzz --self-test
@@ -12,7 +13,18 @@
  * campaign seed, runs each in its own process (a crash or hang costs
  * one scenario, never the campaign), and judges it with the metamorphic
  * oracle suite. Failing scenarios are shrunk to minimal replayable seed
- * files under --corpus-dir, and every scenario emits one JSONL verdict.
+ * files under --corpus-dir, and every scenario emits one JSONL verdict,
+ * in scenario-id order whatever the job count.
+ *
+ * With --checkpoint every settled scenario is journaled (flushed per
+ * record): after a crash or kill -9 of the driver, the same command
+ * plus --resume replays the journal instead of re-running, and the
+ * final verdict file is byte-identical to an uninterrupted campaign.
+ * --retries re-runs transient failures (spawn failure, signal death,
+ * watchdog timeout) with bounded backoff; scenarios that still fail
+ * are quarantined into <checkpoint>.quarantine and the campaign keeps
+ * going. SIGINT/SIGTERM stop dispatch cleanly and leave resumable
+ * state.
  *
  * --replay re-judges saved seed files (regression mode); --shrink
  * minimizes one known-failing seed; --self-test proves the oracles
@@ -26,6 +38,7 @@
 #include <string>
 
 #include "base/parse.hh"
+#include "campaign/retry.hh"
 #include "qa/campaign.hh"
 #include "qa/oracles.hh"
 #include "qa/shrinker.hh"
@@ -55,9 +68,17 @@ usage(const char *argv0)
         "  --corpus-dir=DIR  archive failing seeds here\n"
         "  --verdicts=PATH   JSONL verdict record per scenario\n"
         "  --no-shrink       archive failures without minimizing\n"
+        "  --retries=N       retry transient scenario failures (spawn\n"
+        "                    failure, signal, timeout) up to N times\n"
+        "                    with backoff (0..10, default 0); what\n"
+        "                    still fails is quarantined\n"
+        "  --checkpoint=PATH journal every settled scenario here\n"
+        "  --resume          replay the checkpoint journal instead of\n"
+        "                    re-running settled scenarios (requires\n"
+        "                    --checkpoint)\n"
         "\n"
         "exit status: 0 all scenarios pass, 1 violations or crashes,\n"
-        "2 usage error\n",
+        "2 usage error, 128+N interrupted by signal N\n",
         argv0, argv0, argv0, argv0);
     std::exit(2);
 }
@@ -86,9 +107,22 @@ report(const Result<qa::CampaignSummary> &result, const char *mode)
     std::cout << "\n" << mode << ": " << s.scenarios << " scenarios, "
               << s.passed << " pass, " << s.failed << " fail, "
               << s.crashed << " crash";
+    if (s.replayed > 0)
+        std::cout << "; " << s.replayed << " replayed from checkpoint";
+    if (s.quarantined > 0)
+        std::cout << "; " << s.quarantined << " quarantined";
+    if (s.retries > 0)
+        std::cout << "; " << s.retries << " retries";
     if (!s.savedSeeds.empty())
         std::cout << "; " << s.savedSeeds.size() << " seeds saved";
     std::cout << "\n";
+    if (s.interrupted()) {
+        std::fprintf(stderr,
+                     "eatfuzz: interrupted by signal %d; rerun with "
+                     "--resume to finish the campaign\n",
+                     s.interruptSignal);
+        return 128 + s.interruptSignal;
+    }
     return s.clean() ? 0 : 1;
 }
 
@@ -134,6 +168,29 @@ main(int argc, char **argv)
             shrinkPath = v7;
         } else if (const char *v8 = value("--jobs=")) {
             setJobs(v8);
+        } else if (const char *v10 = value("--retries=")) {
+            const auto retries = campaign::parseRetries(v10);
+            if (!retries.ok()) {
+                std::fprintf(stderr, "--%s\n",
+                             std::string(retries.status().message())
+                                 .c_str());
+                return 2;
+            }
+            options.retries = retries.value();
+        } else if (const char *v11 = value("--checkpoint=")) {
+            if (*v11 == '\0') {
+                std::fprintf(stderr,
+                             "--checkpoint: path must not be empty\n");
+                return 2;
+            }
+            options.checkpointPath = v11;
+        } else if (const char *v12 = value("--kill-after=")) {
+            // Undocumented testing aid: SIGKILL this process after N
+            // checkpoint appends (crash-resume suite).
+            options.killAfterCells = static_cast<unsigned>(
+                parseCount("--kill-after", v12));
+        } else if (arg == "--resume") {
+            options.resume = true;
         } else if (const char *v9 = value("-j")) {
             setJobs(v9);
         } else if (arg == "--no-shrink") {
@@ -149,6 +206,17 @@ main(int argc, char **argv)
             static_cast<int>(selfTest) > 1) {
         std::fprintf(stderr, "--replay, --shrink, and --self-test are "
                              "mutually exclusive\n");
+        return 2;
+    }
+    if (options.resume && options.checkpointPath.empty()) {
+        std::fprintf(stderr, "--resume requires --checkpoint=PATH (the "
+                             "journal to replay)\n");
+        return 2;
+    }
+    if ((options.resume || !options.checkpointPath.empty()) &&
+        (!replayPath.empty() || !shrinkPath.empty() || selfTest)) {
+        std::fprintf(stderr, "--checkpoint/--resume only apply to the "
+                             "campaign mode\n");
         return 2;
     }
 
