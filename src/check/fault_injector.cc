@@ -190,11 +190,11 @@ FaultInjector::registerMetrics(obs::MetricRegistry &registry,
 }
 
 void
-FaultInjector::setTrace(obs::TraceWriter *trace)
+FaultInjector::setTrace(obs::TraceWriter *trace, unsigned core)
 {
     trace_ = trace;
     if (trace_)
-        traceTrack_ = trace_->track("fault injector");
+        traceTrack_ = trace_->track("fault injector", core);
 }
 
 void

@@ -117,8 +117,9 @@ class FaultInjector
                          const std::string &prefix = "") const;
 
     /** Attach a tracer (not owned; null detaches): every landed fault
-     *  becomes an instant event on the injector track. */
-    void setTrace(obs::TraceWriter *trace);
+     *  becomes an instant event on the injector track, placed under
+     *  @p core's process in multicore traces. */
+    void setTrace(obs::TraceWriter *trace, unsigned core = 0);
 
   private:
     struct PageTlbSlot

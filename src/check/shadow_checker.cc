@@ -109,11 +109,11 @@ ShadowChecker::registerMetrics(obs::MetricRegistry &registry,
 }
 
 void
-ShadowChecker::setTrace(obs::TraceWriter *trace)
+ShadowChecker::setTrace(obs::TraceWriter *trace, unsigned core)
 {
     trace_ = trace;
     if (trace_)
-        traceTrack_ = trace_->track("shadow checker");
+        traceTrack_ = trace_->track("shadow checker", core);
 }
 
 void

@@ -138,8 +138,9 @@ class ShadowChecker
                          const std::string &prefix = "") const;
 
     /** Attach a tracer (not owned; null detaches): every mismatch
-     *  becomes an instant event on the checker track. */
-    void setTrace(obs::TraceWriter *trace);
+     *  becomes an instant event on the checker track, placed under
+     *  @p core's process in multicore traces. */
+    void setTrace(obs::TraceWriter *trace, unsigned core = 0);
 
   private:
     void recordMismatch(std::uint64_t &counter, std::string message);

@@ -4,6 +4,7 @@
 #include "check/fault_injector.hh"
 #include "energy/coefficients.hh"
 #include "obs/metrics.hh"
+#include "obs/provenance.hh"
 #include "obs/telemetry.hh"
 #include "obs/trace.hh"
 
@@ -146,28 +147,84 @@ Mmu::Mmu(const MmuConfig &config, const vm::PageTable &pageTable,
     stats_.l1WayLookups4K.ensureBuckets(floorLog2(cfg_.l1Tlb4K.ways) + 1);
     if (l1Page2M_)
         stats_.l1WayLookups2M.ensureBuckets(floorLog2(cfg_.l1Tlb2M.ways) + 1);
+
+    // Provenance identities (must match the dynamicEnergyTotal() order
+    // documented on obs::ProvStruct).
+    m4K_.id = obs::ProvStruct::L1Tlb4K;
+    m2M_.id = obs::ProvStruct::L1Tlb2M;
+    m1G_.id = obs::ProvStruct::L1Tlb1G;
+    mL2_.id = obs::ProvStruct::L2Tlb;
+    mL1Range_.id = obs::ProvStruct::L1Range;
+    mL2Range_.id = obs::ProvStruct::L2Range;
+    mPde_.id = obs::ProvStruct::PwcPde;
+    mPdpte_.id = obs::ProvStruct::PwcPdpte;
+    mPml4_.id = obs::ProvStruct::PwcPml4;
 }
 
 void
-Mmu::chargeRead(Metered &m, unsigned logWays)
+Mmu::chargeRead(Metered &m, unsigned logWays, bool hit)
 {
     eat_assert(logWays < m.coeffByLogWays.size(), "bad coefficient index");
-    m.meter.chargeRead(m.coeffByLogWays[logWays].read);
+    const PicoJoules pj = m.coeffByLogWays[logWays].read;
+    m.meter.chargeRead(pj);
+    if (EAT_PROV_ENABLED && prov_) {
+        prov_->emit({stats_.instructions, 0, pj, obs::ProvKind::Probe,
+                     m.id, coreId_, asid_, 0, hit, 1u << logWays, 0});
+    }
 }
 
 void
-Mmu::chargeWrite(Metered &m, unsigned logWays)
+Mmu::chargeWrite(Metered &m, unsigned logWays, unsigned psShift)
 {
     eat_assert(logWays < m.coeffByLogWays.size(), "bad coefficient index");
-    m.meter.chargeWrite(m.coeffByLogWays[logWays].write);
+    const PicoJoules pj = m.coeffByLogWays[logWays].write;
+    m.meter.chargeWrite(pj);
+    if (EAT_PROV_ENABLED && prov_) {
+        prov_->emit({stats_.instructions, 0, pj, obs::ProvKind::Fill, m.id,
+                     coreId_, asid_, static_cast<std::uint8_t>(psShift),
+                     false, 1u << logWays, 0});
+    }
 }
 
 void
-Mmu::chargeWalkMemory(unsigned refs, bool rangeWalk)
+Mmu::chargeWalkMemory(unsigned refs, bool rangeWalk, unsigned leafLevel)
 {
     auto &meter = rangeWalk ? rangeWalkMemMeter_ : walkMemMeter_;
-    for (unsigned i = 0; i < refs; ++i)
+    // One event per reference, not refs * energy: repeated addition of
+    // a double is not the same as multiplication, and the provenance
+    // totals must stay bit-identical to the meter.
+    for (unsigned i = 0; i < refs; ++i) {
         meter.chargeRead(walkRefEnergy_);
+        if (EAT_PROV_ENABLED && prov_) {
+            // The walk fetches top-down; reference i touches level
+            // leafLevel + refs - 1 - i (range walks report level 0).
+            const unsigned level =
+                rangeWalk ? 0 : leafLevel + refs - 1 - i;
+            prov_->emit({stats_.instructions, 0, walkRefEnergy_,
+                         obs::ProvKind::WalkRef,
+                         rangeWalk ? obs::ProvStruct::RangeWalkMem
+                                   : obs::ProvStruct::WalkMem,
+                         coreId_, asid_, 0, false, level, 0});
+        }
+    }
+}
+
+void
+Mmu::provEvict(const Metered &m, bool evicted)
+{
+    if (EAT_PROV_ENABLED && prov_ && evicted) {
+        prov_->emit({stats_.instructions, 0, 0.0, obs::ProvKind::Evict,
+                     m.id, coreId_, asid_, 0, false, 0, 0});
+    }
+}
+
+void
+Mmu::provEnd(std::string_view source, unsigned psShift, bool l1Hit)
+{
+    if (EAT_PROV_ENABLED && prov_) {
+        prov_->endTranslation(source, static_cast<std::uint8_t>(psShift),
+                              l1Hit);
+    }
 }
 
 vm::PageSize
@@ -185,24 +242,24 @@ void
 Mmu::fillL1Page(const tlb::TlbEntry &entry)
 {
     if (cfg_.mixedTlbs || cfg_.combinedFullyAssocL1) {
-        chargeWrite(m4K_, logWaysOf(*l1Page4K_));
-        l1Page4K_->fill(entry);
+        chargeWrite(m4K_, logWaysOf(*l1Page4K_), entry.shift);
+        provEvict(m4K_, l1Page4K_->fill(entry));
         return;
     }
     switch (entry.size) {
       case vm::PageSize::Size4K:
-        chargeWrite(m4K_, logWaysOf(*l1Page4K_));
-        l1Page4K_->fill(entry);
+        chargeWrite(m4K_, logWaysOf(*l1Page4K_), entry.shift);
+        provEvict(m4K_, l1Page4K_->fill(entry));
         break;
       case vm::PageSize::Size2M:
         enabled2M_ = true; // naive static mask lifts on first 2 MB fill
-        chargeWrite(m2M_, logWaysOf(*l1Page2M_));
-        l1Page2M_->fill(entry);
+        chargeWrite(m2M_, logWaysOf(*l1Page2M_), entry.shift);
+        provEvict(m2M_, l1Page2M_->fill(entry));
         break;
       case vm::PageSize::Size1G:
         enabled1G_ = true;
-        chargeWrite(m1G_, logWaysOf(*l1Page1G_));
-        l1Page1G_->fill(entry);
+        chargeWrite(m1G_, logWaysOf(*l1Page1G_), entry.shift);
+        provEvict(m1G_, l1Page1G_->fill(entry));
         break;
     }
 }
@@ -211,15 +268,20 @@ void
 Mmu::access(Addr vaddr)
 {
     ++stats_.memOps;
+    if (EAT_PROV_ENABLED && prov_)
+        prov_->beginTranslation(stats_.instructions, coreId_, asid_, vaddr);
 
     // ------------------------------------------------------------------
     // L1: all enabled structures searched in parallel.
     // ------------------------------------------------------------------
+    // Lookups run before their energy charge throughout: the charged
+    // coefficient never depends on the outcome, and the provenance
+    // probe event wants the hit flag.
     bool rangeHit = false;
     std::optional<vm::RangeTranslation> l1r;
     if (l1Range_ && enabledL1Range_) {
-        chargeRead(mL1Range_);
         l1r = l1Range_->lookup(vaddr, asid_);
+        chargeRead(mL1Range_, 0, l1r.has_value());
         if (l1r)
             rangeHit = true;
     }
@@ -231,10 +293,10 @@ Mmu::access(Addr vaddr)
     if (cfg_.mixedTlbs) {
         const vm::PageSize predicted = predictPageSize(vaddr);
         const unsigned lw4K = logWaysOf(*l1Page4K_);
-        chargeRead(m4K_, lw4K);
-        stats_.l1WayLookups4K.record(lw4K);
         auto res = l1Page4K_->lookupWithShift(
             vaddr, vm::pageShift(predicted), asid_);
+        chargeRead(m4K_, lw4K, res.hit);
+        stats_.l1WayLookups4K.record(lw4K);
         if (res.hit) {
             pageHit = true;
             pageSource = HitSource::L1Page4K;
@@ -244,9 +306,9 @@ Mmu::access(Addr vaddr)
         // One fully associative lookup serves every page size; Lite
         // clusters its LRU distances as pseudo-ways (§4.4).
         const unsigned lw4K = logWaysOf(*l1Page4K_);
-        chargeRead(m4K_, lw4K);
-        stats_.l1WayLookups4K.record(lw4K);
         auto res = l1Page4K_->lookup(vaddr, asid_);
+        chargeRead(m4K_, lw4K, res.hit);
+        stats_.l1WayLookups4K.record(lw4K);
         if (res.hit) {
             pageHit = true;
             pageSource = HitSource::L1Page4K;
@@ -274,9 +336,9 @@ Mmu::access(Addr vaddr)
     } else {
         // L1-4KB TLB: always enabled.
         const unsigned lw4K = logWaysOf(*l1Page4K_);
-        chargeRead(m4K_, lw4K);
-        stats_.l1WayLookups4K.record(lw4K);
         auto res4k = l1Page4K_->lookup(vaddr, asid_);
+        chargeRead(m4K_, lw4K, res4k.hit);
+        stats_.l1WayLookups4K.record(lw4K);
         if (res4k.hit) {
             pageHit = true;
             pageSource = HitSource::L1Page4K;
@@ -287,9 +349,9 @@ Mmu::access(Addr vaddr)
 
         if (enabled2M_) {
             const unsigned lw2M = logWaysOf(*l1Page2M_);
-            chargeRead(m2M_, lw2M);
-            stats_.l1WayLookups2M.record(lw2M);
             auto res2m = l1Page2M_->lookup(vaddr, asid_);
+            chargeRead(m2M_, lw2M, res2m.hit);
+            stats_.l1WayLookups2M.record(lw2M);
             if (res2m.hit) {
                 eat_assert(!pageHit, "address mapped by two page sizes");
                 pageHit = true;
@@ -300,8 +362,8 @@ Mmu::access(Addr vaddr)
             }
         }
         if (enabled1G_) {
-            chargeRead(m1G_, logWaysOf(*l1Page1G_));
             auto res1g = l1Page1G_->lookup(vaddr, asid_);
+            chargeRead(m1G_, logWaysOf(*l1Page1G_), res1g.hit);
             if (res1g.hit) {
                 eat_assert(!pageHit, "address mapped by two page sizes");
                 pageHit = true;
@@ -327,6 +389,7 @@ Mmu::access(Addr vaddr)
             if ((stats_.memOps & 63) == 0)
                 auditWayMasks();
         }
+        provEnd(hitSourceName(src), rangeHit ? 0 : hitEntry.shift, true);
         return; // L1 hits are free (parallel with the L1 data cache).
     }
 
@@ -340,12 +403,11 @@ Mmu::access(Addr vaddr)
 
     std::optional<vm::RangeTranslation> l2r;
     if (l2Range_ && enabledL2Range_) {
-        chargeRead(mL2Range_);
         l2r = l2Range_->lookup(vaddr, asid_);
+        chargeRead(mL2Range_, 0, l2r.has_value());
     }
 
     tlb::TlbLookupResult l2res;
-    chargeRead(mL2_);
     if (cfg_.mixedTlbs) {
         l2res = l2Page_->lookupWithShift(
             vaddr, vm::pageShift(predictPageSize(vaddr)), asid_);
@@ -354,6 +416,7 @@ Mmu::access(Addr vaddr)
         // 2 MB translations live solely in the L1-2MB TLB.
         l2res = l2Page_->lookup(vaddr, asid_);
     }
+    chargeRead(mL2_, 0, l2res.hit);
 
     if (l2r) {
         // L2-range hit: copy the range into the L1-range TLB, plus the
@@ -371,12 +434,14 @@ Mmu::access(Addr vaddr)
         if (l1Range_) {
             enabledL1Range_ = true;
             chargeWrite(mL1Range_);
-            l1Range_->fill(*l2r, asid_);
+            provEvict(mL1Range_, l1Range_->fill(*l2r, asid_));
         }
         auto t = pageTable_->translate(vaddr);
         if (!t)
             eat_panic("range translation without page mapping at ", vaddr);
         fillL1Page(tlb::makePageEntry(vaddr, t->pbase, t->size, asid_));
+        provEnd(hitSourceName(HitSource::L2Range),
+                vm::pageShift(t->size), false);
         return;
     }
     if (l2res.hit) {
@@ -385,6 +450,8 @@ Mmu::access(Addr vaddr)
         if (checker_)
             checkPageHit(vaddr, l2res.entry, HitSource::L2Page);
         fillL1Page(l2res.entry);
+        provEnd(hitSourceName(HitSource::L2Page), l2res.entry.shift,
+                false);
         return;
     }
 
@@ -398,9 +465,9 @@ Mmu::access(Addr vaddr)
     const auto walk = walker_.walk(vaddr);
 
     // All three paging-structure caches are probed in parallel.
-    chargeRead(mPde_);
-    chargeRead(mPdpte_);
-    chargeRead(mPml4_);
+    chargeRead(mPde_, 0, walk.cache.hitPde);
+    chargeRead(mPdpte_, 0, walk.cache.hitPdpte);
+    chargeRead(mPml4_, 0, walk.cache.hitPml4);
     if (walk.cache.filledPde)
         chargeWrite(mPde_);
     if (walk.cache.filledPdpte)
@@ -409,7 +476,8 @@ Mmu::access(Addr vaddr)
         chargeWrite(mPml4_);
 
     stats_.walkMemRefs += walk.cache.memRefs;
-    chargeWalkMemory(walk.cache.memRefs, false);
+    chargeWalkMemory(walk.cache.memRefs, false,
+                     tlb::MmuCache::leafLevel(walk.translation.size));
 
     const auto entry = tlb::makePageEntry(
         vaddr, walk.translation.pbase, walk.translation.size, asid_);
@@ -419,8 +487,8 @@ Mmu::access(Addr vaddr)
     // The L2 TLB holds 4 KB entries only (Sandy Bridge), except for
     // TLB_PP's mixed L2.
     if (cfg_.mixedTlbs || entry.size == vm::PageSize::Size4K) {
-        chargeWrite(mL2_);
-        l2Page_->fill(entry);
+        chargeWrite(mL2_, 0, entry.shift);
+        provEvict(mL2_, l2Page_->fill(entry));
     }
 
     if (rangeWalker_) {
@@ -433,9 +501,10 @@ Mmu::access(Addr vaddr)
         if (rw.range && l2Range_) {
             enabledL2Range_ = true;
             chargeWrite(mL2Range_);
-            l2Range_->fill(*rw.range, asid_);
+            provEvict(mL2Range_, l2Range_->fill(*rw.range, asid_));
         }
     }
+    provEnd(hitSourceName(HitSource::PageWalk), entry.shift, false);
 }
 
 void
@@ -504,9 +573,15 @@ Mmu::chargeShootdown(unsigned remoteCores, unsigned entriesInvalidated)
     stats_.shootdownCycles +=
         cfg_.shootdownBaseCycles +
         cfg_.shootdownPerCoreCycles * remoteCores;
-    stats_.shootdownEnergyPj +=
+    const PicoJoules pj =
         cfg_.shootdownPerCorePj * static_cast<double>(remoteCores) +
         cfg_.shootdownPerEntryPj * static_cast<double>(entriesInvalidated);
+    stats_.shootdownEnergyPj += pj;
+    if (EAT_PROV_ENABLED && prov_) {
+        prov_->emit({stats_.instructions, 0, pj, obs::ProvKind::Shootdown,
+                     obs::ProvStruct::Shootdown, coreId_, asid_, 0, false,
+                     remoteCores, entriesInvalidated});
+    }
 }
 
 void
@@ -715,15 +790,31 @@ Mmu::setTrace(obs::TraceWriter *trace)
 {
     trace_ = trace;
     if (trace_)
-        trace_->setClock(&stats_.instructions);
+        trace_->registerClock(coreId_, &stats_.instructions);
     if (lite_)
-        lite_->setTrace(trace);
+        lite_->setTrace(trace, coreId_);
 }
 
 void
 Mmu::setInjectStats(const check::InjectStats *stats)
 {
     injectStats_ = stats;
+}
+
+void
+Mmu::setProvenance(obs::ProvenanceSink *sink)
+{
+    prov_ = obs::kProvenanceCompiledIn ? sink : nullptr;
+    if (lite_) {
+        // Lite's resize hook mirrors the ctor's monitored-TLB order.
+        std::vector<obs::ProvStruct> ids{obs::ProvStruct::L1Tlb4K};
+        if (l1Page2M_)
+            ids.push_back(obs::ProvStruct::L1Tlb2M);
+        if (l1Page1G_)
+            ids.push_back(obs::ProvStruct::L1Tlb1G);
+        lite_->setProvenance(prov_, coreId_, &stats_.instructions,
+                             std::move(ids));
+    }
 }
 
 PicoJoules
@@ -800,6 +891,14 @@ Mmu::emitIntervalRecord(InstrCount intervalInstructions)
     lastInterval_.checkMismatches = mismatches;
     lastInterval_.faultsInjected = injected;
 
+    // The interval marker carries the same delta telemetry writes, so
+    // eatreport can reconcile the two streams row by row.
+    if (EAT_PROV_ENABLED && prov_) {
+        prov_->emit({stats_.instructions, rec.interval, rec.dynamicPj,
+                     obs::ProvKind::Interval, obs::ProvStruct::None,
+                     coreId_, asid_, 0, false, 0, 0});
+    }
+
     telemetry_->emit(rec);
 }
 
@@ -814,7 +913,7 @@ Mmu::energyReport() const
         category += m.meter.total();
         report.structs.push_back({name, m.meter.reads(), m.meter.writes(),
                                   m.meter.readEnergy(),
-                                  m.meter.writeEnergy()});
+                                  m.meter.writeEnergy(), m.id});
     };
 
     auto &b = report.breakdown;
@@ -835,13 +934,15 @@ Mmu::energyReport() const
     b.pageWalkMem = walkMemMeter_.total();
     if (walkMemMeter_.reads() > 0) {
         report.structs.push_back({"page-walk memory", walkMemMeter_.reads(),
-                                  0, walkMemMeter_.readEnergy(), 0.0});
+                                  0, walkMemMeter_.readEnergy(), 0.0,
+                                  obs::ProvStruct::WalkMem});
     }
     b.rangeWalkMem = rangeWalkMemMeter_.total();
     if (rangeWalkMemMeter_.reads() > 0) {
         report.structs.push_back({"range-walk memory",
                                   rangeWalkMemMeter_.reads(), 0,
-                                  rangeWalkMemMeter_.readEnergy(), 0.0});
+                                  rangeWalkMemMeter_.readEnergy(), 0.0,
+                                  obs::ProvStruct::RangeWalkMem});
     }
 
     // Leakage of the currently active configuration and the static

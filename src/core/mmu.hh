@@ -35,6 +35,7 @@
 #include "core/config.hh"
 #include "core/mmu_stats.hh"
 #include "energy/account.hh"
+#include "obs/prov_ids.hh"
 #include "energy/cacti_lite.hh"
 #include "lite/lite_controller.hh"
 #include "tlb/fully_assoc_tlb.hh"
@@ -49,6 +50,7 @@
 namespace eat::obs
 {
 class MetricRegistry;
+class ProvenanceSink;
 class TelemetrySink;
 class TraceWriter;
 } // namespace eat::obs
@@ -164,6 +166,17 @@ class Mmu
     /** Bind the fault injector's counters for telemetry reporting. */
     void setInjectStats(const check::InjectStats *stats);
 
+    /**
+     * Attach an energy-provenance sink (not owned; null detaches).
+     * Every subsequent charge emits one event carrying the exact pJ
+     * value the meter received, so the sink's per-structure totals stay
+     * bit-identical to the meters. Call after setCoreId() — events are
+     * labeled with the core id current at emission time, and the Lite
+     * controller's resize hook binds the id at attach time. No-op in
+     * EAT_NO_PROVENANCE builds.
+     */
+    void setProvenance(obs::ProvenanceSink *sink);
+
     /** Total dynamic energy charged so far (all meters). */
     PicoJoules dynamicEnergyTotal() const;
 
@@ -189,11 +202,20 @@ class Mmu
          *  structures use index 0 only. */
         std::vector<energy::EnergyCoefficients> coeffByLogWays;
         MilliWatts fullLeakage = 0.0;
+        obs::ProvStruct id = obs::ProvStruct::None;
     };
 
-    void chargeRead(Metered &m, unsigned logWays = 0);
-    void chargeWrite(Metered &m, unsigned logWays = 0);
-    void chargeWalkMemory(unsigned refs, bool rangeWalk);
+    void chargeRead(Metered &m, unsigned logWays = 0, bool hit = false);
+    void chargeWrite(Metered &m, unsigned logWays = 0,
+                     unsigned psShift = 0);
+    void chargeWalkMemory(unsigned refs, bool rangeWalk,
+                          unsigned leafLevel = 0);
+
+    /** Provenance: record that a fill displaced a live entry. */
+    void provEvict(const Metered &m, bool evicted);
+
+    /** Provenance: close the translation opened at access() entry. */
+    void provEnd(std::string_view source, unsigned psShift, bool l1Hit);
 
     /**
      * Leakage power of the enabled structures. @p gated uses the
@@ -260,6 +282,7 @@ class Mmu
     // Observability attachments (all non-owning, all optional).
     obs::TelemetrySink *telemetry_ = nullptr;
     obs::TraceWriter *trace_ = nullptr;
+    obs::ProvenanceSink *prov_ = nullptr;
     const check::InjectStats *injectStats_ = nullptr;
 
     /** Cumulative values at the last closed telemetry interval. */

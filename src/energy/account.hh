@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "base/types.hh"
+#include "obs/prov_ids.hh"
 
 namespace eat::energy
 {
@@ -93,6 +94,9 @@ struct StructEnergyRow
     std::uint64_t writes = 0;
     PicoJoules readEnergy = 0.0;
     PicoJoules writeEnergy = 0.0;
+    /** Stable identity used to match this row against provenance
+     *  totals (names vary by organization, e.g. "L1-mixed TLB"). */
+    obs::ProvStruct id = obs::ProvStruct::None;
 };
 
 /** A full energy report: breakdown plus per-structure rows. */

@@ -3,6 +3,7 @@
 #include "base/logging.hh"
 #include "obs/json.hh"
 #include "obs/metrics.hh"
+#include "obs/provenance.hh"
 #include "obs/trace.hh"
 #include "stats/counter.hh"
 
@@ -61,16 +62,42 @@ LiteController::registerMetrics(obs::MetricRegistry &registry,
 }
 
 void
-LiteController::setTrace(obs::TraceWriter *trace)
+LiteController::setTrace(obs::TraceWriter *trace, unsigned core)
 {
     trace_ = trace;
     tlbTracks_.clear();
     if (!trace_)
         return;
-    liteTrack_ = trace_->track("Lite controller");
+    liteTrack_ = trace_->track("Lite controller", core);
     for (std::size_t i = 0; i < tlbs_.size(); ++i) {
-        tlbTracks_.push_back(trace_->track(tlbs_[i]->name()));
+        tlbTracks_.push_back(trace_->track(tlbs_[i]->name(), core));
         traceWayCounter(i); // initial mask, so the step graph starts full
+    }
+}
+
+void
+LiteController::setProvenance(obs::ProvenanceSink *sink, unsigned core,
+                              const std::uint64_t *instrClock,
+                              std::vector<obs::ProvStruct> ids)
+{
+    prov_ = sink;
+    provCore_ = core;
+    provClock_ = instrClock;
+    provIds_ = std::move(ids);
+    if (prov_) {
+        eat_assert(provIds_.size() == tlbs_.size(),
+                   "one ProvStruct id per monitored TLB required");
+        eat_assert(provClock_ != nullptr,
+                   "provenance needs an instruction clock");
+    }
+}
+
+void
+LiteController::provResize(std::size_t i, unsigned fromWays, unsigned toWays)
+{
+    if (EAT_PROV_ENABLED && prov_) {
+        prov_->emit({*provClock_, 0, 0.0, obs::ProvKind::Resize,
+                     provIds_[i], provCore_, 0, 0, false, fromWays, toWays});
     }
 }
 
@@ -89,8 +116,10 @@ LiteController::activateAllWays()
     for (std::size_t i = 0; i < tlbs_.size(); ++i) {
         tlb::SetAssocTlb *t = tlbs_[i];
         if (t->activeWays() != t->ways()) {
+            const unsigned from = t->activeWays();
             t->setActiveWays(t->ways());
             traceWayCounter(i);
+            provResize(i, from, t->ways());
         }
     }
 }
@@ -142,6 +171,7 @@ LiteController::onIntervalEnd(std::uint64_t instructions)
                                     args.str());
                     traceWayCounter(i);
                 }
+                provResize(i, active, best);
             }
         }
     }

@@ -30,11 +30,13 @@
 
 #include "base/rng.hh"
 #include "lite/lru_profiler.hh"
+#include "obs/prov_ids.hh"
 #include "tlb/set_assoc_tlb.hh"
 
 namespace eat::obs
 {
 class MetricRegistry;
+class ProvenanceSink;
 class TraceWriter;
 } // namespace eat::obs
 
@@ -133,9 +135,22 @@ class LiteController
     /**
      * Attach a decision tracer (not owned; null detaches). Every way
      * disable, phase-change reset, and random re-activation becomes a
-     * Chrome-trace event on the owning TLB's track.
+     * Chrome-trace event on the owning TLB's track. @p core places the
+     * tracks under that core's process in multicore traces.
      */
-    void setTrace(obs::TraceWriter *trace);
+    void setTrace(obs::TraceWriter *trace, unsigned core = 0);
+
+    /**
+     * Attach a provenance sink (not owned; null detaches). Every
+     * interval resize — way disable, phase-change reset, random
+     * re-activation — becomes a Resize event per resized TLB, tagged
+     * with the owning core, stamped from @p instrClock, and identified
+     * by @p ids (one ProvStruct per monitored TLB, same order as the
+     * tlbs vector handed to the constructor).
+     */
+    void setProvenance(obs::ProvenanceSink *sink, unsigned core,
+                       const std::uint64_t *instrClock,
+                       std::vector<obs::ProvStruct> ids);
 
     /** The profiler of TLB @p i (exposed for tests). */
     const LruDistanceProfiler &profiler(std::size_t i) const;
@@ -149,6 +164,9 @@ class LiteController
     /** Emit an active_ways counter sample for TLB @p i (if tracing). */
     void traceWayCounter(std::size_t i);
 
+    /** Emit a provenance Resize event for TLB @p i (if attached). */
+    void provResize(std::size_t i, unsigned fromWays, unsigned toWays);
+
     LiteParams params_;
     std::vector<tlb::SetAssocTlb *> tlbs_;
     std::vector<LruDistanceProfiler> profilers_;
@@ -157,6 +175,11 @@ class LiteController
     obs::TraceWriter *trace_ = nullptr;
     std::vector<unsigned> tlbTracks_;
     unsigned liteTrack_ = 0;
+
+    obs::ProvenanceSink *prov_ = nullptr;
+    unsigned provCore_ = 0;
+    const std::uint64_t *provClock_ = nullptr;
+    std::vector<obs::ProvStruct> provIds_;
 
     std::uint64_t actualMisses_ = 0;   ///< the actual-misses-counter
     double previousMpki_ = 0.0;        ///< the previous-misses-counter

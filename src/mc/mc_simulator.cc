@@ -232,10 +232,37 @@ mcSimulate(const McConfig &config)
         for (unsigned c = 0; c < cores; ++c) {
             mmus[c]->setTrace(trace.get());
             if (checkers[c])
-                checkers[c]->setTrace(trace.get());
+                checkers[c]->setTrace(trace.get(), c);
         }
         if (injector)
-            injector->setTrace(trace.get());
+            injector->setTrace(trace.get(), config.faultCore);
+    }
+
+    // One provenance sink shared by every core: events carry the core
+    // id, and the summary's per-core totals reconcile against each
+    // core's meters independently.
+    std::unique_ptr<obs::ProvenanceSink> provenance;
+    eat_assert(config.base.provenanceSampleEvery >= 1,
+               "provenance sample rate must be >= 1");
+    if (!config.base.provenancePath.empty()) {
+        if (!obs::kProvenanceCompiledIn) {
+            eat_fatal("this build has no provenance hooks "
+                      "(EAT_PROVENANCE=OFF); cannot write '",
+                      config.base.provenancePath, "'");
+        }
+        auto sink = obs::ProvenanceSink::open(
+            config.base.provenancePath, config.base.provenanceSampleEvery);
+        if (!sink.ok())
+            eat_fatal(sink.status().message());
+        provenance = std::move(sink.value());
+    } else if (config.base.provenanceEnabled &&
+               obs::kProvenanceCompiledIn) {
+        provenance = std::make_unique<obs::ProvenanceSink>(
+            config.base.provenanceSampleEvery);
+    }
+    if (provenance) {
+        for (auto &mmu : mmus)
+            mmu->setProvenance(provenance.get());
     }
 
     // --- shootdown broadcast. Every page-table rewrite invalidates the
@@ -401,6 +428,11 @@ mcSimulate(const McConfig &config)
         traceEvents = trace->eventsRecorded();
         traceEventsDropped = trace->eventsDropped();
         eat_check_fatal(trace->write(config.base.traceOutPath));
+    }
+    if (provenance) {
+        eat_check_fatal(provenance->close());
+        result.provenanceEnabled = true;
+        result.provenance = provenance->summary();
     }
 
     for (unsigned c = 0; c < cores; ++c) {

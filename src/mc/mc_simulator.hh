@@ -134,6 +134,12 @@ struct McResult
     /** TLB entries dropped by those broadcasts, summed over cores. */
     std::uint64_t shootdownInvalidations = 0;
 
+    /** Exact provenance totals/histograms over the whole run (the sink
+     *  is shared by all cores; the summary's cores array is indexed by
+     *  core id). Empty unless provenance was on and compiled in. */
+    bool provenanceEnabled = false;
+    obs::ProvSummary provenance;
+
     /** Wall-clock stage timings of the whole run. */
     obs::StageTimings profile;
 

@@ -48,6 +48,16 @@ jsonNumber(double v)
     return buf;
 }
 
+std::string
+jsonNumberExact(double v)
+{
+    if (!std::isfinite(v))
+        v = 0.0; // JSON has no Inf/NaN literal
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
 void
 JsonObject::key(std::string_view k)
 {
@@ -108,6 +118,13 @@ void
 JsonObject::put(std::string_view k, unsigned value)
 {
     put(k, static_cast<std::uint64_t>(value));
+}
+
+void
+JsonObject::putExact(std::string_view k, double value)
+{
+    key(k);
+    body_ += jsonNumberExact(value);
 }
 
 void

@@ -35,6 +35,11 @@ std::string jsonQuote(std::string_view s);
  *  non-finite values become 0, which JSON cannot express). */
 std::string jsonNumber(double v);
 
+/** Like jsonNumber() but with %.17g, which round-trips every finite
+ *  double bit-exactly. Used where a reader must reconstruct the
+ *  original value (provenance pJ, telemetry dynamic_pj). */
+std::string jsonNumberExact(double v);
+
 /** Incrementally builds one JSON object ("{...}"). */
 class JsonObject
 {
@@ -47,6 +52,9 @@ class JsonObject
     void put(std::string_view key, std::int64_t value);
     void put(std::string_view key, int value);
     void put(std::string_view key, unsigned value);
+
+    /** Add @p value with full round-trip precision (jsonNumberExact). */
+    void putExact(std::string_view key, double value);
 
     /** Insert pre-rendered JSON (a nested object/array) verbatim. */
     void putRaw(std::string_view key, std::string_view json);

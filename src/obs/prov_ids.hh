@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Identifier enums shared by the provenance tracer and its producers.
+ *
+ * Split out of provenance.hh so low-level headers (energy/account.hh
+ * tags its per-structure rows with a ProvStruct) can name the ids
+ * without pulling in the sink, histograms, or any I/O.
+ */
+
+#ifndef EAT_OBS_PROV_IDS_HH
+#define EAT_OBS_PROV_IDS_HH
+
+#include <cstdint>
+#include <string_view>
+
+namespace eat::obs
+{
+
+/**
+ * Every energy-bearing structure of the translation datapath.
+ *
+ * The first eleven ids are listed in the exact order
+ * core::Mmu::dynamicEnergyTotal() sums its meters; reconciliation
+ * reproduces that sum by adding per-structure totals in this enum
+ * order, which keeps the IEEE-double result bit-identical.
+ */
+enum class ProvStruct : std::uint8_t
+{
+    L1Tlb4K,      ///< L1 4KB / mixed / combined page TLB
+    L1Tlb2M,
+    L1Tlb1G,
+    L2Tlb,
+    L1Range,
+    L2Range,
+    PwcPde,
+    PwcPdpte,
+    PwcPml4,
+    WalkMem,      ///< page-walk memory references
+    RangeWalkMem, ///< range-table-walk memory references
+    Shootdown,    ///< IPI broadcast cost (outside dynamicEnergyTotal)
+    None,         ///< control events with no structure
+    Count
+};
+
+/** Number of structures carrying dynamic energy (meter-backed). */
+inline constexpr unsigned kProvMeteredStructs =
+    static_cast<unsigned>(ProvStruct::Shootdown);
+
+/** Short stable token used in JSONL ("l1_tlb_4k", ...). */
+std::string_view provStructName(ProvStruct s);
+
+/** Parse a provStructName() token; ProvStruct::Count when unknown. */
+ProvStruct provStructFromName(std::string_view name);
+
+/** What one provenance event records. */
+enum class ProvKind : std::uint8_t
+{
+    Probe,       ///< a TLB / PWC lookup charged read energy
+    Fill,        ///< a TLB / PWC install charged write energy
+    Evict,       ///< a fill displaced a live entry (no energy)
+    WalkRef,     ///< one page/range-walk memory reference
+    Resize,      ///< Lite changed a TLB's active-way mask
+    Interval,    ///< telemetry interval boundary marker
+    Shootdown,   ///< initiator-side shootdown broadcast charge
+    Translation, ///< one translation's closing record
+    Count
+};
+
+std::string_view provKindName(ProvKind k);
+
+/** Parse a provKindName() token; ProvKind::Count when unknown. */
+ProvKind provKindFromName(std::string_view name);
+
+} // namespace eat::obs
+
+#endif // EAT_OBS_PROV_IDS_HH

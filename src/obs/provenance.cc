@@ -1,0 +1,376 @@
+#include "obs/provenance.hh"
+
+#include <cstdint>
+
+#include "base/logging.hh"
+#include "obs/json.hh"
+
+namespace eat::obs
+{
+
+namespace
+{
+
+constexpr std::uint64_t kNoMiss = ~std::uint64_t(0);
+
+constexpr std::string_view kStructNames[] = {
+    "l1_tlb_4k", "l1_tlb_2m",     "l1_tlb_1g", "l2_tlb",
+    "l1_range",  "l2_range",      "pwc_pde",   "pwc_pdpte",
+    "pwc_pml4",  "walk_mem",      "range_walk_mem",
+    "shootdown", "none",
+};
+static_assert(std::size(kStructNames) ==
+              static_cast<std::size_t>(ProvStruct::Count));
+
+constexpr std::string_view kKindNames[] = {
+    "probe",    "fill",      "evict",    "walk_ref",
+    "resize",   "interval",  "shootdown", "translation",
+};
+static_assert(std::size(kKindNames) ==
+              static_cast<std::size_t>(ProvKind::Count));
+
+bool
+isControl(ProvKind k)
+{
+    return k == ProvKind::Resize || k == ProvKind::Interval ||
+           k == ProvKind::Shootdown;
+}
+
+} // namespace
+
+std::string_view
+provStructName(ProvStruct s)
+{
+    return kStructNames[static_cast<std::size_t>(s)];
+}
+
+ProvStruct
+provStructFromName(std::string_view name)
+{
+    for (std::size_t i = 0; i < std::size(kStructNames); ++i)
+        if (kStructNames[i] == name)
+            return static_cast<ProvStruct>(i);
+    return ProvStruct::Count;
+}
+
+std::string_view
+provKindName(ProvKind k)
+{
+    return kKindNames[static_cast<std::size_t>(k)];
+}
+
+ProvKind
+provKindFromName(std::string_view name)
+{
+    for (std::size_t i = 0; i < std::size(kKindNames); ++i)
+        if (kKindNames[i] == name)
+            return static_cast<ProvKind>(i);
+    return ProvKind::Count;
+}
+
+std::size_t
+provLog2Bucket(double v)
+{
+    std::size_t bucket = 0;
+    while (v >= 1.0 && bucket < 63) {
+        v /= 2.0;
+        ++bucket;
+    }
+    return bucket;
+}
+
+PicoJoules
+ProvCoreTotals::canonicalDynamicPj() const
+{
+    // Mirror Mmu::dynamicEnergyTotal(): per meter read + write energy,
+    // meters added in enum (== member declaration) order. Shootdown
+    // energy is deliberately excluded there and here.
+    PicoJoules total = 0.0;
+    for (const ProvStructTotals &s : structs)
+        total += s.readPj + s.writePj;
+    return total;
+}
+
+ProvenanceSink::ProvenanceSink(std::uint64_t sampleEvery)
+{
+    summary_.sampleEvery = sampleEvery < 1 ? 1 : sampleEvery;
+    summary_.walkDepth.ensureBuckets(5);
+}
+
+Result<std::unique_ptr<ProvenanceSink>>
+ProvenanceSink::open(const std::string &path, std::uint64_t sampleEvery)
+{
+    if (sampleEvery < 1)
+        return Status::error("provenance sample rate must be >= 1");
+    auto file = std::make_unique<std::ofstream>(path, std::ios::trunc);
+    if (!*file)
+        return Status::error("cannot open provenance file ", path);
+    auto sink = std::make_unique<ProvenanceSink>(sampleEvery);
+    sink->out_ = file.get();
+    sink->file_ = std::move(file);
+    return sink;
+}
+
+ProvCoreTotals &
+ProvenanceSink::coreTotals(unsigned core)
+{
+    if (core >= summary_.cores.size())
+        summary_.cores.resize(core + 1);
+    return summary_.cores[core];
+}
+
+void
+ProvenanceSink::beginTranslation(std::uint64_t instr, unsigned core,
+                                 std::uint16_t asid, std::uint64_t vaddr)
+{
+    ++summary_.translations;
+    sampled_ = (summary_.translations - 1) % summary_.sampleEvery == 0;
+    if (sampled_)
+        ++summary_.translationsSampled;
+    inTranslation_ = true;
+    curInstr_ = instr;
+    curVaddr_ = vaddr;
+    curCore_ = core;
+    curAsid_ = asid;
+    curPj_ = 0.0;
+    curWalkRefs_ = 0;
+}
+
+void
+ProvenanceSink::accumulate(const ProvEvent &e)
+{
+    ++summary_.events;
+    ProvCoreTotals &ct = coreTotals(e.core);
+    switch (e.kind) {
+      case ProvKind::Probe:
+      case ProvKind::WalkRef: {
+        ProvStructTotals &s =
+            ct.structs[static_cast<std::size_t>(e.structId)];
+        ++s.reads;
+        s.readPj += e.pj;
+        break;
+      }
+      case ProvKind::Fill: {
+        ProvStructTotals &s =
+            ct.structs[static_cast<std::size_t>(e.structId)];
+        ++s.writes;
+        s.writePj += e.pj;
+        break;
+      }
+      case ProvKind::Evict:
+        ++ct.structs[static_cast<std::size_t>(e.structId)].evicts;
+        break;
+      case ProvKind::Shootdown:
+        ++ct.shootdowns;
+        ct.shootdownPj += e.pj;
+        summary_.shootdownFanout.record(provLog2Bucket(double(e.aux1)));
+        break;
+      default:
+        break;
+    }
+    if (inTranslation_ &&
+        (e.kind == ProvKind::Probe || e.kind == ProvKind::Fill ||
+         e.kind == ProvKind::WalkRef)) {
+        curPj_ += e.pj;
+        if (e.kind == ProvKind::WalkRef &&
+            e.structId == ProvStruct::WalkMem)
+            ++curWalkRefs_;
+    }
+}
+
+void
+ProvenanceSink::writeEvent(const ProvEvent &e)
+{
+    JsonObject o;
+    o.put("schema", kProvEventSchema);
+    o.put("v", kProvEventVersion);
+    o.put("i", e.instr);
+    o.put("k", provKindName(e.kind));
+    o.put("core", e.core);
+    switch (e.kind) {
+      case ProvKind::Probe:
+        o.put("s", provStructName(e.structId));
+        o.put("asid", unsigned(e.asid));
+        o.put("ways", e.aux0);
+        o.put("hit", e.hit);
+        o.putExact("pj", e.pj);
+        break;
+      case ProvKind::Fill:
+        o.put("s", provStructName(e.structId));
+        o.put("asid", unsigned(e.asid));
+        if (e.psShift)
+            o.put("ps", unsigned(e.psShift));
+        o.putExact("pj", e.pj);
+        break;
+      case ProvKind::Evict:
+        o.put("s", provStructName(e.structId));
+        o.put("asid", unsigned(e.asid));
+        break;
+      case ProvKind::WalkRef:
+        o.put("s", provStructName(e.structId));
+        o.put("asid", unsigned(e.asid));
+        o.put("level", e.aux0);
+        o.putExact("pj", e.pj);
+        break;
+      case ProvKind::Resize:
+        o.put("s", provStructName(e.structId));
+        o.put("from", e.aux0);
+        o.put("to", e.aux1);
+        break;
+      case ProvKind::Interval:
+        o.put("interval", e.addr);
+        o.putExact("pj", e.pj);
+        break;
+      case ProvKind::Shootdown:
+        o.put("asid", unsigned(e.asid));
+        o.put("addr", e.addr);
+        o.put("remote", e.aux0);
+        o.put("entries", e.aux1);
+        o.putExact("pj", e.pj);
+        break;
+      default:
+        break;
+    }
+    *out_ << o.str() << "\n";
+    ++summary_.eventsWritten;
+}
+
+void
+ProvenanceSink::emit(const ProvEvent &e)
+{
+    accumulate(e);
+    if (out_ && (isControl(e.kind) || (inTranslation_ && sampled_)))
+        writeEvent(e);
+}
+
+void
+ProvenanceSink::endTranslation(std::string_view source,
+                               std::uint8_t psShift, bool l1Hit)
+{
+    if (!inTranslation_)
+        return;
+    inTranslation_ = false;
+
+    summary_.walkDepth.record(curWalkRefs_);
+    summary_.translationPj.record(provLog2Bucket(curPj_));
+    if (!l1Hit) {
+        if (curCore_ >= lastMissInstr_.size())
+            lastMissInstr_.resize(curCore_ + 1, kNoMiss);
+        const std::uint64_t last = lastMissInstr_[curCore_];
+        if (last != kNoMiss)
+            summary_.reuseDistance.record(
+                provLog2Bucket(double(curInstr_ - last)));
+        lastMissInstr_[curCore_] = curInstr_;
+    }
+
+    ++summary_.events;
+    if (out_ && sampled_) {
+        JsonObject o;
+        o.put("schema", kProvEventSchema);
+        o.put("v", kProvEventVersion);
+        o.put("i", curInstr_);
+        o.put("k", provKindName(ProvKind::Translation));
+        o.put("core", curCore_);
+        o.put("asid", unsigned(curAsid_));
+        o.put("addr", curVaddr_);
+        o.put("src", source);
+        if (psShift)
+            o.put("ps", unsigned(psShift));
+        o.putExact("pj", curPj_);
+        *out_ << o.str() << "\n";
+        ++summary_.eventsWritten;
+    }
+}
+
+namespace
+{
+
+std::string
+histToJson(const stats::Histogram &h)
+{
+    std::string out = "[";
+    for (std::size_t i = 0; i < h.numBuckets(); ++i) {
+        if (i)
+            out += ',';
+        out += std::to_string(h.bucketCount(i));
+    }
+    out += ']';
+    return out;
+}
+
+} // namespace
+
+std::string
+provSummaryToJson(const ProvSummary &s)
+{
+    JsonObject o;
+    o.put("schema", kProvSummarySchema);
+    o.put("v", kProvSummaryVersion);
+    o.put("sample_every", s.sampleEvery);
+    o.put("translations", s.translations);
+    o.put("translations_sampled", s.translationsSampled);
+    o.put("events", s.events);
+    o.put("events_written", s.eventsWritten);
+
+    std::string cores = "[";
+    for (std::size_t c = 0; c < s.cores.size(); ++c) {
+        const ProvCoreTotals &ct = s.cores[c];
+        if (c)
+            cores += ',';
+        JsonObject co;
+        co.put("core", std::uint64_t(c));
+        std::string structs = "[";
+        bool first = true;
+        for (unsigned i = 0; i < kProvMeteredStructs; ++i) {
+            const ProvStructTotals &st = ct.structs[i];
+            if (st.reads == 0 && st.writes == 0 && st.evicts == 0)
+                continue; // untouched structures are implied zero
+            if (!first)
+                structs += ',';
+            first = false;
+            JsonObject so;
+            so.put("s", provStructName(static_cast<ProvStruct>(i)));
+            so.put("reads", st.reads);
+            so.put("writes", st.writes);
+            so.put("evicts", st.evicts);
+            so.putExact("read_pj", st.readPj);
+            so.putExact("write_pj", st.writePj);
+            structs += so.str();
+        }
+        structs += ']';
+        co.putRaw("structs", structs);
+        co.put("shootdowns", ct.shootdowns);
+        co.putExact("shootdown_pj", ct.shootdownPj);
+        co.putExact("dynamic_pj", ct.canonicalDynamicPj());
+        cores += co.str();
+    }
+    cores += ']';
+    o.putRaw("cores", cores);
+
+    JsonObject hist;
+    hist.putRaw("walk_depth", histToJson(s.walkDepth));
+    hist.putRaw("translation_pj_log2", histToJson(s.translationPj));
+    hist.putRaw("reuse_log2", histToJson(s.reuseDistance));
+    hist.putRaw("shootdown_fanout_log2", histToJson(s.shootdownFanout));
+    o.putRaw("hist", hist.str());
+    return o.str();
+}
+
+Status
+ProvenanceSink::close()
+{
+    if (closed_)
+        return Status();
+    closed_ = true;
+    if (!out_)
+        return Status();
+    *out_ << provSummaryToJson(summary_) << "\n";
+    out_->flush();
+    if (!*out_)
+        return Status::error("provenance stream write failure");
+    if (file_)
+        file_->close();
+    return Status();
+}
+
+} // namespace eat::obs

@@ -33,7 +33,9 @@ TelemetrySink::emit(const IntervalRecord &r)
     o.put("l2_hits", r.l2Hits);
     o.put("l2_misses", r.l2Misses);
     o.put("miss_cycles", r.missCycles);
-    o.put("dynamic_pj", r.dynamicPj);
+    // Exact: the provenance reconciliation oracle re-derives this value
+    // from traced events and demands bit-identity after a round-trip.
+    o.putExact("dynamic_pj", r.dynamicPj);
     o.put("l1_mpki", r.l1Mpki);
     o.put("l2_mpki", r.l2Mpki);
     o.put("l1_hit_ratio", r.l1HitRatio);

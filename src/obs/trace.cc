@@ -13,14 +13,28 @@ TraceWriter::TraceWriter(std::size_t maxEvents) : maxEvents_(maxEvents)
 {
 }
 
+void
+TraceWriter::registerClock(unsigned core, const std::uint64_t *clock)
+{
+    if (core >= clocks_.size())
+        clocks_.resize(core + 1, nullptr);
+    clocks_[core] = clock;
+}
+
+std::uint64_t
+TraceWriter::nowFor(unsigned core) const
+{
+    return core < clocks_.size() && clocks_[core] ? *clocks_[core] : 0;
+}
+
 unsigned
-TraceWriter::track(const std::string &name)
+TraceWriter::track(const std::string &name, unsigned core)
 {
     for (unsigned i = 0; i < tracks_.size(); ++i) {
-        if (tracks_[i] == name)
+        if (tracks_[i].core == core && tracks_[i].name == name)
             return i;
     }
-    tracks_.push_back(name);
+    tracks_.push_back({name, core});
     return static_cast<unsigned>(tracks_.size() - 1);
 }
 
@@ -39,7 +53,7 @@ void
 TraceWriter::instant(unsigned track, std::string name, std::string argsJson)
 {
     eat_assert(track < tracks_.size(), "unknown trace track ", track);
-    push({now(), track, 'i', std::move(name),
+    push({nowFor(tracks_[track].core), track, 'i', std::move(name),
           argsJson.empty() ? "{}" : std::move(argsJson)});
 }
 
@@ -49,7 +63,8 @@ TraceWriter::counter(unsigned track, std::string name, double value)
     eat_assert(track < tracks_.size(), "unknown trace track ", track);
     JsonObject args;
     args.put("value", value);
-    push({now(), track, 'C', std::move(name), args.str()});
+    push({nowFor(tracks_[track].core), track, 'C', std::move(name),
+          args.str()});
 }
 
 void
@@ -78,14 +93,35 @@ TraceWriter::writeTo(std::ostream &out) const
         out << "\n" << json;
     };
 
-    // Track metadata first: names the rows in the viewer.
+    // Each core renders as its own process (pid = core + 1), so a
+    // multicore trace groups per-core tracks instead of interleaving
+    // them. Single-core traces stay byte-identical to the v1 output:
+    // the process_name rows appear only when a second core exists.
+    unsigned maxCore = 0;
+    for (const Track &t : tracks_)
+        maxCore = std::max(maxCore, t.core);
+    if (maxCore > 0) {
+        for (unsigned core = 0; core <= maxCore; ++core) {
+            JsonObject args;
+            args.put("name", "core " + std::to_string(core));
+            JsonObject meta;
+            meta.put("name", "process_name");
+            meta.put("ph", "M");
+            meta.put("pid", core + 1);
+            meta.put("tid", 0);
+            meta.putRaw("args", args.str());
+            emit(meta.str());
+        }
+    }
+
+    // Track metadata next: names the rows in the viewer.
     for (unsigned i = 0; i < tracks_.size(); ++i) {
         JsonObject args;
-        args.put("name", tracks_[i]);
+        args.put("name", tracks_[i].name);
         JsonObject meta;
         meta.put("name", "thread_name");
         meta.put("ph", "M");
-        meta.put("pid", 1);
+        meta.put("pid", tracks_[i].core + 1);
         meta.put("tid", i);
         meta.putRaw("args", args.str());
         emit(meta.str());
@@ -96,7 +132,7 @@ TraceWriter::writeTo(std::ostream &out) const
         o.put("name", e->name);
         o.put("ph", std::string_view(&e->phase, 1));
         o.put("ts", e->ts);
-        o.put("pid", 1);
+        o.put("pid", tracks_[e->track].core + 1);
         o.put("tid", e->track);
         if (e->phase == 'i')
             o.put("s", "t"); // instant scope: thread

@@ -40,20 +40,26 @@ class TraceWriter
     explicit TraceWriter(std::size_t maxEvents = 1u << 20);
 
     /**
-     * Bind the timestamp source (not owned; typically the MMU's
-     * retired-instruction counter). Events recorded with no clock
+     * Bind the timestamp source of @p core (not owned; typically that
+     * core's retired-instruction counter). Events on a core's tracks
+     * are stamped from its own clock; tracks of a core with no clock
      * bound are stamped 0.
      */
-    void setClock(const std::uint64_t *clock) { clock_ = clock; }
+    void registerClock(unsigned core, const std::uint64_t *clock);
 
-    /** Current timestamp (simulated instructions). */
-    std::uint64_t now() const { return clock_ ? *clock_ : 0; }
+    /** Single-core shorthand: bind core 0's clock. */
+    void setClock(const std::uint64_t *clock) { registerClock(0, clock); }
+
+    /** Core 0's current timestamp (simulated instructions). */
+    std::uint64_t now() const { return nowFor(0); }
 
     /**
-     * Create-or-get the track named @p name. Tracks render as separate
-     * rows (threads) in the viewer.
+     * Create-or-get the track named @p name on @p core. Tracks render
+     * as separate rows (threads) in the viewer; in multicore traces
+     * each core becomes its own process, so its tracks group together
+     * instead of interleaving (telemetry v2 "core" ↔ trace pid-1).
      */
-    unsigned track(const std::string &name);
+    unsigned track(const std::string &name, unsigned core = 0);
 
     /** Record an instant event; @p argsJson is a pre-rendered JSON
      *  object ("{}" when empty). */
@@ -78,6 +84,12 @@ class TraceWriter
     Status write(const std::string &path) const;
 
   private:
+    struct Track
+    {
+        std::string name;
+        unsigned core;
+    };
+
     struct Event
     {
         std::uint64_t ts;
@@ -88,9 +100,11 @@ class TraceWriter
     };
 
     void push(Event event);
+    std::uint64_t nowFor(unsigned core) const;
 
-    const std::uint64_t *clock_ = nullptr;
-    std::vector<std::string> tracks_;
+    /** Per-core clock bindings (index = core id). */
+    std::vector<const std::uint64_t *> clocks_;
+    std::vector<Track> tracks_;
     std::vector<Event> events_;
     std::size_t maxEvents_;
     std::uint64_t recorded_ = 0;

@@ -110,6 +110,54 @@ checkEnergyConservation(const sim::SimResult &r, OracleVerdict &verdict)
 }
 
 /**
+ * The load-bearing provenance property: summing the traced events'
+ * energy — per (core, structure), in the sink's exact accumulators —
+ * equals the meters' aggregate rows *bit for bit*. No tolerance: the
+ * sink charges the identical double at the identical choke point, so
+ * any drift means an instrumentation gap, a double-charge, or a
+ * summation-order bug.
+ */
+void
+checkProvenanceReconciliation(const obs::ProvSummary &prov,
+                              const sim::SimResult &r, unsigned core,
+                              OracleVerdict &verdict)
+{
+    Oracle oracle(verdict, "provenance-reconciliation");
+
+    static const obs::ProvCoreTotals kZero{};
+    const obs::ProvCoreTotals &totals =
+        core < prov.cores.size() ? prov.cores[core] : kZero;
+
+    for (const auto &row : r.energy.structs) {
+        const auto idx = static_cast<unsigned>(row.id);
+        if (idx >= obs::kProvMeteredStructs)
+            continue;
+        const auto &t = totals.structs[idx];
+        oracle.expect(t.reads == row.reads, "core ", core, " ",
+                      row.name, ": traced ", t.reads,
+                      " reads but the meter counted ", row.reads);
+        oracle.expect(t.writes == row.writes, "core ", core, " ",
+                      row.name, ": traced ", t.writes,
+                      " writes but the meter counted ", row.writes);
+        oracle.expect(t.readPj == row.readEnergy, "core ", core, " ",
+                      row.name, ": traced read energy ", t.readPj,
+                      " pJ != metered ", row.readEnergy, " pJ (exact)");
+        oracle.expect(t.writePj == row.writeEnergy, "core ", core, " ",
+                      row.name, ": traced write energy ", t.writePj,
+                      " pJ != metered ", row.writeEnergy, " pJ (exact)");
+    }
+
+    oracle.expect(totals.shootdowns == r.stats.shootdownsInitiated,
+                  "core ", core, ": traced ", totals.shootdowns,
+                  " shootdowns but the core initiated ",
+                  r.stats.shootdownsInitiated);
+    oracle.expect(totals.shootdownPj == r.stats.shootdownEnergyPj,
+                  "core ", core, ": traced shootdown energy ",
+                  totals.shootdownPj, " pJ != metered ",
+                  r.stats.shootdownEnergyPj, " pJ (exact)");
+}
+
+/**
  * The LRU inclusion (stack) property, phrased over way masks: shrinking
  * the L1 4 KB TLB while keeping its set count — 64x4 to 32x2 to 16x1,
  * all 16 sets — keeps every set's reference stream identical, so the
@@ -250,6 +298,10 @@ runMcOracles(const Scenario &scenario, Mutation mutation)
     auto cfg = scenario.toMcConfig();
     if (mutation == Mutation::CorruptTlbFill)
         cfg.base.faultSpec = "ppn-flip@l2:0.01,ppn-flip@l1-4k:0.01";
+    // In-memory provenance accumulation on the primary runs: the
+    // reconciliation oracle needs the exact traced totals. The digests
+    // never include provenance, so replay comparisons are unaffected.
+    cfg.base.provenanceEnabled = true;
 
     auto result = mc::mcSimulate(cfg);
     {
@@ -326,6 +378,22 @@ runMcOracles(const Scenario &scenario, Mutation mutation)
     for (const auto &r : result.perCore)
         checkEnergyConservation(r, verdict);
 
+    if (result.provenanceEnabled) {
+        for (unsigned c = 0;
+             c < static_cast<unsigned>(result.perCore.size()); ++c) {
+            checkProvenanceReconciliation(result.provenance,
+                                          result.perCore[c], c, verdict);
+        }
+        Oracle oracle(verdict, "provenance-reconciliation");
+        std::uint64_t memOps = 0;
+        for (const auto &r : result.perCore)
+            memOps += r.stats.memOps;
+        oracle.expect(result.provenance.translations == memOps,
+                      "sink saw ", result.provenance.translations,
+                      " translations but the cores ran ", memOps,
+                      " memory operations");
+    }
+
     {
         Oracle oracle(verdict, "shootdown-accounting");
         std::uint64_t initiated = 0;
@@ -387,6 +455,10 @@ runOracles(const Scenario &scenario, Mutation mutation)
         // declares no fault plan, so the silence oracle must fire.
         cfg.faultSpec = "ppn-flip@l2:0.01,ppn-flip@l1-4k:0.01";
     }
+    // In-memory provenance accumulation on the primary runs: the
+    // reconciliation oracle needs the exact traced totals. The digests
+    // never include provenance, so replay comparisons are unaffected.
+    cfg.provenanceEnabled = true;
 
     auto result = sim::simulate(cfg);
     {
@@ -439,6 +511,16 @@ runOracles(const Scenario &scenario, Mutation mutation)
     }
 
     checkEnergyConservation(result, verdict);
+
+    if (result.provenanceEnabled) {
+        checkProvenanceReconciliation(result.provenance, result, 0,
+                                      verdict);
+        Oracle oracle(verdict, "provenance-reconciliation");
+        oracle.expect(result.provenance.translations == result.stats.memOps,
+                      "sink saw ", result.provenance.translations,
+                      " translations but the run made ",
+                      result.stats.memOps, " memory operations");
+    }
 
     const bool wayOracleEligible =
         (scenario.org == core::MmuOrg::Base4K ||

@@ -118,11 +118,34 @@ struct ObsHarness
 {
     std::unique_ptr<obs::TelemetrySink> telemetry;
     std::unique_ptr<obs::TraceWriter> trace;
+    std::unique_ptr<obs::ProvenanceSink> provenance;
 
     /** Open the outputs the config asks for and attach them. */
     ObsHarness(const SimConfig &config, core::Mmu &mmu,
                const CheckHarness &harness)
     {
+        eat_assert(config.provenanceSampleEvery >= 1,
+                   "provenance sample rate must be >= 1");
+        if (!config.provenancePath.empty()) {
+            if (!obs::kProvenanceCompiledIn) {
+                eat_fatal("this build has no provenance hooks "
+                          "(EAT_PROVENANCE=OFF); cannot write '",
+                          config.provenancePath, "'");
+            }
+            auto sink = obs::ProvenanceSink::open(
+                config.provenancePath, config.provenanceSampleEvery);
+            if (!sink.ok())
+                eat_fatal(sink.status().message());
+            provenance = std::move(sink.value());
+        } else if (config.provenanceEnabled &&
+                   obs::kProvenanceCompiledIn) {
+            // In-memory accumulation only: exact totals for the
+            // reconciliation oracle, no event stream.
+            provenance = std::make_unique<obs::ProvenanceSink>(
+                config.provenanceSampleEvery);
+        }
+        if (provenance)
+            mmu.setProvenance(provenance.get());
         if (!config.telemetryPath.empty()) {
             auto sink = obs::TelemetrySink::open(config.telemetryPath);
             if (!sink.ok())
@@ -155,6 +178,11 @@ struct ObsHarness
             result.traceEvents = trace->eventsRecorded();
             result.traceEventsDropped = trace->eventsDropped();
             eat_check_fatal(trace->write(config.traceOutPath));
+        }
+        if (provenance) {
+            eat_check_fatal(provenance->close());
+            result.provenanceEnabled = true;
+            result.provenance = provenance->summary();
         }
         if (!config.metricsPath.empty()) {
             obs::MetricRegistry registry;

@@ -21,6 +21,7 @@
 #include "energy/account.hh"
 #include "lite/lite_controller.hh"
 #include "obs/profiler.hh"
+#include "obs/provenance.hh"
 #include "stats/timeline.hh"
 #include "workloads/workload.hh"
 
@@ -80,6 +81,21 @@ struct SimConfig
 
     /** Write a Chrome trace-event JSON of Lite/TLB decisions here. */
     std::string traceOutPath;
+
+    /** Stream per-translation provenance events (JSONL) to this path.
+     *  Requires the provenance hooks to be compiled in (the default;
+     *  see the EAT_PROVENANCE CMake option). */
+    std::string provenancePath;
+
+    /** Write one sampled translation path out of every N (control
+     *  events — resizes, intervals, shootdowns — and the exact summary
+     *  totals are never sampled). Must be >= 1. */
+    std::uint64_t provenanceSampleEvery = 1;
+
+    /** Accumulate provenance totals/histograms in memory even with no
+     *  provenancePath (powers the qa reconciliation oracle). Ignored
+     *  (left off) when the hooks are compiled out. */
+    bool provenanceEnabled = false;
 };
 
 /** The result of one simulation run. */
@@ -110,6 +126,11 @@ struct SimResult
     std::uint64_t telemetryRecords = 0;
     std::uint64_t traceEvents = 0;
     std::uint64_t traceEventsDropped = 0;
+
+    /** Exact provenance totals/histograms (empty unless provenance was
+     *  on — path given or provenanceEnabled set — and compiled in). */
+    bool provenanceEnabled = false;
+    obs::ProvSummary provenance;
 
     // OS-level facts of the run.
     std::uint64_t pages4K = 0;

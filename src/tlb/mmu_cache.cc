@@ -9,21 +9,6 @@ namespace eat::tlb
 namespace
 {
 
-/**
- * The page-table level of the leaf for @p size: 1 = PT, 2 = PD,
- * 3 = PDPT.
- */
-constexpr unsigned
-leafLevel(vm::PageSize size)
-{
-    switch (size) {
-      case vm::PageSize::Size4K: return 1;
-      case vm::PageSize::Size2M: return 2;
-      case vm::PageSize::Size1G: return 3;
-    }
-    return 1;
-}
-
 TlbEntry
 regionEntry(Addr vaddr, unsigned shift)
 {
@@ -66,6 +51,9 @@ MmuCache::walkAccess(Addr vaddr, vm::PageSize leafSize)
         startLevel = 4;
 
     MmuCacheOutcome out;
+    out.hitPde = pdeHit;
+    out.hitPdpte = pdpteHit;
+    out.hitPml4 = pml4Hit;
     out.memRefs = startLevel - leaf;
     eat_assert(out.memRefs >= 1 && out.memRefs <= 4,
                "impossible walk length ", out.memRefs);

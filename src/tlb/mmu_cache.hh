@@ -33,6 +33,9 @@ struct MmuCacheOutcome
 {
     /** Page-walk memory references required (leaf fetch included). */
     unsigned memRefs = 0;
+    bool hitPde = false; ///< probe outcomes (provenance per-level view)
+    bool hitPdpte = false;
+    bool hitPml4 = false;
     bool filledPde = false;
     bool filledPdpte = false;
     bool filledPml4 = false;
@@ -57,6 +60,19 @@ class MmuCache
      * walk needs, and install the entries the walk fetched.
      */
     MmuCacheOutcome walkAccess(Addr vaddr, vm::PageSize leafSize);
+
+    /** The page-table level of a @p size leaf: 1 = PT, 2 = PD,
+     *  3 = PDPT. */
+    static constexpr unsigned
+    leafLevel(vm::PageSize size)
+    {
+        switch (size) {
+          case vm::PageSize::Size4K: return 1;
+          case vm::PageSize::Size2M: return 2;
+          case vm::PageSize::Size1G: return 3;
+        }
+        return 1;
+    }
 
     void flush();
 

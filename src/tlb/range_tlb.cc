@@ -35,7 +35,7 @@ RangeTlb::probe(Addr vaddr, Asid asid) const
     return false;
 }
 
-void
+bool
 RangeTlb::fill(const vm::RangeTranslation &range, Asid asid)
 {
     Slot *victim = nullptr;
@@ -43,23 +43,26 @@ RangeTlb::fill(const vm::RangeTranslation &range, Asid asid)
         if (s.valid && s.asid == asid && s.range == range) {
             // Already present (e.g. racing refills); just touch it.
             s.stamp = ++clock_;
-            return;
+            return false;
         }
         if (!s.valid && !victim)
             victim = &s;
     }
+    bool evicted = false;
     if (!victim) {
         victim = &slots_[0];
         for (auto &s : slots_) {
             if (s.stamp < victim->stamp)
                 victim = &s;
         }
+        evicted = true;
     }
     victim->valid = true;
     victim->range = range;
     victim->stamp = ++clock_;
     victim->asid = asid;
     ++fills_;
+    return evicted;
 }
 
 void

@@ -39,8 +39,9 @@ class RangeTlb
     /** State-preserving hit test. */
     bool probe(Addr vaddr, Asid asid = 0) const;
 
-    /** Install a range translation (deduplicates; replaces LRU). */
-    void fill(const vm::RangeTranslation &range, Asid asid = 0);
+    /** Install a range translation (deduplicates; replaces LRU).
+     *  @return true when a live entry was evicted. */
+    bool fill(const vm::RangeTranslation &range, Asid asid = 0);
 
     void invalidateAll();
 

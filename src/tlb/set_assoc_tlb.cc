@@ -89,7 +89,7 @@ SetAssocTlb::probe(Addr vaddr, Asid asid) const
     return false;
 }
 
-void
+bool
 SetAssocTlb::fill(const TlbEntry &entry)
 {
     const unsigned set = indexOf(entry.vbase, entry.shift);
@@ -101,6 +101,7 @@ SetAssocTlb::fill(const TlbEntry &entry)
     Slot *invalid = nullptr;
     Slot *lru = nullptr;
     Slot *victim = nullptr;
+    bool evicted = false;
     for (unsigned way = 0; way < activeWays_; ++way) {
         Slot &s = slots[way];
         if (s.valid && s.entry.asid == entry.asid &&
@@ -115,13 +116,16 @@ SetAssocTlb::fill(const TlbEntry &entry)
             lru = &s;
         }
     }
-    if (!victim)
+    if (!victim) {
         victim = invalid ? invalid : lru;
+        evicted = victim == lru && !invalid;
+    }
 
     victim->valid = true;
     victim->entry = entry;
     victim->stamp = ++clock_;
     ++fills_;
+    return evicted;
 }
 
 void

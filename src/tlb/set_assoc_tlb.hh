@@ -75,8 +75,10 @@ class SetAssocTlb
     bool probe(Addr vaddr, Asid asid = 0) const;
 
     /** Install @p entry (its own shift selects the set, its own asid
-     *  tags it). Replaces LRU. */
-    void fill(const TlbEntry &entry);
+     *  tags it). Replaces LRU.
+     *  @return true when a live entry was evicted (LRU replacement, as
+     *  opposed to an in-place refill or an invalid slot). */
+    bool fill(const TlbEntry &entry);
 
     /** Invalidate everything (all ways, active or not). */
     void invalidateAll();

@@ -68,6 +68,41 @@ TEST(Logging, AssertPassesAndFails)
     EXPECT_THROW(eat_assert(1 + 1 == 3, "broken"), std::logic_error);
 }
 
+TEST(Logging, LevelFiltersWarnAndInform)
+{
+    // The EAT_LOG_LEVEL contract (README "Observability"): silent
+    // suppresses warn() and inform(), warn suppresses inform() only,
+    // info prints both. setLogLevel() is the programmatic face of the
+    // same switch (it wins over the environment), so the filtering is
+    // tested through it; panic/fatal are unconditional either way.
+    struct Restore
+    {
+        ~Restore() { setLogLevel(LogLevel::Info); }
+    } restore;
+
+    setLogLevel(LogLevel::Silent);
+    ::testing::internal::CaptureStderr();
+    eat_warn("w-silent");
+    eat_inform("i-silent");
+    EXPECT_EQ(::testing::internal::GetCapturedStderr(), "");
+
+    setLogLevel(LogLevel::Warn);
+    ::testing::internal::CaptureStderr();
+    eat_warn("w-warn");
+    eat_inform("i-warn");
+    std::string captured = ::testing::internal::GetCapturedStderr();
+    EXPECT_NE(captured.find("w-warn"), std::string::npos) << captured;
+    EXPECT_EQ(captured.find("i-warn"), std::string::npos) << captured;
+
+    setLogLevel(LogLevel::Info);
+    ::testing::internal::CaptureStderr();
+    eat_warn("w-info");
+    eat_inform("i-info");
+    captured = ::testing::internal::GetCapturedStderr();
+    EXPECT_NE(captured.find("w-info"), std::string::npos) << captured;
+    EXPECT_NE(captured.find("i-info"), std::string::npos) << captured;
+}
+
 TEST(Rng, Deterministic)
 {
     Rng a(123), b(123);

@@ -68,6 +68,7 @@ const std::string kEatsim = EAT_EATSIM_PATH;
 const std::string kEatbatch = EAT_EATBATCH_PATH;
 const std::string kEatperf = EAT_EATPERF_PATH;
 const std::string kEatfuzz = EAT_EATFUZZ_PATH;
+const std::string kEatreport = EAT_EATREPORT_PATH;
 
 TEST(CliEatsim, RejectsMalformedInjectGrammar)
 {
@@ -242,6 +243,79 @@ TEST(CliEatfuzz, RejectsBadCampaignFlags)
     expectFailure(kEatfuzz + " --checkpoint=" + ::testing::TempDir() +
                       "/cli_camp.jsonl --resume --shrink=x",
                   2, "campaign mode");
+}
+
+TEST(CliEatsim, RejectsBadProvenanceFlags)
+{
+    expectFailure(kEatsim + " --workload=mcf --prov-sample=abc", 2,
+                  "--prov-sample");
+    expectFailure(kEatsim + " --workload=mcf --provenance=" +
+                      ::testing::TempDir() +
+                      "/cli_prov.jsonl --prov-sample=0",
+                  2, "must be >= 1");
+    expectFailure(kEatsim + " --workload=mcf --prov-sample=4", 2,
+                  "requires --provenance");
+    expectFailure(kEatsim + " --workload=mcf --provenance=", 2,
+                  "empty output path");
+}
+
+TEST(CliEatreport, RejectsBadUsage)
+{
+    expectFailure(kEatreport, 2, "usage");
+    expectFailure(kEatreport + " --frobnicate", 2, "usage");
+    // --telemetry cross-checking is part of reconciliation; alone it
+    // would silently do nothing.
+    expectFailure(kEatreport + " --prov=x --telemetry=y", 2,
+                  "--reconcile");
+}
+
+TEST(CliEatreport, FailsOnMissingInput)
+{
+    expectFailure(kEatreport + " --prov=" + ::testing::TempDir() +
+                      "/no_such.prov.jsonl",
+                  1, "cannot open provenance file");
+}
+
+TEST(CliEatreport, FailsOnMalformedJsonl)
+{
+    // A malformed line followed by more data is corruption, not a torn
+    // final write — hard error naming the line.
+    const std::string bad = ::testing::TempDir() + "/bad.prov.jsonl";
+    {
+        std::ofstream out(bad, std::ios::trunc);
+        out << "this is not json\n";
+        out << "{\"schema\":\"eat.prov.event\",\"v\":1,\"i\":0,"
+               "\"k\":\"interval\",\"core\":0,\"interval\":0,"
+               "\"pj\":0}\n";
+    }
+    expectFailure(kEatreport + " --prov=" + bad, 1,
+                  "malformed JSON line");
+
+    // A stream of only garbage: the torn-line tolerance consumes the
+    // one bad line, leaving no records at all.
+    const std::string empty = ::testing::TempDir() + "/torn.prov.jsonl";
+    {
+        std::ofstream out(empty, std::ios::trunc);
+        out << "{\"schema\":\"eat.prov.ev"; // torn mid-write
+    }
+    expectFailure(kEatreport + " --prov=" + empty, 1,
+                  "no provenance records");
+
+    // Valid JSON of the wrong schema is someone else's file.
+    const std::string wrong = ::testing::TempDir() + "/wrong.prov.jsonl";
+    {
+        std::ofstream out(wrong, std::ios::trunc);
+        out << "{\"schema\":\"eat.telemetry\",\"v\":2}\n";
+    }
+    expectFailure(kEatreport + " --prov=" + wrong, 1, "unknown schema");
+}
+
+TEST(CliEatperf, RejectsBadBaselineFlags)
+{
+    expectFailure(kEatperf + " --out=x --max-regression=abc", 2,
+                  "--max-regression");
+    expectFailure(kEatperf + " --out=x --max-regression=1.5", 2,
+                  "--max-regression");
 }
 
 TEST(CliEatfuzz, RejectsMalformedSeedFile)

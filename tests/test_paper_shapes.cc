@@ -173,6 +173,54 @@ TEST_F(PaperShapes, AverageOrderingMatchesFigure10)
     EXPECT_LT(thp, 1.0);
 }
 
+TEST(PaperShapesProvenance, Fig10OrderingReproducedFromTracedRuns)
+{
+    // The same headline ordering must fall out of the *provenance*
+    // pipeline: trace a THP run and an RMM_Lite run, hand both streams
+    // to eatreport --diff, and read the Figure-10 ratio it computes
+    // from the traced events alone. mcf is walk-bound, so RMM_Lite
+    // must land far below THP (full sweep: >80% savings vs 4KB).
+    const std::string pathA = ::testing::TempDir() + "/fig10_thp.jsonl";
+    const std::string pathB = ::testing::TempDir() + "/fig10_rmm.jsonl";
+    for (const auto &[org, path] :
+         {std::pair{core::MmuOrg::Thp, pathA},
+          std::pair{core::MmuOrg::RmmLite, pathB}}) {
+        sim::SimConfig cfg;
+        cfg.workload = *workloads::findWorkload("mcf");
+        cfg.mmu = core::MmuConfig::make(org);
+        if (cfg.mmu.liteEnabled)
+            cfg.mmu.lite.intervalInstructions = kLiteInterval;
+        cfg.simulateInstructions = 300'000;
+        cfg.fastForwardInstructions = kFastForward;
+        cfg.provenancePath = path;
+        sim::simulate(cfg);
+    }
+
+    const std::string cmd = std::string(EAT_EATREPORT_PATH) +
+                            " --prov=" + pathA + " --diff=" + pathB +
+                            " 2>&1";
+    FILE *pipe = popen(cmd.c_str(), "r");
+    ASSERT_NE(pipe, nullptr);
+    std::string output;
+    char buffer[4096];
+    std::size_t n = 0;
+    while ((n = std::fread(buffer, 1, sizeof buffer, pipe)) > 0)
+        output.append(buffer, n);
+    const int status = pclose(pipe);
+    std::remove(pathA.c_str());
+    std::remove(pathB.c_str());
+    ASSERT_EQ(status, 0) << output;
+
+    const auto pos = output.find("ratio=");
+    ASSERT_NE(pos, std::string::npos) << output;
+    const double ratio = std::strtod(output.c_str() + pos + 6, nullptr);
+    EXPECT_GT(ratio, 0.0) << output;
+    EXPECT_LT(ratio, 0.6)
+        << "RMM_Lite must show Figure 10's big win over THP on the "
+        << "walk-bound mcf\n"
+        << output;
+}
+
 TEST_F(PaperShapes, ThpHelpsOnlyTheWalkBoundPairMuch)
 {
     // Figure 10's THP column: the walk-bound pair (cactusADM, mcf)

@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Tests of the energy-provenance tracer and its load-bearing promise:
+ * summing the traced events reproduces the aggregate energy meters
+ * bit for bit — an exact ==, not an epsilon.
+ *
+ *  - every organization reconciles (in-memory sink, sampling off);
+ *  - a 2-core multicore run with shootdown churn reconciles per core;
+ *  - sampling thins the written stream but never the summary totals;
+ *  - the JSONL stream round-trips: eatreport --reconcile re-sums the
+ *    file and agrees, and rejects sampled streams;
+ *  - the summary JSON record parses back to the exact doubles;
+ *  - the shared log2 bucket helper is what both sides assume.
+ */
+
+#include <cstdio>
+#include <string>
+
+#include <sys/wait.h>
+
+#include <gtest/gtest.h>
+
+#include "mc/mc_simulator.hh"
+#include "mc/mix.hh"
+#include "obs/json.hh"
+#include "obs/provenance.hh"
+#include "sim/simulator.hh"
+#include "workloads/suite.hh"
+
+namespace eat
+{
+namespace
+{
+
+sim::SimConfig
+provConfig(const std::string &workload, core::MmuOrg org,
+           InstrCount instructions = 400'000)
+{
+    sim::SimConfig cfg;
+    cfg.workload = *workloads::findWorkload(workload);
+    cfg.mmu = core::MmuConfig::make(org);
+    cfg.fastForwardInstructions = 50'000;
+    cfg.simulateInstructions = instructions;
+    cfg.provenanceEnabled = true;
+    return cfg;
+}
+
+/** The exact-reconciliation assertion both drivers must satisfy. */
+void
+expectReconciles(const obs::ProvCoreTotals &totals,
+                 const sim::SimResult &r, const std::string &what)
+{
+    // Every meter-backed energy row must match the event accumulators
+    // exactly: same counts, same doubles.
+    unsigned matched = 0;
+    for (const auto &row : r.energy.structs) {
+        const auto idx = static_cast<unsigned>(row.id);
+        if (idx >= obs::kProvMeteredStructs)
+            continue;
+        const auto &t = totals.structs[idx];
+        EXPECT_EQ(t.reads, row.reads) << what << ": " << row.name;
+        EXPECT_EQ(t.writes, row.writes) << what << ": " << row.name;
+        EXPECT_EQ(t.readPj, row.readEnergy) << what << ": " << row.name;
+        EXPECT_EQ(t.writePj, row.writeEnergy)
+            << what << ": " << row.name;
+        ++matched;
+    }
+    EXPECT_GT(matched, 0u) << what;
+
+    EXPECT_EQ(totals.shootdowns, r.stats.shootdownsInitiated) << what;
+    EXPECT_EQ(totals.shootdownPj, r.stats.shootdownEnergyPj) << what;
+}
+
+TEST(Provenance, EveryOrgReconcilesBitExactly)
+{
+    for (const auto org : core::allOrgs()) {
+        const auto r =
+            sim::simulate(provConfig("mcf", org));
+        const std::string what(core::orgName(org));
+        ASSERT_TRUE(r.provenanceEnabled) << what;
+        ASSERT_EQ(r.provenance.cores.size(), 1u) << what;
+        EXPECT_EQ(r.provenance.translations, r.stats.memOps) << what;
+        EXPECT_EQ(r.provenance.translations,
+                  r.provenance.translationsSampled)
+            << what;
+        expectReconciles(r.provenance.cores[0], r, what);
+        // The canonical re-sum equals the meter total bit for bit.
+        EXPECT_EQ(r.provenance.cores[0].canonicalDynamicPj(),
+                  r.totalEnergy())
+            << what;
+        // Histograms saw every translation.
+        EXPECT_EQ(r.provenance.walkDepth.total(),
+                  r.provenance.translations)
+            << what;
+    }
+}
+
+TEST(Provenance, MulticoreWithShootdownsReconcilesPerCore)
+{
+    mc::McConfig cfg;
+    cfg.base = provConfig("mcf", core::MmuOrg::RmmLite, 300'000);
+    const auto mix = mc::parseMixSpec("mcf,astar");
+    ASSERT_TRUE(mix.ok());
+    cfg.mix = mix.value();
+    cfg.base.workload = cfg.mix.front();
+    cfg.cores = 2;
+    cfg.remapInterval = 50'000;
+
+    const auto r = mc::mcSimulate(cfg);
+    ASSERT_TRUE(r.provenanceEnabled);
+    ASSERT_EQ(r.perCore.size(), 2u);
+    ASSERT_EQ(r.provenance.cores.size(), 2u);
+
+    std::uint64_t memOps = 0;
+    std::uint64_t shootdowns = 0;
+    for (unsigned c = 0; c < 2; ++c) {
+        expectReconciles(r.provenance.cores[c], r.perCore[c],
+                         "core " + std::to_string(c));
+        EXPECT_EQ(r.provenance.cores[c].canonicalDynamicPj(),
+                  r.perCore[c].totalEnergy())
+            << "core " << c;
+        memOps += r.perCore[c].stats.memOps;
+        shootdowns += r.provenance.cores[c].shootdowns;
+    }
+    EXPECT_EQ(r.provenance.translations, memOps);
+    EXPECT_GT(shootdowns, 0u) << "churn must have broadcast";
+    EXPECT_GT(r.provenance.shootdownFanout.total(), 0u);
+}
+
+TEST(Provenance, SamplingThinsTheStreamButNotTheTotals)
+{
+    const std::string path =
+        ::testing::TempDir() + "/sampled.prov.jsonl";
+
+    auto cfg = provConfig("astar", core::MmuOrg::Thp);
+    const auto full = sim::simulate(cfg);
+
+    cfg.provenancePath = path;
+    cfg.provenanceSampleEvery = 8;
+    const auto sampled = sim::simulate(cfg);
+    std::remove(path.c_str());
+
+    ASSERT_TRUE(sampled.provenanceEnabled);
+    const auto &s = sampled.provenance;
+    EXPECT_EQ(s.sampleEvery, 8u);
+    EXPECT_EQ(s.translations, full.provenance.translations);
+    // 1-in-8, first translation sampled: ceil(n / 8).
+    EXPECT_EQ(s.translationsSampled, (s.translations + 7) / 8);
+    EXPECT_LT(s.eventsWritten, s.events);
+    // Accumulation is sampling-blind: totals match the unsampled run
+    // (same seed, same stream) exactly.
+    ASSERT_EQ(s.cores.size(), full.provenance.cores.size());
+    EXPECT_EQ(s.cores[0].canonicalDynamicPj(),
+              full.provenance.cores[0].canonicalDynamicPj());
+    EXPECT_EQ(s.events, full.provenance.events);
+    expectReconciles(s.cores[0], sampled, "sampled");
+}
+
+TEST(Provenance, SummaryJsonRoundTripsExactly)
+{
+    const auto r = sim::simulate(
+        provConfig("omnetpp", core::MmuOrg::TlbLite, 300'000));
+    ASSERT_TRUE(r.provenanceEnabled);
+
+    const std::string json = provSummaryToJson(r.provenance);
+    const auto parsed = obs::parseJson(json);
+    ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+    const obs::JsonValue &o = parsed.value();
+
+    EXPECT_EQ(o.find("schema")->string, obs::kProvSummarySchema);
+    EXPECT_EQ(static_cast<std::uint64_t>(o.find("translations")->number),
+              r.provenance.translations);
+
+    const obs::JsonValue *cores = o.find("cores");
+    ASSERT_TRUE(cores && cores->isArray());
+    ASSERT_EQ(cores->array.size(), r.provenance.cores.size());
+    // %.17g must reconstruct the accumulated double bit for bit.
+    EXPECT_EQ(cores->array[0].find("dynamic_pj")->number,
+              r.provenance.cores[0].canonicalDynamicPj());
+}
+
+TEST(Provenance, EatreportReconcilesTheStreamEndToEnd)
+{
+    const std::string prov =
+        ::testing::TempDir() + "/e2e.prov.jsonl";
+    auto cfg = provConfig("mcf", core::MmuOrg::RmmLite, 300'000);
+    cfg.provenancePath = prov;
+    const auto r = sim::simulate(cfg);
+    ASSERT_TRUE(r.provenanceEnabled);
+
+    const std::string cmd =
+        std::string(EAT_EATREPORT_PATH) + " --prov=" + prov +
+        " --reconcile 2>&1";
+    FILE *pipe = popen(cmd.c_str(), "r");
+    ASSERT_NE(pipe, nullptr);
+    std::string output;
+    char buffer[4096];
+    std::size_t n = 0;
+    while ((n = std::fread(buffer, 1, sizeof buffer, pipe)) > 0)
+        output.append(buffer, n);
+    const int status = pclose(pipe);
+    std::remove(prov.c_str());
+
+    ASSERT_TRUE(WIFEXITED(status));
+    EXPECT_EQ(WEXITSTATUS(status), 0) << output;
+    EXPECT_NE(output.find("bit for bit"), std::string::npos) << output;
+}
+
+TEST(Provenance, Log2BucketsMatchTheHistogramContract)
+{
+    EXPECT_EQ(obs::provLog2Bucket(0.0), 0u);
+    EXPECT_EQ(obs::provLog2Bucket(1.0), 1u);
+    EXPECT_EQ(obs::provLog2Bucket(2.0), 2u);
+    EXPECT_EQ(obs::provLog2Bucket(3.0), 2u);
+    EXPECT_EQ(obs::provLog2Bucket(4.0), 3u);
+    EXPECT_EQ(obs::provLog2Bucket(1023.0), 10u);
+    EXPECT_EQ(obs::provLog2Bucket(1024.0), 11u);
+}
+
+} // namespace
+} // namespace eat

@@ -30,6 +30,15 @@
  * at 1, 2, and 4 cores; sim_kips there is the aggregate rate over all
  * cores, the scaling number the multicore scheduler is accountable
  * for.
+ *
+ * With --baseline=PATH the run additionally regresses itself against a
+ * previously committed BENCH_perf.json: every per-org sim_kips row and
+ * every mc aggregate row must stay above (1 - R) x its baseline value,
+ * where R is --max-regression (default 0.5). CI machines are noisy and
+ * share tenants, so R is deliberately generous — the gate exists to
+ * catch order-of-magnitude slowdowns (an accidentally hot tracing hook,
+ * a quadratic loop), not 10% drift. Offenders are listed and the exit
+ * status is 1.
  */
 
 #include <chrono>
@@ -68,7 +77,12 @@ usage(const char *argv0)
         "                     (default: all hardware threads)\n"
         "  --instructions=N   measured window per run (default 1e6)\n"
         "  --fast-forward=N   skipped prefix per run (default 1e5)\n"
-        "  --quick            CI-sized windows (2e5 measured)\n",
+        "  --quick            CI-sized windows (2e5 measured)\n"
+        "  --baseline=PATH    regress sim-KIPS against a committed\n"
+        "                     BENCH_perf.json; exit 1 on offenders\n"
+        "  --max-regression=R allowed fractional sim-KIPS drop vs the\n"
+        "                     baseline (default 0.5; 0.8 = fail only\n"
+        "                     below 20%% of baseline)\n",
         argv0);
     std::exit(2);
 }
@@ -79,6 +93,87 @@ seconds(std::chrono::steady_clock::time_point start)
     return std::chrono::duration<double>(
                std::chrono::steady_clock::now() - start)
         .count();
+}
+
+/**
+ * Compare measured sim-KIPS rows against a committed baseline file.
+ * @return the offender messages (empty = gate passes).
+ */
+std::vector<std::string>
+checkBaseline(const std::string &path, double maxRegression,
+              const std::vector<std::pair<std::string, double>> &kipsNow,
+              const std::vector<std::pair<unsigned, double>> &mcNow)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "eatperf: cannot open baseline '%s'\n",
+                     path.c_str());
+        std::exit(1);
+    }
+    std::stringstream buf;
+    buf << in.rdbuf();
+    const auto parsed = obs::parseJson(buf.str());
+    if (!parsed.ok()) {
+        std::fprintf(stderr,
+                     "eatperf: baseline '%s' is not valid JSON: %s\n",
+                     path.c_str(),
+                     std::string(parsed.status().message()).c_str());
+        std::exit(1);
+    }
+    const obs::JsonValue &doc = parsed.value();
+    const obs::JsonValue *schema = doc.find("schema");
+    if (!schema || schema->string != "eat.perf_baseline") {
+        std::fprintf(stderr,
+                     "eatperf: baseline '%s' is not an "
+                     "eat.perf_baseline document\n",
+                     path.c_str());
+        std::exit(1);
+    }
+
+    const double floorFraction = 1.0 - maxRegression;
+    std::vector<std::string> offenders;
+    auto gate = [floorFraction, &offenders](const std::string &what,
+                                            double base, double now) {
+        if (base <= 0.0)
+            return;
+        const double floorKips = base * floorFraction;
+        if (now < floorKips) {
+            char msg[160];
+            std::snprintf(msg, sizeof msg,
+                          "%s: %.0f sim-KIPS, below %.0f (baseline "
+                          "%.0f x %.2f)",
+                          what.c_str(), now, floorKips, base,
+                          floorFraction);
+            offenders.emplace_back(msg);
+        }
+    };
+
+    if (const obs::JsonValue *rows = doc.find("kips");
+        rows && rows->isArray()) {
+        for (const auto &row : rows->array) {
+            const obs::JsonValue *org = row.find("org");
+            const obs::JsonValue *kips = row.find("sim_kips");
+            if (!org || !kips)
+                continue;
+            for (const auto &[name, now] : kipsNow)
+                if (name == org->string)
+                    gate("org " + name, kips->number, now);
+        }
+    }
+    if (const obs::JsonValue *rows = doc.find("mc");
+        rows && rows->isArray()) {
+        for (const auto &row : rows->array) {
+            const obs::JsonValue *cores = row.find("cores");
+            const obs::JsonValue *kips = row.find("sim_kips");
+            if (!cores || !kips)
+                continue;
+            for (const auto &[n, now] : mcNow)
+                if (n == static_cast<unsigned>(cores->number))
+                    gate("mc " + std::to_string(n) + "-core",
+                         kips->number, now);
+        }
+    }
+    return offenders;
 }
 
 /** One batch-runner leg of the mini-grid; returns wall seconds. */
@@ -114,6 +209,8 @@ int
 main(int argc, char **argv)
 {
     std::string outPath;
+    std::string baselinePath;
+    double maxRegression = 0.5;
     unsigned jobs = 0; // auto
     InstrCount instructions = 1'000'000;
     InstrCount fastForward = 100'000;
@@ -153,6 +250,19 @@ main(int argc, char **argv)
         } else if (arg == "--quick") {
             instructions = 200'000;
             fastForward = 20'000;
+        } else if (const char *v5 = value("--baseline=")) {
+            baselinePath = v5;
+        } else if (const char *v6 = value("--max-regression=")) {
+            char *end = nullptr;
+            maxRegression = std::strtod(v6, &end);
+            if (end == v6 || *end != '\0' || maxRegression < 0.0 ||
+                maxRegression >= 1.0) {
+                std::fprintf(stderr,
+                             "--max-regression: expected a fraction in "
+                             "[0,1), got '%s'\n",
+                             v6);
+                return 2;
+            }
         } else {
             usage(argv[0]);
         }
@@ -180,6 +290,7 @@ main(int argc, char **argv)
         std::fprintf(stderr, "eatperf: workload 'mcf' missing\n");
         return 1;
     }
+    std::vector<std::pair<std::string, double>> kipsNow;
     std::string kipsArray = "[";
     for (const auto org : core::allOrgs()) {
         sim::SimConfig cfg = batchTemplate.base;
@@ -196,6 +307,8 @@ main(int argc, char **argv)
         if (kipsArray.size() > 1)
             kipsArray += ",";
         kipsArray += entry.str();
+        kipsNow.emplace_back(std::string(core::orgName(org)),
+                             r.simKips());
         std::cout << "kips: " << core::orgName(org) << " "
                   << r.simKips() << " (" << wall << "s)\n";
     }
@@ -208,6 +321,7 @@ main(int argc, char **argv)
                      std::string(mcMix.status().message()).c_str());
         return 1;
     }
+    std::vector<std::pair<unsigned, double>> mcNow;
     std::string mcArray = "[";
     for (const unsigned cores : {1u, 2u, 4u}) {
         mc::McConfig mcc;
@@ -227,6 +341,7 @@ main(int argc, char **argv)
         if (mcArray.size() > 1)
             mcArray += ",";
         mcArray += entry.str();
+        mcNow.emplace_back(cores, r.simKips());
         std::cout << "mc: " << cores << " cores " << r.simKips()
                   << " aggregate sim-KIPS (" << wall << "s)\n";
     }
@@ -282,5 +397,23 @@ main(int argc, char **argv)
     }
     std::cout << "wrote " << outPath << " (speedup -j" << jobs << " vs -j1: "
               << (jnWall > 0.0 ? j1Wall / jnWall : 0.0) << "x)\n";
+
+    if (!baselinePath.empty()) {
+        const auto offenders = checkBaseline(baselinePath, maxRegression,
+                                             kipsNow, mcNow);
+        if (!offenders.empty()) {
+            for (const auto &o : offenders)
+                std::fprintf(stderr, "eatperf: regression: %s\n",
+                             o.c_str());
+            std::fprintf(stderr,
+                         "eatperf: %zu row(s) regressed more than "
+                         "%.0f%% vs %s\n",
+                         offenders.size(), maxRegression * 100.0,
+                         baselinePath.c_str());
+            return 1;
+        }
+        std::cout << "baseline: all rows within " << maxRegression * 100.0
+                  << "% of " << baselinePath << "\n";
+    }
     return 0;
 }

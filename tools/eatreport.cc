@@ -1,0 +1,991 @@
+/**
+ * @file
+ * eatreport: the energy-provenance analyzer.
+ *
+ *   eatreport --prov=run.prov.jsonl
+ *   eatreport --prov=run.prov.jsonl --reconcile [--telemetry=run.jsonl]
+ *   eatreport --prov=a.prov.jsonl --diff=b.prov.jsonl
+ *   eatreport --prov=run.prov.jsonl --chrome-out=run.trace.json
+ *
+ * Reads the JSONL stream eatsim --provenance writes and renders:
+ *
+ *  - the per-core energy breakdown by structure, and the full
+ *    structure x event-kind x page-size decomposition;
+ *  - percentile summaries of the per-translation energy, walk depth,
+ *    inter-miss reuse distance, and shootdown fan-out histograms;
+ *  - with --diff, a Figure-10-style comparison of two runs (pJ per
+ *    kilo-instruction per structure, plus the normalized total);
+ *  - with --chrome-out, a Chrome trace-event export of the stream's
+ *    translation/resize/interval/shootdown events on per-core tracks;
+ *  - with --reconcile, the exact-accounting check: re-summing the
+ *    written events must reproduce the trailing summary record bit for
+ *    bit (and, with --telemetry, every telemetry dynamic_pj row must
+ *    equal its interval marker exactly). Reconciliation requires an
+ *    unsampled stream (sample_every == 1).
+ *
+ * A torn final line (crashed producer) is tolerated with a warning;
+ * malformed lines anywhere else are a hard error.
+ *
+ * Exit status: 0 on success (reconciliation included), 1 on a runtime
+ * error or a failed check, 2 on bad usage.
+ */
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "obs/json.hh"
+#include "obs/provenance.hh"
+#include "obs/telemetry.hh"
+#include "stats/table.hh"
+
+namespace
+{
+
+using namespace eat;
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s --prov=PATH [options]\n"
+        "\n"
+        "options:\n"
+        "  --prov=PATH        provenance JSONL (eatsim --provenance)\n"
+        "  --telemetry=PATH   cross-check interval markers against the\n"
+        "                     telemetry stream's dynamic_pj rows\n"
+        "  --diff=PATH        second provenance stream: print a\n"
+        "                     Figure-10-style comparison\n"
+        "  --chrome-out=PATH  export a Chrome trace (per-core tracks)\n"
+        "  --reconcile        re-sum the events and require bit-exact\n"
+        "                     agreement with the summary record\n",
+        argv0);
+    std::exit(2);
+}
+
+[[noreturn]] void
+fail(const std::string &msg)
+{
+    std::fprintf(stderr, "eatreport: %s\n", msg.c_str());
+    std::exit(1);
+}
+
+double
+num(const obs::JsonValue &o, std::string_view key, double fallback = 0.0)
+{
+    const obs::JsonValue *v = o.find(key);
+    return v && v->isNumber() ? v->number : fallback;
+}
+
+std::uint64_t
+count(const obs::JsonValue &o, std::string_view key)
+{
+    return static_cast<std::uint64_t>(num(o, key));
+}
+
+std::string
+str(const obs::JsonValue &o, std::string_view key)
+{
+    const obs::JsonValue *v = o.find(key);
+    return v && v->isString() ? v->string : std::string();
+}
+
+/** Exact per-(core, structure) re-accumulation, in stream order. */
+struct CoreAgg
+{
+    std::array<obs::ProvStructTotals, obs::kProvMeteredStructs> structs{};
+    std::uint64_t shootdowns = 0;
+    PicoJoules shootdownPj = 0.0;
+};
+
+/** One lightweight event kept for the Chrome export. */
+struct ChromeEvent
+{
+    std::uint64_t instr;
+    unsigned core;
+    obs::ProvKind kind;
+    std::string name;
+    std::string args;
+};
+
+/** Everything loaded from one provenance stream. */
+struct Stream
+{
+    std::string path;
+    std::uint64_t eventLines = 0;
+    std::uint64_t maxInstr = 0;
+    std::uint64_t translationEvents = 0;
+    bool torn = false;
+
+    std::vector<CoreAgg> cores;
+
+    /** (struct, kind, psShift) -> {count, pJ}. */
+    std::map<std::tuple<unsigned, unsigned, unsigned>,
+             std::pair<std::uint64_t, PicoJoules>>
+        breakdown;
+
+    /** Translation resolution source -> {count, pJ}. */
+    std::map<std::string, std::pair<std::uint64_t, PicoJoules>> bySource;
+
+    /** Interval markers: (core, interval) -> exact delta pJ. */
+    std::map<std::pair<unsigned, std::uint64_t>, PicoJoules> intervals;
+
+    bool haveSummary = false;
+    std::uint64_t sampleEvery = 1;
+    std::uint64_t translations = 0;
+    std::uint64_t translationsSampled = 0;
+    std::uint64_t summaryEvents = 0;
+    std::uint64_t eventsWritten = 0;
+    obs::JsonValue summary;
+
+    /** Exact totals parsed from the summary record — unlike the event
+     *  sums these survive sampling, so the report and diff prefer
+     *  them when present. */
+    std::vector<CoreAgg> summaryCores;
+
+    std::vector<ChromeEvent> chrome;
+
+    CoreAgg &
+    core(unsigned c)
+    {
+        if (c >= cores.size())
+            cores.resize(c + 1);
+        return cores[c];
+    }
+
+    /** The most trustworthy totals: exact summary when present,
+     *  otherwise the re-summed events (a torn stream). */
+    const std::vector<CoreAgg> &
+    best() const
+    {
+        return haveSummary ? summaryCores : cores;
+    }
+
+    /** Dynamic total summed in the meters' canonical order. */
+    PicoJoules
+    canonicalDynamicPj(unsigned c) const
+    {
+        const auto &from = best();
+        if (c >= from.size())
+            return 0.0;
+        PicoJoules total = 0.0;
+        for (const auto &s : from[c].structs)
+            total += s.readPj + s.writePj;
+        return total;
+    }
+
+    PicoJoules
+    totalDynamicPj() const
+    {
+        PicoJoules total = 0.0;
+        for (unsigned c = 0; c < best().size(); ++c)
+            total += canonicalDynamicPj(c);
+        return total;
+    }
+
+    double
+    pjPerKiloInstr() const
+    {
+        // maxInstr is the last measured-window instruction stamp seen,
+        // i.e. the retired-instruction count of the longest core.
+        const double instr =
+            static_cast<double>(std::max<std::uint64_t>(maxInstr, 1)) *
+            static_cast<double>(std::max<std::size_t>(best().size(), 1));
+        return totalDynamicPj() * 1000.0 / instr;
+    }
+};
+
+/** Parse the summary record's exact per-core totals. */
+std::vector<CoreAgg>
+parseSummaryCores(const obs::JsonValue &summary)
+{
+    std::vector<CoreAgg> cores;
+    const obs::JsonValue *arr = summary.find("cores");
+    if (!arr || !arr->isArray())
+        return cores;
+    for (const auto &co : arr->array) {
+        const unsigned c = static_cast<unsigned>(count(co, "core"));
+        if (c >= cores.size())
+            cores.resize(c + 1);
+        CoreAgg &agg = cores[c];
+        agg.shootdowns = count(co, "shootdowns");
+        agg.shootdownPj = num(co, "shootdown_pj");
+        const obs::JsonValue *structs = co.find("structs");
+        if (!structs || !structs->isArray())
+            continue;
+        for (const auto &so : structs->array) {
+            const auto idx = static_cast<unsigned>(
+                obs::provStructFromName(str(so, "s")));
+            if (idx >= obs::kProvMeteredStructs)
+                continue;
+            auto &t = agg.structs[idx];
+            t.reads = count(so, "reads");
+            t.writes = count(so, "writes");
+            t.evicts = count(so, "evicts");
+            t.readPj = num(so, "read_pj");
+            t.writePj = num(so, "write_pj");
+        }
+    }
+    return cores;
+}
+
+void
+recordEvent(Stream &s, const obs::JsonValue &o, bool keepChrome)
+{
+    const std::string kindName = str(o, "k");
+    const obs::ProvKind kind = obs::provKindFromName(kindName);
+    if (kind == obs::ProvKind::Count)
+        fail(s.path + ": unknown event kind '" + kindName + "'");
+    const unsigned core = static_cast<unsigned>(count(o, "core"));
+    const std::uint64_t instr = count(o, "i");
+    const double pj = num(o, "pj");
+    s.maxInstr = std::max(s.maxInstr, instr);
+    ++s.eventLines;
+
+    // Shootdown/Translation/Interval lines carry no "s" field; give
+    // them a stable display structure instead of the Count sentinel.
+    obs::ProvStruct structId = obs::provStructFromName(str(o, "s"));
+    if (structId == obs::ProvStruct::Count) {
+        structId = kind == obs::ProvKind::Shootdown
+                       ? obs::ProvStruct::Shootdown
+                       : obs::ProvStruct::None;
+    }
+    const unsigned structIdx = static_cast<unsigned>(structId);
+    const unsigned ps = static_cast<unsigned>(count(o, "ps"));
+    CoreAgg &agg = s.core(core);
+
+    switch (kind) {
+      case obs::ProvKind::Probe:
+      case obs::ProvKind::WalkRef: {
+        if (structIdx >= obs::kProvMeteredStructs)
+            fail(s.path + ": probe/walk_ref with bad structure");
+        auto &t = agg.structs[structIdx];
+        ++t.reads;
+        t.readPj += pj;
+        break;
+      }
+      case obs::ProvKind::Fill: {
+        if (structIdx >= obs::kProvMeteredStructs)
+            fail(s.path + ": fill with bad structure");
+        auto &t = agg.structs[structIdx];
+        ++t.writes;
+        t.writePj += pj;
+        break;
+      }
+      case obs::ProvKind::Evict:
+        if (structIdx >= obs::kProvMeteredStructs)
+            fail(s.path + ": evict with bad structure");
+        ++agg.structs[structIdx].evicts;
+        break;
+      case obs::ProvKind::Shootdown:
+        ++agg.shootdowns;
+        agg.shootdownPj += pj;
+        break;
+      case obs::ProvKind::Interval:
+        s.intervals[{core, count(o, "interval")}] = pj;
+        break;
+      case obs::ProvKind::Translation: {
+        ++s.translationEvents;
+        auto &src = s.bySource[str(o, "src")];
+        ++src.first;
+        src.second += pj;
+        break;
+      }
+      default:
+        break;
+    }
+
+    if (kind != obs::ProvKind::Interval) {
+        auto &cell = s.breakdown[{structIdx,
+                                  static_cast<unsigned>(kind), ps}];
+        ++cell.first;
+        cell.second += pj;
+    }
+
+    if (keepChrome && s.chrome.size() < (1u << 20)) {
+        switch (kind) {
+          case obs::ProvKind::Translation: {
+            obs::JsonObject args;
+            args.put("src", str(o, "src"));
+            args.put("pj", pj);
+            if (ps)
+                args.put("page_shift", ps);
+            s.chrome.push_back({instr, core, kind,
+                                "translate:" + str(o, "src"), args.str()});
+            break;
+          }
+          case obs::ProvKind::Resize: {
+            obs::JsonObject args;
+            args.put("from_ways", count(o, "from"));
+            args.put("to_ways", count(o, "to"));
+            s.chrome.push_back({instr, core, kind,
+                                "resize:" + str(o, "s"), args.str()});
+            break;
+          }
+          case obs::ProvKind::Shootdown: {
+            obs::JsonObject args;
+            args.put("remote_cores", count(o, "remote"));
+            args.put("entries", count(o, "entries"));
+            args.put("pj", pj);
+            s.chrome.push_back({instr, core, kind, "shootdown",
+                                args.str()});
+            break;
+          }
+          case obs::ProvKind::Interval: {
+            s.chrome.push_back({instr, core, kind, "interval_pj",
+                                obs::jsonNumber(pj)});
+            break;
+          }
+          default:
+            break;
+        }
+    }
+}
+
+Stream
+loadStream(const std::string &path, bool keepChrome)
+{
+    std::ifstream in(path);
+    if (!in)
+        fail("cannot open provenance file '" + path + "'");
+
+    Stream s;
+    s.path = path;
+    std::string line;
+    std::string pending;
+    std::uint64_t lineNo = 0;
+    bool pendingBad = false;
+    std::uint64_t badLineNo = 0;
+
+    while (std::getline(in, line)) {
+        ++lineNo;
+        if (line.empty())
+            continue;
+        // A malformed line is only forgivable as the *last* line of the
+        // stream (a producer that died mid-write); defer judgment.
+        if (pendingBad)
+            fail(path + ":" + std::to_string(badLineNo) +
+                 ": malformed JSON line");
+        auto parsed = obs::parseJson(line);
+        if (!parsed.ok()) {
+            pendingBad = true;
+            badLineNo = lineNo;
+            continue;
+        }
+        const obs::JsonValue &o = parsed.value();
+        const std::string schema = str(o, "schema");
+        if (schema == obs::kProvEventSchema) {
+            recordEvent(s, o, keepChrome);
+        } else if (schema == obs::kProvSummarySchema) {
+            s.haveSummary = true;
+            s.sampleEvery = std::max<std::uint64_t>(
+                count(o, "sample_every"), 1);
+            s.translations = count(o, "translations");
+            s.translationsSampled = count(o, "translations_sampled");
+            s.summaryEvents = count(o, "events");
+            s.eventsWritten = count(o, "events_written");
+            s.summary = o;
+            s.summaryCores = parseSummaryCores(o);
+        } else {
+            fail(path + ":" + std::to_string(lineNo) +
+                 ": unknown schema '" + schema +
+                 "' (expected eat.prov.event / eat.prov.summary)");
+        }
+    }
+    if (pendingBad) {
+        s.torn = true;
+        std::fprintf(stderr,
+                     "eatreport: warning: %s:%llu: torn final line "
+                     "ignored\n",
+                     path.c_str(),
+                     static_cast<unsigned long long>(badLineNo));
+    }
+    if (s.eventLines == 0 && !s.haveSummary)
+        fail(path + ": no provenance records found");
+    return s;
+}
+
+// --- histogram helpers (summary "hist" arrays) ---
+
+std::vector<std::uint64_t>
+histCounts(const obs::JsonValue &summary, std::string_view name)
+{
+    std::vector<std::uint64_t> counts;
+    const obs::JsonValue *hist = summary.find("hist");
+    const obs::JsonValue *arr = hist ? hist->find(name) : nullptr;
+    if (arr && arr->isArray()) {
+        for (const auto &v : arr->array)
+            counts.push_back(static_cast<std::uint64_t>(v.number));
+    }
+    return counts;
+}
+
+/** Index of the bucket holding quantile @p q (0..1). */
+std::size_t
+histQuantile(const std::vector<std::uint64_t> &counts, double q)
+{
+    std::uint64_t total = 0;
+    for (const auto c : counts)
+        total += c;
+    if (total == 0)
+        return 0;
+    const double target = q * static_cast<double>(total);
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+        seen += counts[i];
+        if (static_cast<double>(seen) >= target)
+            return i;
+    }
+    return counts.empty() ? 0 : counts.size() - 1;
+}
+
+/** Render a log2 bucket index as its value range ("0" or "[2^a,2^b)"). */
+std::string
+log2BucketLabel(std::size_t bucket)
+{
+    if (bucket == 0)
+        return "<1";
+    return "[2^" + std::to_string(bucket - 1) + ",2^" +
+           std::to_string(bucket) + ")";
+}
+
+void
+printHistogramSummaries(const Stream &s)
+{
+    struct Spec
+    {
+        const char *key;
+        const char *title;
+        bool log2;
+    };
+    const Spec specs[] = {
+        {"walk_depth", "page-walk memory refs / translation", false},
+        {"translation_pj_log2", "pJ / translation", true},
+        {"reuse_log2", "instructions between L1 misses", true},
+        {"shootdown_fanout_log2", "entries invalidated / shootdown",
+         true},
+    };
+    std::cout << "\ndistributions (p50 / p90 / p99):\n";
+    stats::TextTable table({"distribution", "samples", "p50", "p90",
+                            "p99"});
+    for (const auto &spec : specs) {
+        const auto counts = histCounts(s.summary, spec.key);
+        std::uint64_t total = 0;
+        for (const auto c : counts)
+            total += c;
+        if (total == 0)
+            continue;
+        auto label = [&spec](std::size_t bucket) {
+            return spec.log2 ? log2BucketLabel(bucket)
+                             : std::to_string(bucket);
+        };
+        table.addRow({spec.title, std::to_string(total),
+                      label(histQuantile(counts, 0.50)),
+                      label(histQuantile(counts, 0.90)),
+                      label(histQuantile(counts, 0.99))});
+    }
+    table.print(std::cout);
+}
+
+// --- the default report ---
+
+void
+printReport(const Stream &s)
+{
+    std::cout << "provenance stream: " << s.path << "\n";
+    std::cout << "events: " << s.eventLines << " lines, "
+              << s.translationEvents << " translation paths";
+    if (s.haveSummary) {
+        std::cout << " (run total " << s.translations
+                  << " translations, 1-in-" << s.sampleEvery
+                  << " sampling)";
+    }
+    std::cout << "\n";
+    if (s.torn)
+        std::cout << "note: stream ends in a torn line (producer died "
+                     "mid-write)\n";
+
+    const auto &cores = s.best();
+    for (unsigned c = 0; c < cores.size(); ++c) {
+        const CoreAgg &agg = cores[c];
+        std::cout << "\ncore " << c << " energy by structure ("
+                  << (s.haveSummary ? "exact summary totals"
+                                    : "re-summed events")
+                  << "):\n";
+        stats::TextTable table({"structure", "reads", "writes", "evicts",
+                                "read pJ", "write pJ", "share"});
+        const PicoJoules total = s.canonicalDynamicPj(c);
+        for (unsigned i = 0; i < obs::kProvMeteredStructs; ++i) {
+            const auto &t = agg.structs[i];
+            if (t.reads == 0 && t.writes == 0 && t.evicts == 0)
+                continue;
+            const PicoJoules pj = t.readPj + t.writePj;
+            table.addRow(
+                {std::string(obs::provStructName(
+                     static_cast<obs::ProvStruct>(i))),
+                 std::to_string(t.reads), std::to_string(t.writes),
+                 std::to_string(t.evicts),
+                 stats::TextTable::num(t.readPj, 0),
+                 stats::TextTable::num(t.writePj, 0),
+                 stats::TextTable::percent(total > 0.0 ? pj / total
+                                                       : 0.0)});
+        }
+        table.print(std::cout);
+        if (agg.shootdowns > 0) {
+            std::cout << "core " << c << " shootdowns: "
+                      << agg.shootdowns << " broadcasts, "
+                      << stats::TextTable::num(agg.shootdownPj, 0)
+                      << " pJ\n";
+        }
+    }
+
+    std::cout << "\nstructure x event-kind x page-size:\n";
+    stats::TextTable cells({"structure", "kind", "page", "count", "pJ"});
+    for (const auto &[key, cell] : s.breakdown) {
+        const auto [structIdx, kindIdx, ps] = key;
+        const auto structId = static_cast<obs::ProvStruct>(structIdx);
+        cells.addRow(
+            {std::string(obs::provStructName(structId)),
+             std::string(obs::provKindName(
+                 static_cast<obs::ProvKind>(kindIdx))),
+             ps == 0 ? "-" : ("2^" + std::to_string(ps)),
+             std::to_string(cell.first),
+             stats::TextTable::num(cell.second, 0)});
+    }
+    cells.print(std::cout);
+
+    if (!s.bySource.empty()) {
+        std::cout << "\ntranslations by resolution source:\n";
+        stats::TextTable src({"source", "count", "pJ", "pJ/translation"});
+        for (const auto &[name, cell] : s.bySource) {
+            src.addRow({name, std::to_string(cell.first),
+                        stats::TextTable::num(cell.second, 0),
+                        stats::TextTable::num(
+                            cell.first ? cell.second /
+                                             static_cast<double>(
+                                                 cell.first)
+                                       : 0.0,
+                            2)});
+        }
+        src.print(std::cout);
+    }
+
+    if (s.haveSummary)
+        printHistogramSummaries(s);
+
+    std::cout << "\ntotal_dynamic_pj=" << obs::jsonNumberExact(
+                     s.totalDynamicPj())
+              << " pj_per_ki=" << stats::TextTable::num(
+                     s.pjPerKiloInstr(), 3)
+              << "\n";
+}
+
+// --- the Figure-10-style diff ---
+
+void
+printDiff(const Stream &a, const Stream &b)
+{
+    std::cout << "\nFigure-10-style diff (pJ per kilo-instruction):\n";
+    stats::TextTable table({"structure", "A", "B", "B/A"});
+    auto perKi = [](const Stream &s, unsigned structIdx) {
+        PicoJoules pj = 0.0;
+        for (const auto &core : s.best()) {
+            pj += core.structs[structIdx].readPj +
+                  core.structs[structIdx].writePj;
+        }
+        const double instr =
+            static_cast<double>(std::max<std::uint64_t>(s.maxInstr, 1)) *
+            static_cast<double>(
+                std::max<std::size_t>(s.best().size(), 1));
+        return pj * 1000.0 / instr;
+    };
+    for (unsigned i = 0; i < obs::kProvMeteredStructs; ++i) {
+        const double av = perKi(a, i);
+        const double bv = perKi(b, i);
+        if (av == 0.0 && bv == 0.0)
+            continue;
+        table.addRow({std::string(obs::provStructName(
+                          static_cast<obs::ProvStruct>(i))),
+                      stats::TextTable::num(av, 1),
+                      stats::TextTable::num(bv, 1),
+                      av > 0.0 ? stats::TextTable::num(bv / av, 3)
+                               : "-"});
+    }
+    table.print(std::cout);
+
+    const double aKi = a.pjPerKiloInstr();
+    const double bKi = b.pjPerKiloInstr();
+    std::cout << "fig10: A=" << a.path << " B=" << b.path
+              << " A_pj_per_ki=" << stats::TextTable::num(aKi, 3)
+              << " B_pj_per_ki=" << stats::TextTable::num(bKi, 3)
+              << " ratio="
+              << (aKi > 0.0 ? stats::TextTable::num(bKi / aKi, 4) : "-")
+              << "\n";
+}
+
+// --- the Chrome export ---
+
+void
+writeChrome(const Stream &s, const std::string &path)
+{
+    std::ofstream out(path, std::ios::trunc);
+    if (!out)
+        fail("cannot open chrome trace file '" + path + "'");
+
+    unsigned maxCore = 0;
+    for (const auto &e : s.chrome)
+        maxCore = std::max(maxCore, e.core);
+
+    out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+    bool first = true;
+    auto emit = [&out, &first](const std::string &json) {
+        if (!first)
+            out << ",";
+        first = false;
+        out << "\n" << json;
+    };
+
+    // One process per core, one thread per event family: the same
+    // pid/tid layout TraceWriter uses, so both exports look alike in
+    // the viewer.
+    const char *tracks[] = {"translations", "lite resizes", "intervals",
+                            "shootdowns"};
+    auto trackOf = [](obs::ProvKind kind) {
+        switch (kind) {
+          case obs::ProvKind::Translation: return 0;
+          case obs::ProvKind::Resize: return 1;
+          case obs::ProvKind::Interval: return 2;
+          default: return 3;
+        }
+    };
+    for (unsigned core = 0; core <= maxCore; ++core) {
+        obs::JsonObject args;
+        args.put("name", "core " + std::to_string(core));
+        obs::JsonObject meta;
+        meta.put("name", "process_name");
+        meta.put("ph", "M");
+        meta.put("pid", core + 1);
+        meta.put("tid", 0);
+        meta.putRaw("args", args.str());
+        emit(meta.str());
+        for (unsigned t = 0; t < 4; ++t) {
+            obs::JsonObject targs;
+            targs.put("name", tracks[t]);
+            obs::JsonObject tmeta;
+            tmeta.put("name", "thread_name");
+            tmeta.put("ph", "M");
+            tmeta.put("pid", core + 1);
+            tmeta.put("tid", t);
+            tmeta.putRaw("args", targs.str());
+            emit(tmeta.str());
+        }
+    }
+
+    std::vector<const ChromeEvent *> ordered;
+    ordered.reserve(s.chrome.size());
+    for (const auto &e : s.chrome)
+        ordered.push_back(&e);
+    std::stable_sort(ordered.begin(), ordered.end(),
+                     [](const ChromeEvent *x, const ChromeEvent *y) {
+                         return x->instr < y->instr;
+                     });
+    for (const ChromeEvent *e : ordered) {
+        obs::JsonObject o;
+        const bool counter = e->kind == obs::ProvKind::Interval;
+        o.put("name", e->name);
+        o.put("ph", counter ? "C" : "i");
+        o.put("ts", e->instr);
+        o.put("pid", e->core + 1);
+        o.put("tid", static_cast<unsigned>(trackOf(e->kind)));
+        if (!counter)
+            o.put("s", "t");
+        if (counter) {
+            obs::JsonObject args;
+            args.putRaw("value", e->args);
+            o.putRaw("args", args.str());
+        } else {
+            o.putRaw("args", e->args);
+        }
+        emit(o.str());
+    }
+    out << "\n]}\n";
+    out.flush();
+    if (!out)
+        fail("write failure on chrome trace file '" + path + "'");
+    std::cout << "chrome trace: " << s.chrome.size() << " events -> "
+              << path << "\n";
+}
+
+// --- reconciliation ---
+
+/** One failed expectation -> message; empty return = pass. */
+std::vector<std::string>
+reconcile(const Stream &s)
+{
+    std::vector<std::string> errors;
+    auto expect = [&errors](bool ok, const std::string &msg) {
+        if (!ok)
+            errors.push_back(msg);
+    };
+
+    if (!s.haveSummary) {
+        errors.push_back("stream has no trailing summary record "
+                         "(torn run?)");
+        return errors;
+    }
+    if (s.sampleEvery > 1) {
+        errors.push_back(
+            "stream was sampled (1-in-" + std::to_string(s.sampleEvery) +
+            "); reconciliation requires --prov-sample=1");
+        return errors;
+    }
+    if (s.torn) {
+        errors.push_back("stream ends in a torn line; the event sum is "
+                         "incomplete");
+        return errors;
+    }
+
+    expect(s.eventLines == s.eventsWritten,
+           "stream holds " + std::to_string(s.eventLines) +
+               " event lines but the summary counted " +
+               std::to_string(s.eventsWritten) + " written");
+    expect(s.translationEvents == s.translations,
+           "stream holds " + std::to_string(s.translationEvents) +
+               " translation events but the run made " +
+               std::to_string(s.translations) + " translations");
+
+    const obs::JsonValue *cores = s.summary.find("cores");
+    if (!cores || !cores->isArray()) {
+        errors.push_back("summary record has no cores array");
+        return errors;
+    }
+    for (const auto &co : cores->array) {
+        const unsigned c = static_cast<unsigned>(count(co, "core"));
+        const std::string tag = "core " + std::to_string(c) + " ";
+
+        // Per-structure exact agreement. The summary omits untouched
+        // structures, so walk its rows and separately confirm our
+        // aggregation has no activity the summary lacks.
+        std::array<bool, obs::kProvMeteredStructs> inSummary{};
+        const obs::JsonValue *structs = co.find("structs");
+        if (structs && structs->isArray()) {
+            for (const auto &so : structs->array) {
+                const obs::ProvStruct id =
+                    obs::provStructFromName(str(so, "s"));
+                const auto idx = static_cast<unsigned>(id);
+                if (idx >= obs::kProvMeteredStructs) {
+                    errors.push_back(tag + "summary row with unknown "
+                                           "structure '" +
+                                     str(so, "s") + "'");
+                    continue;
+                }
+                inSummary[idx] = true;
+                const auto &t = c < s.cores.size()
+                                    ? s.cores[c].structs[idx]
+                                    : obs::ProvStructTotals{};
+                const std::string name(obs::provStructName(id));
+                expect(t.reads == count(so, "reads"),
+                       tag + name + ": event reads " +
+                           std::to_string(t.reads) + " != summary " +
+                           std::to_string(count(so, "reads")));
+                expect(t.writes == count(so, "writes"),
+                       tag + name + ": event writes " +
+                           std::to_string(t.writes) + " != summary " +
+                           std::to_string(count(so, "writes")));
+                expect(t.evicts == count(so, "evicts"),
+                       tag + name + ": event evicts " +
+                           std::to_string(t.evicts) + " != summary " +
+                           std::to_string(count(so, "evicts")));
+                expect(t.readPj == num(so, "read_pj"),
+                       tag + name + ": event read energy " +
+                           obs::jsonNumberExact(t.readPj) +
+                           " pJ != summary " +
+                           obs::jsonNumberExact(num(so, "read_pj")) +
+                           " pJ (exact)");
+                expect(t.writePj == num(so, "write_pj"),
+                       tag + name + ": event write energy " +
+                           obs::jsonNumberExact(t.writePj) +
+                           " pJ != summary " +
+                           obs::jsonNumberExact(num(so, "write_pj")) +
+                           " pJ (exact)");
+            }
+        }
+        if (c < s.cores.size()) {
+            for (unsigned i = 0; i < obs::kProvMeteredStructs; ++i) {
+                const auto &t = s.cores[c].structs[i];
+                if (inSummary[i] ||
+                    (t.reads == 0 && t.writes == 0 && t.evicts == 0))
+                    continue;
+                errors.push_back(
+                    tag + "events touch " +
+                    std::string(obs::provStructName(
+                        static_cast<obs::ProvStruct>(i))) +
+                    " but the summary has no row for it");
+            }
+        }
+
+        // The canonical re-sum of the *events* (not the parsed summary
+        // totals best() would prefer) in meter order.
+        PicoJoules eventDynamicPj = 0.0;
+        if (c < s.cores.size())
+            for (const auto &st : s.cores[c].structs)
+                eventDynamicPj += st.readPj + st.writePj;
+        expect(eventDynamicPj == num(co, "dynamic_pj"),
+               tag + "canonical dynamic energy " +
+                   obs::jsonNumberExact(eventDynamicPj) +
+                   " pJ != summary " +
+                   obs::jsonNumberExact(num(co, "dynamic_pj")) +
+                   " pJ (exact)");
+        const std::uint64_t shootdowns =
+            c < s.cores.size() ? s.cores[c].shootdowns : 0;
+        const PicoJoules shootdownPj =
+            c < s.cores.size() ? s.cores[c].shootdownPj : 0.0;
+        expect(shootdowns == count(co, "shootdowns"),
+               tag + "event shootdowns " + std::to_string(shootdowns) +
+                   " != summary " +
+                   std::to_string(count(co, "shootdowns")));
+        expect(shootdownPj == num(co, "shootdown_pj"),
+               tag + "event shootdown energy " +
+                   obs::jsonNumberExact(shootdownPj) +
+                   " pJ != summary " +
+                   obs::jsonNumberExact(num(co, "shootdown_pj")) +
+                   " pJ (exact)");
+    }
+    return errors;
+}
+
+/** Match telemetry dynamic_pj rows against the interval markers. */
+std::vector<std::string>
+reconcileTelemetry(const Stream &s, const std::string &path)
+{
+    std::vector<std::string> errors;
+    std::ifstream in(path);
+    if (!in)
+        fail("cannot open telemetry file '" + path + "'");
+
+    std::string line;
+    std::uint64_t lineNo = 0;
+    std::uint64_t rows = 0;
+    while (std::getline(in, line)) {
+        ++lineNo;
+        if (line.empty())
+            continue;
+        auto parsed = obs::parseJson(line);
+        if (!parsed.ok()) {
+            fail(path + ":" + std::to_string(lineNo) +
+                 ": malformed telemetry line");
+        }
+        const obs::JsonValue &o = parsed.value();
+        if (str(o, "schema") != obs::kTelemetrySchema)
+            continue;
+        ++rows;
+        const unsigned core = static_cast<unsigned>(count(o, "core"));
+        const std::uint64_t interval = count(o, "interval");
+        const auto it = s.intervals.find({core, interval});
+        if (it == s.intervals.end()) {
+            errors.push_back("telemetry core " + std::to_string(core) +
+                             " interval " + std::to_string(interval) +
+                             " has no provenance interval marker");
+            continue;
+        }
+        const double telemetryPj = num(o, "dynamic_pj");
+        if (it->second != telemetryPj) {
+            errors.push_back(
+                "core " + std::to_string(core) + " interval " +
+                std::to_string(interval) + ": telemetry dynamic_pj " +
+                obs::jsonNumberExact(telemetryPj) +
+                " != interval marker " +
+                obs::jsonNumberExact(it->second) + " (exact)");
+        }
+    }
+    if (rows != s.intervals.size()) {
+        errors.push_back("telemetry has " + std::to_string(rows) +
+                         " interval rows but the provenance stream has " +
+                         std::to_string(s.intervals.size()) +
+                         " interval markers");
+    }
+    return errors;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string provPath, telemetryPath, diffPath, chromePath;
+    bool doReconcile = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&arg](const char *prefix) -> const char * {
+            const std::size_t n = std::strlen(prefix);
+            return arg.compare(0, n, prefix) == 0 ? arg.c_str() + n
+                                                  : nullptr;
+        };
+        if (const char *v = value("--prov=")) {
+            provPath = v;
+        } else if (const char *v2 = value("--telemetry=")) {
+            telemetryPath = v2;
+        } else if (const char *v3 = value("--diff=")) {
+            diffPath = v3;
+        } else if (const char *v4 = value("--chrome-out=")) {
+            chromePath = v4;
+        } else if (arg == "--reconcile") {
+            doReconcile = true;
+        } else {
+            usage(argv[0]);
+        }
+    }
+    if (provPath.empty())
+        usage(argv[0]);
+    if (!telemetryPath.empty() && !doReconcile) {
+        std::fprintf(stderr,
+                     "eatreport: --telemetry only applies with "
+                     "--reconcile\n");
+        return 2;
+    }
+
+    const Stream stream = loadStream(provPath, !chromePath.empty());
+    printReport(stream);
+
+    if (!diffPath.empty()) {
+        const Stream other = loadStream(diffPath, false);
+        printDiff(stream, other);
+    }
+    if (!chromePath.empty())
+        writeChrome(stream, chromePath);
+
+    if (doReconcile) {
+        auto errors = reconcile(stream);
+        if (!telemetryPath.empty() && errors.empty()) {
+            auto more = reconcileTelemetry(stream, telemetryPath);
+            errors.insert(errors.end(), more.begin(), more.end());
+        }
+        if (!errors.empty()) {
+            for (const auto &e : errors)
+                std::fprintf(stderr, "eatreport: reconcile: %s\n",
+                             e.c_str());
+            std::fprintf(stderr,
+                         "eatreport: reconciliation FAILED (%zu "
+                         "mismatches)\n",
+                         errors.size());
+            return 1;
+        }
+        std::cout << "reconcile: event sums match the summary record "
+                     "bit for bit";
+        if (!telemetryPath.empty())
+            std::cout << " (telemetry rows match their interval "
+                         "markers)";
+        std::cout << "\n";
+    }
+    return 0;
+}

@@ -67,6 +67,10 @@ usage(const char *argv0)
         "  --telemetry=PATH     stream per-interval telemetry (JSONL)\n"
         "  --trace-out=PATH     write a Chrome trace of Lite/TLB\n"
         "                       decisions (load in chrome://tracing)\n"
+        "  --provenance=PATH    stream per-translation energy-provenance\n"
+        "                       events (JSONL; analyze with eatreport)\n"
+        "  --prov-sample=N      write 1-in-N translation paths (default\n"
+        "                       1 = every path; summary stays exact)\n"
         "  --cores=N            multicore run with N cores (1..16)\n"
         "  --mix=A,B,...        multiprogrammed workload mix\n"
         "  --shared             one shared address space (threads)\n"
@@ -234,6 +238,14 @@ printReport(const sim::SimResult &r)
             std::cout << " (" << r.traceEventsDropped << " dropped)";
         std::cout << "\n";
     }
+    if (r.provenanceEnabled) {
+        const auto &p = r.provenance;
+        std::cout << "provenance: " << p.eventsWritten << " of "
+                  << p.events << " events written ("
+                  << p.translationsSampled << " of " << p.translations
+                  << " translation paths, 1-in-" << p.sampleEvery
+                  << " sampling; summary totals exact)\n";
+    }
 }
 
 void
@@ -321,6 +333,14 @@ printMcReport(const mc::McResult &r)
         }
         std::cout << "\n";
     }
+    if (r.provenanceEnabled) {
+        const auto &p = r.provenance;
+        std::cout << "provenance: " << p.eventsWritten << " of "
+                  << p.events << " events written ("
+                  << p.translationsSampled << " of " << p.translations
+                  << " translation paths, 1-in-" << p.sampleEvery
+                  << " sampling; summary totals exact)\n";
+    }
 }
 
 } // namespace
@@ -335,6 +355,7 @@ main(int argc, char **argv)
     cfg.simulateInstructions = 20'000'000;
 
     bool combined = false;
+    bool provSampleSet = false;
     bool haveCores = false;
     unsigned coreCount = 1;
     std::vector<workloads::WorkloadSpec> mixSpecs;
@@ -391,6 +412,22 @@ main(int argc, char **argv)
             cfg.telemetryPath = v12;
         } else if (const char *v13 = value("--trace-out=")) {
             cfg.traceOutPath = v13;
+        } else if (const char *vp = value("--provenance=")) {
+            if (*vp == '\0') {
+                std::fprintf(stderr,
+                             "--provenance: empty output path\n");
+                return 2;
+            }
+            cfg.provenancePath = vp;
+        } else if (const char *vs = value("--prov-sample=")) {
+            cfg.provenanceSampleEvery = parseCount("--prov-sample", vs);
+            if (cfg.provenanceSampleEvery == 0) {
+                std::fprintf(stderr,
+                             "--prov-sample: must be >= 1 (1 = trace "
+                             "every translation)\n");
+                return 2;
+            }
+            provSampleSet = true;
         } else if (const char *v14 = value("--cores=")) {
             const auto n = mc::parseCoreCount(v14);
             if (!n.ok()) {
@@ -432,6 +469,11 @@ main(int argc, char **argv)
     const bool multicore = haveCores || !mixSpecs.empty();
     if (workloadName.empty() && mixSpecs.empty())
         usage(argv[0]);
+    if (provSampleSet && cfg.provenancePath.empty()) {
+        std::fprintf(stderr,
+                     "--prov-sample requires --provenance=PATH\n");
+        return 2;
+    }
 
     if (workloadName.empty()) {
         cfg.workload = mixSpecs.front();
