@@ -136,14 +136,10 @@ ShadowChecker::recordMismatch(std::uint64_t &counter, std::string message)
 }
 
 void
-ShadowChecker::onPageTranslation(Addr vaddr, Addr paddr, vm::PageSize size,
-                                 std::string_view sourceName)
+ShadowChecker::pageMismatch(Addr vaddr, Addr paddr, vm::PageSize size,
+                            std::string_view sourceName,
+                            const std::optional<vm::Translation> &golden)
 {
-    if (level_ == CheckLevel::Off)
-        return;
-    ++stats_.translationChecks;
-
-    const auto golden = active_->translatePage(vaddr);
     if (!golden) {
         recordMismatch(
             stats_.sourceViolations,
@@ -169,14 +165,10 @@ ShadowChecker::onPageTranslation(Addr vaddr, Addr paddr, vm::PageSize size,
 }
 
 void
-ShadowChecker::onRangeTranslation(Addr vaddr, Addr paddr,
-                                  std::string_view sourceName)
+ShadowChecker::rangeMismatch(Addr vaddr, Addr paddr,
+                             std::string_view sourceName,
+                             const std::optional<vm::RangeTranslation> &golden)
 {
-    if (level_ == CheckLevel::Off)
-        return;
-    ++stats_.translationChecks;
-
-    const auto golden = active_->translateRange(vaddr);
     if (!golden) {
         recordMismatch(
             stats_.sourceViolations,

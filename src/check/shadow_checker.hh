@@ -112,12 +112,33 @@ class ShadowChecker
      * The MMU produced @p paddr for @p vaddr from a page entry of
      * @p size. @p sourceName labels the serving structure in messages.
      */
-    void onPageTranslation(Addr vaddr, Addr paddr, vm::PageSize size,
-                           std::string_view sourceName);
+    void
+    onPageTranslation(Addr vaddr, Addr paddr, vm::PageSize size,
+                      std::string_view sourceName)
+    {
+        if (level_ == CheckLevel::Off)
+            return;
+        ++stats_.translationChecks;
+        const auto golden = active_->translatePage(vaddr);
+        if (golden && golden->size == size &&
+            golden->paddr(vaddr) == paddr) {
+            return;
+        }
+        pageMismatch(vaddr, paddr, size, sourceName, golden);
+    }
 
     /** The MMU produced @p paddr for @p vaddr from a range entry. */
-    void onRangeTranslation(Addr vaddr, Addr paddr,
-                            std::string_view sourceName);
+    void
+    onRangeTranslation(Addr vaddr, Addr paddr, std::string_view sourceName)
+    {
+        if (level_ == CheckLevel::Off)
+            return;
+        ++stats_.translationChecks;
+        const auto golden = active_->translateRange(vaddr);
+        if (golden && golden->paddr(vaddr) == paddr)
+            return;
+        rangeMismatch(vaddr, paddr, sourceName, golden);
+    }
 
     /** Audit one structure's way mask (Full level). */
     void auditWayMask(const tlb::SetAssocTlb &tlb);
@@ -144,6 +165,15 @@ class ShadowChecker
 
   private:
     void recordMismatch(std::uint64_t &counter, std::string message);
+
+    /** Classify and record a failed page-translation check. */
+    void pageMismatch(Addr vaddr, Addr paddr, vm::PageSize size,
+                      std::string_view sourceName,
+                      const std::optional<vm::Translation> &golden);
+
+    /** Classify and record a failed range-translation check. */
+    void rangeMismatch(Addr vaddr, Addr paddr, std::string_view sourceName,
+                       const std::optional<vm::RangeTranslation> &golden);
 
     CheckLevel level_;
     ShadowTranslator golden_; ///< context 0 (the only one single-core)

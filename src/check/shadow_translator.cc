@@ -7,6 +7,20 @@
 namespace eat::check
 {
 
+const PageRunList::Run *
+PageRunList::find(Addr vaddr) const
+{
+    const auto it = std::upper_bound(
+        runs_.begin(), runs_.end(), vaddr,
+        [](Addr v, const Run &r) { return v < r.vbase; });
+    if (it == runs_.begin())
+        return nullptr;
+    const Run &run = *(it - 1);
+    if (vaddr >= run.vbase && vaddr < run.vlimit)
+        return &run;
+    return nullptr;
+}
+
 ShadowTranslator::ShadowTranslator(const vm::PageTable &pageTable,
                                    const vm::RangeTable *rangeTable)
     : pageTable_(pageTable), rangeTable_(rangeTable)
@@ -21,19 +35,25 @@ ShadowTranslator::rebuild()
     pages2M_.clear();
     pages1G_.clear();
     ranges_.clear();
+    pageMemo_.assign(kPageMemoSlots, PageMemo{});
+    last_ = PageMemo{};
+    lastRange_.reset();
 
-    pages4K_.reserve(
-        static_cast<std::size_t>(pageTable_.pageCount(vm::PageSize::Size4K)));
-    pages2M_.reserve(
-        static_cast<std::size_t>(pageTable_.pageCount(vm::PageSize::Size2M)));
-
-    pageTable_.forEachLeaf([this](const vm::Translation &t) {
-        switch (t.size) {
-          case vm::PageSize::Size4K: pages4K_[t.vbase] = t.pbase; break;
-          case vm::PageSize::Size2M: pages2M_[t.vbase] = t.pbase; break;
-          case vm::PageSize::Size1G: pages1G_[t.vbase] = t.pbase; break;
-        }
-    });
+    pageTable_.forEachLeafRun(
+        [this](const vm::Translation &t, std::uint64_t count) {
+            const Addr bytes = vm::pageBytes(t.size);
+            switch (t.size) {
+              case vm::PageSize::Size4K:
+                pages4K_.add(t.vbase, t.pbase, bytes, count);
+                break;
+              case vm::PageSize::Size2M:
+                pages2M_.add(t.vbase, t.pbase, bytes, count);
+                break;
+              case vm::PageSize::Size1G:
+                pages1G_.add(t.vbase, t.pbase, bytes, count);
+                break;
+            }
+        });
 
     if (rangeTable_) {
         ranges_.reserve(rangeTable_->size());
@@ -48,26 +68,36 @@ ShadowTranslator::rebuild()
 }
 
 std::optional<vm::Translation>
-ShadowTranslator::translatePage(Addr vaddr) const
+ShadowTranslator::translatePageSearch(Addr vaddr, Addr key) const
 {
-    if (const auto it = pages4K_.find(vm::pageBase(vaddr, vm::PageSize::Size4K));
-        it != pages4K_.end()) {
-        return vm::Translation{it->first, it->second, vm::PageSize::Size4K};
+    PageMemo &memo = pageMemo_[(key >> 12) & (kPageMemoSlots - 1)];
+    std::optional<vm::Translation> result;
+    if (const auto *run = pages4K_.find(vaddr)) {
+        result = vm::Translation{key, run->pbase + (key - run->vbase),
+                                 vm::PageSize::Size4K};
+    } else if (const auto *run2 = pages2M_.find(vaddr)) {
+        const Addr vb = vm::pageBase(vaddr, vm::PageSize::Size2M);
+        result = vm::Translation{vb, run2->pbase + (vb - run2->vbase),
+                                 vm::PageSize::Size2M};
+    } else if (const auto *run1 = pages1G_.find(vaddr)) {
+        const Addr vb = vm::pageBase(vaddr, vm::PageSize::Size1G);
+        result = vm::Translation{vb, run1->pbase + (vb - run1->vbase),
+                                 vm::PageSize::Size1G};
     }
-    if (const auto it = pages2M_.find(vm::pageBase(vaddr, vm::PageSize::Size2M));
-        it != pages2M_.end()) {
-        return vm::Translation{it->first, it->second, vm::PageSize::Size2M};
-    }
-    if (const auto it = pages1G_.find(vm::pageBase(vaddr, vm::PageSize::Size1G));
-        it != pages1G_.end()) {
-        return vm::Translation{it->first, it->second, vm::PageSize::Size1G};
-    }
-    return std::nullopt;
+    memo.key = key;
+    memo.mapped = result.has_value();
+    if (result)
+        memo.t = *result;
+    last_ = memo;
+    return result;
 }
 
 std::optional<vm::RangeTranslation>
 ShadowTranslator::translateRange(Addr vaddr) const
 {
+    if (lastRange_ && lastRange_->contains(vaddr))
+        return lastRange_;
+
     // First range with vbase > vaddr; the candidate is its predecessor.
     auto it = std::upper_bound(ranges_.begin(), ranges_.end(), vaddr,
                                [](Addr v, const vm::RangeTranslation &r) {
@@ -76,15 +106,17 @@ ShadowTranslator::translateRange(Addr vaddr) const
     if (it == ranges_.begin())
         return std::nullopt;
     --it;
-    if (it->contains(vaddr))
+    if (it->contains(vaddr)) {
+        lastRange_ = *it;
         return *it;
+    }
     return std::nullopt;
 }
 
 std::size_t
 ShadowTranslator::pageCount() const
 {
-    return pages4K_.size() + pages2M_.size() + pages1G_.size();
+    return pages4K_.pages() + pages2M_.pages() + pages1G_.pages();
 }
 
 } // namespace eat::check

@@ -3,19 +3,26 @@
  * Golden-model address translator for differential checking.
  *
  * An independent, deliberately simple implementation of translation:
- * flat hash maps (one per page size) plus a sorted range list, built by
+ * per-page-size sorted run lists plus a sorted range list, built by
  * snapshotting the OS page and range tables. It shares no code with the
  * radix page-table walk, the TLB hierarchy, or the range-TLB datapath,
  * so agreement between the two is meaningful evidence of correctness —
  * and disagreement localizes a bug (or an injected fault) to the MMU
  * side.
+ *
+ * The snapshot visits the leaves in ascending vbase order and merges
+ * mappings contiguous in both spaces into runs, so a large 4 KB-paged
+ * process collapses from one entry per page to one entry per physical
+ * extent. Lookups binary-search the run list and remember the last
+ * translation served — checks arrive with page locality, and the memo
+ * answers repeats without searching.
  */
 
 #ifndef EAT_CHECK_SHADOW_TRANSLATOR_HH
 #define EAT_CHECK_SHADOW_TRANSLATOR_HH
 
+#include <cstdint>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "base/types.hh"
@@ -24,6 +31,57 @@
 
 namespace eat::check
 {
+
+/**
+ * Sorted list of merged same-size mappings: [vbase, vlimit) maps
+ * contiguously to pbase. Append-in-order build, binary-search lookup.
+ */
+class PageRunList
+{
+  public:
+    struct Run
+    {
+        Addr vbase = 0;
+        Addr vlimit = 0;
+        Addr pbase = 0;
+    };
+
+    void
+    clear()
+    {
+        runs_.clear();
+        pages_ = 0;
+    }
+
+    /** Append @p count contiguous @p bytes-sized mappings starting at
+     *  (@p vbase, @p pbase); @p vbase must be >= every earlier vlimit
+     *  (ascending build order). */
+    void
+    add(Addr vbase, Addr pbase, Addr bytes, std::uint64_t count)
+    {
+        pages_ += count;
+        const Addr span = bytes * count;
+        if (!runs_.empty()) {
+            Run &back = runs_.back();
+            if (back.vlimit == vbase &&
+                back.pbase + (back.vlimit - back.vbase) == pbase) {
+                back.vlimit += span;
+                return;
+            }
+        }
+        runs_.push_back({vbase, vbase + span, pbase});
+    }
+
+    /** The run containing @p vaddr, or nullptr. */
+    const Run *find(Addr vaddr) const;
+
+    /** Number of mappings added (not runs). */
+    std::size_t pages() const { return pages_; }
+
+  private:
+    std::vector<Run> runs_;
+    std::size_t pages_ = 0;
+};
 
 /** A flat snapshot of one process's translations. */
 class ShadowTranslator
@@ -40,7 +98,29 @@ class ShadowTranslator
     void rebuild();
 
     /** Golden page translation of @p vaddr, or nullopt if unmapped. */
-    std::optional<vm::Translation> translatePage(Addr vaddr) const;
+    std::optional<vm::Translation>
+    translatePage(Addr vaddr) const
+    {
+        const Addr key = vm::pageBase(vaddr, vm::PageSize::Size4K);
+        // Checks repeat the same page often enough (the data working
+        // set's locality) that one always-cache-hot slot in front of
+        // the direct-mapped table pays for itself: the table spans
+        // megabytes and a random index usually misses cache.
+        if (last_.key == key) {
+            if (last_.mapped)
+                return last_.t;
+            return std::nullopt;
+        }
+        const PageMemo &memo =
+            pageMemo_[(key >> 12) & (kPageMemoSlots - 1)];
+        if (memo.key == key) {
+            last_ = memo;
+            if (memo.mapped)
+                return memo.t;
+            return std::nullopt;
+        }
+        return translatePageSearch(vaddr, key);
+    }
 
     /** Golden range translation covering @p vaddr, if any. */
     std::optional<vm::RangeTranslation> translateRange(Addr vaddr) const;
@@ -52,10 +132,37 @@ class ShadowTranslator
     const vm::PageTable &pageTable_;
     const vm::RangeTable *rangeTable_;
 
-    /** vbase -> pbase, one map per page size. */
-    std::unordered_map<Addr, Addr> pages4K_, pages2M_, pages1G_;
+    /** Merged mappings, one list per page size. */
+    PageRunList pages4K_, pages2M_, pages1G_;
     /** Sorted by vbase (ranges never overlap). */
     std::vector<vm::RangeTranslation> ranges_;
+
+    /**
+     * Direct-mapped memo of page translations, keyed by 4 KB page base
+     * (covers every page size — any translation covers whole 4 KB
+     * pages). translatePage() is a pure function of the snapshot, so
+     * memoizing it is outcome-free; rebuild() resets the table. The
+     * table (not a single slot) matters because checks arrive with the
+     * working set's locality, not strict repetition.
+     */
+    struct PageMemo
+    {
+        Addr key = ~Addr{0};
+        vm::Translation t{};
+        bool mapped = false;
+    };
+    static constexpr std::size_t kPageMemoSlots = 65536;
+    mutable std::vector<PageMemo> pageMemo_;
+
+    /** One-entry memo in front of pageMemo_ (same lifecycle). */
+    mutable PageMemo last_;
+
+    /** Memo-miss path: binary-search the run lists and fill the slot. */
+    std::optional<vm::Translation> translatePageSearch(Addr vaddr,
+                                                       Addr key) const;
+
+    /** Last range hit (checked before the binary search). */
+    mutable std::optional<vm::RangeTranslation> lastRange_;
 };
 
 } // namespace eat::check

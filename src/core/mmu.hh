@@ -63,6 +63,15 @@ struct InjectStats;
 namespace eat::core
 {
 
+/** True when the front-cache fast path is compiled in (the default;
+ *  configure with -DEAT_FRONT_CACHE=OFF to compile it out and force
+ *  every access down the full probe path). */
+#ifdef EAT_NO_FRONT_CACHE
+inline constexpr bool kFrontCacheCompiledIn = false;
+#else
+inline constexpr bool kFrontCacheCompiledIn = true;
+#endif
+
 /** The per-core memory management unit. */
 class Mmu
 {
@@ -80,8 +89,32 @@ class Mmu
     /** Translate one memory operation at @p vaddr. */
     void access(Addr vaddr);
 
-    /** Retire @p n instructions (drives Lite's interval clock). */
-    void tick(InstrCount n);
+    /**
+     * Retire @p n instructions (drives Lite's interval clock). The
+     * in-class body is the per-op fast path: a memoized static-energy
+     * charge plus an interval-boundary check. Anything that changes the
+     * leakage inputs (a fill's enable flip, a Lite resize) clears
+     * leakCache_.valid, steering the next tick through tickSlow()'s
+     * recompute — so the fast path never charges stale coefficients.
+     */
+    void
+    tick(InstrCount n)
+    {
+        if (leakCache_.valid && n < kTickDeltaSlots &&
+            tickDeltas_[n].valid) {
+            stats_.instructions += n;
+            staticGatedPj_ += tickDeltas_[n].gatedPj;
+            staticFullPj_ += tickDeltas_[n].fullPj;
+            if (!lite_ && !telemetry_)
+                return;
+            instrTowardInterval_ += n;
+            if (instrTowardInterval_ < cfg_.lite.intervalInstructions)
+                return;
+            tickIntervals();
+            return;
+        }
+        tickSlow(n);
+    }
 
     /**
      * Context switch: retarget the datapath at another address space.
@@ -180,6 +213,32 @@ class Mmu
     /** Total dynamic energy charged so far (all meters). */
     PicoJoules dynamicEnergyTotal() const;
 
+    /**
+     * Enable/disable the last-translation front cache, a pure
+     * simulator-speed memo ahead of the full L1 probe. Every replayed
+     * hit applies the exact side effects (energy charges, counters,
+     * recency restamps, checker calls, provenance events) the full
+     * probe would, so simulated outcomes are bit-identical either way.
+     * Must be OFF when a fault injector can corrupt TLB state behind
+     * the MMU's back (the driver harnesses enforce this): a corrupted
+     * tag aliasing a lower way could change the full probe's first
+     * match, which a replay cannot see. Forced off in
+     * -DEAT_FRONT_CACHE=OFF builds.
+     */
+    void
+    setFrontCacheEnabled(bool on)
+    {
+        frontEnabled_ = kFrontCacheCompiledIn && on;
+    }
+
+    bool frontCacheEnabled() const { return frontEnabled_; }
+
+    /** Accesses served by the front cache. Deliberately NOT a
+     *  simulated statistic: it lives outside MmuStats, metrics,
+     *  telemetry, and digests (the hit rate is a simulator-performance
+     *  fact, surfaced only by eatperf). */
+    std::uint64_t frontCacheHits() const { return frontHits_; }
+
     // --- introspection for tests and reports ---
     tlb::SetAssocTlb &l1Tlb4K() { return *l1Page4K_; }
     tlb::SetAssocTlb *l1Tlb2M() { return l1Page2M_.get(); }
@@ -241,6 +300,35 @@ class Mmu
     void emitIntervalRecord(InstrCount intervalInstructions);
 
     static unsigned logWaysOf(const tlb::SetAssocTlb &t);
+
+    // --- front cache (simulator fast path; see DESIGN.md §15) ---
+
+    /**
+     * A remembered L1 hit location. Live only while its generation
+     * matches frontGen_; the TLB's peekReplayHit() then re-validates
+     * it against live TLB state before any side effect is applied.
+     */
+    struct FrontSlot
+    {
+        std::uint64_t gen = 0;
+        unsigned set = 0;
+        unsigned way = 0;
+    };
+
+    /** Serve @p vaddr from the front cache if a remembered hit
+     *  validates; applies the full probe's exact side effects.
+     *  @return true when the access was replayed. */
+    bool frontProbe(Addr vaddr);
+
+    /** Replay one remembered page hit (any organization). */
+    void frontReplayPage(Addr vaddr, tlb::SetAssocTlb &tlb,
+                         const FrontSlot &slot, HitSource src);
+
+    /** Replay one remembered L1-range hit (plain organizations). */
+    void frontReplayRange(Addr vaddr);
+
+    /** Invalidate every front slot in O(1). */
+    void frontClear() { ++frontGen_; }
 
     MmuConfig cfg_;
     const vm::PageTable *pageTable_;
@@ -305,6 +393,62 @@ class Mmu
     // Static (leakage) energy integrals (paper §6.2).
     PicoJoules staticGatedPj_ = 0.0;
     PicoJoules staticFullPj_ = 0.0;
+
+    /**
+     * Memoized leakagePower() results: the inputs (way masks and
+     * enable masks) change only at interval boundaries and fills, but
+     * tick() integrates leakage on every operation batch. The cached
+     * doubles are the exact values leakagePower() returned, so the
+     * integrals stay bit-identical.
+     */
+    struct LeakCache
+    {
+        bool valid = false;
+        unsigned lw4K = 0;
+        unsigned lw2M = 0;
+        unsigned lw1G = 0;
+        std::uint8_t enabled = 0;
+        MilliWatts gated = 0.0;
+        MilliWatts full = 0.0;
+    };
+    LeakCache leakCache_;
+
+    /**
+     * Per-gap static-energy deltas derived from leakCache_: slot n
+     * holds exactly the doubles `leakCache_.gated * (n / f)` and
+     * `leakCache_.full * (n / f)` that tick(n) would compute, so the
+     * common small gaps skip the divide and multiplies while the
+     * accumulators see bit-identical addends. Cleared whenever
+     * leakCache_ refreshes.
+     */
+    struct TickDelta
+    {
+        bool valid = false;
+        double gatedPj = 0.0;
+        double fullPj = 0.0;
+    };
+    static constexpr std::size_t kTickDeltaSlots = 64;
+    std::array<TickDelta, kTickDeltaSlots> tickDeltas_{};
+
+    /** tick() off the fast path: recompute the leakage inputs, refresh
+     *  leakCache_/tickDeltas_, charge, and run the interval clock. */
+    void tickSlow(InstrCount n);
+
+    /** Drain instrTowardInterval_: Lite decisions, generation bumps,
+     *  telemetry records — one round per whole interval elapsed. */
+    void tickIntervals();
+
+    // Front cache: per-structure last-hit memos. Sized to the owning
+    // TLB's set count (power of two) so repeated hits across sets
+    // coexist; slots die en masse via the generation counter and are
+    // re-validated against live TLB state before every replay.
+    bool frontEnabled_ = kFrontCacheCompiledIn;
+    std::uint64_t frontGen_ = 1;
+    std::vector<FrontSlot> front4K_;
+    std::vector<FrontSlot> front2M_;
+    FrontSlot front1G_;
+    FrontSlot frontRange_; ///< set field = RangeTlb slot index
+    std::uint64_t frontHits_ = 0; ///< simulator-perf counter only
 
     energy::CactiLite cacti_;
 };

@@ -5,22 +5,6 @@
 namespace eat::core
 {
 
-std::string_view
-hitSourceName(HitSource src)
-{
-    switch (src) {
-      case HitSource::L1Page4K: return "L1-4KB";
-      case HitSource::L1Page2M: return "L1-2MB";
-      case HitSource::L1Page1G: return "L1-1GB";
-      case HitSource::L1Range: return "L1-range";
-      case HitSource::L2Page: return "L2-page";
-      case HitSource::L2Range: return "L2-range";
-      case HitSource::PageWalk: return "page-walk";
-      case HitSource::Count: break;
-    }
-    return "?";
-}
-
 double
 MmuStats::l1Mpki() const
 {

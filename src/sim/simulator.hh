@@ -71,6 +71,14 @@ struct SimConfig
      */
     std::string faultSpec;
 
+    /**
+     * Last-translation front cache (simulator fast path; digest- and
+     * telemetry-identical on or off — see core::Mmu). The driver
+     * forces it off whenever faultSpec arms an injector, and
+     * -DEAT_FRONT_CACHE=OFF builds ignore the flag entirely.
+     */
+    bool frontCache = true;
+
     // --- observability outputs (all optional; empty path = off) ---
 
     /** Write the end-of-run metric registry as JSON to this path. */
@@ -121,6 +129,14 @@ struct SimResult
 
     /** Wall-clock seconds per driver stage (always populated). */
     obs::StageTimings profile;
+
+    /**
+     * Memory operations served by the MMU's last-translation front
+     * cache. A simulator-performance counter only — the front cache is
+     * outcome-invisible, so this is deliberately absent from MmuStats,
+     * metrics, and digests (eatperf reports it as a hit rate).
+     */
+    std::uint64_t frontCacheHits = 0;
 
     /** Telemetry/trace volume (zeros when the outputs were off). */
     std::uint64_t telemetryRecords = 0;

@@ -7,21 +7,6 @@ namespace eat::stats
 
 Histogram::Histogram(std::size_t buckets) : counts_(buckets, 0) {}
 
-void
-Histogram::ensureBuckets(std::size_t buckets)
-{
-    if (counts_.size() < buckets)
-        counts_.resize(buckets, 0);
-}
-
-void
-Histogram::record(std::size_t bucket, std::uint64_t weight)
-{
-    ensureBuckets(bucket + 1);
-    counts_[bucket] += weight;
-    total_ += weight;
-}
-
 std::uint64_t
 Histogram::bucketCount(std::size_t bucket) const
 {

@@ -29,10 +29,21 @@ class Histogram
     explicit Histogram(std::size_t buckets);
 
     /** Grow (never shrink) to at least @p buckets buckets. */
-    void ensureBuckets(std::size_t buckets);
+    void
+    ensureBuckets(std::size_t buckets)
+    {
+        if (counts_.size() < buckets)
+            counts_.resize(buckets, 0);
+    }
 
     /** Add @p weight samples to @p bucket (growing if needed). */
-    void record(std::size_t bucket, std::uint64_t weight = 1);
+    void
+    record(std::size_t bucket, std::uint64_t weight = 1)
+    {
+        ensureBuckets(bucket + 1);
+        counts_[bucket] += weight;
+        total_ += weight;
+    }
 
     std::uint64_t bucketCount(std::size_t bucket) const;
     std::size_t numBuckets() const { return counts_.size(); }

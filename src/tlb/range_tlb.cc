@@ -1,5 +1,7 @@
 #include "tlb/range_tlb.hh"
 
+#include <algorithm>
+
 #include "base/logging.hh"
 
 namespace eat::tlb
@@ -9,15 +11,68 @@ RangeTlb::RangeTlb(std::string name, unsigned entries)
     : name_(std::move(name)), slots_(entries)
 {
     eat_assert(entries >= 1, name_, ": range TLB needs >= 1 entry");
+    index_.reserve(entries);
+}
+
+void
+RangeTlb::rebuildIndex()
+{
+    index_.clear();
+    for (unsigned i = 0; i < slots_.size(); ++i) {
+        if (slots_[i].valid)
+            index_.push_back(i);
+    }
+    std::sort(index_.begin(), index_.end(),
+              [this](unsigned a, unsigned b) {
+                  const Slot &sa = slots_[a];
+                  const Slot &sb = slots_[b];
+                  if (sa.asid != sb.asid)
+                      return sa.asid < sb.asid;
+                  return sa.range.vbase < sb.range.vbase;
+              });
+    indexDirty_ = false;
 }
 
 std::optional<vm::RangeTranslation>
 RangeTlb::lookup(Addr vaddr, Asid asid)
 {
-    for (auto &s : slots_) {
-        if (s.valid && s.asid == asid && s.range.contains(vaddr)) {
+    if (corrupted_) {
+        // Overlapping (corrupted) ranges make first-match order
+        // observable; keep the historical scan.
+        for (unsigned i = 0; i < slots_.size(); ++i) {
+            Slot &s = slots_[i];
+            if (s.valid && s.asid == asid && s.range.contains(vaddr)) {
+                s.stamp = ++clock_;
+                ++hits_;
+                lastHitSlot_ = i;
+                return s.range;
+            }
+        }
+        ++misses_;
+        return std::nullopt;
+    }
+
+    if (indexDirty_)
+        rebuildIndex();
+
+    // The only candidate is the predecessor: the last range of this
+    // asid starting at or before vaddr (cached ranges are disjoint per
+    // address space).
+    const auto it = std::upper_bound(
+        index_.begin(), index_.end(), vaddr,
+        [this, asid](Addr v, unsigned slot) {
+            const Slot &s = slots_[slot];
+            if (asid != s.asid)
+                return asid < s.asid;
+            return v < s.range.vbase;
+        });
+    if (it != index_.begin()) {
+        const unsigned i = *(it - 1);
+        Slot &s = slots_[i];
+        if (s.asid == asid && s.range.contains(vaddr)) {
             s.stamp = ++clock_;
             ++hits_;
+            lastHitSlot_ = i;
             return s.range;
         }
     }
@@ -62,6 +117,7 @@ RangeTlb::fill(const vm::RangeTranslation &range, Asid asid)
     victim->stamp = ++clock_;
     victim->asid = asid;
     ++fills_;
+    indexDirty_ = true;
     return evicted;
 }
 
@@ -70,6 +126,7 @@ RangeTlb::invalidateAll()
 {
     for (auto &s : slots_)
         s.valid = false;
+    indexDirty_ = true;
 }
 
 unsigned
@@ -82,6 +139,8 @@ RangeTlb::invalidateAsid(Asid asid)
             ++n;
         }
     }
+    if (n > 0)
+        indexDirty_ = true;
     return n;
 }
 
@@ -96,6 +155,8 @@ RangeTlb::invalidateRange(Addr vbase, Addr vlimit, Asid asid)
             ++n;
         }
     }
+    if (n > 0)
+        indexDirty_ = true;
     return n;
 }
 
@@ -116,9 +177,25 @@ RangeTlb::corruptRandomEntry(std::uint64_t rnd, bool flipTag)
         } else {
             s.range.pbase ^= Addr{1} << bit;
         }
+        corrupted_ = true;
         return true;
     }
     return false;
+}
+
+bool
+RangeTlb::peekReplayHit(unsigned slot, Addr vaddr, Asid asid) const
+{
+    if (slot >= slots_.size())
+        return false;
+    const Slot &s = slots_[slot];
+    if (!s.valid || s.asid != asid || !s.range.contains(vaddr))
+        return false;
+    for (const auto &other : slots_) {
+        if (other.valid && other.stamp > s.stamp)
+            return false;
+    }
+    return true;
 }
 
 unsigned

@@ -8,6 +8,16 @@
  * Lookups perform two comparisons per entry (base <= vaddr < limit),
  * which is why the paper charges the range TLB the energy of a page TLB
  * with twice the tag bits.
+ *
+ * The modeled hardware probes all entries in parallel; the simulator
+ * resolves lookups by binary search over a lazily rebuilt index of the
+ * valid slots sorted by (asid, vbase). Ranges cached from the OS range
+ * table are disjoint per address space, so the predecessor range is
+ * the only possible container and the search is outcome-identical to
+ * the historical linear first-match scan. Fault injection can corrupt
+ * a cached vlimit into overlapping a neighbor — where first-match
+ * order *is* observable — so the first corruption permanently drops
+ * the structure back to the linear scan.
  */
 
 #ifndef EAT_TLB_RANGE_TLB_HH
@@ -64,13 +74,41 @@ class RangeTlb
      * Fault-injection hook (check::FaultInjector and tests only):
      * corrupt one pseudo-random valid entry by flipping a bit of its
      * virtual bounds (@p flipTag) or of its physical base (!@p flipTag).
-     * @return false if no entry is valid.
+     * Also retires the binary-search index for the rest of this TLB's
+     * life (see file comment). @return false if no entry is valid.
      */
     bool corruptRandomEntry(std::uint64_t rnd, bool flipTag);
 
     std::uint64_t hits() const { return hits_; }
     std::uint64_t misses() const { return misses_; }
     std::uint64_t fills() const { return fills_; }
+
+    // --- front-cache replay hooks (core::Mmu's last-translation
+    // --- cache) ---
+
+    /** Slot index of the most recent lookup() hit (valid until the
+     *  next fill or invalidation). */
+    unsigned lastHitSlot() const { return lastHitSlot_; }
+
+    /** Would replaying a remembered hit in @p slot for (@p vaddr,
+     *  @p asid) match a full probe? True iff the slot is valid, tagged
+     *  @p asid, contains @p vaddr, and is the MRU entry. */
+    bool peekReplayHit(unsigned slot, Addr vaddr, Asid asid) const;
+
+    /** Apply the hit side effects of the slot checked by
+     *  peekReplayHit() and return its translation, read fresh. */
+    vm::RangeTranslation
+    commitReplayHit(unsigned slot)
+    {
+        Slot &s = slots_[slot];
+        s.stamp = ++clock_;
+        ++hits_;
+        return s.range;
+    }
+
+    /** Apply the miss side effect of a probe whose outcome (a miss) is
+     *  already known, without scanning the slots. */
+    void noteMiss() { ++misses_; }
 
   private:
     struct Slot
@@ -81,8 +119,16 @@ class RangeTlb
         Asid asid = 0;
     };
 
+    void rebuildIndex();
+
     std::string name_;
     std::vector<Slot> slots_;
+    /** Valid slot indices sorted by (asid, range.vbase); rebuilt
+     *  lazily when indexDirty_. Unused once corrupted_. */
+    std::vector<unsigned> index_;
+    bool indexDirty_ = true;
+    bool corrupted_ = false;
+    unsigned lastHitSlot_ = 0;
     std::uint64_t clock_ = 0;
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;

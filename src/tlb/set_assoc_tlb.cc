@@ -1,5 +1,7 @@
 #include "tlb/set_assoc_tlb.hh"
 
+#include <bit>
+
 #include "base/logging.hh"
 
 namespace eat::tlb
@@ -13,8 +15,15 @@ SetAssocTlb::SetAssocTlb(std::string name, unsigned entries, unsigned ways,
       activeWays_(ways),
       logActiveWays_(static_cast<unsigned>(floorLog2(ways ? ways : 1))),
       shift_(shift),
-      slots_(entries),
-      stampScratch_(ways)
+      valid_(entries, 0),
+      shifts_(entries, 0),
+      asids_(entries, 0),
+      vtags_(entries, 0),
+      vbases_(entries, 0),
+      pbases_(entries, 0),
+      sizes_(entries, vm::PageSize::Size4K),
+      stamps_(entries, 0),
+      setMaxStamp_(sets_, 0)
 {
     eat_assert(ways >= 1, name_, ": ways must be >= 1");
     eat_assert(entries % ways == 0,
@@ -22,67 +31,68 @@ SetAssocTlb::SetAssocTlb(std::string name, unsigned entries, unsigned ways,
                ways, ")");
     eat_assert(isPowerOfTwo(sets_),
                name_, ": set count (", sets_, ") must be a power of two");
+    eat_assert(ways <= 64,
+               name_, ": associativity (", ways,
+               ") exceeds the 64-way probe mask");
 }
 
 TlbLookupResult
 SetAssocTlb::lookupWithShift(Addr vaddr, unsigned idxShift, Asid asid)
 {
     const unsigned set = indexOf(vaddr, idxShift);
-    Slot *slots = slotsOfSet(set);
+    const unsigned base = set * ways_;
+    const std::uint8_t *valid = &valid_[base];
+    const std::uint8_t *shifts = &shifts_[base];
+    const Asid *asids = &asids_[base];
+    const Addr *vtags = &vtags_[base];
+    const std::uint64_t *stamps = &stamps_[base];
 
-    // Single pass over the set: find the hit and its LRU distance
-    // among the active ways — the number of ways older than the hit,
-    // where invalid ways count as older (they sit at the LRU end of
-    // the stack). Ways scanned before the hit is known buffer their
-    // stamps (stamps are unique: every touch draws from one clock) and
-    // are classified right after the walk; ways after it compare
-    // directly. One traversal of the slot array total, however large
-    // the associativity.
-    Slot *hit = nullptr;
-    std::uint64_t hitStamp = 0;
-    unsigned older = 0;        // ways already known older than the hit
-    unsigned buffered = 0;     // pre-hit valid stamps in stampScratch_
+    // Branchless probe: one compare per active way folded into a hit
+    // mask; the hit is the lowest matching way, exactly the first
+    // match a way-order walk would take.
+    std::uint64_t mask = 0;
     for (unsigned way = 0; way < activeWays_; ++way) {
-        Slot &s = slots[way];
-        if (hit == nullptr) {
-            if (s.valid && s.entry.asid == asid && s.entry.covers(vaddr)) {
-                hit = &s;
-                hitStamp = s.stamp;
-            } else if (s.valid) {
-                stampScratch_[buffered++] = s.stamp;
-            } else {
-                ++older;
-            }
-        } else if (!s.valid || s.stamp < hitStamp) {
-            ++older;
-        }
+        const bool match = valid[way] && asids[way] == asid &&
+                           (vaddr >> shifts[way]) == vtags[way];
+        mask |= static_cast<std::uint64_t>(match) << way;
     }
-
-    if (hit == nullptr) {
+    if (mask == 0) {
         ++misses_;
         return TlbLookupResult{};
     }
+    const unsigned hitWay =
+        static_cast<unsigned>(std::countr_zero(mask));
+    const std::uint64_t hitStamp = stamps[hitWay];
 
-    for (unsigned i = 0; i < buffered; ++i) {
-        if (stampScratch_[i] < hitStamp)
-            ++older;
+    // LRU distance: the number of other active ways older than the
+    // hit, where invalid ways count as older (they sit at the LRU end
+    // of the stack). Stamps are unique — every touch draws from one
+    // clock — so a plain comparison sum over the flat array suffices.
+    unsigned older = 0;
+    for (unsigned way = 0; way < activeWays_; ++way) {
+        older += static_cast<unsigned>(
+            way != hitWay &&
+            (!valid[way] || stamps[way] < hitStamp));
     }
     eat_assert(older < activeWays_, "corrupt recency stamps");
-    const unsigned distance = older;
 
-    hit->stamp = ++clock_;
+    stamps_[base + hitWay] = ++clock_;
+    setMaxStamp_[set] = clock_;
     ++hits_;
-    return TlbLookupResult{true, distance, hit->entry};
+    TlbLookupResult result{true, older, entryAt(base + hitWay)};
+    result.set = set;
+    result.way = hitWay;
+    return result;
 }
 
 bool
 SetAssocTlb::probe(Addr vaddr, Asid asid) const
 {
-    const unsigned set = indexOf(vaddr, shift_);
-    const Slot *slots = slotsOfSet(set);
+    const unsigned base = indexOf(vaddr, shift_) * ways_;
     for (unsigned way = 0; way < activeWays_; ++way) {
-        if (slots[way].valid && slots[way].entry.asid == asid &&
-            slots[way].entry.covers(vaddr)) {
+        const unsigned i = base + way;
+        if (valid_[i] && asids_[i] == asid &&
+            (vaddr >> shifts_[i]) == vtags_[i]) {
             return true;
         }
     }
@@ -93,37 +103,47 @@ bool
 SetAssocTlb::fill(const TlbEntry &entry)
 {
     const unsigned set = indexOf(entry.vbase, entry.shift);
-    Slot *slots = slotsOfSet(set);
+    const unsigned base = set * ways_;
 
     // Reuse a slot already covering the region (refill), else an
-    // invalid slot, else evict the LRU. One pass tracks all three
-    // candidates, so finding no invalid slot costs no second walk.
-    Slot *invalid = nullptr;
-    Slot *lru = nullptr;
-    Slot *victim = nullptr;
-    bool evicted = false;
+    // invalid slot, else evict the LRU. One pass over the flat arrays
+    // tracks all three candidates.
+    const unsigned none = activeWays_;
+    unsigned victim = none;
+    unsigned invalid = none;
+    unsigned lru = none;
+    std::uint64_t lruStamp = 0;
     for (unsigned way = 0; way < activeWays_; ++way) {
-        Slot &s = slots[way];
-        if (s.valid && s.entry.asid == entry.asid &&
-            s.entry.covers(entry.vbase)) {
-            victim = &s; // refill in place
+        const unsigned i = base + way;
+        if (valid_[i] && asids_[i] == entry.asid &&
+            (entry.vbase >> shifts_[i]) == vtags_[i]) {
+            victim = way; // refill in place
             break;
         }
-        if (!s.valid) {
-            if (!invalid)
-                invalid = &s;
-        } else if (!lru || s.stamp < lru->stamp) {
-            lru = &s;
+        if (!valid_[i]) {
+            if (invalid == none)
+                invalid = way;
+        } else if (lru == none || stamps_[i] < lruStamp) {
+            lru = way;
+            lruStamp = stamps_[i];
         }
     }
-    if (!victim) {
-        victim = invalid ? invalid : lru;
-        evicted = victim == lru && !invalid;
+    bool evicted = false;
+    if (victim == none) {
+        victim = invalid != none ? invalid : lru;
+        evicted = invalid == none;
     }
 
-    victim->valid = true;
-    victim->entry = entry;
-    victim->stamp = ++clock_;
+    const unsigned i = base + victim;
+    valid_[i] = 1;
+    shifts_[i] = static_cast<std::uint8_t>(entry.shift);
+    asids_[i] = entry.asid;
+    vtags_[i] = entry.vbase >> entry.shift;
+    vbases_[i] = entry.vbase;
+    pbases_[i] = entry.pbase;
+    sizes_[i] = entry.size;
+    stamps_[i] = ++clock_;
+    setMaxStamp_[set] = clock_;
     ++fills_;
     return evicted;
 }
@@ -131,17 +151,16 @@ SetAssocTlb::fill(const TlbEntry &entry)
 void
 SetAssocTlb::invalidateAll()
 {
-    for (auto &s : slots_)
-        s.valid = false;
+    std::fill(valid_.begin(), valid_.end(), 0);
 }
 
 unsigned
 SetAssocTlb::invalidateAsid(Asid asid)
 {
     unsigned n = 0;
-    for (auto &s : slots_) {
-        if (s.valid && s.entry.asid == asid) {
-            s.valid = false;
+    for (unsigned i = 0; i < valid_.size(); ++i) {
+        if (valid_[i] && asids_[i] == asid) {
+            valid_[i] = 0;
             ++n;
         }
     }
@@ -152,13 +171,14 @@ unsigned
 SetAssocTlb::invalidateRange(Addr vbase, Addr vlimit, Asid asid)
 {
     unsigned n = 0;
-    for (auto &s : slots_) {
-        if (!s.valid || s.entry.asid != asid)
+    for (unsigned i = 0; i < valid_.size(); ++i) {
+        if (!valid_[i] || asids_[i] != asid)
             continue;
-        const Addr entryBase = alignDown(s.entry.vbase, Addr{1} << s.entry.shift);
-        const Addr entryEnd = entryBase + (Addr{1} << s.entry.shift);
+        const Addr span = Addr{1} << shifts_[i];
+        const Addr entryBase = alignDown(vbases_[i], span);
+        const Addr entryEnd = entryBase + span;
         if (entryBase < vlimit && entryEnd > vbase) {
-            s.valid = false;
+            valid_[i] = 0;
             ++n;
         }
     }
@@ -180,9 +200,9 @@ SetAssocTlb::setActiveWays(unsigned w)
             dropNextInvalidation_ = false;
         } else {
             for (unsigned set = 0; set < sets_; ++set) {
-                Slot *slots = slotsOfSet(set);
+                const unsigned base = set * ways_;
                 for (unsigned way = w; way < activeWays_; ++way)
-                    slots[way].valid = false;
+                    valid_[base + way] = 0;
             }
         }
     }
@@ -195,19 +215,21 @@ unsigned
 SetAssocTlb::validCount() const
 {
     unsigned n = 0;
-    for (const auto &s : slots_)
-        n += s.valid ? 1 : 0;
+    for (const std::uint8_t v : valid_)
+        n += v ? 1 : 0;
     return n;
 }
 
 unsigned
 SetAssocTlb::validInDisabledWays() const
 {
+    if (activeWays_ == ways_)
+        return 0; // no disabled ways to hold stale entries
     unsigned n = 0;
     for (unsigned set = 0; set < sets_; ++set) {
-        const Slot *slots = slotsOfSet(set);
+        const unsigned base = set * ways_;
         for (unsigned way = activeWays_; way < ways_; ++way)
-            n += slots[way].valid ? 1 : 0;
+            n += valid_[base + way] ? 1 : 0;
     }
     return n;
 }
@@ -217,20 +239,23 @@ SetAssocTlb::corruptRandomEntry(std::uint64_t rnd, bool flipTag)
 {
     const unsigned total = sets_ * ways_;
     const unsigned start = static_cast<unsigned>(rnd % total);
-    for (unsigned i = 0; i < total; ++i) {
-        Slot &s = slots_[(start + i) % total];
-        if (!s.valid)
+    for (unsigned n = 0; n < total; ++n) {
+        const unsigned i = (start + n) % total;
+        if (!valid_[i])
             continue;
         if (flipTag) {
             // Flip a tag bit above the index field so the entry stays
-            // in its set but claims a different (aliased) region.
+            // in its set but claims a different (aliased) region; the
+            // cached tag must track the corrupted base, exactly as a
+            // real tag array would hold the flipped bit.
             const unsigned bit =
-                s.entry.shift + floorLog2(sets_) + (rnd >> 32) % 4;
-            s.entry.vbase ^= Addr{1} << bit;
+                shifts_[i] + floorLog2(sets_) + (rnd >> 32) % 4;
+            vbases_[i] ^= Addr{1} << bit;
+            vtags_[i] = vbases_[i] >> shifts_[i];
         } else {
             // Flip a PPN bit: the next hit returns a wrong paddr.
-            const unsigned bit = s.entry.shift + (rnd >> 32) % 4;
-            s.entry.pbase ^= Addr{1} << bit;
+            const unsigned bit = shifts_[i] + (rnd >> 32) % 4;
+            pbases_[i] ^= Addr{1} << bit;
         }
         return true;
     }

@@ -114,31 +114,46 @@ MemoryManager::mapChunk(Addr vbase, Addr pbase, std::uint64_t bytes)
     Addr off = 0;
     while (off < bytes) {
         const Addr v = vbase + off;
-        const bool huge = policy_.transparentHugePages &&
-                          pageOffset(v, PageSize::Size2M) == 0 &&
-                          pageOffset(pbase + off, PageSize::Size2M) == 0 &&
-                          bytes - off >= 2_MiB &&
-                          rng_.chance(policy_.thpCoverage);
-        if (huge) {
+        const bool hugeCandidate =
+            policy_.transparentHugePages &&
+            pageOffset(v, PageSize::Size2M) == 0 &&
+            pageOffset(pbase + off, PageSize::Size2M) == 0 &&
+            bytes - off >= 2_MiB;
+        if (hugeCandidate && rng_.chance(policy_.thpCoverage)) {
             pageTable_.map(v, pbase + off, PageSize::Size2M);
             off += 2_MiB;
-        } else {
-            pageTable_.map(v, pbase + off, PageSize::Size4K);
-            off += 4096;
+            continue;
         }
+        // 4 KB pages up to the next possible huge-mapping start (the
+        // next 2 MB-aligned virtual address) as one bulk install. The
+        // interior pages are misaligned, so a per-page walk would draw
+        // no coverage chance before that boundary — the alignment
+        // tests short-circuit the draw — and the RNG stream is
+        // preserved exactly.
+        Addr next = bytes;
+        if (policy_.transparentHugePages) {
+            next = std::min<Addr>(
+                bytes, alignUp(v + 4096, Addr{2_MiB}) - vbase);
+        }
+        pageTable_.mapRun(v, pbase + off, (next - off) / 4096);
+        off = next;
     }
 }
 
 void
 MemoryManager::mapScattered(Addr vbase, std::uint64_t bytes)
 {
-    // Demand-paged 4 KB allocation. Physical frames come from the
-    // first-fit pool one page at a time; no range translations result.
-    for (Addr off = 0; off < bytes; off += 4096) {
-        auto pbase = phys_.allocContiguous(4096, 4096);
-        if (!pbase)
+    // Demand-paged 4 KB allocation; no range translations result.
+    // Frames come off the first-fit pool as whole-extent runs, which
+    // hands out exactly the frame sequence per-page first-fit
+    // allocation would, one bulk page-table install per run.
+    std::uint64_t off = 0;
+    while (off < bytes) {
+        const auto run = phys_.allocRun(bytes - off);
+        if (!run)
             eat_fatal("physical memory exhausted (4 KB page)");
-        pageTable_.map(vbase + off, *pbase, PageSize::Size4K);
+        pageTable_.mapRun(vbase + off, run->base, run->bytes / 4096);
+        off += run->bytes;
     }
 }
 

@@ -1,5 +1,7 @@
 #include "vm/page_table.hh"
 
+#include <algorithm>
+
 #include "base/logging.hh"
 
 namespace eat::vm
@@ -111,6 +113,36 @@ PageTable::map(Addr vbase, Addr pbase, PageSize size)
     ++counts_[static_cast<unsigned>(size)];
 }
 
+void
+PageTable::mapRun(Addr vbase, Addr pbase, std::uint64_t count)
+{
+    constexpr Addr kPage = 4096;
+    eat_assert(pageOffset(vbase, PageSize::Size4K) == 0,
+               "vbase not aligned to 4 KB");
+    eat_assert(pageOffset(pbase, PageSize::Size4K) == 0,
+               "pbase not aligned to 4 KB");
+
+    std::uint64_t done = 0;
+    while (done < count) {
+        const Addr v = vbase + done * kPage;
+        Node *node = root_.get();
+        for (unsigned level = 4; level > 1; --level)
+            node = ensureChild(*node, levelIndex(v, level));
+        const unsigned first = levelIndex(v, 1);
+        const std::uint64_t inNode =
+            std::min<std::uint64_t>(count - done, 512 - first);
+        for (std::uint64_t i = 0; i < inNode; ++i) {
+            auto &slot = node->slots[first + i];
+            eat_assert(slot.isEmpty(),
+                       "mapping overlaps an existing mapping at ",
+                       v + i * kPage);
+            slot.leafPbase = pbase + (done + i) * kPage;
+        }
+        counts_[static_cast<unsigned>(PageSize::Size4K)] += inNode;
+        done += inNode;
+    }
+}
+
 bool
 PageTable::unmap(Addr vbase, PageSize size)
 {
@@ -160,9 +192,8 @@ PageTable::demote(Addr vbase)
     const Addr pbase = t->pbase;
     if (!unmap(vbase, PageSize::Size2M))
         return false;
-    const Addr step = pageBytes(PageSize::Size4K);
-    for (Addr off = 0; off < pageBytes(PageSize::Size2M); off += step)
-        map(vbase + off, pbase + off, PageSize::Size4K);
+    mapRun(vbase, pbase,
+           pageBytes(PageSize::Size2M) / pageBytes(PageSize::Size4K));
     return true;
 }
 
@@ -176,16 +207,43 @@ void
 PageTable::forEachLeaf(
     const std::function<void(const Translation &)> &fn) const
 {
+    forEachLeafRun([&fn](const Translation &first, std::uint64_t count) {
+        const Addr bytes = pageBytes(first.size);
+        for (std::uint64_t i = 0; i < count; ++i) {
+            fn(Translation{first.vbase + i * bytes,
+                           first.pbase + i * bytes, first.size});
+        }
+    });
+}
+
+void
+PageTable::forEachLeafRun(
+    const std::function<void(const Translation &, std::uint64_t)> &fn) const
+{
     const auto visit = [&fn](const Node &node, unsigned level, Addr prefix,
                              const auto &self) -> void {
         const unsigned shift = 12 + 9 * (level - 1);
+        const Addr bytes = Addr{1} << shift;
         for (unsigned i = 0; i < node.slots.size(); ++i) {
             const auto &slot = node.slots[i];
             const Addr vbase = prefix | (Addr{i} << shift);
-            if (slot.isLeaf())
-                fn(Translation{vbase, slot.leafPbase, levelPageSize(level)});
-            else if (slot.child)
+            if (slot.isLeaf()) {
+                // Extend over consecutive leaves mapping contiguous
+                // frames; they coalesce into one callback.
+                unsigned j = i + 1;
+                while (j < node.slots.size() &&
+                       node.slots[j].isLeaf() &&
+                       node.slots[j].leafPbase ==
+                           slot.leafPbase + (j - i) * bytes) {
+                    ++j;
+                }
+                fn(Translation{vbase, slot.leafPbase,
+                               levelPageSize(level)},
+                   j - i);
+                i = j - 1;
+            } else if (slot.child) {
                 self(*slot.child, level - 1, vbase, self);
+            }
         }
     };
     visit(*root_, 4, 0, visit);

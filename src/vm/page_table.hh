@@ -57,6 +57,14 @@ class PageTable
      */
     void map(Addr vbase, Addr pbase, PageSize size);
 
+    /**
+     * Install @p count 4 KB mappings contiguous in both spaces
+     * (vbase + i*4K -> pbase + i*4K), walking the radix tree once per
+     * 512-entry PT node instead of once per page. Identical to @p count
+     * calls of map(..., PageSize::Size4K).
+     */
+    void mapRun(Addr vbase, Addr pbase, std::uint64_t count);
+
     /** Remove a mapping. @return false if nothing was mapped there. */
     bool unmap(Addr vbase, PageSize size);
 
@@ -81,6 +89,17 @@ class PageTable
      * the full mapping without walking the radix tree per lookup.
      */
     void forEachLeaf(const std::function<void(const Translation &)> &fn) const;
+
+    /**
+     * Like forEachLeaf, but consecutive same-node leaves of one size
+     * that are contiguous in both spaces arrive as a single callback:
+     * @p fn receives the first mapping of the run and the run's page
+     * count. A snapshot of a bulk-mapped region costs one call per
+     * page-table node instead of one per page.
+     */
+    void forEachLeafRun(
+        const std::function<void(const Translation &, std::uint64_t)> &fn)
+        const;
 
     /**
      * Number of page-table levels a hardware walk must traverse to reach

@@ -1,5 +1,6 @@
 #include "vm/phys_mem.hh"
 
+#include <algorithm>
 #include <vector>
 
 #include "base/logging.hh"
@@ -46,6 +47,27 @@ PhysicalMemory::allocContiguous(std::uint64_t bytes, std::uint64_t align)
         return start;
     }
     return std::nullopt;
+}
+
+std::optional<PhysicalMemory::Run>
+PhysicalMemory::allocRun(std::uint64_t maxBytes)
+{
+    eat_assert(maxBytes > 0 && maxBytes % 4096 == 0,
+               "run request must be a nonzero multiple of 4 KB");
+    if (free_.empty())
+        return std::nullopt;
+    // Extent bases and sizes are 4 KB granular by construction, so the
+    // front of the first extent is what first-fit 4 KB allocations
+    // would return.
+    const auto it = free_.begin();
+    const Addr base = it->first;
+    const std::uint64_t extSize = it->second;
+    const std::uint64_t bytes = std::min(maxBytes, extSize);
+    free_.erase(it);
+    if (extSize > bytes)
+        free_.emplace(base + bytes, extSize - bytes);
+    freeBytes_ -= bytes;
+    return Run{base, bytes};
 }
 
 void

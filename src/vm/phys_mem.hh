@@ -40,6 +40,24 @@ class PhysicalMemory
     std::optional<Addr> allocContiguous(std::uint64_t bytes,
                                         std::uint64_t align = 4096);
 
+    /** A contiguous run of frames handed out by allocRun(). */
+    struct Run
+    {
+        Addr base = 0;
+        std::uint64_t bytes = 0;
+    };
+
+    /**
+     * Carve up to @p maxBytes (a multiple of 4 KB) off the front of the
+     * lowest-addressed free extent — exactly the frames a sequence of
+     * allocContiguous(4096, 4096) calls would hand out one by one while
+     * that extent lasts, returned as one run so bulk mappers can install
+     * them without a per-page allocator round trip.
+     *
+     * @return the run, or std::nullopt when the pool is empty.
+     */
+    std::optional<Run> allocRun(std::uint64_t maxBytes);
+
     /** Return an extent to the pool (coalesces with neighbours). */
     void free(Addr base, std::uint64_t bytes);
 

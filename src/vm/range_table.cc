@@ -1,5 +1,7 @@
 #include "vm/range_table.hh"
 
+#include <algorithm>
+
 #include "base/logging.hh"
 
 namespace eat::vm
@@ -47,24 +49,37 @@ RangeTable::insert(const RangeTranslation &range)
     }
 
     ranges_.emplace(merged.vbase, merged);
+    flatDirty_ = true;
 }
 
 std::optional<RangeTranslation>
 RangeTable::lookup(Addr vaddr) const
 {
-    auto it = ranges_.upper_bound(vaddr);
-    if (it == ranges_.begin())
+    if (flatDirty_) {
+        flat_.clear();
+        flat_.reserve(ranges_.size());
+        for (const auto &[vbase, r] : ranges_)
+            flat_.push_back(r);
+        flatDirty_ = false;
+    }
+    const auto it = std::upper_bound(
+        flat_.begin(), flat_.end(), vaddr,
+        [](Addr v, const RangeTranslation &r) { return v < r.vbase; });
+    if (it == flat_.begin())
         return std::nullopt;
-    --it;
-    if (it->second.contains(vaddr))
-        return it->second;
+    const RangeTranslation &r = *(it - 1);
+    if (r.contains(vaddr))
+        return r;
     return std::nullopt;
 }
 
 bool
 RangeTable::erase(Addr vbase)
 {
-    return ranges_.erase(vbase) > 0;
+    const bool erased = ranges_.erase(vbase) > 0;
+    if (erased)
+        flatDirty_ = true;
+    return erased;
 }
 
 std::uint64_t

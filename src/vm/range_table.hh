@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <vector>
 
 #include "base/types.hh"
 
@@ -90,6 +91,15 @@ class RangeTable
   private:
     /** Keyed by vbase. */
     std::map<Addr, RangeTranslation> ranges_;
+
+    /**
+     * Flat copy of the ranges in vbase order, rebuilt lazily after a
+     * mutation: the hardware walker binary-searches this contiguous
+     * array instead of chasing map nodes on every L2-miss walk. Purely
+     * a lookup accelerator — the map stays authoritative.
+     */
+    mutable std::vector<RangeTranslation> flat_;
+    mutable bool flatDirty_ = true;
 };
 
 } // namespace eat::vm

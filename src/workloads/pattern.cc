@@ -41,11 +41,16 @@ buildCdf(const std::vector<double> &weights)
 std::size_t
 pickFromCdf(const std::vector<double> &cdf, Rng &rng)
 {
+    // First bucket with cdf >= u — a forward scan, since mixture CDFs
+    // hold a handful of entries and the early buckets carry most of
+    // the weight. Same pick as a lower_bound over the sorted CDF.
     const double u = rng.real();
-    const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
-    return static_cast<std::size_t>(
-        std::min<std::ptrdiff_t>(it - cdf.begin(),
-                                 static_cast<std::ptrdiff_t>(cdf.size()) - 1));
+    const std::size_t n = cdf.size();
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+        if (u <= cdf[i])
+            return i;
+    }
+    return n - 1;
 }
 
 } // namespace
@@ -76,9 +81,17 @@ Addr
 Span::addrAt(std::uint64_t offset) const
 {
     eat_assert(offset < total_, "span offset out of bounds");
-    // Find the extent containing the offset.
-    auto it = std::upper_bound(starts_.begin(), starts_.end(), offset);
+    // Offsets arrive with the pattern's locality, so the extent that
+    // served the previous call usually serves this one; fall back to
+    // the binary search only when the memo misses.
+    const std::size_t last = lastExtent_;
+    if (offset >= starts_[last] &&
+        offset - starts_[last] < extents_[last].bytes) {
+        return extents_[last].base + (offset - starts_[last]);
+    }
+    const auto it = std::upper_bound(starts_.begin(), starts_.end(), offset);
     const auto idx = static_cast<std::size_t>(it - starts_.begin()) - 1;
+    lastExtent_ = idx;
     return extents_[idx].base + (offset - starts_[idx]);
 }
 

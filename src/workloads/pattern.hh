@@ -65,6 +65,8 @@ class Span
     std::vector<Extent> extents_;
     std::vector<std::uint64_t> starts_; ///< prefix offsets per extent
     std::uint64_t total_ = 0;
+    /** Extent that served the last addrAt() (pure lookup memo). */
+    mutable std::size_t lastExtent_ = 0;
 };
 
 /** Base class of every access-pattern primitive. */

@@ -35,24 +35,6 @@ WorkloadGenerator::WorkloadGenerator(const WorkloadSpec &spec,
     eat_assert(pattern_ != nullptr, spec.name, ": pattern builder failed");
 }
 
-InstrCount
-WorkloadGenerator::nextGap()
-{
-    // gap = ceil-or-floor of 1000/opsPerKilo with an error accumulator,
-    // so the average is exact and the stream is deterministic.
-    gapCarry_ += gapNumerator_;
-    const std::uint64_t gap = gapCarry_ / gapDenominator_;
-    gapCarry_ %= gapDenominator_;
-    return gap > 0 ? gap : 1;
-}
-
-MemOp
-WorkloadGenerator::next()
-{
-    const InstrCount gap = nextGap();
-    now_ += gap;
-    return MemOp{pattern_->next(rng_, now_), gap};
-}
 
 void
 WorkloadGenerator::skip(InstrCount instructions)

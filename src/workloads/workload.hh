@@ -76,7 +76,13 @@ class WorkloadGenerator
                       std::uint64_t seed);
 
     /** The next memory operation. */
-    MemOp next();
+    MemOp
+    next()
+    {
+        const InstrCount gap = nextGap();
+        now_ += gap;
+        return MemOp{pattern_->next(rng_, now_), gap};
+    }
 
     /** Fast-forward roughly @p instructions instructions of execution. */
     void skip(InstrCount instructions);
@@ -87,7 +93,16 @@ class WorkloadGenerator
     const std::vector<vm::Region> &regions() const { return regions_; }
 
   private:
-    InstrCount nextGap();
+    /** gap = ceil-or-floor of 1000/opsPerKilo with an error accumulator,
+     *  so the average is exact and the stream is deterministic. */
+    InstrCount
+    nextGap()
+    {
+        gapCarry_ += gapNumerator_;
+        const std::uint64_t gap = gapCarry_ / gapDenominator_;
+        gapCarry_ %= gapDenominator_;
+        return gap > 0 ? gap : 1;
+    }
 
     PatternPtr pattern_;
     std::vector<vm::Region> regions_;
