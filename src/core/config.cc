@@ -131,6 +131,21 @@ MmuConfig::validate() const
                              "(RMM refill path)");
     }
 
+    if (vmIdentityHost && !vmEnabled) {
+        return Status::error("an identity host table requires nested "
+                             "paging (vmEnabled)");
+    }
+    if (vmEnabled) {
+        if (auto s = validateGeom("host-PWC-PDE", hostPwc.pdeEntries,
+                                  hostPwc.pdeWays);
+            !s.ok())
+            return s;
+        if (hostPwc.pdpteEntries == 0 || hostPwc.pml4Entries == 0)
+            return Status::error("host PWC: entry counts must be non-zero");
+    }
+    if (cohProbePj < 0.0 || cohPerCorePj < 0.0 || cohPerEntryPj < 0.0)
+        return Status::error("coherence energy knobs must be non-negative");
+
     if (walkL1CacheHitRatio < 0.0 || walkL1CacheHitRatio > 1.0) {
         return Status::error("walkL1CacheHitRatio (", walkL1CacheHitRatio,
                              ") out of [0,1]");

@@ -107,6 +107,41 @@ struct MmuConfig
     /** Energy per TLB entry invalidated by the broadcast (CAM write). */
     double shootdownPerEntryPj = 0.4;
 
+    // --- virtualization (guest/host two-dimensional translation) ---
+    /** Run under nested paging: every guest-walk reference triggers a
+     *  host (EPT) walk, charged through the same Table-3 model. */
+    bool vmEnabled = false;
+    /** Identity host table: the nested machinery is engaged but the
+     *  host dimension is free — the differential anchor that must stay
+     *  digest-identical to a flat run. */
+    bool vmIdentityHost = false;
+    /** Host (EPT) leaf page size; huge host pages shorten host walks. */
+    vm::PageSize hostPageSize = vm::PageSize::Size4K;
+    /** Host paging-structure cache geometry (mirrors the guest PWC). */
+    tlb::MmuCacheConfig hostPwc{};
+    /** Walk-latency charge per host-walk memory reference. Lower than
+     *  the guest pageWalkLatency because host walks overlap the guest
+     *  walk's node fetches in real MMUs. */
+    Cycles hostWalkCyclesPerRef = 12;
+
+    // --- hardware translation coherence (HATRIC-style alternative to
+    // --- IPI shootdowns; multicore only, selected per run) ---
+    /** Invalidate via coherence-filter probes instead of IPI
+     *  broadcasts. Architectural invalidations are identical; only the
+     *  cycle/energy book changes. */
+    bool hwCoherence = false;
+    /** Initiator-side cost of one filter probe (directory lookup plus
+     *  version bump; no interrupts, no remote acknowledgement wait). */
+    Cycles cohProbeCycles = 40;
+    /** Additional initiator cycles per sharer core targeted. */
+    Cycles cohPerCoreCycles = 10;
+    /** Energy of the filter probe itself (directory CAM lookup). */
+    double cohProbePj = 1.0;
+    /** Energy per targeted sharer core (point-to-point message). */
+    double cohPerCorePj = 2.0;
+    /** Energy per TLB entry invalidated (same CAM write as IPI mode). */
+    double cohPerEntryPj = 0.4;
+
     // --- energy model knobs ---
     /**
      * Fraction of page-walk memory references that hit in the L1 data

@@ -137,6 +137,24 @@ Mmu::Mmu(const MmuConfig &config, const vm::PageTable &pageTable,
     mPml4_.coeffByLogWays =
         fixedCoeff(cacti_, StructClass::MmuPml4, cfg_.mmuCache.pml4Entries, 0);
 
+    // Nested paging: the host dimension mirrors the guest machinery — a
+    // host table, its own paging-structure cache, and the composed
+    // two-dimensional walker. One lumped meter covers the host PWC
+    // (one probe per host walk; same PDE-class coefficients).
+    if (cfg_.vmEnabled) {
+        vm::HostTableConfig hostCfg;
+        hostCfg.mode = cfg_.vmIdentityHost ? vm::HostMode::Identity
+                                           : vm::HostMode::Paged;
+        hostCfg.pageSize = cfg_.hostPageSize;
+        hostTable_ = std::make_unique<vm::HostTable>(hostCfg);
+        hostPwc_ = std::make_unique<tlb::MmuCache>(cfg_.hostPwc);
+        nestedWalker_ = std::make_unique<vm::NestedWalker>(
+            pageTable, mmuCache_, *hostTable_, *hostPwc_);
+        mHostPwc_.coeffByLogWays = fixedCoeff(
+            cacti_, StructClass::MmuPde, cfg_.hostPwc.pdeEntries,
+            cfg_.hostPwc.pdeWays);
+    }
+
     // Page-walk references: a blend of L1 and L2 data-cache reads
     // controlled by the Figure-3 locality knob.
     const auto l1c = cacti_.estimate(StructClass::L1Cache, 512, 8);
@@ -169,6 +187,7 @@ Mmu::Mmu(const MmuConfig &config, const vm::PageTable &pageTable,
     mPde_.id = obs::ProvStruct::PwcPde;
     mPdpte_.id = obs::ProvStruct::PwcPdpte;
     mPml4_.id = obs::ProvStruct::PwcPml4;
+    mHostPwc_.id = obs::ProvStruct::HostPwc;
 }
 
 void
@@ -215,6 +234,38 @@ Mmu::chargeWalkMemory(unsigned refs, bool rangeWalk, unsigned leafLevel)
                          rangeWalk ? obs::ProvStruct::RangeWalkMem
                                    : obs::ProvStruct::WalkMem,
                          coreId_, asid_, 0, false, level, 0});
+        }
+    }
+}
+
+void
+Mmu::chargeNestedWalk(const vm::NestedWalkResult &walk)
+{
+    stats_.hostWalks += walk.hostWalkCount;
+    stats_.hostWalkMemRefs += walk.hostMemRefs;
+    stats_.walkCycles +=
+        cfg_.hostWalkCyclesPerRef * Cycles(walk.hostMemRefs);
+    for (unsigned w = 0; w < walk.hostWalkCount; ++w) {
+        const auto &host = walk.hostWalks[w];
+        // One lumped host-PWC probe per host walk (reads == hostWalks,
+        // the accounting oracle's anchor) plus one write per entry the
+        // walk installed.
+        chargeRead(mHostPwc_, 0, host.pwcHit);
+        for (unsigned f = 0; f < host.pwcFills; ++f)
+            chargeWrite(mHostPwc_);
+        // One event per host-table reference; repeated addition keeps
+        // the provenance totals bit-identical to the meter.
+        const unsigned leaf =
+            tlb::MmuCache::leafLevel(hostTable_->pageSize());
+        for (unsigned i = 0; i < host.memRefs; ++i) {
+            hostWalkMemMeter_.chargeRead(walkRefEnergy_);
+            if (EAT_PROV_ENABLED && prov_) {
+                const unsigned level = leaf + host.memRefs - 1 - i;
+                prov_->emit({stats_.instructions, 0, walkRefEnergy_,
+                             obs::ProvKind::WalkRef,
+                             obs::ProvStruct::HostWalkMem, coreId_, asid_,
+                             0, false, level, 0});
+            }
         }
     }
 }
@@ -689,7 +740,15 @@ Mmu::access(Addr vaddr)
     stats_.walkCycles += cfg_.pageWalkLatency;
     ++stats_.hitsBySource[static_cast<unsigned>(HitSource::PageWalk)];
 
-    const auto walk = walker_.walk(vaddr);
+    // Under nested paging the walk is two-dimensional; its guest
+    // dimension is charged below exactly like a flat walk, and the
+    // host dimension is charged afterwards (zero in identity mode).
+    vm::NestedWalkResult nested;
+    if (nestedWalker_)
+        nested = nestedWalker_->walk(vaddr, asid_);
+    const auto walk =
+        nestedWalker_ ? tlb::WalkResult{nested.translation, nested.guestCache}
+                      : walker_.walk(vaddr);
 
     // All three paging-structure caches are probed in parallel.
     chargeRead(mPde_, 0, walk.cache.hitPde);
@@ -705,6 +764,8 @@ Mmu::access(Addr vaddr)
     stats_.walkMemRefs += walk.cache.memRefs;
     chargeWalkMemory(walk.cache.memRefs, false,
                      tlb::MmuCache::leafLevel(walk.translation.size));
+    if (nested.hostWalkCount > 0)
+        chargeNestedWalk(nested);
 
     const auto entry = tlb::makePageEntry(
         vaddr, walk.translation.pbase, walk.translation.size, asid_);
@@ -749,6 +810,8 @@ Mmu::switchContext(tlb::Asid asid, const vm::PageTable &pageTable,
     pageTable_ = &pageTable;
     rangeTable_ = rangeTable;
     walker_.setPageTable(pageTable);
+    if (nestedWalker_)
+        nestedWalker_->setPageTable(pageTable);
     if (rangeWalker_) {
         eat_assert(rangeTable != nullptr,
                    "context switch dropped the range table of a "
@@ -756,7 +819,9 @@ Mmu::switchContext(tlb::Asid asid, const vm::PageTable &pageTable,
         rangeWalker_->setRangeTable(*rangeTable);
     }
     // The paging-structure caches are untagged (as on x86 parts):
-    // a CR3 reload flushes them in both modes.
+    // a CR3 reload flushes them in both modes. The host PWC survives —
+    // EPT caches are keyed on guest-physical addresses, which a guest
+    // CR3 reload does not revoke.
     mmuCache_.flush();
     if (flushTlbs) {
         l1Page4K_->invalidateAll();
@@ -795,7 +860,10 @@ Mmu::shootdownInvalidate(Addr vbase, Addr vlimit, tlb::Asid asid,
     // The paging-structure caches hold upper-level PTEs of the remapped
     // region; they are untagged, so the whole cache goes.
     mmuCache_.flush();
-    if (!initiator)
+    // shootdownsReceived counts IPIs taken; under hardware coherence
+    // the same architectural invalidation arrives as a filter message,
+    // counted by receiveCoherenceInvalidation() on targeted cores only.
+    if (!initiator && !cfg_.hwCoherence)
         ++stats_.shootdownsReceived;
     stats_.shootdownInvalidations += n;
     return n;
@@ -816,6 +884,26 @@ Mmu::chargeShootdown(unsigned remoteCores, unsigned entriesInvalidated)
         prov_->emit({stats_.instructions, 0, pj, obs::ProvKind::Shootdown,
                      obs::ProvStruct::Shootdown, coreId_, asid_, 0, false,
                      remoteCores, entriesInvalidated});
+    }
+}
+
+void
+Mmu::chargeCoherenceProbe(unsigned targetCores, unsigned entriesInvalidated,
+                          std::uint64_t version, Addr vbase)
+{
+    ++stats_.cohProbes;
+    stats_.cohTargetedCores += targetCores;
+    stats_.cohCycles +=
+        cfg_.cohProbeCycles + cfg_.cohPerCoreCycles * targetCores;
+    const PicoJoules pj =
+        cfg_.cohProbePj +
+        cfg_.cohPerCorePj * static_cast<double>(targetCores) +
+        cfg_.cohPerEntryPj * static_cast<double>(entriesInvalidated);
+    stats_.cohEnergyPj += pj;
+    if (EAT_PROV_ENABLED && prov_) {
+        prov_->emit({stats_.instructions, vbase, pj, obs::ProvKind::CohProbe,
+                     obs::ProvStruct::Coherence, coreId_, asid_, 0, false,
+                     targetCores, entriesInvalidated, version});
     }
 }
 
@@ -952,6 +1040,11 @@ Mmu::registerMetrics(obs::MetricRegistry &registry,
     registry.addCounter(name("mmu.range_walks"), &stats_.rangeWalks);
     registry.addCounter(name("mmu.range_walk_mem_refs"),
                         &stats_.rangeWalkMemRefs);
+    if (nestedWalker_) {
+        registry.addCounter(name("mmu.host_walks"), &stats_.hostWalks);
+        registry.addCounter(name("mmu.host_walk_mem_refs"),
+                            &stats_.hostWalkMemRefs);
+    }
     registry.addCounter(name("mmu.l1_miss_cycles"), &stats_.l1MissCycles);
     registry.addCounter(name("mmu.walk_cycles"), &stats_.walkCycles);
     registry.addCounter(name("mmu.context_switches"),
@@ -964,6 +1057,12 @@ Mmu::registerMetrics(obs::MetricRegistry &registry,
                         &stats_.shootdownInvalidations);
     registry.addCounter(name("mmu.shootdown_cycles"),
                         &stats_.shootdownCycles);
+    registry.addCounter(name("mmu.coh_probes"), &stats_.cohProbes);
+    registry.addCounter(name("mmu.coh_targeted_cores"),
+                        &stats_.cohTargetedCores);
+    registry.addCounter(name("mmu.coh_invalidations_received"),
+                        &stats_.cohInvalidationsReceived);
+    registry.addCounter(name("mmu.coh_cycles"), &stats_.cohCycles);
 
     static constexpr std::array<std::string_view,
                                 static_cast<unsigned>(HitSource::Count)>
@@ -1025,6 +1124,8 @@ Mmu::registerMetrics(obs::MetricRegistry &registry,
                       [this] { return staticFullPj_; });
     registry.addGauge(name("energy.shootdown_pj"),
                       [this] { return stats_.shootdownEnergyPj; });
+    registry.addGauge(name("energy.coherence_pj"),
+                      [this] { return stats_.cohEnergyPj; });
 
     auto addMeter = [&registry](std::string prefix,
                                 const energy::EnergyMeter *m) {
@@ -1052,6 +1153,10 @@ Mmu::registerMetrics(obs::MetricRegistry &registry,
     addMeter(name("energy.walk_mem"), &walkMemMeter_);
     if (rangeWalker_)
         addMeter(name("energy.range_walk_mem"), &rangeWalkMemMeter_);
+    if (nestedWalker_) {
+        addMeter(name("energy.host_pwc"), &mHostPwc_.meter);
+        addMeter(name("energy.host_walk_mem"), &hostWalkMemMeter_);
+    }
 
     if (lite_)
         lite_->registerMetrics(registry, prefix);
@@ -1098,11 +1203,15 @@ Mmu::setProvenance(obs::ProvenanceSink *sink)
 PicoJoules
 Mmu::dynamicEnergyTotal() const
 {
+    // Summation order == ProvStruct enum order (reconciliation replays
+    // this exact IEEE addition sequence); host meters append last and
+    // read 0.0 in flat and identity-host runs.
     return m4K_.meter.total() + m2M_.meter.total() + m1G_.meter.total() +
            mL2_.meter.total() + mL1Range_.meter.total() +
            mL2Range_.meter.total() + mPde_.meter.total() +
            mPdpte_.meter.total() + mPml4_.meter.total() +
-           walkMemMeter_.total() + rangeWalkMemMeter_.total();
+           walkMemMeter_.total() + rangeWalkMemMeter_.total() +
+           mHostPwc_.meter.total() + hostWalkMemMeter_.total();
 }
 
 void
@@ -1121,6 +1230,7 @@ Mmu::emitIntervalRecord(InstrCount intervalInstructions)
     rec.l1Misses = stats_.l1Misses - lastInterval_.l1Misses;
     rec.l2Hits = stats_.l2Hits - lastInterval_.l2Hits;
     rec.l2Misses = stats_.l2Misses - lastInterval_.l2Misses;
+    rec.hostWalkRefs = stats_.hostWalkMemRefs - lastInterval_.hostWalkRefs;
     const Cycles missCycles = stats_.tlbMissCycles();
     rec.missCycles = missCycles - lastInterval_.missCycles;
     const PicoJoules dynamicPj = dynamicEnergyTotal();
@@ -1164,6 +1274,7 @@ Mmu::emitIntervalRecord(InstrCount intervalInstructions)
     lastInterval_.l1Misses = stats_.l1Misses;
     lastInterval_.l2Hits = stats_.l2Hits;
     lastInterval_.l2Misses = stats_.l2Misses;
+    lastInterval_.hostWalkRefs = stats_.hostWalkMemRefs;
     lastInterval_.missCycles = missCycles;
     lastInterval_.dynamicPj = dynamicPj;
     lastInterval_.checkMismatches = mismatches;
@@ -1221,6 +1332,18 @@ Mmu::energyReport() const
                                   rangeWalkMemMeter_.reads(), 0,
                                   rangeWalkMemMeter_.readEnergy(), 0.0,
                                   obs::ProvStruct::RangeWalkMem});
+    }
+
+    // Host (nested-paging) dimension. Both meters stay at zero reads in
+    // flat and identity-host runs, so addStruct/row emission is skipped
+    // there and the report — hence the digest — is unchanged.
+    addStruct("host-PWC", mHostPwc_, b.mmuCache);
+    b.hostWalkMem = hostWalkMemMeter_.total();
+    if (hostWalkMemMeter_.reads() > 0) {
+        report.structs.push_back({"host-walk memory",
+                                  hostWalkMemMeter_.reads(), 0,
+                                  hostWalkMemMeter_.readEnergy(), 0.0,
+                                  obs::ProvStruct::HostWalkMem});
     }
 
     // Leakage of the currently active configuration and the static

@@ -44,6 +44,8 @@
 #include "tlb/range_tlb.hh"
 #include "tlb/range_walker.hh"
 #include "tlb/set_assoc_tlb.hh"
+#include "vm/host_table.hh"
+#include "vm/nested_walker.hh"
 #include "vm/page_table.hh"
 #include "vm/range_table.hh"
 
@@ -149,6 +151,22 @@ class Mmu
     void chargeShootdown(unsigned remoteCores,
                          unsigned entriesInvalidated);
 
+    /**
+     * Initiator-side hardware-coherence cost (config coh* knobs): one
+     * filter probe that targeted @p targetCores sharer cores, whose
+     * invalidations dropped @p entriesInvalidated entries in total.
+     * @p version is the space's post-remap translation version (tags
+     * the provenance event). The architectural invalidation work is
+     * charged nowhere else — hw mode's book is exactly this.
+     */
+    void chargeCoherenceProbe(unsigned targetCores,
+                              unsigned entriesInvalidated,
+                              std::uint64_t version, Addr vbase);
+
+    /** Targeted-side receipt of one hw-coherence invalidation message
+     *  (the hw-mode analogue of a received shootdown IPI). */
+    void receiveCoherenceInvalidation() { ++stats_.cohInvalidationsReceived; }
+
     /** The ASID tagging this core's fills and lookups. */
     tlb::Asid asid() const { return asid_; }
 
@@ -247,6 +265,8 @@ class Mmu
     tlb::RangeTlb *l1RangeTlb() { return l1Range_.get(); }
     tlb::RangeTlb *l2RangeTlb() { return l2Range_.get(); }
     tlb::MmuCache &mmuCache() { return mmuCache_; }
+    tlb::MmuCache *hostPwc() { return hostPwc_.get(); }
+    const vm::HostTable *hostTable() const { return hostTable_.get(); }
 
     bool l1Tlb2MEnabled() const { return enabled2M_; }
     bool l1RangeEnabled() const { return enabledL1Range_; }
@@ -269,6 +289,11 @@ class Mmu
                      unsigned psShift = 0);
     void chargeWalkMemory(unsigned refs, bool rangeWalk,
                           unsigned leafLevel = 0);
+
+    /** Charge the host dimension of one nested walk: host-PWC probe
+     *  and fills per host walk, plus every host-walk memory reference
+     *  (hostWalkMemMeter_ + HostWalkMem provenance + cycles). */
+    void chargeNestedWalk(const vm::NestedWalkResult &walk);
 
     /** Provenance: record that a fill displaced a live entry. */
     void provEvict(const Metered &m, bool evicted);
@@ -346,6 +371,13 @@ class Mmu
     std::unique_ptr<tlb::RangeTlb> l2Range_;
     tlb::MmuCache mmuCache_;
     tlb::PageWalker walker_;
+
+    // Nested paging (all null / unused in flat runs). In identity-host
+    // mode the walker is engaged but its host dimension contributes
+    // nothing, so those runs stay digest-identical to flat runs.
+    std::unique_ptr<vm::HostTable> hostTable_;
+    std::unique_ptr<tlb::MmuCache> hostPwc_;
+    std::unique_ptr<vm::NestedWalker> nestedWalker_;
     std::unique_ptr<tlb::RangeTableWalker> rangeWalker_;
     std::unique_ptr<lite::LiteController> lite_;
     check::ShadowChecker *checker_ = nullptr;
@@ -362,6 +394,11 @@ class Mmu
     Metered mPde_, mPdpte_, mPml4_;
     energy::EnergyMeter walkMemMeter_;
     energy::EnergyMeter rangeWalkMemMeter_;
+    /** Host dimension: one lumped host-PWC meter (reads == host walks)
+     *  and the host-walk memory-reference meter. Both stay untouched
+     *  in flat and identity-host runs. */
+    Metered mHostPwc_;
+    energy::EnergyMeter hostWalkMemMeter_;
     PicoJoules walkRefEnergy_ = 0.0; ///< blended L1/L2 cache read energy
 
     MmuStats stats_;
@@ -382,6 +419,7 @@ class Mmu
         std::uint64_t l1Misses = 0;
         std::uint64_t l2Hits = 0;
         std::uint64_t l2Misses = 0;
+        std::uint64_t hostWalkRefs = 0;
         Cycles missCycles = 0;
         PicoJoules dynamicPj = 0.0;
         std::uint64_t checkMismatches = 0;

@@ -61,6 +61,11 @@ struct MmuStats
     std::uint64_t rangeWalks = 0;       ///< background range-table walks
     std::uint64_t rangeWalkMemRefs = 0;
 
+    // Nested paging (zero in flat runs AND identity-host runs, so the
+    // result digest stays comparable across the differential pair).
+    std::uint64_t hostWalks = 0;        ///< host (EPT) walks issued
+    std::uint64_t hostWalkMemRefs = 0;  ///< host-table memory references
+
     Cycles l1MissCycles = 0; ///< l1Misses * L2 hit latency
     Cycles walkCycles = 0;   ///< l2Misses * page-walk latency
 
@@ -72,6 +77,14 @@ struct MmuStats
     std::uint64_t shootdownInvalidations = 0; ///< TLB entries dropped
     Cycles shootdownCycles = 0;   ///< initiator-side IPI + wait cost
     double shootdownEnergyPj = 0.0; ///< initiator-side broadcast energy
+
+    // Hardware-coherence book (hw mode only; the IPI book above stays
+    // zero there, so each mode's cost is independently conserved).
+    std::uint64_t cohProbes = 0;          ///< filter probes initiated
+    std::uint64_t cohTargetedCores = 0;   ///< sharer cores messaged
+    std::uint64_t cohInvalidationsReceived = 0; ///< targeted-side receipts
+    Cycles cohCycles = 0;       ///< initiator-side probe + message cost
+    double cohEnergyPj = 0.0;   ///< probe + message + CAM-write energy
 
     std::array<std::uint64_t, static_cast<unsigned>(HitSource::Count)>
         hitsBySource{};

@@ -75,14 +75,16 @@ struct EnergyBreakdown
 {
     PicoJoules l1Tlb = 0.0;      ///< all L1 page/range TLBs
     PicoJoules l2Tlb = 0.0;      ///< all L2 page/range TLBs
-    PicoJoules mmuCache = 0.0;   ///< paging-structure caches
+    PicoJoules mmuCache = 0.0;   ///< paging-structure caches (incl. host PWC)
     PicoJoules pageWalkMem = 0.0;///< page-walk memory references
     PicoJoules rangeWalkMem = 0.0;///< range-table-walk memory references
+    PicoJoules hostWalkMem = 0.0;///< host-walk references (nested paging)
 
     PicoJoules
     total() const
     {
-        return l1Tlb + l2Tlb + mmuCache + pageWalkMem + rangeWalkMem;
+        return l1Tlb + l2Tlb + mmuCache + pageWalkMem + rangeWalkMem +
+               hostWalkMem;
     }
 };
 

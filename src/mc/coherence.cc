@@ -1,0 +1,61 @@
+#include "mc/coherence.hh"
+
+#include "base/logging.hh"
+
+namespace eat::mc
+{
+
+CoherenceFilter::CoherenceFilter(unsigned cores) : cores_(cores)
+{
+    eat_assert(cores >= 1, "coherence filter needs at least one core");
+}
+
+void
+CoherenceFilter::grow(tlb::Asid asid)
+{
+    if (asid >= sharers_.size()) {
+        sharers_.resize(asid + 1, 0);
+        versions_.resize(asid + 1, 0);
+    }
+}
+
+void
+CoherenceFilter::noteScheduled(tlb::Asid asid, unsigned core)
+{
+    eat_assert(core < cores_, "core id out of range");
+    grow(asid);
+    sharers_[asid] |= (1u << core);
+}
+
+CohProbe
+CoherenceFilter::probe(tlb::Asid asid)
+{
+    grow(asid);
+    CohProbe result;
+    result.sharers = sharers_[asid];
+    result.version = ++versions_[asid];
+    return result;
+}
+
+std::uint64_t
+CoherenceFilter::versionOf(tlb::Asid asid) const
+{
+    return asid < versions_.size() ? versions_[asid] : 0;
+}
+
+std::uint32_t
+CoherenceFilter::sharersOf(tlb::Asid asid) const
+{
+    return asid < sharers_.size() ? sharers_[asid] : 0;
+}
+
+unsigned
+sharerCount(std::uint32_t mask)
+{
+    unsigned count = 0;
+    for (; mask != 0; mask &= mask - 1)
+        ++count;
+    return count;
+}
+
+} // namespace eat::mc

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Hardware translation coherence (HATRIC-style, after Yan et al.).
+ *
+ * The PR 5 shootdown model broadcasts an IPI to every core on each
+ * remap, charging initiator cycles plus per-core energy whether or not
+ * a core ever cached a translation of the remapped space. HATRIC's
+ * observation is that translations can be tagged with their owning
+ * address space and a version, so a directory-style coherence filter
+ * can deliver invalidations only to the cores that actually share the
+ * space — turning an O(cores) broadcast into an O(sharers) probe.
+ *
+ * This module is the cost model's directory: it tracks, per address
+ * space, which cores have scheduled the space (and may therefore hold
+ * tagged translations) and a monotonically increasing version bumped
+ * by every remap. The *architectural* invalidation work is identical
+ * to IPI mode — every core still drops the remapped range — so the two
+ * coherence modes produce bit-identical translation outcomes and
+ * differ only in their cycle/energy books. The differential tests in
+ * tests/test_translation_coherence.cc pin exactly that property.
+ */
+
+#ifndef EAT_MC_COHERENCE_HH
+#define EAT_MC_COHERENCE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "base/types.hh"
+#include "tlb/tlb_entry.hh"
+
+namespace eat::mc
+{
+
+/** What one coherence-filter probe resolved. */
+struct CohProbe
+{
+    std::uint32_t sharers = 0;   ///< core bitmask that may cache the space
+    std::uint64_t version = 0;   ///< space version after this invalidation
+};
+
+/** Directory of translation sharers, one per simulated machine. */
+class CoherenceFilter
+{
+  public:
+    explicit CoherenceFilter(unsigned cores);
+
+    /**
+     * Note that @p core is about to run address space @p asid and may
+     * cache its translations from now on. Called at every scheduling
+     * decision; idempotent.
+     */
+    void noteScheduled(tlb::Asid asid, unsigned core);
+
+    /**
+     * Resolve the sharer set for a remap of @p asid and bump the
+     * space's version (the new version is what re-tagged translations
+     * carry). The sharer set is *not* cleared: cores keep their tagged
+     * entries until they are invalidated lazily, so the filter stays
+     * conservative, exactly like a real directory with silent evictions.
+     */
+    CohProbe probe(tlb::Asid asid);
+
+    /** Current version of @p asid's translations (0 until remapped). */
+    std::uint64_t versionOf(tlb::Asid asid) const;
+
+    /** Cores currently registered as sharers of @p asid. */
+    std::uint32_t sharersOf(tlb::Asid asid) const;
+
+    unsigned cores() const { return cores_; }
+
+  private:
+    void grow(tlb::Asid asid);
+
+    unsigned cores_;
+    std::vector<std::uint32_t> sharers_;  ///< indexed by asid
+    std::vector<std::uint64_t> versions_; ///< indexed by asid
+};
+
+/** Number of set bits in a sharer mask. */
+unsigned sharerCount(std::uint32_t mask);
+
+} // namespace eat::mc
+
+#endif // EAT_MC_COHERENCE_HH

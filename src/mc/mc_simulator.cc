@@ -6,6 +6,7 @@
 
 #include "base/logging.hh"
 #include "core/mmu.hh"
+#include "mc/coherence.hh"
 #include "mc/mix.hh"
 #include "obs/metrics.hh"
 #include "obs/telemetry.hh"
@@ -90,6 +91,23 @@ churnTask(Task &task)
 
 } // namespace
 
+Result<McConfig::CoherenceMode>
+coherenceModeFromName(std::string_view name)
+{
+    if (name == "ipi")
+        return McConfig::CoherenceMode::Ipi;
+    if (name == "hw")
+        return McConfig::CoherenceMode::Hw;
+    return Status::error("unknown coherence mode '", name,
+                         "' (expected ipi or hw)");
+}
+
+std::string_view
+coherenceModeName(McConfig::CoherenceMode mode)
+{
+    return mode == McConfig::CoherenceMode::Hw ? "hw" : "ipi";
+}
+
 McResult
 mcSimulate(const McConfig &config)
 {
@@ -158,11 +176,16 @@ mcSimulate(const McConfig &config)
 
     // --- cores. Every core starts pointed at task 0's tables; the
     // first quantum's switchContext retargets it (free for core 0).
+    // Hw coherence swaps the cost book the MMUs keep for remap
+    // invalidations; the invalidations themselves are identical.
+    const bool hwCoherence =
+        config.coherence == McConfig::CoherenceMode::Hw;
+    core::MmuConfig mmuCfg = config.base.mmu;
+    mmuCfg.hwCoherence = hwCoherence;
     std::vector<std::unique_ptr<core::Mmu>> mmus;
     for (unsigned c = 0; c < cores; ++c) {
         auto mmu = std::make_unique<core::Mmu>(
-            config.base.mmu, tasks[0].mm->pageTable(),
-            tasks[0].rangeTable);
+            mmuCfg, tasks[0].mm->pageTable(), tasks[0].rangeTable);
         mmu->setCoreId(c);
         mmus.push_back(std::move(mmu));
     }
@@ -274,19 +297,41 @@ mcSimulate(const McConfig &config)
 
     // --- shootdown broadcast. Every page-table rewrite invalidates the
     // affected span on every core (the initiator's invalidation is part
-    // of the remap); the initiating core pays the broadcast cost, and
-    // every checker re-snapshots the rewritten space.
+    // of the remap), and every checker re-snapshots the rewritten
+    // space. Who pays depends on the coherence mode: under IPI the
+    // initiator is charged a full broadcast; under hw coherence it pays
+    // one filter probe plus a per-sharer message, and only the sharer
+    // cores the filter names take an invalidation receipt.
+    CoherenceFilter filter(cores);
     unsigned activeCore = 0;
     std::uint64_t shootdownEvents = 0;
     std::uint64_t shootdownInvalidations = 0;
+    std::uint64_t coherenceProbes = 0;
+    std::uint64_t coherenceTargetedCores = 0;
     auto broadcast = [&](tlb::Asid asid, const vm::RemapEvent &event) {
         unsigned invalidated = 0;
         for (unsigned c = 0; c < cores; ++c) {
             invalidated += mmus[c]->shootdownInvalidate(
                 event.vbase, event.vlimit, asid, c == activeCore);
         }
-        if (cores > 1)
-            mmus[activeCore]->chargeShootdown(cores - 1, invalidated);
+        if (cores > 1) {
+            if (hwCoherence) {
+                const auto probe = filter.probe(asid);
+                const std::uint32_t remote =
+                    probe.sharers & ~(1u << activeCore);
+                const unsigned targets = sharerCount(remote);
+                mmus[activeCore]->chargeCoherenceProbe(
+                    targets, invalidated, probe.version, event.vbase);
+                for (unsigned c = 0; c < cores; ++c) {
+                    if (remote & (1u << c))
+                        mmus[c]->receiveCoherenceInvalidation();
+                }
+                ++coherenceProbes;
+                coherenceTargetedCores += targets;
+            } else {
+                mmus[activeCore]->chargeShootdown(cores - 1, invalidated);
+            }
+        }
         for (unsigned c = 0; c < cores; ++c) {
             if (checkers[c])
                 checkers[c]->rebuildContext(asid);
@@ -342,6 +387,7 @@ mcSimulate(const McConfig &config)
             anyActive = true;
             Task &task = tasks[(round + c) % numTasks];
             activeCore = c;
+            filter.noteScheduled(task.asid, c);
             mmus[c]->switchContext(task.asid, task.mm->pageTable(),
                                    task.rangeTable, config.ctxFlush);
             if (config.remapInterval > 0 &&
@@ -402,8 +448,11 @@ mcSimulate(const McConfig &config)
     result.sharedAddressSpace = config.sharedAddressSpace;
     result.ctxFlush = config.ctxFlush;
     result.quantumInstructions = config.quantumInstructions;
+    result.coherence = config.coherence;
     result.shootdownEvents = shootdownEvents;
     result.shootdownInvalidations = shootdownInvalidations;
+    result.coherenceProbes = coherenceProbes;
+    result.coherenceTargetedCores = coherenceTargetedCores;
 
     // OS facts summed over the distinct address spaces (one space:
     // exactly the single-core numbers).
@@ -530,8 +579,10 @@ PicoJoules
 McResult::totalEnergyPj() const
 {
     PicoJoules total = 0.0;
-    for (const auto &r : perCore)
-        total += r.totalEnergy() + r.stats.shootdownEnergyPj;
+    for (const auto &r : perCore) {
+        total += r.totalEnergy() + r.stats.shootdownEnergyPj +
+                 r.stats.cohEnergyPj;
+    }
     return total;
 }
 
@@ -561,8 +612,10 @@ McResult::missCyclesPerKiloInstr() const
 {
     const InstrCount instr = totalInstructions();
     Cycles cycles = 0;
-    for (const auto &r : perCore)
-        cycles += r.stats.tlbMissCycles() + r.stats.shootdownCycles;
+    for (const auto &r : perCore) {
+        cycles += r.stats.tlbMissCycles() + r.stats.shootdownCycles +
+                  r.stats.cohCycles;
+    }
     return instr == 0 ? 0.0
                       : static_cast<double>(cycles) * 1000.0 /
                             static_cast<double>(instr);
@@ -579,18 +632,21 @@ mcPerCoreTable(const McResult &result)
 {
     stats::TextTable table({"core", "instructions", "pJ/KI", "L1 MPKI",
                             "miss-cyc/KI", "ctx-switch", "sd-init",
-                            "sd-recv", "sd-inval"});
+                            "sd-recv", "sd-inval", "coh-probe",
+                            "coh-recv"});
     for (unsigned c = 0; c < result.perCore.size(); ++c) {
         const auto &r = result.perCore[c];
         const auto &s = r.stats;
         const double instr = static_cast<double>(s.instructions);
         const double epki =
-            instr > 0.0
-                ? (r.totalEnergy() + s.shootdownEnergyPj) * 1000.0 / instr
-                : 0.0;
+            instr > 0.0 ? (r.totalEnergy() + s.shootdownEnergyPj +
+                           s.cohEnergyPj) *
+                              1000.0 / instr
+                        : 0.0;
         const double missCyc =
             instr > 0.0 ? static_cast<double>(s.tlbMissCycles() +
-                                              s.shootdownCycles) *
+                                              s.shootdownCycles +
+                                              s.cohCycles) *
                               1000.0 / instr
                         : 0.0;
         table.addRow({"core" + std::to_string(c),
@@ -601,17 +657,23 @@ mcPerCoreTable(const McResult &result)
                       std::to_string(s.contextSwitches),
                       std::to_string(s.shootdownsInitiated),
                       std::to_string(s.shootdownsReceived),
-                      std::to_string(s.shootdownInvalidations)});
+                      std::to_string(s.shootdownInvalidations),
+                      std::to_string(s.cohProbes),
+                      std::to_string(s.cohInvalidationsReceived)});
     }
     std::uint64_t ctx = 0;
     std::uint64_t sdInit = 0;
     std::uint64_t sdRecv = 0;
     std::uint64_t sdInval = 0;
+    std::uint64_t cohProbe = 0;
+    std::uint64_t cohRecv = 0;
     for (const auto &r : result.perCore) {
         ctx += r.stats.contextSwitches;
         sdInit += r.stats.shootdownsInitiated;
         sdRecv += r.stats.shootdownsReceived;
         sdInval += r.stats.shootdownInvalidations;
+        cohProbe += r.stats.cohProbes;
+        cohRecv += r.stats.cohInvalidationsReceived;
     }
     table.addRow({"all", std::to_string(result.totalInstructions()),
                   stats::TextTable::num(result.energyPerKiloInstr(), 1),
@@ -619,7 +681,8 @@ mcPerCoreTable(const McResult &result)
                   stats::TextTable::num(result.missCyclesPerKiloInstr(),
                                         2),
                   std::to_string(ctx), std::to_string(sdInit),
-                  std::to_string(sdRecv), std::to_string(sdInval)});
+                  std::to_string(sdRecv), std::to_string(sdInval),
+                  std::to_string(cohProbe), std::to_string(cohRecv)});
     return table;
 }
 

@@ -93,7 +93,19 @@ struct McConfig
     /** Core whose operation stream drives base.faultSpec (the fault
      *  campaign targets exactly one core's TLBs). */
     unsigned faultCore = 0;
+
+    /** How remap invalidations reach remote cores. The architectural
+     *  invalidations are identical in both modes — only the cost book
+     *  differs (see mc/coherence.hh). */
+    enum class CoherenceMode { Ipi, Hw };
+    CoherenceMode coherence = CoherenceMode::Ipi;
 };
+
+/** Parse "ipi" / "hw" (the `--coherence=` argument). */
+Result<McConfig::CoherenceMode> coherenceModeFromName(std::string_view name);
+
+/** Canonical printable name. */
+std::string_view coherenceModeName(McConfig::CoherenceMode mode);
 
 /** Per-address-space facts of one task. */
 struct TaskResult
@@ -128,11 +140,19 @@ struct McResult
     /** One entry per task (>= cores entries). */
     std::vector<TaskResult> tasks;
 
+    /** The coherence mode the run used. */
+    McConfig::CoherenceMode coherence = McConfig::CoherenceMode::Ipi;
+
     /** Remap broadcasts performed (all cores invalidate per event). */
     std::uint64_t shootdownEvents = 0;
 
     /** TLB entries dropped by those broadcasts, summed over cores. */
     std::uint64_t shootdownInvalidations = 0;
+
+    /** Hw mode: filter probes issued (== shootdownEvents there) and
+     *  sharer cores targeted, summed over probes. Zero in IPI mode. */
+    std::uint64_t coherenceProbes = 0;
+    std::uint64_t coherenceTargetedCores = 0;
 
     /** Exact provenance totals/histograms over the whole run (the sink
      *  is shared by all cores; the summary's cores array is indexed by

@@ -19,7 +19,7 @@ namespace eat::obs
 /**
  * Every energy-bearing structure of the translation datapath.
  *
- * The first eleven ids are listed in the exact order
+ * The first thirteen ids are listed in the exact order
  * core::Mmu::dynamicEnergyTotal() sums its meters; reconciliation
  * reproduces that sum by adding per-structure totals in this enum
  * order, which keeps the IEEE-double result bit-identical.
@@ -37,7 +37,10 @@ enum class ProvStruct : std::uint8_t
     PwcPml4,
     WalkMem,      ///< page-walk memory references
     RangeWalkMem, ///< range-table-walk memory references
+    HostPwc,      ///< host (EPT) paging-structure cache, lumped probe
+    HostWalkMem,  ///< host-walk memory references (nested paging)
     Shootdown,    ///< IPI broadcast cost (outside dynamicEnergyTotal)
+    Coherence,    ///< hw-coherence filter probe (outside the sum too)
     None,         ///< control events with no structure
     Count
 };
@@ -63,6 +66,7 @@ enum class ProvKind : std::uint8_t
     Interval,    ///< telemetry interval boundary marker
     Shootdown,   ///< initiator-side shootdown broadcast charge
     Translation, ///< one translation's closing record
+    CohProbe,    ///< initiator-side hw-coherence filter probe charge
     Count
 };
 

@@ -17,7 +17,8 @@ constexpr std::string_view kStructNames[] = {
     "l1_tlb_4k", "l1_tlb_2m",     "l1_tlb_1g", "l2_tlb",
     "l1_range",  "l2_range",      "pwc_pde",   "pwc_pdpte",
     "pwc_pml4",  "walk_mem",      "range_walk_mem",
-    "shootdown", "none",
+    "host_pwc",  "host_walk_mem",
+    "shootdown", "coherence",     "none",
 };
 static_assert(std::size(kStructNames) ==
               static_cast<std::size_t>(ProvStruct::Count));
@@ -25,6 +26,7 @@ static_assert(std::size(kStructNames) ==
 constexpr std::string_view kKindNames[] = {
     "probe",    "fill",      "evict",    "walk_ref",
     "resize",   "interval",  "shootdown", "translation",
+    "coh_probe",
 };
 static_assert(std::size(kKindNames) ==
               static_cast<std::size_t>(ProvKind::Count));
@@ -33,7 +35,7 @@ bool
 isControl(ProvKind k)
 {
     return k == ProvKind::Resize || k == ProvKind::Interval ||
-           k == ProvKind::Shootdown;
+           k == ProvKind::Shootdown || k == ProvKind::CohProbe;
 }
 
 } // namespace
@@ -165,6 +167,11 @@ ProvenanceSink::accumulate(const ProvEvent &e)
         ct.shootdownPj += e.pj;
         summary_.shootdownFanout.record(provLog2Bucket(double(e.aux1)));
         break;
+      case ProvKind::CohProbe:
+        ++ct.cohProbes;
+        ct.cohPj += e.pj;
+        summary_.shootdownFanout.record(provLog2Bucket(double(e.aux1)));
+        break;
       default:
         break;
     }
@@ -226,6 +233,14 @@ ProvenanceSink::writeEvent(const ProvEvent &e)
         o.put("addr", e.addr);
         o.put("remote", e.aux0);
         o.put("entries", e.aux1);
+        o.putExact("pj", e.pj);
+        break;
+      case ProvKind::CohProbe:
+        o.put("asid", unsigned(e.asid));
+        o.put("addr", e.addr);
+        o.put("targets", e.aux0);
+        o.put("entries", e.aux1);
+        o.put("version", e.aux2);
         o.putExact("pj", e.pj);
         break;
       default:
@@ -341,6 +356,8 @@ provSummaryToJson(const ProvSummary &s)
         co.putRaw("structs", structs);
         co.put("shootdowns", ct.shootdowns);
         co.putExact("shootdown_pj", ct.shootdownPj);
+        co.put("coh_probes", ct.cohProbes);
+        co.putExact("coh_pj", ct.cohPj);
         co.putExact("dynamic_pj", ct.canonicalDynamicPj());
         cores += co.str();
     }

@@ -70,8 +70,9 @@ inline constexpr int kProvSummaryVersion = 1;
 /** One traced micro-event. Field meaning varies slightly by kind:
  *  aux0 = active-way mask (Probe/Fill), walk level (WalkRef),
  *         previous active ways (Resize), remote cores (Shootdown),
- *         interval index (Interval);
- *  aux1 = new active ways (Resize), entries invalidated (Shootdown). */
+ *         targeted sharer cores (CohProbe), interval index (Interval);
+ *  aux1 = new active ways (Resize), entries invalidated
+ *         (Shootdown/CohProbe). */
 struct ProvEvent
 {
     std::uint64_t instr = 0; ///< simulated instructions retired
@@ -85,6 +86,7 @@ struct ProvEvent
     bool hit = false;         ///< Probe outcome
     std::uint32_t aux0 = 0;
     std::uint32_t aux1 = 0;
+    std::uint64_t aux2 = 0;   ///< translation version (CohProbe)
 };
 
 /** Exact per-structure accumulators, summed in event-arrival order. */
@@ -103,6 +105,8 @@ struct ProvCoreTotals
     std::array<ProvStructTotals, kProvMeteredStructs> structs{};
     std::uint64_t shootdowns = 0;
     PicoJoules shootdownPj = 0.0;
+    std::uint64_t cohProbes = 0;  ///< hw-coherence filter probes
+    PicoJoules cohPj = 0.0;       ///< hw-coherence energy (own book)
 
     /**
      * Dynamic energy re-derived from events, added in the exact order

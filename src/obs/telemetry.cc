@@ -32,6 +32,7 @@ TelemetrySink::emit(const IntervalRecord &r)
     o.put("l1_misses", r.l1Misses);
     o.put("l2_hits", r.l2Hits);
     o.put("l2_misses", r.l2Misses);
+    o.put("host_walk_refs", r.hostWalkRefs);
     o.put("miss_cycles", r.missCycles);
     // Exact: the provenance reconciliation oracle re-derives this value
     // from traced events and demands bit-identity after a round-trip.

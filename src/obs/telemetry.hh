@@ -19,6 +19,10 @@
  * v2 adds the "core" field (which core emitted the record). Readers of
  * v1 streams should treat a missing "core" as core 0 — v1 was emitted
  * by single-core simulations only.
+ *
+ * v3 adds "host_walk_refs", the interval's host (EPT) walk memory
+ * references under nested paging. Always present; 0 in flat and
+ * identity-host runs, so pre-vm readers can simply ignore it.
  */
 
 #ifndef EAT_OBS_TELEMETRY_HH
@@ -40,7 +44,7 @@ namespace eat::obs
 
 /** Schema identifier stamped into every telemetry record. */
 inline constexpr std::string_view kTelemetrySchema = "eat.telemetry";
-inline constexpr int kTelemetryVersion = 2;
+inline constexpr int kTelemetryVersion = 3;
 
 /** One closed interval's worth of simulation telemetry. */
 struct IntervalRecord
@@ -56,6 +60,7 @@ struct IntervalRecord
     std::uint64_t l1Misses = 0;
     std::uint64_t l2Hits = 0;
     std::uint64_t l2Misses = 0; ///< page walks
+    std::uint64_t hostWalkRefs = 0; ///< host-walk references (nested paging)
     Cycles missCycles = 0;      ///< L1-miss + walk cycles
     PicoJoules dynamicPj = 0.0;
 

@@ -133,6 +133,22 @@ generateScenario(std::uint64_t campaignSeed, std::uint64_t index)
             s.remapInterval = rng.range(20'000, 100'000);
         if (s.cores > 1 && !s.faultSpec.empty())
             s.faultCore = static_cast<unsigned>(rng.below(s.cores));
+        // Multicore remap scenarios split between IPI broadcast and
+        // hardware translation coherence, so both cost books — and the
+        // coherence-equivalence oracle — see fuzz traffic.
+        if (s.cores > 1 && rng.chance(0.5))
+            s.coherence = rng.chance(0.5) ? "hw" : "ipi";
+    }
+
+    // A fifth of scenarios run under nested paging: identity hosts
+    // prove the zero-cost path stays digest-identical to bare metal,
+    // paged hosts drive the full two-dimensional walk arithmetic.
+    if (rng.chance(0.2)) {
+        s.vmMode = rng.chance(0.35) ? "identity" : "paged";
+        if (s.vmMode == "paged") {
+            constexpr const char *kHostPages[] = {"4k", "2m", "1g"};
+            s.hostPages = kHostPages[rng.below(3)];
+        }
     }
 
     const auto cfg = s.toSimConfig();

@@ -110,6 +110,55 @@ checkEnergyConservation(const sim::SimResult &r, OracleVerdict &verdict)
 }
 
 /**
+ * The two-dimensional walk identities. Under a paged host every guest
+ * page-walk reference plus the final guest-physical data address takes
+ * its own host walk, so hostWalks == walkMemRefs + l2Misses exactly;
+ * the host-PWC is probed once per host walk and the host-walk memory
+ * meter charges one read per host reference. Flat and identity-host
+ * runs must keep the whole host dimension at zero — that is what makes
+ * their digests comparable to bare-metal runs.
+ */
+void
+checkNestedWalkAccounting(const sim::SimResult &r, bool pagedHost,
+                          OracleVerdict &verdict)
+{
+    Oracle oracle(verdict, "nested-walk-accounting");
+
+    const auto &s = r.stats;
+    const auto *pwcRow = findRow(r.energy.structs, "host-PWC");
+    const auto *hostRow = findRow(r.energy.structs, "host-walk memory");
+    if (pagedHost) {
+        oracle.expect(s.hostWalks == s.walkMemRefs + s.l2Misses,
+                      s.hostWalks, " host walks but ", s.walkMemRefs,
+                      " guest walk references + ", s.l2Misses,
+                      " nested walks demand one each");
+        const auto pwcReads = pwcRow ? pwcRow->reads : 0;
+        oracle.expect(pwcReads == s.hostWalks,
+                      "host-PWC row charged ", pwcReads,
+                      " probes but the walker made ", s.hostWalks,
+                      " host walks");
+        const auto hostReads = hostRow ? hostRow->reads : 0;
+        oracle.expect(hostReads == s.hostWalkMemRefs,
+                      "host-walk memory row charged ", hostReads,
+                      " reads but the walker made ", s.hostWalkMemRefs,
+                      " references");
+        if (s.l2Misses > 0) {
+            oracle.expect(s.hostWalkMemRefs > 0,
+                          "paged host made ", s.hostWalks,
+                          " host walks but no memory references");
+        }
+    } else {
+        oracle.expect(s.hostWalks == 0 && s.hostWalkMemRefs == 0,
+                      "host dimension active (", s.hostWalks, " walks, ",
+                      s.hostWalkMemRefs,
+                      " refs) without a paged host table");
+        oracle.expect(!hostRow || hostRow->reads == 0,
+                      "host-walk memory row present without a paged "
+                      "host table");
+    }
+}
+
+/**
  * The load-bearing provenance property: summing the traced events'
  * energy — per (core, structure), in the sink's exact accumulators —
  * equals the meters' aggregate rows *bit for bit*. No tolerance: the
@@ -221,7 +270,8 @@ resultDigest(const sim::SimResult &r)
     const auto &s = r.stats;
     os << "i" << s.instructions << " m" << s.memOps << " h" << s.l1Hits
        << '/' << s.l1Misses << " l2" << s.l2Hits << '/' << s.l2Misses
-       << " w" << s.walkMemRefs << " rw" << s.rangeWalks << '/'
+       << " w" << s.walkMemRefs << " hw" << s.hostWalks << '/'
+       << s.hostWalkMemRefs << " rw" << s.rangeWalks << '/'
        << s.rangeWalkMemRefs << " c" << s.l1MissCycles << '/'
        << s.walkCycles << " wl" << s.l1WayLookups4K.toString() << '/'
        << s.l1WayLookups2M.toString();
@@ -232,7 +282,8 @@ resultDigest(const sim::SimResult &r)
     os << " e" << r.energy.breakdown.l1Tlb << '/'
        << r.energy.breakdown.l2Tlb << '/' << r.energy.breakdown.mmuCache
        << '/' << r.energy.breakdown.pageWalkMem << '/'
-       << r.energy.breakdown.rangeWalkMem;
+       << r.energy.breakdown.rangeWalkMem << '/'
+       << r.energy.breakdown.hostWalkMem;
     os << " st" << r.energy.leakagePower << '/'
        << r.energy.staticEnergyGated << '/' << r.energy.staticEnergyFull;
     for (const auto &row : r.energy.structs) {
@@ -258,8 +309,18 @@ resultDigest(const sim::SimResult &r)
     return os.str();
 }
 
+namespace
+{
+
+/**
+ * Shared digest body. The cost books — IPI shootdown charges and hw
+ * coherence charges, plus the initiator/receipt counters that identify
+ * which book a run kept — enter only when @p includeCostBooks is set:
+ * mcResultDigest() includes them (full bit-identity), mcOutcomeDigest()
+ * excludes them (IPI-vs-hw architectural equivalence).
+ */
 std::string
-mcResultDigest(const mc::McResult &r)
+mcDigest(const mc::McResult &r, bool includeCostBooks)
 {
     std::ostringstream os;
     os.precision(17);
@@ -269,12 +330,22 @@ mcResultDigest(const mc::McResult &r)
        << (r.ctxFlush ? " ctxflush" : "") << " q"
        << r.quantumInstructions << " sd" << r.shootdownEvents << '/'
        << r.shootdownInvalidations;
+    if (includeCostBooks) {
+        os << " coh{" << mc::coherenceModeName(r.coherence) << '}'
+           << r.coherenceProbes << '/' << r.coherenceTargetedCores;
+    }
     for (std::size_t c = 0; c < r.perCore.size(); ++c) {
         const auto &s = r.perCore[c].stats;
         os << "\ncore" << c << ' ' << resultDigest(r.perCore[c]) << " mc"
-           << s.contextSwitches << '/' << s.shootdownsInitiated << '/'
-           << s.shootdownsReceived << '/' << s.shootdownInvalidations
-           << '/' << s.shootdownCycles << '/' << s.shootdownEnergyPj;
+           << s.contextSwitches << '/' << s.shootdownInvalidations;
+        if (includeCostBooks) {
+            os << " ipi" << s.shootdownsInitiated << '/'
+               << s.shootdownsReceived << '/' << s.shootdownCycles << '/'
+               << s.shootdownEnergyPj << " hwc" << s.cohProbes << '/'
+               << s.cohTargetedCores << '/'
+               << s.cohInvalidationsReceived << '/' << s.cohCycles << '/'
+               << s.cohEnergyPj;
+        }
     }
     for (std::size_t t = 0; t < r.tasks.size(); ++t) {
         const auto &task = r.tasks[t];
@@ -284,6 +355,20 @@ mcResultDigest(const mc::McResult &r)
            << task.numRanges << '/' << task.rangeCoverage;
     }
     return os.str();
+}
+
+} // namespace
+
+std::string
+mcResultDigest(const mc::McResult &r)
+{
+    return mcDigest(r, true);
+}
+
+std::string
+mcOutcomeDigest(const mc::McResult &r)
+{
+    return mcDigest(r, false);
 }
 
 namespace
@@ -396,28 +481,98 @@ runMcOracles(const Scenario &scenario, Mutation mutation)
 
     {
         Oracle oracle(verdict, "shootdown-accounting");
+        const bool hw =
+            result.coherence == mc::McConfig::CoherenceMode::Hw;
         std::uint64_t initiated = 0;
         std::uint64_t received = 0;
         std::uint64_t invalidations = 0;
+        std::uint64_t probes = 0;
+        std::uint64_t targeted = 0;
+        std::uint64_t cohReceived = 0;
         for (const auto &r : result.perCore) {
             initiated += r.stats.shootdownsInitiated;
             received += r.stats.shootdownsReceived;
             invalidations += r.stats.shootdownInvalidations;
+            probes += r.stats.cohProbes;
+            targeted += r.stats.cohTargetedCores;
+            cohReceived += r.stats.cohInvalidationsReceived;
         }
         const std::uint64_t cores = result.perCore.size();
-        oracle.expect(received == result.shootdownEvents * (cores - 1),
-                      "every broadcast interrupts every remote core: ",
-                      result.shootdownEvents, " events on ", cores,
-                      " cores but ", received, " receipts");
-        if (cores > 1) {
-            oracle.expect(initiated == result.shootdownEvents,
-                          initiated, " initiations for ",
-                          result.shootdownEvents, " broadcasts");
-        }
         oracle.expect(invalidations == result.shootdownInvalidations,
                       "per-core invalidations sum to ", invalidations,
                       " but the run counted ",
                       result.shootdownInvalidations);
+        if (!hw) {
+            oracle.expect(
+                received == result.shootdownEvents * (cores - 1),
+                "every broadcast interrupts every remote core: ",
+                result.shootdownEvents, " events on ", cores,
+                " cores but ", received, " receipts");
+            if (cores > 1) {
+                oracle.expect(initiated == result.shootdownEvents,
+                              initiated, " initiations for ",
+                              result.shootdownEvents, " broadcasts");
+            }
+            oracle.expect(probes == 0 && targeted == 0 &&
+                              cohReceived == 0,
+                          "IPI mode kept a hw coherence book: ", probes,
+                          " probes, ", targeted, " targets, ",
+                          cohReceived, " receipts");
+        } else {
+            oracle.expect(initiated == 0 && received == 0,
+                          "hw mode kept an IPI book: ", initiated,
+                          " initiations, ", received, " receipts");
+            if (cores > 1) {
+                oracle.expect(probes == result.shootdownEvents,
+                              "every remap must probe the filter: ",
+                              result.shootdownEvents, " events but ",
+                              probes, " probes");
+            }
+            oracle.expect(probes == result.coherenceProbes &&
+                              targeted == result.coherenceTargetedCores,
+                          "per-core probe book (", probes, '/', targeted,
+                          ") diverged from the run's (",
+                          result.coherenceProbes, '/',
+                          result.coherenceTargetedCores, ')');
+            oracle.expect(cohReceived == targeted,
+                          "filter targeted ", targeted,
+                          " sharer cores but ", cohReceived,
+                          " invalidation receipts landed");
+            for (std::size_t c = 0; c < result.perCore.size(); ++c) {
+                const auto &s = result.perCore[c].stats;
+                const auto expectCycles =
+                    cfg.base.mmu.cohProbeCycles * s.cohProbes +
+                    cfg.base.mmu.cohPerCoreCycles * s.cohTargetedCores;
+                oracle.expect(s.cohCycles == expectCycles, "core ", c,
+                              " charged ", s.cohCycles,
+                              " coherence cycles; the cost model says ",
+                              expectCycles);
+            }
+        }
+    }
+
+    // Cost books must never leak into architectural state: an IPI twin
+    // of a hw-coherence scenario performs the identical invalidations,
+    // so everything but the charges matches.
+    if (cfg.coherence == mc::McConfig::CoherenceMode::Hw &&
+        mutation == Mutation::None) {
+        Oracle oracle(verdict, "coherence-equivalence");
+        auto ipiCfg = cfg;
+        ipiCfg.coherence = mc::McConfig::CoherenceMode::Ipi;
+        const auto ipi = mc::mcSimulate(ipiCfg);
+        const auto hwOutcome = mcOutcomeDigest(result);
+        const auto ipiOutcome = mcOutcomeDigest(ipi);
+        oracle.expect(hwOutcome == ipiOutcome,
+                      "hw coherence changed architectural outcomes; "
+                      "hw: ",
+                      hwOutcome.substr(0, 160), "...");
+    }
+
+    {
+        const bool pagedHost =
+            cfg.base.mmu.vmEnabled && !cfg.base.mmu.vmIdentityHost;
+        for (const auto &r : result.perCore)
+            checkNestedWalkAccounting(r, pagedHost, verdict);
     }
 
     // A one-task multicore run (churn off) must be the single-core
@@ -511,6 +666,26 @@ runOracles(const Scenario &scenario, Mutation mutation)
     }
 
     checkEnergyConservation(result, verdict);
+    checkNestedWalkAccounting(
+        result, cfg.mmu.vmEnabled && !cfg.mmu.vmIdentityHost, verdict);
+
+    // An identity host table engages the nested walker but must charge
+    // nothing: the run is digest-identical to the same scenario on
+    // bare metal.
+    if (cfg.mmu.vmEnabled && cfg.mmu.vmIdentityHost &&
+        mutation == Mutation::None) {
+        Oracle oracle(verdict, "vm-identity-equivalence");
+        auto flatCfg = cfg;
+        flatCfg.mmu.vmEnabled = false;
+        flatCfg.mmu.vmIdentityHost = false;
+        const auto flat = sim::simulate(flatCfg);
+        const auto flatDigest = resultDigest(flat);
+        const auto vmDigest = resultDigest(result);
+        oracle.expect(flatDigest == vmDigest,
+                      "identity-host run diverged from bare metal; "
+                      "vm: ",
+                      vmDigest.substr(0, 160), "...");
+    }
 
     if (result.provenanceEnabled) {
         checkProvenanceReconciliation(result.provenance, result, 0,

@@ -20,7 +20,18 @@
  *  - way-mask monotonicity (LRU inclusion): shrinking the L1 4 KB TLB
  *    from 64x4 to 32x2 to 16x1 — same set count, so identical per-set
  *    reference streams — never gains hits and never changes any
- *    translation result.
+ *    translation result;
+ *  - nested-walk accounting: under a paged host every guest walk
+ *    reference plus the data address takes one host walk
+ *    (hostWalks == walkMemRefs + l2Misses), the host-PWC is probed
+ *    once per host walk, and flat/identity runs keep the host
+ *    dimension at zero;
+ *  - vm-identity equivalence: an identity host table is
+ *    digest-identical to bare metal;
+ *  - coherence equivalence: `--coherence=hw` changes only the cost
+ *    book — its architectural outcome digest equals the IPI twin's —
+ *    and each mode's book conserves exactly while the other's stays
+ *    zero.
  *
  * runOracles() can apply a deliberate Mutation to prove the oracles
  * have teeth: each mutation must be caught, and the self-test in
@@ -75,9 +86,19 @@ std::string resultDigest(const sim::SimResult &result);
 /**
  * Deterministic digest of a multicore run: the per-core digests plus
  * the multicore-only state resultDigest() does not see (context-switch
- * and shootdown counters, per-task facts).
+ * and shootdown counters, both coherence cost books, per-task facts).
  */
 std::string mcResultDigest(const mc::McResult &result);
+
+/**
+ * Architectural-outcome digest of a multicore run: everything
+ * mcResultDigest() covers except the remap-propagation cost books
+ * (IPI shootdown cycles/energy and hw coherence probes/cycles/energy)
+ * and the run's declared coherence mode. Two runs that differ only in
+ * `--coherence` must produce identical outcome digests — the modes
+ * charge different costs for the *same* invalidations.
+ */
+std::string mcOutcomeDigest(const mc::McResult &result);
 
 /** Run every applicable oracle on @p scenario. */
 OracleVerdict runOracles(const Scenario &scenario,

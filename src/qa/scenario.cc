@@ -5,6 +5,7 @@
 
 #include "mc/mix.hh"
 #include "obs/json.hh"
+#include "vm/host_table.hh"
 #include "workloads/suite.hh"
 
 namespace eat::qa
@@ -36,6 +37,17 @@ Scenario::toSimConfig() const
     cfg.eagerRangesPerRegion = eagerRanges;
     cfg.checkLevel = check::CheckLevel::Full;
     cfg.faultSpec = faultSpec;
+    if (!vmMode.empty()) {
+        const auto mode = vm::hostModeFromName(vmMode);
+        if (!mode.ok())
+            eat_fatal("scenario ", id, ": ", mode.status().message());
+        const auto size = vm::hostPageSizeFromName(hostPages);
+        if (!size.ok())
+            eat_fatal("scenario ", id, ": ", size.status().message());
+        cfg.mmu.vmEnabled = true;
+        cfg.mmu.vmIdentityHost = mode.value() == vm::HostMode::Identity;
+        cfg.mmu.hostPageSize = size.value();
+    }
     return cfg;
 }
 
@@ -58,6 +70,12 @@ Scenario::toMcConfig() const
     cfg.quantumInstructions = quantum;
     cfg.remapInterval = remapInterval;
     cfg.faultCore = faultCore;
+    if (!coherence.empty()) {
+        const auto mode = mc::coherenceModeFromName(coherence);
+        if (!mode.ok())
+            eat_fatal("scenario ", id, ": ", mode.status().message());
+        cfg.coherence = mode.value();
+    }
     return cfg;
 }
 
@@ -88,6 +106,12 @@ Scenario::toJson() const
         json.put("quantum", quantum);
         json.put("remap_interval", remapInterval);
         json.put("fault_core", faultCore);
+        if (!coherence.empty())
+            json.put("coherence", coherence);
+    }
+    if (!vmMode.empty()) {
+        json.put("vm", vmMode);
+        json.put("host_pages", hostPages);
     }
     return json.str();
 }
@@ -118,6 +142,13 @@ Scenario::describe() const
             os << ", ctx-flush";
         if (remapInterval > 0)
             os << ", remap-interval " << remapInterval;
+        if (!coherence.empty())
+            os << ", coherence " << coherence;
+    }
+    if (!vmMode.empty()) {
+        os << ", vm " << vmMode;
+        if (vmMode == "paged")
+            os << '/' << hostPages;
     }
     return os.str();
 }
@@ -311,6 +342,45 @@ scenarioFromJson(std::string_view text)
                              " beyond core count ", s.cores);
     }
     s.faultCore = static_cast<unsigned>(faultCore);
+
+    // Virtualization fields are likewise optional (absent in
+    // pre-virtualization seeds).
+    if (const auto *vmField = json.find("vm")) {
+        if (!vmField->isString())
+            return Status::error("scenario: non-string field 'vm'");
+        s.vmMode = vmField->string;
+        if (!s.vmMode.empty()) {
+            const auto mode = vm::hostModeFromName(s.vmMode);
+            if (!mode.ok())
+                return Status::error("scenario: ",
+                                     mode.status().message());
+        }
+    }
+    if (const auto *pages = json.find("host_pages")) {
+        if (!pages->isString())
+            return Status::error("scenario: non-string field "
+                                 "'host_pages'");
+        if (s.vmMode.empty()) {
+            return Status::error(
+                "scenario: 'host_pages' without 'vm'");
+        }
+        s.hostPages = pages->string;
+        const auto size = vm::hostPageSizeFromName(s.hostPages);
+        if (!size.ok())
+            return Status::error("scenario: ", size.status().message());
+    }
+    if (const auto *coh = json.find("coherence")) {
+        if (!coh->isString())
+            return Status::error("scenario: non-string field "
+                                 "'coherence'");
+        s.coherence = coh->string;
+        if (!s.coherence.empty()) {
+            const auto mode = mc::coherenceModeFromName(s.coherence);
+            if (!mode.ok())
+                return Status::error("scenario: ",
+                                     mode.status().message());
+        }
+    }
 
     // The scenario must describe a constructible machine.
     const auto cfg = s.toSimConfig();

@@ -18,6 +18,9 @@
  *    "lite_interval": ..., "lite_epsilon": ..., "lite_full_act_prob":
  *    ..., "fault_spec": ...}
  *
+ * plus optional multicore fields ("cores", "mix", ...) and optional
+ * virtualization fields ("vm", "host_pages", "coherence").
+ *
  * written and parsed with the obs JSON substrate, so corpus files need
  * no third-party tooling to read or edit.
  */
@@ -80,8 +83,16 @@ struct Scenario
     std::uint64_t remapInterval = 0;
     unsigned faultCore = 0;
 
+    // --- virtualization (optional in seed files; empty = bare metal).
+    std::string vmMode;           ///< "", "identity", or "paged"
+    std::string hostPages = "4k"; ///< host page size of a paged host
+    std::string coherence;        ///< "", "ipi", or "hw"
+
     /** True when the scenario runs the multicore driver. */
     bool multicore() const { return cores > 1 || !mixSpec.empty(); }
+
+    /** True when the scenario runs under nested paging. */
+    bool virtualized() const { return !vmMode.empty(); }
 
     /** The SimConfig this scenario describes (checker always Full). */
     sim::SimConfig toSimConfig() const;

@@ -13,6 +13,7 @@
 #include "campaign/engine.hh"
 #include "mc/mix.hh"
 #include "stats/counter.hh"
+#include "vm/host_table.hh"
 #include "stats/csv.hh"
 #include "workloads/suite.hh"
 
@@ -123,6 +124,17 @@ executeRun(const SimConfig &cfg, bool deliberateFail, bool deliberateHang,
         out.error = e.what();
     }
     return out;
+}
+
+/** Layer the sweep's nested-paging knobs onto one cell's MmuConfig. */
+void
+applyVm(const BatchOptions &options, core::MmuConfig &mmu)
+{
+    if (!options.vmEnabled)
+        return;
+    mmu.vmEnabled = true;
+    mmu.vmIdentityHost = options.vmIdentityHost;
+    mmu.hostPageSize = options.hostPageSize;
 }
 
 /** The multicore counterpart: one mix under one organization. */
@@ -273,7 +285,12 @@ sweepFingerprint(const BatchOptions &options,
     if (options.multicore()) {
         os << "|mc=" << options.cores << "," << options.mcShared << ","
            << options.mcCtxFlush << "," << options.mcQuantum << ","
-           << options.mcRemapInterval;
+           << options.mcRemapInterval << ",coh="
+           << mc::coherenceModeName(options.coherence);
+    }
+    if (options.vmEnabled) {
+        os << "|vm=" << (options.vmIdentityHost ? "identity" : "paged")
+           << "," << vm::hostPageSizeName(options.hostPageSize);
     }
     return os.str();
 }
@@ -621,12 +638,14 @@ runBatch(const BatchOptions &options, std::ostream &log)
             mcc.base = options.base;
             mcc.base.workload = mix.front();
             mcc.base.mmu = core::MmuConfig::make(cells[index].org);
+            applyVm(options, mcc.base.mmu);
             mcc.cores = options.cores;
             mcc.mix = mix;
             mcc.sharedAddressSpace = options.mcShared;
             mcc.ctxFlush = options.mcCtxFlush;
             mcc.quantumInstructions = options.mcQuantum;
             mcc.remapInterval = options.mcRemapInterval;
+            mcc.coherence = options.coherence;
             if (!options.telemetryDir.empty()) {
                 mcc.base.telemetryPath = options.telemetryDir + "/" +
                                          fileLabel + "_" + row.org +
@@ -640,6 +659,7 @@ runBatch(const BatchOptions &options, std::ostream &log)
         SimConfig cfg = options.base;
         cfg.workload = *cells[index].spec;
         cfg.mmu = core::MmuConfig::make(cells[index].org);
+        applyVm(options, cfg.mmu);
         if (!options.telemetryDir.empty()) {
             cfg.telemetryPath = options.telemetryDir + "/" +
                                 fileLabel + "_" + row.org + ".jsonl";

@@ -150,6 +150,19 @@ struct BatchOptions
     std::uint64_t mcQuantum = 100'000;
     std::uint64_t mcRemapInterval = 0;
 
+    /** Remap-invalidation cost model of every mc cell. */
+    mc::McConfig::CoherenceMode coherence =
+        mc::McConfig::CoherenceMode::Ipi;
+
+    /**
+     * Nested paging for every cell. The org-derived MmuConfig of each
+     * cell gets these applied on top, so a vm sweep compares
+     * organizations under the same host table.
+     */
+    bool vmEnabled = false;
+    bool vmIdentityHost = false;
+    vm::PageSize hostPageSize = vm::PageSize::Size4K;
+
     bool multicore() const { return cores > 1 || !mix.empty(); }
 };
 

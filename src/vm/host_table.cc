@@ -1,0 +1,62 @@
+#include "vm/host_table.hh"
+
+#include "base/logging.hh"
+
+namespace eat::vm
+{
+
+HostTable::HostTable(const HostTableConfig &config) : config_(config)
+{
+    eat_assert(pageOffset(config_.offset, config_.pageSize) == 0,
+               "host-table offset must be host-page aligned");
+}
+
+Translation
+HostTable::translate(Addr gpa) const
+{
+    const Addr vbase = pageBase(gpa, config_.pageSize);
+    return Translation{vbase, vbase + config_.offset, config_.pageSize};
+}
+
+Result<HostMode>
+hostModeFromName(std::string_view name)
+{
+    if (name == "identity")
+        return HostMode::Identity;
+    if (name == "paged")
+        return HostMode::Paged;
+    return Status::error("unknown host-table mode '", name,
+                         "' (expected identity or paged)");
+}
+
+Result<PageSize>
+hostPageSizeFromName(std::string_view name)
+{
+    if (name == "4k")
+        return PageSize::Size4K;
+    if (name == "2m")
+        return PageSize::Size2M;
+    if (name == "1g")
+        return PageSize::Size1G;
+    return Status::error("unknown host page size '", name,
+                         "' (expected 4k, 2m, or 1g)");
+}
+
+std::string_view
+hostModeName(HostMode mode)
+{
+    return mode == HostMode::Identity ? "identity" : "paged";
+}
+
+std::string_view
+hostPageSizeName(PageSize size)
+{
+    switch (size) {
+      case PageSize::Size4K: return "4k";
+      case PageSize::Size2M: return "2m";
+      case PageSize::Size1G: return "1g";
+    }
+    return "4k";
+}
+
+} // namespace eat::vm

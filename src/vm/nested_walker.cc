@@ -1,0 +1,112 @@
+#include "vm/nested_walker.hh"
+
+#include "base/logging.hh"
+
+namespace eat::vm
+{
+
+namespace
+{
+
+/**
+ * Virtual-address span one page-table node covers: a PT node maps 2 MB,
+ * a PD node 1 GB, a PDPT node 512 GB; the PML4 is a single node.
+ */
+constexpr unsigned
+coverShift(unsigned level)
+{
+    switch (level) {
+      case 1: return 21;
+      case 2: return 30;
+      case 3: return 39;
+      default: return 48;
+    }
+}
+
+/** splitmix64 finalizer — deterministic, well-mixed node placement. */
+constexpr std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
+NestedWalker::NestedWalker(const PageTable &guest, tlb::MmuCache &guestCache,
+                           const HostTable &host, tlb::MmuCache &hostCache)
+    : guest_(&guest), guestCache_(&guestCache), host_(&host),
+      hostCache_(&hostCache)
+{
+}
+
+Addr
+NestedWalker::nodeGpa(unsigned level, Addr vaddr, std::uint16_t asid)
+{
+    eat_assert(level >= 1 && level <= 4, "page-table level out of range");
+    // Hash the (space, covered region) identity into the 512 GB host
+    // region reserved for this level (data pages live in region 0), so
+    // the host walks of one cold nested walk share no host-PWC state.
+    const std::uint64_t region = vaddr >> coverShift(level);
+    const std::uint64_t h =
+        mix64((std::uint64_t(asid) << 48) ^ region ^ (std::uint64_t(level) << 56));
+    constexpr std::uint64_t kFrameMask = (1ull << 27) - 1; // frames per region
+    return (Addr(level) << 39) | ((h & kFrameMask) << 12);
+}
+
+HostWalkOutcome
+NestedWalker::hostWalk(Addr gpa)
+{
+    HostWalkOutcome out;
+    out.gpa = gpa;
+    const auto cache = hostCache_->walkAccess(gpa, host_->pageSize());
+    out.memRefs = cache.memRefs;
+    out.pwcHit = cache.hitPde || cache.hitPdpte || cache.hitPml4;
+    out.pwcFills = cache.fills();
+    return out;
+}
+
+NestedWalkResult
+NestedWalker::walk(Addr vaddr, std::uint16_t asid)
+{
+    NestedWalkResult result;
+
+    const auto guest = guest_->translate(vaddr);
+    if (!guest)
+        eat_panic("nested walk of unmapped guest address ", vaddr);
+    result.guestTranslation = *guest;
+    result.guestCache = guestCache_->walkAccess(vaddr, guest->size);
+
+    if (host_->mode() == HostMode::Identity) {
+        // The host dimension is free: the walk is exactly the flat walk.
+        result.translation = *guest;
+        return result;
+    }
+
+    // One host walk per guest page-table node the guest walk reads. The
+    // guest walk fetched levels (leaf + refs - 1) down to leaf — the
+    // same per-reference levels the MMU attributes in provenance.
+    const unsigned leaf = tlb::MmuCache::leafLevel(guest->size);
+    for (unsigned i = 0; i < result.guestCache.memRefs; ++i) {
+        const unsigned level = leaf + result.guestCache.memRefs - 1 - i;
+        const auto walk = hostWalk(nodeGpa(level, vaddr, asid));
+        result.hostWalks[result.hostWalkCount++] = walk;
+        result.hostMemRefs += walk.memRefs;
+    }
+
+    // ... plus one for the guest-physical address of the data itself.
+    const auto dataWalk = hostWalk(guest->paddr(vaddr));
+    result.hostWalks[result.hostWalkCount++] = dataWalk;
+    result.hostMemRefs += dataWalk.memRefs;
+
+    // The host backing is a direct map, so a guest frame is contiguous
+    // in host-physical space even when host pages are smaller than the
+    // guest page; the cached translation keeps the guest page size.
+    result.translation = result.guestTranslation;
+    result.translation.pbase = host_->hostAddr(result.guestTranslation.pbase);
+    return result;
+}
+
+} // namespace eat::vm

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Two-dimensional (guest x host) page walker.
+ *
+ * Under nested paging a guest walk that needs n memory references
+ * issues n + 1 host walks: one to translate the guest-physical address
+ * of every page-table node it reads, plus one for the guest-physical
+ * address of the data page itself. With 4 KB pages on both dimensions
+ * and cold paging-structure caches that is the textbook worst case of
+ * 4 + 5 x 4 = 24 memory references per TLB miss. Host-PWC hits and
+ * huge host pages short-circuit individual host walks, exactly like
+ * the one-dimensional machinery they mirror.
+ *
+ * The guest dimension reuses the existing guest paging-structure cache
+ * (tlb::MmuCache) unchanged; the host dimension gets its own MmuCache
+ * instance keyed on guest-physical addresses. In HostMode::Identity the
+ * host dimension contributes nothing — zero host walks, zero references
+ * — so identity runs stay digest-identical to flat runs.
+ */
+
+#ifndef EAT_VM_NESTED_WALKER_HH
+#define EAT_VM_NESTED_WALKER_HH
+
+#include "tlb/mmu_cache.hh"
+#include "vm/host_table.hh"
+#include "vm/page_table.hh"
+
+namespace eat::vm
+{
+
+/** One host walk of a nested walk (for per-reference provenance). */
+struct HostWalkOutcome
+{
+    Addr gpa = 0;             ///< guest-physical address translated
+    unsigned memRefs = 0;     ///< host table references this walk cost
+    bool pwcHit = false;      ///< a host-PWC level short-circuited it
+    unsigned pwcFills = 0;    ///< host-PWC entries installed
+};
+
+/** Everything one two-dimensional walk did. */
+struct NestedWalkResult
+{
+    /** Final translation the TLB caches (guest VA -> host PA). */
+    Translation translation;
+    /** The architectural guest mapping (guest VA -> guest PA). */
+    Translation guestTranslation;
+    /** Guest paging-structure-cache interaction (charged as today). */
+    tlb::MmuCacheOutcome guestCache;
+
+    /** Host walks issued, in walk order (empty in identity mode). */
+    static constexpr unsigned kMaxHostWalks = 5;
+    HostWalkOutcome hostWalks[kMaxHostWalks];
+    unsigned hostWalkCount = 0;
+    unsigned hostMemRefs = 0; ///< sum of hostWalks[i].memRefs
+
+    unsigned
+    totalMemRefs() const
+    {
+        return guestCache.memRefs + hostMemRefs;
+    }
+};
+
+/**
+ * Composes the guest page-table walk with the host (EPT) dimension.
+ *
+ * The walker synthesises guest-physical addresses for the guest
+ * page-table nodes it reads: the node backing level L of @p vaddr in
+ * address space @p asid lives at a deterministic guest-physical address
+ * inside the 512 GB host region L (data pages occupy region 0). Nodes
+ * covering the same region hash to the same address, so host-PWC
+ * locality behaves like a real table's, while the five host walks of a
+ * cold 4 KB nested walk touch five distinct host PML4 regions — which
+ * makes the 24-reference worst case exactly reachable and unit-testable.
+ */
+class NestedWalker
+{
+  public:
+    NestedWalker(const PageTable &guest, tlb::MmuCache &guestCache,
+                 const HostTable &host, tlb::MmuCache &hostCache);
+
+    /**
+     * Perform the two-dimensional walk for @p vaddr in guest address
+     * space @p asid. @p vaddr must be mapped in the guest table (the
+     * workloads never touch unmapped memory).
+     */
+    NestedWalkResult walk(Addr vaddr, std::uint16_t asid = 0);
+
+    /** Point the guest dimension at another address space's table. */
+    void setPageTable(const PageTable &guest) { guest_ = &guest; }
+
+    const HostTable &host() const { return *host_; }
+
+    /**
+     * Guest-physical address of the guest page-table node at @p level
+     * (1 = PT .. 4 = PML4) covering @p vaddr in space @p asid.
+     */
+    static Addr nodeGpa(unsigned level, Addr vaddr, std::uint16_t asid);
+
+    /** Cold-cache reference count of one nested walk (the oracle):
+     *  n guest refs + (n + 1) host walks of m refs each. */
+    static constexpr unsigned
+    worstCaseRefs(PageSize guestSize, PageSize hostSize)
+    {
+        const unsigned n = PageTable::walkLevels(guestSize);
+        const unsigned m = PageTable::walkLevels(hostSize);
+        return n + (n + 1) * m;
+    }
+
+  private:
+    HostWalkOutcome hostWalk(Addr gpa);
+
+    const PageTable *guest_;
+    tlb::MmuCache *guestCache_;
+    const HostTable *host_;
+    tlb::MmuCache *hostCache_;
+};
+
+} // namespace eat::vm
+
+#endif // EAT_VM_NESTED_WALKER_HH

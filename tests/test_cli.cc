@@ -245,6 +245,49 @@ TEST(CliEatfuzz, RejectsBadCampaignFlags)
                   2, "campaign mode");
 }
 
+TEST(CliEatsim, RejectsBadVirtualizationFlags)
+{
+    expectFailure(kEatsim + " --workload=mcf --vm=bogus", 2,
+                  "unknown host-table mode");
+    expectFailure(kEatsim + " --workload=mcf --host-pages=2m", 2,
+                  "--host-pages requires --vm");
+    expectFailure(kEatsim + " --workload=mcf --vm --host-pages=3k", 2,
+                  "unknown host page size");
+    expectFailure(kEatsim + " --workload=mcf --vm --cores=0", 2,
+                  "out of range");
+}
+
+TEST(CliEatsim, RejectsBadCoherenceFlags)
+{
+    expectFailure(kEatsim +
+                      " --workload=mcf --cores=2 --coherence=bogus",
+                  2, "unknown coherence mode");
+    expectFailure(kEatsim + " --workload=mcf --coherence=hw", 2,
+                  "--coherence requires --cores/--mix");
+}
+
+TEST(CliEatsim, ReportsNestedPagingCosts)
+{
+    const CmdResult result = run(
+        kEatsim + " --workload=mcf --vm --instructions=20000");
+    EXPECT_EQ(result.exitCode, 0) << result.output;
+    EXPECT_NE(result.output.find("nested paging:"), std::string::npos)
+        << result.output;
+}
+
+TEST(CliEatbatch, RejectsBadVirtualizationAndCoherenceFlags)
+{
+    const std::string base =
+        kEatbatch + " --out=" + ::testing::TempDir() + "/cli_vm.csv";
+    expectFailure(base + " --vm=bogus", 2, "unknown host-table mode");
+    expectFailure(base + " --host-pages=2m", 2,
+                  "--host-pages requires --vm");
+    expectFailure(base + " --coherence=hw", 2,
+                  "--coherence requires --cores/--mix");
+    expectFailure(base + " --cores=2 --mix=mcf,canneal --coherence=no",
+                  2, "unknown coherence mode");
+}
+
 TEST(CliEatsim, RejectsBadProvenanceFlags)
 {
     expectFailure(kEatsim + " --workload=mcf --prov-sample=abc", 2,

@@ -1,0 +1,288 @@
+/**
+ * @file
+ * Tests for the two-dimensional (guest x host) walker and the nested
+ * paging mode built on it:
+ *
+ *  - the closed-form cold-walk reference count n + (n + 1) x m holds
+ *    for every (guest leaf x host leaf) combination, and the textbook
+ *    4 KB / 4 KB worst case of 24 references is actually reached;
+ *  - identity host mode issues zero host walks and leaves the
+ *    translation untouched (the differential anchor);
+ *  - a nonzero host offset composes through the host dimension, so
+ *    the final translation provably routes through the host table;
+ *  - the host PWC short-circuits repeat walks and huge host pages
+ *    shorten every host walk;
+ *  - an identity-host end-to-end run is digest-identical to a flat
+ *    run for all six organizations;
+ *  - a paged-host run obeys the accounting identities
+ *    hostWalks == walkMemRefs + l2Misses and the host energy rows
+ *    charge exactly one read per probe/reference.
+ */
+
+#include <gtest/gtest.h>
+
+#include "qa/oracles.hh"
+#include "sim/simulator.hh"
+#include "tlb/mmu_cache.hh"
+#include "vm/host_table.hh"
+#include "vm/nested_walker.hh"
+#include "workloads/suite.hh"
+
+namespace eat::vm
+{
+namespace
+{
+
+// The oracle is closed-form and constexpr: n guest references plus
+// one host walk of m references per guest reference and one for the
+// data page.
+static_assert(NestedWalker::worstCaseRefs(PageSize::Size4K,
+                                          PageSize::Size4K) == 24);
+static_assert(NestedWalker::worstCaseRefs(PageSize::Size2M,
+                                          PageSize::Size4K) == 19);
+static_assert(NestedWalker::worstCaseRefs(PageSize::Size1G,
+                                          PageSize::Size4K) == 14);
+static_assert(NestedWalker::worstCaseRefs(PageSize::Size4K,
+                                          PageSize::Size2M) == 19);
+static_assert(NestedWalker::worstCaseRefs(PageSize::Size4K,
+                                          PageSize::Size1G) == 14);
+static_assert(NestedWalker::worstCaseRefs(PageSize::Size1G,
+                                          PageSize::Size1G) == 8);
+
+/** A walker over one 4 KB guest mapping with the given host table. */
+struct Rig
+{
+    PageTable guest;
+    tlb::MmuCache guestCache;
+    HostTable host;
+    tlb::MmuCache hostCache;
+    NestedWalker walker;
+
+    explicit Rig(const HostTableConfig &hostCfg)
+        : host(hostCfg),
+          walker(guest, guestCache, host, hostCache)
+    {
+        guest.map(0x2000'0000, 0x9000'0000, PageSize::Size4K);
+    }
+};
+
+TEST(NestedWalker, ColdWalkReachesTheTextbookWorstCase)
+{
+    Rig rig({HostMode::Paged, PageSize::Size4K});
+
+    const auto r = rig.walker.walk(0x2000'0abc);
+    // Guest dimension: a cold 4 KB walk is 4 references.
+    EXPECT_EQ(r.guestCache.memRefs, 4u);
+    // Host dimension: one host walk per guest node plus the data page,
+    // each cold (every nodeGpa lives in its own 512 GB host region).
+    EXPECT_EQ(r.hostWalkCount, 5u);
+    for (unsigned i = 0; i < r.hostWalkCount; ++i) {
+        EXPECT_EQ(r.hostWalks[i].memRefs, 4u) << "host walk " << i;
+        EXPECT_FALSE(r.hostWalks[i].pwcHit) << "host walk " << i;
+    }
+    EXPECT_EQ(r.hostMemRefs, 20u);
+    EXPECT_EQ(r.totalMemRefs(),
+              NestedWalker::worstCaseRefs(PageSize::Size4K,
+                                          PageSize::Size4K));
+}
+
+TEST(NestedWalker, IdentityHostIssuesNoHostWalks)
+{
+    Rig rig({HostMode::Identity, PageSize::Size4K});
+
+    const auto r = rig.walker.walk(0x2000'0abc);
+    EXPECT_EQ(r.hostWalkCount, 0u);
+    EXPECT_EQ(r.hostMemRefs, 0u);
+    // The walk is exactly the flat walk: same cost, same translation.
+    EXPECT_EQ(r.guestCache.memRefs, 4u);
+    EXPECT_EQ(r.totalMemRefs(), 4u);
+    EXPECT_EQ(r.translation.pbase, 0x9000'0000u);
+    EXPECT_EQ(r.translation.pbase, r.guestTranslation.pbase);
+}
+
+TEST(NestedWalker, HostOffsetComposesThroughTheHostDimension)
+{
+    // A nonzero direct-map offset proves the final translation routes
+    // through the host table rather than copying the guest result.
+    // (Simulator runs keep offset 0 so translations stay flat-valued;
+    // the offset is a unit-test affordance.)
+    HostTableConfig cfg{HostMode::Paged, PageSize::Size4K};
+    cfg.offset = 0x40'0000'0000; // 256 GB, aligned for any host leaf
+    Rig rig(cfg);
+
+    const auto r = rig.walker.walk(0x2000'0abc);
+    EXPECT_EQ(r.guestTranslation.pbase, 0x9000'0000u);
+    EXPECT_EQ(r.translation.pbase, 0x9000'0000u + 0x40'0000'0000u);
+    EXPECT_EQ(r.translation.vbase, r.guestTranslation.vbase);
+    EXPECT_EQ(r.translation.size, r.guestTranslation.size);
+}
+
+TEST(NestedWalker, HostPwcShortCircuitsRepeatWalks)
+{
+    Rig rig({HostMode::Paged, PageSize::Size4K});
+
+    const auto cold = rig.walker.walk(0x2000'0abc);
+    ASSERT_EQ(cold.totalMemRefs(), 24u);
+
+    // Second access to the same page: the guest PWC leaves one guest
+    // reference (the PT leaf), so two host walks remain — the PT node
+    // and the data page — and both hit the now-warm host PWC down to
+    // one reference each.
+    const auto warm = rig.walker.walk(0x2000'0abc);
+    EXPECT_EQ(warm.guestCache.memRefs, 1u);
+    EXPECT_EQ(warm.hostWalkCount, 2u);
+    for (unsigned i = 0; i < warm.hostWalkCount; ++i) {
+        EXPECT_TRUE(warm.hostWalks[i].pwcHit) << "host walk " << i;
+        EXPECT_EQ(warm.hostWalks[i].memRefs, 1u) << "host walk " << i;
+    }
+    EXPECT_EQ(warm.totalMemRefs(), 3u);
+}
+
+TEST(NestedWalker, HugeHostPagesShortenEveryHostWalk)
+{
+    // A 2 MB host leaf lives at the PDE level: 3 references per host
+    // walk; a 1 GB leaf at the PDPTE level: 2.
+    Rig twoMeg({HostMode::Paged, PageSize::Size2M});
+    EXPECT_EQ(twoMeg.walker.walk(0x2000'0abc).totalMemRefs(),
+              NestedWalker::worstCaseRefs(PageSize::Size4K,
+                                          PageSize::Size2M));
+
+    Rig oneGig({HostMode::Paged, PageSize::Size1G});
+    EXPECT_EQ(oneGig.walker.walk(0x2000'0abc).totalMemRefs(),
+              NestedWalker::worstCaseRefs(PageSize::Size4K,
+                                          PageSize::Size1G));
+}
+
+TEST(NestedWalker, NodeGpaSeparatesLevelsSpacesAndRegions)
+{
+    const Addr vaddr = 0x2000'0abc;
+    // Each level lives in its own 512 GB host region, so one cold
+    // nested walk shares no host-PWC state between its host walks.
+    for (unsigned level = 1; level <= 4; ++level) {
+        EXPECT_EQ(NestedWalker::nodeGpa(level, vaddr, 0) >> 39,
+                  Addr(level));
+    }
+    // Distinct address spaces get distinct node placements...
+    EXPECT_NE(NestedWalker::nodeGpa(1, vaddr, 0),
+              NestedWalker::nodeGpa(1, vaddr, 1));
+    // ...and so do distinct covered regions of one space.
+    EXPECT_NE(NestedWalker::nodeGpa(1, vaddr, 0),
+              NestedWalker::nodeGpa(1, vaddr + (1ull << 21), 0));
+    // But two addresses under the same node share its placement (that
+    // is what gives the host PWC real locality).
+    EXPECT_EQ(NestedWalker::nodeGpa(1, vaddr, 0),
+              NestedWalker::nodeGpa(1, vaddr + 0x1000, 0));
+}
+
+// --- end-to-end nested paging through the simulator ---
+
+sim::SimConfig
+vmConfig(const std::string &workload, core::MmuOrg org)
+{
+    sim::SimConfig cfg;
+    cfg.workload = *workloads::findWorkload(workload);
+    cfg.mmu = core::MmuConfig::make(org);
+    cfg.simulateInstructions = 60'000;
+    cfg.fastForwardInstructions = 5'000;
+    cfg.seed = 42;
+    return cfg;
+}
+
+TEST(NestedPaging, IdentityHostIsDigestIdenticalToFlatForAllOrgs)
+{
+    // The differential anchor: `--vm=identity` engages the whole
+    // nested machinery but must not change a single result bit, for
+    // every organization.
+    for (const auto org : core::allOrgs()) {
+        auto flat = vmConfig("mcf", org);
+        auto identity = flat;
+        identity.mmu.vmEnabled = true;
+        identity.mmu.vmIdentityHost = true;
+
+        const auto a = sim::simulate(flat);
+        const auto b = sim::simulate(identity);
+        EXPECT_EQ(qa::resultDigest(a), qa::resultDigest(b))
+            << core::orgName(org);
+        EXPECT_EQ(b.stats.hostWalks, 0u) << core::orgName(org);
+        EXPECT_EQ(b.stats.hostWalkMemRefs, 0u) << core::orgName(org);
+    }
+}
+
+const energy::StructEnergyRow *
+findRow(const std::vector<energy::StructEnergyRow> &rows,
+        std::string_view name)
+{
+    for (const auto &row : rows)
+        if (row.name == name)
+            return &row;
+    return nullptr;
+}
+
+TEST(NestedPaging, PagedHostObeysTheAccountingIdentities)
+{
+    auto cfg = vmConfig("mcf", core::MmuOrg::Thp);
+    cfg.mmu.vmEnabled = true;
+
+    const auto r = sim::simulate(cfg);
+    const auto &s = r.stats;
+    ASSERT_GT(s.l2Misses, 0u);
+
+    // Every guest-walk memory reference plus the data page of every
+    // walk costs exactly one host walk.
+    EXPECT_EQ(s.hostWalks, s.walkMemRefs + s.l2Misses);
+    EXPECT_GT(s.hostWalkMemRefs, 0u);
+
+    // The energy book mirrors the walker: one host-PWC probe per host
+    // walk, one host-memory read per host reference.
+    const auto *pwc = findRow(r.energy.structs, "host-PWC");
+    const auto *mem = findRow(r.energy.structs, "host-walk memory");
+    ASSERT_NE(pwc, nullptr);
+    ASSERT_NE(mem, nullptr);
+    EXPECT_EQ(pwc->reads, s.hostWalks);
+    EXPECT_EQ(mem->reads, s.hostWalkMemRefs);
+    EXPECT_GT(mem->readEnergy, 0.0);
+}
+
+TEST(NestedPaging, PagedHostCostsMoreThanIdentityNeverChangesResults)
+{
+    auto identity = vmConfig("omnetpp", core::MmuOrg::Base4K);
+    identity.mmu.vmEnabled = true;
+    identity.mmu.vmIdentityHost = true;
+    auto paged = identity;
+    paged.mmu.vmIdentityHost = false;
+
+    const auto a = sim::simulate(identity);
+    const auto b = sim::simulate(paged);
+    // Virtualization is a cost model, never a value model: the paged
+    // host changes energy and cycles, not what gets translated.
+    EXPECT_EQ(a.stats.memOps, b.stats.memOps);
+    EXPECT_EQ(a.stats.l1Misses, b.stats.l1Misses);
+    EXPECT_EQ(a.stats.l2Misses, b.stats.l2Misses);
+    EXPECT_EQ(a.check.mismatches(), 0u);
+    EXPECT_EQ(b.check.mismatches(), 0u);
+    EXPECT_GT(b.stats.hostWalks, 0u);
+    EXPECT_GT(b.totalEnergy(), a.totalEnergy());
+}
+
+TEST(NestedPaging, HugeHostPagesReduceHostReferences)
+{
+    auto cfg = vmConfig("mcf", core::MmuOrg::Thp);
+    cfg.mmu.vmEnabled = true;
+
+    auto refsWith = [&cfg](PageSize hostSize) {
+        auto c = cfg;
+        c.mmu.hostPageSize = hostSize;
+        const auto r = sim::simulate(c);
+        EXPECT_EQ(r.stats.hostWalks,
+                  r.stats.walkMemRefs + r.stats.l2Misses);
+        return r.stats.hostWalkMemRefs;
+    };
+    const auto refs4k = refsWith(PageSize::Size4K);
+    const auto refs2m = refsWith(PageSize::Size2M);
+    const auto refs1g = refsWith(PageSize::Size1G);
+    EXPECT_GT(refs4k, refs2m);
+    EXPECT_GT(refs2m, refs1g);
+}
+
+} // namespace
+} // namespace eat::vm

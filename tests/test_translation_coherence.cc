@@ -1,0 +1,251 @@
+/**
+ * @file
+ * Tests for hardware translation coherence (mc/coherence.hh) and the
+ * IPI-vs-hw differential properties the model is built around:
+ *
+ *  - the coherence filter tracks sharers per address space, stays
+ *    conservative (sharers are never cleared), and versions remaps;
+ *  - IPI and hw runs of the same mix produce identical architectural
+ *    outcomes — same translations, same invalidations, same per-core
+ *    result digests (mcOutcomeDigest equality);
+ *  - each mode's cost book is conserved exactly and the other mode's
+ *    book stays zero;
+ *  - fault attribution still works under hw coherence.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mc/coherence.hh"
+#include "mc/mc_simulator.hh"
+#include "mc/mix.hh"
+#include "qa/oracles.hh"
+
+namespace eat::mc
+{
+namespace
+{
+
+TEST(CoherenceFilter, TracksSharersAndVersionsPerSpace)
+{
+    CoherenceFilter filter(4);
+    EXPECT_EQ(filter.sharersOf(7), 0u);
+    EXPECT_EQ(filter.versionOf(7), 0u);
+
+    filter.noteScheduled(7, 0);
+    filter.noteScheduled(7, 2);
+    filter.noteScheduled(7, 2); // idempotent
+    filter.noteScheduled(3, 1);
+    EXPECT_EQ(filter.sharersOf(7), 0b101u);
+    EXPECT_EQ(filter.sharersOf(3), 0b010u);
+
+    const auto probe = filter.probe(7);
+    EXPECT_EQ(probe.sharers, 0b101u);
+    EXPECT_EQ(probe.version, 1u);
+    EXPECT_EQ(filter.versionOf(7), 1u);
+    // Spaces version independently.
+    EXPECT_EQ(filter.versionOf(3), 0u);
+    EXPECT_EQ(filter.probe(7).version, 2u);
+}
+
+TEST(CoherenceFilter, StaysConservativeAcrossProbes)
+{
+    // A real directory never learns about silent evictions: once a
+    // core shared a space it stays a sharer until re-registered, so a
+    // probe after a probe still targets it.
+    CoherenceFilter filter(2);
+    filter.noteScheduled(0, 1);
+    EXPECT_EQ(filter.probe(0).sharers, 0b10u);
+    EXPECT_EQ(filter.probe(0).sharers, 0b10u);
+}
+
+TEST(CoherenceFilter, SharerCountCountsBits)
+{
+    EXPECT_EQ(sharerCount(0), 0u);
+    EXPECT_EQ(sharerCount(0b1), 1u);
+    EXPECT_EQ(sharerCount(0b1011), 3u);
+    EXPECT_EQ(sharerCount(0xffffu), 16u);
+}
+
+TEST(CoherenceMode, ParsesNamesAndRejectsGarbage)
+{
+    EXPECT_EQ(coherenceModeFromName("ipi").value(),
+              McConfig::CoherenceMode::Ipi);
+    EXPECT_EQ(coherenceModeFromName("hw").value(),
+              McConfig::CoherenceMode::Hw);
+    EXPECT_FALSE(coherenceModeFromName("bogus").ok());
+    EXPECT_FALSE(coherenceModeFromName("").ok());
+    EXPECT_EQ(coherenceModeName(McConfig::CoherenceMode::Ipi), "ipi");
+    EXPECT_EQ(coherenceModeName(McConfig::CoherenceMode::Hw), "hw");
+}
+
+// --- differential end-to-end properties ---
+
+/** A small mc run with enough churn for real shootdown traffic. */
+McConfig
+churnConfig(unsigned cores, const std::string &mix,
+            McConfig::CoherenceMode mode)
+{
+    McConfig cfg;
+    cfg.base.mmu = core::MmuConfig::make(core::MmuOrg::Thp);
+    cfg.base.simulateInstructions = 60'000;
+    cfg.base.fastForwardInstructions = 5'000;
+    cfg.base.seed = 42;
+    cfg.base.checkLevel = check::CheckLevel::Full;
+    auto parsed = parseMixSpec(mix);
+    EXPECT_TRUE(parsed.ok()) << parsed.status().message();
+    cfg.mix = parsed.value();
+    cfg.base.workload = cfg.mix.front();
+    cfg.cores = cores;
+    cfg.quantumInstructions = 10'000;
+    cfg.remapInterval = 20'000;
+    cfg.coherence = mode;
+    return cfg;
+}
+
+TEST(TranslationCoherence, HwAndIpiProduceIdenticalOutcomes)
+{
+    // The load-bearing differential: the coherence mode changes only
+    // the cost book. Same translations, same invalidations, same
+    // context switches — the outcome digest (which excludes both cost
+    // books) must match bit for bit.
+    const auto ipi = mcSimulate(
+        churnConfig(4, "mcf,canneal", McConfig::CoherenceMode::Ipi));
+    const auto hw = mcSimulate(
+        churnConfig(4, "mcf,canneal", McConfig::CoherenceMode::Hw));
+
+    ASSERT_GT(ipi.shootdownEvents, 0u);
+    EXPECT_EQ(qa::mcOutcomeDigest(ipi), qa::mcOutcomeDigest(hw));
+    EXPECT_EQ(ipi.shootdownEvents, hw.shootdownEvents);
+    EXPECT_EQ(ipi.shootdownInvalidations, hw.shootdownInvalidations);
+    // But the full result digests differ: the books are not the same.
+    EXPECT_NE(qa::mcResultDigest(ipi), qa::mcResultDigest(hw));
+}
+
+TEST(TranslationCoherence, IpiBookBalancesAndHwBookStaysZero)
+{
+    const auto r = mcSimulate(
+        churnConfig(4, "mcf,canneal", McConfig::CoherenceMode::Ipi));
+    ASSERT_GT(r.shootdownEvents, 0u);
+    EXPECT_EQ(r.coherence, McConfig::CoherenceMode::Ipi);
+    EXPECT_EQ(r.coherenceProbes, 0u);
+    EXPECT_EQ(r.coherenceTargetedCores, 0u);
+
+    std::uint64_t initiated = 0, received = 0;
+    for (const auto &c : r.perCore) {
+        initiated += c.stats.shootdownsInitiated;
+        received += c.stats.shootdownsReceived;
+        EXPECT_EQ(c.stats.cohProbes, 0u);
+        EXPECT_EQ(c.stats.cohTargetedCores, 0u);
+        EXPECT_EQ(c.stats.cohInvalidationsReceived, 0u);
+        EXPECT_EQ(c.stats.cohCycles, 0u);
+        EXPECT_EQ(c.stats.cohEnergyPj, 0.0);
+    }
+    EXPECT_EQ(initiated, r.shootdownEvents);
+    EXPECT_EQ(received, r.shootdownEvents * 3u);
+}
+
+TEST(TranslationCoherence, HwBookBalancesAndIpiBookStaysZero)
+{
+    const auto cfg =
+        churnConfig(4, "mcf,canneal", McConfig::CoherenceMode::Hw);
+    const auto r = mcSimulate(cfg);
+    ASSERT_GT(r.shootdownEvents, 0u);
+    EXPECT_EQ(r.coherence, McConfig::CoherenceMode::Hw);
+    // One filter probe per remap event; the probe targets only the
+    // cores registered as sharers, never more than cores - 1.
+    EXPECT_EQ(r.coherenceProbes, r.shootdownEvents);
+    EXPECT_LE(r.coherenceTargetedCores,
+              r.shootdownEvents * (cfg.cores - 1));
+
+    std::uint64_t probes = 0, targeted = 0, cohReceived = 0;
+    for (const auto &c : r.perCore) {
+        EXPECT_EQ(c.stats.shootdownsInitiated, 0u);
+        EXPECT_EQ(c.stats.shootdownsReceived, 0u);
+        EXPECT_EQ(c.stats.shootdownCycles, 0u);
+        EXPECT_EQ(c.stats.shootdownEnergyPj, 0.0);
+        probes += c.stats.cohProbes;
+        targeted += c.stats.cohTargetedCores;
+        cohReceived += c.stats.cohInvalidationsReceived;
+        // Integer-exact initiator-side cycle conservation per core.
+        EXPECT_EQ(c.stats.cohCycles,
+                  cfg.base.mmu.cohProbeCycles * c.stats.cohProbes +
+                      cfg.base.mmu.cohPerCoreCycles *
+                          c.stats.cohTargetedCores);
+    }
+    EXPECT_EQ(probes, r.coherenceProbes);
+    EXPECT_EQ(targeted, r.coherenceTargetedCores);
+    // Every targeted core took exactly one invalidation per probe.
+    EXPECT_EQ(cohReceived, r.coherenceTargetedCores);
+}
+
+TEST(TranslationCoherence, HwProbesCostLessThanIpiBroadcasts)
+{
+    // The paper's point, in pJ: targeted probes beat broadcast IPIs.
+    const auto ipi = mcSimulate(
+        churnConfig(4, "mcf,canneal", McConfig::CoherenceMode::Ipi));
+    const auto hw = mcSimulate(
+        churnConfig(4, "mcf,canneal", McConfig::CoherenceMode::Hw));
+
+    auto book = [](const McResult &r) {
+        double pj = 0.0;
+        std::uint64_t cycles = 0;
+        for (const auto &c : r.perCore) {
+            pj += c.stats.shootdownEnergyPj + c.stats.cohEnergyPj;
+            cycles += c.stats.shootdownCycles + c.stats.cohCycles;
+        }
+        return std::pair{pj, cycles};
+    };
+    const auto [ipiPj, ipiCycles] = book(ipi);
+    const auto [hwPj, hwCycles] = book(hw);
+    EXPECT_GT(ipiPj, 0.0);
+    EXPECT_LT(hwPj, ipiPj);
+    EXPECT_LT(hwCycles, ipiCycles);
+}
+
+TEST(TranslationCoherence, SingleCoreRunsChargeNeitherBook)
+{
+    auto cfg = churnConfig(1, "mcf", McConfig::CoherenceMode::Hw);
+    const auto r = mcSimulate(cfg);
+    EXPECT_EQ(r.coherenceProbes, 0u);
+    for (const auto &c : r.perCore) {
+        EXPECT_EQ(c.stats.cohCycles, 0u);
+        EXPECT_EQ(c.stats.shootdownCycles, 0u);
+    }
+}
+
+TEST(TranslationCoherence, FaultAttributionSurvivesHwMode)
+{
+    auto cfg =
+        churnConfig(2, "mcf,canneal", McConfig::CoherenceMode::Hw);
+    cfg.base.mmu = core::MmuConfig::make(core::MmuOrg::Base4K);
+    cfg.base.faultSpec = "ppn-flip@l1-4k:0.005";
+    cfg.faultCore = 1;
+
+    const auto r = mcSimulate(cfg);
+    ASSERT_EQ(r.perCore.size(), 2u);
+    EXPECT_GT(r.perCore[1].check.mismatches(), 0u);
+    EXPECT_EQ(r.perCore[1].firstMismatch.rfind("core1: ", 0), 0u)
+        << r.perCore[1].firstMismatch;
+    EXPECT_EQ(r.perCore[0].check.mismatches(), 0u);
+}
+
+TEST(TranslationCoherence, CombinesWithNestedPaging)
+{
+    // `--vm --coherence=hw` is the paper's full configuration: the
+    // differential outcome property must hold under nested paging too.
+    auto ipiCfg =
+        churnConfig(2, "mcf,canneal", McConfig::CoherenceMode::Ipi);
+    ipiCfg.base.mmu.vmEnabled = true;
+    auto hwCfg = ipiCfg;
+    hwCfg.coherence = McConfig::CoherenceMode::Hw;
+
+    const auto ipi = mcSimulate(ipiCfg);
+    const auto hw = mcSimulate(hwCfg);
+    ASSERT_GT(ipi.shootdownEvents, 0u);
+    EXPECT_EQ(qa::mcOutcomeDigest(ipi), qa::mcOutcomeDigest(hw));
+    for (const auto &c : hw.perCore)
+        EXPECT_GT(c.stats.hostWalks, 0u);
+}
+
+} // namespace
+} // namespace eat::mc

@@ -47,6 +47,7 @@
 #include "mc/mix.hh"
 #include "sim/batch.hh"
 #include "stats/table.hh"
+#include "vm/host_table.hh"
 #include "workloads/suite.hh"
 
 namespace
@@ -90,7 +91,13 @@ usage(const char *argv0)
         "  --shared             one shared address space per mc cell\n"
         "  --ctx-flush          flush TLBs on context switch (no ASIDs)\n"
         "  --quantum=N          scheduler quantum (default 100000)\n"
-        "  --remap-interval=N   OS churn every N instructions per task\n",
+        "  --remap-interval=N   OS churn every N instructions per task\n"
+        "  --coherence=MODE     ipi | hw remap-invalidation cost model\n"
+        "                       (multicore cells only; default ipi)\n"
+        "  --vm[=MODE]          nested paging per cell: identity |\n"
+        "                       paged (bare --vm means paged)\n"
+        "  --host-pages=SZ      host page size: 4k | 2m | 1g\n"
+        "                       (requires --vm; default 4k)\n",
         argv0);
     std::exit(2);
 }
@@ -128,6 +135,10 @@ main(int argc, char **argv)
     sim::BatchOptions options;
     options.jobs = 0; // auto: one child per hardware thread
     std::string workloadsArg, orgsArg;
+    bool haveVm = false;
+    bool haveCoherence = false;
+    std::string vmModeName;
+    std::string hostPagesName;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -233,6 +244,24 @@ main(int argc, char **argv)
         } else if (const char *v17 = value("--remap-interval=")) {
             options.mcRemapInterval =
                 parseCount("--remap-interval", v17);
+        } else if (const char *vcoh = value("--coherence=")) {
+            const auto mode = mc::coherenceModeFromName(vcoh);
+            if (!mode.ok()) {
+                std::fprintf(stderr, "--coherence: %s\n",
+                             std::string(mode.status().message())
+                                 .c_str());
+                return 2;
+            }
+            options.coherence = mode.value();
+            haveCoherence = true;
+        } else if (arg == "--vm") {
+            haveVm = true;
+            vmModeName = "paged";
+        } else if (const char *vvm = value("--vm=")) {
+            haveVm = true;
+            vmModeName = vvm;
+        } else if (const char *vhp = value("--host-pages=")) {
+            hostPagesName = vhp;
         } else if (arg == "--shared") {
             options.mcShared = true;
         } else if (arg == "--ctx-flush") {
@@ -247,6 +276,33 @@ main(int argc, char **argv)
     }
     if (options.outPath.empty())
         usage(argv[0]);
+    if (haveCoherence && !options.multicore()) {
+        std::fprintf(stderr, "--coherence requires --cores/--mix\n");
+        return 2;
+    }
+    if (haveVm) {
+        const auto mode = vm::hostModeFromName(vmModeName);
+        if (!mode.ok()) {
+            std::fprintf(stderr, "--vm: %s\n",
+                         std::string(mode.status().message()).c_str());
+            return 2;
+        }
+        options.vmEnabled = true;
+        options.vmIdentityHost = mode.value() == vm::HostMode::Identity;
+    }
+    if (!hostPagesName.empty()) {
+        if (!haveVm) {
+            std::fprintf(stderr, "--host-pages requires --vm\n");
+            return 2;
+        }
+        const auto size = vm::hostPageSizeFromName(hostPagesName);
+        if (!size.ok()) {
+            std::fprintf(stderr, "--host-pages: %s\n",
+                         std::string(size.status().message()).c_str());
+            return 2;
+        }
+        options.hostPageSize = size.value();
+    }
 
     if (workloadsArg.empty()) {
         for (const auto &w : workloads::tlbIntensiveSuite())

@@ -22,11 +22,12 @@
  * per-row simulation facts (e.g. the front-cache hit rate) are taken
  * from the first repeat.
  *
- * BENCH_perf.json schema (v3; v2 lacked "repeats" and the per-row
- * "front_cache_hit_rate", v1 lacked the "mc" array):
+ * BENCH_perf.json schema (v4; v3 lacked the "vm" array, v2 lacked
+ * "repeats" and the per-row "front_cache_hit_rate", v1 lacked the
+ * "mc" array):
  *
  *   {
- *     "schema": "eat.perf_baseline", "v": 3,
+ *     "schema": "eat.perf_baseline", "v": 4,
  *     "seed": ..., "instructions": ..., "fast_forward": ...,
  *     "repeats": N,
  *     "kips": [ {"org": "THP", "workload": "mcf",
@@ -34,6 +35,9 @@
  *                "front_cache_hit_rate": ...}, ... ],
  *     "mc": [ {"cores": 1, "mix": "mcf,canneal",
  *              "sim_kips": <median>, "wall_seconds": <median>}, ... ],
+ *     "vm": [ {"vm": "identity", "host_pages": "4k",
+ *              "sim_kips": <median>, "wall_seconds": <median>,
+ *              "host_walk_refs": ...}, ... ],
  *     "sweep": { "workloads": "mcf,astar", "orgs": 6, "cells": 12,
  *                "jobs": N, "j1_wall_seconds": ...,
  *                "jn_wall_seconds": ..., "speedup": ... }
@@ -42,7 +46,10 @@
  * The "mc" leg runs the same pinned mix through the multicore driver
  * at 1, 2, and 4 cores; sim_kips there is the aggregate rate over all
  * cores, the scaling number the multicore scheduler is accountable
- * for.
+ * for. The "vm" leg runs the kips workload under nested paging —
+ * identity host (must cost nothing) and paged host (every guest walk
+ * reference takes its own host walk) — so two-dimensional-walk
+ * slowdowns are tracked like everything else.
  *
  * With --baseline=PATH the run additionally regresses itself against a
  * previously committed BENCH_perf.json: every per-org sim_kips row and
@@ -130,7 +137,8 @@ median(std::vector<double> values)
 std::vector<std::string>
 checkBaseline(const std::string &path, double maxRegression,
               const std::vector<std::pair<std::string, double>> &kipsNow,
-              const std::vector<std::pair<unsigned, double>> &mcNow)
+              const std::vector<std::pair<unsigned, double>> &mcNow,
+              const std::vector<std::pair<std::string, double>> &vmNow)
 {
     std::ifstream in(path);
     if (!in) {
@@ -199,6 +207,20 @@ checkBaseline(const std::string &path, double maxRegression,
                 if (n == static_cast<unsigned>(cores->number))
                     gate("mc " + std::to_string(n) + "-core",
                          kips->number, now);
+        }
+    }
+    // Absent in pre-v4 baselines; the vm rows gate only once a
+    // baseline regenerated under v4 is committed.
+    if (const obs::JsonValue *rows = doc.find("vm");
+        rows && rows->isArray()) {
+        for (const auto &row : rows->array) {
+            const obs::JsonValue *mode = row.find("vm");
+            const obs::JsonValue *kips = row.find("sim_kips");
+            if (!mode || !kips)
+                continue;
+            for (const auto &[name, now] : vmNow)
+                if (name == mode->string)
+                    gate("vm " + name, kips->number, now);
         }
     }
     return offenders;
@@ -410,6 +432,44 @@ main(int argc, char **argv)
     }
     mcArray += "]";
 
+    // --- leg 1c: nested-paging sim-KIPS, identity and paged host ---
+    std::vector<std::pair<std::string, double>> vmNow;
+    std::string vmArray = "[";
+    for (const bool identity : {true, false}) {
+        const std::string mode = identity ? "identity" : "paged";
+        sim::SimConfig cfg = batchTemplate.base;
+        cfg.workload = *kipsSpec;
+        cfg.mmu = core::MmuConfig::make(core::MmuOrg::Thp);
+        cfg.mmu.vmEnabled = true;
+        cfg.mmu.vmIdentityHost = identity;
+        std::vector<double> kipsSamples, wallSamples;
+        std::uint64_t hostWalkRefs = 0;
+        for (unsigned rep = 0; rep < repeats; ++rep) {
+            const auto start = std::chrono::steady_clock::now();
+            const sim::SimResult r = sim::simulate(cfg);
+            const double wall = seconds(start);
+            kipsSamples.push_back(r.simKips());
+            wallSamples.push_back(wall);
+            if (rep == 0)
+                hostWalkRefs = r.stats.hostWalkMemRefs;
+        }
+        const double kipsMed = median(kipsSamples);
+        obs::JsonObject entry;
+        entry.put("vm", mode);
+        entry.put("host_pages", "4k");
+        entry.put("sim_kips", kipsMed);
+        entry.put("wall_seconds", median(wallSamples));
+        entry.put("host_walk_refs", hostWalkRefs);
+        if (vmArray.size() > 1)
+            vmArray += ",";
+        vmArray += entry.str();
+        vmNow.emplace_back(mode, kipsMed);
+        std::cout << "vm: " << mode << " host " << kipsMed
+                  << " sim-KIPS (median of " << repeats << ", "
+                  << hostWalkRefs << " host walk refs)\n";
+    }
+    vmArray += "]";
+
     // --- leg 2: sweep wall clock, serial vs pool ---
     const std::string csvPath = outPath + ".sweep.csv";
     std::cout << "sweep: " << sweepWorkloads.size() * core::allOrgs().size()
@@ -437,13 +497,14 @@ main(int argc, char **argv)
 
     obs::JsonObject doc;
     doc.put("schema", "eat.perf_baseline");
-    doc.put("v", 3);
+    doc.put("v", 4);
     doc.put("seed", std::uint64_t{42});
     doc.put("instructions", std::uint64_t{instructions});
     doc.put("fast_forward", std::uint64_t{fastForward});
     doc.put("repeats", repeats);
     doc.putRaw("kips", kipsArray);
     doc.putRaw("mc", mcArray);
+    doc.putRaw("vm", vmArray);
     doc.putRaw("sweep", sweep.str());
 
     std::ofstream out(outPath, std::ios::trunc);
@@ -464,7 +525,7 @@ main(int argc, char **argv)
 
     if (!baselinePath.empty()) {
         const auto offenders = checkBaseline(baselinePath, maxRegression,
-                                             kipsNow, mcNow);
+                                             kipsNow, mcNow, vmNow);
         if (!offenders.empty()) {
             for (const auto &o : offenders)
                 std::fprintf(stderr, "eatperf: regression: %s\n",

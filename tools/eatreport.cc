@@ -105,6 +105,8 @@ struct CoreAgg
     std::array<obs::ProvStructTotals, obs::kProvMeteredStructs> structs{};
     std::uint64_t shootdowns = 0;
     PicoJoules shootdownPj = 0.0;
+    std::uint64_t cohProbes = 0;
+    PicoJoules cohPj = 0.0;
 };
 
 /** One lightweight event kept for the Chrome export. */
@@ -219,6 +221,8 @@ parseSummaryCores(const obs::JsonValue &summary)
         CoreAgg &agg = cores[c];
         agg.shootdowns = count(co, "shootdowns");
         agg.shootdownPj = num(co, "shootdown_pj");
+        agg.cohProbes = count(co, "coh_probes");
+        agg.cohPj = num(co, "coh_pj");
         const obs::JsonValue *structs = co.find("structs");
         if (!structs || !structs->isArray())
             continue;
@@ -251,13 +255,17 @@ recordEvent(Stream &s, const obs::JsonValue &o, bool keepChrome)
     s.maxInstr = std::max(s.maxInstr, instr);
     ++s.eventLines;
 
-    // Shootdown/Translation/Interval lines carry no "s" field; give
-    // them a stable display structure instead of the Count sentinel.
+    // Shootdown/CohProbe/Translation/Interval lines carry no "s"
+    // field; give them a stable display structure instead of the
+    // Count sentinel.
     obs::ProvStruct structId = obs::provStructFromName(str(o, "s"));
     if (structId == obs::ProvStruct::Count) {
-        structId = kind == obs::ProvKind::Shootdown
-                       ? obs::ProvStruct::Shootdown
-                       : obs::ProvStruct::None;
+        if (kind == obs::ProvKind::Shootdown)
+            structId = obs::ProvStruct::Shootdown;
+        else if (kind == obs::ProvKind::CohProbe)
+            structId = obs::ProvStruct::Coherence;
+        else
+            structId = obs::ProvStruct::None;
     }
     const unsigned structIdx = static_cast<unsigned>(structId);
     const unsigned ps = static_cast<unsigned>(count(o, "ps"));
@@ -289,6 +297,10 @@ recordEvent(Stream &s, const obs::JsonValue &o, bool keepChrome)
       case obs::ProvKind::Shootdown:
         ++agg.shootdowns;
         agg.shootdownPj += pj;
+        break;
+      case obs::ProvKind::CohProbe:
+        ++agg.cohProbes;
+        agg.cohPj += pj;
         break;
       case obs::ProvKind::Interval:
         s.intervals[{core, count(o, "interval")}] = pj;
@@ -337,6 +349,16 @@ recordEvent(Stream &s, const obs::JsonValue &o, bool keepChrome)
             args.put("entries", count(o, "entries"));
             args.put("pj", pj);
             s.chrome.push_back({instr, core, kind, "shootdown",
+                                args.str()});
+            break;
+          }
+          case obs::ProvKind::CohProbe: {
+            obs::JsonObject args;
+            args.put("targeted_cores", count(o, "targets"));
+            args.put("entries", count(o, "entries"));
+            args.put("version", count(o, "version"));
+            args.put("pj", pj);
+            s.chrome.push_back({instr, core, kind, "coh_probe",
                                 args.str()});
             break;
           }
@@ -544,6 +566,12 @@ printReport(const Stream &s)
             std::cout << "core " << c << " shootdowns: "
                       << agg.shootdowns << " broadcasts, "
                       << stats::TextTable::num(agg.shootdownPj, 0)
+                      << " pJ\n";
+        }
+        if (agg.cohProbes > 0) {
+            std::cout << "core " << c << " hw coherence: "
+                      << agg.cohProbes << " filter probes, "
+                      << stats::TextTable::num(agg.cohPj, 0)
                       << " pJ\n";
         }
     }
@@ -858,6 +886,19 @@ reconcile(const Stream &s)
                    obs::jsonNumberExact(shootdownPj) +
                    " pJ != summary " +
                    obs::jsonNumberExact(num(co, "shootdown_pj")) +
+                   " pJ (exact)");
+        const std::uint64_t cohProbes =
+            c < s.cores.size() ? s.cores[c].cohProbes : 0;
+        const PicoJoules cohPj =
+            c < s.cores.size() ? s.cores[c].cohPj : 0.0;
+        expect(cohProbes == count(co, "coh_probes"),
+               tag + "event coherence probes " +
+                   std::to_string(cohProbes) + " != summary " +
+                   std::to_string(count(co, "coh_probes")));
+        expect(cohPj == num(co, "coh_pj"),
+               tag + "event coherence energy " +
+                   obs::jsonNumberExact(cohPj) + " pJ != summary " +
+                   obs::jsonNumberExact(num(co, "coh_pj")) +
                    " pJ (exact)");
     }
     return errors;

@@ -35,6 +35,7 @@
 #include "mc/mix.hh"
 #include "sim/simulator.hh"
 #include "stats/table.hh"
+#include "vm/host_table.hh"
 #include "workloads/suite.hh"
 
 namespace
@@ -84,6 +85,14 @@ usage(const char *argv0)
         "  --remap-interval=N   OS churn (and shootdowns) every N\n"
         "                       instructions per task (default off)\n"
         "  --fault-core=N       core targeted by --inject (default 0)\n"
+        "  --vm[=MODE]          nested paging: identity | paged\n"
+        "                       (bare --vm means paged; every guest\n"
+        "                       walk reference takes its own host walk)\n"
+        "  --host-pages=SZ      host page size: 4k | 2m | 1g\n"
+        "                       (requires --vm; default 4k)\n"
+        "  --coherence=MODE     how remap invalidations reach remote\n"
+        "                       cores: ipi | hw (multicore only;\n"
+        "                       default ipi)\n"
         "  --list               list the available workloads\n",
         argv0, argv0);
     std::exit(2);
@@ -212,6 +221,17 @@ printReport(const sim::SimResult &r)
                   << r.inject.spuriousEnables << " spurious enables)\n";
     }
 
+    if (s.hostWalks > 0) {
+        std::cout << "\nnested paging: " << s.hostWalks
+                  << " host walks, " << s.hostWalkMemRefs
+                  << " host memory references ("
+                  << stats::TextTable::num(
+                         static_cast<double>(s.hostWalkMemRefs) /
+                             static_cast<double>(s.hostWalks),
+                         2)
+                  << " refs/walk)\n";
+    }
+
     std::cout << "\nOS: " << r.pages4K << " x 4KB pages, " << r.pages2M
               << " x 2MB pages, " << r.numRanges << " ranges (coverage "
               << stats::TextTable::percent(r.rangeCoverage) << ")\n";
@@ -282,9 +302,25 @@ printMcReport(const mc::McResult &r)
     }
     tasks.print(std::cout);
 
-    std::cout << "\nshootdowns: " << r.shootdownEvents
-              << " broadcasts, " << r.shootdownInvalidations
-              << " remote entries invalidated\n";
+    std::uint64_t hostWalks = 0, hostWalkRefs = 0;
+    for (const auto &c : r.perCore) {
+        hostWalks += c.stats.hostWalks;
+        hostWalkRefs += c.stats.hostWalkMemRefs;
+    }
+    if (hostWalks > 0) {
+        std::cout << "\nnested paging: " << hostWalks << " host walks, "
+                  << hostWalkRefs
+                  << " host memory references (all cores)\n";
+    }
+
+    std::cout << "\nshootdowns: " << r.shootdownEvents << " events ("
+              << mc::coherenceModeName(r.coherence) << " coherence), "
+              << r.shootdownInvalidations << " entries invalidated\n";
+    if (r.coherence == mc::McConfig::CoherenceMode::Hw) {
+        std::cout << "hw coherence: " << r.coherenceProbes
+                  << " filter probes, " << r.coherenceTargetedCores
+                  << " sharer cores targeted\n";
+    }
 
     std::uint64_t checks = 0, mismatches = 0, injected = 0;
     for (const auto &c : r.perCore) {
@@ -368,6 +404,10 @@ main(int argc, char **argv)
     std::uint64_t quantum = 100'000;
     std::uint64_t remapInterval = 0;
     std::uint64_t faultCore = 0;
+    bool haveVm = false;
+    std::string vmModeName;
+    std::string hostPagesName;
+    std::string coherenceName;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         auto value = [&arg](const char *prefix) -> const char * {
@@ -472,6 +512,16 @@ main(int argc, char **argv)
             remapInterval = parseCount("--remap-interval", v17);
         } else if (const char *v18 = value("--fault-core=")) {
             faultCore = parseCount("--fault-core", v18);
+        } else if (arg == "--vm") {
+            haveVm = true;
+            vmModeName = "paged";
+        } else if (const char *vvm = value("--vm=")) {
+            haveVm = true;
+            vmModeName = vvm;
+        } else if (const char *vhp = value("--host-pages=")) {
+            hostPagesName = vhp;
+        } else if (const char *vcoh = value("--coherence=")) {
+            coherenceName = vcoh;
         } else if (arg == "--shared") {
             shared = true;
         } else if (arg == "--ctx-flush") {
@@ -491,6 +541,47 @@ main(int argc, char **argv)
         return 2;
     }
 
+    vm::HostMode hostMode = vm::HostMode::Paged;
+    if (haveVm) {
+        const auto mode = vm::hostModeFromName(vmModeName);
+        if (!mode.ok()) {
+            std::fprintf(stderr, "--vm: %s\n",
+                         mode.status().message().c_str());
+            return 2;
+        }
+        hostMode = mode.value();
+    }
+    vm::PageSize hostPageSize = vm::PageSize::Size4K;
+    if (!hostPagesName.empty()) {
+        if (!haveVm) {
+            std::fprintf(stderr, "--host-pages requires --vm\n");
+            return 2;
+        }
+        const auto size = vm::hostPageSizeFromName(hostPagesName);
+        if (!size.ok()) {
+            std::fprintf(stderr, "--host-pages: %s\n",
+                         size.status().message().c_str());
+            return 2;
+        }
+        hostPageSize = size.value();
+    }
+    mc::McConfig::CoherenceMode coherence =
+        mc::McConfig::CoherenceMode::Ipi;
+    if (!coherenceName.empty()) {
+        const auto mode = mc::coherenceModeFromName(coherenceName);
+        if (!mode.ok()) {
+            std::fprintf(stderr, "--coherence: %s\n",
+                         mode.status().message().c_str());
+            return 2;
+        }
+        coherence = mode.value();
+        if (!multicore) {
+            std::fprintf(stderr,
+                         "--coherence requires --cores/--mix\n");
+            return 2;
+        }
+    }
+
     if (workloadName.empty()) {
         cfg.workload = mixSpecs.front();
     } else {
@@ -505,6 +596,11 @@ main(int argc, char **argv)
     }
     cfg.mmu = core::MmuConfig::make(parseOrg(orgName));
     cfg.mmu.combinedFullyAssocL1 = combined;
+    if (haveVm) {
+        cfg.mmu.vmEnabled = true;
+        cfg.mmu.vmIdentityHost = hostMode == vm::HostMode::Identity;
+        cfg.mmu.hostPageSize = hostPageSize;
+    }
 
     if (multicore) {
         if (!recordPath.empty() || !replayPath.empty()) {
@@ -537,6 +633,7 @@ main(int argc, char **argv)
             mcc.quantumInstructions = quantum;
             mcc.remapInterval = remapInterval;
             mcc.faultCore = static_cast<unsigned>(faultCore);
+            mcc.coherence = coherence;
 
             const auto result = mc::mcSimulate(mcc);
             printMcReport(result);
