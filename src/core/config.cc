@@ -60,6 +60,20 @@ MmuConfig::make(MmuOrg org)
     return cfg;
 }
 
+void
+MmuConfig::enableL3(l3::L3Mode mode)
+{
+    l3Mode = mode;
+    if (mode == l3::L3Mode::None || !liteEnabled)
+        return;
+    // The backstop turns a downsizing-induced TLB miss into an L3
+    // probe instead of a full walk, so Lite may tolerate more misses.
+    if (lite.mode == lite::ThresholdMode::Relative)
+        lite.epsilonRelative *= l3LiteEpsilonScale;
+    else
+        lite.epsilonAbsoluteMpki *= l3LiteEpsilonScale;
+}
+
 namespace
 {
 
@@ -145,6 +159,55 @@ MmuConfig::validate() const
     }
     if (cohProbePj < 0.0 || cohPerCorePj < 0.0 || cohPerEntryPj < 0.0)
         return Status::error("coherence energy knobs must be non-negative");
+
+    if (l3Mode == l3::L3Mode::Cache) {
+        if (auto s = validateGeom("L3-cache TLB", l3Cache.entries,
+                                  l3Cache.ways);
+            !s.ok())
+            return s;
+        if (l3Cache.ptesPerLine == 0)
+            return Status::error("L3-cache TLB: ptesPerLine must be >= 1");
+        if (l3Cache.policy == l3::L3InsertPolicy::PtePromote &&
+            l3Cache.promoteStreak == 0) {
+            return Status::error("L3-cache TLB: promoteStreak must be >= 1 "
+                                 "under the promote policy");
+        }
+        const auto &llc = l3Cache.llc;
+        if (llc.lineBytes == 0 || !isPowerOfTwo(llc.lineBytes))
+            return Status::error("LLC: line size must be a power of two");
+        if (llc.capacityBytes == 0 ||
+            llc.capacityBytes % llc.lineBytes != 0)
+            return Status::error("LLC: capacity must be a whole number of "
+                                 "lines");
+        if (auto s = validateGeom("LLC", unsigned(llc.lines()), llc.ways);
+            !s.ok())
+            return s;
+        const std::uint64_t needLines =
+            (l3Cache.entries + l3Cache.ptesPerLine - 1) /
+            l3Cache.ptesPerLine;
+        if (needLines > llc.lines()) {
+            return Status::error("L3-cache TLB: ", l3Cache.entries,
+                                 " entries need ", needLines,
+                                 " LLC lines but the LLC has only ",
+                                 llc.lines());
+        }
+    } else if (l3Mode == l3::L3Mode::Dram) {
+        if (auto s = validateGeom("DRAM TLB", l3Dram.entries, l3Dram.ways);
+            !s.ok())
+            return s;
+        if (l3Dram.tagCacheEntries == 0 ||
+            !isPowerOfTwo(l3Dram.tagCacheEntries)) {
+            return Status::error("DRAM TLB: tag-cache entry count must be "
+                                 "a power of two");
+        }
+        if (l3Dram.dramReadPj < 0.0 || l3Dram.dramWritePj < 0.0)
+            return Status::error("DRAM TLB: access energies must be "
+                                 "non-negative");
+    }
+    if (l3Mode != l3::L3Mode::None && !(l3LiteEpsilonScale >= 1.0)) {
+        return Status::error("l3LiteEpsilonScale (", l3LiteEpsilonScale,
+                             ") must be >= 1");
+    }
 
     if (walkL1CacheHitRatio < 0.0 || walkL1CacheHitRatio > 1.0) {
         return Status::error("walkL1CacheHitRatio (", walkL1CacheHitRatio,

@@ -29,6 +29,7 @@
 
 #include "base/status.hh"
 #include "base/types.hh"
+#include "l3/l3_config.hh"
 #include "lite/lite_controller.hh"
 #include "tlb/mmu_cache.hh"
 #include "vm/memory_manager.hh"
@@ -141,6 +142,31 @@ struct MmuConfig
     double cohPerCorePj = 2.0;
     /** Energy per TLB entry invalidated (same CAM write as IPI mode). */
     double cohPerEntryPj = 0.4;
+
+    // --- L3 translation tier (cache-resident or in-DRAM TLB behind
+    // --- the L2 TLBs; valid on top of every organization) ---
+    l3::L3Mode l3Mode = l3::L3Mode::None;
+    l3::CacheTlbConfig l3Cache{};
+    l3::DramTlbConfig l3Dram{};
+    /**
+     * Lite epsilon relief: with an L3 backstop an L1-TLB miss costs a
+     * 7-cycle L2 probe (and an L2 miss a cheap L3 probe), not a full
+     * walk, so Lite can tolerate proportionally more misses when
+     * downsizing. enableL3() multiplies the active epsilon (relative
+     * or absolute MPKI) by this factor. The default x4 lets the
+     * relative-mode threshold (0.125 -> 0.5) accept the L1 floor
+     * geometry on scatter-heavy workloads whose lost-hit ratio sits
+     * near 1.3-1.5, which is what converts the tier's reach into L1
+     * downsizing energy.
+     */
+    double l3LiteEpsilonScale = 4.0;
+
+    /**
+     * Switch the L3 tier on (the supported way): sets l3Mode and, when
+     * Lite is enabled, relaxes its epsilon by l3LiteEpsilonScale so
+     * downsizing decisions see the backstop. No-op for L3Mode::None.
+     */
+    void enableL3(l3::L3Mode mode);
 
     // --- energy model knobs ---
     /**

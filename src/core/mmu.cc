@@ -155,6 +155,19 @@ Mmu::Mmu(const MmuConfig &config, const vm::PageTable &pageTable,
             cfg_.hostPwc.pdeWays);
     }
 
+    // L3 translation tier: at most one substrate behind the L2 TLBs.
+    // Both meters reuse the standard charge paths; the coefficient
+    // index selects the stage (dram: 0 = SRAM tag cache, 1 = DRAM
+    // array), so provenance reconciles with no new machinery.
+    if (cfg_.l3Mode == l3::L3Mode::Cache) {
+        l3Cache_ = std::make_unique<l3::CacheTlb>(cfg_.l3Cache, cacti_);
+        mL3_.coeffByLogWays = {l3Cache_->coefficients()};
+    } else if (cfg_.l3Mode == l3::L3Mode::Dram) {
+        l3Dram_ = std::make_unique<l3::DramTlb>(cfg_.l3Dram, cacti_);
+        mDram_.coeffByLogWays = {l3Dram_->tagCoefficients(),
+                                 l3Dram_->dramCoefficients()};
+    }
+
     // Page-walk references: a blend of L1 and L2 data-cache reads
     // controlled by the Figure-3 locality knob.
     const auto l1c = cacti_.estimate(StructClass::L1Cache, 512, 8);
@@ -188,6 +201,8 @@ Mmu::Mmu(const MmuConfig &config, const vm::PageTable &pageTable,
     mPdpte_.id = obs::ProvStruct::PwcPdpte;
     mPml4_.id = obs::ProvStruct::PwcPml4;
     mHostPwc_.id = obs::ProvStruct::HostPwc;
+    mL3_.id = obs::ProvStruct::L3Tlb;
+    mDram_.id = obs::ProvStruct::DramTlb;
 }
 
 void
@@ -701,6 +716,8 @@ Mmu::access(Addr vaddr)
         // mappings are redundant by construction.
         ++stats_.l2Hits;
         ++stats_.hitsBySource[static_cast<unsigned>(HitSource::L2Range)];
+        if (l3Cache_)
+            l3Cache_->noteL2Hit();
         if (checker_) {
             checker_->onRangeTranslation(
                 vaddr, l2r->paddr(vaddr),
@@ -725,6 +742,8 @@ Mmu::access(Addr vaddr)
     if (l2res.hit) {
         ++stats_.l2Hits;
         ++stats_.hitsBySource[static_cast<unsigned>(HitSource::L2Page)];
+        if (l3Cache_)
+            l3Cache_->noteL2Hit();
         if (checker_)
             checkPageHit(vaddr, l2res.entry, HitSource::L2Page);
         fillL1Page(l2res.entry);
@@ -734,9 +753,17 @@ Mmu::access(Addr vaddr)
     }
 
     // ------------------------------------------------------------------
-    // L2 miss: page walk (plus background range-table walk under RMM).
+    // L2 miss: L3 tier (when configured), then the page walk (plus
+    // background range-table walk under RMM).
     // ------------------------------------------------------------------
     ++stats_.l2Misses;
+
+    // An L3 hit serves the translation at L3-probe cost and skips the
+    // walk entirely (and, under RMM, the background range walk — the
+    // tier answers before either walker is engaged).
+    if ((l3Cache_ || l3Dram_) && probeL3(vaddr))
+        return;
+
     stats_.walkCycles += cfg_.pageWalkLatency;
     ++stats_.hitsBySource[static_cast<unsigned>(HitSource::PageWalk)];
 
@@ -778,6 +805,8 @@ Mmu::access(Addr vaddr)
         chargeWrite(mL2_, 0, entry.shift);
         provEvict(mL2_, l2Page_->fill(entry));
     }
+    if (l3Cache_ || l3Dram_)
+        fillL3(entry);
 
     if (rangeWalker_) {
         // The range-table walk happens in the background: dynamic
@@ -796,6 +825,85 @@ Mmu::access(Addr vaddr)
         }
     }
     provEnd(hitSourceName(HitSource::PageWalk), entry.shift, false);
+}
+
+bool
+Mmu::probeL3(Addr vaddr)
+{
+    ++stats_.l3Probes;
+    bool hit = false;
+    tlb::TlbEntry entry{};
+    if (l3Cache_) {
+        stats_.walkCycles += cfg_.l3Cache.probeLatency;
+        const auto res = l3Cache_->lookup(vaddr, asid_);
+        chargeRead(mL3_, 0, res.hit);
+        hit = res.hit;
+        entry = res.entry;
+    } else {
+        const auto res = l3Dram_->probe(vaddr, asid_);
+        // The SRAM tag cache is probed on every access; the DRAM array
+        // only when the tags could not prove the translation absent.
+        stats_.walkCycles += cfg_.l3Dram.tagLatency;
+        chargeRead(mDram_, 0, res.tagCacheHit);
+        if (res.tagCacheHit)
+            ++stats_.dramTagHits;
+        if (res.dramAccessed) {
+            ++stats_.dramAccesses;
+            stats_.walkCycles += cfg_.l3Dram.dramLatency;
+            chargeRead(mDram_, 1, res.hit);
+        }
+        hit = res.hit;
+        entry = res.entry;
+    }
+    if (!hit) {
+        ++stats_.l3Misses;
+        return false;
+    }
+
+    ++stats_.l3Hits;
+    // Tier-served translations count under the walk bucket: the
+    // frozen HitSource enum keeps digests stable, and the identities
+    // "bySource sums to memOps" and "walk-bucket hits == l2Misses"
+    // keep holding with the tier on.
+    ++stats_.hitsBySource[static_cast<unsigned>(HitSource::PageWalk)];
+    const std::string_view source = l3Cache_ ? "l3-tlb" : "dram-tlb";
+    if (checker_) {
+        checker_->onPageTranslation(vaddr, entry.paddr(vaddr), entry.size,
+                                    source);
+    }
+    fillL1Page(entry);
+    // The tier holds 4 KB entries, which the L2 TLB accepts in every
+    // organization (mixed L2s accept all sizes).
+    chargeWrite(mL2_, 0, entry.shift);
+    provEvict(mL2_, l2Page_->fill(entry));
+    provEnd(source, entry.shift, false);
+    return true;
+}
+
+void
+Mmu::fillL3(const tlb::TlbEntry &entry)
+{
+    // The tier holds 4 KB-granule translations only; huge-page walks
+    // bypass it (their reach is not the binding constraint).
+    if (entry.size != vm::PageSize::Size4K)
+        return;
+    if (l3Cache_) {
+        if (!l3Cache_->admitOnWalk())
+            return;
+        chargeWrite(mL3_, 0, entry.shift);
+        const bool evicted = l3Cache_->fill(entry);
+        provEvict(mL3_, evicted);
+        ++stats_.l3Fills;
+        if (evicted)
+            ++stats_.l3Evictions;
+    } else {
+        chargeWrite(mDram_, 1, entry.shift);
+        const bool evicted = l3Dram_->fill(entry);
+        provEvict(mDram_, evicted);
+        ++stats_.l3Fills;
+        if (evicted)
+            ++stats_.l3Evictions;
+    }
 }
 
 void
@@ -834,6 +942,10 @@ Mmu::switchContext(tlb::Asid asid, const vm::PageTable &pageTable,
             l1Range_->invalidateAll();
         if (l2Range_)
             l2Range_->invalidateAll();
+        if (l3Cache_)
+            l3Cache_->invalidateAll();
+        if (l3Dram_)
+            l3Dram_->invalidateAll();
     }
     if (checker_)
         checker_->setActiveAsid(asid);
@@ -857,6 +969,10 @@ Mmu::shootdownInvalidate(Addr vbase, Addr vlimit, tlb::Asid asid,
         n += l1Range_->invalidateRange(vbase, vlimit, asid);
     if (l2Range_)
         n += l2Range_->invalidateRange(vbase, vlimit, asid);
+    if (l3Cache_)
+        n += l3Cache_->invalidateRange(vbase, vlimit, asid);
+    if (l3Dram_)
+        n += l3Dram_->invalidateRange(vbase, vlimit, asid);
     // The paging-structure caches hold upper-level PTEs of the remapped
     // region; they are untagged, so the whole cache goes.
     mmuCache_.flush();
@@ -947,6 +1063,13 @@ Mmu::leakagePower(bool gated) const
         total += leak(mL1Range_, 0);
     if (l2Range_ && enabledL2Range_)
         total += leak(mL2Range_, 0);
+    // L3 tier leakage is constant while configured (reserved-share
+    // model for the cache substrate, SRAM tag cache for DRAM), so the
+    // leakage memo's key needs no new inputs.
+    if (l3Cache_)
+        total += leak(mL3_, 0);
+    if (l3Dram_)
+        total += leak(mDram_, 0);
     return total;
 }
 
@@ -1044,6 +1167,19 @@ Mmu::registerMetrics(obs::MetricRegistry &registry,
         registry.addCounter(name("mmu.host_walks"), &stats_.hostWalks);
         registry.addCounter(name("mmu.host_walk_mem_refs"),
                             &stats_.hostWalkMemRefs);
+    }
+    if (l3Cache_ || l3Dram_) {
+        registry.addCounter(name("mmu.l3_probes"), &stats_.l3Probes);
+        registry.addCounter(name("mmu.l3_hits"), &stats_.l3Hits);
+        registry.addCounter(name("mmu.l3_misses"), &stats_.l3Misses);
+        registry.addCounter(name("mmu.l3_fills"), &stats_.l3Fills);
+        registry.addCounter(name("mmu.l3_evictions"), &stats_.l3Evictions);
+    }
+    if (l3Dram_) {
+        registry.addCounter(name("mmu.dram_tag_hits"),
+                            &stats_.dramTagHits);
+        registry.addCounter(name("mmu.dram_accesses"),
+                            &stats_.dramAccesses);
     }
     registry.addCounter(name("mmu.l1_miss_cycles"), &stats_.l1MissCycles);
     registry.addCounter(name("mmu.walk_cycles"), &stats_.walkCycles);
@@ -1157,6 +1293,10 @@ Mmu::registerMetrics(obs::MetricRegistry &registry,
         addMeter(name("energy.host_pwc"), &mHostPwc_.meter);
         addMeter(name("energy.host_walk_mem"), &hostWalkMemMeter_);
     }
+    if (l3Cache_)
+        addMeter(name("energy.l3_tlb"), &mL3_.meter);
+    if (l3Dram_)
+        addMeter(name("energy.dram_tlb"), &mDram_.meter);
 
     if (lite_)
         lite_->registerMetrics(registry, prefix);
@@ -1204,14 +1344,16 @@ PicoJoules
 Mmu::dynamicEnergyTotal() const
 {
     // Summation order == ProvStruct enum order (reconciliation replays
-    // this exact IEEE addition sequence); host meters append last and
-    // read 0.0 in flat and identity-host runs.
+    // this exact IEEE addition sequence); host and L3 meters append
+    // last and read 0.0 in flat / identity-host / --l3=none runs, so
+    // adding them is bit-identical to the pre-L3 sum there.
     return m4K_.meter.total() + m2M_.meter.total() + m1G_.meter.total() +
            mL2_.meter.total() + mL1Range_.meter.total() +
            mL2Range_.meter.total() + mPde_.meter.total() +
            mPdpte_.meter.total() + mPml4_.meter.total() +
            walkMemMeter_.total() + rangeWalkMemMeter_.total() +
-           mHostPwc_.meter.total() + hostWalkMemMeter_.total();
+           mHostPwc_.meter.total() + hostWalkMemMeter_.total() +
+           mL3_.meter.total() + mDram_.meter.total();
 }
 
 void
@@ -1231,6 +1373,8 @@ Mmu::emitIntervalRecord(InstrCount intervalInstructions)
     rec.l2Hits = stats_.l2Hits - lastInterval_.l2Hits;
     rec.l2Misses = stats_.l2Misses - lastInterval_.l2Misses;
     rec.hostWalkRefs = stats_.hostWalkMemRefs - lastInterval_.hostWalkRefs;
+    rec.l3Probes = stats_.l3Probes - lastInterval_.l3Probes;
+    rec.l3Hits = stats_.l3Hits - lastInterval_.l3Hits;
     const Cycles missCycles = stats_.tlbMissCycles();
     rec.missCycles = missCycles - lastInterval_.missCycles;
     const PicoJoules dynamicPj = dynamicEnergyTotal();
@@ -1275,6 +1419,8 @@ Mmu::emitIntervalRecord(InstrCount intervalInstructions)
     lastInterval_.l2Hits = stats_.l2Hits;
     lastInterval_.l2Misses = stats_.l2Misses;
     lastInterval_.hostWalkRefs = stats_.hostWalkMemRefs;
+    lastInterval_.l3Probes = stats_.l3Probes;
+    lastInterval_.l3Hits = stats_.l3Hits;
     lastInterval_.missCycles = missCycles;
     lastInterval_.dynamicPj = dynamicPj;
     lastInterval_.checkMismatches = mismatches;
@@ -1320,31 +1466,35 @@ Mmu::energyReport() const
     addStruct("MMU-cache-PDPTE", mPdpte_, b.mmuCache);
     addStruct("MMU-cache-PML4", mPml4_, b.mmuCache);
 
-    b.pageWalkMem = walkMemMeter_.total();
-    if (walkMemMeter_.reads() > 0) {
-        report.structs.push_back({"page-walk memory", walkMemMeter_.reads(),
-                                  0, walkMemMeter_.readEnergy(), 0.0,
-                                  obs::ProvStruct::WalkMem});
-    }
-    b.rangeWalkMem = rangeWalkMemMeter_.total();
-    if (rangeWalkMemMeter_.reads() > 0) {
-        report.structs.push_back({"range-walk memory",
-                                  rangeWalkMemMeter_.reads(), 0,
-                                  rangeWalkMemMeter_.readEnergy(), 0.0,
-                                  obs::ProvStruct::RangeWalkMem});
-    }
+    // The walk-style meters share one row shape: read-only references
+    // whose row appears only when the meter was touched, so untouched
+    // meters leave the report — hence the digest — unchanged. (The
+    // category starts at 0.0 and every addend is >= 0, so += matches
+    // the old direct assignment bit for bit.)
+    auto addMemMeter = [&report](const std::string &name,
+                                 const energy::EnergyMeter &m,
+                                 obs::ProvStruct id, PicoJoules &category) {
+        category += m.total();
+        if (m.reads() == 0)
+            return;
+        report.structs.push_back(
+            {name, m.reads(), 0, m.readEnergy(), 0.0, id});
+    };
 
-    // Host (nested-paging) dimension. Both meters stay at zero reads in
-    // flat and identity-host runs, so addStruct/row emission is skipped
-    // there and the report — hence the digest — is unchanged.
+    addMemMeter("page-walk memory", walkMemMeter_, obs::ProvStruct::WalkMem,
+                b.pageWalkMem);
+    addMemMeter("range-walk memory", rangeWalkMemMeter_,
+                obs::ProvStruct::RangeWalkMem, b.rangeWalkMem);
+
+    // Host (nested-paging) dimension: zero reads in flat and
+    // identity-host runs, so the rows are skipped there.
     addStruct("host-PWC", mHostPwc_, b.mmuCache);
-    b.hostWalkMem = hostWalkMemMeter_.total();
-    if (hostWalkMemMeter_.reads() > 0) {
-        report.structs.push_back({"host-walk memory",
-                                  hostWalkMemMeter_.reads(), 0,
-                                  hostWalkMemMeter_.readEnergy(), 0.0,
-                                  obs::ProvStruct::HostWalkMem});
-    }
+    addMemMeter("host-walk memory", hostWalkMemMeter_,
+                obs::ProvStruct::HostWalkMem, b.hostWalkMem);
+
+    // L3 translation tier (rows appear only when a tier ran).
+    addStruct("L3-cache TLB", mL3_, b.l3Tlb);
+    addStruct("DRAM TLB", mDram_, b.l3Tlb);
 
     // Leakage of the currently active configuration and the static
     // energy integrals (companion metrics; the headline results are

@@ -37,6 +37,8 @@
 #include "energy/account.hh"
 #include "obs/prov_ids.hh"
 #include "energy/cacti_lite.hh"
+#include "l3/cache_tlb.hh"
+#include "l3/dram_tlb.hh"
 #include "lite/lite_controller.hh"
 #include "tlb/fully_assoc_tlb.hh"
 #include "tlb/mmu_cache.hh"
@@ -267,6 +269,8 @@ class Mmu
     tlb::MmuCache &mmuCache() { return mmuCache_; }
     tlb::MmuCache *hostPwc() { return hostPwc_.get(); }
     const vm::HostTable *hostTable() const { return hostTable_.get(); }
+    l3::CacheTlb *l3CacheTlb() { return l3Cache_.get(); }
+    l3::DramTlb *l3DramTlb() { return l3Dram_.get(); }
 
     bool l1Tlb2MEnabled() const { return enabled2M_; }
     bool l1RangeEnabled() const { return enabledL1Range_; }
@@ -320,6 +324,14 @@ class Mmu
 
     /** Audit the way masks of all page TLBs (periodic, Full level). */
     void auditWayMasks();
+
+    /** L2-miss-path probe of the L3 tier. Serves the access completely
+     *  (L1/L2 refills, checker, provenance close) on a hit.
+     *  @return true when the tier served the translation. */
+    bool probeL3(Addr vaddr);
+
+    /** Park a walked translation in the L3 tier per insertion policy. */
+    void fillL3(const tlb::TlbEntry &entry);
 
     /** Close the current telemetry interval and emit its record. */
     void emitIntervalRecord(InstrCount intervalInstructions);
@@ -379,6 +391,11 @@ class Mmu
     std::unique_ptr<tlb::MmuCache> hostPwc_;
     std::unique_ptr<vm::NestedWalker> nestedWalker_;
     std::unique_ptr<tlb::RangeTableWalker> rangeWalker_;
+
+    // L3 translation tier (at most one non-null; both null = --l3=none,
+    // which keeps every meter below untouched and digests unchanged).
+    std::unique_ptr<l3::CacheTlb> l3Cache_;
+    std::unique_ptr<l3::DramTlb> l3Dram_;
     std::unique_ptr<lite::LiteController> lite_;
     check::ShadowChecker *checker_ = nullptr;
 
@@ -399,6 +416,12 @@ class Mmu
      *  in flat and identity-host runs. */
     Metered mHostPwc_;
     energy::EnergyMeter hostWalkMemMeter_;
+    /** L3 tier meters. mL3_ (cache mode) has one coefficient slot: the
+     *  full-LLC access. mDram_ (dram mode) has two: index 0 the SRAM
+     *  tag cache, index 1 the DRAM array — chargeRead/chargeWrite's
+     *  logWays argument selects the stage, so provenance reconciles
+     *  through the standard path. */
+    Metered mL3_, mDram_;
     PicoJoules walkRefEnergy_ = 0.0; ///< blended L1/L2 cache read energy
 
     MmuStats stats_;
@@ -420,6 +443,8 @@ class Mmu
         std::uint64_t l2Hits = 0;
         std::uint64_t l2Misses = 0;
         std::uint64_t hostWalkRefs = 0;
+        std::uint64_t l3Probes = 0;
+        std::uint64_t l3Hits = 0;
         Cycles missCycles = 0;
         PicoJoules dynamicPj = 0.0;
         std::uint64_t checkMismatches = 0;

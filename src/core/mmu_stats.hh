@@ -66,6 +66,17 @@ struct MmuStats
     std::uint64_t hostWalks = 0;        ///< host (EPT) walks issued
     std::uint64_t hostWalkMemRefs = 0;  ///< host-table memory references
 
+    // L3 translation tier (all zero with --l3=none; the digest prints
+    // its l3 section only when probes occurred, which keeps none-runs
+    // byte-identical to pre-L3 builds).
+    std::uint64_t l3Probes = 0;  ///< L2-miss-path probes of the tier
+    std::uint64_t l3Hits = 0;    ///< translations served by the tier
+    std::uint64_t l3Misses = 0;  ///< probes that fell through to the walk
+    std::uint64_t l3Fills = 0;   ///< walked translations parked in the tier
+    std::uint64_t l3Evictions = 0; ///< fills that displaced a live entry
+    std::uint64_t dramTagHits = 0; ///< SRAM tag-cache hits (dram mode)
+    std::uint64_t dramAccesses = 0;///< DRAM array touches (dram mode)
+
     Cycles l1MissCycles = 0; ///< l1Misses * L2 hit latency
     Cycles walkCycles = 0;   ///< l2Misses * page-walk latency
 

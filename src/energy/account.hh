@@ -75,6 +75,7 @@ struct EnergyBreakdown
 {
     PicoJoules l1Tlb = 0.0;      ///< all L1 page/range TLBs
     PicoJoules l2Tlb = 0.0;      ///< all L2 page/range TLBs
+    PicoJoules l3Tlb = 0.0;      ///< L3 tier (cache-resident or in-DRAM TLB)
     PicoJoules mmuCache = 0.0;   ///< paging-structure caches (incl. host PWC)
     PicoJoules pageWalkMem = 0.0;///< page-walk memory references
     PicoJoules rangeWalkMem = 0.0;///< range-table-walk memory references
@@ -83,8 +84,8 @@ struct EnergyBreakdown
     PicoJoules
     total() const
     {
-        return l1Tlb + l2Tlb + mmuCache + pageWalkMem + rangeWalkMem +
-               hostWalkMem;
+        return l1Tlb + l2Tlb + l3Tlb + mmuCache + pageWalkMem +
+               rangeWalkMem + hostWalkMem;
     }
 };
 

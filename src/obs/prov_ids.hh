@@ -19,7 +19,7 @@ namespace eat::obs
 /**
  * Every energy-bearing structure of the translation datapath.
  *
- * The first thirteen ids are listed in the exact order
+ * The first fifteen ids are listed in the exact order
  * core::Mmu::dynamicEnergyTotal() sums its meters; reconciliation
  * reproduces that sum by adding per-structure totals in this enum
  * order, which keeps the IEEE-double result bit-identical.
@@ -39,6 +39,8 @@ enum class ProvStruct : std::uint8_t
     RangeWalkMem, ///< range-table-walk memory references
     HostPwc,      ///< host (EPT) paging-structure cache, lumped probe
     HostWalkMem,  ///< host-walk memory references (nested paging)
+    L3Tlb,        ///< cache-resident L3 TLB (--l3=cache)
+    DramTlb,      ///< in-DRAM TLB incl. its SRAM tag cache (--l3=dram)
     Shootdown,    ///< IPI broadcast cost (outside dynamicEnergyTotal)
     Coherence,    ///< hw-coherence filter probe (outside the sum too)
     None,         ///< control events with no structure

@@ -17,7 +17,7 @@ constexpr std::string_view kStructNames[] = {
     "l1_tlb_4k", "l1_tlb_2m",     "l1_tlb_1g", "l2_tlb",
     "l1_range",  "l2_range",      "pwc_pde",   "pwc_pdpte",
     "pwc_pml4",  "walk_mem",      "range_walk_mem",
-    "host_pwc",  "host_walk_mem",
+    "host_pwc",  "host_walk_mem", "l3_tlb",    "dram_tlb",
     "shootdown", "coherence",     "none",
 };
 static_assert(std::size(kStructNames) ==

@@ -33,6 +33,8 @@ TelemetrySink::emit(const IntervalRecord &r)
     o.put("l2_hits", r.l2Hits);
     o.put("l2_misses", r.l2Misses);
     o.put("host_walk_refs", r.hostWalkRefs);
+    o.put("l3_probes", r.l3Probes);
+    o.put("l3_hits", r.l3Hits);
     o.put("miss_cycles", r.missCycles);
     // Exact: the provenance reconciliation oracle re-derives this value
     // from traced events and demands bit-identity after a round-trip.

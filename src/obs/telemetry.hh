@@ -23,6 +23,10 @@
  * v3 adds "host_walk_refs", the interval's host (EPT) walk memory
  * references under nested paging. Always present; 0 in flat and
  * identity-host runs, so pre-vm readers can simply ignore it.
+ *
+ * v4 adds "l3_probes" and "l3_hits", the interval's L3 translation-tier
+ * activity. Always present; 0 with --l3=none, so pre-l3 readers can
+ * ignore them the same way.
  */
 
 #ifndef EAT_OBS_TELEMETRY_HH
@@ -44,7 +48,7 @@ namespace eat::obs
 
 /** Schema identifier stamped into every telemetry record. */
 inline constexpr std::string_view kTelemetrySchema = "eat.telemetry";
-inline constexpr int kTelemetryVersion = 3;
+inline constexpr int kTelemetryVersion = 4;
 
 /** One closed interval's worth of simulation telemetry. */
 struct IntervalRecord
@@ -61,6 +65,8 @@ struct IntervalRecord
     std::uint64_t l2Hits = 0;
     std::uint64_t l2Misses = 0; ///< page walks
     std::uint64_t hostWalkRefs = 0; ///< host-walk references (nested paging)
+    std::uint64_t l3Probes = 0; ///< L3-tier probes (0 with --l3=none)
+    std::uint64_t l3Hits = 0;   ///< L3-tier hits
     Cycles missCycles = 0;      ///< L1-miss + walk cycles
     PicoJoules dynamicPj = 0.0;
 

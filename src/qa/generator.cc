@@ -151,6 +151,20 @@ generateScenario(std::uint64_t campaignSeed, std::uint64_t index)
         }
     }
 
+    // A quarter of scenarios add the L3 translation tier — on top of
+    // whatever org/multicore/vm shape was drawn above, because the tier
+    // claims validity over every organization. Both substrates and both
+    // cache-tier insertion policies see fuzz traffic.
+    if (rng.chance(0.25)) {
+        s.l3Mode = rng.chance(0.5) ? "cache" : "dram";
+        if (s.l3Mode == "cache" && rng.chance(0.5)) {
+            s.l3Policy = rng.chance(0.5) ? "promote" : "walk";
+            if (s.l3Policy == "promote")
+                s.l3PromoteStreak =
+                    static_cast<unsigned>(rng.range(1, 6));
+        }
+    }
+
     const auto cfg = s.toSimConfig();
     eat_assert(cfg.mmu.validate().ok(),
                "generator emitted invalid scenario: ", s.describe());

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "core/mmu_stats.hh"
+#include "l3/l3_config.hh"
 
 namespace eat::qa
 {
@@ -112,7 +113,8 @@ checkEnergyConservation(const sim::SimResult &r, OracleVerdict &verdict)
 /**
  * The two-dimensional walk identities. Under a paged host every guest
  * page-walk reference plus the final guest-physical data address takes
- * its own host walk, so hostWalks == walkMemRefs + l2Misses exactly;
+ * its own host walk, so hostWalks == walkMemRefs + walks exactly,
+ * where walks is l2Misses minus the L3-tier hits that skipped the walk;
  * the host-PWC is probed once per host walk and the host-walk memory
  * meter charges one read per host reference. Flat and identity-host
  * runs must keep the whole host dimension at zero — that is what makes
@@ -128,9 +130,10 @@ checkNestedWalkAccounting(const sim::SimResult &r, bool pagedHost,
     const auto *pwcRow = findRow(r.energy.structs, "host-PWC");
     const auto *hostRow = findRow(r.energy.structs, "host-walk memory");
     if (pagedHost) {
-        oracle.expect(s.hostWalks == s.walkMemRefs + s.l2Misses,
+        const auto walks = s.l2Misses - s.l3Hits;
+        oracle.expect(s.hostWalks == s.walkMemRefs + walks,
                       s.hostWalks, " host walks but ", s.walkMemRefs,
-                      " guest walk references + ", s.l2Misses,
+                      " guest walk references + ", walks,
                       " nested walks demand one each");
         const auto pwcReads = pwcRow ? pwcRow->reads : 0;
         oracle.expect(pwcReads == s.hostWalks,
@@ -142,7 +145,7 @@ checkNestedWalkAccounting(const sim::SimResult &r, bool pagedHost,
                       "host-walk memory row charged ", hostReads,
                       " reads but the walker made ", s.hostWalkMemRefs,
                       " references");
-        if (s.l2Misses > 0) {
+        if (walks > 0) {
             oracle.expect(s.hostWalkMemRefs > 0,
                           "paged host made ", s.hostWalks,
                           " host walks but no memory references");
@@ -155,6 +158,80 @@ checkNestedWalkAccounting(const sim::SimResult &r, bool pagedHost,
         oracle.expect(!hostRow || hostRow->reads == 0,
                       "host-walk memory row present without a paged "
                       "host table");
+    }
+}
+
+/**
+ * L3-tier bookkeeping. The tier sits behind the L2 TLBs and in front of
+ * the walker, probed on *every* L2 miss, so l3Probes == l2Misses is the
+ * anchor identity; hits and misses partition the probes, fills are
+ * bounded by misses (only walked 4 KB translations are parked), and the
+ * energy rows must charge exactly one read per probe stage. With the
+ * tier off every counter stays zero and no L3 row may appear — that is
+ * what keeps --l3=none digest-identical to pre-L3 builds.
+ */
+void
+checkL3Accounting(const sim::SimResult &r, l3::L3Mode mode,
+                  OracleVerdict &verdict)
+{
+    Oracle oracle(verdict, "l3-accounting");
+
+    const auto &s = r.stats;
+    const auto *cacheRow = findRow(r.energy.structs, "L3-cache TLB");
+    const auto *dramRow = findRow(r.energy.structs, "DRAM TLB");
+
+    if (mode == l3::L3Mode::None) {
+        oracle.expect(s.l3Probes == 0 && s.l3Hits == 0 &&
+                          s.l3Misses == 0 && s.l3Fills == 0 &&
+                          s.l3Evictions == 0 && s.dramTagHits == 0 &&
+                          s.dramAccesses == 0,
+                      "L3 counters active (", s.l3Probes,
+                      " probes) without an L3 tier");
+        oracle.expect(!cacheRow && !dramRow,
+                      "an L3 energy row appeared without an L3 tier");
+        return;
+    }
+
+    oracle.expect(s.l3Probes == s.l2Misses,
+                  "the tier must be probed on every L2 miss: ",
+                  s.l3Probes, " probes but ", s.l2Misses, " L2 misses");
+    oracle.expect(s.l3Hits + s.l3Misses == s.l3Probes, "L3 hits ",
+                  s.l3Hits, " + misses ", s.l3Misses, " != probes ",
+                  s.l3Probes);
+    oracle.expect(s.l3Fills <= s.l3Misses, s.l3Fills,
+                  " fills exceed the ", s.l3Misses,
+                  " misses that could have walked");
+    oracle.expect(s.l3Evictions <= s.l3Fills, s.l3Evictions,
+                  " evictions exceed ", s.l3Fills, " fills");
+
+    if (mode == l3::L3Mode::Cache) {
+        oracle.expect(s.dramTagHits == 0 && s.dramAccesses == 0,
+                      "cache-resident tier kept a DRAM book: ",
+                      s.dramTagHits, " tag hits, ", s.dramAccesses,
+                      " accesses");
+        oracle.expect(!dramRow, "DRAM TLB row in a cache-tier run");
+        const auto reads = cacheRow ? cacheRow->reads : 0;
+        const auto writes = cacheRow ? cacheRow->writes : 0;
+        oracle.expect(reads == s.l3Probes, "L3-cache TLB row charged ",
+                      reads, " reads for ", s.l3Probes, " probes");
+        oracle.expect(writes == s.l3Fills, "L3-cache TLB row charged ",
+                      writes, " writes for ", s.l3Fills, " fills");
+    } else {
+        oracle.expect(!cacheRow, "L3-cache TLB row in a dram-tier run");
+        oracle.expect(s.dramTagHits <= s.l3Probes, s.dramTagHits,
+                      " tag-cache hits exceed ", s.l3Probes, " probes");
+        oracle.expect(s.dramAccesses <= s.l3Probes, s.dramAccesses,
+                      " DRAM accesses exceed ", s.l3Probes, " probes");
+        // Every probe pays the SRAM tag stage; only dramAccesses reach
+        // the array. Both stages charge reads on the one meter.
+        const auto reads = dramRow ? dramRow->reads : 0;
+        const auto writes = dramRow ? dramRow->writes : 0;
+        oracle.expect(reads == s.l3Probes + s.dramAccesses,
+                      "DRAM TLB row charged ", reads, " reads for ",
+                      s.l3Probes, " tag probes + ", s.dramAccesses,
+                      " array accesses");
+        oracle.expect(writes == s.l3Fills, "DRAM TLB row charged ",
+                      writes, " writes for ", s.l3Fills, " fills");
     }
 }
 
@@ -272,7 +349,15 @@ resultDigest(const sim::SimResult &r)
        << '/' << s.l1Misses << " l2" << s.l2Hits << '/' << s.l2Misses
        << " w" << s.walkMemRefs << " hw" << s.hostWalks << '/'
        << s.hostWalkMemRefs << " rw" << s.rangeWalks << '/'
-       << s.rangeWalkMemRefs << " c" << s.l1MissCycles << '/'
+       << s.rangeWalkMemRefs;
+    // The L3 tier's section is conditional so that --l3=none digests
+    // stay byte-identical to pre-L3 builds (the golden-digest contract).
+    if (s.l3Probes > 0) {
+        os << " l3" << s.l3Probes << '/' << s.l3Hits << '/'
+           << s.l3Misses << '/' << s.l3Fills << '/' << s.l3Evictions
+           << '/' << s.dramTagHits << '/' << s.dramAccesses;
+    }
+    os << " c" << s.l1MissCycles << '/'
        << s.walkCycles << " wl" << s.l1WayLookups4K.toString() << '/'
        << s.l1WayLookups2M.toString();
     os << " src";
@@ -284,6 +369,8 @@ resultDigest(const sim::SimResult &r)
        << '/' << r.energy.breakdown.pageWalkMem << '/'
        << r.energy.breakdown.rangeWalkMem << '/'
        << r.energy.breakdown.hostWalkMem;
+    if (s.l3Probes > 0)
+        os << '/' << r.energy.breakdown.l3Tlb;
     os << " st" << r.energy.leakagePower << '/'
        << r.energy.staticEnergyGated << '/' << r.energy.staticEnergyFull;
     for (const auto &row : r.energy.structs) {
@@ -575,6 +662,9 @@ runMcOracles(const Scenario &scenario, Mutation mutation)
             checkNestedWalkAccounting(r, pagedHost, verdict);
     }
 
+    for (const auto &r : result.perCore)
+        checkL3Accounting(r, cfg.base.mmu.l3Mode, verdict);
+
     // A one-task multicore run (churn off) must be the single-core
     // driver, bit for bit — the acceptance bar for `--cores 1`.
     if (cfg.cores == 1 && cfg.mix.size() == 1 &&
@@ -668,6 +758,7 @@ runOracles(const Scenario &scenario, Mutation mutation)
     checkEnergyConservation(result, verdict);
     checkNestedWalkAccounting(
         result, cfg.mmu.vmEnabled && !cfg.mmu.vmIdentityHost, verdict);
+    checkL3Accounting(result, cfg.mmu.l3Mode, verdict);
 
     // An identity host table engages the nested walker but must charge
     // nothing: the run is digest-identical to the same scenario on

@@ -3,6 +3,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "l3/l3_config.hh"
 #include "mc/mix.hh"
 #include "obs/json.hh"
 #include "vm/host_table.hh"
@@ -47,6 +48,23 @@ Scenario::toSimConfig() const
         cfg.mmu.vmEnabled = true;
         cfg.mmu.vmIdentityHost = mode.value() == vm::HostMode::Identity;
         cfg.mmu.hostPageSize = size.value();
+    }
+    if (hasL3()) {
+        const auto mode = l3::l3ModeFromName(l3Mode);
+        if (!mode.ok())
+            eat_fatal("scenario ", id, ": ", mode.status().message());
+        if (!l3Policy.empty()) {
+            const auto policy = l3::l3InsertPolicyFromName(l3Policy);
+            if (!policy.ok())
+                eat_fatal("scenario ", id, ": ",
+                          policy.status().message());
+            cfg.mmu.l3Cache.policy = policy.value();
+        }
+        if (l3PromoteStreak > 0)
+            cfg.mmu.l3Cache.promoteStreak = l3PromoteStreak;
+        // After the Lite overrides above: enableL3 scales the active
+        // epsilon, so it must see the scenario's final Lite schedule.
+        cfg.mmu.enableL3(mode.value());
     }
     return cfg;
 }
@@ -113,6 +131,13 @@ Scenario::toJson() const
         json.put("vm", vmMode);
         json.put("host_pages", hostPages);
     }
+    if (hasL3()) {
+        json.put("l3", l3Mode);
+        if (!l3Policy.empty())
+            json.put("l3_policy", l3Policy);
+        if (l3PromoteStreak > 0)
+            json.put("l3_promote_streak", l3PromoteStreak);
+    }
     return json.str();
 }
 
@@ -149,6 +174,13 @@ Scenario::describe() const
         os << ", vm " << vmMode;
         if (vmMode == "paged")
             os << '/' << hostPages;
+    }
+    if (hasL3()) {
+        os << ", l3 " << l3Mode;
+        if (!l3Policy.empty())
+            os << '/' << l3Policy;
+        if (l3PromoteStreak > 0)
+            os << "/streak" << l3PromoteStreak;
     }
     return os.str();
 }
@@ -380,6 +412,47 @@ scenarioFromJson(std::string_view text)
                 return Status::error("scenario: ",
                                      mode.status().message());
         }
+    }
+
+    // L3-tier fields are likewise optional (absent in pre-L3 seeds).
+    // Tuning fields without the mode are orphans: they describe nothing
+    // and almost certainly mean a typo'd seed, so reject loudly.
+    if (const auto *l3Field = json.find("l3")) {
+        if (!l3Field->isString())
+            return Status::error("scenario: non-string field 'l3'");
+        s.l3Mode = l3Field->string;
+        if (!s.l3Mode.empty()) {
+            const auto mode = l3::l3ModeFromName(s.l3Mode);
+            if (!mode.ok())
+                return Status::error("scenario: ",
+                                     mode.status().message());
+        }
+    }
+    if (const auto *policy = json.find("l3_policy")) {
+        if (!policy->isString())
+            return Status::error("scenario: non-string field "
+                                 "'l3_policy'");
+        if (s.l3Mode != "cache") {
+            return Status::error("scenario: 'l3_policy' without "
+                                 "'l3': 'cache'");
+        }
+        s.l3Policy = policy->string;
+        const auto parsedPolicy = l3::l3InsertPolicyFromName(s.l3Policy);
+        if (!parsedPolicy.ok())
+            return Status::error("scenario: ",
+                                 parsedPolicy.status().message());
+    }
+    if (json.find("l3_promote_streak")) {
+        if (s.l3Policy != "promote") {
+            return Status::error("scenario: 'l3_promote_streak' without "
+                                 "'l3_policy': 'promote'");
+        }
+        std::uint64_t streak = 0;
+        if (auto st = u64("l3_promote_streak", streak); !st.ok())
+            return st;
+        if (streak == 0)
+            return Status::error("scenario: zero 'l3_promote_streak'");
+        s.l3PromoteStreak = static_cast<unsigned>(streak);
     }
 
     // The scenario must describe a constructible machine.

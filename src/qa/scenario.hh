@@ -18,8 +18,9 @@
  *    "lite_interval": ..., "lite_epsilon": ..., "lite_full_act_prob":
  *    ..., "fault_spec": ...}
  *
- * plus optional multicore fields ("cores", "mix", ...) and optional
- * virtualization fields ("vm", "host_pages", "coherence").
+ * plus optional multicore fields ("cores", "mix", ...), optional
+ * virtualization fields ("vm", "host_pages", "coherence"), and optional
+ * L3-tier fields ("l3", "l3_policy", "l3_promote_streak").
  *
  * written and parsed with the obs JSON substrate, so corpus files need
  * no third-party tooling to read or edit.
@@ -88,11 +89,19 @@ struct Scenario
     std::string hostPages = "4k"; ///< host page size of a paged host
     std::string coherence;        ///< "", "ipi", or "hw"
 
+    // --- L3 translation tier (optional in seed files; empty = none).
+    std::string l3Mode;   ///< "", "cache", or "dram"
+    std::string l3Policy; ///< "", "walk", or "promote" (cache tier only)
+    unsigned l3PromoteStreak = 0; ///< promote threshold; 0 = default
+
     /** True when the scenario runs the multicore driver. */
     bool multicore() const { return cores > 1 || !mixSpec.empty(); }
 
     /** True when the scenario runs under nested paging. */
     bool virtualized() const { return !vmMode.empty(); }
+
+    /** True when the scenario configures an L3 translation tier. */
+    bool hasL3() const { return !l3Mode.empty() && l3Mode != "none"; }
 
     /** The SimConfig this scenario describes (checker always Full). */
     sim::SimConfig toSimConfig() const;

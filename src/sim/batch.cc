@@ -137,6 +137,18 @@ applyVm(const BatchOptions &options, core::MmuConfig &mmu)
     mmu.hostPageSize = options.hostPageSize;
 }
 
+/** Layer the sweep's L3-tier knobs onto one cell's MmuConfig. */
+void
+applyL3(const BatchOptions &options, core::MmuConfig &mmu)
+{
+    if (options.l3Mode == l3::L3Mode::None)
+        return;
+    mmu.l3Cache.policy = options.l3Policy;
+    if (options.l3PromoteStreak > 0)
+        mmu.l3Cache.promoteStreak = options.l3PromoteStreak;
+    mmu.enableL3(options.l3Mode);
+}
+
 /** The multicore counterpart: one mix under one organization. */
 RunOutcome
 executeMcRun(const mc::McConfig &cfg, bool deliberateFail)
@@ -291,6 +303,11 @@ sweepFingerprint(const BatchOptions &options,
     if (options.vmEnabled) {
         os << "|vm=" << (options.vmIdentityHost ? "identity" : "paged")
            << "," << vm::hostPageSizeName(options.hostPageSize);
+    }
+    if (options.l3Mode != l3::L3Mode::None) {
+        os << "|l3=" << l3::l3ModeName(options.l3Mode) << ","
+           << l3::l3InsertPolicyName(options.l3Policy) << ","
+           << options.l3PromoteStreak;
     }
     return os.str();
 }
@@ -639,6 +656,7 @@ runBatch(const BatchOptions &options, std::ostream &log)
             mcc.base.workload = mix.front();
             mcc.base.mmu = core::MmuConfig::make(cells[index].org);
             applyVm(options, mcc.base.mmu);
+            applyL3(options, mcc.base.mmu);
             mcc.cores = options.cores;
             mcc.mix = mix;
             mcc.sharedAddressSpace = options.mcShared;
@@ -660,6 +678,7 @@ runBatch(const BatchOptions &options, std::ostream &log)
         cfg.workload = *cells[index].spec;
         cfg.mmu = core::MmuConfig::make(cells[index].org);
         applyVm(options, cfg.mmu);
+        applyL3(options, cfg.mmu);
         if (!options.telemetryDir.empty()) {
             cfg.telemetryPath = options.telemetryDir + "/" +
                                 fileLabel + "_" + row.org + ".jsonl";

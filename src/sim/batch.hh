@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "base/status.hh"
+#include "l3/l3_config.hh"
 #include "mc/mc_simulator.hh"
 #include "sim/simulator.hh"
 
@@ -162,6 +163,16 @@ struct BatchOptions
     bool vmEnabled = false;
     bool vmIdentityHost = false;
     vm::PageSize hostPageSize = vm::PageSize::Size4K;
+
+    /**
+     * L3 translation tier for every cell, layered onto the org-derived
+     * MmuConfig like the vm knobs above. The tier's identity enters the
+     * sweep fingerprint, so --resume refuses to splice rows from a
+     * sweep that ran a different tier.
+     */
+    l3::L3Mode l3Mode = l3::L3Mode::None;
+    l3::L3InsertPolicy l3Policy = l3::L3InsertPolicy::WalkFill;
+    unsigned l3PromoteStreak = 0; ///< 0 keeps the config default
 
     bool multicore() const { return cores > 1 || !mix.empty(); }
 };

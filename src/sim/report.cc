@@ -57,22 +57,41 @@ BenchOptions::parse(int argc, char **argv)
     return opts;
 }
 
+std::vector<OrgVariant>
+orgVariants(const std::vector<core::MmuOrg> &orgs)
+{
+    std::vector<OrgVariant> variants;
+    variants.reserve(orgs.size());
+    for (const auto org : orgs) {
+        variants.push_back({std::string(core::orgName(org)),
+                            core::MmuConfig::make(org)});
+    }
+    return variants;
+}
+
 std::vector<WorkloadRow>
 runMatrix(const std::vector<workloads::WorkloadSpec> &workloads,
           const std::vector<core::MmuOrg> &orgs, const BenchOptions &opts)
+{
+    return runMatrix(workloads, orgVariants(orgs), opts);
+}
+
+std::vector<WorkloadRow>
+runMatrix(const std::vector<workloads::WorkloadSpec> &workloads,
+          const std::vector<OrgVariant> &variants,
+          const BenchOptions &opts)
 {
     std::vector<WorkloadRow> rows;
     rows.reserve(workloads.size());
     for (const auto &w : workloads) {
         WorkloadRow row;
         row.workload = w.name;
-        for (const auto org : orgs) {
+        for (const auto &variant : variants) {
             std::fprintf(stderr, "  running %-12s under %-8s ...\n",
-                         w.name.c_str(),
-                         std::string(core::orgName(org)).c_str());
+                         w.name.c_str(), variant.label.c_str());
             SimConfig cfg;
             cfg.workload = w;
-            cfg.mmu = core::MmuConfig::make(org);
+            cfg.mmu = variant.mmu;
             cfg.simulateInstructions = opts.simulateInstructions;
             cfg.fastForwardInstructions = opts.fastForwardInstructions;
             cfg.seed = opts.seed;
@@ -100,18 +119,27 @@ normalizedTable(const std::vector<WorkloadRow> &rows,
                 double (*metric)(const SimResult &),
                 const std::string &metricName)
 {
+    return normalizedTable(rows, orgVariants(orgs), metric, metricName);
+}
+
+stats::TextTable
+normalizedTable(const std::vector<WorkloadRow> &rows,
+                const std::vector<OrgVariant> &variants,
+                double (*metric)(const SimResult &),
+                const std::string &metricName)
+{
     std::vector<std::string> headers{metricName};
-    for (const auto org : orgs)
-        headers.emplace_back(core::orgName(org));
+    for (const auto &variant : variants)
+        headers.push_back(variant.label);
     stats::TextTable table(std::move(headers));
 
-    std::vector<std::vector<double>> normByOrg(orgs.size());
+    std::vector<std::vector<double>> normByOrg(variants.size());
     for (const auto &row : rows) {
-        eat_assert(row.byOrg.size() == orgs.size(),
+        eat_assert(row.byOrg.size() == variants.size(),
                    "row/org arity mismatch");
         const double base = metric(row.byOrg[0]);
         std::vector<std::string> cells{row.workload};
-        for (std::size_t o = 0; o < orgs.size(); ++o) {
+        for (std::size_t o = 0; o < variants.size(); ++o) {
             const double v = metric(row.byOrg[o]);
             const double norm = base > 0.0 ? v / base : 0.0;
             normByOrg[o].push_back(norm);
@@ -121,7 +149,7 @@ normalizedTable(const std::vector<WorkloadRow> &rows,
     }
 
     std::vector<std::string> avg{"average"};
-    for (std::size_t o = 0; o < orgs.size(); ++o)
+    for (std::size_t o = 0; o < variants.size(); ++o)
         avg.push_back(stats::TextTable::num(meanOf(normByOrg[o]), 3));
     table.addRow(std::move(avg));
     return table;

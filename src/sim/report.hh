@@ -45,12 +45,35 @@ struct WorkloadRow
 };
 
 /**
+ * One column of a comparison matrix: a display label plus the complete
+ * MmuConfig it runs. The six paper organizations are variants made
+ * straight from MmuConfig::make; derived columns (an org plus the L3
+ * tier, a tuned epsilon, ...) carry their own label so tables stay
+ * self-describing.
+ */
+struct OrgVariant
+{
+    std::string label;
+    core::MmuConfig mmu;
+};
+
+/** The plain variants of @p orgs (label = orgName, config = make). */
+std::vector<OrgVariant>
+orgVariants(const std::vector<core::MmuOrg> &orgs);
+
+/**
  * Run @p workloads under every organization in @p orgs.
  * Progress is reported on stderr (runs take seconds each).
  */
 std::vector<WorkloadRow>
 runMatrix(const std::vector<workloads::WorkloadSpec> &workloads,
           const std::vector<core::MmuOrg> &orgs, const BenchOptions &opts);
+
+/** As above, over labeled configuration variants. */
+std::vector<WorkloadRow>
+runMatrix(const std::vector<workloads::WorkloadSpec> &workloads,
+          const std::vector<OrgVariant> &variants,
+          const BenchOptions &opts);
 
 /**
  * Geometric means are inappropriate for normalized mixes of signs;
@@ -68,6 +91,13 @@ double meanOf(const std::vector<double> &values);
 stats::TextTable
 normalizedTable(const std::vector<WorkloadRow> &rows,
                 const std::vector<core::MmuOrg> &orgs,
+                double (*metric)(const SimResult &),
+                const std::string &metricName);
+
+/** As above, with variant labels as the column headers. */
+stats::TextTable
+normalizedTable(const std::vector<WorkloadRow> &rows,
+                const std::vector<OrgVariant> &variants,
                 double (*metric)(const SimResult &),
                 const std::string &metricName);
 

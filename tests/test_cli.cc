@@ -197,6 +197,59 @@ TEST(CliEatbatch, RejectsMalformedInjectAndUsage)
                   1, "unknown workload");
 }
 
+TEST(CliEatsim, RejectsBadL3Flags)
+{
+    // Unknown mode, policy without the cache substrate, streak without
+    // the promote policy, and a zero streak: usage errors before any
+    // simulation starts.
+    expectFailure(kEatsim + " --workload=mcf --l3=bogus", 2,
+                  "unknown l3 mode");
+    expectFailure(kEatsim + " --workload=mcf --l3-policy=walk", 2,
+                  "--l3-policy requires --l3=cache");
+    expectFailure(kEatsim + " --workload=mcf --l3=dram --l3-policy=walk",
+                  2, "--l3-policy requires --l3=cache");
+    expectFailure(kEatsim +
+                      " --workload=mcf --l3=cache --l3-promote-streak=3",
+                  2, "--l3-promote-streak requires --l3-policy=promote");
+    expectFailure(kEatsim + " --workload=mcf --l3=cache "
+                            "--l3-policy=promote --l3-promote-streak=0",
+                  2, "must be positive");
+}
+
+TEST(CliEatbatch, RejectsBadL3Flags)
+{
+    const std::string base =
+        kEatbatch + " --out=" + ::testing::TempDir() + "/cli_l3.csv";
+    expectFailure(base + " --l3=bogus", 2, "unknown l3 mode");
+    expectFailure(base + " --l3-policy=walk", 2,
+                  "--l3-policy requires --l3=cache");
+    expectFailure(base + " --l3=cache --l3-promote-streak=2", 2,
+                  "--l3-promote-streak requires --l3-policy=promote");
+    expectFailure(base + " --l3=cache --l3-policy=promote "
+                         "--l3-promote-streak=0",
+                  2, "must be positive");
+}
+
+TEST(CliEatbatch, ResumeRefusesAForeignL3Fingerprint)
+{
+    // The sweep's l3 knobs are part of the checkpoint fingerprint:
+    // resuming a journal under a different tier configuration must be
+    // refused outright, not silently mixed into the CSV.
+    const std::string csv = ::testing::TempDir() + "/cli_l3fp.csv";
+    const std::string journal = ::testing::TempDir() + "/cli_l3fp.journal";
+    std::remove(csv.c_str());
+    std::remove(journal.c_str());
+
+    const std::string base = kEatbatch + " --out=" + csv +
+                             " --workloads=mcf --orgs=4KB"
+                             " --instructions=20000 --fast-forward=2000"
+                             " --checkpoint=" + journal;
+    const CmdResult seeded = run(base);
+    ASSERT_EQ(seeded.exitCode, 0) << seeded.output;
+    expectFailure(base + " --l3=cache --resume", 1,
+                  "belongs to a different campaign");
+}
+
 TEST(CliEatperf, RequiresAnOutputPath)
 {
     expectFailure(kEatperf, 2, "usage");

@@ -97,7 +97,16 @@ usage(const char *argv0)
         "  --vm[=MODE]          nested paging per cell: identity |\n"
         "                       paged (bare --vm means paged)\n"
         "  --host-pages=SZ      host page size: 4k | 2m | 1g\n"
-        "                       (requires --vm; default 4k)\n",
+        "                       (requires --vm; default 4k)\n"
+        "  --l3=MODE            L3 translation tier per cell: none |\n"
+        "                       cache | dram (default none; part of the\n"
+        "                       sweep fingerprint, so --resume refuses\n"
+        "                       rows from a different tier)\n"
+        "  --l3-policy=POLICY   cache-tier insertion: walk | promote\n"
+        "                       (requires --l3=cache)\n"
+        "  --l3-promote-streak=N\n"
+        "                       promotion threshold (requires\n"
+        "                       --l3-policy=promote)\n",
         argv0);
     std::exit(2);
 }
@@ -139,6 +148,10 @@ main(int argc, char **argv)
     bool haveCoherence = false;
     std::string vmModeName;
     std::string hostPagesName;
+    std::string l3ModeName;
+    std::string l3PolicyName;
+    std::uint64_t l3PromoteStreak = 0;
+    bool haveL3Streak = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -262,6 +275,13 @@ main(int argc, char **argv)
             vmModeName = vvm;
         } else if (const char *vhp = value("--host-pages=")) {
             hostPagesName = vhp;
+        } else if (const char *vl3 = value("--l3=")) {
+            l3ModeName = vl3;
+        } else if (const char *vl3p = value("--l3-policy=")) {
+            l3PolicyName = vl3p;
+        } else if (const char *vl3s = value("--l3-promote-streak=")) {
+            l3PromoteStreak = parseCount("--l3-promote-streak", vl3s);
+            haveL3Streak = true;
         } else if (arg == "--shared") {
             options.mcShared = true;
         } else if (arg == "--ctx-flush") {
@@ -302,6 +322,42 @@ main(int argc, char **argv)
             return 2;
         }
         options.hostPageSize = size.value();
+    }
+    if (!l3ModeName.empty()) {
+        const auto mode = l3::l3ModeFromName(l3ModeName);
+        if (!mode.ok()) {
+            std::fprintf(stderr, "--l3: %s\n",
+                         std::string(mode.status().message()).c_str());
+            return 2;
+        }
+        options.l3Mode = mode.value();
+    }
+    if (!l3PolicyName.empty()) {
+        if (options.l3Mode != l3::L3Mode::Cache) {
+            std::fprintf(stderr, "--l3-policy requires --l3=cache\n");
+            return 2;
+        }
+        const auto policy = l3::l3InsertPolicyFromName(l3PolicyName);
+        if (!policy.ok()) {
+            std::fprintf(stderr, "--l3-policy: %s\n",
+                         std::string(policy.status().message()).c_str());
+            return 2;
+        }
+        options.l3Policy = policy.value();
+    }
+    if (haveL3Streak) {
+        if (options.l3Policy != l3::L3InsertPolicy::PtePromote) {
+            std::fprintf(stderr, "--l3-promote-streak requires "
+                                 "--l3-policy=promote\n");
+            return 2;
+        }
+        if (l3PromoteStreak == 0) {
+            std::fprintf(stderr,
+                         "--l3-promote-streak: must be positive\n");
+            return 2;
+        }
+        options.l3PromoteStreak =
+            static_cast<unsigned>(l3PromoteStreak);
     }
 
     if (workloadsArg.empty()) {

@@ -22,12 +22,12 @@
  * per-row simulation facts (e.g. the front-cache hit rate) are taken
  * from the first repeat.
  *
- * BENCH_perf.json schema (v4; v3 lacked the "vm" array, v2 lacked
- * "repeats" and the per-row "front_cache_hit_rate", v1 lacked the
- * "mc" array):
+ * BENCH_perf.json schema (v5; v4 lacked the "l3" array, v3 lacked the
+ * "vm" array, v2 lacked "repeats" and the per-row
+ * "front_cache_hit_rate", v1 lacked the "mc" array):
  *
  *   {
- *     "schema": "eat.perf_baseline", "v": 4,
+ *     "schema": "eat.perf_baseline", "v": 5,
  *     "seed": ..., "instructions": ..., "fast_forward": ...,
  *     "repeats": N,
  *     "kips": [ {"org": "THP", "workload": "mcf",
@@ -38,6 +38,8 @@
  *     "vm": [ {"vm": "identity", "host_pages": "4k",
  *              "sim_kips": <median>, "wall_seconds": <median>,
  *              "host_walk_refs": ...}, ... ],
+ *     "l3": [ {"l3": "none", "sim_kips": <median>,
+ *              "wall_seconds": <median>, "l3_hit_rate": ...}, ... ],
  *     "sweep": { "workloads": "mcf,astar", "orgs": 6, "cells": 12,
  *                "jobs": N, "j1_wall_seconds": ...,
  *                "jn_wall_seconds": ..., "speedup": ... }
@@ -49,7 +51,11 @@
  * for. The "vm" leg runs the kips workload under nested paging —
  * identity host (must cost nothing) and paged host (every guest walk
  * reference takes its own host walk) — so two-dimensional-walk
- * slowdowns are tracked like everything else.
+ * slowdowns are tracked like everything else. The "l3" leg runs the
+ * kips workload under TLB_Lite with the L3 translation tier off,
+ * cache-resident, and in-DRAM, with each run's L3 hit rate recorded
+ * beside the rate — the tier's probe path rides the L2-miss path, so
+ * a slowdown here means the probe leaked onto a hot path.
  *
  * With --baseline=PATH the run additionally regresses itself against a
  * previously committed BENCH_perf.json: every per-org sim_kips row and
@@ -74,6 +80,7 @@
 #include <vector>
 
 #include "base/parse.hh"
+#include "l3/l3_config.hh"
 #include "mc/mc_simulator.hh"
 #include "mc/mix.hh"
 #include "obs/json.hh"
@@ -138,7 +145,8 @@ std::vector<std::string>
 checkBaseline(const std::string &path, double maxRegression,
               const std::vector<std::pair<std::string, double>> &kipsNow,
               const std::vector<std::pair<unsigned, double>> &mcNow,
-              const std::vector<std::pair<std::string, double>> &vmNow)
+              const std::vector<std::pair<std::string, double>> &vmNow,
+              const std::vector<std::pair<std::string, double>> &l3Now)
 {
     std::ifstream in(path);
     if (!in) {
@@ -221,6 +229,20 @@ checkBaseline(const std::string &path, double maxRegression,
             for (const auto &[name, now] : vmNow)
                 if (name == mode->string)
                     gate("vm " + name, kips->number, now);
+        }
+    }
+    // Absent in pre-v5 baselines; the l3 rows gate only once a
+    // baseline regenerated under v5 is committed.
+    if (const obs::JsonValue *rows = doc.find("l3");
+        rows && rows->isArray()) {
+        for (const auto &row : rows->array) {
+            const obs::JsonValue *mode = row.find("l3");
+            const obs::JsonValue *kips = row.find("sim_kips");
+            if (!mode || !kips)
+                continue;
+            for (const auto &[name, now] : l3Now)
+                if (name == mode->string)
+                    gate("l3 " + name, kips->number, now);
         }
     }
     return offenders;
@@ -470,6 +492,50 @@ main(int argc, char **argv)
     }
     vmArray += "]";
 
+    // --- leg 1d: L3-tier sim-KIPS, off vs cache-resident vs in-DRAM ---
+    std::vector<std::pair<std::string, double>> l3Now;
+    std::string l3Array = "[";
+    for (const auto l3Mode :
+         {l3::L3Mode::None, l3::L3Mode::Cache, l3::L3Mode::Dram}) {
+        const std::string mode = std::string(l3::l3ModeName(l3Mode));
+        sim::SimConfig cfg = batchTemplate.base;
+        cfg.workload = *kipsSpec;
+        // The TLB_L3$ shape: Lite on 4 KB pages, no THP — the tier
+        // holds 4 KB-granule entries only, so a THP organization would
+        // starve it and the leg would never time the hit path.
+        cfg.mmu = core::MmuConfig::make(core::MmuOrg::TlbLite);
+        cfg.mmu.org = core::MmuOrg::Base4K;
+        if (l3Mode != l3::L3Mode::None)
+            cfg.mmu.enableL3(l3Mode);
+        std::vector<double> kipsSamples, wallSamples;
+        double l3HitRate = 0.0;
+        for (unsigned rep = 0; rep < repeats; ++rep) {
+            const auto start = std::chrono::steady_clock::now();
+            const sim::SimResult r = sim::simulate(cfg);
+            const double wall = seconds(start);
+            kipsSamples.push_back(r.simKips());
+            wallSamples.push_back(wall);
+            if (rep == 0 && r.stats.l3Probes > 0) {
+                l3HitRate = static_cast<double>(r.stats.l3Hits) /
+                            static_cast<double>(r.stats.l3Probes);
+            }
+        }
+        const double kipsMed = median(kipsSamples);
+        obs::JsonObject entry;
+        entry.put("l3", mode);
+        entry.put("sim_kips", kipsMed);
+        entry.put("wall_seconds", median(wallSamples));
+        entry.put("l3_hit_rate", l3HitRate);
+        if (l3Array.size() > 1)
+            l3Array += ",";
+        l3Array += entry.str();
+        l3Now.emplace_back(mode, kipsMed);
+        std::cout << "l3: " << mode << " " << kipsMed
+                  << " sim-KIPS (median of " << repeats << ", hit rate "
+                  << l3HitRate << ")\n";
+    }
+    l3Array += "]";
+
     // --- leg 2: sweep wall clock, serial vs pool ---
     const std::string csvPath = outPath + ".sweep.csv";
     std::cout << "sweep: " << sweepWorkloads.size() * core::allOrgs().size()
@@ -497,7 +563,7 @@ main(int argc, char **argv)
 
     obs::JsonObject doc;
     doc.put("schema", "eat.perf_baseline");
-    doc.put("v", 4);
+    doc.put("v", 5);
     doc.put("seed", std::uint64_t{42});
     doc.put("instructions", std::uint64_t{instructions});
     doc.put("fast_forward", std::uint64_t{fastForward});
@@ -505,6 +571,7 @@ main(int argc, char **argv)
     doc.putRaw("kips", kipsArray);
     doc.putRaw("mc", mcArray);
     doc.putRaw("vm", vmArray);
+    doc.putRaw("l3", l3Array);
     doc.putRaw("sweep", sweep.str());
 
     std::ofstream out(outPath, std::ios::trunc);
@@ -525,7 +592,8 @@ main(int argc, char **argv)
 
     if (!baselinePath.empty()) {
         const auto offenders = checkBaseline(baselinePath, maxRegression,
-                                             kipsNow, mcNow, vmNow);
+                                             kipsNow, mcNow, vmNow,
+                                             l3Now);
         if (!offenders.empty()) {
             for (const auto &o : offenders)
                 std::fprintf(stderr, "eatperf: regression: %s\n",

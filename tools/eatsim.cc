@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "base/parse.hh"
+#include "l3/l3_config.hh"
 #include "mc/mc_simulator.hh"
 #include "mc/mix.hh"
 #include "sim/simulator.hh"
@@ -93,6 +94,14 @@ usage(const char *argv0)
         "  --coherence=MODE     how remap invalidations reach remote\n"
         "                       cores: ipi | hw (multicore only;\n"
         "                       default ipi)\n"
+        "  --l3=MODE            giant-reach L3 translation tier behind\n"
+        "                       the L2 TLBs: none | cache | dram\n"
+        "                       (default none; valid with every --org)\n"
+        "  --l3-policy=POLICY   cache-tier insertion: walk | promote\n"
+        "                       (requires --l3=cache; default walk)\n"
+        "  --l3-promote-streak=N\n"
+        "                       L2-miss streak that triggers promotion\n"
+        "                       (requires --l3-policy=promote)\n"
         "  --list               list the available workloads\n",
         argv0, argv0);
     std::exit(2);
@@ -232,6 +241,21 @@ printReport(const sim::SimResult &r)
                   << " refs/walk)\n";
     }
 
+    if (s.l3Probes > 0) {
+        std::cout << "\nl3: " << s.l3Probes << " probes, " << s.l3Hits
+                  << " hits ("
+                  << stats::TextTable::percent(
+                         static_cast<double>(s.l3Hits) /
+                         static_cast<double>(s.l3Probes))
+                  << "), " << s.l3Fills << " fills, " << s.l3Evictions
+                  << " evictions";
+        if (s.dramAccesses > 0 || s.dramTagHits > 0) {
+            std::cout << "; dram: " << s.dramTagHits << " tag hits, "
+                      << s.dramAccesses << " array accesses";
+        }
+        std::cout << "\n";
+    }
+
     std::cout << "\nOS: " << r.pages4K << " x 4KB pages, " << r.pages2M
               << " x 2MB pages, " << r.numRanges << " ranges (coverage "
               << stats::TextTable::percent(r.rangeCoverage) << ")\n";
@@ -311,6 +335,20 @@ printMcReport(const mc::McResult &r)
         std::cout << "\nnested paging: " << hostWalks << " host walks, "
                   << hostWalkRefs
                   << " host memory references (all cores)\n";
+    }
+
+    std::uint64_t l3Probes = 0, l3Hits = 0;
+    for (const auto &c : r.perCore) {
+        l3Probes += c.stats.l3Probes;
+        l3Hits += c.stats.l3Hits;
+    }
+    if (l3Probes > 0) {
+        std::cout << "\nl3: " << l3Probes << " probes, " << l3Hits
+                  << " hits ("
+                  << stats::TextTable::percent(
+                         static_cast<double>(l3Hits) /
+                         static_cast<double>(l3Probes))
+                  << ", all cores)\n";
     }
 
     std::cout << "\nshootdowns: " << r.shootdownEvents << " events ("
@@ -408,6 +446,10 @@ main(int argc, char **argv)
     std::string vmModeName;
     std::string hostPagesName;
     std::string coherenceName;
+    std::string l3ModeName;
+    std::string l3PolicyName;
+    std::uint64_t l3PromoteStreak = 0;
+    bool haveL3Streak = false;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         auto value = [&arg](const char *prefix) -> const char * {
@@ -522,6 +564,13 @@ main(int argc, char **argv)
             hostPagesName = vhp;
         } else if (const char *vcoh = value("--coherence=")) {
             coherenceName = vcoh;
+        } else if (const char *vl3 = value("--l3=")) {
+            l3ModeName = vl3;
+        } else if (const char *vl3p = value("--l3-policy=")) {
+            l3PolicyName = vl3p;
+        } else if (const char *vl3s = value("--l3-promote-streak=")) {
+            l3PromoteStreak = parseCount("--l3-promote-streak", vl3s);
+            haveL3Streak = true;
         } else if (arg == "--shared") {
             shared = true;
         } else if (arg == "--ctx-flush") {
@@ -565,6 +614,47 @@ main(int argc, char **argv)
         }
         hostPageSize = size.value();
     }
+    // Orphaned L3 tuning flags describe nothing: reject them rather
+    // than silently run a different machine than the user asked for.
+    l3::L3Mode l3Mode = l3::L3Mode::None;
+    if (!l3ModeName.empty()) {
+        const auto mode = l3::l3ModeFromName(l3ModeName);
+        if (!mode.ok()) {
+            std::fprintf(stderr, "--l3: %s\n",
+                         mode.status().message().c_str());
+            return 2;
+        }
+        l3Mode = mode.value();
+    }
+    l3::L3InsertPolicy l3Policy = l3::L3InsertPolicy::WalkFill;
+    if (!l3PolicyName.empty()) {
+        if (l3Mode != l3::L3Mode::Cache) {
+            std::fprintf(stderr,
+                         "--l3-policy requires --l3=cache\n");
+            return 2;
+        }
+        const auto policy = l3::l3InsertPolicyFromName(l3PolicyName);
+        if (!policy.ok()) {
+            std::fprintf(stderr, "--l3-policy: %s\n",
+                         policy.status().message().c_str());
+            return 2;
+        }
+        l3Policy = policy.value();
+    }
+    if (haveL3Streak) {
+        if (l3Policy != l3::L3InsertPolicy::PtePromote) {
+            std::fprintf(stderr,
+                         "--l3-promote-streak requires "
+                         "--l3-policy=promote\n");
+            return 2;
+        }
+        if (l3PromoteStreak == 0) {
+            std::fprintf(stderr,
+                         "--l3-promote-streak: must be positive\n");
+            return 2;
+        }
+    }
+
     mc::McConfig::CoherenceMode coherence =
         mc::McConfig::CoherenceMode::Ipi;
     if (!coherenceName.empty()) {
@@ -600,6 +690,14 @@ main(int argc, char **argv)
         cfg.mmu.vmEnabled = true;
         cfg.mmu.vmIdentityHost = hostMode == vm::HostMode::Identity;
         cfg.mmu.hostPageSize = hostPageSize;
+    }
+    if (l3Mode != l3::L3Mode::None) {
+        cfg.mmu.l3Cache.policy = l3Policy;
+        if (haveL3Streak) {
+            cfg.mmu.l3Cache.promoteStreak =
+                static_cast<unsigned>(l3PromoteStreak);
+        }
+        cfg.mmu.enableL3(l3Mode);
     }
 
     if (multicore) {
